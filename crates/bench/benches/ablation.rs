@@ -1,0 +1,92 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **bad-speculation mode** — ground truth vs the simple retire-slot
+//!   scheme vs speculative counters (paper §III-B): cost of each.
+//! * **accounting width** — min-width normalization with carry-over is the
+//!   paper's §III-A proposal; we benchmark its cost relative to plain
+//!   per-stage-width accounting (it is just arithmetic, so the point of
+//!   the bench is to show it is free).
+//! * **prefetcher on/off** — the stride prefetcher is what produces the
+//!   Fig. 3(c) effect; this measures its simulation-speed cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mstacks_core::{BadSpecMode, DispatchAccountant, IssueAccountant};
+use mstacks_model::{CoreConfig, IdealFlags, PrefetchConfig};
+use mstacks_pipeline::Core;
+use mstacks_workloads::spec;
+
+const UOPS: u64 = 40_000;
+
+fn bench_badspec_modes(c: &mut Criterion) {
+    let w = spec::mcf(); // branchy: exercises squash/commit bookkeeping
+    let cfg = CoreConfig::broadwell();
+    let wdt = cfg.accounting_width();
+    let mut g = c.benchmark_group("badspec_mode");
+    g.sample_size(10);
+    for mode in [
+        BadSpecMode::GroundTruth,
+        BadSpecMode::SimpleRetireSlots,
+        BadSpecMode::SpeculativeCounters,
+    ] {
+        g.bench_function(mode.to_string(), |b| {
+            b.iter(|| {
+                let mut obs = (
+                    DispatchAccountant::new(wdt, mode),
+                    IssueAccountant::new(wdt, mode),
+                );
+                let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+                let cycles = core.run(&mut obs).expect("runs").cycles;
+                std::hint::black_box((obs, cycles))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prefetcher(c: &mut Criterion) {
+    let w = spec::bwaves(); // streaming: maximum prefetch activity
+    let mut g = c.benchmark_group("prefetcher");
+    g.sample_size(10);
+    for (name, enabled) in [("on", true), ("off", false)] {
+        let mut cfg = CoreConfig::broadwell();
+        if !enabled {
+            cfg.mem.prefetch = PrefetchConfig::disabled();
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+                std::hint::black_box(core.run(&mut ()).expect("runs").cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_wide_issue_carry(c: &mut Criterion) {
+    // The min-width normalizer runs once per stage per cycle; this measures
+    // the accountant with a wide-issue core (carry-over active every cycle)
+    // against a narrow one.
+    let w = spec::x264();
+    let mut g = c.benchmark_group("width_normalization");
+    g.sample_size(10);
+    for cfg in [CoreConfig::broadwell(), CoreConfig::knights_landing()] {
+        let wdt = cfg.accounting_width();
+        g.bench_function(format!("{}_W{}", cfg.name, wdt), |b| {
+            b.iter(|| {
+                let mut obs = IssueAccountant::new(wdt, BadSpecMode::GroundTruth);
+                let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+                let cycles = core.run(&mut obs).expect("runs").cycles;
+                std::hint::black_box((obs, cycles))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_badspec_modes,
+    bench_prefetcher,
+    bench_wide_issue_carry
+);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! **Figure 2** — error on the components for the individual CPI stacks
+//! and the combined multi-stage representation, on BDW and KNL.
+//!
+//! Methodology (paper §V-A): for every benchmark where a component is at
+//! least 10 % of total CPI in any stack, re-simulate with that structure
+//! idealized and compare each stack's predicted component against the
+//! measured CPI reduction. The multi-stage error is zero when the actual
+//! reduction falls within the [min, max] bounds of the three stacks.
+//!
+//! Output: one boxplot row (min |q1 median q3| max) per component per
+//! accounting scheme, plus the mean absolute errors — the paper's claim is
+//! that the multi-stage representation has the smallest error.
+
+use mstacks_bench::{run, sim_uops, single_idealizations};
+use mstacks_core::{Component, SimReport};
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_stats::{ComponentErrorStudy, TextTable};
+use mstacks_workloads::{spec, Workload};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Baseline + relevant idealized runs for one (workload, core) pair.
+struct BenchResult {
+    name: String,
+    base: SimReport,
+    deltas: Vec<(Component, f64)>,
+}
+
+fn run_benchmark(w: &Workload, cfg: &CoreConfig, uops: u64) -> BenchResult {
+    let base = run(w, cfg, IdealFlags::none(), uops);
+    let mut deltas = Vec::new();
+    for (comp, ideal) in single_idealizations() {
+        if !ComponentErrorStudy::is_relevant(&base.multi, comp, 0.10) {
+            continue;
+        }
+        let idealized = run(w, cfg, ideal, uops);
+        deltas.push((comp, base.cpi() - idealized.cpi()));
+    }
+    BenchResult {
+        name: w.name(),
+        base,
+        deltas,
+    }
+}
+
+fn main() {
+    let uops = sim_uops();
+    let workloads = spec::all();
+    println!(
+        "Figure 2: component error boxplots, {} benchmarks x 2 cores ({} uops each)\n",
+        workloads.len(),
+        uops
+    );
+
+    for cfg in [CoreConfig::broadwell(), CoreConfig::knights_landing()] {
+        // Fan the independent simulations out over threads.
+        let results: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+        let next: Mutex<usize> = Mutex::new(0);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(workloads.len());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = {
+                        let mut n = next.lock().expect("lock");
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    if i >= workloads.len() {
+                        break;
+                    }
+                    let r = run_benchmark(&workloads[i], &cfg, uops);
+                    results.lock().expect("lock").push(r);
+                });
+            }
+        });
+        let mut results = results.into_inner().expect("lock");
+        results.sort_by(|a, b| a.name.cmp(&b.name));
+
+        // Collect per-component error studies.
+        let mut studies: HashMap<Component, ComponentErrorStudy> = HashMap::new();
+        for r in &results {
+            for &(comp, actual) in &r.deltas {
+                studies
+                    .entry(comp)
+                    .or_default()
+                    .add(&r.name, &r.base.multi, comp, actual);
+            }
+        }
+
+        println!("=== {} ===", cfg.name.to_uppercase());
+        let mut table = TextTable::new(vec![
+            "component".into(),
+            "scheme".into(),
+            "boxplot (min |q1 med q3| max)".into(),
+            "MAE".into(),
+        ]);
+        for comp in [
+            Component::Icache,
+            Component::Dcache,
+            Component::Bpred,
+            Component::AluLat,
+        ] {
+            let Some(study) = studies.get(&comp) else {
+                continue;
+            };
+            // The paper omits component/core pairs with ≤1 benchmark.
+            if study.len() < 2 {
+                println!(
+                    "({}: only {} benchmark(s) ≥10% — omitted, as the paper does for ALU on BDW)",
+                    comp.label(),
+                    study.len()
+                );
+                continue;
+            }
+            let boxes = study.boxplots().expect("non-empty study");
+            let mae = study.mean_abs_errors().expect("non-empty study");
+            for (i, scheme) in ["dispatch", "issue", "commit", "multi"].iter().enumerate() {
+                table.row(vec![
+                    if i == 0 {
+                        format!("{} (n={})", comp.label(), study.len())
+                    } else {
+                        String::new()
+                    },
+                    scheme.to_string(),
+                    boxes[i].to_string(),
+                    format!("{:.4}", mae[i]),
+                ]);
+            }
+        }
+        println!("{table}");
+
+        // Headline check: multi-stage has the lowest mean absolute error.
+        let mut wins = 0;
+        let mut total = 0;
+        for study in studies.values() {
+            if study.len() < 2 {
+                continue;
+            }
+            if let Some(mae) = study.mean_abs_errors() {
+                total += 1;
+                if mae[3] <= mae[0] && mae[3] <= mae[1] && mae[3] <= mae[2] {
+                    wins += 1;
+                }
+            }
+        }
+        println!(
+            "multi-stage representation has the lowest MAE for {wins}/{total} components\n"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! **Figure 3** — selected multi-stage CPI stacks before and after making
+//! components perfect.
+//!
+//! Five case studies, each demonstrating one phenomenon:
+//!
+//! * (a) `mcf`/BDW — bpred and Dcache deltas each fall between their
+//!   dispatch and commit components.
+//! * (b) `cactus`/BDW — I$↔D$ second-order coupling through the unified
+//!   L2: idealizing one cache also shrinks the *other* cache's component;
+//!   the dependence component melts when the D-cache is made perfect.
+//! * (c) `bwaves`/BDW — the Icache component is *not* realized when the
+//!   L1I is idealized, because I-misses were queueing behind prefetch
+//!   traffic on the L2 MSHRs.
+//! * (d) `povray`/KNL — the Microcode component; ALU and bpred deltas
+//!   bracketed by the stacks.
+//! * (e) `imagick`/KNL — the issue stack's unique dependence knowledge:
+//!   it blames multi-cycle ALU latency where dispatch/commit see generic
+//!   dependences.
+
+use mstacks_bench::{run, sim_uops};
+use mstacks_core::{Component, SimReport, COMPONENTS};
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_stats::TextTable;
+use mstacks_workloads::{spec, Workload};
+
+fn stack_table(title: &str, reports: &[(&str, &SimReport)]) {
+    println!("--- {title} ---");
+    let mut headers = vec!["component".to_string()];
+    for (name, _) in reports {
+        for stage in ["disp", "issue", "commit"] {
+            headers.push(format!("{name}:{stage}"));
+        }
+    }
+    let mut t = TextTable::new(headers);
+    for c in COMPONENTS {
+        let mut cells = vec![c.label().to_string()];
+        let mut any = false;
+        for (_, r) in reports {
+            for s in r.multi.stacks() {
+                let v = s.cpi_of(c);
+                if v >= 5e-4 {
+                    any = true;
+                }
+                cells.push(format!("{v:.3}"));
+            }
+        }
+        if any {
+            t.row(cells);
+        }
+    }
+    let mut cells = vec!["TOTAL".to_string()];
+    for (_, r) in reports {
+        for s in r.multi.stacks() {
+            cells.push(format!("{:.3}", s.total_cpi()));
+        }
+    }
+    t.row(cells);
+    println!("{t}");
+}
+
+fn bracket_line(base: &SimReport, comp: Component, delta: f64, label: &str) {
+    let (lo, hi) = base.multi.bounds(comp);
+    println!(
+        "  d(CPI) from {label}: {delta:+.3}; {} bounds [{lo:.3}, {hi:.3}] → {}",
+        comp.label(),
+        if base.multi.contains(comp, delta) {
+            "WITHIN bounds"
+        } else if delta > hi {
+            "above (second-order effect)"
+        } else {
+            "below (second-order effect)"
+        }
+    );
+}
+
+fn case(
+    title: &str,
+    w: &Workload,
+    cfg: &CoreConfig,
+    ideals: &[(&str, IdealFlags, Option<Component>)],
+    uops: u64,
+) {
+    let base = run(w, cfg, IdealFlags::none(), uops);
+    let mut reports: Vec<(&str, SimReport)> = vec![("base", base.clone())];
+    for (name, ideal, _) in ideals {
+        reports.push((name, run(w, cfg, *ideal, uops)));
+    }
+    let refs: Vec<(&str, &SimReport)> = reports.iter().map(|(n, r)| (*n, r)).collect();
+    stack_table(title, &refs);
+    for (i, (name, _, comp)) in ideals.iter().enumerate() {
+        if let Some(c) = comp {
+            bracket_line(&base, *c, base.cpi() - reports[i + 1].1.cpi(), name);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let uops = sim_uops();
+    println!("Figure 3: multi-stage CPI stacks before/after idealization ({uops} uops)\n");
+    let bdw = CoreConfig::broadwell();
+    let knl = CoreConfig::knights_landing();
+
+    // (a) mcf on BDW.
+    case(
+        "(a) mcf on BDW",
+        &spec::mcf(),
+        &bdw,
+        &[
+            (
+                "perf-bpred",
+                IdealFlags::none().with_perfect_bpred(),
+                Some(Component::Bpred),
+            ),
+            (
+                "perf-D$",
+                IdealFlags::none().with_perfect_dcache(),
+                Some(Component::Dcache),
+            ),
+        ],
+        uops,
+    );
+
+    // (b) cactus on BDW: I↔D coupling through the unified L2.
+    let cactus = spec::cactus();
+    let base = run(&cactus, &bdw, IdealFlags::none(), uops);
+    let pi = run(&cactus, &bdw, IdealFlags::none().with_perfect_icache(), uops);
+    let pd = run(&cactus, &bdw, IdealFlags::none().with_perfect_dcache(), uops);
+    stack_table(
+        "(b) cactus on BDW",
+        &[("base", &base), ("perf-I$", &pi), ("perf-D$", &pd)],
+    );
+    bracket_line(&base, Component::Icache, base.cpi() - pi.cpi(), "perf-I$");
+    bracket_line(&base, Component::Dcache, base.cpi() - pd.cpi(), "perf-D$");
+    println!(
+        "  coupling: perfect I$ changes the *Dcache* commit component {:.3} → {:.3};\n\
+         \x20           perfect D$ changes the *Icache* dispatch component {:.3} → {:.3}",
+        base.multi.commit.cpi_of(Component::Dcache),
+        pi.multi.commit.cpi_of(Component::Dcache),
+        base.multi.dispatch.cpi_of(Component::Icache),
+        pd.multi.dispatch.cpi_of(Component::Icache),
+    );
+    println!(
+        "  depend component under perfect D$: {:.3} → {:.3} (chains drain with the misses)\n",
+        base.multi.issue.cpi_of(Component::Depend),
+        pd.multi.issue.cpi_of(Component::Depend),
+    );
+
+    // (c) bwaves on BDW: unrealized Icache component.
+    let bwaves = spec::bwaves();
+    let base = run(&bwaves, &bdw, IdealFlags::none(), uops);
+    let pi = run(&bwaves, &bdw, IdealFlags::none().with_perfect_icache(), uops);
+    let pd = run(&bwaves, &bdw, IdealFlags::none().with_perfect_dcache(), uops);
+    stack_table(
+        "(c) bwaves on BDW",
+        &[("base", &base), ("perf-I$", &pi), ("perf-D$", &pd)],
+    );
+    bracket_line(&base, Component::Icache, base.cpi() - pi.cpi(), "perf-I$");
+    println!(
+        "  L2-MSHR wait cycles: base {}, perfect-I$ {} — I-misses queue behind prefetches;",
+        base.result.mem.l2_mshr_wait_cycles, pi.result.mem.l2_mshr_wait_cycles
+    );
+    println!(
+        "  perfect D$ removes the prefetch triggers: CPI {:.3} → {:.3} (ideal {:.2})\n",
+        base.cpi(),
+        pd.cpi(),
+        1.0 / f64::from(bdw.accounting_width())
+    );
+
+    // (d) povray on KNL: microcode component + ALU/bpred brackets.
+    case(
+        "(d) povray on KNL",
+        &spec::povray(),
+        &knl,
+        &[
+            (
+                "ALU-1",
+                IdealFlags::none().with_single_cycle_alu(),
+                Some(Component::AluLat),
+            ),
+            (
+                "perf-bpred",
+                IdealFlags::none().with_perfect_bpred(),
+                Some(Component::Bpred),
+            ),
+        ],
+        uops,
+    );
+
+    // (e) imagick on KNL: issue-stage dependence knowledge.
+    let imagick = spec::imagick();
+    let base = run(&imagick, &knl, IdealFlags::none(), uops);
+    let alu1 = run(&imagick, &knl, IdealFlags::none().with_single_cycle_alu(), uops);
+    stack_table("(e) imagick on KNL", &[("base", &base), ("ALU-1", &alu1)]);
+    bracket_line(&base, Component::AluLat, base.cpi() - alu1.cpi(), "ALU-1");
+    println!(
+        "  issue blames alu_lat {:.3} (vs depend {:.3}); dispatch/commit depend: {:.3}/{:.3}",
+        base.multi.issue.cpi_of(Component::AluLat),
+        base.multi.issue.cpi_of(Component::Depend),
+        base.multi.dispatch.cpi_of(Component::Depend),
+        base.multi.commit.cpi_of(Component::Depend),
+    );
+}

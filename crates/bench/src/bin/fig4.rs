@@ -1,0 +1,177 @@
+//! **Figure 4** — relative difference per component between the issue-stage
+//! CPI stack and the FLOPS stack for the DeepBench suites on KNL and SKX.
+//!
+//! Methodology (paper §V-B): normalize both stacks, subtract matching
+//! components (FLOPS − CPI), average over each suite. The differences sum
+//! to zero per suite. The paper's headline observations:
+//!
+//! * the FLOPS base component is always *smaller* than the CPI base
+//!   (not every slot is an FMA), much more so on KNL (2-wide: *all*
+//!   micro-ops would have to be FMAs to close the gap) than on SKX;
+//! * sgemm on KNL shows a large positive **memory** difference (jit FMAs
+//!   carry memory operands), sgemm on SKX a **dependence** difference
+//!   (broadcast feeding register FMAs);
+//! * convolution shows large **frontend** differences on both (low VFP
+//!   fraction due to indexing overhead).
+
+use mstacks_bench::sim_uops;
+use mstacks_core::{FlopsComponent, Simulation};
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_stats::TextTable;
+use mstacks_workloads::{
+    deepbench, ConvPhase, GemmStyle, RnnCell, Workload,
+};
+use std::sync::Mutex;
+
+/// Normalized (FLOPS − issue-CPI) per matched component, for one workload.
+/// Components are matched as in the paper: base↔base, frontend↔(icache +
+/// bpred + microcode + the non-VFP share), memory↔dcache, depend↔depend;
+/// the remainder (mask, non_fma vs alu_lat/other) goes to "other".
+#[derive(Debug, Clone, Copy, Default)]
+struct Diff {
+    base: f64,
+    frontend: f64,
+    memory: f64,
+    depend: f64,
+    other: f64,
+}
+
+fn diff_of(w: &Workload, cfg: &CoreConfig, uops: u64) -> Diff {
+    let r = Simulation::new(cfg.clone())
+        .with_ideal(IdealFlags::none())
+        .run(w.trace(uops))
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+    let cpi = r.multi.issue.normalized();
+    let fl = r.flops.normalized();
+    use mstacks_core::Component as C;
+    let cpi_base = cpi[C::Base.index()];
+    let cpi_fe = cpi[C::Icache.index()] + cpi[C::Bpred.index()] + cpi[C::Microcode.index()];
+    let cpi_mem = cpi[C::Dcache.index()] + cpi[C::MemConflict.index()];
+    let cpi_dep = cpi[C::Depend.index()];
+    let cpi_other = cpi[C::AluLat.index()] + cpi[C::Other.index()];
+    let f = |c: FlopsComponent| fl[c.index()];
+    Diff {
+        base: f(FlopsComponent::Base) - cpi_base,
+        frontend: f(FlopsComponent::Frontend) + f(FlopsComponent::NonVfp) - cpi_fe,
+        memory: f(FlopsComponent::Memory) - cpi_mem,
+        depend: f(FlopsComponent::Depend) - cpi_dep,
+        other: f(FlopsComponent::NonFma) + f(FlopsComponent::Mask) - cpi_other,
+    }
+}
+
+fn average(diffs: &[Diff]) -> Diff {
+    let n = diffs.len() as f64;
+    let mut a = Diff::default();
+    for d in diffs {
+        a.base += d.base / n;
+        a.frontend += d.frontend / n;
+        a.memory += d.memory / n;
+        a.depend += d.depend / n;
+        a.other += d.other / n;
+    }
+    a
+}
+
+fn main() {
+    let uops = sim_uops().min(400_000);
+    // Suites: sgemm train, sgemm inference, conv fwd / bwd_f / bwd_d.
+    let mut suites: Vec<(String, Vec<Workload>)> = Vec::new();
+    for (core_tag, style) in [("knl", GemmStyle::KnlJit), ("skx", GemmStyle::SkxBroadcast)] {
+        let lanes = 16;
+        let train: Vec<Workload> = deepbench::sgemm_train_configs()
+            .into_iter()
+            .map(|cfg| Workload::Gemm { cfg, style, lanes })
+            .collect();
+        let inf: Vec<Workload> = deepbench::sgemm_inference_configs()
+            .into_iter()
+            .map(|cfg| Workload::Gemm { cfg, style, lanes })
+            .collect();
+        suites.push((format!("sgemm train ({core_tag})"), train));
+        suites.push((format!("sgemm inference ({core_tag})"), inf));
+        for phase in [
+            ConvPhase::Forward,
+            ConvPhase::BackwardFilter,
+            ConvPhase::BackwardData,
+        ] {
+            let ws: Vec<Workload> = deepbench::conv_configs()
+                .into_iter()
+                .map(|cfg| Workload::Conv { cfg, phase, lanes })
+                .collect();
+            suites.push((format!("conv {phase} ({core_tag})"), ws));
+        }
+        // Extension beyond the paper: DeepBench's recurrent kernels.
+        for cell in [RnnCell::Lstm, RnnCell::Gru] {
+            let ws: Vec<Workload> = deepbench::rnn_configs()
+                .into_iter()
+                .map(|cfg| Workload::Rnn { cfg, cell, lanes })
+                .collect();
+            suites.push((format!("{cell}* ({core_tag})"), ws));
+        }
+    }
+
+    let total_cfgs: usize = suites.iter().map(|(_, ws)| ws.len()).sum();
+    println!(
+        "Figure 4: normalized (FLOPS − issue CPI) component differences per suite\n\
+         ({} configurations, {} uops each; paper ran 235 GEMM + 282 conv — scaled subset)\n",
+        total_cfgs, uops
+    );
+
+    let mut table = TextTable::new(vec![
+        "suite".into(),
+        "base".into(),
+        "frontend".into(),
+        "memory".into(),
+        "depend".into(),
+        "other".into(),
+        "sum".into(),
+    ]);
+
+    for (name, ws) in &suites {
+        let cfg = if name.contains("knl") {
+            CoreConfig::knights_landing()
+        } else {
+            CoreConfig::skylake_server()
+        };
+        let diffs: Mutex<Vec<Diff>> = Mutex::new(Vec::new());
+        let next: Mutex<usize> = Mutex::new(0);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(ws.len());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = {
+                        let mut n = next.lock().expect("lock");
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    if i >= ws.len() {
+                        break;
+                    }
+                    let d = diff_of(&ws[i], &cfg, uops);
+                    diffs.lock().expect("lock").push(d);
+                });
+            }
+        });
+        let avg = average(&diffs.into_inner().expect("lock"));
+        let sum = avg.base + avg.frontend + avg.memory + avg.depend + avg.other;
+        table.row(vec![
+            name.clone(),
+            format!("{:+.1}%", avg.base * 100.0),
+            format!("{:+.1}%", avg.frontend * 100.0),
+            format!("{:+.1}%", avg.memory * 100.0),
+            format!("{:+.1}%", avg.depend * 100.0),
+            format!("{:+.1}%", avg.other * 100.0),
+            format!("{:+.1}%", sum * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("(* = recurrent-kernel suites: our extension beyond the paper's evaluation)\n");
+    println!(
+        "Checks vs the paper: FLOPS base < CPI base everywhere, KNL gap > SKX gap for\n\
+         sgemm; sgemm-KNL skews to memory, sgemm-SKX to depend; conv suites show large\n\
+         frontend differences. Differences per suite sum to ≈0 by construction."
+    );
+}

@@ -1,0 +1,68 @@
+//! Development probe: prints the multi-stage CPI stacks and idealization
+//! deltas for one profile on one core. Not part of the paper's tables —
+//! useful for sanity-checking the model.
+//!
+//! Usage: `probe [workload] [core] [uops]`
+
+use mstacks_bench::{run, sim_uops};
+use mstacks_core::COMPONENTS;
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_stats::render::cpi_stack_lines;
+use mstacks_workloads::spec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wname = args.get(1).map(String::as_str).unwrap_or("mcf");
+    let cname = args.get(2).map(String::as_str).unwrap_or("bdw");
+    let uops = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(sim_uops);
+
+    let w = spec::by_name(wname).unwrap_or_else(|| panic!("unknown workload {wname}"));
+    let cfg = match cname {
+        "bdw" => CoreConfig::broadwell(),
+        "knl" => CoreConfig::knights_landing(),
+        "skx" => CoreConfig::skylake_server(),
+        other => panic!("unknown core {other}"),
+    };
+
+    let base = run(&w, &cfg, IdealFlags::none(), uops);
+    println!(
+        "== {} on {} ({} uops, {} cycles, CPI {:.3}) ==",
+        wname, cname, base.result.committed_uops, base.result.cycles, base.cpi()
+    );
+    println!(
+        "mem: L1I mr {:.3} L1D mr {:.3} L2 mr {:.3} | bpred mpki {:.2} | l2 mshr wait {}",
+        base.result.mem.l1i.miss_ratio(),
+        base.result.mem.l1d.miss_ratio(),
+        base.result.mem.l2.miss_ratio(),
+        base.result.frontend.mispredicts as f64 / (base.result.committed_uops as f64 / 1000.0),
+        base.result.mem.l2_mshr_wait_cycles,
+    );
+    for s in base.multi.stacks() {
+        print!("{}", cpi_stack_lines(s, 40));
+    }
+
+    println!("\n-- idealization deltas vs stack bounds --");
+    for (comp, ideal) in mstacks_bench::single_idealizations() {
+        let r = run(&w, &cfg, ideal, uops);
+        let delta = base.cpi() - r.cpi();
+        let (lo, hi) = base.multi.bounds(comp);
+        let inside = base.multi.contains(comp, delta);
+        println!(
+            "{:<22} dCPI {:+.3}  bounds [{:.3}, {:.3}]  {}",
+            ideal.to_string(),
+            delta,
+            lo,
+            hi,
+            if inside { "WITHIN" } else { "outside" }
+        );
+    }
+    for c in COMPONENTS {
+        let (lo, hi) = base.multi.bounds(c);
+        if hi > 0.005 {
+            println!("  comp {:<12} [{:.3}, {:.3}]", c.label(), lo, hi);
+        }
+    }
+}

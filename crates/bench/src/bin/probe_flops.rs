@@ -1,0 +1,51 @@
+//! Development probe for FLOPS stacks: runs one sgemm config on KNL and
+//! SKX and prints the issue-stage CPI stack next to the FLOPS stack.
+
+use mstacks_bench::run;
+use mstacks_core::{FLOPS_COMPONENTS};
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_stats::render::{cpi_stack_lines, flops_stack_lines};
+use mstacks_workloads::{GemmConfig, GemmStyle, Workload};
+
+fn main() {
+    let uops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let cfg_g = GemmConfig {
+        m: 128,
+        n: 440,
+        k: 128,
+        train: true,
+    };
+    for (core, style) in [
+        (CoreConfig::knights_landing(), GemmStyle::KnlJit),
+        (CoreConfig::skylake_server(), GemmStyle::SkxBroadcast),
+    ] {
+        let lanes = (core.vector_bits / 32) as u8;
+        let w = Workload::Gemm {
+            cfg: cfg_g,
+            style,
+            lanes,
+        };
+        let r = run(&w, &core, IdealFlags::none(), uops);
+        println!(
+            "== {} on {} | CPI {:.3} IPC {:.2} | {:.1} / {:.1} GFLOPS ==",
+            w.name(),
+            core.name,
+            r.cpi(),
+            1.0 / r.cpi(),
+            r.gflops(core.freq_ghz),
+            core.peak_gflops(),
+        );
+        print!("{}", cpi_stack_lines(&r.multi.issue, 30));
+        print!("{}", flops_stack_lines(&r.flops, core.freq_ghz, 30));
+        let n = r.flops.normalized();
+        for c in FLOPS_COMPONENTS {
+            if n[c.index()] > 0.005 {
+                println!("  flops {:<10} {:5.1}%", c.label(), n[c.index()] * 100.0);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,188 @@
+//! One-shot validation of every headline claim — a condensed, pass/fail
+//! version of the full experiment suite, suitable for CI or a quick "does
+//! the reproduction still hold on this machine?" check.
+//!
+//! Exits non-zero if any claim fails.
+
+use mstacks_bench::{run, sim_uops};
+use mstacks_core::{Component, FlopsComponent, Simulation};
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_workloads::{spec, GemmConfig, GemmStyle, Workload};
+use std::process::ExitCode;
+
+struct Checker {
+    failures: u32,
+    checks: u32,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        self.checks += 1;
+        if ok {
+            println!("PASS  {name} ({detail})");
+        } else {
+            self.failures += 1;
+            println!("FAIL  {name} ({detail})");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let uops = sim_uops().min(200_000);
+    let mut c = Checker {
+        failures: 0,
+        checks: 0,
+    };
+    println!("validating the paper's headline claims ({uops} uops per run)…\n");
+
+    let bdw = CoreConfig::broadwell();
+    let knl = CoreConfig::knights_landing();
+    let skx = CoreConfig::skylake_server();
+
+    // --- Table I: hidden + overlapping stalls ---------------------------
+    let w = spec::mcf();
+    let base_k = run(&w, &knl, IdealFlags::none(), uops);
+    let alu_k = run(&w, &knl, IdealFlags::none().with_single_cycle_alu(), uops);
+    let dc_k = run(&w, &knl, IdealFlags::none().with_perfect_dcache(), uops);
+    let both_k = run(
+        &w,
+        &knl,
+        IdealFlags::none().with_perfect_dcache().with_single_cycle_alu(),
+        uops,
+    );
+    let d_alu = base_k.cpi() - alu_k.cpi();
+    let d_dc = base_k.cpi() - dc_k.cpi();
+    let d_both = base_k.cpi() - both_k.cpi();
+    c.check(
+        "Table I: hidden stalls on mcf/KNL (d(both) > d(ALU)+d(D$))",
+        d_both > d_alu + d_dc,
+        format!("{d_both:.3} vs {:.3}", d_alu + d_dc),
+    );
+
+    let base_b = run(&w, &bdw, IdealFlags::none(), uops);
+    let bp_b = run(&w, &bdw, IdealFlags::none().with_perfect_bpred(), uops);
+    let dc_b = run(&w, &bdw, IdealFlags::none().with_perfect_dcache(), uops);
+    let both_b = run(
+        &w,
+        &bdw,
+        IdealFlags::none().with_perfect_bpred().with_perfect_dcache(),
+        uops,
+    );
+    let s_bp = base_b.cpi() - bp_b.cpi();
+    let s_dc = base_b.cpi() - dc_b.cpi();
+    let s_both = base_b.cpi() - both_b.cpi();
+    c.check(
+        "Table I: overlapping stalls on mcf/BDW (d(both) < d(bpred)+d(D$))",
+        s_both < s_bp + s_dc,
+        format!("{s_both:.3} vs {:.3}", s_bp + s_dc),
+    );
+
+    // --- §III-A ordering ------------------------------------------------
+    let r = &base_b.multi;
+    c.check(
+        "§III-A: frontend components shrink dispatch → issue → commit (mcf/BDW)",
+        r.dispatch.cpi_of(Component::Bpred) + 1e-3 >= r.issue.cpi_of(Component::Bpred)
+            && r.issue.cpi_of(Component::Bpred) + 1e-3 >= r.commit.cpi_of(Component::Bpred),
+        format!(
+            "bpred {:.3} / {:.3} / {:.3}",
+            r.dispatch.cpi_of(Component::Bpred),
+            r.issue.cpi_of(Component::Bpred),
+            r.commit.cpi_of(Component::Bpred)
+        ),
+    );
+    c.check(
+        "§III-A: backend Dcache component grows toward commit (mcf/BDW)",
+        r.commit.cpi_of(Component::Dcache) + 1e-3 >= r.dispatch.cpi_of(Component::Dcache),
+        format!(
+            "dcache {:.3} → {:.3}",
+            r.dispatch.cpi_of(Component::Dcache),
+            r.commit.cpi_of(Component::Dcache)
+        ),
+    );
+
+    // --- Fig. 2 core claim: bounds contain the measured deltas ----------
+    let mut within = 0;
+    let mut total = 0;
+    for w in [spec::mcf(), spec::deepsjeng(), spec::gcc(), spec::omnetpp()] {
+        let base = run(&w, &bdw, IdealFlags::none(), uops);
+        for (comp, ideal) in mstacks_bench::single_idealizations() {
+            let (_, hi) = base.multi.bounds(comp);
+            if hi < 0.10 * base.cpi() {
+                continue;
+            }
+            let d = base.cpi() - run(&w, &bdw, ideal, uops).cpi();
+            total += 1;
+            if base.multi.contains(comp, d) {
+                within += 1;
+            }
+        }
+    }
+    c.check(
+        "Fig. 2: most measured improvements fall within the multi-stage bounds",
+        within * 3 >= total * 2, // ≥ 2/3, the paper's "in most of the cases"
+        format!("{within}/{total} within"),
+    );
+
+    // --- Fig. 4: FLOPS-stack style contrast ------------------------------
+    let gemm = |style| Workload::Gemm {
+        cfg: GemmConfig {
+            m: 128,
+            n: 220,
+            k: 128,
+            train: true,
+        },
+        style,
+        lanes: 16,
+    };
+    let jit = Simulation::new(knl.clone())
+        .run(gemm(GemmStyle::KnlJit).trace(uops.min(60_000)))
+        .expect("simulation completes");
+    let bcast = Simulation::new(skx.clone())
+        .run(gemm(GemmStyle::SkxBroadcast).trace(uops.min(60_000)))
+        .expect("simulation completes");
+    let jm = jit.flops.normalized()[FlopsComponent::Memory.index()];
+    let bd = bcast.flops.normalized()[FlopsComponent::Depend.index()];
+    let bm = bcast.flops.normalized()[FlopsComponent::Memory.index()];
+    c.check(
+        "Fig. 4: KNL-jit sgemm is memory-dominated, SKX-broadcast shifts to depend",
+        jm > 0.3 && bd > bm * 0.8,
+        format!("knl mem {jm:.2}; skx depend {bd:.2} vs mem {bm:.2}"),
+    );
+
+    // --- FLOPS base below CPI base (Fig. 4 constant) ---------------------
+    let f = jit.flops.normalized()[FlopsComponent::Base.index()];
+    let cb = jit.multi.issue.normalized()[Component::Base.index()];
+    c.check(
+        "Fig. 4: normalized FLOPS base ≤ CPI base (KNL sgemm)",
+        f <= cb + 0.02,
+        format!("{f:.2} vs {cb:.2}"),
+    );
+
+    // --- Accounting invariants ------------------------------------------
+    let inv = Simulation::new(bdw.clone())
+        .run(spec::povray().trace(uops.min(60_000)))
+        .expect("simulation completes");
+    let cycles = inv.result.cycles as f64;
+    let sums_ok = inv
+        .multi
+        .all_stacks()
+        .iter()
+        .all(|s| (s.total_cycles() - cycles).abs() < 1e-6)
+        && (inv.flops.total_cycles() - cycles).abs() < 1e-6;
+    c.check(
+        "invariant: every stack (fetch/dispatch/issue/commit/FLOPS) sums to the cycle count",
+        sums_ok,
+        format!("{cycles} cycles"),
+    );
+
+    println!(
+        "\n{}/{} claims hold",
+        c.checks - c.failures,
+        c.checks
+    );
+    if c.failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

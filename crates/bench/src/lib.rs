@@ -1,0 +1,89 @@
+//! Experiment harness shared by the table/figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! ISPASS 2018 paper (see `DESIGN.md` for the index). This library holds
+//! the common machinery: run a workload on a core configuration under a
+//! set of idealization flags, and compute CPI deltas between runs.
+
+use mstacks_core::{SimReport, Simulation};
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_workloads::Workload;
+
+/// Default detailed-simulation length in micro-ops.
+///
+/// The paper simulates 1 B instructions after a 10 B fast-forward; we scale
+/// to 1 M micro-ops per run so the ~200-simulation sweeps stay tractable.
+/// Override with the `MSTACKS_UOPS` environment variable.
+pub const DEFAULT_UOPS: u64 = 1_000_000;
+
+/// Detailed-simulation length: `MSTACKS_UOPS` env var or [`DEFAULT_UOPS`].
+pub fn sim_uops() -> u64 {
+    std::env::var("MSTACKS_UOPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_UOPS)
+}
+
+/// Runs `workload` for `uops` micro-ops on `cfg` under `ideal`.
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks (a simulator bug, not a user error).
+pub fn run(workload: &Workload, cfg: &CoreConfig, ideal: IdealFlags, uops: u64) -> SimReport {
+    Simulation::new(cfg.clone())
+        .with_ideal(ideal)
+        .run(workload.trace(uops))
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name))
+}
+
+/// Baseline CPI minus idealized CPI: the measured benefit of removing a
+/// stall source (positive = idealization helped).
+pub fn delta_cpi(base: &SimReport, idealized: &SimReport) -> f64 {
+    base.cpi() - idealized.cpi()
+}
+
+/// The four single-structure idealizations of the paper's Fig. 2 study,
+/// with the component each one validates.
+pub fn single_idealizations() -> [(mstacks_core::Component, IdealFlags); 4] {
+    use mstacks_core::Component;
+    [
+        (
+            Component::Icache,
+            IdealFlags::none().with_perfect_icache(),
+        ),
+        (
+            Component::Dcache,
+            IdealFlags::none().with_perfect_dcache(),
+        ),
+        (Component::Bpred, IdealFlags::none().with_perfect_bpred()),
+        (
+            Component::AluLat,
+            IdealFlags::none().with_single_cycle_alu(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_workloads::spec;
+
+    #[test]
+    fn run_and_delta() {
+        let w = spec::exchange2();
+        let cfg = CoreConfig::broadwell();
+        let base = run(&w, &cfg, IdealFlags::none(), 60_000);
+        let ideal = run(&w, &cfg, IdealFlags::none().with_perfect_bpred(), 60_000);
+        assert!(base.result.committed_uops >= 60_000);
+        // Perfect branch prediction helps on balance (tiny second-order
+        // regressions from changed fetch interleaving are tolerated).
+        assert!(delta_cpi(&base, &ideal) >= -0.1);
+    }
+
+    #[test]
+    fn idealization_list_is_complete() {
+        let l = single_idealizations();
+        assert_eq!(l.len(), 4);
+        assert!(l.iter().all(|(_, i)| !i.is_baseline()));
+    }
+}

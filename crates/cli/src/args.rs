@@ -1,0 +1,210 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use mstacks_core::BadSpecMode;
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_workloads::{spec, Workload};
+
+/// A user-facing CLI error.
+#[derive(Debug)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    pub fn new(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed common options plus positional workload names.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub positional: Vec<String>,
+    pub core: CoreConfig,
+    pub uops: u64,
+    pub ideal: IdealFlags,
+    pub badspec: BadSpecMode,
+    pub json: bool,
+}
+
+impl Options {
+    /// Parses `argv`, expecting at least `min_positional` workload names.
+    pub fn parse(argv: &[String], min_positional: usize) -> Result<Options, CliError> {
+        let mut positional = Vec::new();
+        let mut core = CoreConfig::broadwell();
+        let mut uops = 300_000u64;
+        let mut ideal = IdealFlags::none();
+        let mut badspec = BadSpecMode::GroundTruth;
+        let mut json = false;
+
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--core" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::new("--core needs a value"))?;
+                    core = parse_core(v)?;
+                }
+                "--uops" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::new("--uops needs a value"))?;
+                    uops = v
+                        .parse()
+                        .map_err(|_| CliError::new(format!("bad --uops value `{v}`")))?;
+                }
+                "--ideal" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::new("--ideal needs a value"))?;
+                    ideal = parse_ideal(v)?;
+                }
+                "--badspec" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::new("--badspec needs a value"))?;
+                    badspec = parse_badspec(v)?;
+                }
+                "--json" => json = true,
+                flag if flag.starts_with("--") => {
+                    return Err(CliError::new(format!("unknown flag `{flag}`")));
+                }
+                w => positional.push(w.to_string()),
+            }
+        }
+        if positional.len() < min_positional {
+            return Err(CliError::new(format!(
+                "expected {min_positional} workload name(s); run `mstacks list`"
+            )));
+        }
+        if uops == 0 {
+            return Err(CliError::new("--uops must be positive"));
+        }
+        Ok(Options {
+            positional,
+            core,
+            uops,
+            ideal,
+            badspec,
+            json,
+        })
+    }
+
+    /// Resolves positional workload `i` by name.
+    pub fn workload(&self, i: usize) -> Result<Workload, CliError> {
+        let name = &self.positional[i];
+        spec::by_name(name)
+            .ok_or_else(|| CliError::new(format!("unknown workload `{name}`; run `mstacks list`")))
+    }
+}
+
+pub fn parse_core(v: &str) -> Result<CoreConfig, CliError> {
+    match v {
+        "bdw" => Ok(CoreConfig::broadwell()),
+        "knl" => Ok(CoreConfig::knights_landing()),
+        "skx" => Ok(CoreConfig::skylake_server()),
+        other => Err(CliError::new(format!(
+            "unknown core `{other}` (use bdw, knl or skx)"
+        ))),
+    }
+}
+
+fn parse_ideal(v: &str) -> Result<IdealFlags, CliError> {
+    let mut f = IdealFlags::none();
+    for part in v.split(',').filter(|p| !p.is_empty()) {
+        f = match part {
+            "icache" => f.with_perfect_icache(),
+            "dcache" => f.with_perfect_dcache(),
+            "bpred" => f.with_perfect_bpred(),
+            "alu" => f.with_single_cycle_alu(),
+            other => {
+                return Err(CliError::new(format!(
+                    "unknown ideal flag `{other}` (use icache, dcache, bpred, alu)"
+                )))
+            }
+        };
+    }
+    Ok(f)
+}
+
+fn parse_badspec(v: &str) -> Result<BadSpecMode, CliError> {
+    match v {
+        "ground-truth" => Ok(BadSpecMode::GroundTruth),
+        "simple" => Ok(BadSpecMode::SimpleRetireSlots),
+        "speculative" => Ok(BadSpecMode::SpeculativeCounters),
+        other => Err(CliError::new(format!(
+            "unknown badspec mode `{other}` (use ground-truth, simple, speculative)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(&s(&["mcf"]), 1).unwrap();
+        assert_eq!(o.positional, vec!["mcf"]);
+        assert_eq!(o.core.name, "bdw");
+        assert_eq!(o.uops, 300_000);
+        assert!(o.ideal.is_baseline());
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn all_flags() {
+        let o = Options::parse(
+            &s(&["mcf", "--core", "knl", "--uops", "5000", "--ideal", "dcache,bpred",
+                 "--badspec", "simple", "--json"]),
+            1,
+        )
+        .unwrap();
+        assert_eq!(o.core.name, "knl");
+        assert_eq!(o.uops, 5_000);
+        assert!(o.ideal.perfect_dcache && o.ideal.perfect_bpred);
+        assert!(!o.ideal.perfect_icache);
+        assert_eq!(o.badspec, mstacks_core::BadSpecMode::SimpleRetireSlots);
+        assert!(o.json);
+    }
+
+    #[test]
+    fn missing_positional_fails() {
+        assert!(Options::parse(&s(&["--core", "bdw"]), 1).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_fails() {
+        assert!(Options::parse(&s(&["mcf", "--bogus"]), 1).is_err());
+    }
+
+    #[test]
+    fn bad_values_fail() {
+        assert!(Options::parse(&s(&["mcf", "--core", "p4"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--uops", "abc"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--uops", "0"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--ideal", "magic"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--badspec", "oracle"]), 1).is_err());
+    }
+
+    #[test]
+    fn unknown_workload_resolution_fails() {
+        let o = Options::parse(&s(&["not-a-workload"]), 1).unwrap();
+        assert!(o.workload(0).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal hand-rolled JSON emission (keeps the CLI dependency-free).
+//!
+//! Only what the tool needs: objects, arrays, strings without exotic
+//! escapes, and finite numbers.
+
+use mstacks_core::{SimReport, SmtReport, COMPONENTS, FLOPS_COMPONENTS};
+
+/// Escapes a string for JSON (the names here are all ASCII identifiers,
+/// but be safe).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cpi_stack_json(s: &mstacks_core::CpiStack) -> String {
+    let comps: Vec<String> = COMPONENTS
+        .iter()
+        .map(|&c| format!("\"{}\":{}", c.label(), num(s.cpi_of(c))))
+        .collect();
+    format!(
+        "{{\"stage\":\"{}\",\"cpi\":{},\"components\":{{{}}}}}",
+        s.stage,
+        num(s.total_cpi()),
+        comps.join(",")
+    )
+}
+
+fn flops_stack_json(s: &mstacks_core::FlopsStack) -> String {
+    let n = s.normalized();
+    let comps: Vec<String> = FLOPS_COMPONENTS
+        .iter()
+        .map(|&c| format!("\"{}\":{}", c.label(), num(n[c.index()])))
+        .collect();
+    format!(
+        "{{\"flops_per_cycle\":{},\"peak_per_cycle\":{},\"normalized\":{{{}}}}}",
+        num(s.achieved_flops_per_cycle()),
+        s.peak_flops_per_cycle,
+        comps.join(",")
+    )
+}
+
+/// Serializes a [`SimReport`].
+pub fn sim_report(r: &SimReport) -> String {
+    let mut stacks: Vec<String> = r.multi.stacks().iter().map(|s| cpi_stack_json(s)).collect();
+    if let Some(f) = &r.multi.fetch {
+        stacks.insert(0, cpi_stack_json(f));
+    }
+    format!(
+        "{{\"config\":\"{}\",\"ideal\":\"{}\",\"cycles\":{},\"uops\":{},\"cpi\":{},\"stacks\":[{}],\"flops\":{}}}",
+        esc(&r.config_name),
+        r.ideal,
+        r.result.cycles,
+        r.result.committed_uops,
+        num(r.cpi()),
+        stacks.join(","),
+        flops_stack_json(&r.flops),
+    )
+}
+
+/// Serializes the FLOPS view of a report (with GFLOPS at `freq_ghz`).
+pub fn flops_report(r: &SimReport, freq_ghz: f64) -> String {
+    format!(
+        "{{\"config\":\"{}\",\"gflops\":{},\"peak_gflops\":{},\"stack\":{}}}",
+        esc(&r.config_name),
+        num(r.flops.achieved_gflops(freq_ghz)),
+        num(freq_ghz * f64::from(r.flops.peak_flops_per_cycle)),
+        flops_stack_json(&r.flops),
+    )
+}
+
+/// Serializes an [`SmtReport`].
+pub fn smt_report(r: &SmtReport) -> String {
+    let threads: Vec<String> = r
+        .threads
+        .iter()
+        .map(|t| {
+            let stacks: Vec<String> =
+                t.multi.stacks().iter().map(|s| cpi_stack_json(s)).collect();
+            format!(
+                "{{\"cycles\":{},\"uops\":{},\"cpi\":{},\"stacks\":[{}]}}",
+                t.result.cycles,
+                t.result.committed_uops,
+                num(t.cpi()),
+                stacks.join(",")
+            )
+        })
+        .collect();
+    format!("{{\"threads\":[{}]}}", threads.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(num(1.5), "1.500000");
+        assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn sim_report_shape() {
+        use mstacks_core::Simulation;
+        use mstacks_model::{AluClass, ArchReg, CoreConfig, MicroOp, UopKind};
+        let trace = (0..500u64).map(|i| {
+            MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                .with_dst(ArchReg::new((i % 4) as u16))
+        });
+        let r = Simulation::new(CoreConfig::broadwell())
+            .run(trace)
+            .expect("runs");
+        let j = sim_report(&r);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"config\":\"bdw\""));
+        assert!(j.contains("\"stage\":\"dispatch\""));
+        assert!(j.contains("\"stage\":\"fetch\""));
+        assert!(j.contains("\"flops\""));
+        // Balanced braces as a cheap well-formedness proxy.
+        let open = j.matches('{').count();
+        let close = j.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,151 @@
+//! `mstacks` — command-line interface to the multi-stage CPI / FLOPS
+//! stack simulator.
+//!
+//! ```text
+//! mstacks list                                 all built-in workloads/cores
+//! mstacks simulate <workload> [options]        run + print all stacks
+//! mstacks bounds   <workload> [options]        bound table + verification
+//! mstacks flops    <workload> [options]        FLOPS stack (HPC view)
+//! mstacks smt      <w0> <w1> [options]         2-way SMT per-thread stacks
+//! mstacks compare  <workload> [options]        one workload across all cores
+//! mstacks trace    <workload> [options]        dump the micro-op stream head
+//!
+//! options:
+//!   --core bdw|knl|skx      core preset (default bdw)
+//!   --uops N                micro-ops to simulate (default 300000)
+//!   --ideal FLAGS           comma list: icache,dcache,bpred,alu
+//!   --badspec MODE          ground-truth|simple|speculative
+//!   --json                  machine-readable output
+//! ```
+
+mod args;
+mod json;
+mod output;
+
+use args::{CliError, Options};
+use mstacks_core::{SmtSimulation, Simulation};
+use mstacks_workloads::spec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `mstacks help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), CliError> {
+    let Some(cmd) = argv.first() else {
+        print_help();
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "list" => {
+            println!("workloads:");
+            for w in spec::all() {
+                println!("  {}", w.name());
+            }
+            println!("cores: bdw, knl, skx");
+            Ok(())
+        }
+        "simulate" => {
+            let opts = Options::parse(&argv[1..], 1)?;
+            let w = opts.workload(0)?;
+            let report = Simulation::new(opts.core.clone())
+                .with_ideal(opts.ideal)
+                .with_badspec(opts.badspec)
+                .run(w.trace(opts.uops))
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            if opts.json {
+                println!("{}", json::sim_report(&report));
+            } else {
+                output::print_simulate(&w, &opts, &report);
+            }
+            Ok(())
+        }
+        "bounds" => {
+            let opts = Options::parse(&argv[1..], 1)?;
+            let w = opts.workload(0)?;
+            output::print_bounds(&w, &opts)
+        }
+        "flops" => {
+            let opts = Options::parse(&argv[1..], 1)?;
+            let w = opts.workload(0)?;
+            let report = Simulation::new(opts.core.clone())
+                .with_ideal(opts.ideal)
+                .run(w.trace(opts.uops))
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            if opts.json {
+                println!("{}", json::flops_report(&report, opts.core.freq_ghz));
+            } else {
+                output::print_flops(&w, &opts, &report);
+            }
+            Ok(())
+        }
+        "trace" => {
+            let opts = Options::parse(&argv[1..], 1)?;
+            let w = opts.workload(0)?;
+            let n = opts.uops.min(200);
+            println!("first {n} micro-ops of {}:", w.name());
+            for (i, u) in w.trace(n).enumerate() {
+                let srcs: Vec<String> = u.srcs().map(|r| r.to_string()).collect();
+                println!(
+                    "{i:>5}  pc={:#x}  {:<38} srcs=[{}] dst={}{}",
+                    u.pc,
+                    format!("{:?}", u.kind),
+                    srcs.join(","),
+                    u.dst.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+                    if u.microcoded { "  [ucode]" } else { "" },
+                );
+            }
+            Ok(())
+        }
+        "compare" => {
+            let opts = Options::parse(&argv[1..], 1)?;
+            let w = opts.workload(0)?;
+            output::print_compare(&w, &opts)
+        }
+        "smt" => {
+            let opts = Options::parse(&argv[1..], 2)?;
+            let w0 = opts.workload(0)?;
+            let w1 = opts.workload(1)?;
+            let report = SmtSimulation::new(opts.core.clone())
+                .with_ideal(opts.ideal)
+                .run(vec![w0.trace(opts.uops), w1.trace(opts.uops)])
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            if opts.json {
+                println!("{}", json::smt_report(&report));
+            } else {
+                output::print_smt(&[w0.name(), w1.name()], &report);
+            }
+            Ok(())
+        }
+        other => Err(CliError::new(format!("unknown command `{other}`"))),
+    }
+}
+
+fn print_help() {
+    println!(
+        "mstacks — multi-stage CPI stacks and FLOPS stacks (ISPASS 2018)\n\n\
+         usage:\n\
+         \x20 mstacks list\n\
+         \x20 mstacks simulate <workload> [--core C] [--uops N] [--ideal F] [--badspec M] [--json]\n\
+         \x20 mstacks bounds   <workload> [--core C] [--uops N] [--json]\n\
+         \x20 mstacks flops    <workload> [--core C] [--uops N] [--json]\n\
+         \x20 mstacks smt      <w0> <w1>  [--core C] [--uops N] [--json]\n\
+         \x20 mstacks compare  <workload> [--uops N]\n\
+         \x20 mstacks trace    <workload> [--uops N]\n\n\
+         cores: bdw (Broadwell), knl (Knights Landing), skx (Skylake-SP)\n\
+         ideal flags (comma list): icache, dcache, bpred, alu\n\
+         badspec modes: ground-truth (default), simple, speculative"
+    );
+}

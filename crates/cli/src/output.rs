@@ -1,0 +1,158 @@
+//! Human-readable output for the CLI subcommands.
+
+use crate::args::{CliError, Options};
+use mstacks_core::{Component, SimReport, Simulation, SmtReport};
+use mstacks_model::IdealFlags;
+use mstacks_stats::render::cpi_stack_lines;
+use mstacks_stats::render::flops_stack_lines;
+use mstacks_stats::TextTable;
+use mstacks_workloads::Workload;
+
+/// `mstacks simulate` text output.
+pub fn print_simulate(w: &Workload, opts: &Options, r: &SimReport) {
+    println!(
+        "{} on {} [{}] — {} uops, {} cycles, CPI {:.3} (IPC {:.2})\n",
+        w.name(),
+        opts.core.name,
+        r.ideal,
+        r.result.committed_uops,
+        r.result.cycles,
+        r.cpi(),
+        r.result.ipc(),
+    );
+    for s in r.multi.all_stacks() {
+        println!("{}", cpi_stack_lines(s, 40));
+    }
+    println!(
+        "memory: L1I {:.1}% / L1D {:.1}% / L2 {:.1}% miss; {} DRAM lines; {} dTLB walks",
+        r.result.mem.l1i.miss_ratio() * 100.0,
+        r.result.mem.l1d.miss_ratio() * 100.0,
+        r.result.mem.l2.miss_ratio() * 100.0,
+        r.result.mem.dram_accesses,
+        r.result.mem.dtlb_misses,
+    );
+    println!(
+        "branches: {} mispredicts ({:.1} MPKI); {} squashed micro-ops",
+        r.result.frontend.mispredicts,
+        r.result.frontend.mispredicts as f64 / (r.result.committed_uops as f64 / 1000.0),
+        r.result.stats.squashed_uops,
+    );
+}
+
+/// `mstacks bounds` text output: bound table plus live verification.
+pub fn print_bounds(w: &Workload, opts: &Options) -> Result<(), CliError> {
+    let base = Simulation::new(opts.core.clone())
+        .run(w.trace(opts.uops))
+        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+    println!(
+        "{} on {}: CPI {:.3}; multi-stage recovery bounds:\n",
+        w.name(),
+        opts.core.name,
+        base.cpi()
+    );
+    let mut t = TextTable::new(vec![
+        "component".into(),
+        "bounds [lo, hi]".into(),
+        "verified dCPI".into(),
+        "verdict".into(),
+    ]);
+    let checks: [(Component, IdealFlags); 4] = [
+        (Component::Icache, IdealFlags::none().with_perfect_icache()),
+        (Component::Bpred, IdealFlags::none().with_perfect_bpred()),
+        (Component::Dcache, IdealFlags::none().with_perfect_dcache()),
+        (Component::AluLat, IdealFlags::none().with_single_cycle_alu()),
+    ];
+    for (c, ideal) in checks {
+        let (lo, hi) = base.multi.bounds(c);
+        if hi < 0.005 {
+            continue;
+        }
+        let r = Simulation::new(opts.core.clone())
+            .with_ideal(ideal)
+            .run(w.trace(opts.uops))
+            .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+        let actual = base.cpi() - r.cpi();
+        t.row(vec![
+            c.label().into(),
+            format!("[{lo:.3}, {hi:.3}]"),
+            format!("{actual:+.3}"),
+            if base.multi.contains(c, actual) {
+                "within".into()
+            } else {
+                "outside (second-order)".into()
+            },
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+/// `mstacks flops` text output.
+pub fn print_flops(w: &Workload, opts: &Options, r: &SimReport) {
+    let f = opts.core.freq_ghz;
+    println!(
+        "{} on {}: {:.1} / {:.1} GFLOPS at {:.1} GHz (IPC {:.2} of {})\n",
+        w.name(),
+        opts.core.name,
+        r.gflops(f),
+        opts.core.peak_gflops(),
+        f,
+        r.result.ipc(),
+        opts.core.accounting_width(),
+    );
+    print!("{}", flops_stack_lines(&r.flops, f, 40));
+}
+
+/// `mstacks compare` text output: one workload across all core presets.
+pub fn print_compare(w: &Workload, opts: &Options) -> Result<(), CliError> {
+    use mstacks_model::CoreConfig;
+    let mut t = TextTable::new(vec![
+        "core".into(),
+        "CPI".into(),
+        "IPC".into(),
+        "icache".into(),
+        "bpred".into(),
+        "dcache".into(),
+        "alu_lat".into(),
+        "depend".into(),
+        "GFLOPS".into(),
+    ]);
+    for cfg in [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ] {
+        let r = Simulation::new(cfg.clone())
+            .run(w.trace(opts.uops))
+            .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+        let c = &r.multi.commit;
+        t.row(vec![
+            cfg.name.clone(),
+            format!("{:.3}", r.cpi()),
+            format!("{:.2}", r.result.ipc()),
+            format!("{:.3}", c.cpi_of(Component::Icache)),
+            format!("{:.3}", c.cpi_of(Component::Bpred)),
+            format!("{:.3}", c.cpi_of(Component::Dcache)),
+            format!("{:.3}", c.cpi_of(Component::AluLat)),
+            format!("{:.3}", c.cpi_of(Component::Depend)),
+            format!("{:.1}", r.gflops(cfg.freq_ghz)),
+        ]);
+    }
+    println!("{} across the core presets ({} uops, commit-stage components):\n", w.name(), opts.uops);
+    println!("{t}");
+    Ok(())
+}
+
+/// `mstacks smt` text output.
+pub fn print_smt(names: &[String], r: &SmtReport) {
+    for (tid, t) in r.threads.iter().enumerate() {
+        println!(
+            "thread {tid} ({}): CPI {:.3} over {} cycles",
+            names.get(tid).map(String::as_str).unwrap_or("?"),
+            t.cpi(),
+            t.result.cycles
+        );
+        print!("{}", cpi_stack_lines(&t.multi.commit, 40));
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Wrong-path / correct-path discrimination modes (paper §III-B).
+//!
+//! The dispatch and issue stages process wrong-path micro-ops; the
+//! accounting must not count them as useful work. The paper discusses
+//! three schemes, all implemented here:
+//!
+//! * [`BadSpecMode::GroundTruth`] — the functional-first simulator knows
+//!   which micro-ops are wrong-path, so `n` counts correct-path slots only
+//!   and wrong-path slots accrue to the branch component directly. This is
+//!   the reference scheme.
+//! * [`BadSpecMode::SimpleRetireSlots`] — hardware-friendly: treat all
+//!   micro-ops as correct-path while counting, then subtract at the end:
+//!   the dispatch/issue base surplus over the commit base (which is exact,
+//!   since wrong-path micro-ops never commit) moves to the branch
+//!   component. This is Yasin's bad-speculation-slots approach [17].
+//! * [`BadSpecMode::SpeculativeCounters`] — per-speculation-window
+//!   counters: increments accumulate in a speculative buffer that is
+//!   merged into the global counters when a branch commits (proving the
+//!   window correct-path) and re-attributed to the branch component when a
+//!   squash proves it wrong-path. This mirrors the counter architecture of
+//!   Eyerman et al. [8] at basic-block granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BadSpecMode {
+    /// Use the simulator's exact wrong-path knowledge (default).
+    #[default]
+    GroundTruth,
+    /// Count all slots, correct the base component against commit at the
+    /// end (hardware-simple scheme).
+    SimpleRetireSlots,
+    /// Buffer increments speculatively; commit merges, squash re-blames.
+    SpeculativeCounters,
+}
+
+impl std::fmt::Display for BadSpecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BadSpecMode::GroundTruth => write!(f, "ground-truth"),
+            BadSpecMode::SimpleRetireSlots => write!(f, "simple-retire-slots"),
+            BadSpecMode::SpeculativeCounters => write!(f, "speculative-counters"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ground_truth() {
+        assert_eq!(BadSpecMode::default(), BadSpecMode::GroundTruth);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BadSpecMode::GroundTruth.to_string(), "ground-truth");
+        assert_eq!(
+            BadSpecMode::SimpleRetireSlots.to_string(),
+            "simple-retire-slots"
+        );
+        assert_eq!(
+            BadSpecMode::SpeculativeCounters.to_string(),
+            "speculative-counters"
+        );
+    }
+}

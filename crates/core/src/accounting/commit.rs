@@ -1,0 +1,208 @@
+//! Commit-stage CPI accounting (paper Table II, commit column — the IBM
+//! POWER style [14]).
+//!
+//! ```text
+//! f = n / W;  base += f
+//! if f < 1:
+//!     if ROB empty:              Icache / bpred / microcode per frontend state
+//!     elif ROB head not done:    blame the head (Dcache / ALU_lat / depend)
+//! ```
+//!
+//! The commit stack only charges a frontend miss once the ROB has fully
+//! drained, and charges a backend miss as soon as the unfinished
+//! instruction reaches the head — the mirror image of the dispatch stack
+//! (paper §III-A).
+
+use crate::accounting::counter::ComponentCounter;
+use crate::accounting::width::WidthNormalizer;
+use crate::accounting::{blame_component, blame_level, fe_component, BadSpecMode};
+use crate::component::{Component, Stage};
+use crate::stack::CpiStack;
+use mstacks_pipeline::{CommitView, StageObserver};
+
+/// Accumulates the commit-stage CPI stack.
+///
+/// Wrong-path micro-ops never commit, so commit accounting is identical in
+/// every [`BadSpecMode`]; the mode is accepted for interface symmetry and
+/// its base count serves as the reference for the simple retire-slot
+/// correction.
+#[derive(Debug, Clone)]
+pub struct CommitAccountant {
+    counter: ComponentCounter,
+    norm: WidthNormalizer,
+}
+
+impl CommitAccountant {
+    /// Creates an accountant against accounting width `w`.
+    pub fn new(w: u32) -> Self {
+        CommitAccountant {
+            counter: ComponentCounter::new(BadSpecMode::GroundTruth),
+            norm: WidthNormalizer::new(w),
+        }
+    }
+
+    /// Base cycle count so far (the reference for
+    /// [`BadSpecMode::SimpleRetireSlots`]).
+    pub fn base_cycles(&self) -> f64 {
+        // The commit counter never buffers (ground-truth mode), so the
+        // final base equals the running base plus the residual.
+        self.clone()
+            .finish(1)
+            .cycles_of(crate::component::Component::Base)
+    }
+
+    /// Finalizes into a [`CpiStack`].
+    pub fn finish(self, uops: u64) -> CpiStack {
+        let cycles = self.counter.cycles();
+        let residual = self.norm.residual();
+        let levels = self.counter.mem_levels();
+        let counts = self.counter.finish(residual, None);
+        CpiStack::from_counts_with_levels(Stage::Commit, counts, levels, cycles, uops)
+    }
+}
+
+impl StageObserver for CommitAccountant {
+    fn on_commit(&mut self, _cycle: u64, v: &CommitView) {
+        self.counter.begin_cycle();
+        let f = self.norm.fraction(v.n);
+        self.counter.add(Component::Base, f);
+        if f >= 1.0 {
+            return;
+        }
+        let rem = 1.0 - f;
+        if v.smt_blocked {
+            self.counter.add(Component::Smt, rem);
+            return;
+        }
+        if !v.rob_empty {
+            if let Some(b) = v.head_blame {
+                match blame_level(b) {
+                    Some(level) => self.counter.add_dcache(level, rem),
+                    None => self.counter.add(blame_component(b), rem),
+                }
+                return;
+            }
+        }
+        let comp = if v.rob_empty {
+            match v.fe_stall {
+                Some(s) => fe_component(s),
+                None => Component::Other, // warmup / drain
+            }
+        } else {
+            // Head done but width under-used (end of trace burst).
+            Component::Other
+        };
+        self.counter.add(comp, rem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::FrontendStall;
+    use mstacks_pipeline::Blame;
+
+    fn view() -> CommitView {
+        CommitView {
+            n: 0,
+            rob_empty: false,
+            smt_blocked: false,
+            fe_stall: None,
+            head_blame: None,
+        }
+    }
+
+    #[test]
+    fn rob_empty_blames_frontend() {
+        let mut a = CommitAccountant::new(4);
+        a.on_commit(
+            0,
+            &CommitView {
+                rob_empty: true,
+                fe_stall: Some(FrontendStall::Icache),
+                ..view()
+            },
+        );
+        let s = a.finish(1);
+        assert_eq!(s.cycles_of(Component::Icache), 1.0);
+    }
+
+    #[test]
+    fn unfinished_head_blames_backend() {
+        let mut a = CommitAccountant::new(4);
+        a.on_commit(
+            0,
+            &CommitView {
+                n: 2,
+                head_blame: Some(Blame::Dcache(mstacks_mem::HitLevel::Mem)),
+                ..view()
+            },
+        );
+        let s = a.finish(2);
+        assert!((s.cycles_of(Component::Base) - 0.5).abs() < 1e-12);
+        assert!((s.cycles_of(Component::Dcache) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rob_empty_without_fe_cause_is_other() {
+        let mut a = CommitAccountant::new(4);
+        a.on_commit(
+            0,
+            &CommitView {
+                rob_empty: true,
+                ..view()
+            },
+        );
+        let s = a.finish(1);
+        assert_eq!(s.cycles_of(Component::Other), 1.0);
+    }
+
+    #[test]
+    fn base_cycles_snapshot_matches_finish() {
+        let mut a = CommitAccountant::new(4);
+        for _ in 0..5 {
+            a.on_commit(
+                0,
+                &CommitView {
+                    n: 3,
+                    head_blame: Some(Blame::Depend),
+                    ..view()
+                },
+            );
+        }
+        let snap = a.base_cycles();
+        let s = a.finish(15);
+        assert!((snap - s.cycles_of(Component::Base)).abs() < 1e-12);
+        assert!((snap - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_sums_to_cycles() {
+        let mut a = CommitAccountant::new(2);
+        a.on_commit(
+            0,
+            &CommitView {
+                n: 2,
+                ..view()
+            },
+        );
+        a.on_commit(
+            1,
+            &CommitView {
+                rob_empty: true,
+                fe_stall: Some(FrontendStall::Bpred),
+                ..view()
+            },
+        );
+        a.on_commit(
+            2,
+            &CommitView {
+                n: 1,
+                head_blame: Some(Blame::LongLat),
+                ..view()
+            },
+        );
+        let s = a.finish(3);
+        assert!((s.total_cycles() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! Shared component-counter state for the three CPI accountants.
+
+use crate::accounting::BadSpecMode;
+use crate::component::{Component, COMPONENTS};
+use mstacks_mem::HitLevel;
+use std::collections::VecDeque;
+
+/// Component counters with bad-speculation handling.
+///
+/// In [`BadSpecMode::SpeculativeCounters`] increments accrue to
+/// per-basic-block *windows* (one opens whenever a branch dispatches — the
+/// CPI counter architecture of Eyerman et al. [8] at basic-block
+/// granularity, paper §III-B). When a branch commits, the oldest window is
+/// proven correct-path and merges into the global counters; when a squash
+/// flushes `k` branches, the `k` youngest windows were pure wrong path and
+/// re-blame to the branch component, as does the (reset) window of the
+/// mispredicted branch itself, whose cycles were spent fetching the wrong
+/// path. Other modes write the global counters directly.
+#[derive(Debug, Clone)]
+pub(crate) struct ComponentCounter {
+    counts: [f64; COMPONENTS.len()],
+    /// Open speculative windows, oldest first (SpeculativeCounters only).
+    windows: VecDeque<[f64; COMPONENTS.len()]>,
+    /// Per-memory-level split of the Dcache component (L2 / L3 / DRAM) —
+    /// kept outside the speculative buffers (a wrong-path re-attribution
+    /// moves whole cycles to Bpred; the level split only describes the
+    /// surviving Dcache cycles).
+    mem_levels: [f64; 3],
+    mode: BadSpecMode,
+    cycles: u64,
+}
+
+impl ComponentCounter {
+    pub(crate) fn new(mode: BadSpecMode) -> Self {
+        ComponentCounter {
+            counts: [0.0; COMPONENTS.len()],
+            windows: VecDeque::new(),
+            mem_levels: [0.0; 3],
+            mode,
+            cycles: 0,
+        }
+    }
+
+    pub(crate) fn mode(&self) -> BadSpecMode {
+        self.mode
+    }
+
+    pub(crate) fn begin_cycle(&mut self) {
+        self.cycles += 1;
+    }
+
+    pub(crate) fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    pub(crate) fn add(&mut self, c: Component, x: f64) {
+        if self.mode == BadSpecMode::SpeculativeCounters && Self::is_windowed(c) {
+            if let Some(w) = self.windows.back_mut() {
+                w[c.index()] += x;
+                return;
+            }
+        }
+        self.counts[c.index()] += x;
+    }
+
+    /// Which components accrue to the speculative window of the youngest
+    /// in-flight branch. Backend stalls blame the ROB head or a producer —
+    /// both are *older* than any in-flight branch and therefore always
+    /// correct-path, so they write the global counters directly (this
+    /// mirrors Eyerman et al.'s per-instruction counters, where a stall is
+    /// attached to the instruction that caused it). Frontend-side slots and
+    /// stalls belong to the instructions being fetched — exactly what a
+    /// squash proves wrong-path.
+    fn is_windowed(c: Component) -> bool {
+        matches!(
+            c,
+            Component::Base
+                | Component::Icache
+                | Component::Bpred
+                | Component::Microcode
+                | Component::Smt
+                | Component::Other
+        )
+    }
+
+    /// Adds to the Dcache component and records which memory level served
+    /// the blamed access.
+    pub(crate) fn add_dcache(&mut self, level: HitLevel, x: f64) {
+        self.add(Component::Dcache, x);
+        let i = match level {
+            HitLevel::L1 | HitLevel::L2 => 0,
+            HitLevel::L3 => 1,
+            HitLevel::Mem => 2,
+        };
+        self.mem_levels[i] += x;
+    }
+
+    /// A branch dispatched: a new speculative window opens.
+    pub(crate) fn on_branch_dispatch(&mut self) {
+        if self.mode == BadSpecMode::SpeculativeCounters {
+            self.windows.push_back([0.0; COMPONENTS.len()]);
+        }
+    }
+
+    /// A branch committed: the *oldest* window is proven correct-path.
+    pub(crate) fn on_branch_commit(&mut self) {
+        if self.mode == BadSpecMode::SpeculativeCounters {
+            if let Some(w) = self.windows.pop_front() {
+                for (c, v) in self.counts.iter_mut().zip(w.iter()) {
+                    *c += *v;
+                }
+            }
+        }
+    }
+
+    /// A squash flushed `branches` wrong-path branches: exactly their
+    /// windows re-blame to the branch component ("the speculative counters
+    /// of all wrong-path instructions are added to the global branch miss
+    /// counter", §III-B). The mispredicted branch itself is correct-path;
+    /// its window flushes normally when it commits.
+    pub(crate) fn on_squash(&mut self, branches: u64) {
+        if self.mode != BadSpecMode::SpeculativeCounters {
+            return;
+        }
+        let mut reblamed = 0.0;
+        for _ in 0..branches {
+            if let Some(w) = self.windows.pop_back() {
+                reblamed += w.iter().sum::<f64>();
+            }
+        }
+        self.counts[Component::Bpred.index()] += reblamed;
+    }
+
+    /// Per-level Dcache breakdown accumulated so far (L2, L3, DRAM).
+    pub(crate) fn mem_levels(&self) -> [f64; 3] {
+        self.mem_levels
+    }
+
+    /// Finalizes the counters: flushes the speculative buffer, folds the
+    /// width-normalizer residual into the base component, and applies the
+    /// simple retire-slot correction when requested
+    /// (`dispatch/issue base − commit base → Bpred`).
+    pub(crate) fn finish(
+        mut self,
+        residual: f64,
+        simple_commit_base: Option<f64>,
+    ) -> [f64; COMPONENTS.len()] {
+        // Unresolved windows at trace end flush as measured.
+        while let Some(w) = self.windows.pop_front() {
+            for (c, v) in self.counts.iter_mut().zip(w.iter()) {
+                *c += *v;
+            }
+        }
+        self.counts[Component::Base.index()] += residual;
+        if self.mode == BadSpecMode::SimpleRetireSlots {
+            if let Some(commit_base) = simple_commit_base {
+                let extra = self.counts[Component::Base.index()] - commit_base;
+                if extra > 0.0 {
+                    self.counts[Component::Base.index()] = commit_base;
+                    self.counts[Component::Bpred.index()] += extra;
+                }
+            }
+        }
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_writes_directly() {
+        let mut c = ComponentCounter::new(BadSpecMode::GroundTruth);
+        c.add(Component::Dcache, 0.5);
+        let out = c.finish(0.0, None);
+        assert_eq!(out[Component::Dcache.index()], 0.5);
+    }
+
+    #[test]
+    fn speculative_window_merges_on_commit() {
+        let mut c = ComponentCounter::new(BadSpecMode::SpeculativeCounters);
+        c.on_branch_dispatch();
+        c.add(Component::Base, 0.75);
+        c.add(Component::Depend, 0.25);
+        c.on_branch_commit();
+        let out = c.finish(0.0, None);
+        assert_eq!(out[Component::Base.index()], 0.75);
+        assert_eq!(out[Component::Depend.index()], 0.25);
+        assert_eq!(out[Component::Bpred.index()], 0.0);
+    }
+
+    #[test]
+    fn squash_reblames_only_wrong_path_windows() {
+        let mut c = ComponentCounter::new(BadSpecMode::SpeculativeCounters);
+        // Correct-path branch B0, then the mispredicted B1, then a
+        // wrong-path branch B2.
+        c.on_branch_dispatch(); // B0's window
+        c.add(Component::Dcache, 0.5); // backend blame → global, not B0
+        c.on_branch_dispatch(); // B1's window (the mispredict)
+        c.add(Component::Base, 0.3);
+        c.on_branch_dispatch(); // B2 (wrong path)
+        c.add(Component::Base, 0.2);
+        c.add(Component::AluLat, 0.4); // backend blame during wrong path → global
+        // Squash flushes 1 branch (B2): only ITS window re-blames; B1 is
+        // correct-path and keeps its window.
+        c.on_squash(1);
+        // B0 and B1 later commit normally.
+        c.on_branch_commit();
+        c.on_branch_commit();
+        let out = c.finish(0.0, None);
+        assert_eq!(out[Component::Dcache.index()], 0.5); // direct
+        assert_eq!(out[Component::AluLat.index()], 0.4); // direct
+        assert_eq!(out[Component::Bpred.index()], 0.2); // B2's window only
+        assert_eq!(out[Component::Base.index()], 0.3); // B1's window
+    }
+
+    #[test]
+    fn increments_outside_windows_go_direct() {
+        let mut c = ComponentCounter::new(BadSpecMode::SpeculativeCounters);
+        c.add(Component::Icache, 1.0); // no branch in flight
+        let out = c.finish(0.0, None);
+        assert_eq!(out[Component::Icache.index()], 1.0);
+    }
+
+    #[test]
+    fn simple_mode_moves_base_surplus_to_bpred() {
+        let mut c = ComponentCounter::new(BadSpecMode::SimpleRetireSlots);
+        c.add(Component::Base, 10.0); // inflated by wrong-path slots
+        let out = c.finish(0.0, Some(8.0)); // commit saw base 8
+        assert_eq!(out[Component::Base.index()], 8.0);
+        assert_eq!(out[Component::Bpred.index()], 2.0);
+    }
+
+    #[test]
+    fn residual_lands_in_base() {
+        let mut c = ComponentCounter::new(BadSpecMode::GroundTruth);
+        c.add(Component::Base, 1.0);
+        let out = c.finish(0.25, None);
+        assert_eq!(out[Component::Base.index()], 1.25);
+    }
+
+    #[test]
+    fn dcache_levels_split() {
+        let mut c = ComponentCounter::new(BadSpecMode::GroundTruth);
+        c.add_dcache(HitLevel::L2, 0.5);
+        c.add_dcache(HitLevel::Mem, 0.25);
+        assert_eq!(c.mem_levels(), [0.5, 0.0, 0.25]);
+        let out = c.finish(0.0, None);
+        assert!((out[Component::Dcache.index()] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_is_preserved_by_squash() {
+        let mut c = ComponentCounter::new(BadSpecMode::SpeculativeCounters);
+        c.on_branch_dispatch();
+        c.add(Component::Base, 0.4);
+        c.add(Component::Icache, 0.6);
+        c.on_branch_dispatch(); // wrong-path branch window
+        c.add(Component::Base, 0.5);
+        c.on_squash(1);
+        c.add(Component::Base, 0.5);
+        c.on_branch_commit();
+        let out = c.finish(0.0, None);
+        let total: f64 = out.iter().sum();
+        assert!((total - 2.0).abs() < 1e-12);
+    }
+}

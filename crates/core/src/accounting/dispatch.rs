@@ -1,0 +1,300 @@
+//! Dispatch-stage CPI accounting (paper Table II, dispatch column).
+//!
+//! Per cycle, with `n` correct-path micro-ops dispatched against the
+//! minimum width `W`:
+//!
+//! ```text
+//! f = n / W;  base += f
+//! if f < 1:
+//!     if FE empty:            Icache / bpred / microcode per frontend state
+//!     elif ROB or RS full:    blame the ROB head (Dcache / ALU_lat / depend)
+//! ```
+//!
+//! The dispatch stack starts charging a frontend miss as soon as the
+//! frontend stalls, and a backend miss only once the ROB/RS fill up —
+//! which is why it bounds frontend penalties from above and backend
+//! penalties from below (paper §III-A).
+
+use crate::accounting::counter::ComponentCounter;
+use crate::accounting::width::WidthNormalizer;
+use crate::accounting::{blame_component, blame_level, fe_component, BadSpecMode};
+use crate::component::{Component, Stage};
+use crate::stack::CpiStack;
+use mstacks_model::MicroOp;
+use mstacks_pipeline::{DispatchView, StageObserver};
+
+/// Accumulates the dispatch-stage CPI stack.
+///
+/// # Example
+///
+/// Attach to a pipeline run as a [`StageObserver`] (usually via
+/// [`crate::Simulation`], which wires all accountants at once):
+///
+/// ```
+/// use mstacks_core::{BadSpecMode, DispatchAccountant};
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+/// use mstacks_pipeline::Core;
+///
+/// let cfg = CoreConfig::broadwell();
+/// let mut acct = DispatchAccountant::new(cfg.accounting_width(), BadSpecMode::GroundTruth);
+/// let trace = (0..400u64).map(|i| {
+///     MicroOp::new(0x1000 + (i % 8) * 4, UopKind::IntAlu(AluClass::Add))
+///         .with_dst(ArchReg::new((i % 4) as u16))
+/// });
+/// let mut core = Core::new(cfg, IdealFlags::none(), trace);
+/// let result = core.run(&mut acct).expect("runs");
+/// let stack = acct.finish(result.committed_uops, None);
+/// assert!((stack.total_cpi() - result.cpi()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DispatchAccountant {
+    counter: ComponentCounter,
+    norm: WidthNormalizer,
+}
+
+impl DispatchAccountant {
+    /// Creates an accountant against accounting width `w`
+    /// ([`mstacks_model::CoreConfig::accounting_width`]).
+    pub fn new(w: u32, mode: BadSpecMode) -> Self {
+        DispatchAccountant {
+            counter: ComponentCounter::new(mode),
+            norm: WidthNormalizer::new(w),
+        }
+    }
+
+    /// Finalizes into a [`CpiStack`]. `uops` is the committed correct-path
+    /// micro-op count; `commit_base` is the commit stack's base cycle count
+    /// (required by [`BadSpecMode::SimpleRetireSlots`], ignored otherwise).
+    pub fn finish(self, uops: u64, commit_base: Option<f64>) -> CpiStack {
+        let cycles = self.counter.cycles();
+        let residual = self.norm.residual();
+        let levels = self.counter.mem_levels();
+        let counts = self.counter.finish(residual, commit_base);
+        CpiStack::from_counts_with_levels(Stage::Dispatch, counts, levels, cycles, uops)
+    }
+}
+
+impl StageObserver for DispatchAccountant {
+    fn on_dispatch(&mut self, _cycle: u64, v: &DispatchView) {
+        self.counter.begin_cycle();
+        let n = match self.counter.mode() {
+            BadSpecMode::GroundTruth => v.n_correct,
+            _ => v.n_total,
+        };
+        let f = self.norm.fraction(n);
+        self.counter.add(Component::Base, f);
+        if f >= 1.0 {
+            return;
+        }
+        let rem = 1.0 - f;
+        if v.smt_blocked {
+            self.counter.add(Component::Smt, rem);
+            return;
+        }
+        if v.backend_blocked {
+            match v.head_blame {
+                Some(b) => match blame_level(b) {
+                    Some(level) => self.counter.add_dcache(level, rem),
+                    None => self.counter.add(blame_component(b), rem),
+                },
+                None => self.counter.add(Component::Other, rem),
+            }
+            return;
+        }
+        let comp = if let Some(s) = v.fe_stall {
+            fe_component(s)
+        } else if self.counter.mode() == BadSpecMode::GroundTruth && v.n_total > v.n_correct {
+            // Slots eaten by wrong-path micro-ops.
+            Component::Bpred
+        } else {
+            Component::Other
+        };
+        self.counter.add(comp, rem);
+    }
+
+    fn on_dispatch_uop(&mut self, _cycle: u64, uop: &MicroOp) {
+        if uop.kind.is_branch() {
+            self.counter.on_branch_dispatch();
+        }
+    }
+
+    fn on_commit_uop(&mut self, _cycle: u64, uop: &MicroOp) {
+        if uop.kind.is_branch() {
+            self.counter.on_branch_commit();
+        }
+    }
+
+    fn on_squash(&mut self, _cycle: u64, _n: u64, branches: u64) {
+        self.counter.on_squash(branches);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::FrontendStall;
+    use mstacks_pipeline::Blame;
+
+    fn view() -> DispatchView {
+        DispatchView {
+            n_total: 0,
+            n_correct: 0,
+            backend_blocked: false,
+            smt_blocked: false,
+            head_blame: None,
+            fe_stall: None,
+        }
+    }
+
+    fn finish(acct: DispatchAccountant, uops: u64) -> CpiStack {
+        acct.finish(uops, None)
+    }
+
+    #[test]
+    fn full_width_is_all_base() {
+        let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+        for _ in 0..10 {
+            a.on_dispatch(
+                0,
+                &DispatchView {
+                    n_total: 4,
+                    n_correct: 4,
+                    ..view()
+                },
+            );
+        }
+        let s = finish(a, 40);
+        assert!((s.cycles_of(Component::Base) - 10.0).abs() < 1e-12);
+        assert!((s.total_cpi() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontend_stall_splits_by_cause() {
+        let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_dispatch(
+            0,
+            &DispatchView {
+                fe_stall: Some(FrontendStall::Icache),
+                ..view()
+            },
+        );
+        a.on_dispatch(
+            1,
+            &DispatchView {
+                fe_stall: Some(FrontendStall::Bpred),
+                ..view()
+            },
+        );
+        a.on_dispatch(
+            2,
+            &DispatchView {
+                fe_stall: Some(FrontendStall::Microcode),
+                ..view()
+            },
+        );
+        let s = finish(a, 1);
+        assert_eq!(s.cycles_of(Component::Icache), 1.0);
+        assert_eq!(s.cycles_of(Component::Bpred), 1.0);
+        assert_eq!(s.cycles_of(Component::Microcode), 1.0);
+    }
+
+    #[test]
+    fn backend_block_blames_rob_head() {
+        let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_dispatch(
+            0,
+            &DispatchView {
+                n_total: 1,
+                n_correct: 1,
+                backend_blocked: true,
+                smt_blocked: false,
+                head_blame: Some(Blame::Dcache(mstacks_mem::HitLevel::Mem)),
+                fe_stall: None,
+            },
+        );
+        let s = finish(a, 1);
+        assert!((s.cycles_of(Component::Base) - 0.25).abs() < 1e-12);
+        assert!((s.cycles_of(Component::Dcache) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_priority_over_frontend() {
+        // When dispatch is structurally blocked, the head is blamed even if
+        // the frontend also happens to be stalled.
+        let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_dispatch(
+            0,
+            &DispatchView {
+                backend_blocked: true,
+                head_blame: Some(Blame::LongLat),
+                fe_stall: Some(FrontendStall::Icache),
+                ..view()
+            },
+        );
+        let s = finish(a, 1);
+        assert_eq!(s.cycles_of(Component::AluLat), 1.0);
+        assert_eq!(s.cycles_of(Component::Icache), 0.0);
+    }
+
+    #[test]
+    fn wrong_path_slots_blamed_on_bpred_in_ground_truth() {
+        let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_dispatch(
+            0,
+            &DispatchView {
+                n_total: 4,
+                n_correct: 1,
+                ..view()
+            },
+        );
+        let s = finish(a, 1);
+        assert!((s.cycles_of(Component::Base) - 0.25).abs() < 1e-12);
+        assert!((s.cycles_of(Component::Bpred) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_mode_counts_all_slots_then_corrects() {
+        let mut a = DispatchAccountant::new(4, BadSpecMode::SimpleRetireSlots);
+        // 4 slots used, only 1 correct-path.
+        a.on_dispatch(
+            0,
+            &DispatchView {
+                n_total: 4,
+                n_correct: 1,
+                ..view()
+            },
+        );
+        // Without correction the base would be 1.0; commit saw 0.25.
+        let s = a.finish(1, Some(0.25));
+        assert!((s.cycles_of(Component::Base) - 0.25).abs() < 1e-12);
+        assert!((s.cycles_of(Component::Bpred) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_sums_to_cycles() {
+        let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+        let views = [
+            DispatchView {
+                n_total: 4,
+                n_correct: 4,
+                ..view()
+            },
+            DispatchView {
+                n_total: 2,
+                n_correct: 2,
+                fe_stall: Some(FrontendStall::Icache),
+                ..view()
+            },
+            DispatchView {
+                backend_blocked: true,
+                head_blame: Some(Blame::Depend),
+                ..view()
+            },
+        ];
+        for (i, v) in views.iter().enumerate() {
+            a.on_dispatch(i as u64, v);
+        }
+        let s = finish(a, 10);
+        assert!((s.total_cycles() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fetch/decode-stage CPI accounting — the paper's "similar accounting can
+//! be done at other stages (e.g., fetch and decode)" extension (§III-A).
+//!
+//! ```text
+//! f = n / W;  base += f
+//! if f < 1:
+//!     if fetch stalled:        Icache / bpred / microcode per frontend state
+//!     elif queue full:         blame the ROB head (back-pressure reached fetch)
+//! ```
+//!
+//! The fetch stack charges frontend events *earliest* of all stages —
+//! giving the widest upper bound on frontend penalties — and backend
+//! events *latest* (only once back-pressure propagates all the way to the
+//! fetch queue), giving the smallest backend components.
+
+use crate::accounting::counter::ComponentCounter;
+use crate::accounting::width::WidthNormalizer;
+use crate::accounting::{blame_component, blame_level, fe_component, BadSpecMode};
+use crate::component::{Component, Stage};
+use crate::stack::CpiStack;
+use mstacks_model::MicroOp;
+use mstacks_pipeline::{FetchView, StageObserver};
+
+/// Accumulates the fetch-stage CPI stack.
+#[derive(Debug, Clone)]
+pub struct FetchAccountant {
+    counter: ComponentCounter,
+    norm: WidthNormalizer,
+}
+
+impl FetchAccountant {
+    /// Creates an accountant against accounting width `w`.
+    pub fn new(w: u32, mode: BadSpecMode) -> Self {
+        FetchAccountant {
+            counter: ComponentCounter::new(mode),
+            norm: WidthNormalizer::new(w),
+        }
+    }
+
+    /// Finalizes into a [`CpiStack`] (see
+    /// [`crate::DispatchAccountant::finish`] for the `commit_base`
+    /// parameter).
+    pub fn finish(self, uops: u64, commit_base: Option<f64>) -> CpiStack {
+        let cycles = self.counter.cycles();
+        let residual = self.norm.residual();
+        let levels = self.counter.mem_levels();
+        let counts = self.counter.finish(residual, commit_base);
+        CpiStack::from_counts_with_levels(Stage::Fetch, counts, levels, cycles, uops)
+    }
+}
+
+impl StageObserver for FetchAccountant {
+    fn on_fetch(&mut self, _cycle: u64, v: &FetchView) {
+        self.counter.begin_cycle();
+        let n = match self.counter.mode() {
+            BadSpecMode::GroundTruth => v.n_correct,
+            _ => v.n_total,
+        };
+        let f = self.norm.fraction(n);
+        self.counter.add(Component::Base, f);
+        if f >= 1.0 {
+            return;
+        }
+        let rem = 1.0 - f;
+        if v.backpressure {
+            match v.head_blame {
+                Some(b) => match blame_level(b) {
+                    Some(level) => self.counter.add_dcache(level, rem),
+                    None => self.counter.add(blame_component(b), rem),
+                },
+                None => self.counter.add(Component::Other, rem),
+            }
+            return;
+        }
+        let comp = if let Some(s) = v.fe_stall {
+            fe_component(s)
+        } else if self.counter.mode() == BadSpecMode::GroundTruth && v.n_total > v.n_correct {
+            Component::Bpred
+        } else {
+            Component::Other
+        };
+        self.counter.add(comp, rem);
+    }
+
+    fn on_dispatch_uop(&mut self, _cycle: u64, uop: &MicroOp) {
+        if uop.kind.is_branch() {
+            self.counter.on_branch_dispatch();
+        }
+    }
+
+    fn on_commit_uop(&mut self, _cycle: u64, uop: &MicroOp) {
+        if uop.kind.is_branch() {
+            self.counter.on_branch_commit();
+        }
+    }
+
+    fn on_squash(&mut self, _cycle: u64, _n: u64, branches: u64) {
+        self.counter.on_squash(branches);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::FrontendStall;
+    use mstacks_pipeline::Blame;
+
+    fn view() -> FetchView {
+        FetchView {
+            n_total: 0,
+            n_correct: 0,
+            fe_stall: None,
+            backpressure: false,
+            head_blame: None,
+        }
+    }
+
+    #[test]
+    fn icache_stall_charged_at_fetch() {
+        let mut a = FetchAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_fetch(
+            0,
+            &FetchView {
+                fe_stall: Some(FrontendStall::Icache),
+                ..view()
+            },
+        );
+        let s = a.finish(1, None);
+        assert_eq!(s.cycles_of(Component::Icache), 1.0);
+    }
+
+    #[test]
+    fn backpressure_blames_backend() {
+        let mut a = FetchAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_fetch(
+            0,
+            &FetchView {
+                backpressure: true,
+                head_blame: Some(Blame::LongLat),
+                fe_stall: Some(FrontendStall::Icache), // back-pressure wins
+                ..view()
+            },
+        );
+        let s = a.finish(1, None);
+        assert_eq!(s.cycles_of(Component::AluLat), 1.0);
+    }
+
+    #[test]
+    fn wrong_path_fetch_slots_are_bpred() {
+        let mut a = FetchAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_fetch(
+            0,
+            &FetchView {
+                n_total: 4,
+                n_correct: 0,
+                fe_stall: Some(FrontendStall::Bpred),
+                ..view()
+            },
+        );
+        let s = a.finish(1, None);
+        assert_eq!(s.cycles_of(Component::Bpred), 1.0);
+    }
+
+    #[test]
+    fn sums_to_cycles() {
+        let mut a = FetchAccountant::new(2, BadSpecMode::GroundTruth);
+        a.on_fetch(0, &FetchView { n_total: 2, n_correct: 2, ..view() });
+        a.on_fetch(1, &FetchView { n_total: 1, n_correct: 1, ..view() });
+        let s = a.finish(3, None);
+        assert!((s.total_cycles() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,271 @@
+//! FLOPS-stack accounting (paper Table III).
+//!
+//! Issue-stage accounting restricted to vector floating-point work.
+//! Peak FLOPS per cycle is `M = 2·k·v` (k vector FP units, v lanes, ×2 for
+//! FMA). Per cycle, with `n` VFP micro-ops issued, each performing
+//! `aᵢ·mᵢ` operations (`aᵢ` = 2 for FMA else 1, `mᵢ` = unmasked lanes):
+//!
+//! ```text
+//! f = Σ aᵢ·mᵢ / (2·k·v);  base += f
+//! if f < 1:
+//!     non_fma += Σ (2−aᵢ)·mᵢ / (2·k·v)
+//!     mask    += Σ (v−mᵢ) / (k·v)
+//!     if n < k:
+//!         if no VFP insts waiting in RS:      frontend += (k−n)/k
+//!         elif VU used by non-VFP inst:       non_vfp  += (k−n)/k
+//!         elif prod(oldest VFP) is a load:    mem      += (k−n)/k
+//!         else:                               depend   += (k−n)/k
+//! ```
+//!
+//! These components sum to exactly 1 per cycle, so the finished stack sums
+//! to the cycle count and scales into the intuitive GFLOPS representation
+//! of paper Eq. (1).
+
+use crate::component::{FlopsComponent, FLOPS_COMPONENTS};
+use crate::stack::FlopsStack;
+use mstacks_model::UopKind;
+use mstacks_pipeline::{FlopsBlame, IssueView, StageObserver};
+
+/// Accumulates a FLOPS stack from issue-stage views.
+#[derive(Debug, Clone)]
+pub struct FlopsAccountant {
+    counts: [f64; FLOPS_COMPONENTS.len()],
+    cycles: u64,
+    /// Vector FP units (the paper's `k`).
+    k: f64,
+    /// Vector lanes for 32-bit elements (the paper's `v`).
+    v: f64,
+    peak: u32,
+}
+
+impl FlopsAccountant {
+    /// Creates an accountant for a core with `vpu_count` vector FP units
+    /// and `lanes` 32-bit vector lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpu_count` or `lanes` is zero.
+    pub fn new(vpu_count: u32, lanes: u32) -> Self {
+        assert!(vpu_count > 0, "need at least one vector FP unit");
+        assert!(lanes > 0, "need at least one vector lane");
+        FlopsAccountant {
+            counts: [0.0; FLOPS_COMPONENTS.len()],
+            cycles: 0,
+            k: f64::from(vpu_count),
+            v: f64::from(lanes),
+            peak: 2 * vpu_count * lanes,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, c: FlopsComponent, x: f64) {
+        self.counts[c.index()] += x;
+    }
+
+    /// Finalizes into a [`FlopsStack`].
+    pub fn finish(self) -> FlopsStack {
+        FlopsStack::from_counts(self.counts, self.cycles, self.peak)
+    }
+}
+
+impl StageObserver for FlopsAccountant {
+    fn on_issue(&mut self, _cycle: u64, view: &IssueView<'_>) {
+        self.cycles += 1;
+        let denom = 2.0 * self.k * self.v;
+
+        let mut n = 0u32;
+        let mut ops = 0.0;
+        let mut non_fma = 0.0;
+        let mut mask = 0.0;
+        for iu in view.issued.iter().filter(|iu| !iu.wrong_path) {
+            let UopKind::VecFp(vfp) = iu.uop.kind else {
+                continue;
+            };
+            let a = f64::from(vfp.op.ops_per_element());
+            let m = f64::from(vfp.active_lanes).min(self.v);
+            n += 1;
+            ops += a * m;
+            non_fma += (2.0 - a) * m;
+            mask += (self.v - m) * 2.0;
+        }
+
+        let f = (ops / denom).min(1.0);
+        self.add(FlopsComponent::Base, f);
+        if f >= 1.0 {
+            return;
+        }
+        self.add(FlopsComponent::NonFma, non_fma / denom);
+        self.add(FlopsComponent::Mask, mask / denom);
+        if f64::from(n) < self.k {
+            let rem = (self.k - f64::from(n)) / self.k;
+            let comp = match view.vfp_blame {
+                // No VFP instruction waiting in the RS → the frontend did
+                // not supply enough vector FP work.
+                None => FlopsComponent::Frontend,
+                Some(_) if view.vu_used_by_non_vfp => FlopsComponent::NonVfp,
+                Some(FlopsBlame::Memory) => FlopsComponent::Memory,
+                Some(FlopsBlame::Depend) => FlopsComponent::Depend,
+            };
+            self.add(comp, rem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::{ElemType, FpOpKind, MicroOp, VecFpOp};
+    use mstacks_pipeline::IssuedInfo;
+
+    fn vfp(op: FpOpKind, lanes: u8) -> IssuedInfo {
+        IssuedInfo {
+            uop: MicroOp::new(
+                0,
+                UopKind::VecFp(VecFpOp {
+                    op,
+                    active_lanes: lanes,
+                    elem: ElemType::F32,
+                }),
+            ),
+            wrong_path: false,
+            on_vpu: true,
+        }
+    }
+
+    fn view(issued: &[IssuedInfo]) -> IssueView<'_> {
+        IssueView {
+            n_total: issued.len() as u32,
+            n_correct: issued.len() as u32,
+            rs_empty: false,
+            fe_stall: None,
+            blocking_blame: None,
+            structural: None,
+            smt_blocked: false,
+            issued,
+            vfp_in_rs: true,
+            vfp_blame: None,
+            vu_used_by_non_vfp: false,
+        }
+    }
+
+    // k = 2 VPUs, v = 16 lanes → peak 64 ops/cycle.
+    fn acct() -> FlopsAccountant {
+        FlopsAccountant::new(2, 16)
+    }
+
+    #[test]
+    fn peak_cycle_is_all_base() {
+        let mut a = acct();
+        let issued = [vfp(FpOpKind::Fma, 16), vfp(FpOpKind::Fma, 16)];
+        a.on_issue(0, &view(&issued));
+        let s = a.finish();
+        assert!((s.cycles_of(FlopsComponent::Base) - 1.0).abs() < 1e-12);
+        assert!((s.total_cycles() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_fma_component() {
+        let mut a = acct();
+        // Two full-width adds: a=1 → base 0.5, non_fma 0.5.
+        let issued = [vfp(FpOpKind::Add, 16), vfp(FpOpKind::Mul, 16)];
+        a.on_issue(0, &view(&issued));
+        let s = a.finish();
+        assert!((s.cycles_of(FlopsComponent::Base) - 0.5).abs() < 1e-12);
+        assert!((s.cycles_of(FlopsComponent::NonFma) - 0.5).abs() < 1e-12);
+        assert!((s.total_cycles() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_component() {
+        let mut a = acct();
+        // Two FMAs with half the lanes masked: base 0.5, mask 0.5.
+        let issued = [vfp(FpOpKind::Fma, 8), vfp(FpOpKind::Fma, 8)];
+        a.on_issue(0, &view(&issued));
+        let s = a.finish();
+        assert!((s.cycles_of(FlopsComponent::Base) - 0.5).abs() < 1e-12);
+        assert!((s.cycles_of(FlopsComponent::Mask) - 0.5).abs() < 1e-12);
+        assert!((s.total_cycles() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_slot_goes_to_frontend_when_no_vfp_waits() {
+        let mut a = acct();
+        let issued = [vfp(FpOpKind::Fma, 16)];
+        let mut v = view(&issued);
+        v.vfp_blame = None; // nothing VFP waiting
+        a.on_issue(0, &v);
+        let s = a.finish();
+        assert!((s.cycles_of(FlopsComponent::Base) - 0.5).abs() < 1e-12);
+        assert!((s.cycles_of(FlopsComponent::Frontend) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_slot_goes_to_memory_when_waiting_on_load() {
+        let mut a = acct();
+        let issued = [vfp(FpOpKind::Fma, 16)];
+        let mut v = view(&issued);
+        v.vfp_blame = Some(FlopsBlame::Memory);
+        a.on_issue(0, &v);
+        let s = a.finish();
+        assert!((s.cycles_of(FlopsComponent::Memory) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_slot_goes_to_non_vfp_when_vu_stolen() {
+        let mut a = acct();
+        let issued = [vfp(FpOpKind::Fma, 16)];
+        let mut v = view(&issued);
+        v.vfp_blame = Some(FlopsBlame::Depend);
+        v.vu_used_by_non_vfp = true;
+        a.on_issue(0, &v);
+        let s = a.finish();
+        assert!((s.cycles_of(FlopsComponent::NonVfp) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_cycle_sums_to_one() {
+        let mut a = acct();
+        let mut v = view(&[]);
+        v.vfp_blame = Some(FlopsBlame::Depend);
+        a.on_issue(0, &v);
+        let s = a.finish();
+        assert!((s.cycles_of(FlopsComponent::Depend) - 1.0).abs() < 1e-12);
+        assert!((s.total_cycles() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_cycle_sums_to_one_mixed() {
+        let mut a = acct();
+        // Mixed cycle: 1 half-masked add + empty slot waiting on memory.
+        let issued = [vfp(FpOpKind::Add, 8)];
+        let mut v = view(&issued);
+        v.vfp_blame = Some(FlopsBlame::Memory);
+        a.on_issue(0, &v);
+        let s = a.finish();
+        // base = 8/64, non_fma = 8/64, mask = 16/64, slot = 1/2.
+        assert!((s.total_cycles() - 1.0).abs() < 1e-12, "{s:?}");
+        assert!((s.cycles_of(FlopsComponent::Base) - 0.125).abs() < 1e-12);
+        assert!((s.cycles_of(FlopsComponent::NonFma) - 0.125).abs() < 1e-12);
+        assert!((s.cycles_of(FlopsComponent::Mask) - 0.25).abs() < 1e-12);
+        assert!((s.cycles_of(FlopsComponent::Memory) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_round_trip() {
+        let mut a = acct();
+        for c in 0..100u64 {
+            let issued = [vfp(FpOpKind::Fma, 16), vfp(FpOpKind::Fma, 16)];
+            let half = [vfp(FpOpKind::Fma, 16)];
+            if c % 2 == 0 {
+                a.on_issue(c, &view(&issued));
+            } else {
+                let mut v = view(&half);
+                v.vfp_blame = Some(FlopsBlame::Memory);
+                a.on_issue(c, &v);
+            }
+        }
+        let s = a.finish();
+        // Half the cycles at 64 ops, half at 32 → 48 ops/cycle.
+        assert!((s.achieved_flops_per_cycle() - 48.0).abs() < 1e-9);
+    }
+}

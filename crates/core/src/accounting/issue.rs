@@ -1,0 +1,236 @@
+//! Issue-stage CPI accounting (paper Table II, issue column).
+//!
+//! ```text
+//! f = n / W;  base += f
+//! if f < 1:
+//!     if RS empty:    Icache / bpred / microcode per frontend state
+//!     else:
+//!         i = prod(first non-ready instr)
+//!         Dcache / ALU_lat / depend per i
+//! ```
+//!
+//! The issue stage is the only one with dependence knowledge: instead of
+//! blaming the ROB head, it blames the *producer* the oldest non-ready
+//! instruction is waiting for. It is also the only stage where structural
+//! stalls are visible — unavailable ports and memory-address conflicts —
+//! which land in the `Other` and `MemConflict` components (paper §V-A).
+
+use crate::accounting::counter::ComponentCounter;
+use crate::accounting::width::WidthNormalizer;
+use crate::accounting::{blame_component, blame_level, fe_component, BadSpecMode};
+use crate::component::{Component, Stage};
+use crate::stack::CpiStack;
+use mstacks_model::MicroOp;
+use mstacks_pipeline::{IssueView, StageObserver, StructuralStall};
+
+/// Accumulates the issue-stage CPI stack.
+#[derive(Debug, Clone)]
+pub struct IssueAccountant {
+    counter: ComponentCounter,
+    norm: WidthNormalizer,
+}
+
+impl IssueAccountant {
+    /// Creates an accountant against accounting width `w`.
+    pub fn new(w: u32, mode: BadSpecMode) -> Self {
+        IssueAccountant {
+            counter: ComponentCounter::new(mode),
+            norm: WidthNormalizer::new(w),
+        }
+    }
+
+    /// Finalizes into a [`CpiStack`] (see
+    /// [`crate::DispatchAccountant::finish`] for the `commit_base`
+    /// parameter).
+    pub fn finish(self, uops: u64, commit_base: Option<f64>) -> CpiStack {
+        let cycles = self.counter.cycles();
+        let residual = self.norm.residual();
+        let levels = self.counter.mem_levels();
+        let counts = self.counter.finish(residual, commit_base);
+        CpiStack::from_counts_with_levels(Stage::Issue, counts, levels, cycles, uops)
+    }
+}
+
+impl StageObserver for IssueAccountant {
+    fn on_issue(&mut self, _cycle: u64, v: &IssueView<'_>) {
+        self.counter.begin_cycle();
+        let n = match self.counter.mode() {
+            BadSpecMode::GroundTruth => v.n_correct,
+            _ => v.n_total,
+        };
+        let f = self.norm.fraction(n);
+        self.counter.add(Component::Base, f);
+        if f >= 1.0 {
+            return;
+        }
+        let rem = 1.0 - f;
+        if v.smt_blocked {
+            self.counter.add(Component::Smt, rem);
+            return;
+        }
+        let wrong_path_slots =
+            self.counter.mode() == BadSpecMode::GroundTruth && v.n_total > v.n_correct;
+        if !v.rs_empty && !wrong_path_slots {
+            if let Some(b) = v.blocking_blame {
+                match blame_level(b) {
+                    Some(level) => self.counter.add_dcache(level, rem),
+                    None => self.counter.add(blame_component(b), rem),
+                }
+                return;
+            }
+        }
+        let comp = if v.rs_empty {
+            match v.fe_stall {
+                Some(s) => fe_component(s),
+                None => Component::Other,
+            }
+        } else if self.counter.mode() == BadSpecMode::GroundTruth && v.n_total > v.n_correct {
+            // Issue slots eaten by wrong-path micro-ops.
+            Component::Bpred
+        } else if let Some(st) = v.structural {
+            match st {
+                StructuralStall::MemDisambiguation => Component::MemConflict,
+                StructuralStall::Ports => Component::Other,
+            }
+        } else {
+            Component::Other
+        };
+        self.counter.add(comp, rem);
+    }
+
+    fn on_dispatch_uop(&mut self, _cycle: u64, uop: &MicroOp) {
+        if uop.kind.is_branch() {
+            self.counter.on_branch_dispatch();
+        }
+    }
+
+    fn on_commit_uop(&mut self, _cycle: u64, uop: &MicroOp) {
+        if uop.kind.is_branch() {
+            self.counter.on_branch_commit();
+        }
+    }
+
+    fn on_squash(&mut self, _cycle: u64, _n: u64, branches: u64) {
+        self.counter.on_squash(branches);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::FrontendStall;
+    use mstacks_pipeline::Blame;
+
+    fn view() -> IssueView<'static> {
+        IssueView {
+            n_total: 0,
+            n_correct: 0,
+            rs_empty: false,
+            fe_stall: None,
+            blocking_blame: None,
+            structural: None,
+            smt_blocked: false,
+            issued: &[],
+            vfp_in_rs: false,
+            vfp_blame: None,
+            vu_used_by_non_vfp: false,
+        }
+    }
+
+    #[test]
+    fn rs_empty_blames_frontend() {
+        let mut a = IssueAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_issue(
+            0,
+            &IssueView {
+                rs_empty: true,
+                fe_stall: Some(FrontendStall::Bpred),
+                ..view()
+            },
+        );
+        let s = a.finish(1, None);
+        assert_eq!(s.cycles_of(Component::Bpred), 1.0);
+    }
+
+    #[test]
+    fn producer_blame_used_when_waiting() {
+        let mut a = IssueAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_issue(
+            0,
+            &IssueView {
+                n_total: 1,
+                n_correct: 1,
+                blocking_blame: Some(Blame::Dcache(mstacks_mem::HitLevel::L2)),
+                ..view()
+            },
+        );
+        let s = a.finish(1, None);
+        assert!((s.cycles_of(Component::Dcache) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structural_stalls_split_memconflict_and_other() {
+        let mut a = IssueAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_issue(
+            0,
+            &IssueView {
+                structural: Some(StructuralStall::MemDisambiguation),
+                ..view()
+            },
+        );
+        a.on_issue(
+            1,
+            &IssueView {
+                structural: Some(StructuralStall::Ports),
+                ..view()
+            },
+        );
+        let s = a.finish(1, None);
+        assert_eq!(s.cycles_of(Component::MemConflict), 1.0);
+        assert_eq!(s.cycles_of(Component::Other), 1.0);
+    }
+
+    #[test]
+    fn wide_issue_carries_over() {
+        // W = 4 but the stage issued 6: the extra 0.5 pays for a later
+        // empty cycle (paper §III-A width normalization).
+        let mut a = IssueAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_issue(
+            0,
+            &IssueView {
+                n_total: 6,
+                n_correct: 6,
+                ..view()
+            },
+        );
+        a.on_issue(
+            1,
+            &IssueView {
+                rs_empty: true,
+                fe_stall: Some(FrontendStall::Icache),
+                ..view()
+            },
+        );
+        let s = a.finish(6, None);
+        assert!((s.cycles_of(Component::Base) - 1.5).abs() < 1e-12);
+        assert!((s.cycles_of(Component::Icache) - 0.5).abs() < 1e-12);
+        assert!((s.total_cycles() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_path_issue_slots_are_bpred() {
+        let mut a = IssueAccountant::new(4, BadSpecMode::GroundTruth);
+        a.on_issue(
+            0,
+            &IssueView {
+                n_total: 3,
+                n_correct: 0,
+                blocking_blame: Some(Blame::Depend),
+                ..view()
+            },
+        );
+        let s = a.finish(1, None);
+        assert_eq!(s.cycles_of(Component::Bpred), 1.0);
+        assert_eq!(s.cycles_of(Component::Depend), 0.0);
+    }
+}

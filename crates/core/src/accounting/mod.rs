@@ -1,0 +1,62 @@
+//! Per-cycle accounting algorithms (paper Tables II and III).
+//!
+//! Each accountant is a [`mstacks_pipeline::StageObserver`] that watches
+//! one pipeline stage and accumulates component cycle counts. They share:
+//!
+//! * the **width normalizer**: the paper's §III-A rule that `W` is the
+//!   *minimum* of all stage widths, with fractions above 1 carried to the
+//!   next cycle for wider stages;
+//! * the **bad-speculation mode** ([`BadSpecMode`]): how wrong-path
+//!   micro-ops are separated from correct-path ones (paper §III-B) —
+//!   functional-first ground truth, the simple retire-slot correction, or
+//!   speculative counters.
+
+mod badspec;
+mod commit;
+mod counter;
+mod dispatch;
+mod fetch;
+mod flops;
+mod issue;
+mod width;
+
+pub use badspec::BadSpecMode;
+pub use commit::CommitAccountant;
+pub use dispatch::DispatchAccountant;
+pub use fetch::FetchAccountant;
+pub use flops::FlopsAccountant;
+pub use issue::IssueAccountant;
+pub use width::WidthNormalizer;
+
+use crate::component::Component;
+use mstacks_mem::HitLevel;
+use mstacks_model::FrontendStall;
+use mstacks_pipeline::Blame;
+
+/// Maps a frontend stall cause to its CPI component.
+pub(crate) fn fe_component(s: FrontendStall) -> Component {
+    match s {
+        FrontendStall::Icache => Component::Icache,
+        FrontendStall::Bpred => Component::Bpred,
+        FrontendStall::Microcode => Component::Microcode,
+    }
+}
+
+/// Maps a backend blame to its CPI component
+/// (`Dcache miss → Dcache; latency > 1 → ALU_lat; else → depend`).
+pub(crate) fn blame_component(b: Blame) -> Component {
+    match b {
+        Blame::Dcache(_) => Component::Dcache,
+        Blame::LongLat => Component::AluLat,
+        Blame::Depend => Component::Depend,
+    }
+}
+
+/// Memory level a Dcache blame points at (the per-level refinement the
+/// paper suggests in §III-A).
+pub(crate) fn blame_level(b: Blame) -> Option<HitLevel> {
+    match b {
+        Blame::Dcache(l) => Some(l),
+        _ => None,
+    }
+}

@@ -1,0 +1,102 @@
+//! Width normalization with carry-over (paper §III-A).
+//!
+//! Stages can have different widths (the issue stage is typically wider
+//! than dispatch/commit). The paper proposes to account every stage
+//! against `W = min(stage widths)`: the utilized fraction is `f = n / W`,
+//! and when a wider stage processes more than `W` micro-ops in a cycle the
+//! excess fraction is *transferred to the next cycle* — modelling how a
+//! wider stage hides latency for the narrower ones.
+
+/// Computes the per-cycle utilized fraction `f` against the minimum width,
+/// carrying excess (> 1) over to later cycles.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_core::WidthNormalizer;
+///
+/// let mut n = WidthNormalizer::new(4);
+/// assert_eq!(n.fraction(2), 0.5);      // half the width used
+/// assert_eq!(n.fraction(6), 1.0);      // 6/4 = 1.5 → clamp, carry 0.5
+/// assert_eq!(n.fraction(0), 0.5);      // carried work fills this cycle
+/// assert_eq!(n.fraction(0), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WidthNormalizer {
+    width: f64,
+    carry: f64,
+}
+
+impl WidthNormalizer {
+    /// Creates a normalizer against width `w` (use
+    /// [`mstacks_model::CoreConfig::accounting_width`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is zero.
+    pub fn new(w: u32) -> Self {
+        assert!(w > 0, "accounting width must be non-zero");
+        WidthNormalizer {
+            width: f64::from(w),
+            carry: 0.0,
+        }
+    }
+
+    /// The fraction of this cycle considered useful, in [0, 1].
+    pub fn fraction(&mut self, n: u32) -> f64 {
+        let raw = f64::from(n) / self.width + self.carry;
+        if raw > 1.0 {
+            self.carry = raw - 1.0;
+            1.0
+        } else {
+            self.carry = 0.0;
+            raw
+        }
+    }
+
+    /// Carry not yet consumed (added to the base component at finalize so
+    /// stacks sum exactly to the cycle count).
+    pub fn residual(&self) -> f64 {
+        self.carry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fraction() {
+        let mut n = WidthNormalizer::new(4);
+        assert_eq!(n.fraction(1), 0.25);
+        assert_eq!(n.fraction(4), 1.0);
+        assert_eq!(n.residual(), 0.0);
+    }
+
+    #[test]
+    fn carry_accumulates_and_drains() {
+        let mut n = WidthNormalizer::new(2);
+        // A 6-wide burst against W=2: 3.0 → clamp to 1, carry 2.0 total.
+        assert_eq!(n.fraction(6), 1.0);
+        assert_eq!(n.residual(), 2.0);
+        assert_eq!(n.fraction(0), 1.0);
+        assert_eq!(n.fraction(0), 1.0);
+        assert_eq!(n.fraction(0), 0.0);
+    }
+
+    #[test]
+    fn total_base_equals_uops_over_w() {
+        // Whatever the per-cycle pattern, Σf = Σn / W when carry drains.
+        let mut n = WidthNormalizer::new(4);
+        let pattern = [4u32, 7, 0, 2, 0, 0, 5, 0, 0, 0, 0];
+        let total_n: u32 = pattern.iter().sum();
+        let total_f: f64 = pattern.iter().map(|&x| n.fraction(x)).sum();
+        assert!((total_f + n.residual() - f64::from(total_n) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        let _ = WidthNormalizer::new(0);
+    }
+}

@@ -1,0 +1,211 @@
+//! CPI-stack and FLOPS-stack component names.
+
+/// The pipeline stage a CPI stack was measured at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Accounting at the fetch/decode stage (the paper's "other stages"
+    /// extension, §III-A).
+    Fetch,
+    /// Accounting at the dispatch stage (Eyerman et al. \[8\] style).
+    Dispatch,
+    /// Accounting at the issue stage (unique dependence knowledge).
+    Issue,
+    /// Accounting at the commit stage (IBM POWER \[14\] style).
+    Commit,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Fetch => write!(f, "fetch"),
+            Stage::Dispatch => write!(f, "dispatch"),
+            Stage::Issue => write!(f, "issue"),
+            Stage::Commit => write!(f, "commit"),
+        }
+    }
+}
+
+/// One CPI-stack component (paper §III-A, extended with the Microcode
+/// component of Fig. 3(d) and the structural `MemConflict`/`Other`
+/// components of §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Useful work: fraction of the (minimum) pipeline width used.
+    Base,
+    /// Instruction-cache (and I-TLB) misses.
+    Icache,
+    /// Branch mispredictions (wrong-path slots + refill).
+    Bpred,
+    /// Data-cache misses (any access beyond the L1D).
+    Dcache,
+    /// Multi-cycle execution latency (the paper's `ALU_lat`).
+    AluLat,
+    /// Inter-instruction dependences (limited ILP).
+    Depend,
+    /// Microcode-sequencer decode stalls (KNL-style cores).
+    Microcode,
+    /// Loads blocked by unresolved older store addresses
+    /// ("predicted memory address conflicts").
+    MemConflict,
+    /// Slots consumed by another SMT hardware thread (per-thread stacks on
+    /// an SMT core, the paper's §II extension after Eyerman & Eeckhout's
+    /// ASPLOS'09 per-thread cycle accounting). Zero on single-thread cores.
+    Smt,
+    /// Everything else: port-structural stalls, warmup, drain.
+    Other,
+}
+
+/// All CPI components, in canonical (stacking) order.
+pub const COMPONENTS: [Component; 10] = [
+    Component::Base,
+    Component::Icache,
+    Component::Bpred,
+    Component::Dcache,
+    Component::AluLat,
+    Component::Depend,
+    Component::Microcode,
+    Component::MemConflict,
+    Component::Smt,
+    Component::Other,
+];
+
+impl Component {
+    /// Dense index into component arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Component::Base => 0,
+            Component::Icache => 1,
+            Component::Bpred => 2,
+            Component::Dcache => 3,
+            Component::AluLat => 4,
+            Component::Depend => 5,
+            Component::Microcode => 6,
+            Component::MemConflict => 7,
+            Component::Smt => 8,
+            Component::Other => 9,
+        }
+    }
+
+    /// Short label used in reports ("base", "icache", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Base => "base",
+            Component::Icache => "icache",
+            Component::Bpred => "bpred",
+            Component::Dcache => "dcache",
+            Component::AluLat => "alu_lat",
+            Component::Depend => "depend",
+            Component::Microcode => "microcode",
+            Component::MemConflict => "memconflict",
+            Component::Smt => "smt",
+            Component::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One FLOPS-stack component (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlopsComponent {
+    /// Cycles (fraction) at peak FLOPS — the achieved-FLOPS component.
+    Base,
+    /// Lost to non-FMA vector FP instructions (adds/muls count 1 op, not 2).
+    NonFma,
+    /// Lost to masked-out vector lanes.
+    Mask,
+    /// No vector-FP instructions available in the reservation stations
+    /// (non-FP code, I-cache misses, branch recovery).
+    Frontend,
+    /// A vector unit was busy with non-VFP work (integer vector,
+    /// broadcasts, shuffles).
+    NonVfp,
+    /// The oldest waiting VFP instruction waits on a memory load.
+    Memory,
+    /// The oldest waiting VFP instruction waits on another computation.
+    Depend,
+}
+
+/// All FLOPS components, in canonical (stacking) order.
+pub const FLOPS_COMPONENTS: [FlopsComponent; 7] = [
+    FlopsComponent::Base,
+    FlopsComponent::NonFma,
+    FlopsComponent::Mask,
+    FlopsComponent::Frontend,
+    FlopsComponent::NonVfp,
+    FlopsComponent::Memory,
+    FlopsComponent::Depend,
+];
+
+impl FlopsComponent {
+    /// Dense index into component arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FlopsComponent::Base => 0,
+            FlopsComponent::NonFma => 1,
+            FlopsComponent::Mask => 2,
+            FlopsComponent::Frontend => 3,
+            FlopsComponent::NonVfp => 4,
+            FlopsComponent::Memory => 5,
+            FlopsComponent::Depend => 6,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlopsComponent::Base => "base",
+            FlopsComponent::NonFma => "non_fma",
+            FlopsComponent::Mask => "mask",
+            FlopsComponent::Frontend => "frontend",
+            FlopsComponent::NonVfp => "non_vfp",
+            FlopsComponent::Memory => "memory",
+            FlopsComponent::Depend => "depend",
+        }
+    }
+}
+
+impl std::fmt::Display for FlopsComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, c) in COMPONENTS.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, c) in FLOPS_COMPONENTS.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            COMPONENTS.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), COMPONENTS.len());
+        let flabels: std::collections::HashSet<_> =
+            FLOPS_COMPONENTS.iter().map(|c| c.label()).collect();
+        assert_eq!(flabels.len(), FLOPS_COMPONENTS.len());
+    }
+
+    #[test]
+    fn stage_display() {
+        assert_eq!(Stage::Fetch.to_string(), "fetch");
+        assert_eq!(Stage::Dispatch.to_string(), "dispatch");
+        assert_eq!(Stage::Issue.to_string(), "issue");
+        assert_eq!(Stage::Commit.to_string(), "commit");
+    }
+}

@@ -1,0 +1,218 @@
+//! Interval CPI stacks: the commit-stage stack sampled every `K` cycles.
+//!
+//! Reference [10] of the paper ("Using cycle stacks to understand scaling
+//! bottlenecks") plots *cycle stacks over time* to expose phase behaviour;
+//! the same counters that build one aggregate stack can be snapshotted
+//! periodically at no extra accounting cost. [`IntervalAccountant`] wraps
+//! the commit-stage algorithm and emits one [`CpiStack`] per interval.
+
+use crate::accounting::CommitAccountant;
+use crate::component::{Component, COMPONENTS};
+use crate::stack::CpiStack;
+use mstacks_pipeline::{CommitView, StageObserver};
+
+/// Commit-stage accounting, snapshotted every `interval` cycles.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_core::interval::IntervalAccountant;
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+/// use mstacks_pipeline::Core;
+///
+/// let cfg = CoreConfig::broadwell();
+/// let trace = (0..4_000u64).map(|i| {
+///     MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+///         .with_dst(ArchReg::new((i % 8) as u16))
+/// });
+/// let mut acct = IntervalAccountant::new(cfg.accounting_width(), 256);
+/// let mut core = Core::new(cfg, IdealFlags::none(), trace);
+/// core.run(&mut acct).expect("runs");
+/// let intervals = acct.finish();
+/// assert!(intervals.len() >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntervalAccountant {
+    inner: CommitAccountant,
+    interval: u64,
+    /// Cumulative counts at the last snapshot.
+    last_counts: [f64; COMPONENTS.len()],
+    last_uops: u64,
+    cycles_seen: u64,
+    uops_seen: u64,
+    done: Vec<CpiStack>,
+}
+
+impl IntervalAccountant {
+    /// Creates an accountant against width `w`, snapshotting every
+    /// `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(w: u32, interval: u64) -> Self {
+        assert!(interval > 0, "interval must be non-zero");
+        IntervalAccountant {
+            inner: CommitAccountant::new(w),
+            interval,
+            last_counts: [0.0; COMPONENTS.len()],
+            last_uops: 0,
+            cycles_seen: 0,
+            uops_seen: 0,
+            done: Vec::new(),
+        }
+    }
+
+    fn snapshot(&mut self) {
+        let total = self.inner.clone().finish(self.uops_seen.max(1));
+        let mut delta = [0.0; COMPONENTS.len()];
+        for (i, c) in COMPONENTS.iter().enumerate() {
+            delta[i] = total.cycles_of(*c) - self.last_counts[i];
+            self.last_counts[i] = total.cycles_of(*c);
+        }
+        let uops = self.uops_seen - self.last_uops;
+        self.last_uops = self.uops_seen;
+        self.done.push(CpiStack::from_counts(
+            crate::component::Stage::Commit,
+            delta,
+            self.interval,
+            uops,
+        ));
+    }
+
+    /// Finalizes: flushes the trailing partial interval and returns all
+    /// interval stacks in time order.
+    pub fn finish(mut self) -> Vec<CpiStack> {
+        if !self.cycles_seen.is_multiple_of(self.interval) || self.done.is_empty() {
+            self.snapshot();
+        }
+        self.done
+    }
+
+    /// A compact per-interval phase label: the dominant stall component
+    /// (or `Base` when the interval ran at full width).
+    pub fn dominant(stack: &CpiStack) -> Component {
+        COMPONENTS
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                stack
+                    .cycles_of(*a)
+                    .partial_cmp(&stack.cycles_of(*b))
+                    .expect("no NaNs")
+            })
+            .expect("components exist")
+    }
+}
+
+impl StageObserver for IntervalAccountant {
+    fn on_commit(&mut self, cycle: u64, view: &CommitView) {
+        self.inner.on_commit(cycle, view);
+        self.uops_seen += u64::from(view.n);
+        self.cycles_seen += 1;
+        if self.cycles_seen.is_multiple_of(self.interval) {
+            self.snapshot();
+        }
+    }
+}
+
+/// Renders interval stacks as a one-line-per-component "heat strip": each
+/// character is one interval, darker = larger share of that interval.
+pub fn render_strips(intervals: &[CpiStack]) -> String {
+    const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    let mut out = String::new();
+    for &c in COMPONENTS.iter() {
+        let mut line = String::new();
+        let mut any = false;
+        for s in intervals {
+            let total = s.total_cycles().max(1e-12);
+            let share = s.cycles_of(c) / total;
+            let idx = ((share * 4.0).round() as usize).min(4);
+            if idx > 0 {
+                any = true;
+            }
+            line.push(SHADES[idx]);
+        }
+        if any {
+            out.push_str(&format!("{:<12} |{}|\n", c.label(), line));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+    use mstacks_pipeline::Core;
+
+    fn run_intervals(trace: Vec<MicroOp>, interval: u64) -> Vec<CpiStack> {
+        let cfg = CoreConfig::broadwell();
+        let mut acct = IntervalAccountant::new(cfg.accounting_width(), interval);
+        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let mut core = Core::new(cfg, ideal, trace.into_iter());
+        core.run(&mut acct).expect("runs");
+        acct.finish()
+    }
+
+    fn adds(n: u64) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect()
+    }
+
+    fn chained_muls(n: u64) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(0x5000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Mul))
+                    .with_src(ArchReg::new(1))
+                    .with_dst(ArchReg::new(1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intervals_cover_the_whole_run() {
+        let intervals = run_intervals(adds(8_000), 200);
+        let total_uops: u64 = intervals.iter().map(|s| s.uops).sum();
+        assert_eq!(total_uops, 8_000);
+        // Each full interval sums to the interval length.
+        for s in &intervals[..intervals.len() - 1] {
+            assert!((s.total_cycles() - 200.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn phase_change_is_visible() {
+        // Phase 1: independent adds (base-bound). Phase 2: a serial
+        // multiply chain (alu_lat-bound). The dominant component must flip.
+        let mut trace = adds(6_000);
+        trace.extend(chained_muls(2_000));
+        let intervals = run_intervals(trace, 250);
+        let first = IntervalAccountant::dominant(&intervals[1]);
+        let last = IntervalAccountant::dominant(&intervals[intervals.len() - 2]);
+        assert_eq!(first, Component::Base, "phase 1 runs at full width");
+        assert_eq!(last, Component::AluLat, "phase 2 serializes on the multiplier");
+    }
+
+    #[test]
+    fn strips_render_one_char_per_interval() {
+        let intervals = run_intervals(adds(4_000), 200);
+        let strips = render_strips(&intervals);
+        let base_line = strips
+            .lines()
+            .find(|l| l.starts_with("base"))
+            .expect("base strip");
+        let n_chars = base_line.split('|').nth(1).expect("strip body").chars().count();
+        assert_eq!(n_chars, intervals.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let _ = IntervalAccountant::new(4, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Multi-stage stack reports: the three per-stage CPI stacks together,
+//! with the bound analysis the paper builds on them.
+//!
+//! The dispatch stack over-estimates frontend penalties and
+//! under-estimates backend ones; the commit stack does the opposite; the
+//! issue stack sits in between. Together they bound the true CPI reduction
+//! from removing a stall source (paper §V-A): the multi-stage prediction
+//! for a component is the interval `[min, max]` over the three stacks.
+
+use crate::component::Component;
+use crate::stack::CpiStack;
+
+/// The dispatch, issue and commit CPI stacks of one simulation, plus the
+/// optional fetch-stage stack (the paper's "other stages" extension).
+///
+/// # Example
+///
+/// ```
+/// use mstacks_core::{Component, Simulation};
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, MicroOp, UopKind};
+///
+/// let trace = (0..800u64).map(|i| {
+///     MicroOp::new(0x1000 + (i % 8) * 4, UopKind::IntAlu(AluClass::Add))
+///         .with_src(ArchReg::new(1))
+///         .with_dst(ArchReg::new(1))
+/// });
+/// let report = Simulation::new(CoreConfig::broadwell())
+///     .run(trace)
+///     .expect("completes");
+/// // The bounds bracket the benefit of removing each stall source.
+/// let (lo, hi) = report.multi.bounds(Component::Depend);
+/// assert!(lo <= hi);
+/// assert!(report.multi.contains(Component::Depend, (lo + hi) / 2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStackReport {
+    /// Dispatch-stage stack.
+    pub dispatch: CpiStack,
+    /// Issue-stage stack.
+    pub issue: CpiStack,
+    /// Commit-stage stack.
+    pub commit: CpiStack,
+    /// Fetch/decode-stage stack (charged earliest for frontend events);
+    /// not part of the paper's three-stack bounds, provided as the §III-A
+    /// extension.
+    pub fetch: Option<CpiStack>,
+}
+
+impl MultiStackReport {
+    /// The paper's three stacks in pipeline order.
+    pub fn stacks(&self) -> [&CpiStack; 3] {
+        [&self.dispatch, &self.issue, &self.commit]
+    }
+
+    /// All measured stacks, including the fetch extension when present.
+    pub fn all_stacks(&self) -> Vec<&CpiStack> {
+        let mut v = Vec::with_capacity(4);
+        if let Some(f) = &self.fetch {
+            v.push(f);
+        }
+        v.extend(self.stacks());
+        v
+    }
+
+    /// Lower and upper bound on `c`'s CPI contribution across the stacks —
+    /// the multi-stage prediction interval for the benefit of removing
+    /// that stall source.
+    pub fn bounds(&self, c: Component) -> (f64, f64) {
+        let values = [
+            self.dispatch.cpi_of(c),
+            self.issue.cpi_of(c),
+            self.commit.cpi_of(c),
+        ];
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    }
+
+    /// Whether the measured CPI reduction `actual` lies within the
+    /// multi-stage bounds for `c`.
+    pub fn contains(&self, c: Component, actual: f64) -> bool {
+        let (lo, hi) = self.bounds(c);
+        actual >= lo && actual <= hi
+    }
+
+    /// The paper's Fig. 2 error metric for the multi-stage representation:
+    /// 0 when `actual` falls within the bounds, otherwise the signed
+    /// distance from the nearest bound (positive = prediction too high).
+    pub fn bound_error(&self, c: Component, actual: f64) -> f64 {
+        let (lo, hi) = self.bounds(c);
+        if actual < lo {
+            lo - actual
+        } else if actual > hi {
+            hi - actual
+        } else {
+            0.0
+        }
+    }
+
+    /// Total CPI (identical across stages up to accounting noise; reported
+    /// from the commit stack).
+    pub fn total_cpi(&self) -> f64 {
+        self.commit.total_cpi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Stage, COMPONENTS};
+
+    fn stack(stage: Stage, base: f64, dcache: f64, bpred: f64) -> CpiStack {
+        let mut counts = [0.0; COMPONENTS.len()];
+        counts[Component::Base.index()] = base;
+        counts[Component::Dcache.index()] = dcache;
+        counts[Component::Bpred.index()] = bpred;
+        CpiStack::from_counts(stage, counts, 1_000, 1_000)
+    }
+
+    fn report() -> MultiStackReport {
+        MultiStackReport {
+            dispatch: stack(Stage::Dispatch, 250.0, 60.0, 390.0),
+            issue: stack(Stage::Issue, 250.0, 150.0, 250.0),
+            commit: stack(Stage::Commit, 250.0, 300.0, 110.0),
+            fetch: None,
+        }
+    }
+
+    #[test]
+    fn bounds_span_the_three_stacks() {
+        let r = report();
+        let (lo, hi) = r.bounds(Component::Dcache);
+        assert!((lo - 0.06).abs() < 1e-12);
+        assert!((hi - 0.30).abs() < 1e-12);
+        let (lo, hi) = r.bounds(Component::Bpred);
+        assert!((lo - 0.11).abs() < 1e-12);
+        assert!((hi - 0.39).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_and_error() {
+        // Mirrors the paper's mcf/BDW example: actual bpred ΔCPI = 0.33
+        // falls inside [0.11, 0.39] → error 0.
+        let r = report();
+        assert!(r.contains(Component::Bpred, 0.33));
+        assert_eq!(r.bound_error(Component::Bpred, 0.33), 0.0);
+        // actual Dcache ΔCPI = 0.29 inside [0.06, 0.30].
+        assert!(r.contains(Component::Dcache, 0.29));
+        // Outside: error is the distance to the nearest bound.
+        assert!((r.bound_error(Component::Dcache, 0.40) + 0.10).abs() < 1e-12);
+        assert!((r.bound_error(Component::Dcache, 0.01) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stacks_accessor_order() {
+        let r = report();
+        let s = r.stacks();
+        assert_eq!(s[0].stage, Stage::Dispatch);
+        assert_eq!(s[1].stage, Stage::Issue);
+        assert_eq!(s[2].stage, Stage::Commit);
+    }
+}

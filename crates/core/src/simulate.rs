@@ -1,0 +1,243 @@
+//! High-level simulation API: one call runs a trace on a configured core
+//! with all four accountants attached and returns every stack.
+
+use crate::accounting::{
+    BadSpecMode, CommitAccountant, DispatchAccountant, FetchAccountant, FlopsAccountant,
+    IssueAccountant,
+};
+use crate::multi::MultiStackReport;
+use crate::stack::FlopsStack;
+use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
+use mstacks_pipeline::{Core, PipelineError, PipelineResult};
+
+/// Everything one simulation produces: raw pipeline result, the three CPI
+/// stacks and the FLOPS stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Core configuration name ("bdw", "knl", "skx", …).
+    pub config_name: String,
+    /// Idealization flags the run used.
+    pub ideal: IdealFlags,
+    /// Raw pipeline counters (cycles, commits, cache stats, …).
+    pub result: PipelineResult,
+    /// The multi-stage CPI stacks.
+    pub multi: MultiStackReport,
+    /// The FLOPS stack (issue stage, vector FP only).
+    pub flops: FlopsStack,
+}
+
+impl SimReport {
+    /// Total CPI of the run.
+    pub fn cpi(&self) -> f64 {
+        self.result.cpi()
+    }
+
+    /// Achieved GFLOPS at clock `freq_ghz` (paper Eq. (1)).
+    pub fn gflops(&self, freq_ghz: f64) -> f64 {
+        self.flops.achieved_gflops(freq_ghz)
+    }
+}
+
+/// Builder-style simulation runner.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_core::Simulation;
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+///
+/// let trace = (0..500u64).map(|i| {
+///     MicroOp::new(0x400000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+///         .with_dst(ArchReg::new((i % 4) as u16))
+/// });
+/// let report = Simulation::new(CoreConfig::knights_landing())
+///     .with_ideal(IdealFlags::none().with_perfect_bpred())
+///     .run(trace)
+///     .expect("completes");
+/// assert_eq!(report.result.committed_uops, 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    cfg: CoreConfig,
+    ideal: IdealFlags,
+    badspec: BadSpecMode,
+    max_uops: Option<u64>,
+}
+
+impl Simulation {
+    /// A simulation on core `cfg` with no idealization, ground-truth
+    /// bad-speculation handling and no micro-op cap.
+    pub fn new(cfg: CoreConfig) -> Self {
+        Simulation {
+            cfg,
+            ideal: IdealFlags::none(),
+            badspec: BadSpecMode::GroundTruth,
+            max_uops: None,
+        }
+    }
+
+    /// Sets the idealization flags (builder style).
+    pub fn with_ideal(mut self, ideal: IdealFlags) -> Self {
+        self.ideal = ideal;
+        self
+    }
+
+    /// Sets the wrong-path discrimination mode (builder style).
+    pub fn with_badspec(mut self, mode: BadSpecMode) -> Self {
+        self.badspec = mode;
+        self
+    }
+
+    /// Caps the simulation at `n` committed micro-ops (builder style).
+    pub fn with_max_uops(mut self, n: u64) -> Self {
+        self.max_uops = Some(n);
+        self
+    }
+
+    /// Runs `trace` and collects all stacks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline (deadlock watchdog).
+    pub fn run<I: Iterator<Item = MicroOp>>(
+        &self,
+        trace: I,
+    ) -> Result<SimReport, PipelineError> {
+        let w = self.cfg.accounting_width();
+        let mut obs = (
+            DispatchAccountant::new(w, self.badspec),
+            IssueAccountant::new(w, self.badspec),
+            CommitAccountant::new(w),
+            FlopsAccountant::new(self.cfg.vpu_count().max(1), self.cfg.vector_lanes_f32()),
+            FetchAccountant::new(w, self.badspec),
+        );
+        let mut core = Core::new(self.cfg.clone(), self.ideal, trace);
+        let result = match self.max_uops {
+            Some(n) => core.run_uops(n, &mut obs)?,
+            None => core.run(&mut obs)?,
+        };
+        let (dispatch_acct, issue_acct, commit_acct, flops_acct, fetch_acct) = obs;
+        let uops = result.committed_uops;
+        let commit = commit_acct.finish(uops);
+        let commit_base = commit.cycles_of(crate::component::Component::Base);
+        let dispatch = dispatch_acct.finish(uops, Some(commit_base));
+        let issue = issue_acct.finish(uops, Some(commit_base));
+        let fetch = fetch_acct.finish(uops, Some(commit_base));
+        let flops = flops_acct.finish();
+        Ok(SimReport {
+            config_name: self.cfg.name.clone(),
+            ideal: self.ideal,
+            result,
+            multi: MultiStackReport {
+                dispatch,
+                issue,
+                commit,
+                fetch: Some(fetch),
+            },
+            flops,
+        })
+    }
+
+    /// The configuration this simulation runs on.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use mstacks_model::{AluClass, ArchReg, UopKind};
+
+    fn alu_chain(n: u64) -> impl Iterator<Item = MicroOp> {
+        (0..n).map(|i| {
+            MicroOp::new(0x1000 + (i % 32) * 4, UopKind::IntAlu(AluClass::Add))
+                .with_src(ArchReg::new(1))
+                .with_dst(ArchReg::new(1))
+        })
+    }
+
+    #[test]
+    fn stacks_sum_to_cycles_at_every_stage() {
+        let report = Simulation::new(CoreConfig::broadwell())
+            .run(alu_chain(5_000))
+            .expect("completes");
+        let cycles = report.result.cycles as f64;
+        for s in report.multi.stacks() {
+            assert!(
+                (s.total_cycles() - cycles).abs() < 1e-6,
+                "{} stack sums to {} ≠ {} cycles",
+                s.stage,
+                s.total_cycles(),
+                cycles
+            );
+        }
+        assert!((report.flops.total_cycles() - cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn base_components_equal_across_stages() {
+        // Ground-truth mode: each correct-path micro-op traverses every
+        // stage exactly once → identical base components (paper §III-A).
+        let report = Simulation::new(CoreConfig::broadwell())
+            .run(alu_chain(5_000))
+            .expect("completes");
+        let b_d = report.multi.dispatch.cycles_of(Component::Base);
+        let b_i = report.multi.issue.cycles_of(Component::Base);
+        let b_c = report.multi.commit.cycles_of(Component::Base);
+        assert!((b_d - b_c).abs() < 1e-6, "dispatch {b_d} vs commit {b_c}");
+        assert!((b_i - b_c).abs() < 1e-6, "issue {b_i} vs commit {b_c}");
+        // And base CPI = 1/W.
+        let w = CoreConfig::broadwell().accounting_width();
+        assert!((report.multi.commit.cpi_of(Component::Base) - 1.0 / f64::from(w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependence_chain_shows_depend_component() {
+        let report = Simulation::new(CoreConfig::broadwell())
+            .with_ideal(IdealFlags::none().with_perfect_icache().with_perfect_bpred())
+            .run(alu_chain(5_000))
+            .expect("completes");
+        // CPI ≈ 1; 0.25 base + ~0.75 depend at every stage.
+        for s in report.multi.stacks() {
+            assert!(
+                s.cpi_of(Component::Depend) > 0.5,
+                "{} stack should be dependence-dominated: {:?}",
+                s.stage,
+                s.iter_cpi().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn max_uops_caps_the_run() {
+        let report = Simulation::new(CoreConfig::broadwell())
+            .with_max_uops(1_000)
+            .run(alu_chain(100_000))
+            .expect("completes");
+        assert!(report.result.committed_uops >= 1_000);
+        assert!(report.result.committed_uops < 1_100);
+    }
+
+    #[test]
+    fn badspec_modes_agree_without_branches() {
+        // No branches → no wrong path → all three modes identical.
+        let gt = Simulation::new(CoreConfig::broadwell())
+            .run(alu_chain(2_000))
+            .expect("completes");
+        let simple = Simulation::new(CoreConfig::broadwell())
+            .with_badspec(BadSpecMode::SimpleRetireSlots)
+            .run(alu_chain(2_000))
+            .expect("completes");
+        let spec = Simulation::new(CoreConfig::broadwell())
+            .with_badspec(BadSpecMode::SpeculativeCounters)
+            .run(alu_chain(2_000))
+            .expect("completes");
+        for c in crate::component::COMPONENTS {
+            let g = gt.multi.dispatch.cpi_of(c);
+            assert!((simple.multi.dispatch.cpi_of(c) - g).abs() < 1e-9, "{c}");
+            assert!((spec.multi.dispatch.cpi_of(c) - g).abs() < 1e-9, "{c}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-thread multi-stage CPI stacks on an SMT core — the paper's §II
+//! extension of Eyerman & Eeckhout's per-thread cycle accounting: each
+//! hardware thread gets its own dispatch/issue/commit (and fetch, and
+//! FLOPS) stacks, with an extra `Smt` component for cycles lost to the
+//! co-running thread's occupancy of shared resources.
+
+use crate::accounting::{
+    BadSpecMode, CommitAccountant, DispatchAccountant, FetchAccountant, FlopsAccountant,
+    IssueAccountant,
+};
+use crate::multi::MultiStackReport;
+use crate::stack::FlopsStack;
+use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
+use mstacks_pipeline::{PipelineError, PipelineResult, SmtCore, StageObserver};
+
+/// The full accountant set for one hardware thread.
+struct ThreadObserver {
+    dispatch: DispatchAccountant,
+    issue: IssueAccountant,
+    commit: CommitAccountant,
+    fetch: FetchAccountant,
+    flops: FlopsAccountant,
+}
+
+impl StageObserver for ThreadObserver {
+    fn on_fetch(&mut self, cycle: u64, view: &mstacks_pipeline::FetchView) {
+        self.fetch.on_fetch(cycle, view);
+    }
+    fn on_dispatch(&mut self, cycle: u64, view: &mstacks_pipeline::DispatchView) {
+        self.dispatch.on_dispatch(cycle, view);
+    }
+    fn on_issue(&mut self, cycle: u64, view: &mstacks_pipeline::IssueView<'_>) {
+        self.issue.on_issue(cycle, view);
+        self.flops.on_issue(cycle, view);
+    }
+    fn on_commit(&mut self, cycle: u64, view: &mstacks_pipeline::CommitView) {
+        self.commit.on_commit(cycle, view);
+    }
+    fn on_dispatch_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        self.dispatch.on_dispatch_uop(cycle, uop);
+        self.issue.on_dispatch_uop(cycle, uop);
+        self.fetch.on_dispatch_uop(cycle, uop);
+    }
+    fn on_commit_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        self.dispatch.on_commit_uop(cycle, uop);
+        self.issue.on_commit_uop(cycle, uop);
+        self.fetch.on_commit_uop(cycle, uop);
+    }
+    fn on_squash(&mut self, cycle: u64, n: u64, branches: u64) {
+        self.dispatch.on_squash(cycle, n, branches);
+        self.issue.on_squash(cycle, n, branches);
+        self.fetch.on_squash(cycle, n, branches);
+    }
+}
+
+/// One hardware thread's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadReport {
+    /// Raw pipeline counters for this thread.
+    pub result: PipelineResult,
+    /// The thread's multi-stage CPI stacks (with `Smt` components).
+    pub multi: MultiStackReport,
+    /// The thread's FLOPS stack.
+    pub flops: FlopsStack,
+}
+
+impl ThreadReport {
+    /// This thread's CPI over its active period.
+    pub fn cpi(&self) -> f64 {
+        self.result.cpi()
+    }
+}
+
+/// Results of an SMT run: one report per hardware thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtReport {
+    /// Per-thread reports, in thread order.
+    pub threads: Vec<ThreadReport>,
+}
+
+/// Builder-style SMT simulation runner.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_core::SmtSimulation;
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, MicroOp, UopKind};
+///
+/// let mk = |base: u64| {
+///     (0..2_000u64)
+///         .map(move |i| {
+///             MicroOp::new(base + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+///                 .with_dst(ArchReg::new((i % 8) as u16))
+///         })
+///         .collect::<Vec<_>>()
+///         .into_iter()
+/// };
+/// let report = SmtSimulation::new(CoreConfig::broadwell())
+///     .run(vec![mk(0x1000), mk(0x9000)])
+///     .expect("completes");
+/// assert_eq!(report.threads.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmtSimulation {
+    cfg: CoreConfig,
+    ideal: IdealFlags,
+    badspec: BadSpecMode,
+}
+
+impl SmtSimulation {
+    /// An SMT simulation on core `cfg`.
+    pub fn new(cfg: CoreConfig) -> Self {
+        SmtSimulation {
+            cfg,
+            ideal: IdealFlags::none(),
+            badspec: BadSpecMode::GroundTruth,
+        }
+    }
+
+    /// Sets the idealization flags (builder style).
+    pub fn with_ideal(mut self, ideal: IdealFlags) -> Self {
+        self.ideal = ideal;
+        self
+    }
+
+    /// Sets the wrong-path discrimination mode (builder style).
+    pub fn with_badspec(mut self, mode: BadSpecMode) -> Self {
+        self.badspec = mode;
+        self
+    }
+
+    /// Runs one trace per hardware thread (1–4) and produces per-thread
+    /// stacks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or holds more than 4 entries.
+    pub fn run<I: Iterator<Item = MicroOp>>(
+        &self,
+        traces: Vec<I>,
+    ) -> Result<SmtReport, PipelineError> {
+        let w = self.cfg.accounting_width();
+        let n = traces.len();
+        let mut obs: Vec<ThreadObserver> = (0..n)
+            .map(|_| ThreadObserver {
+                dispatch: DispatchAccountant::new(w, self.badspec),
+                issue: IssueAccountant::new(w, self.badspec),
+                commit: CommitAccountant::new(w),
+                fetch: FetchAccountant::new(w, self.badspec),
+                flops: FlopsAccountant::new(
+                    self.cfg.vpu_count().max(1),
+                    self.cfg.vector_lanes_f32(),
+                ),
+            })
+            .collect();
+        let mut core = SmtCore::new(self.cfg.clone(), self.ideal, traces);
+        let results = core.run(&mut obs)?;
+        let threads = obs
+            .into_iter()
+            .zip(results)
+            .map(|(o, result)| {
+                let uops = result.committed_uops;
+                let commit = o.commit.finish(uops);
+                let base = commit.cycles_of(crate::component::Component::Base);
+                ThreadReport {
+                    multi: MultiStackReport {
+                        dispatch: o.dispatch.finish(uops, Some(base)),
+                        issue: o.issue.finish(uops, Some(base)),
+                        commit,
+                        fetch: Some(o.fetch.finish(uops, Some(base))),
+                    },
+                    flops: o.flops.finish(),
+                    result,
+                }
+            })
+            .collect();
+        Ok(SmtReport { threads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use mstacks_model::{AluClass, ArchReg, UopKind};
+
+    fn adds(n: u64, base: u64) -> std::vec::IntoIter<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(base + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn per_thread_stacks_sum_to_per_thread_cycles() {
+        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let report = SmtSimulation::new(CoreConfig::broadwell())
+            .with_ideal(ideal)
+            .run(vec![adds(4_000, 0x1000), adds(4_000, 0x9000)])
+            .expect("completes");
+        for (tid, t) in report.threads.iter().enumerate() {
+            let cycles = t.result.cycles as f64;
+            for s in t.multi.stacks() {
+                assert!(
+                    (s.total_cycles() - cycles).abs() <= 1.0 + 1e-6,
+                    "thread {tid} {} stack {} vs cycles {}",
+                    s.stage,
+                    s.total_cycles(),
+                    cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smt_component_appears_under_contention() {
+        // Two width-hungry threads on one 4-wide core: each must lose
+        // visible cycles to the other.
+        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let report = SmtSimulation::new(CoreConfig::broadwell())
+            .with_ideal(ideal)
+            .run(vec![adds(6_000, 0x1000), adds(6_000, 0x9000)])
+            .expect("completes");
+        for (tid, t) in report.threads.iter().enumerate() {
+            let smt = t.multi.dispatch.cpi_of(Component::Smt)
+                + t.multi.commit.cpi_of(Component::Smt);
+            assert!(
+                smt > 0.05,
+                "thread {tid} must see SMT interference: {smt}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_has_no_smt_component() {
+        let report = SmtSimulation::new(CoreConfig::broadwell())
+            .run(vec![adds(3_000, 0x1000)])
+            .expect("completes");
+        let t = &report.threads[0];
+        for s in t.multi.stacks() {
+            assert!(
+                s.cpi_of(Component::Smt) < 1e-9,
+                "{}: solo thread cannot have SMT stalls",
+                s.stage
+            );
+        }
+    }
+}

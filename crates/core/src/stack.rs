@@ -1,0 +1,298 @@
+//! Stack data types: [`CpiStack`] and [`FlopsStack`].
+//!
+//! A stack stores per-component *cycle* counts accumulated by an
+//! accountant. Dividing by the committed micro-op count turns them into
+//! CPI components; dividing by total cycles and scaling by the peak rate
+//! turns them into an IPC stack or (via the paper's Eq. (1)) a FLOPS
+//! stack in operations per second.
+
+use crate::component::{Component, FlopsComponent, Stage, COMPONENTS, FLOPS_COMPONENTS};
+use mstacks_mem::HitLevel;
+
+/// A CPI stack measured at one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpiStack {
+    /// Stage this stack was measured at.
+    pub stage: Stage,
+    /// Per-component cycle counts (fractional).
+    counts: [f64; COMPONENTS.len()],
+    /// Split of the Dcache component by serving level (L2, L3, DRAM) — the
+    /// paper's suggested per-level refinement (§III-A).
+    mem_levels: [f64; 3],
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed correct-path micro-ops.
+    pub uops: u64,
+}
+
+impl CpiStack {
+    /// An empty stack for `stage`.
+    pub fn new(stage: Stage) -> Self {
+        CpiStack {
+            stage,
+            counts: [0.0; COMPONENTS.len()],
+            mem_levels: [0.0; 3],
+            cycles: 0,
+            uops: 0,
+        }
+    }
+
+    /// Builds a stack directly from counts (used by accountants).
+    pub fn from_counts(
+        stage: Stage,
+        counts: [f64; COMPONENTS.len()],
+        cycles: u64,
+        uops: u64,
+    ) -> Self {
+        CpiStack {
+            stage,
+            counts,
+            mem_levels: [0.0; 3],
+            cycles,
+            uops,
+        }
+    }
+
+    /// Like [`CpiStack::from_counts`], with the per-level Dcache breakdown
+    /// `(L2, L3, DRAM)` attached.
+    pub fn from_counts_with_levels(
+        stage: Stage,
+        counts: [f64; COMPONENTS.len()],
+        mem_levels: [f64; 3],
+        cycles: u64,
+        uops: u64,
+    ) -> Self {
+        CpiStack {
+            stage,
+            counts,
+            mem_levels,
+            cycles,
+            uops,
+        }
+    }
+
+    /// CPI contribution of the Dcache component that was served by `level`
+    /// (L1/L2 are reported together under L2, since an L1 hit is never a
+    /// Dcache stall). The three levels sum to `cpi_of(Component::Dcache)`
+    /// when the accountant recorded levels.
+    pub fn dcache_level_cpi(&self, level: HitLevel) -> f64 {
+        if self.uops == 0 {
+            return 0.0;
+        }
+        let i = match level {
+            HitLevel::L1 | HitLevel::L2 => 0,
+            HitLevel::L3 => 1,
+            HitLevel::Mem => 2,
+        };
+        self.mem_levels[i] / self.uops as f64
+    }
+
+    /// Raw cycle count of `c`.
+    #[inline]
+    pub fn cycles_of(&self, c: Component) -> f64 {
+        self.counts[c.index()]
+    }
+
+    /// CPI contribution of `c` (cycles / committed micro-ops).
+    #[inline]
+    pub fn cpi_of(&self, c: Component) -> f64 {
+        if self.uops == 0 {
+            0.0
+        } else {
+            self.counts[c.index()] / self.uops as f64
+        }
+    }
+
+    /// Total CPI as the sum of all components.
+    pub fn total_cpi(&self) -> f64 {
+        COMPONENTS.iter().map(|&c| self.cpi_of(c)).sum()
+    }
+
+    /// Sum of all component cycle counts (≈ `cycles`; the accounting
+    /// invariant the test-suite checks).
+    pub fn total_cycles(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Component fractions of the total (sums to 1 for a non-empty stack).
+    pub fn normalized(&self) -> [f64; COMPONENTS.len()] {
+        let total = self.total_cycles();
+        let mut out = [0.0; COMPONENTS.len()];
+        if total > 0.0 {
+            for (o, c) in out.iter_mut().zip(self.counts.iter()) {
+                *o = c / total;
+            }
+        }
+        out
+    }
+
+    /// IPC-stack components: each component scaled to instructions/cycle so
+    /// the full stack height equals `max_ipc` and the base component equals
+    /// the achieved IPC (paper §V-B, Fig. 5 left).
+    pub fn ipc_components(&self, max_ipc: f64) -> [f64; COMPONENTS.len()] {
+        let mut out = self.normalized();
+        for o in &mut out {
+            *o *= max_ipc;
+        }
+        out
+    }
+
+    /// `(component, cpi)` pairs in stacking order.
+    pub fn iter_cpi(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
+        COMPONENTS.iter().map(move |&c| (c, self.cpi_of(c)))
+    }
+}
+
+/// A FLOPS stack (paper Table III), measured at the issue stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlopsStack {
+    /// Per-component cycle counts (fractional).
+    counts: [f64; FLOPS_COMPONENTS.len()],
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Peak floating-point operations per cycle, `M = 2·k·v`.
+    pub peak_flops_per_cycle: u32,
+}
+
+impl FlopsStack {
+    /// An empty FLOPS stack for a core with peak `m = 2·k·v` FLOPS/cycle.
+    pub fn new(peak_flops_per_cycle: u32) -> Self {
+        FlopsStack {
+            counts: [0.0; FLOPS_COMPONENTS.len()],
+            cycles: 0,
+            peak_flops_per_cycle,
+        }
+    }
+
+    /// Builds a stack directly from counts (used by the accountant).
+    pub fn from_counts(
+        counts: [f64; FLOPS_COMPONENTS.len()],
+        cycles: u64,
+        peak_flops_per_cycle: u32,
+    ) -> Self {
+        FlopsStack {
+            counts,
+            cycles,
+            peak_flops_per_cycle,
+        }
+    }
+
+    /// Raw cycle count of `c`.
+    #[inline]
+    pub fn cycles_of(&self, c: FlopsComponent) -> f64 {
+        self.counts[c.index()]
+    }
+
+    /// Sum of all component cycle counts (≈ `cycles`).
+    pub fn total_cycles(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Component fractions of the total (sums to 1).
+    pub fn normalized(&self) -> [f64; FLOPS_COMPONENTS.len()] {
+        let total = self.total_cycles();
+        let mut out = [0.0; FLOPS_COMPONENTS.len()];
+        if total > 0.0 {
+            for (o, c) in out.iter_mut().zip(self.counts.iter()) {
+                *o = c / total;
+            }
+        }
+        out
+    }
+
+    /// Achieved floating-point operations per cycle:
+    /// `base_comp / cycles · M` (paper Eq. (1) without the frequency).
+    pub fn achieved_flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.cycles_of(FlopsComponent::Base) / self.cycles as f64
+            * f64::from(self.peak_flops_per_cycle)
+    }
+
+    /// Achieved GFLOPS at clock `freq_ghz` — the paper's Eq. (1):
+    /// `FLOPS = base_comp / cycles · freq · M`.
+    pub fn achieved_gflops(&self, freq_ghz: f64) -> f64 {
+        self.achieved_flops_per_cycle() * freq_ghz
+    }
+
+    /// Stack heights in GFLOPS: every component scaled by `freq·M/cycles`,
+    /// so the total equals peak GFLOPS and the base equals achieved GFLOPS
+    /// (paper §III-C).
+    pub fn gflops_components(&self, freq_ghz: f64) -> [f64; FLOPS_COMPONENTS.len()] {
+        let mut out = self.normalized();
+        let peak = freq_ghz * f64::from(self.peak_flops_per_cycle);
+        for o in &mut out {
+            *o *= peak;
+        }
+        out
+    }
+
+    /// `(component, fraction)` pairs in stacking order.
+    pub fn iter_normalized(&self) -> impl Iterator<Item = (FlopsComponent, f64)> + '_ {
+        let n = self.normalized();
+        FLOPS_COMPONENTS.iter().map(move |&c| (c, n[c.index()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cpi() -> CpiStack {
+        let mut counts = [0.0; COMPONENTS.len()];
+        counts[Component::Base.index()] = 250.0;
+        counts[Component::Dcache.index()] = 600.0;
+        counts[Component::Depend.index()] = 150.0;
+        CpiStack::from_counts(Stage::Dispatch, counts, 1_000, 1_000)
+    }
+
+    #[test]
+    fn cpi_components_divide_by_uops() {
+        let s = sample_cpi();
+        assert!((s.cpi_of(Component::Base) - 0.25).abs() < 1e-12);
+        assert!((s.cpi_of(Component::Dcache) - 0.6).abs() < 1e-12);
+        assert!((s.total_cpi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let s = sample_cpi();
+        let total: f64 = s.normalized().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_stack_height_is_max_ipc() {
+        let s = sample_cpi();
+        let ipc = s.ipc_components(4.0);
+        let total: f64 = ipc.iter().sum();
+        assert!((total - 4.0).abs() < 1e-12);
+        // Base component = achieved IPC = 1.0 uops / cycle × (250/1000) × 4.
+        assert!((ipc[Component::Base.index()] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_eq1() {
+        // 64 peak ops/cycle; base = half the cycles → 32 ops/cycle.
+        let mut counts = [0.0; FLOPS_COMPONENTS.len()];
+        counts[FlopsComponent::Base.index()] = 500.0;
+        counts[FlopsComponent::Memory.index()] = 500.0;
+        let s = FlopsStack::from_counts(counts, 1_000, 64);
+        assert!((s.achieved_flops_per_cycle() - 32.0).abs() < 1e-12);
+        // Eq. (1) with freq: 32 ops/cycle × 2 GHz = 64 GFLOPS.
+        assert!((s.achieved_gflops(2.0) - 64.0).abs() < 1e-12);
+        // Stack height = peak GFLOPS.
+        let total: f64 = s.gflops_components(2.0).iter().sum();
+        assert!((total - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stacks_are_zero() {
+        let s = CpiStack::new(Stage::Commit);
+        assert_eq!(s.total_cpi(), 0.0);
+        let f = FlopsStack::new(64);
+        assert_eq!(f.achieved_flops_per_cycle(), 0.0);
+        assert_eq!(f.normalized().iter().sum::<f64>(), 0.0);
+    }
+}

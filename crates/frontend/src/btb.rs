@@ -1,0 +1,133 @@
+//! Branch target buffer: a small set-associative cache of branch targets.
+
+/// One BTB way.
+#[derive(Debug, Clone, Copy)]
+struct BtbWay {
+    pc: u64,
+    target: u64,
+    stamp: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// A set-associative branch target buffer with LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_frontend::Btb;
+///
+/// let mut b = Btb::new(4, 2);
+/// assert_eq!(b.lookup(0x400), None);
+/// b.update(0x400, 0x9000);
+/// assert_eq!(b.lookup(0x400), Some(0x9000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    ways: Vec<BtbWay>,
+    assoc: usize,
+    set_mask: u64,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `2^sets_log2` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    pub fn new(sets_log2: u32, assoc: u32) -> Self {
+        assert!(assoc > 0, "BTB associativity must be non-zero");
+        let sets = 1usize << sets_log2;
+        Btb {
+            ways: vec![
+                BtbWay {
+                    pc: INVALID,
+                    target: 0,
+                    stamp: 0
+                };
+                sets * assoc as usize
+            ],
+            assoc: assoc as usize,
+            set_mask: (sets as u64) - 1,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, pc: u64) -> std::ops::Range<usize> {
+        let set = ((pc >> 2) & self.set_mask) as usize;
+        let start = set * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Returns the stored target for the branch at `pc`, if present.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(pc);
+        for w in &mut self.ways[range] {
+            if w.pc == pc {
+                w.stamp = tick;
+                return Some(w.target);
+            }
+        }
+        None
+    }
+
+    /// Records (or refreshes) the target of a taken branch.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(pc);
+        let set = &mut self.ways[range];
+        if let Some(w) = set.iter_mut().find(|w| w.pc == pc) {
+            w.target = target;
+            w.stamp = tick;
+            return;
+        }
+        if let Some(w) = set.iter_mut().find(|w| w.pc == INVALID) {
+            *w = BtbWay { pc, target, stamp: tick };
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.stamp)
+            .expect("associativity is non-zero");
+        *victim = BtbWay { pc, target, stamp: tick };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(3, 2);
+        assert_eq!(b.lookup(100), None);
+        b.update(100, 500);
+        assert_eq!(b.lookup(100), Some(500));
+    }
+
+    #[test]
+    fn update_changes_target() {
+        let mut b = Btb::new(3, 2);
+        b.update(100, 500);
+        b.update(100, 600);
+        assert_eq!(b.lookup(100), Some(600));
+    }
+
+    #[test]
+    fn conflict_evicts_lru() {
+        // 1 set (sets_log2=0), 2 ways: three PCs conflict.
+        let mut b = Btb::new(0, 2);
+        b.update(4, 1);
+        b.update(8, 2);
+        b.lookup(4); // 8 becomes LRU
+        b.update(12, 3);
+        assert_eq!(b.lookup(4), Some(1));
+        assert_eq!(b.lookup(8), None);
+        assert_eq!(b.lookup(12), Some(3));
+    }
+}

@@ -1,0 +1,522 @@
+//! Fetch + decode timing model.
+//!
+//! [`FrontendUnit`] pulls correct-path micro-ops from the trace, accesses
+//! the instruction cache (blocking fetch on a miss), predicts branches
+//! (switching to synthesized wrong-path micro-ops on a misprediction),
+//! models microcode-sequencer stalls, and delays every micro-op by the
+//! frontend pipeline depth before it becomes dispatchable.
+//!
+//! The per-cycle contract with the pipeline:
+//!
+//! 1. the pipeline calls [`FrontendUnit::tick`] once per cycle to fetch;
+//! 2. the dispatch stage pops dispatchable micro-ops with
+//!    [`FrontendUnit::pop_ready`];
+//! 3. when a mispredicted branch *executes*, the pipeline calls
+//!    [`FrontendUnit::redirect`], which squashes the wrong path and
+//!    restarts fetch at the correct address (paying the refill depth);
+//! 4. the accounting layers ask [`FrontendUnit::stall_reason`] why the
+//!    frontend is not delivering — this is the `if Icache miss / elif bpred
+//!    miss` probe in every Table II algorithm, extended with the microcode
+//!    cause of Fig. 3(d).
+
+use std::collections::VecDeque;
+
+use crate::predictor::BranchPredictor;
+use crate::wrongpath::WrongPathGen;
+use mstacks_mem::Hierarchy;
+use mstacks_model::{CoreConfig, FrontendStall, MicroOp, UopKind};
+
+/// A micro-op sitting in the frontend queue, decorated with speculation
+/// state and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchedUop {
+    /// The micro-op itself (synthesized for wrong-path entries).
+    pub uop: MicroOp,
+    /// `true` if fetched down a mispredicted path (ground truth, available
+    /// because the model is functional-first — paper §III-B).
+    pub wrong_path: bool,
+    /// `true` if this is a correct-path branch the predictor got wrong; its
+    /// execution triggers [`FrontendUnit::redirect`].
+    pub mispredicted_branch: bool,
+    /// Cycle from which this micro-op may dispatch (fetch cycle + frontend
+    /// pipeline depth).
+    pub avail: u64,
+    /// `true` if fetching this micro-op's line missed the L1I.
+    pub icache_miss: bool,
+}
+
+/// Outcome of one fetch cycle, for fetch-stage CPI accounting (the
+/// paper's "similar accounting can be done at other stages (e.g., fetch
+/// and decode)").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchCycle {
+    /// Micro-ops fetched this cycle, wrong path included.
+    pub n_total: u32,
+    /// Correct-path micro-ops fetched this cycle.
+    pub n_correct: u32,
+    /// Fetch was blocked because the frontend queue is full (downstream
+    /// back-pressure: dispatch is not draining it).
+    pub backpressure: bool,
+}
+
+/// Frontend statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Correct-path micro-ops fetched.
+    pub fetched: u64,
+    /// Wrong-path micro-ops fetched.
+    pub wrong_path_fetched: u64,
+    /// Branch mispredictions discovered at fetch.
+    pub mispredicts: u64,
+    /// Cycles fetch was blocked on an L1I miss.
+    pub icache_stall_cycles: u64,
+    /// Cycles fetch was blocked on the microcode sequencer.
+    pub microcode_stall_cycles: u64,
+}
+
+/// The fetch/decode unit of one core.
+pub struct FrontendUnit {
+    fetch_width: usize,
+    depth: u64,
+    microcode_cycles: u64,
+    l1i_latency: u64,
+    queue_cap: usize,
+    queue: VecDeque<FetchedUop>,
+    predictor: BranchPredictor,
+    /// Fetch is blocked until this cycle …
+    blocked_until: u64,
+    /// … because of this (Icache or Microcode).
+    blocked_on: Option<FrontendStall>,
+    /// While `Some`, fetch produces synthesized wrong-path micro-ops.
+    wrong_path: Option<WrongPathGen>,
+    /// After a redirect, the refill window during which the stall cause is
+    /// the branch misprediction.
+    bpred_refill_until: u64,
+    /// Micro-op fetched but not yet delivered (e.g. its I-line missed).
+    pending: Option<(MicroOp, bool)>,
+    current_line: u64,
+    trace_done: bool,
+    stats: FrontendStats,
+}
+
+impl std::fmt::Debug for FrontendUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontendUnit")
+            .field("queue_len", &self.queue.len())
+            .field("blocked_until", &self.blocked_until)
+            .field("wrong_path", &self.wrong_path.is_some())
+            .field("trace_done", &self.trace_done)
+            .finish()
+    }
+}
+
+impl FrontendUnit {
+    /// Builds the frontend for `cfg`; `perfect_bpred` enables the paper's
+    /// perfect-branch-prediction idealization.
+    pub fn new(cfg: &CoreConfig, perfect_bpred: bool) -> Self {
+        FrontendUnit {
+            fetch_width: cfg.fetch_width as usize,
+            depth: u64::from(cfg.frontend_depth),
+            microcode_cycles: u64::from(cfg.microcode_decode_cycles),
+            l1i_latency: u64::from(cfg.mem.l1i.latency),
+            queue_cap: (cfg.fetch_width as usize) * (cfg.frontend_depth as usize + 2),
+            queue: VecDeque::new(),
+            predictor: BranchPredictor::new(&cfg.bpred, perfect_bpred),
+            blocked_until: 0,
+            blocked_on: None,
+            wrong_path: None,
+            bpred_refill_until: 0,
+            pending: None,
+            current_line: u64::MAX,
+            trace_done: false,
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// Next micro-op to fetch: the stashed one, else wrong-path synthesis,
+    /// else the trace.
+    fn take_next(
+        &mut self,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+    ) -> Option<(MicroOp, bool)> {
+        if let Some(p) = self.pending.take() {
+            return Some(p);
+        }
+        if let Some(g) = &mut self.wrong_path {
+            return Some((g.next_uop(), true));
+        }
+        match trace.next() {
+            Some(u) => Some((u, false)),
+            None => {
+                self.trace_done = true;
+                None
+            }
+        }
+    }
+
+    /// Fetches up to `fetch_width` micro-ops at cycle `now`; returns what
+    /// happened for fetch-stage accounting.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        mem: &mut Hierarchy,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+    ) -> FetchCycle {
+        let mut out = FetchCycle::default();
+        if now < self.blocked_until {
+            match self.blocked_on {
+                Some(FrontendStall::Icache) => self.stats.icache_stall_cycles += 1,
+                Some(FrontendStall::Microcode) => self.stats.microcode_stall_cycles += 1,
+                _ => {}
+            }
+            return out;
+        }
+        self.blocked_on = None;
+        out.backpressure = self.queue.len() >= self.queue_cap;
+
+        let mut fetched = 0;
+        while fetched < self.fetch_width && self.queue.len() < self.queue_cap {
+            let Some((uop, wrong)) = self.take_next(trace) else {
+                break;
+            };
+
+            // Instruction-cache access on a line change.
+            let line = uop.pc >> 6;
+            let mut icache_miss = false;
+            if line != self.current_line {
+                let res = mem.fetch(uop.pc, now);
+                self.current_line = line;
+                if res.ready > now + self.l1i_latency {
+                    // Miss: stall fetch until the line arrives; re-deliver
+                    // this micro-op then.
+                    self.blocked_until = res.ready;
+                    self.blocked_on = Some(FrontendStall::Icache);
+                    self.stats.icache_stall_cycles += 1;
+                    self.pending = Some((uop, wrong));
+                    return out;
+                }
+            }
+            if self.pending_icache_flag(&uop, mem) {
+                icache_miss = true;
+            }
+
+            // Branch prediction (correct-path branches only; wrong-path
+            // micro-ops carry no branches).
+            let mut mispredicted = false;
+            let mut group_break = false;
+            if let (UopKind::Branch(bi), false) = (&uop.kind, wrong) {
+                let p = self.predictor.predict_and_update(uop.pc, bi);
+                if p.mispredicted {
+                    mispredicted = true;
+                    self.stats.mispredicts += 1;
+                    self.wrong_path = Some(WrongPathGen::new(p.next_pc, uop.pc));
+                }
+                // A (predicted-)taken branch ends the fetch group.
+                group_break = p.taken;
+            }
+
+            if wrong {
+                self.stats.wrong_path_fetched += 1;
+            } else {
+                self.stats.fetched += 1;
+                out.n_correct += 1;
+            }
+            out.n_total += 1;
+            self.queue.push_back(FetchedUop {
+                uop,
+                wrong_path: wrong,
+                mispredicted_branch: mispredicted,
+                avail: now + self.depth,
+                icache_miss,
+            });
+            fetched += 1;
+
+            // Microcode sequencing blocks the decoder behind this micro-op.
+            if uop.microcoded && self.microcode_cycles > 0 {
+                self.blocked_until = now + self.microcode_cycles;
+                self.blocked_on = Some(FrontendStall::Microcode);
+                return out;
+            }
+            if group_break {
+                return out;
+            }
+        }
+        out
+    }
+
+    /// Whether the line feeding `uop` is still being filled (used only to
+    /// decorate [`FetchedUop::icache_miss`] for statistics).
+    fn pending_icache_flag(&self, _uop: &MicroOp, _mem: &Hierarchy) -> bool {
+        false
+    }
+
+    /// Pops the oldest micro-op if it has traversed the frontend pipeline.
+    pub fn pop_ready(&mut self, now: u64) -> Option<FetchedUop> {
+        match self.queue.front() {
+            Some(f) if f.avail <= now => self.queue.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Peeks the oldest micro-op if dispatchable at `now`.
+    pub fn peek_ready(&self, now: u64) -> Option<&FetchedUop> {
+        self.queue.front().filter(|f| f.avail <= now)
+    }
+
+    /// Why the frontend is not delivering micro-ops (paper Table II lines
+    /// 4–8): the active wrong path or its refill window reports `Bpred`; an
+    /// outstanding L1I miss reports `Icache`; a busy microcode sequencer
+    /// reports `Microcode`. `None` means the frontend is fine (e.g. warmup
+    /// or trace end).
+    pub fn stall_reason(&self, now: u64) -> Option<FrontendStall> {
+        if self.wrong_path.is_some() || now < self.bpred_refill_until {
+            return Some(FrontendStall::Bpred);
+        }
+        if now < self.blocked_until {
+            return self.blocked_on;
+        }
+        None
+    }
+
+    /// A mispredicted branch resolved at cycle `now`: squash the wrong path
+    /// and restart fetch at the correct address.
+    pub fn redirect(&mut self, now: u64) {
+        self.wrong_path = None;
+        if let Some((_, wrong)) = self.pending {
+            if wrong {
+                self.pending = None;
+            }
+        }
+        self.queue.retain(|f| !f.wrong_path);
+        // Wrong-path I-cache/microcode blockage must not gate the correct
+        // path (its misses stay in flight in the hierarchy, though).
+        self.blocked_until = now + 1;
+        self.blocked_on = None;
+        self.bpred_refill_until = now + 1 + self.depth;
+        self.current_line = u64::MAX;
+    }
+
+    /// `true` when the trace is exhausted and nothing is left to deliver.
+    pub fn is_drained(&self) -> bool {
+        self.trace_done && self.queue.is_empty() && self.wrong_path.is_none()
+            && self.pending.is_none()
+    }
+
+    /// Frontend statistics.
+    pub fn stats(&self) -> &FrontendStats {
+        &self.stats
+    }
+
+    /// Branch-predictor statistics (lookups / mispredicts).
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.predictor
+    }
+
+    /// Number of micro-ops currently queued (any speculation state).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::{AluClass, ArchReg, BranchInfo, BranchKind, CoreConfig};
+
+    fn cfg() -> CoreConfig {
+        CoreConfig::broadwell()
+    }
+
+    fn alu(pc: u64) -> MicroOp {
+        MicroOp::new(pc, UopKind::IntAlu(AluClass::Add)).with_dst(ArchReg::new(1))
+    }
+
+    fn run_ticks(
+        fe: &mut FrontendUnit,
+        mem: &mut Hierarchy,
+        trace: &mut dyn Iterator<Item = MicroOp>,
+        cycles: u64,
+    ) -> Vec<FetchedUop> {
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            fe.tick(now, mem, trace);
+            while let Some(f) = fe.pop_ready(now) {
+                out.push(f);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn delivers_after_frontend_depth() {
+        let cfg = cfg();
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(true);
+        let mut fe = FrontendUnit::new(&cfg, true);
+        let mut trace = vec![alu(0x1000)].into_iter();
+        fe.tick(0, &mut mem, &mut trace);
+        // Not ready before the pipeline depth has elapsed.
+        for now in 0..u64::from(cfg.frontend_depth) {
+            assert!(fe.pop_ready(now).is_none(), "too early at {now}");
+        }
+        let f = fe.pop_ready(u64::from(cfg.frontend_depth)).expect("ready");
+        assert_eq!(f.uop.pc, 0x1000);
+        assert!(!f.wrong_path);
+    }
+
+    #[test]
+    fn fetch_width_respected() {
+        let cfg = cfg();
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(true);
+        let mut fe = FrontendUnit::new(&cfg, true);
+        let mut trace = (0..100).map(|i| alu(0x1000 + i * 4));
+        fe.tick(0, &mut mem, &mut trace);
+        assert_eq!(fe.queue_len(), cfg.fetch_width as usize);
+    }
+
+    #[test]
+    fn icache_miss_blocks_fetch_and_reports_stall() {
+        let cfg = cfg();
+        let mut mem = Hierarchy::new(&cfg.mem); // cold caches
+        let mut fe = FrontendUnit::new(&cfg, true);
+        let mut trace = (0..16).map(|i| alu(0x40000 + i * 4));
+        fe.tick(0, &mut mem, &mut trace);
+        // Cold I-miss: nothing fetched, stall reason is Icache.
+        assert_eq!(fe.queue_len(), 0);
+        assert_eq!(fe.stall_reason(1), Some(FrontendStall::Icache));
+        // Eventually the line arrives and fetch resumes.
+        let got = run_ticks(&mut fe, &mut mem, &mut trace, 600);
+        assert!(!got.is_empty());
+        assert!(fe.stats().icache_stall_cycles > 0);
+    }
+
+    #[test]
+    fn mispredict_produces_wrong_path_then_redirect_recovers() {
+        let cfg = cfg();
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(true);
+        let mut fe = FrontendUnit::new(&cfg, false);
+        // A cold taken branch must mispredict (BTB miss).
+        let br = MicroOp::new(
+            0x1000,
+            UopKind::Branch(BranchInfo {
+                taken: true,
+                target: 0x9000,
+                fallthrough: 0x1004,
+                kind: BranchKind::Cond,
+            }),
+        );
+        let mut uops = vec![br];
+        for i in 0..8 {
+            uops.push(alu(0x9000 + i * 4));
+        }
+        let mut trace = uops.into_iter();
+
+        // Fetch for a few cycles: branch + wrong-path uops enter the queue.
+        for now in 0..4 {
+            fe.tick(now, &mut mem, &mut trace);
+        }
+        assert_eq!(fe.stall_reason(3), Some(FrontendStall::Bpred));
+        assert!(fe.stats().mispredicts == 1);
+        assert!(fe.stats().wrong_path_fetched > 0);
+
+        // Pipeline resolves the branch at cycle 20.
+        fe.redirect(20);
+        // Wrong-path entries are squashed from the queue.
+        assert!(fe.queue.iter().all(|f| !f.wrong_path));
+        // Refill window still blames bpred…
+        assert_eq!(fe.stall_reason(21), Some(FrontendStall::Bpred));
+        // …then the correct path flows again.
+        let got = run_ticks(&mut fe, &mut mem, &mut trace, 64);
+        let correct: Vec<_> = got.iter().filter(|f| !f.wrong_path).collect();
+        assert!(correct.iter().any(|f| f.uop.pc == 0x9000));
+    }
+
+    #[test]
+    fn perfect_bpred_never_goes_wrong_path() {
+        let cfg = cfg();
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(true);
+        let mut fe = FrontendUnit::new(&cfg, true);
+        let mut uops = Vec::new();
+        for i in 0..20u64 {
+            uops.push(MicroOp::new(
+                0x1000 + i * 64,
+                UopKind::Branch(BranchInfo {
+                    taken: i % 2 == 0,
+                    target: 0x1000 + (i + 1) * 64,
+                    fallthrough: 0x1000 + (i + 1) * 64,
+                    kind: BranchKind::Cond,
+                }),
+            ));
+        }
+        let mut trace = uops.into_iter();
+        let got = run_ticks(&mut fe, &mut mem, &mut trace, 200);
+        assert_eq!(fe.stats().mispredicts, 0);
+        assert!(got.iter().all(|f| !f.wrong_path));
+        assert_eq!(got.len(), 20);
+    }
+
+    #[test]
+    fn microcode_stalls_decode_on_knl() {
+        let cfg = CoreConfig::knights_landing();
+        assert!(cfg.microcode_decode_cycles > 0);
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(true);
+        let mut fe = FrontendUnit::new(&cfg, true);
+        let mut uops = vec![alu(0x1000).microcoded()];
+        for i in 1..8 {
+            uops.push(alu(0x1000 + i * 4));
+        }
+        let mut trace = uops.into_iter();
+        fe.tick(0, &mut mem, &mut trace);
+        assert_eq!(fe.queue_len(), 1); // the microcoded op went through alone
+        assert_eq!(fe.stall_reason(1), Some(FrontendStall::Microcode));
+        fe.tick(1, &mut mem, &mut trace);
+        assert_eq!(fe.queue_len(), 1); // still sequencing
+        let mut total = 0;
+        for now in 2..40 {
+            fe.tick(now, &mut mem, &mut trace);
+            total = fe.queue_len();
+        }
+        assert!(total > 1, "fetch must resume after the microcode stall");
+        assert!(fe.stats().microcode_stall_cycles > 0);
+    }
+
+    #[test]
+    fn drained_when_trace_and_queue_empty() {
+        let cfg = cfg();
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(true);
+        let mut fe = FrontendUnit::new(&cfg, true);
+        let mut trace = vec![alu(0x1000)].into_iter();
+        assert!(!fe.is_drained());
+        let got = run_ticks(&mut fe, &mut mem, &mut trace, 32);
+        assert_eq!(got.len(), 1);
+        assert!(fe.is_drained());
+    }
+
+    #[test]
+    fn taken_branch_breaks_fetch_group() {
+        let cfg = cfg();
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(true);
+        let mut fe = FrontendUnit::new(&cfg, true);
+        let br = MicroOp::new(
+            0x1000,
+            UopKind::Branch(BranchInfo {
+                taken: true,
+                target: 0x2000,
+                fallthrough: 0x1004,
+                kind: BranchKind::Uncond,
+            }),
+        );
+        let mut trace = vec![br, alu(0x2000), alu(0x2004)].into_iter();
+        fe.tick(0, &mut mem, &mut trace);
+        // Only the branch is fetched in cycle 0 (group break on taken).
+        assert_eq!(fe.queue_len(), 1);
+        fe.tick(1, &mut mem, &mut trace);
+        assert_eq!(fe.queue_len(), 3);
+    }
+}

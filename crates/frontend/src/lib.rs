@@ -1,0 +1,33 @@
+//! Frontend model for the `mstacks` simulator: branch prediction, fetch and
+//! decode timing, and wrong-path instruction synthesis.
+//!
+//! The frontend is where two of the paper's CPI components originate:
+//!
+//! * **Icache** — instruction fetch blocks while an L1I miss is outstanding;
+//! * **Bpred** — after a mispredicted branch is fetched, the frontend keeps
+//!   fetching *wrong-path* micro-ops (which occupy the pipeline and touch
+//!   the instruction cache) until the branch resolves; then the pipeline is
+//!   flushed and refilled, costing the frontend pipeline depth.
+//!
+//! A third component, **Microcode** (paper Fig. 3(d)), appears on cores
+//! whose decoder stalls for several cycles on microcoded instructions (the
+//! KNL preset).
+//!
+//! The unit is *functional-first* (paper §III-B): branch outcomes are known
+//! from the trace, so correct-path and wrong-path micro-ops are always
+//! distinguishable — the ground truth against which the paper's simpler
+//! hardware schemes are compared in `mstacks-core`.
+
+pub mod btb;
+pub mod fetch;
+pub mod gshare;
+pub mod predictor;
+pub mod ras;
+pub mod wrongpath;
+
+pub use btb::Btb;
+pub use fetch::{FetchCycle, FetchedUop, FrontendUnit};
+pub use gshare::Gshare;
+pub use predictor::{BranchPredictor, Prediction};
+pub use ras::ReturnAddressStack;
+pub use wrongpath::WrongPathGen;

@@ -1,0 +1,140 @@
+//! Wrong-path micro-op synthesis.
+//!
+//! After a mispredicted branch is fetched, a real frontend keeps fetching
+//! from the (wrong) predicted address until the branch resolves. Those
+//! wrong-path instructions occupy fetch bandwidth, pollute the instruction
+//! cache, fill reservation stations and execute on real ports — effects the
+//! paper's bad-speculation accounting (§III-B) has to deal with.
+//!
+//! The trace only contains the correct path, so wrong-path micro-ops are
+//! synthesized deterministically from the branch PC: a seeded mix of ALU
+//! ops, address arithmetic and never-redirecting branches walking forward
+//! from the wrong target, including not-taken conditional branches roughly
+//! every eighth micro-op (real wrong paths are as branchy as real code —
+//! and the per-basic-block speculative counters of §III-B need wrong-path
+//! branches to delimit their windows). They carry no memory accesses
+//! (wrong-path data pollution is second-order for this paper's
+//! experiments; instruction-side pollution is modeled, because the PCs are
+//! wrong).
+
+use mstacks_model::{AluClass, ArchReg, BranchInfo, BranchKind, MicroOp, UopKind};
+
+/// Deterministic wrong-path micro-op generator.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_frontend::WrongPathGen;
+///
+/// let mut a = WrongPathGen::new(0x4000, 0x999);
+/// let mut b = WrongPathGen::new(0x4000, 0x999);
+/// // Same branch → same synthetic path (determinism).
+/// assert_eq!(a.next_uop().pc, b.next_uop().pc);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WrongPathGen {
+    pc: u64,
+    state: u64,
+}
+
+impl WrongPathGen {
+    /// Starts a wrong path at `wrong_pc` (the address the frontend
+    /// incorrectly continued at), seeded by the mispredicted branch's pc.
+    pub fn new(wrong_pc: u64, branch_pc: u64) -> Self {
+        WrongPathGen {
+            pc: wrong_pc,
+            // splitmix-style seed; never zero.
+            state: branch_pc.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic, cheap, good enough for op mixing.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Produces the next wrong-path micro-op.
+    pub fn next_uop(&mut self) -> MicroOp {
+        let r = self.next_rand();
+        let pc = self.pc;
+        self.pc += 4;
+        let reg = |v: u64| ArchReg::new((v % 32) as u16);
+        match r % 8 {
+            0..=3 => MicroOp::new(pc, UopKind::IntAlu(AluClass::Add))
+                .with_src(reg(r >> 8))
+                .with_dst(reg(r >> 16)),
+            4 => MicroOp::new(pc, UopKind::IntAlu(AluClass::Lea))
+                .with_src(reg(r >> 8))
+                .with_dst(reg(r >> 16)),
+            5 => MicroOp::new(pc, UopKind::IntAlu(AluClass::Mul))
+                .with_src(reg(r >> 8))
+                .with_src(reg(r >> 16))
+                .with_dst(reg(r >> 24)),
+            6 => MicroOp::new(
+                pc,
+                // A not-taken conditional: occupies a branch port, never
+                // redirects (the real redirect comes from the mispredicted
+                // correct-path branch that spawned this path).
+                UopKind::Branch(BranchInfo {
+                    taken: false,
+                    target: pc + 64,
+                    fallthrough: pc + 4,
+                    kind: BranchKind::Cond,
+                }),
+            ),
+            _ => MicroOp::new(pc, UopKind::Nop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_branch() {
+        let mut a = WrongPathGen::new(0x8000, 0x123);
+        let mut b = WrongPathGen::new(0x8000, 0x123);
+        for _ in 0..64 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn pcs_advance_sequentially() {
+        let mut g = WrongPathGen::new(0x8000, 0x1);
+        assert_eq!(g.next_uop().pc, 0x8000);
+        assert_eq!(g.next_uop().pc, 0x8004);
+        assert_eq!(g.next_uop().pc, 0x8008);
+    }
+
+    #[test]
+    fn no_memory_ops_and_only_tame_branches() {
+        let mut g = WrongPathGen::new(0x8000, 0x77);
+        let mut branches = 0;
+        for _ in 0..256 {
+            let u = g.next_uop();
+            assert!(!u.kind.is_mem());
+            if let UopKind::Branch(b) = u.kind {
+                assert!(!b.taken, "wrong-path branches never redirect");
+                branches += 1;
+            }
+        }
+        assert!(branches > 10, "wrong paths are branchy: {branches}");
+    }
+
+    #[test]
+    fn different_branches_differ() {
+        let mut a = WrongPathGen::new(0x8000, 0x111);
+        let mut b = WrongPathGen::new(0x8000, 0x222);
+        let sa: Vec<_> = (0..32).map(|_| a.next_uop().kind).collect();
+        let sb: Vec<_> = (0..32).map(|_| b.next_uop().kind).collect();
+        assert_ne!(sa, sb);
+    }
+}

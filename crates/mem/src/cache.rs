@@ -1,0 +1,220 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! The cache stores line *presence* only (tags, no data — the trace is
+//! functional-first). Timing lives in [`crate::hierarchy`].
+
+use mstacks_model::CacheConfig;
+
+/// One way of one set.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Full line address (`addr >> line_shift`); `u64::MAX` = invalid.
+    line: u64,
+    /// LRU timestamp: larger = more recently used.
+    stamp: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// A set-associative, true-LRU, write-allocate cache directory.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_mem::SetAssocCache;
+/// use mstacks_model::CacheConfig;
+///
+/// let cfg = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 1, mshrs: 4 };
+/// let mut c = SetAssocCache::new(&cfg);
+/// let line = 0x4000 >> 6;
+/// assert!(!c.probe_and_touch(line));
+/// c.insert(line);
+/// assert!(c.probe_and_touch(line));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    ways: Vec<Way>,
+    assoc: usize,
+    set_mask: u64,
+    tick: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a non-zero power of two (use
+    /// [`CacheConfig`] validation to catch this earlier).
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count {sets} must be a non-zero power of two"
+        );
+        SetAssocCache {
+            ways: vec![
+                Way {
+                    line: INVALID,
+                    stamp: 0
+                };
+                (sets as usize) * cfg.assoc as usize
+            ],
+            assoc: cfg.assoc as usize,
+            set_mask: sets - 1,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        let start = set * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Looks up `line`; on a hit, marks it most-recently-used.
+    pub fn probe_and_touch(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.line == line {
+                w.stamp = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Looks up `line` without disturbing LRU state.
+    pub fn contains(&self, line: u64) -> bool {
+        let range = self.set_range(line);
+        self.ways[range].iter().any(|w| w.line == line)
+    }
+
+    /// Inserts `line` as most-recently-used, returning the evicted line (if
+    /// a valid line was displaced). Inserting a line that is already present
+    /// just refreshes its LRU position.
+    pub fn insert(&mut self, line: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        let set = &mut self.ways[range];
+        // Already present?
+        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
+            w.stamp = tick;
+            return None;
+        }
+        // Free way?
+        if let Some(w) = set.iter_mut().find(|w| w.line == INVALID) {
+            *w = Way { line, stamp: tick };
+            return None;
+        }
+        // Evict true-LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.stamp)
+            .expect("associativity is non-zero");
+        let evicted = victim.line;
+        *victim = Way { line, stamp: tick };
+        Some(evicted)
+    }
+
+    /// Removes `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.line == line {
+                w.line = INVALID;
+                w.stamp = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident (O(capacity); for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.line != INVALID).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(size: u64, assoc: u32) -> SetAssocCache {
+        SetAssocCache::new(&CacheConfig {
+            size_bytes: size,
+            assoc,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache(1024, 2);
+        assert!(!c.probe_and_touch(7));
+        assert_eq!(c.insert(7), None);
+        assert!(c.probe_and_touch(7));
+        assert!(c.contains(7));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 1024 B / 64 B / 2 ways = 8 sets. Lines k, k+8, k+16 map to set k.
+        let mut c = cache(1024, 2);
+        c.insert(0);
+        c.insert(8);
+        // Touch 0 so 8 becomes LRU.
+        assert!(c.probe_and_touch(0));
+        let evicted = c.insert(16);
+        assert_eq!(evicted, Some(8));
+        assert!(c.contains(0));
+        assert!(c.contains(16));
+        assert!(!c.contains(8));
+    }
+
+    #[test]
+    fn insert_existing_refreshes_lru() {
+        let mut c = cache(1024, 2);
+        c.insert(0);
+        c.insert(8);
+        assert_eq!(c.insert(0), None); // refresh 0 → 8 is LRU
+        assert_eq!(c.insert(16), Some(8));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = cache(1024, 2);
+        c.insert(3);
+        assert!(c.invalidate(3));
+        assert!(!c.contains(3));
+        assert!(!c.invalidate(3));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = cache(1024, 2);
+        for line in 0..8 {
+            c.insert(line);
+        }
+        assert_eq!(c.resident_lines(), 8);
+        for line in 0..8 {
+            assert!(c.contains(line));
+        }
+    }
+
+    #[test]
+    fn full_associativity_fills_before_evicting() {
+        let mut c = cache(4096, 4); // 16 sets, 4 ways
+        for i in 0..4 {
+            assert_eq!(c.insert(i * 16), None);
+        }
+        assert_eq!(c.resident_lines(), 4);
+        assert!(c.insert(4 * 16).is_some());
+    }
+}

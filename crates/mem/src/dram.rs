@@ -1,0 +1,103 @@
+//! Main-memory model: fixed latency plus a bandwidth queue.
+//!
+//! Bandwidth is the per-core share of the socket (the paper scales all
+//! uncore resources by the core count, §IV). Each line transfer occupies the
+//! memory channel for `line_bytes / bytes_per_cycle` cycles; requests that
+//! arrive while the channel is busy queue behind it, so bandwidth-bound
+//! phases see growing effective latency.
+
+/// Bandwidth-limited, fixed-latency DRAM.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_mem::Dram;
+///
+/// // 100-cycle latency, 2 bytes/cycle → a 64-byte line holds the channel 32 cycles.
+/// let mut d = Dram::new(100, 2.0, 64);
+/// assert_eq!(d.access(0), 100);
+/// // Second access queues behind the first transfer (starts at 32).
+/// assert_eq!(d.access(0), 132);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    latency: u64,
+    cycles_per_line: f64,
+    /// Cycle at which the channel next becomes free.
+    next_free: f64,
+    accesses: u64,
+    /// Total cycles requests spent queued for bandwidth.
+    queue_cycles: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(latency: u32, bytes_per_cycle: f64, line_bytes: u32) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        Dram {
+            latency: u64::from(latency),
+            cycles_per_line: f64::from(line_bytes) / bytes_per_cycle,
+            next_free: 0.0,
+            accesses: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Requests one line at cycle `now`; returns the cycle the data arrives.
+    pub fn access(&mut self, now: u64) -> u64 {
+        self.accesses += 1;
+        let start = self.next_free.max(now as f64);
+        self.queue_cycles += (start - now as f64) as u64;
+        self.next_free = start + self.cycles_per_line;
+        start as u64 + self.latency
+    }
+
+    /// Total line requests served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total cycles requests spent waiting for the channel.
+    pub fn queue_cycles(&self) -> u64 {
+        self.queue_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_channel_gives_pure_latency() {
+        let mut d = Dram::new(170, 4.0, 64);
+        assert_eq!(d.access(1000), 1170);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue() {
+        let mut d = Dram::new(100, 1.0, 64); // 64 cycles per line
+        assert_eq!(d.access(0), 100);
+        assert_eq!(d.access(0), 164);
+        assert_eq!(d.access(0), 228);
+        assert_eq!(d.accesses(), 3);
+        assert!(d.queue_cycles() > 0);
+    }
+
+    #[test]
+    fn spaced_requests_do_not_queue() {
+        let mut d = Dram::new(100, 1.0, 64);
+        assert_eq!(d.access(0), 100);
+        assert_eq!(d.access(1000), 1100);
+        assert_eq!(d.queue_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Dram::new(100, 0.0, 64);
+    }
+}

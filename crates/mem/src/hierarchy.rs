@@ -1,0 +1,489 @@
+//! The full memory hierarchy: L1I + L1D → unified L2 → optional L3 → DRAM.
+//!
+//! ## Timing model
+//!
+//! The hierarchy is a latency oracle with contention. An access at cycle
+//! `now` walks the levels once and returns an [`AccessResult`] carrying the
+//! cycle the data is available and the deepest level touched. Contention
+//! enters through three mechanisms:
+//!
+//! 1. **MSHR coalescing** — a second access to an in-flight line completes
+//!    with the first.
+//! 2. **MSHR back-pressure** — when a level's MSHR file is full, a new miss
+//!    waits for a free entry before it can even start. Hardware prefetches
+//!    allocate L2 MSHRs through the same path, so streaming workloads make
+//!    I-cache misses queue (paper Fig. 3(c)).
+//! 3. **DRAM bandwidth** — each line occupies the (per-core share of the)
+//!    memory channel; concurrent misses serialize.
+//!
+//! ## Idealization
+//!
+//! [`Hierarchy::set_perfect_icache`] / [`Hierarchy::set_perfect_dcache`]
+//! implement the paper's perfect-L1 experiments: the respective access type
+//! always completes with the L1 latency *and produces no traffic to the
+//! shared levels*, which is what creates the second-order coupling effects
+//! of paper Fig. 3(b) — making the L1I perfect also lowers the data miss
+//! rate, because instructions stop evicting data from the unified L2/L3.
+
+use crate::cache::SetAssocCache;
+use crate::dram::Dram;
+use crate::mshr::MshrFile;
+use crate::prefetch::{NextLinePrefetcher, StridePrefetcher};
+use crate::stats::MemStats;
+use crate::tlb::Tlb;
+use crate::HitLevel;
+use mstacks_model::MemConfig;
+
+/// Outcome of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the data is available to the requester.
+    pub ready: u64,
+    /// Deepest level the access had to touch.
+    pub level: HitLevel,
+}
+
+impl AccessResult {
+    /// Whether the access missed the first-level cache (the Table II
+    /// predicate "has Icache/Dcache miss").
+    #[inline]
+    pub fn missed_l1(&self) -> bool {
+        self.level.beyond_l1()
+    }
+}
+
+fn level_to_tag(level: HitLevel) -> u8 {
+    match level {
+        HitLevel::L1 => 0,
+        HitLevel::L2 => 1,
+        HitLevel::L3 => 2,
+        HitLevel::Mem => 3,
+    }
+}
+
+fn tag_to_level(tag: u8) -> HitLevel {
+    match tag {
+        0 => HitLevel::L1,
+        1 => HitLevel::L2,
+        2 => HitLevel::L3,
+        _ => HitLevel::Mem,
+    }
+}
+
+/// The simulated memory hierarchy of one core (plus its slice of shared
+/// resources).
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    line_shift: u32,
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    l3: Option<SetAssocCache>,
+    l1i_mshr: MshrFile,
+    l1d_mshr: MshrFile,
+    l2_mshr: MshrFile,
+    l3_mshr: MshrFile,
+    dram: Dram,
+    lat_l1i: u64,
+    lat_l1d: u64,
+    lat_l2: u64,
+    lat_l3: u64,
+    stride: StridePrefetcher,
+    next_line: NextLinePrefetcher,
+    itlb: Tlb,
+    dtlb: Tlb,
+    perfect_icache: bool,
+    perfect_dcache: bool,
+    stats: MemStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid cache geometry; run
+    /// [`mstacks_model::CoreConfig::validate`] first to get a proper error.
+    pub fn new(cfg: &MemConfig) -> Self {
+        let line_shift = cfg.l1d.line_bytes.trailing_zeros();
+        Hierarchy {
+            line_shift,
+            l1i: SetAssocCache::new(&cfg.l1i),
+            l1d: SetAssocCache::new(&cfg.l1d),
+            l2: SetAssocCache::new(&cfg.l2),
+            l3: cfg.l3.as_ref().map(SetAssocCache::new),
+            l1i_mshr: MshrFile::new(cfg.l1i.mshrs),
+            l1d_mshr: MshrFile::new(cfg.l1d.mshrs),
+            l2_mshr: MshrFile::new(cfg.l2.mshrs),
+            l3_mshr: MshrFile::new(cfg.l3.map(|c| c.mshrs).unwrap_or(1)),
+            dram: Dram::new(cfg.dram_latency, cfg.dram_bytes_per_cycle, cfg.l2.line_bytes),
+            lat_l1i: u64::from(cfg.l1i.latency),
+            lat_l1d: u64::from(cfg.l1d.latency),
+            lat_l2: u64::from(cfg.l2.latency),
+            lat_l3: u64::from(cfg.l3.map(|c| c.latency).unwrap_or(0)),
+            stride: StridePrefetcher::new(
+                64,
+                if cfg.prefetch.stride_enabled {
+                    cfg.prefetch.stride_degree
+                } else {
+                    0
+                },
+                cfg.prefetch.stride_threshold,
+            ),
+            next_line: NextLinePrefetcher::new(cfg.prefetch.next_line_enabled),
+            itlb: Tlb::new(&cfg.itlb),
+            dtlb: Tlb::new(&cfg.dtlb),
+            perfect_icache: false,
+            perfect_dcache: false,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Makes every instruction fetch an L1I hit (paper's "perfect Icache").
+    pub fn set_perfect_icache(&mut self, on: bool) {
+        self.perfect_icache = on;
+    }
+
+    /// Makes every data access an L1D hit (paper's "perfect Dcache").
+    pub fn set_perfect_dcache(&mut self, on: bool) {
+        self.perfect_dcache = on;
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn line(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Instruction fetch of the line containing `pc`, at cycle `now`.
+    pub fn fetch(&mut self, pc: u64, now: u64) -> AccessResult {
+        self.stats.l1i.accesses += 1;
+        if self.perfect_icache {
+            return AccessResult {
+                ready: now + self.lat_l1i,
+                level: HitLevel::L1,
+            };
+        }
+        // Instruction TLB first: a walk delays the fetch and counts as part
+        // of the Icache component ("cache (and TLB)", paper §III).
+        let walk = self.itlb.access(pc);
+        let now = now + walk;
+        let line = self.line(pc);
+        if let Some((ready, tag)) = self.l1i_mshr.pending(line, now) {
+            return AccessResult {
+                ready,
+                level: tag_to_level(tag),
+            };
+        }
+        if self.l1i.probe_and_touch(line) {
+            return AccessResult {
+                ready: now + self.lat_l1i,
+                // An I-TLB walk on an otherwise-hitting fetch still stalls
+                // the frontend like a miss.
+                level: if walk > 0 { HitLevel::L2 } else { HitLevel::L1 },
+            };
+        }
+        self.stats.l1i.misses += 1;
+        let start = self.l1i_mshr.alloc_time(now);
+        let (ready, level) = self.access_l2(line, start + self.lat_l1i, true);
+        self.l1i.insert(line);
+        self.l1i_mshr.insert(line, ready, level_to_tag(level));
+        AccessResult { ready, level }
+    }
+
+    /// Data load of `addr` by the instruction at `pc`, at cycle `now`.
+    pub fn load(&mut self, addr: u64, pc: u64, now: u64) -> AccessResult {
+        self.data_access(addr, pc, now, false)
+    }
+
+    /// Data store to `addr` by the instruction at `pc`, at cycle `now`
+    /// (write-allocate; the returned latency models the fill, which the
+    /// pipeline's store buffer hides from commit).
+    pub fn store(&mut self, addr: u64, pc: u64, now: u64) -> AccessResult {
+        self.data_access(addr, pc, now, true)
+    }
+
+    fn data_access(&mut self, addr: u64, pc: u64, now: u64, _is_store: bool) -> AccessResult {
+        self.stats.l1d.accesses += 1;
+        if self.perfect_dcache {
+            return AccessResult {
+                ready: now + self.lat_l1d,
+                level: HitLevel::L1,
+            };
+        }
+        // Data TLB first ("Dcache miss component (and TLB)", paper §III).
+        let walk = self.dtlb.access(addr);
+        let now = now + walk;
+        let line = self.line(addr);
+        if let Some((ready, tag)) = self.l1d_mshr.pending(line, now) {
+            return AccessResult {
+                ready,
+                level: tag_to_level(tag),
+            };
+        }
+        if self.l1d.probe_and_touch(line) {
+            return AccessResult {
+                ready: now + self.lat_l1d,
+                // A walk on an L1 hit still blames the memory system.
+                level: if walk > 0 { HitLevel::L2 } else { HitLevel::L1 },
+            };
+        }
+        self.stats.l1d.misses += 1;
+        // The L2 stride streamer observes L1D demand misses.
+        let pf_lines = self.stride.observe(pc, addr);
+        let start = self.l1d_mshr.alloc_time(now);
+        let (ready, level) = self.access_l2(line, start + self.lat_l1d, false);
+        self.l1d.insert(line);
+        self.l1d_mshr.insert(line, ready, level_to_tag(level));
+        // Prefetches launch after the demand miss and contend for the same
+        // L2 MSHRs and DRAM bandwidth.
+        for pf in pf_lines {
+            self.prefetch_into_l2(pf, start + self.lat_l1d);
+        }
+        AccessResult { ready, level }
+    }
+
+    /// Looks `line` up in the unified L2 at cycle `at`; on a miss, continues
+    /// to L3/DRAM. Returns (ready cycle, deepest level).
+    fn access_l2(&mut self, line: u64, at: u64, _is_instr: bool) -> (u64, HitLevel) {
+        self.stats.l2.accesses += 1;
+        if let Some(pf) = self.next_line.observe(line) {
+            self.stats.prefetches_issued += 1;
+            self.prefetch_into_l2(pf, at);
+        }
+        if let Some((ready, tag)) = self.l2_mshr.pending(line, at) {
+            return (ready.max(at + self.lat_l2), tag_to_level(tag));
+        }
+        if self.l2.probe_and_touch(line) {
+            return (at + self.lat_l2, HitLevel::L2);
+        }
+        self.stats.l2.misses += 1;
+        let start = self.l2_mshr.alloc_time(at);
+        self.stats.l2_mshr_wait_cycles += start - at;
+        let (ready, level) = self.access_l3(line, start + self.lat_l2);
+        self.l2.insert(line);
+        self.l2_mshr.insert(line, ready, level_to_tag(level));
+        (ready, level)
+    }
+
+    /// Looks `line` up in the L3 (if present) at cycle `at`, else DRAM.
+    fn access_l3(&mut self, line: u64, at: u64) -> (u64, HitLevel) {
+        let Some(l3) = self.l3.as_mut() else {
+            self.stats.dram_accesses += 1;
+            return (self.dram.access(at), HitLevel::Mem);
+        };
+        self.stats.l3.accesses += 1;
+        if let Some((ready, tag)) = self.l3_mshr.pending(line, at) {
+            return (ready.max(at + self.lat_l3), tag_to_level(tag));
+        }
+        if l3.probe_and_touch(line) {
+            return (at + self.lat_l3, HitLevel::L3);
+        }
+        self.stats.l3.misses += 1;
+        let start = self.l3_mshr.alloc_time(at);
+        let ready = self.dram.access(start + self.lat_l3);
+        self.stats.dram_accesses += 1;
+        self.l3
+            .as_mut()
+            .expect("L3 presence checked above")
+            .insert(line);
+        self.l3_mshr.insert(line, ready, level_to_tag(HitLevel::Mem));
+        (ready, HitLevel::Mem)
+    }
+
+    /// Brings `line` into the L2 as a prefetch: allocates an L2 MSHR (the
+    /// contention mechanism of paper Fig. 3(c)) and fetches from L3/DRAM.
+    fn prefetch_into_l2(&mut self, line: u64, at: u64) {
+        if self.l2.contains(line) || self.l2_mshr.pending(line, at).is_some() {
+            return;
+        }
+        self.stats.prefetches_issued += 1;
+        let start = self.l2_mshr.alloc_time(at);
+        let (ready, level) = self.access_l3(line, start + self.lat_l2);
+        self.l2.insert(line);
+        self.l2_mshr.insert(line, ready, level_to_tag(level));
+    }
+
+    /// Copies the DRAM queueing statistic into [`MemStats`] and returns the
+    /// full statistics snapshot.
+    pub fn stats_snapshot(&self) -> MemStats {
+        let mut s = self.stats;
+        s.dram_queue_cycles = self.dram.queue_cycles();
+        s.itlb_misses = self.itlb.misses();
+        s.dtlb_misses = self.dtlb.misses();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::{CacheConfig, CoreConfig, MemConfig, PrefetchConfig, TlbConfig};
+
+    fn small_mem() -> MemConfig {
+        MemConfig {
+            l1i: CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+                mshrs: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 4,
+                mshrs: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 12,
+                mshrs: 2,
+            },
+            l3: None,
+            dram_latency: 100,
+            dram_bytes_per_cycle: 4.0,
+            itlb: TlbConfig::free(),
+            dtlb: TlbConfig::free(),
+            prefetch: PrefetchConfig::disabled(),
+        }
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_then_hits() {
+        let mut m = Hierarchy::new(&small_mem());
+        let r = m.load(0x10000, 1, 0);
+        assert_eq!(r.level, HitLevel::Mem);
+        assert!(r.ready >= 100);
+        let r2 = m.load(0x10000, 1, r.ready + 1);
+        assert_eq!(r2.level, HitLevel::L1);
+        assert_eq!(r2.ready, r.ready + 1 + 4);
+    }
+
+    #[test]
+    fn coalescing_on_in_flight_line() {
+        let mut m = Hierarchy::new(&small_mem());
+        let r = m.load(0x10000, 1, 0);
+        // Second access to the same line while the miss is in flight.
+        let r2 = m.load(0x10040 - 0x40, 2, 5);
+        assert_eq!(r2.ready, r.ready);
+        assert!(r2.missed_l1());
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = Hierarchy::new(&small_mem());
+        // L1D: 1024 B / 64 / 2 = 8 sets. Lines 0, 8, 16 conflict in set 0.
+        let t0 = m.load(0, 1, 0).ready;
+        let t1 = m.load(8 * 64, 1, t0 + 1).ready;
+        let t2 = m.load(16 * 64, 1, t1 + 1).ready;
+        // Line 0 evicted from L1 but resident in the bigger L2.
+        let r = m.load(0, 1, t2 + 400);
+        assert_eq!(r.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn perfect_dcache_always_l1() {
+        let mut m = Hierarchy::new(&small_mem());
+        m.set_perfect_dcache(true);
+        for i in 0..32 {
+            let r = m.load(i * 4096, 1, i);
+            assert_eq!(r.level, HitLevel::L1);
+            assert_eq!(r.ready, i + 4);
+        }
+        assert_eq!(m.stats().l1d.misses, 0);
+    }
+
+    #[test]
+    fn perfect_icache_produces_no_l2_traffic() {
+        let mut m = Hierarchy::new(&small_mem());
+        m.set_perfect_icache(true);
+        for i in 0..32 {
+            let r = m.fetch(i * 4096, i);
+            assert_eq!(r.level, HitLevel::L1);
+        }
+        assert_eq!(m.stats().l2.accesses, 0);
+    }
+
+    #[test]
+    fn instructions_and_data_share_the_l2() {
+        let mut m = Hierarchy::new(&small_mem());
+        // Bring a line in via the instruction side...
+        let r = m.fetch(0x2000, 0);
+        assert_eq!(r.level, HitLevel::Mem);
+        // ...then the data side finds it in the unified L2.
+        let r2 = m.load(0x2000, 9, r.ready + 1);
+        assert_eq!(r2.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn l2_mshr_pressure_delays_icache_miss() {
+        let mut m = Hierarchy::new(&small_mem()); // L2 has only 2 MSHRs
+        // Two outstanding data misses fill the L2 MSHRs.
+        let a = m.load(0x100000, 1, 0);
+        let b = m.load(0x200000, 1, 0);
+        assert!(a.missed_l1() && b.missed_l1());
+        // An instruction miss now queues for an L2 MSHR.
+        let i = m.fetch(0x300000, 1);
+        assert!(i.ready > a.ready.min(b.ready));
+        assert!(m.stats().l2_mshr_wait_cycles > 0);
+    }
+
+    #[test]
+    fn dram_bandwidth_serializes_misses() {
+        let mut cfg = small_mem();
+        cfg.dram_bytes_per_cycle = 0.5; // 128 cycles per line
+        cfg.l2.mshrs = 8;
+        let mut m = Hierarchy::new(&cfg);
+        let a = m.load(0x100000, 1, 0);
+        let b = m.load(0x200000, 2, 0);
+        assert!(b.ready >= a.ready + 100); // second line queued behind first
+    }
+
+    #[test]
+    fn stride_prefetch_hides_later_misses() {
+        let mut cfg = small_mem();
+        cfg.prefetch = PrefetchConfig {
+            stride_enabled: true,
+            stride_degree: 4,
+            stride_threshold: 2,
+            next_line_enabled: false,
+        };
+        cfg.l2.mshrs = 8;
+        let mut m = Hierarchy::new(&cfg);
+        // Stream with 64-byte stride; give each access plenty of time.
+        let mut now = 0;
+        let mut levels = Vec::new();
+        for i in 0..16u64 {
+            let r = m.load(0x40000 + i * 64, 7, now);
+            levels.push(r.level);
+            now = r.ready + 200;
+        }
+        // After the stride is learned, lines should be prefetched into L2.
+        assert!(
+            levels[4..].contains(&HitLevel::L2),
+            "prefetching should convert later stream misses into L2 hits: {levels:?}"
+        );
+        assert!(m.stats_snapshot().prefetches_issued > 0);
+    }
+
+    #[test]
+    fn preset_configs_build() {
+        for cfg in [
+            CoreConfig::broadwell(),
+            CoreConfig::knights_landing(),
+            CoreConfig::skylake_server(),
+        ] {
+            let mut m = Hierarchy::new(&cfg.mem);
+            let r = m.load(0x1234, 0x400000, 0);
+            assert!(r.ready > 0);
+        }
+    }
+}

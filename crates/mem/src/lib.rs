@@ -1,0 +1,98 @@
+//! Memory hierarchy for the `mstacks` simulator.
+//!
+//! Implements the uncore substrate the ISPASS 2018 paper's evaluation relies
+//! on: set-associative L1I/L1D caches, a *unified* L2 (instructions and data
+//! share capacity and MSHRs — the source of the paper's Fig. 3(b)
+//! second-order coupling), an optional shared L3 slice, limited
+//! miss-status-holding registers (whose contention produces the Fig. 3(c)
+//! `bwaves` effect), hardware prefetchers, and a bandwidth-limited DRAM
+//! model.
+//!
+//! The hierarchy is a *latency oracle with contention*: an access walks the
+//! levels once and returns the cycle at which its data is ready, shaped by
+//! MSHR occupancy and DRAM bandwidth. In-flight misses are tracked in MSHR
+//! files so that later accesses to the same line coalesce.
+//!
+//! # Example
+//!
+//! ```
+//! use mstacks_mem::{Hierarchy, HitLevel};
+//! use mstacks_model::CoreConfig;
+//!
+//! let cfg = CoreConfig::broadwell();
+//! let mut mem = Hierarchy::new(&cfg.mem);
+//! let first = mem.load(0x4000, 0x100, 0);
+//! assert_eq!(first.level, HitLevel::Mem); // cold miss goes to DRAM
+//! let again = mem.load(0x4000, 0x100, first.ready + 1);
+//! assert_eq!(again.level, HitLevel::L1); // now resident
+//! ```
+
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod mshr;
+pub mod prefetch;
+pub mod stats;
+pub mod tlb;
+
+pub use cache::SetAssocCache;
+pub use dram::Dram;
+pub use hierarchy::{AccessResult, Hierarchy};
+pub use mshr::MshrFile;
+pub use prefetch::{NextLinePrefetcher, StridePrefetcher};
+pub use stats::{CacheStats, MemStats};
+pub use tlb::Tlb;
+
+/// The deepest level an access had to go to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// Serviced by the first-level cache (or store-forwarded).
+    L1,
+    /// Missed L1, hit the unified L2.
+    L2,
+    /// Missed L2, hit the shared L3 slice.
+    L3,
+    /// Went all the way to main memory.
+    Mem,
+}
+
+impl HitLevel {
+    /// `true` if the access missed the first-level cache. This is the
+    /// predicate the Table II accounting algorithms call "has Dcache miss"
+    /// (resp. "Icache miss" on the instruction side).
+    #[inline]
+    pub fn beyond_l1(self) -> bool {
+        self != HitLevel::L1
+    }
+}
+
+impl std::fmt::Display for HitLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HitLevel::L1 => write!(f, "L1"),
+            HitLevel::L2 => write!(f, "L2"),
+            HitLevel::L3 => write!(f, "L3"),
+            HitLevel::Mem => write!(f, "mem"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_level_ordering_and_predicate() {
+        assert!(HitLevel::L1 < HitLevel::L2);
+        assert!(HitLevel::L2 < HitLevel::L3);
+        assert!(HitLevel::L3 < HitLevel::Mem);
+        assert!(!HitLevel::L1.beyond_l1());
+        assert!(HitLevel::L2.beyond_l1());
+        assert!(HitLevel::Mem.beyond_l1());
+    }
+
+    #[test]
+    fn hit_level_display() {
+        assert_eq!(HitLevel::Mem.to_string(), "mem");
+    }
+}

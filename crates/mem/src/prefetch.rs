@@ -1,0 +1,249 @@
+//! Hardware prefetchers.
+//!
+//! Two engines mirror the common Intel configuration the paper's platforms
+//! use:
+//!
+//! * a **per-PC stride prefetcher** watching L1D accesses: once a load PC
+//!   shows a stable stride, it requests `degree` lines ahead;
+//! * a **next-line prefetcher** at the L2.
+//!
+//! Prefetch requests go through the *regular* L2 MSHR allocation path in
+//! [`crate::hierarchy`], so an aggressive stream of prefetches keeps the L2
+//! MSHRs contended — the mechanism behind paper Fig. 3(c), where `bwaves`'
+//! I-cache misses queue behind prefetch traffic and making the L1I perfect
+//! buys almost nothing.
+
+/// One tracked load PC.
+#[derive(Debug, Clone, Copy)]
+struct StrideEntry {
+    pc: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u32,
+}
+
+/// Per-PC stride detector.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_mem::StridePrefetcher;
+///
+/// let mut p = StridePrefetcher::new(16, 2, 2);
+/// assert!(p.observe(0x100, 0x8000).is_empty());
+/// assert!(p.observe(0x100, 0x8040).is_empty()); // stride learned
+/// let lines = p.observe(0x100, 0x8080);         // confident → prefetch
+/// assert_eq!(lines, vec![(0x80c0 >> 6), (0x8100 >> 6)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    capacity: usize,
+    degree: u32,
+    threshold: u32,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    const LINE_SHIFT: u32 = 6;
+
+    /// Creates a stride prefetcher with a `capacity`-entry PC table,
+    /// prefetching `degree` lines ahead once `threshold` consecutive
+    /// same-stride accesses have been seen.
+    pub fn new(capacity: usize, degree: u32, threshold: u32) -> Self {
+        StridePrefetcher {
+            table: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+            degree,
+            threshold,
+            issued: 0,
+        }
+    }
+
+    /// Observes a demand access by `pc` to byte address `addr`; returns the
+    /// *line* addresses that should be prefetched (possibly empty).
+    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        if self.degree == 0 {
+            return Vec::new();
+        }
+        let pos = self.table.iter().position(|e| e.pc == pc);
+        match pos {
+            None => {
+                if self.table.len() == self.capacity {
+                    // FIFO eviction keeps the model deterministic and cheap.
+                    self.table.remove(0);
+                }
+                self.table.push(StrideEntry {
+                    pc,
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                });
+                Vec::new()
+            }
+            Some(i) => {
+                let e = &mut self.table[i];
+                let stride = addr as i64 - e.last_addr as i64;
+                if stride == e.stride && stride != 0 {
+                    e.confidence = e.confidence.saturating_add(1);
+                } else {
+                    e.stride = stride;
+                    e.confidence = 1;
+                }
+                e.last_addr = addr;
+                if e.confidence < self.threshold || e.stride == 0 {
+                    return Vec::new();
+                }
+                let stride = e.stride;
+                let mut lines = Vec::with_capacity(self.degree as usize);
+                let mut last_line = u64::MAX;
+                for k in 1..=i64::from(self.degree) {
+                    let target = addr as i64 + stride * k;
+                    if target < 0 {
+                        break;
+                    }
+                    let line = (target as u64) >> Self::LINE_SHIFT;
+                    if line != last_line && line != addr >> Self::LINE_SHIFT {
+                        lines.push(line);
+                        last_line = line;
+                    }
+                }
+                self.issued += lines.len() as u64;
+                lines
+            }
+        }
+    }
+
+    /// Total prefetch lines requested.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// Simple next-line prefetcher (used at the L2).
+///
+/// # Example
+///
+/// ```
+/// use mstacks_mem::NextLinePrefetcher;
+/// let mut p = NextLinePrefetcher::new(true);
+/// assert_eq!(p.observe(100), Some(101));
+/// assert_eq!(p.observe(100), None); // deduplicated
+/// ```
+#[derive(Debug, Clone)]
+pub struct NextLinePrefetcher {
+    enabled: bool,
+    last_line: u64,
+    issued: u64,
+}
+
+impl NextLinePrefetcher {
+    /// Creates the prefetcher; `enabled = false` makes it inert.
+    pub fn new(enabled: bool) -> Self {
+        NextLinePrefetcher {
+            enabled,
+            last_line: u64::MAX,
+            issued: 0,
+        }
+    }
+
+    /// Observes a demand access to `line`; returns the line to prefetch.
+    pub fn observe(&mut self, line: u64) -> Option<u64> {
+        if !self.enabled || line == self.last_line {
+            return None;
+        }
+        self.last_line = line;
+        self.issued += 1;
+        Some(line + 1)
+    }
+
+    /// Total prefetch lines requested.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_needs_confidence() {
+        let mut p = StridePrefetcher::new(8, 2, 3);
+        assert!(p.observe(1, 0).is_empty());
+        assert!(p.observe(1, 64).is_empty()); // confidence 1
+        assert!(p.observe(1, 128).is_empty()); // confidence 2
+        assert!(!p.observe(1, 192).is_empty()); // confidence 3 = threshold
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StridePrefetcher::new(8, 2, 2);
+        p.observe(1, 0);
+        p.observe(1, 64);
+        p.observe(1, 128);
+        assert!(!p.observe(1, 192).is_empty());
+        // Break the stride: 192 → 1000 (stride 808, confidence 1 < threshold 2).
+        assert!(p.observe(1, 1000).is_empty());
+        // Same stride again → confidence 2 → prefetches resume.
+        assert!(!p.observe(1, 1808).is_empty());
+    }
+
+    #[test]
+    fn sub_line_strides_deduplicate_lines() {
+        let mut p = StridePrefetcher::new(8, 4, 1);
+        p.observe(1, 0);
+        p.observe(1, 8);
+        let lines = p.observe(1, 16);
+        // stride 8, degree 4 → next addresses 24,32,40,48 are all line 0 → suppressed.
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn distinct_pcs_tracked_separately() {
+        let mut p = StridePrefetcher::new(8, 1, 1);
+        p.observe(1, 0);
+        p.observe(2, 1_000_000);
+        p.observe(1, 4096);
+        let l1 = p.observe(1, 8192);
+        assert_eq!(l1, vec![(8192 + 4096) >> 6]);
+        p.observe(2, 1_000_000 + 128);
+        let l2 = p.observe(2, 1_000_000 + 256);
+        assert_eq!(l2, vec![(1_000_000 + 384) >> 6]);
+    }
+
+    #[test]
+    fn table_eviction_is_fifo() {
+        let mut p = StridePrefetcher::new(2, 1, 1);
+        p.observe(1, 0);
+        p.observe(2, 0);
+        p.observe(3, 0); // evicts PC 1
+        p.observe(1, 64); // PC 1 re-enters from scratch: stride unknown
+        // First repeat establishes the stride; threshold 1 → prefetch resumes.
+        assert_eq!(p.observe(1, 128), vec![192 >> 6]);
+    }
+
+    #[test]
+    fn disabled_stride_is_inert() {
+        let mut p = StridePrefetcher::new(8, 0, 1);
+        p.observe(1, 0);
+        p.observe(1, 64);
+        assert!(p.observe(1, 128).is_empty());
+        assert_eq!(p.issued(), 0);
+    }
+
+    #[test]
+    fn next_line_dedups_consecutive() {
+        let mut p = NextLinePrefetcher::new(true);
+        assert_eq!(p.observe(5), Some(6));
+        assert_eq!(p.observe(5), None);
+        assert_eq!(p.observe(6), Some(7));
+        assert_eq!(p.issued(), 2);
+    }
+
+    #[test]
+    fn next_line_disabled() {
+        let mut p = NextLinePrefetcher::new(false);
+        assert_eq!(p.observe(5), None);
+    }
+}

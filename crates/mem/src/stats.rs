@@ -1,0 +1,62 @@
+//! Memory-hierarchy statistics.
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups (demand only; prefetch fills are not counted here).
+    pub accesses: u64,
+    /// Lookups that missed this level.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in [0, 1]; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Aggregate statistics of a [`crate::Hierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// L1 instruction cache.
+    pub l1i: CacheStats,
+    /// L1 data cache.
+    pub l1d: CacheStats,
+    /// Unified L2 (instruction + data + prefetch demand lookups).
+    pub l2: CacheStats,
+    /// Shared L3 slice (zeroed when the configuration has no L3).
+    pub l3: CacheStats,
+    /// Lines fetched from DRAM.
+    pub dram_accesses: u64,
+    /// Cycles requests spent queued for DRAM bandwidth.
+    pub dram_queue_cycles: u64,
+    /// Prefetch lines requested (stride + next-line engines).
+    pub prefetches_issued: u64,
+    /// Total cycles demand misses waited for a free L2 MSHR — the paper's
+    /// Fig. 3(c) contention, made directly observable.
+    pub l2_mshr_wait_cycles: u64,
+    /// Instruction-TLB misses (page walks folded into the Icache component).
+    pub itlb_misses: u64,
+    /// Data-TLB misses (page walks folded into the Dcache component).
+    pub dtlb_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+        let s = CacheStats {
+            accesses: 4,
+            misses: 1,
+        };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,799 @@
+//! Core configuration: every parameter of a simulated core.
+//!
+//! Three presets mirror the paper's evaluation platforms (§IV): an Intel
+//! Broadwell-inspired 4-wide core ([`CoreConfig::broadwell`]), a Knights
+//! Landing-inspired 2-wide core ([`CoreConfig::knights_landing`]) and a
+//! Skylake-server-inspired 4-wide AVX-512 core
+//! ([`CoreConfig::skylake_server`]). As in the paper, uncore resources
+//! (shared cache capacity, memory bandwidth) are divided by the socket core
+//! count to mimic a fully loaded processor.
+
+use crate::ports::{caps, PortSpec};
+use crate::uop::{AluClass, FpOpKind, UopKind};
+
+/// Error returned when a [`CoreConfig`] fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid core configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Access latency in cycles (added on a hit at this level).
+    pub latency: u32,
+    /// Miss-status-holding registers: maximum outstanding misses.
+    pub mshrs: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes) / u64::from(self.assoc)
+    }
+}
+
+/// TLB configuration (page size is fixed at 4 KiB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: u32,
+    /// Associativity (entries/assoc must be a power of two).
+    pub assoc: u32,
+    /// Page-walk latency in cycles charged on a miss.
+    pub walk_cycles: u32,
+}
+
+impl TlbConfig {
+    /// A TLB that never stalls (entries cover everything cheaply).
+    pub fn free() -> Self {
+        TlbConfig {
+            entries: 16,
+            assoc: 4,
+            walk_cycles: 0,
+        }
+    }
+}
+
+/// Hardware-prefetcher configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Enable the per-PC stride prefetcher on L1D misses.
+    pub stride_enabled: bool,
+    /// Prefetch degree: lines fetched ahead on a confident stride.
+    pub stride_degree: u32,
+    /// Confidence threshold (consecutive same-stride observations) before
+    /// prefetching starts.
+    pub stride_threshold: u32,
+    /// Enable the L2 next-line prefetcher.
+    pub next_line_enabled: bool,
+}
+
+impl PrefetchConfig {
+    /// Prefetching fully disabled.
+    pub fn disabled() -> Self {
+        PrefetchConfig {
+            stride_enabled: false,
+            stride_degree: 0,
+            stride_threshold: 2,
+            next_line_enabled: false,
+        }
+    }
+}
+
+/// Memory-hierarchy configuration: three or four levels plus DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 (instructions + data — source of the paper's Fig. 3(b)
+    /// second-order coupling).
+    pub l2: CacheConfig,
+    /// Shared last-level cache slice (per core); `None` on KNL-style parts.
+    pub l3: Option<CacheConfig>,
+    /// Main-memory access latency in cycles (beyond the last cache level).
+    pub dram_latency: u32,
+    /// Main-memory bandwidth available to this core, in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Prefetcher setup.
+    pub prefetch: PrefetchConfig,
+    /// Instruction TLB (misses fold into the Icache component, §III).
+    pub itlb: TlbConfig,
+    /// Data TLB (misses fold into the Dcache component, §III).
+    pub dtlb: TlbConfig,
+}
+
+/// Branch-predictor configuration (gshare + BTB + RAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// Global history length in bits (also log2 of the PHT size).
+    pub history_bits: u32,
+    /// log2 of the number of BTB sets.
+    pub btb_sets_log2: u32,
+    /// BTB associativity.
+    pub btb_ways: u32,
+    /// Return-address-stack depth.
+    pub ras_entries: u32,
+}
+
+/// Operation latencies in cycles.
+///
+/// The single-cycle-ALU idealization replaces every arithmetic latency here
+/// by 1 (loads keep their cache latency; that is the paper's definition in
+/// §IV: "all arithmetic and logic instructions complete in 1 cycle").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    /// Simple integer ALU.
+    pub int_add: u32,
+    /// Integer multiply.
+    pub int_mul: u32,
+    /// Integer divide (not pipelined).
+    pub int_div: u32,
+    /// Address arithmetic.
+    pub lea: u32,
+    /// Branch resolution.
+    pub branch: u32,
+    /// FP / vector add.
+    pub fp_add: u32,
+    /// FP / vector multiply.
+    pub fp_mul: u32,
+    /// FP / vector fused multiply-add.
+    pub fp_fma: u32,
+    /// FP / vector divide (not pipelined).
+    pub fp_div: u32,
+    /// Vector integer / shuffle / broadcast.
+    pub vec_int: u32,
+    /// Store execution (address + data ready to forward).
+    pub store: u32,
+}
+
+impl LatencyTable {
+    /// Latency of a micro-op under this table, before idealization.
+    ///
+    /// Loads are *not* covered here: their latency comes from the memory
+    /// hierarchy.
+    pub fn exec_latency(&self, kind: &UopKind) -> u32 {
+        match kind {
+            UopKind::Nop => 1,
+            UopKind::IntAlu(c) => match c {
+                AluClass::Add => self.int_add,
+                AluClass::Mul => self.int_mul,
+                AluClass::Div => self.int_div,
+                AluClass::Lea => self.lea,
+            },
+            UopKind::Branch(_) => self.branch,
+            UopKind::ScalarFp(op) | UopKind::VecFp(crate::uop::VecFpOp { op, .. }) => match op {
+                FpOpKind::Fma => self.fp_fma,
+                FpOpKind::Add => self.fp_add,
+                FpOpKind::Mul => self.fp_mul,
+                FpOpKind::Div => self.fp_div,
+                FpOpKind::Other => self.fp_add,
+            },
+            UopKind::VecInt => self.vec_int,
+            UopKind::Store { .. } => self.store,
+            UopKind::Load { .. } => 1, // address generation; memory adds the rest
+        }
+    }
+
+    /// Whether an op of this kind blocks its port for the full latency
+    /// (non-pipelined execution).
+    pub fn is_unpipelined(&self, kind: &UopKind) -> bool {
+        matches!(kind, UopKind::IntAlu(AluClass::Div))
+            || matches!(
+                kind,
+                UopKind::ScalarFp(FpOpKind::Div)
+                    | UopKind::VecFp(crate::uop::VecFpOp {
+                        op: FpOpKind::Div,
+                        ..
+                    })
+            )
+    }
+}
+
+/// Complete configuration of one simulated core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Human-readable name ("bdw", "knl", "skx", …).
+    pub name: String,
+    /// Micro-ops fetched per cycle.
+    pub fetch_width: u32,
+    /// Micro-ops dispatched (renamed + ROB/RS-allocated) per cycle.
+    pub dispatch_width: u32,
+    /// Micro-ops that can start execution per cycle (≤ number of ports).
+    pub issue_width: u32,
+    /// Micro-ops committed per cycle.
+    pub commit_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Unified reservation-station entries.
+    pub rs_size: usize,
+    /// Load-queue entries.
+    pub ldq_size: usize,
+    /// Store-queue entries.
+    pub stq_size: usize,
+    /// Frontend pipeline depth in cycles (fetch→dispatch); determines the
+    /// branch-misprediction refill penalty.
+    pub frontend_depth: u32,
+    /// Extra decode cycles per microcoded micro-op (0 disables the
+    /// `Microcode` component; the KNL preset uses a non-zero value).
+    pub microcode_decode_cycles: u32,
+    /// Execution ports.
+    pub ports: Vec<PortSpec>,
+    /// Operation latencies.
+    pub lat: LatencyTable,
+    /// SIMD vector width in bits (256 for AVX2, 512 for AVX-512).
+    pub vector_bits: u32,
+    /// Core clock in GHz (used only to convert cycle counts to FLOPS via the
+    /// paper's Eq. (1)).
+    pub freq_ghz: f64,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+}
+
+impl CoreConfig {
+    /// The accounting width `W`: the minimum of all stage widths
+    /// (paper §III-A — "we propose to set W as the minimum of all stage
+    /// widths"; wider stages carry the excess fraction over to the next
+    /// cycle).
+    pub fn accounting_width(&self) -> u32 {
+        self.fetch_width
+            .min(self.dispatch_width)
+            .min(self.issue_width)
+            .min(self.commit_width)
+    }
+
+    /// Number of vector floating-point units (the paper's `k`).
+    pub fn vpu_count(&self) -> u32 {
+        self.ports.iter().filter(|p| p.is_vpu()).count() as u32
+    }
+
+    /// Vector width in elements for 32-bit data (the paper's `v` for single
+    /// precision, e.g. 16 for AVX-512).
+    pub fn vector_lanes_f32(&self) -> u32 {
+        self.vector_bits / 32
+    }
+
+    /// Peak floating-point operations per cycle: `2 · k · v`
+    /// (FMA counts double; paper §III-C).
+    pub fn peak_flops_per_cycle(&self) -> u32 {
+        2 * self.vpu_count() * self.vector_lanes_f32()
+    }
+
+    /// Peak GFLOPS at the configured clock: `freq · 2 · k · v`.
+    pub fn peak_gflops(&self) -> f64 {
+        self.freq_ghz * f64::from(self.peak_flops_per_cycle())
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint
+    /// (zero widths, ROB smaller than RS, non-power-of-two cache geometry,
+    /// missing port capabilities, …).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.fetch_width == 0
+            || self.dispatch_width == 0
+            || self.issue_width == 0
+            || self.commit_width == 0
+        {
+            return Err(ConfigError::new("all stage widths must be non-zero"));
+        }
+        if self.rob_size == 0 || self.rs_size == 0 {
+            return Err(ConfigError::new("ROB and RS must be non-empty"));
+        }
+        if self.rs_size > self.rob_size {
+            return Err(ConfigError::new("RS cannot be larger than the ROB"));
+        }
+        if self.ports.is_empty() {
+            return Err(ConfigError::new("at least one execution port required"));
+        }
+        if self.issue_width as usize > self.ports.len() {
+            return Err(ConfigError::new(
+                "issue width cannot exceed the number of ports",
+            ));
+        }
+        for cap in [caps::INT_ALU, caps::LOAD, caps::STORE, caps::BRANCH] {
+            if !self.ports.iter().any(|p| p.supports(cap)) {
+                return Err(ConfigError::new(format!(
+                    "no port supports capability bit {cap:#x}"
+                )));
+            }
+        }
+        if !self.vector_bits.is_power_of_two() || self.vector_bits < 64 {
+            return Err(ConfigError::new("vector width must be a power of two ≥ 64"));
+        }
+        for (name, c) in [
+            ("l1i", &self.mem.l1i),
+            ("l1d", &self.mem.l1d),
+            ("l2", &self.mem.l2),
+        ]
+        .into_iter()
+        .chain(self.mem.l3.as_ref().map(|c| ("l3", c)))
+        {
+            if !c.line_bytes.is_power_of_two() {
+                return Err(ConfigError::new(format!("{name}: line size not a power of two")));
+            }
+            let sets = c.sets();
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(ConfigError::new(format!(
+                    "{name}: set count {sets} not a non-zero power of two"
+                )));
+            }
+            if c.mshrs == 0 {
+                return Err(ConfigError::new(format!("{name}: needs at least one MSHR")));
+            }
+        }
+        if self.mem.dram_bytes_per_cycle <= 0.0 {
+            return Err(ConfigError::new("DRAM bandwidth must be positive"));
+        }
+        for (name, t) in [("itlb", &self.mem.itlb), ("dtlb", &self.mem.dtlb)] {
+            let sets = t.entries / t.assoc.max(1);
+            if sets == 0 || !sets.is_power_of_two() {
+                return Err(ConfigError::new(format!(
+                    "{name}: entries/assoc must be a non-zero power of two"
+                )));
+            }
+        }
+        if self.freq_ghz <= 0.0 {
+            return Err(ConfigError::new("core frequency must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different ROB size (clamping the RS to fit) —
+    /// builder-style helper for sensitivity sweeps.
+    pub fn with_rob_size(mut self, rob: usize) -> Self {
+        self.rob_size = rob;
+        self.rs_size = self.rs_size.min(rob);
+        self
+    }
+
+    /// Returns a copy with a different L2 MSHR count (the Fig. 3(c) knob).
+    pub fn with_l2_mshrs(mut self, mshrs: u32) -> Self {
+        self.mem.l2.mshrs = mshrs;
+        self
+    }
+
+    /// Returns a copy with prefetching disabled.
+    pub fn without_prefetch(mut self) -> Self {
+        self.mem.prefetch = PrefetchConfig::disabled();
+        self
+    }
+
+    /// Returns a copy with free (never-stalling) TLBs.
+    pub fn with_free_tlbs(mut self) -> Self {
+        self.mem.itlb = TlbConfig::free();
+        self.mem.dtlb = TlbConfig::free();
+        self
+    }
+
+    /// Intel Broadwell-inspired 4-wide out-of-order core (paper §IV).
+    ///
+    /// Uncore (L3 slice, DRAM bandwidth) is scaled to 1/18 of an 18-core
+    /// socket, mirroring the paper's fully-loaded-socket scaling.
+    pub fn broadwell() -> Self {
+        let cfg = CoreConfig {
+            name: "bdw".to_string(),
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 7,
+            commit_width: 4,
+            rob_size: 192,
+            rs_size: 60,
+            ldq_size: 72,
+            stq_size: 42,
+            frontend_depth: 7,
+            microcode_decode_cycles: 0,
+            // Simple-ALU ports are listed before the FMA-capable ports:
+            // the selector fills ports in order, which models a scheduler
+            // that keeps integer work off the vector units when possible.
+            ports: vec![
+                // p5: ALU + vec int/shuffle
+                PortSpec::new(caps::INT_ALU | caps::VEC_INT),
+                // p6: ALU + branch
+                PortSpec::new(caps::INT_ALU | caps::BRANCH),
+                // p0: ALU + FMA + int mul + div
+                PortSpec::new(
+                    caps::INT_ALU | caps::INT_MUL | caps::INT_DIV | caps::VEC_FP | caps::VEC_INT,
+                ),
+                // p1: ALU + FMA + int mul
+                PortSpec::new(caps::INT_ALU | caps::INT_MUL | caps::VEC_FP | caps::VEC_INT),
+                // p2, p3: load
+                PortSpec::new(caps::LOAD),
+                PortSpec::new(caps::LOAD),
+                // p4: store
+                PortSpec::new(caps::STORE),
+            ],
+            lat: LatencyTable {
+                int_add: 1,
+                int_mul: 3,
+                int_div: 21,
+                lea: 1,
+                branch: 1,
+                fp_add: 3,
+                fp_mul: 3,
+                fp_fma: 5,
+                fp_div: 13,
+                vec_int: 1,
+                store: 1,
+            },
+            vector_bits: 256,
+            freq_ghz: 2.3,
+            bpred: BpredConfig {
+                history_bits: 13,
+                btb_sets_log2: 9,
+                btb_ways: 4,
+                ras_entries: 16,
+            },
+            mem: MemConfig {
+                l1i: CacheConfig {
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    latency: 1,
+                    mshrs: 4,
+                },
+                l1d: CacheConfig {
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    latency: 4,
+                    mshrs: 10,
+                },
+                l2: CacheConfig {
+                    size_bytes: 256 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    latency: 12,
+                    mshrs: 16,
+                },
+                // 45 MB / 18 cores = 2.5 MB slice.
+                l3: Some(CacheConfig {
+                    size_bytes: 2560 * 1024,
+                    assoc: 20,
+                    line_bytes: 64,
+                    latency: 34,
+                    mshrs: 32,
+                }),
+                dram_latency: 170,
+                // ~76.8 GB/s socket / 18 cores at 2.3 GHz ≈ 1.9 B/cycle.
+                dram_bytes_per_cycle: 1.9,
+                itlb: TlbConfig { entries: 128, assoc: 4, walk_cycles: 20 },
+                dtlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 26 },
+                prefetch: PrefetchConfig {
+                    stride_enabled: true,
+                    stride_degree: 4,
+                    stride_threshold: 2,
+                    next_line_enabled: true,
+                },
+            },
+        };
+        debug_assert!(cfg.validate().is_ok());
+        cfg
+    }
+
+    /// Intel Knights Landing-inspired 2-wide out-of-order core (paper §IV).
+    ///
+    /// Two AVX-512 VPUs, no L3, MCDRAM-like bandwidth scaled to 1/68 of a
+    /// 68-core socket, and a slow microcode sequencer (non-zero
+    /// `microcode_decode_cycles`, producing the paper's `Microcode`
+    /// component on KNL in Fig. 3(d)).
+    pub fn knights_landing() -> Self {
+        let cfg = CoreConfig {
+            name: "knl".to_string(),
+            fetch_width: 2,
+            dispatch_width: 2,
+            issue_width: 6,
+            commit_width: 2,
+            rob_size: 72,
+            rs_size: 40,
+            ldq_size: 32,
+            stq_size: 16,
+            frontend_depth: 5,
+            microcode_decode_cycles: 3,
+            ports: vec![
+                PortSpec::new(caps::INT_ALU | caps::INT_MUL | caps::BRANCH),
+                PortSpec::new(caps::INT_ALU | caps::INT_DIV),
+                PortSpec::new(caps::LOAD | caps::STORE),
+                PortSpec::new(caps::LOAD | caps::STORE),
+                PortSpec::new(caps::VEC_FP | caps::VEC_INT),
+                PortSpec::new(caps::VEC_FP | caps::VEC_INT),
+            ],
+            lat: LatencyTable {
+                int_add: 1,
+                int_mul: 5,
+                int_div: 32,
+                lea: 2,
+                branch: 1,
+                fp_add: 6,
+                fp_mul: 6,
+                fp_fma: 6,
+                fp_div: 32,
+                vec_int: 2,
+                store: 1,
+            },
+            vector_bits: 512,
+            freq_ghz: 1.4,
+            bpred: BpredConfig {
+                history_bits: 12,
+                btb_sets_log2: 8,
+                btb_ways: 4,
+                ras_entries: 16,
+            },
+            mem: MemConfig {
+                l1i: CacheConfig {
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    latency: 1,
+                    mshrs: 4,
+                },
+                l1d: CacheConfig {
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    latency: 4,
+                    mshrs: 12,
+                },
+                // 1 MB per 2-core tile → 512 KB per core.
+                l2: CacheConfig {
+                    size_bytes: 512 * 1024,
+                    assoc: 16,
+                    line_bytes: 64,
+                    latency: 17,
+                    mshrs: 12,
+                },
+                l3: None,
+                dram_latency: 230,
+                // MCDRAM ~400 GB/s / 68 cores at 1.4 GHz ≈ 4.2 B/cycle.
+                dram_bytes_per_cycle: 4.2,
+                itlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 30 },
+                dtlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 38 },
+                prefetch: PrefetchConfig {
+                    stride_enabled: true,
+                    stride_degree: 4,
+                    stride_threshold: 2,
+                    next_line_enabled: true,
+                },
+            },
+        };
+        debug_assert!(cfg.validate().is_ok());
+        cfg
+    }
+
+    /// Intel Skylake-server-inspired 4-wide AVX-512 core (paper §IV, used
+    /// for the DeepBench FLOPS-stack experiments).
+    ///
+    /// Uncore scaled to 1/26 of a 26-core socket.
+    pub fn skylake_server() -> Self {
+        let cfg = CoreConfig {
+            name: "skx".to_string(),
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 7,
+            commit_width: 4,
+            rob_size: 224,
+            rs_size: 97,
+            ldq_size: 72,
+            stq_size: 56,
+            frontend_depth: 7,
+            microcode_decode_cycles: 0,
+            // Same ordering rationale as the BDW preset: simple-ALU ports
+            // first so integer work stays off the FMA ports when possible.
+            ports: vec![
+                PortSpec::new(caps::INT_ALU | caps::VEC_INT),
+                PortSpec::new(caps::INT_ALU | caps::BRANCH),
+                PortSpec::new(
+                    caps::INT_ALU | caps::INT_MUL | caps::INT_DIV | caps::VEC_FP | caps::VEC_INT,
+                ),
+                PortSpec::new(caps::INT_ALU | caps::INT_MUL | caps::VEC_FP | caps::VEC_INT),
+                PortSpec::new(caps::LOAD),
+                PortSpec::new(caps::LOAD),
+                PortSpec::new(caps::STORE),
+            ],
+            lat: LatencyTable {
+                int_add: 1,
+                int_mul: 3,
+                int_div: 21,
+                lea: 1,
+                branch: 1,
+                fp_add: 4,
+                fp_mul: 4,
+                fp_fma: 4,
+                fp_div: 14,
+                vec_int: 1,
+                store: 1,
+            },
+            vector_bits: 512,
+            freq_ghz: 2.1,
+            bpred: BpredConfig {
+                history_bits: 14,
+                btb_sets_log2: 9,
+                btb_ways: 4,
+                ras_entries: 16,
+            },
+            mem: MemConfig {
+                l1i: CacheConfig {
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    latency: 1,
+                    mshrs: 4,
+                },
+                l1d: CacheConfig {
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    latency: 4,
+                    mshrs: 12,
+                },
+                l2: CacheConfig {
+                    size_bytes: 1024 * 1024,
+                    assoc: 16,
+                    line_bytes: 64,
+                    latency: 14,
+                    mshrs: 16,
+                },
+                // 1.375 MB per core slice → round to a power-of-two set count.
+                l3: Some(CacheConfig {
+                    size_bytes: 1408 * 1024,
+                    assoc: 11,
+                    line_bytes: 64,
+                    latency: 50,
+                    mshrs: 32,
+                }),
+                dram_latency: 190,
+                // ~128 GB/s socket / 26 cores at 2.1 GHz ≈ 2.3 B/cycle.
+                dram_bytes_per_cycle: 2.3,
+                itlb: TlbConfig { entries: 128, assoc: 4, walk_cycles: 20 },
+                dtlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 26 },
+                prefetch: PrefetchConfig {
+                    stride_enabled: true,
+                    stride_degree: 4,
+                    stride_threshold: 2,
+                    next_line_enabled: true,
+                },
+            },
+        };
+        debug_assert!(cfg.validate().is_ok());
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            CoreConfig::broadwell(),
+            CoreConfig::knights_landing(),
+            CoreConfig::skylake_server(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn accounting_width_is_min_stage_width() {
+        let bdw = CoreConfig::broadwell();
+        assert_eq!(bdw.accounting_width(), 4);
+        let knl = CoreConfig::knights_landing();
+        assert_eq!(knl.accounting_width(), 2);
+    }
+
+    #[test]
+    fn vpu_counts_match_paper() {
+        // Paper §V-B: 2 VPUs on both KNL and SKX, AVX-512 → v = 16 (f32).
+        let knl = CoreConfig::knights_landing();
+        assert_eq!(knl.vpu_count(), 2);
+        assert_eq!(knl.vector_lanes_f32(), 16);
+        assert_eq!(knl.peak_flops_per_cycle(), 64);
+        let skx = CoreConfig::skylake_server();
+        assert_eq!(skx.vpu_count(), 2);
+        assert_eq!(skx.peak_flops_per_cycle(), 64);
+        // BDW: AVX2 → 8 f32 lanes, 2 FMA ports.
+        let bdw = CoreConfig::broadwell();
+        assert_eq!(bdw.peak_flops_per_cycle(), 32);
+    }
+
+    #[test]
+    fn peak_gflops_uses_frequency() {
+        let skx = CoreConfig::skylake_server();
+        let expect = 2.1 * 64.0;
+        assert!((skx.peak_gflops() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_zero_width() {
+        let mut cfg = CoreConfig::broadwell();
+        cfg.dispatch_width = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_rs_bigger_than_rob() {
+        let mut cfg = CoreConfig::broadwell();
+        cfg.rs_size = cfg.rob_size + 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_cache_geometry() {
+        let mut cfg = CoreConfig::broadwell();
+        cfg.mem.l1d.size_bytes = 3000; // not a power-of-two set count
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_missing_port_caps() {
+        let mut cfg = CoreConfig::broadwell();
+        cfg.ports.retain(|p| !p.supports(caps::STORE));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn exec_latency_table() {
+        let lat = CoreConfig::broadwell().lat;
+        assert_eq!(lat.exec_latency(&UopKind::IntAlu(AluClass::Add)), 1);
+        assert_eq!(lat.exec_latency(&UopKind::IntAlu(AluClass::Mul)), 3);
+        assert!(lat.exec_latency(&UopKind::IntAlu(AluClass::Div)) > 10);
+        assert!(lat.is_unpipelined(&UopKind::IntAlu(AluClass::Div)));
+        assert!(!lat.is_unpipelined(&UopKind::IntAlu(AluClass::Mul)));
+    }
+
+    #[test]
+    fn builder_tweaks() {
+        let cfg = CoreConfig::broadwell()
+            .with_rob_size(64)
+            .with_l2_mshrs(4)
+            .without_prefetch()
+            .with_free_tlbs();
+        assert_eq!(cfg.rob_size, 64);
+        assert!(cfg.rs_size <= 64);
+        assert_eq!(cfg.mem.l2.mshrs, 4);
+        assert!(!cfg.mem.prefetch.stride_enabled);
+        assert_eq!(cfg.mem.dtlb.walk_cycles, 0);
+        cfg.validate().expect("tweaked config stays valid");
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 4,
+            mshrs: 10,
+        };
+        assert_eq!(c.sets(), 64);
+    }
+}

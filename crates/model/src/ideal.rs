@@ -1,0 +1,114 @@
+//! Idealization knobs.
+//!
+//! The paper validates CPI-stack components by re-simulating with one
+//! structure made perfect and comparing the measured CPI reduction against
+//! the predicted component (Table I, Fig. 2, Fig. 3). These flags select
+//! which structures are idealized in a run.
+
+/// Which micro-architectural structures are made perfect in a simulation.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_model::IdealFlags;
+///
+/// let i = IdealFlags::none().with_perfect_bpred().with_perfect_dcache();
+/// assert!(i.perfect_bpred && i.perfect_dcache);
+/// assert!(!i.perfect_icache);
+/// assert_eq!(i.to_string(), "perfect-dcache+perfect-bpred");
+/// assert_eq!(IdealFlags::none().to_string(), "baseline");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct IdealFlags {
+    /// Every instruction fetch hits in the L1 I-cache.
+    pub perfect_icache: bool,
+    /// Every data access hits in the L1 D-cache.
+    pub perfect_dcache: bool,
+    /// Every branch direction *and* target is predicted correctly.
+    pub perfect_bpred: bool,
+    /// All arithmetic and logic operations complete in one cycle
+    /// (the paper's "1-cycle ALU"; loads keep their cache latency).
+    pub single_cycle_alu: bool,
+}
+
+impl IdealFlags {
+    /// No idealization: the realistic baseline configuration.
+    pub fn none() -> Self {
+        IdealFlags::default()
+    }
+
+    /// Enables a perfect instruction cache (builder style).
+    pub fn with_perfect_icache(mut self) -> Self {
+        self.perfect_icache = true;
+        self
+    }
+
+    /// Enables a perfect data cache (builder style).
+    pub fn with_perfect_dcache(mut self) -> Self {
+        self.perfect_dcache = true;
+        self
+    }
+
+    /// Enables perfect branch (direction + target) prediction (builder style).
+    pub fn with_perfect_bpred(mut self) -> Self {
+        self.perfect_bpred = true;
+        self
+    }
+
+    /// Makes all ALU/FP arithmetic single-cycle (builder style).
+    pub fn with_single_cycle_alu(mut self) -> Self {
+        self.single_cycle_alu = true;
+        self
+    }
+
+    /// `true` if no structure is idealized.
+    pub fn is_baseline(&self) -> bool {
+        *self == IdealFlags::default()
+    }
+}
+
+impl std::fmt::Display for IdealFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_baseline() {
+            return write!(f, "baseline");
+        }
+        let mut parts = Vec::new();
+        if self.perfect_icache {
+            parts.push("perfect-icache");
+        }
+        if self.perfect_dcache {
+            parts.push("perfect-dcache");
+        }
+        if self.perfect_bpred {
+            parts.push("perfect-bpred");
+        }
+        if self.single_cycle_alu {
+            parts.push("1-cycle-alu");
+        }
+        write!(f, "{}", parts.join("+"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_default() {
+        assert!(IdealFlags::none().is_baseline());
+        assert!(!IdealFlags::none().with_perfect_icache().is_baseline());
+    }
+
+    #[test]
+    fn display_lists_all_flags() {
+        let all = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_dcache()
+            .with_perfect_bpred()
+            .with_single_cycle_alu();
+        assert_eq!(
+            all.to_string(),
+            "perfect-icache+perfect-dcache+perfect-bpred+1-cycle-alu"
+        );
+    }
+}

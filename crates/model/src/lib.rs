@@ -1,0 +1,87 @@
+//! Micro-architectural model types shared by the `mstacks` simulator stack.
+//!
+//! This crate defines the vocabulary of the whole project:
+//!
+//! * [`MicroOp`] and [`UopKind`] — the trace-level unit of work. Workload
+//!   generators produce streams of micro-ops; the pipeline simulates their
+//!   timing.
+//! * [`ArchReg`] — architectural register names used for dependence tracking.
+//! * [`CoreConfig`] and its sub-configurations — every parameter of a
+//!   simulated core (widths, structure sizes, execution ports, latencies,
+//!   branch predictor and memory hierarchy geometry), plus the three paper
+//!   presets: [`CoreConfig::broadwell`], [`CoreConfig::knights_landing`] and
+//!   [`CoreConfig::skylake_server`].
+//! * [`IdealFlags`] — the idealization knobs used throughout the ISPASS 2018
+//!   evaluation (perfect instruction cache, perfect data cache, perfect
+//!   branch prediction, single-cycle ALU).
+//!
+//! # Example
+//!
+//! ```
+//! use mstacks_model::{CoreConfig, IdealFlags, MicroOp, UopKind};
+//!
+//! let cfg = CoreConfig::broadwell();
+//! assert_eq!(cfg.dispatch_width, 4);
+//! // Accounting width is the minimum over all stage widths (paper §III-A).
+//! assert_eq!(cfg.accounting_width(), 4);
+//!
+//! let ideal = IdealFlags::none().with_perfect_dcache();
+//! assert!(ideal.perfect_dcache);
+//!
+//! let nop = MicroOp::new(0x400000, UopKind::Nop);
+//! assert!(nop.dst.is_none());
+//! ```
+
+pub mod config;
+pub mod ideal;
+pub mod ports;
+pub mod reg;
+pub mod uop;
+
+pub use config::{
+    BpredConfig, CacheConfig, ConfigError, CoreConfig, LatencyTable, MemConfig, PrefetchConfig,
+    TlbConfig,
+};
+pub use ideal::IdealFlags;
+pub use ports::{caps, PortSpec};
+pub use reg::ArchReg;
+pub use uop::{AluClass, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp};
+
+/// Why the frontend is currently unable to deliver micro-ops.
+///
+/// The Table II algorithms inspect this when a stage stalls on an empty
+/// upstream structure ("`if FE empty: if Icache miss ... elif bpred miss`").
+/// The `Microcode` variant corresponds to the extra component the paper
+/// introduces for KNL in Fig. 3(d): multi-micro-operation instructions that
+/// take several cycles to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrontendStall {
+    /// An instruction-cache (or ITLB) miss is outstanding.
+    Icache,
+    /// The frontend is squashed / refilling after a branch misprediction.
+    Bpred,
+    /// The decoder is busy sequencing a microcoded instruction.
+    Microcode,
+}
+
+impl std::fmt::Display for FrontendStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendStall::Icache => write!(f, "icache"),
+            FrontendStall::Bpred => write!(f, "bpred"),
+            FrontendStall::Microcode => write!(f, "microcode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_stall_display() {
+        assert_eq!(FrontendStall::Icache.to_string(), "icache");
+        assert_eq!(FrontendStall::Bpred.to_string(), "bpred");
+        assert_eq!(FrontendStall::Microcode.to_string(), "microcode");
+    }
+}

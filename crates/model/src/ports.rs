@@ -1,0 +1,72 @@
+//! Execution-port model.
+//!
+//! Each simulated core has a set of issue ports; every cycle each port can
+//! accept at most one micro-op whose resource class the port supports.
+//! Structural stalls at the issue stage (the paper's `Other` component,
+//! §V-A) arise when ready micro-ops exist but no capable port is free.
+
+/// Port capability bits. A port's capability set is the bitwise OR of the
+/// operations it can start.
+pub mod caps {
+    /// Simple integer ALU (add/logic/shift, also NOP slots).
+    pub const INT_ALU: u16 = 1 << 0;
+    /// Integer multiplier.
+    pub const INT_MUL: u16 = 1 << 1;
+    /// Integer divider (not pipelined).
+    pub const INT_DIV: u16 = 1 << 2;
+    /// Branch resolution unit.
+    pub const BRANCH: u16 = 1 << 3;
+    /// Load pipe (address generation + L1D access).
+    pub const LOAD: u16 = 1 << 4;
+    /// Store pipe.
+    pub const STORE: u16 = 1 << 5;
+    /// Vector floating-point unit (VPU) — FMA capable.
+    pub const VEC_FP: u16 = 1 << 6;
+    /// Vector integer / shuffle / broadcast unit.
+    pub const VEC_INT: u16 = 1 << 7;
+}
+
+/// Static description of one execution port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortSpec {
+    /// Bitwise OR of [`caps`] flags.
+    pub caps: u16,
+}
+
+impl PortSpec {
+    /// A port with the given capability mask.
+    pub fn new(caps: u16) -> Self {
+        PortSpec { caps }
+    }
+
+    /// Whether this port can start an op of resource class `cap`.
+    #[inline]
+    pub fn supports(&self, cap: u16) -> bool {
+        self.caps & cap != 0
+    }
+
+    /// Whether this port hosts a vector floating-point unit.
+    #[inline]
+    pub fn is_vpu(&self) -> bool {
+        self.supports(caps::VEC_FP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supports_checks_mask() {
+        let p = PortSpec::new(caps::INT_ALU | caps::BRANCH);
+        assert!(p.supports(caps::INT_ALU));
+        assert!(p.supports(caps::BRANCH));
+        assert!(!p.supports(caps::LOAD));
+        assert!(!p.is_vpu());
+    }
+
+    #[test]
+    fn vpu_detection() {
+        assert!(PortSpec::new(caps::VEC_FP | caps::VEC_INT).is_vpu());
+    }
+}

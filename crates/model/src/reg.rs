@@ -1,0 +1,86 @@
+//! Architectural register names.
+//!
+//! Dependences between micro-ops are expressed through architectural
+//! registers; the pipeline renames them at dispatch. The register file is
+//! flat — integer, floating-point and vector registers share one namespace,
+//! which keeps workload generation simple without losing any information the
+//! accounting algorithms need.
+
+/// An architectural register name.
+///
+/// The simulator treats registers purely as dependence-carrying names; there
+/// is no value simulation (the trace is functional-first, see paper §III-B).
+///
+/// # Example
+///
+/// ```
+/// use mstacks_model::ArchReg;
+/// let r = ArchReg::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u16);
+
+impl ArchReg {
+    /// Number of architectural registers the rename table supports.
+    pub const COUNT: usize = 256;
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ArchReg::COUNT`.
+    #[inline]
+    pub fn new(index: u16) -> Self {
+        assert!(
+            (index as usize) < Self::COUNT,
+            "register index {index} out of range (< {})",
+            Self::COUNT
+        );
+        ArchReg(index)
+    }
+
+    /// The raw register index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<ArchReg> for u16 {
+    fn from(r: ArchReg) -> u16 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for i in [0u16, 1, 17, 255] {
+            let r = ArchReg::new(i);
+            assert_eq!(r.index(), i as usize);
+            assert_eq!(u16::from(r), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = ArchReg::new(256);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ArchReg::new(1) < ArchReg::new(2));
+    }
+}

@@ -1,0 +1,397 @@
+//! The micro-op: the unit of work flowing through the simulated pipeline.
+//!
+//! Workloads are *functional-first* traces (paper §III-B): every micro-op on
+//! the correct path is known ahead of timing simulation, including branch
+//! outcomes and memory addresses. The pipeline adds timing, wrong-path
+//! speculation and resource contention on top.
+
+use crate::reg::ArchReg;
+
+/// Latency class of a scalar integer / address-generation operation.
+///
+/// Concrete cycle counts come from [`crate::LatencyTable`]; the class only
+/// names the operation so that one trace can be simulated under different
+/// core configurations (and under the single-cycle-ALU idealization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluClass {
+    /// Simple ALU op (add, sub, logic, shifts) — single cycle on all presets.
+    Add,
+    /// Integer multiply — multi-cycle, pipelined.
+    Mul,
+    /// Integer divide — long latency, not pipelined.
+    Div,
+    /// Address arithmetic (LEA-like) — single cycle.
+    Lea,
+}
+
+/// Control-flow kind of a branch micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Cond,
+    /// Unconditional direct jump.
+    Uncond,
+    /// Call (pushes the return-address stack).
+    Call,
+    /// Return (pops the return-address stack).
+    Ret,
+    /// Indirect jump through a register (target prediction via BTB only).
+    Indirect,
+}
+
+/// Functional outcome of a branch, known functional-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch is actually taken.
+    pub taken: bool,
+    /// Actual target when taken.
+    pub target: u64,
+    /// Fall-through address (next sequential pc).
+    pub fallthrough: u64,
+    /// Control-flow kind, used by the predictor (BTB/RAS behaviour).
+    pub kind: BranchKind,
+}
+
+impl BranchInfo {
+    /// The address control flow actually continues at.
+    #[inline]
+    pub fn next_pc(&self) -> u64 {
+        if self.taken {
+            self.target
+        } else {
+            self.fallthrough
+        }
+    }
+}
+
+/// Element type of a vector floating-point operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 32-bit single precision.
+    F32,
+    /// 64-bit double precision.
+    F64,
+}
+
+impl ElemType {
+    /// Width of one element in bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        match self {
+            ElemType::F32 => 32,
+            ElemType::F64 => 64,
+        }
+    }
+}
+
+/// Arithmetic kind of a vector floating-point operation.
+///
+/// The FLOPS-stack algorithm (paper Table III) distinguishes fused
+/// multiply-add (2 operations per element) from everything else
+/// (1 operation per element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOpKind {
+    /// Fused multiply-add: two floating-point operations per element.
+    Fma,
+    /// Vector add/sub: one operation per element.
+    Add,
+    /// Vector multiply: one operation per element.
+    Mul,
+    /// Vector divide / sqrt: one operation per element, long latency.
+    Div,
+    /// Any other FP op (conversions, compares…): one operation per element.
+    Other,
+}
+
+impl FpOpKind {
+    /// Floating-point operations per active element — the paper's `a`
+    /// (2 for FMA, 1 otherwise).
+    #[inline]
+    pub fn ops_per_element(self) -> u32 {
+        match self {
+            FpOpKind::Fma => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A vector floating-point micro-op payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VecFpOp {
+    /// Arithmetic kind.
+    pub op: FpOpKind,
+    /// Number of *unmasked* (active) elements — the paper's `m`. Must be
+    /// between 0 and the vector width in elements for the simulated core.
+    pub active_lanes: u8,
+    /// Element type.
+    pub elem: ElemType,
+}
+
+impl VecFpOp {
+    /// A fully-unmasked FMA over `lanes` elements.
+    pub fn fma(lanes: u8, elem: ElemType) -> Self {
+        VecFpOp {
+            op: FpOpKind::Fma,
+            active_lanes: lanes,
+            elem,
+        }
+    }
+
+    /// Floating-point operations this micro-op performs.
+    #[inline]
+    pub fn flops(&self) -> u64 {
+        u64::from(self.op.ops_per_element()) * u64::from(self.active_lanes)
+    }
+}
+
+/// What a micro-op does, as far as timing simulation is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// No-op: occupies a pipeline slot and an ALU port for one cycle.
+    Nop,
+    /// Scalar integer / address arithmetic.
+    IntAlu(AluClass),
+    /// Scalar floating-point arithmetic (non-vector); classified by the same
+    /// [`FpOpKind`]. Executes on a vector port but contributes `flops == 0`
+    /// to FLOPS stacks (the paper counts *vector* FP only; scalar FP in SPEC
+    /// is exactly why SPEC FLOPS is "very low", §IV).
+    ScalarFp(FpOpKind),
+    /// Conditional or unconditional control flow.
+    Branch(BranchInfo),
+    /// Memory load from `addr`.
+    Load {
+        /// Virtual byte address accessed.
+        addr: u64,
+    },
+    /// Memory store to `addr`.
+    Store {
+        /// Virtual byte address accessed.
+        addr: u64,
+    },
+    /// Vector floating-point arithmetic — the subject of FLOPS stacks.
+    VecFp(VecFpOp),
+    /// Vector integer / shuffle / broadcast work: occupies a vector unit but
+    /// performs zero floating-point operations (paper's `non_vfp` component).
+    VecInt,
+}
+
+impl UopKind {
+    /// `true` for loads and stores.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self, UopKind::Load { .. } | UopKind::Store { .. })
+    }
+
+    /// `true` for loads.
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        matches!(self, UopKind::Load { .. })
+    }
+
+    /// `true` for branches.
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, UopKind::Branch(_))
+    }
+
+    /// `true` if this op executes on a vector unit (VFP or vector-integer).
+    #[inline]
+    pub fn uses_vector_unit(&self) -> bool {
+        matches!(
+            self,
+            UopKind::VecFp(_) | UopKind::VecInt | UopKind::ScalarFp(_)
+        )
+    }
+
+    /// `true` for vector floating-point ops (the FLOPS-stack `VFP` class).
+    #[inline]
+    pub fn is_vfp(&self) -> bool {
+        matches!(self, UopKind::VecFp(_))
+    }
+}
+
+/// A micro-op: one entry of the correct-path trace.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_model::{ArchReg, MicroOp, UopKind};
+///
+/// let load = MicroOp::new(0x1000, UopKind::Load { addr: 0xdead00 })
+///     .with_dst(ArchReg::new(1));
+/// let add = MicroOp::new(0x1004, UopKind::IntAlu(mstacks_model::AluClass::Add))
+///     .with_src(ArchReg::new(1))
+///     .with_dst(ArchReg::new(2));
+/// assert!(load.kind.is_load());
+/// assert_eq!(add.srcs().collect::<Vec<_>>(), vec![ArchReg::new(1)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroOp {
+    /// Instruction address. Drives the instruction cache and the branch
+    /// predictor. Several micro-ops of one macro-instruction may share a pc.
+    pub pc: u64,
+    /// Operation payload.
+    pub kind: UopKind,
+    /// Source registers (up to 3; `None` slots are unused).
+    pub src_regs: [Option<ArchReg>; 3],
+    /// Destination register, if the op produces a value.
+    pub dst: Option<ArchReg>,
+    /// `true` if this micro-op belongs to a microcoded (multi-µop sequenced)
+    /// macro-instruction. On cores with a slow microcode sequencer (KNL
+    /// preset) decode stalls for extra cycles, producing the paper's
+    /// `Microcode` CPI component (Fig. 3(d)).
+    pub microcoded: bool,
+}
+
+impl MicroOp {
+    /// Creates a micro-op with no register operands.
+    pub fn new(pc: u64, kind: UopKind) -> Self {
+        MicroOp {
+            pc,
+            kind,
+            src_regs: [None; 3],
+            dst: None,
+            microcoded: false,
+        }
+    }
+
+    /// Adds a source register (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op already has 3 sources.
+    pub fn with_src(mut self, reg: ArchReg) -> Self {
+        let slot = self
+            .src_regs
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("micro-op already has 3 source registers");
+        *slot = Some(reg);
+        self
+    }
+
+    /// Sets the destination register (builder style).
+    pub fn with_dst(mut self, reg: ArchReg) -> Self {
+        self.dst = Some(reg);
+        self
+    }
+
+    /// Marks the op as part of a microcoded instruction (builder style).
+    pub fn microcoded(mut self) -> Self {
+        self.microcoded = true;
+        self
+    }
+
+    /// The source registers that are present, in order.
+    pub fn srcs(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src_regs.iter().flatten().copied()
+    }
+
+    /// Floating-point operations this micro-op performs (vector FP only).
+    #[inline]
+    pub fn flops(&self) -> u64 {
+        match self.kind {
+            UopKind::VecFp(v) => v.flops(),
+            _ => 0,
+        }
+    }
+
+    /// Memory address accessed, for loads and stores.
+    #[inline]
+    pub fn mem_addr(&self) -> Option<u64> {
+        match self.kind {
+            UopKind::Load { addr } | UopKind::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    #[test]
+    fn builder_fills_src_slots_in_order() {
+        let u = MicroOp::new(0, UopKind::Nop)
+            .with_src(r(1))
+            .with_src(r(2))
+            .with_src(r(3));
+        assert_eq!(u.srcs().collect::<Vec<_>>(), vec![r(1), r(2), r(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 source registers")]
+    fn fourth_src_panics() {
+        let _ = MicroOp::new(0, UopKind::Nop)
+            .with_src(r(1))
+            .with_src(r(2))
+            .with_src(r(3))
+            .with_src(r(4));
+    }
+
+    #[test]
+    fn fma_counts_two_flops_per_lane() {
+        let v = VecFpOp::fma(16, ElemType::F32);
+        assert_eq!(v.flops(), 32);
+        let u = MicroOp::new(0, UopKind::VecFp(v));
+        assert_eq!(u.flops(), 32);
+    }
+
+    #[test]
+    fn non_fma_counts_one_flop_per_lane() {
+        let v = VecFpOp {
+            op: FpOpKind::Add,
+            active_lanes: 8,
+            elem: ElemType::F64,
+        };
+        assert_eq!(v.flops(), 8);
+    }
+
+    #[test]
+    fn masked_lanes_reduce_flops() {
+        let v = VecFpOp {
+            op: FpOpKind::Fma,
+            active_lanes: 4,
+            elem: ElemType::F32,
+        };
+        assert_eq!(v.flops(), 8);
+    }
+
+    #[test]
+    fn scalar_fp_is_not_vfp_but_uses_vector_unit() {
+        let u = MicroOp::new(0, UopKind::ScalarFp(FpOpKind::Mul));
+        assert!(!u.kind.is_vfp());
+        assert!(u.kind.uses_vector_unit());
+        assert_eq!(u.flops(), 0);
+    }
+
+    #[test]
+    fn branch_next_pc() {
+        let b = BranchInfo {
+            taken: true,
+            target: 0x100,
+            fallthrough: 0x8,
+            kind: BranchKind::Cond,
+        };
+        assert_eq!(b.next_pc(), 0x100);
+        let b2 = BranchInfo { taken: false, ..b };
+        assert_eq!(b2.next_pc(), 0x8);
+    }
+
+    #[test]
+    fn mem_addr_extraction() {
+        assert_eq!(
+            MicroOp::new(0, UopKind::Load { addr: 0x40 }).mem_addr(),
+            Some(0x40)
+        );
+        assert_eq!(
+            MicroOp::new(0, UopKind::Store { addr: 0x80 }).mem_addr(),
+            Some(0x80)
+        );
+        assert_eq!(MicroOp::new(0, UopKind::Nop).mem_addr(), None);
+    }
+}

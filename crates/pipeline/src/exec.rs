@@ -1,0 +1,212 @@
+//! Execution-port allocation.
+//!
+//! One micro-op can start per port per cycle; unpipelined operations
+//! (divides) additionally block their port until they complete. Structural
+//! port stalls surface in the issue-stage CPI stack as the `Other`
+//! component (paper §V-A).
+
+use mstacks_model::{caps, AluClass, FpOpKind, PortSpec, UopKind, VecFpOp};
+
+/// Resource class an op needs, as a [`caps`] bit.
+pub fn cap_for(kind: &UopKind) -> u16 {
+    match kind {
+        UopKind::Nop => caps::INT_ALU,
+        UopKind::IntAlu(AluClass::Add) | UopKind::IntAlu(AluClass::Lea) => caps::INT_ALU,
+        UopKind::IntAlu(AluClass::Mul) => caps::INT_MUL,
+        UopKind::IntAlu(AluClass::Div) => caps::INT_DIV,
+        UopKind::Branch(_) => caps::BRANCH,
+        UopKind::Load { .. } => caps::LOAD,
+        UopKind::Store { .. } => caps::STORE,
+        UopKind::ScalarFp(_) | UopKind::VecFp(_) => caps::VEC_FP,
+        UopKind::VecInt => caps::VEC_INT,
+    }
+}
+
+/// Whether this kind executes on a vector unit (for the FLOPS stack's
+/// `non_vfp` component the VPU occupancy matters, not just VFP ops).
+pub fn uses_vpu(kind: &UopKind) -> bool {
+    matches!(
+        kind,
+        UopKind::ScalarFp(_) | UopKind::VecFp(_) | UopKind::VecInt
+    )
+}
+
+/// Whether an op monopolizes its port for the whole latency.
+pub fn unpipelined(kind: &UopKind) -> bool {
+    matches!(
+        kind,
+        UopKind::IntAlu(AluClass::Div)
+            | UopKind::ScalarFp(FpOpKind::Div)
+            | UopKind::VecFp(VecFpOp {
+                op: FpOpKind::Div,
+                ..
+            })
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PortState {
+    spec: PortSpec,
+    busy_until: u64,
+    used_this_cycle: bool,
+}
+
+/// The set of execution ports of one core.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_model::{caps, PortSpec, UopKind, AluClass};
+/// use mstacks_pipeline::PortFile;
+///
+/// let mut ports = PortFile::new(&[PortSpec::new(caps::INT_ALU)]);
+/// ports.begin_cycle(0);
+/// let kind = UopKind::IntAlu(AluClass::Add);
+/// assert!(ports.try_issue(&kind, 0, 1).is_some());
+/// assert!(ports.try_issue(&kind, 0, 1).is_none()); // one op per port per cycle
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortFile {
+    ports: Vec<PortState>,
+}
+
+impl PortFile {
+    /// Builds a port file from the configuration's port specs.
+    pub fn new(specs: &[PortSpec]) -> Self {
+        PortFile {
+            ports: specs
+                .iter()
+                .map(|&spec| PortState {
+                    spec,
+                    busy_until: 0,
+                    used_this_cycle: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Resets the per-cycle usage flags. Call once at the start of each
+    /// issue stage.
+    pub fn begin_cycle(&mut self, _now: u64) {
+        for p in &mut self.ports {
+            p.used_this_cycle = false;
+        }
+    }
+
+    /// Tries to start an op of `kind` at `now` with execution latency
+    /// `lat`. Returns the port index on success. Unpipelined ops block the
+    /// port until completion.
+    pub fn try_issue(&mut self, kind: &UopKind, now: u64, lat: u64) -> Option<usize> {
+        let cap = cap_for(kind);
+        let idx = self
+            .ports
+            .iter()
+            .position(|p| !p.used_this_cycle && p.busy_until <= now && p.spec.supports(cap))?;
+        let p = &mut self.ports[idx];
+        p.used_this_cycle = true;
+        if unpipelined(kind) {
+            p.busy_until = now + lat;
+        }
+        Some(idx)
+    }
+
+    /// Whether a free, capable port exists for `kind` at `now` (without
+    /// consuming it).
+    pub fn could_issue(&self, kind: &UopKind) -> bool {
+        let cap = cap_for(kind);
+        self.ports
+            .iter()
+            .any(|p| !p.used_this_cycle && p.spec.supports(cap))
+    }
+
+    /// Whether port `idx` hosts a vector unit.
+    pub fn is_vpu(&self, idx: usize) -> bool {
+        self.ports[idx].spec.is_vpu()
+    }
+
+    /// Number of ports.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// `true` if the file has no ports (never the case for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::ElemType;
+
+    fn alu() -> UopKind {
+        UopKind::IntAlu(AluClass::Add)
+    }
+
+    #[test]
+    fn one_op_per_port_per_cycle() {
+        let mut pf = PortFile::new(&[
+            PortSpec::new(caps::INT_ALU),
+            PortSpec::new(caps::INT_ALU),
+        ]);
+        pf.begin_cycle(0);
+        assert!(pf.try_issue(&alu(), 0, 1).is_some());
+        assert!(pf.try_issue(&alu(), 0, 1).is_some());
+        assert!(pf.try_issue(&alu(), 0, 1).is_none());
+        pf.begin_cycle(1);
+        assert!(pf.try_issue(&alu(), 1, 1).is_some());
+    }
+
+    #[test]
+    fn capability_mismatch_rejected() {
+        let mut pf = PortFile::new(&[PortSpec::new(caps::LOAD)]);
+        pf.begin_cycle(0);
+        assert!(pf.try_issue(&alu(), 0, 1).is_none());
+        assert!(pf.try_issue(&UopKind::Load { addr: 0 }, 0, 1).is_some());
+    }
+
+    #[test]
+    fn unpipelined_blocks_port() {
+        let mut pf = PortFile::new(&[PortSpec::new(caps::INT_DIV | caps::INT_ALU)]);
+        let div = UopKind::IntAlu(AluClass::Div);
+        pf.begin_cycle(0);
+        assert!(pf.try_issue(&div, 0, 20).is_some());
+        pf.begin_cycle(5);
+        assert!(pf.try_issue(&alu(), 5, 1).is_none(), "port busy with div");
+        pf.begin_cycle(20);
+        assert!(pf.try_issue(&alu(), 20, 1).is_some());
+    }
+
+    #[test]
+    fn pipelined_multi_cycle_does_not_block() {
+        let mut pf = PortFile::new(&[PortSpec::new(caps::INT_MUL)]);
+        let mul = UopKind::IntAlu(AluClass::Mul);
+        pf.begin_cycle(0);
+        assert!(pf.try_issue(&mul, 0, 3).is_some());
+        pf.begin_cycle(1);
+        assert!(pf.try_issue(&mul, 1, 3).is_some());
+    }
+
+    #[test]
+    fn cap_for_vector_ops() {
+        assert_eq!(
+            cap_for(&UopKind::VecFp(VecFpOp::fma(16, ElemType::F32))),
+            caps::VEC_FP
+        );
+        assert_eq!(cap_for(&UopKind::VecInt), caps::VEC_INT);
+        assert!(uses_vpu(&UopKind::VecInt));
+        assert!(!uses_vpu(&alu()));
+    }
+
+    #[test]
+    fn vec_div_is_unpipelined() {
+        let vdiv = UopKind::VecFp(VecFpOp {
+            op: FpOpKind::Div,
+            active_lanes: 8,
+            elem: ElemType::F32,
+        });
+        assert!(unpipelined(&vdiv));
+        assert!(!unpipelined(&UopKind::VecFp(VecFpOp::fma(8, ElemType::F32))));
+    }
+}

@@ -1,0 +1,58 @@
+//! Cycle-level superscalar out-of-order core simulator.
+//!
+//! This crate is the substrate the ISPASS 2018 paper runs its accounting
+//! on: a trace-driven, functional-first out-of-order pipeline with
+//!
+//! * a frontend ([`mstacks_frontend::FrontendUnit`]): I-cache-timed fetch,
+//!   branch prediction with real wrong-path fetch, decode depth, microcode
+//!   stalls;
+//! * dispatch into a reorder buffer + unified reservation stations, with
+//!   register renaming;
+//! * an issue stage with execution ports, operation latencies, unpipelined
+//!   dividers, conservative memory disambiguation and store-to-load
+//!   forwarding;
+//! * a memory hierarchy ([`mstacks_mem::Hierarchy`]) with MSHR and
+//!   bandwidth contention;
+//! * in-order commit.
+//!
+//! The paper's accounting (in `mstacks-core`) attaches through the
+//! [`StageObserver`] trait: per cycle, each stage publishes exactly the
+//! state the Table II / Table III algorithms inspect. Running with the unit
+//! observer `()` gives the bare simulator — which is how the paper's
+//! "negligible overhead" claim is benchmarked.
+//!
+//! # Example
+//!
+//! ```
+//! use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+//! use mstacks_pipeline::Core;
+//!
+//! let cfg = CoreConfig::broadwell();
+//! let trace = (0..1000u64).map(|i| {
+//!     MicroOp::new(0x1000 + (i % 64) * 4, UopKind::IntAlu(AluClass::Add))
+//!         .with_dst(ArchReg::new((i % 16) as u16))
+//! });
+//! let mut core = Core::new(cfg, IdealFlags::none(), trace);
+//! let result = core.run(&mut ()).expect("simulation completes");
+//! assert_eq!(result.committed_uops, 1000);
+//! assert!(result.cycles > 250); // 4-wide ⇒ at least 250 cycles
+//! ```
+
+pub mod core;
+pub mod exec;
+pub mod lsq;
+pub mod observer;
+pub mod result;
+pub mod rob;
+pub mod smt;
+
+pub use crate::core::Core;
+pub use exec::PortFile;
+pub use lsq::StoreQueue;
+pub use observer::{
+    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo,
+    StageObserver, StructuralStall,
+};
+pub use result::{PipelineError, PipelineResult, PipelineStats};
+pub use rob::{Rob, RobEntry};
+pub use smt::SmtCore;

@@ -1,0 +1,189 @@
+//! Load/store queue: memory disambiguation and store-to-load forwarding.
+//!
+//! The model is conservative (no speculative disambiguation): a load may
+//! not issue until every older store has executed, i.e. has its address.
+//! When an older executed store writes the load's address, the load
+//! *forwards* from the store queue at L1 latency instead of accessing the
+//! cache. Loads that are dependence-ready but disambiguation-blocked show
+//! up in the issue CPI stack as the `MemConflict` structural component
+//! ("predicted memory address conflicts", paper §III-A / §V-A).
+
+use std::collections::VecDeque;
+
+/// One in-flight store.
+#[derive(Debug, Clone, Copy)]
+pub struct StqEntry {
+    /// Sequence number of the store micro-op.
+    pub seq: u64,
+    /// Byte address stored to.
+    pub addr: u64,
+    /// Whether the store has executed (address known, data forwardable).
+    pub executed: bool,
+}
+
+/// The store queue (the load side needs no state beyond ROB entries, so
+/// only stores are tracked).
+#[derive(Debug, Clone, Default)]
+pub struct StoreQueue {
+    entries: VecDeque<StqEntry>,
+    capacity: usize,
+}
+
+/// What the disambiguation check says about a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// No older store conflicts: access the cache normally.
+    Proceed,
+    /// An older executed store covers the same address: forward from it.
+    Forward,
+    /// An older store's address is unknown: the load must wait.
+    Blocked,
+}
+
+impl StoreQueue {
+    /// Creates a store queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store queue capacity must be non-zero");
+        StoreQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Whether another store can dispatch.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Number of in-flight stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no stores are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocates an entry at dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (check [`StoreQueue::is_full`] first).
+    pub fn push(&mut self, seq: u64, addr: u64) {
+        assert!(!self.is_full(), "pushing into a full store queue");
+        self.entries.push_back(StqEntry {
+            seq,
+            addr,
+            executed: false,
+        });
+    }
+
+    /// Marks a store as executed (address/data known).
+    pub fn mark_executed(&mut self, seq: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            e.executed = true;
+        }
+    }
+
+    /// Removes the store at commit.
+    pub fn retire(&mut self, seq: u64) {
+        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Removes squashed stores (younger than `seq`).
+    pub fn squash_younger_than(&mut self, seq: u64) {
+        self.entries.retain(|e| e.seq <= seq);
+    }
+
+    /// Conservative disambiguation check for a load at `load_seq` reading
+    /// `addr` (8-byte granularity for forwarding).
+    pub fn check_load(&self, load_seq: u64, addr: u64) -> LoadCheck {
+        let mut forward = false;
+        for e in self.entries.iter().filter(|e| e.seq < load_seq) {
+            if !e.executed {
+                return LoadCheck::Blocked;
+            }
+            if e.addr >> 3 == addr >> 3 {
+                forward = true; // youngest older match wins; keep scanning for blocks
+            }
+        }
+        if forward {
+            LoadCheck::Forward
+        } else {
+            LoadCheck::Proceed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_lets_loads_proceed() {
+        let q = StoreQueue::new(4);
+        assert_eq!(q.check_load(10, 0x100), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn unexecuted_older_store_blocks() {
+        let mut q = StoreQueue::new(4);
+        q.push(5, 0x100);
+        assert_eq!(q.check_load(10, 0x200), LoadCheck::Blocked);
+        q.mark_executed(5);
+        assert_eq!(q.check_load(10, 0x200), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn executed_matching_store_forwards() {
+        let mut q = StoreQueue::new(4);
+        q.push(5, 0x100);
+        q.mark_executed(5);
+        assert_eq!(q.check_load(10, 0x100), LoadCheck::Forward);
+        assert_eq!(q.check_load(10, 0x104), LoadCheck::Forward); // same 8B word
+        assert_eq!(q.check_load(10, 0x108), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn younger_stores_do_not_affect_load() {
+        let mut q = StoreQueue::new(4);
+        q.push(20, 0x100); // younger than the load
+        assert_eq!(q.check_load(10, 0x100), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn retire_and_squash() {
+        let mut q = StoreQueue::new(4);
+        q.push(1, 0x100);
+        q.push(2, 0x200);
+        q.push(3, 0x300);
+        q.retire(1);
+        assert_eq!(q.len(), 2);
+        q.squash_younger_than(2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.check_load(10, 0x200), LoadCheck::Blocked); // store 2 unexecuted
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = StoreQueue::new(2);
+        q.push(1, 0);
+        q.push(2, 0);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "full store queue")]
+    fn overfill_panics() {
+        let mut q = StoreQueue::new(1);
+        q.push(1, 0);
+        q.push(2, 0);
+    }
+}

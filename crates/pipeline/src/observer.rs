@@ -1,0 +1,328 @@
+//! Per-stage observation interface.
+//!
+//! Every cycle, the pipeline publishes one view per accounting stage
+//! (dispatch, issue, commit), carrying exactly the state the paper's
+//! Table II and Table III algorithms inspect. The accounting layers in
+//! `mstacks-core` implement [`StageObserver`]; the unit observer `()` turns
+//! all hooks into no-ops, giving the bare simulator for overhead
+//! measurements.
+
+use mstacks_mem::HitLevel;
+use mstacks_model::{FrontendStall, MicroOp};
+
+/// Who a backend stall is blamed on, following the paper's decision chain
+/// "`if i has Dcache miss → Dcache; elif latency[i] > 1 → ALU_lat; else →
+/// depend`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Blame {
+    /// The inspected instruction is a load whose access left the L1D; the
+    /// payload is the level that serviced it (the paper's suggested
+    /// refinement: "differentiating between the different cache levels").
+    Dcache(HitLevel),
+    /// The inspected instruction is executing with latency > 1 cycle.
+    LongLat,
+    /// The inspected instruction is single-cycle but delayed by
+    /// dependences (limited ILP).
+    Depend,
+}
+
+/// Why ready instructions could not issue (structural stalls — only
+/// observable at the issue stage, paper §V-A "Other" component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructuralStall {
+    /// A ready load waits for an older store's address (predicted memory
+    /// conflict / conservative disambiguation).
+    MemDisambiguation,
+    /// No capable issue port was free.
+    Ports,
+}
+
+/// FLOPS-stack blame for the oldest waiting vector-FP instruction
+/// (paper Table III lines 14–18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlopsBlame {
+    /// Its producer is a memory load.
+    Memory,
+    /// Its producer is another computation.
+    Depend,
+}
+
+/// One micro-op that started execution this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedInfo {
+    /// The issued micro-op.
+    pub uop: MicroOp,
+    /// Whether it is a wrong-path micro-op.
+    pub wrong_path: bool,
+    /// Whether it occupies a vector port (VPU).
+    pub on_vpu: bool,
+}
+
+/// Fetch-stage state for one cycle — the paper's "similar accounting can
+/// be done at other stages (e.g., fetch and decode)" extension. Our
+/// frontend models fetch and decode as one unit, so this view covers both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchView {
+    /// Micro-ops fetched this cycle, wrong path included.
+    pub n_total: u32,
+    /// Correct-path micro-ops fetched (the accounting `n`).
+    pub n_correct: u32,
+    /// Why fetch produced nothing (I-cache miss, wrong path/refill,
+    /// microcode sequencing).
+    pub fe_stall: Option<FrontendStall>,
+    /// Fetch was throttled by a full frontend queue (downstream
+    /// back-pressure); `head_blame` then names the backend cause.
+    pub backpressure: bool,
+    /// Blame for the ROB head (valid when `backpressure`).
+    pub head_blame: Option<Blame>,
+}
+
+/// Dispatch-stage state for one cycle (paper Table II, dispatch column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchView {
+    /// Micro-ops dispatched this cycle, wrong path included.
+    pub n_total: u32,
+    /// Correct-path micro-ops dispatched this cycle (the algorithm's `n`).
+    pub n_correct: u32,
+    /// Dispatch stopped because the ROB, RS or a load/store queue was full.
+    pub backend_blocked: bool,
+    /// Dispatch was ready but the shared slots were consumed by another SMT
+    /// thread (always `false` on a single-thread core).
+    pub smt_blocked: bool,
+    /// Blame for the ROB head (valid when `backend_blocked`).
+    pub head_blame: Option<Blame>,
+    /// Why the frontend delivered nothing (valid when it did not).
+    pub fe_stall: Option<FrontendStall>,
+}
+
+/// Issue-stage state for one cycle (paper Table II issue column and
+/// Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueView<'a> {
+    /// Micro-ops issued this cycle, wrong path included.
+    pub n_total: u32,
+    /// Correct-path micro-ops issued (the algorithm's `n`).
+    pub n_correct: u32,
+    /// No micro-ops were waiting in the reservation stations.
+    pub rs_empty: bool,
+    /// Frontend condition, inspected when `rs_empty`.
+    pub fe_stall: Option<FrontendStall>,
+    /// Blame for the producer of the first (oldest) non-ready instruction
+    /// (the algorithm's `prod(first non-ready instr)`).
+    pub blocking_blame: Option<Blame>,
+    /// Ready instructions existed but could not issue (structural stall);
+    /// reported only when it actually limited this cycle's issue.
+    pub structural: Option<StructuralStall>,
+    /// Ready instructions existed but the issue ports were taken by another
+    /// SMT thread this cycle (always `false` on a single-thread core).
+    pub smt_blocked: bool,
+    /// Everything that started execution this cycle.
+    pub issued: &'a [IssuedInfo],
+    /// Whether any vector-FP micro-op is waiting in the RS
+    /// (Table III line 9: "`if no VFP insts in RS`").
+    pub vfp_in_rs: bool,
+    /// Blame for the producer of the oldest waiting VFP micro-op
+    /// (Table III lines 14–18).
+    pub vfp_blame: Option<FlopsBlame>,
+    /// A vector unit was occupied by a non-VFP micro-op this cycle
+    /// (Table III line 11).
+    pub vu_used_by_non_vfp: bool,
+}
+
+/// Commit-stage state for one cycle (paper Table II, commit column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitView {
+    /// Micro-ops committed this cycle (always correct-path).
+    pub n: u32,
+    /// The ROB was empty.
+    pub rob_empty: bool,
+    /// The head was done but the shared commit slots went to another SMT
+    /// thread (always `false` on a single-thread core).
+    pub smt_blocked: bool,
+    /// Frontend condition, inspected when `rob_empty`.
+    pub fe_stall: Option<FrontendStall>,
+    /// Blame for the unfinished ROB head (when the ROB is non-empty and the
+    /// head is not done).
+    pub head_blame: Option<Blame>,
+}
+
+/// Observer of per-cycle, per-stage pipeline state.
+///
+/// All methods default to no-ops so observers implement only what they
+/// need. The blanket implementations for `()`, `&mut T` and tuples let
+/// several accountants (dispatch CPI, issue CPI, commit CPI, FLOPS) attach
+/// to one run.
+pub trait StageObserver {
+    /// Fetch-stage snapshot for `cycle` (the fetch/decode extension).
+    fn on_fetch(&mut self, cycle: u64, view: &FetchView) {
+        let _ = (cycle, view);
+    }
+    /// Dispatch-stage snapshot for `cycle`.
+    fn on_dispatch(&mut self, cycle: u64, view: &DispatchView) {
+        let _ = (cycle, view);
+    }
+    /// Issue-stage snapshot for `cycle`.
+    fn on_issue(&mut self, cycle: u64, view: &IssueView<'_>) {
+        let _ = (cycle, view);
+    }
+    /// Commit-stage snapshot for `cycle`.
+    fn on_commit(&mut self, cycle: u64, view: &CommitView) {
+        let _ = (cycle, view);
+    }
+    /// A micro-op entered the window (dispatched; wrong-path micro-ops
+    /// included — hardware does not know the path yet). Branch dispatches
+    /// open the speculative-counter windows of paper §III-B.
+    fn on_dispatch_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        let _ = (cycle, uop);
+    }
+    /// A micro-op retired (used by speculative-counter schemes and FLOP
+    /// totals).
+    fn on_commit_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        let _ = (cycle, uop);
+    }
+    /// `n_squashed` wrong-path micro-ops — `branches_squashed` of them
+    /// branches — were flushed at `cycle`.
+    fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
+        let _ = (cycle, n_squashed, branches_squashed);
+    }
+}
+
+impl StageObserver for () {}
+
+impl<T: StageObserver + ?Sized> StageObserver for &mut T {
+    fn on_fetch(&mut self, cycle: u64, view: &FetchView) {
+        (**self).on_fetch(cycle, view);
+    }
+    fn on_dispatch(&mut self, cycle: u64, view: &DispatchView) {
+        (**self).on_dispatch(cycle, view);
+    }
+    fn on_issue(&mut self, cycle: u64, view: &IssueView<'_>) {
+        (**self).on_issue(cycle, view);
+    }
+    fn on_commit(&mut self, cycle: u64, view: &CommitView) {
+        (**self).on_commit(cycle, view);
+    }
+    fn on_dispatch_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        (**self).on_dispatch_uop(cycle, uop);
+    }
+    fn on_commit_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        (**self).on_commit_uop(cycle, uop);
+    }
+    fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
+        (**self).on_squash(cycle, n_squashed, branches_squashed);
+    }
+}
+
+macro_rules! impl_observer_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: StageObserver),+> StageObserver for ($($name,)+) {
+            fn on_fetch(&mut self, cycle: u64, view: &FetchView) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_fetch(cycle, view);)+
+            }
+            fn on_dispatch(&mut self, cycle: u64, view: &DispatchView) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_dispatch(cycle, view);)+
+            }
+            fn on_issue(&mut self, cycle: u64, view: &IssueView<'_>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_issue(cycle, view);)+
+            }
+            fn on_commit(&mut self, cycle: u64, view: &CommitView) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_commit(cycle, view);)+
+            }
+            fn on_dispatch_uop(&mut self, cycle: u64, uop: &MicroOp) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_dispatch_uop(cycle, uop);)+
+            }
+            fn on_commit_uop(&mut self, cycle: u64, uop: &MicroOp) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_commit_uop(cycle, uop);)+
+            }
+            fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_squash(cycle, n_squashed, branches_squashed);)+
+            }
+        }
+    };
+}
+
+impl_observer_tuple!(A);
+impl_observer_tuple!(A, B);
+impl_observer_tuple!(A, B, C);
+impl_observer_tuple!(A, B, C, D);
+impl_observer_tuple!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        dispatches: u64,
+        commits: u64,
+    }
+
+    impl StageObserver for Counter {
+        fn on_dispatch(&mut self, _c: u64, _v: &DispatchView) {
+            self.dispatches += 1;
+        }
+        fn on_commit(&mut self, _c: u64, _v: &CommitView) {
+            self.commits += 1;
+        }
+    }
+
+    fn dview() -> DispatchView {
+        DispatchView {
+            n_total: 0,
+            n_correct: 0,
+            backend_blocked: false,
+            smt_blocked: false,
+            head_blame: None,
+            fe_stall: None,
+        }
+    }
+
+    #[test]
+    fn tuple_fans_out() {
+        let mut pair = (Counter::default(), Counter::default());
+        pair.on_dispatch(0, &dview());
+        pair.on_dispatch(1, &dview());
+        assert_eq!(pair.0.dispatches, 2);
+        assert_eq!(pair.1.dispatches, 2);
+    }
+
+    #[test]
+    fn unit_observer_is_noop() {
+        // Compiles and does nothing.
+        ().on_dispatch(0, &dview());
+        ().on_squash(0, 3, 1);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counter::default();
+        {
+            let r = &mut c;
+            r.on_commit(
+                0,
+                &CommitView {
+                    n: 0,
+                    rob_empty: true,
+                    smt_blocked: false,
+                    fe_stall: None,
+                    head_blame: None,
+                },
+            );
+        }
+        assert_eq!(c.commits, 1);
+    }
+}

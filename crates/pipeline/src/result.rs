@@ -1,0 +1,132 @@
+//! Simulation results and errors.
+
+use mstacks_frontend::fetch::FrontendStats;
+use mstacks_mem::MemStats;
+
+/// Aggregate pipeline statistics of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Wrong-path micro-ops squashed.
+    pub squashed_uops: u64,
+    /// Branch redirects performed.
+    pub redirects: u64,
+    /// Total correct-path micro-ops issued.
+    pub issued_uops: u64,
+    /// Wrong-path micro-ops issued to execution ports.
+    pub issued_wrong_path: u64,
+    /// Cycles the dispatch stage was blocked by a full ROB/RS/STQ.
+    pub dispatch_backend_blocked_cycles: u64,
+    /// Loads that forwarded from the store queue.
+    pub store_forwards: u64,
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Correct-path micro-ops committed.
+    pub committed_uops: u64,
+    /// Floating-point operations committed (vector FP only, FMA counts 2
+    /// per lane — the FLOPS-stack definition).
+    pub committed_flops: u64,
+    /// Pipeline statistics.
+    pub stats: PipelineStats,
+    /// Frontend statistics.
+    pub frontend: FrontendStats,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+}
+
+impl PipelineResult {
+    /// Cycles per committed micro-op.
+    pub fn cpi(&self) -> f64 {
+        if self.committed_uops == 0 {
+            f64::NAN
+        } else {
+            self.cycles as f64 / self.committed_uops as f64
+        }
+    }
+
+    /// Committed micro-ops per cycle.
+    pub fn ipc(&self) -> f64 {
+        1.0 / self.cpi()
+    }
+
+    /// Average floating-point operations per cycle.
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_flops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Errors a simulation run can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The pipeline made no forward progress for too long — a model bug or
+    /// an impossible configuration. Contains the cycle the watchdog fired.
+    Deadlock {
+        /// Cycle at which the watchdog gave up.
+        cycle: u64,
+        /// Committed micro-ops at that point.
+        committed: u64,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Deadlock { cycle, committed } => write!(
+                f,
+                "pipeline deadlock at cycle {cycle} after {committed} committed micro-ops"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_ipc() {
+        let r = PipelineResult {
+            cycles: 200,
+            committed_uops: 100,
+            committed_flops: 400,
+            stats: PipelineStats::default(),
+            frontend: FrontendStats::default(),
+            mem: MemStats::default(),
+        };
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+        assert!((r.flops_per_cycle() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_commits_is_nan_cpi() {
+        let r = PipelineResult {
+            cycles: 10,
+            committed_uops: 0,
+            committed_flops: 0,
+            stats: PipelineStats::default(),
+            frontend: FrontendStats::default(),
+            mem: MemStats::default(),
+        };
+        assert!(r.cpi().is_nan());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PipelineError::Deadlock {
+            cycle: 42,
+            committed: 7,
+        };
+        assert!(e.to_string().contains("deadlock at cycle 42"));
+    }
+}

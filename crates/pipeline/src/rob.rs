@@ -1,0 +1,323 @@
+//! Reorder buffer.
+//!
+//! The ROB holds every in-flight micro-op in program order, addressed by a
+//! monotonically increasing sequence number. The accounting stages inspect
+//! the head entry ("`i = ROB head`" in paper Table II), so [`Rob`] exposes
+//! the head's blame classification directly.
+
+use std::collections::VecDeque;
+
+use crate::observer::Blame;
+use mstacks_frontend::FetchedUop;
+use mstacks_mem::HitLevel;
+
+/// One in-flight micro-op.
+#[derive(Debug, Clone, Copy)]
+pub struct RobEntry {
+    /// The fetched micro-op with its speculation flags.
+    pub fu: FetchedUop,
+    /// Global sequence number (program order; wrong-path micro-ops are
+    /// interleaved at the point they were fetched).
+    pub seq: u64,
+    /// Producer sequence numbers this micro-op still waits on.
+    pub deps: [Option<u64>; 3],
+    /// Whether execution has started.
+    pub issued: bool,
+    /// Cycle execution started (valid once `issued`).
+    pub issued_at: u64,
+    /// Cycle the result is available (valid once `issued`).
+    pub ready_at: u64,
+    /// Effective execution latency (valid once `issued`): memory latency
+    /// for loads, port latency otherwise.
+    pub exec_lat: u64,
+    /// For loads: the deepest memory level the access touched.
+    pub mem_level: Option<HitLevel>,
+}
+
+impl RobEntry {
+    /// Whether the result is available at `now`.
+    #[inline]
+    pub fn is_done(&self, now: u64) -> bool {
+        self.issued && self.ready_at <= now
+    }
+
+    /// The Table II backend blame for this entry when it is not done:
+    /// Dcache if it is a load that missed L1, long-latency if its execution
+    /// takes more than one cycle, dependence otherwise (including
+    /// not-yet-issued entries).
+    pub fn blame(&self, now: u64) -> Option<Blame> {
+        if self.is_done(now) {
+            return None;
+        }
+        if self.issued {
+            if self.mem_level_beyond_l1() {
+                Some(Blame::Dcache(self.mem_level.unwrap_or(HitLevel::Mem)))
+            } else if self.exec_lat > 1 {
+                Some(Blame::LongLat)
+            } else {
+                Some(Blame::Depend)
+            }
+        } else {
+            Some(Blame::Depend)
+        }
+    }
+
+    #[inline]
+    fn mem_level_beyond_l1(&self) -> bool {
+        self.mem_level.is_some_and(|l| l.beyond_l1())
+    }
+}
+
+/// The reorder buffer: a bounded, in-order window of in-flight micro-ops.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_pipeline::Rob;
+/// let rob = Rob::new(192);
+/// assert!(rob.is_empty());
+/// assert_eq!(rob.next_seq(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+    /// Sequence number of the entry at the front (head) of the ROB.
+    head_seq: u64,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ROB capacity must be non-zero");
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            head_seq: 0,
+        }
+    }
+
+    /// Whether no more micro-ops can be dispatched.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Whether the ROB holds no micro-ops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// In-flight micro-op count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The oldest in-flight micro-op.
+    #[inline]
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Appends a dispatched micro-op; its `seq` must be the next sequence
+    /// number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or the sequence number is not contiguous.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "pushing into a full ROB");
+        let expected = self.head_seq + self.entries.len() as u64;
+        assert_eq!(entry.seq, expected, "non-contiguous ROB sequence number");
+        self.entries.push_back(entry);
+    }
+
+    /// Pops the head (commit). The caller must have checked it is done.
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        let e = self.entries.pop_front()?;
+        self.head_seq = e.seq + 1;
+        Some(e)
+    }
+
+    /// Looks an in-flight micro-op up by sequence number.
+    #[inline]
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        let idx = seq.checked_sub(self.head_seq)?;
+        self.entries.get(idx as usize)
+    }
+
+    /// Mutable lookup by sequence number.
+    #[inline]
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = seq.checked_sub(self.head_seq)?;
+        self.entries.get_mut(idx as usize)
+    }
+
+    /// Whether the producer with `seq` has its result available at `now`.
+    /// Producers that already committed count as done.
+    #[inline]
+    pub fn producer_done(&self, seq: u64, now: u64) -> bool {
+        match self.get(seq) {
+            Some(e) => e.is_done(now),
+            None => true, // committed (or never existed) → value available
+        }
+    }
+
+    /// Removes every entry younger than `seq` (branch-misprediction squash);
+    /// returns `(micro-ops removed, branches among them)`.
+    pub fn squash_younger_than(&mut self, seq: u64) -> (u64, u64) {
+        let keep = (seq + 1).saturating_sub(self.head_seq) as usize;
+        let keep = keep.min(self.entries.len());
+        let branches = self
+            .entries
+            .iter()
+            .skip(keep)
+            .filter(|e| e.fu.uop.kind.is_branch())
+            .count() as u64;
+        let removed = self.entries.len() - keep;
+        self.entries.truncate(keep);
+        (removed as u64, branches)
+    }
+
+    /// Iterates entries oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Next sequence number to dispatch.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.head_seq + self.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::{AluClass, MicroOp, UopKind};
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry {
+            fu: FetchedUop {
+                uop: MicroOp::new(seq * 4, UopKind::IntAlu(AluClass::Add)),
+                wrong_path: false,
+                mispredicted_branch: false,
+                avail: 0,
+                icache_miss: false,
+            },
+            seq,
+            deps: [None; 3],
+            issued: false,
+            issued_at: 0,
+            ready_at: 0,
+            exec_lat: 0,
+            mem_level: None,
+        }
+    }
+
+    #[test]
+    fn push_pop_in_order() {
+        let mut rob = Rob::new(4);
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        assert!(rob.is_full());
+        assert_eq!(rob.pop_head().unwrap().seq, 0);
+        assert_eq!(rob.head().unwrap().seq, 1);
+        assert_eq!(rob.next_seq(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "full ROB")]
+    fn push_full_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn push_wrong_seq_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(1));
+    }
+
+    #[test]
+    fn get_by_seq_after_commits() {
+        let mut rob = Rob::new(4);
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        rob.pop_head();
+        rob.pop_head();
+        assert!(rob.get(0).is_none());
+        assert!(rob.get(1).is_none());
+        assert_eq!(rob.get(2).unwrap().seq, 2);
+        assert_eq!(rob.get(3).unwrap().seq, 3);
+        assert!(rob.get(4).is_none());
+    }
+
+    #[test]
+    fn producer_done_semantics() {
+        let mut rob = Rob::new(4);
+        let mut e = entry(0);
+        e.issued = true;
+        e.ready_at = 10;
+        e.exec_lat = 3;
+        rob.push(e);
+        assert!(!rob.producer_done(0, 9));
+        assert!(rob.producer_done(0, 10));
+        // Committed producers are done.
+        assert!(rob.producer_done(999, 0));
+    }
+
+    #[test]
+    fn squash_removes_younger() {
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
+        }
+        let (removed, branches) = rob.squash_younger_than(2);
+        assert_eq!(removed, 3);
+        assert_eq!(branches, 0); // the test entries are all ALU ops
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.next_seq(), 3);
+        // New pushes continue from seq 3.
+        rob.push(entry(3));
+        assert_eq!(rob.len(), 4);
+    }
+
+    #[test]
+    fn blame_classification() {
+        let now = 5;
+        // Not issued → Depend.
+        let e = entry(0);
+        assert_eq!(e.blame(now), Some(Blame::Depend));
+        // Issued long-latency → LongLat.
+        let mut e = entry(0);
+        e.issued = true;
+        e.ready_at = 20;
+        e.exec_lat = 8;
+        assert_eq!(e.blame(now), Some(Blame::LongLat));
+        // Load that missed L1 → Dcache, tagged with the serving level.
+        e.mem_level = Some(HitLevel::Mem);
+        assert_eq!(e.blame(now), Some(Blame::Dcache(HitLevel::Mem)));
+        // Issued 1-cycle op still in flight → Depend.
+        let mut e = entry(0);
+        e.issued = true;
+        e.ready_at = 6;
+        e.exec_lat = 1;
+        assert_eq!(e.blame(now), Some(Blame::Depend));
+        // Done → no blame.
+        let mut e = entry(0);
+        e.issued = true;
+        e.ready_at = 5;
+        assert_eq!(e.blame(now), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Component-wise stack aggregation (paper §IV: "we aggregate the CPI
+//! stacks by averaging them component per component").
+
+use mstacks_core::{CpiStack, FlopsStack, COMPONENTS, FLOPS_COMPONENTS};
+
+/// Averages the CPI components of several stacks (e.g. the same stage
+/// across threads or benchmarks). Returns per-component CPI values in
+/// canonical order.
+///
+/// # Panics
+///
+/// Panics if `stacks` is empty.
+pub fn average_cpi_components(stacks: &[&CpiStack]) -> [f64; COMPONENTS.len()] {
+    assert!(!stacks.is_empty(), "cannot average zero stacks");
+    let mut out = [0.0; COMPONENTS.len()];
+    for s in stacks {
+        for (o, c) in out.iter_mut().zip(COMPONENTS.iter()) {
+            *o += s.cpi_of(*c);
+        }
+    }
+    for o in &mut out {
+        *o /= stacks.len() as f64;
+    }
+    out
+}
+
+/// Averages the *normalized* components of several FLOPS stacks (the
+/// paper's Fig. 4 aggregation). Returns fractions summing to ≈1.
+///
+/// # Panics
+///
+/// Panics if `stacks` is empty.
+pub fn average_flops_normalized(stacks: &[&FlopsStack]) -> [f64; FLOPS_COMPONENTS.len()] {
+    assert!(!stacks.is_empty(), "cannot average zero stacks");
+    let mut out = [0.0; FLOPS_COMPONENTS.len()];
+    for s in stacks {
+        let n = s.normalized();
+        for (o, v) in out.iter_mut().zip(n.iter()) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= stacks.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_core::{Component, FlopsComponent, Stage};
+
+    fn cpi_stack(base: f64, dcache: f64) -> CpiStack {
+        let mut counts = [0.0; COMPONENTS.len()];
+        counts[Component::Base.index()] = base;
+        counts[Component::Dcache.index()] = dcache;
+        CpiStack::from_counts(Stage::Issue, counts, 100, 100)
+    }
+
+    #[test]
+    fn cpi_average_is_componentwise() {
+        let a = cpi_stack(25.0, 75.0);
+        let b = cpi_stack(25.0, 25.0);
+        let avg = average_cpi_components(&[&a, &b]);
+        assert!((avg[Component::Base.index()] - 0.25).abs() < 1e-12);
+        assert!((avg[Component::Dcache.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_average_normalizes_first() {
+        let mut c1 = [0.0; FLOPS_COMPONENTS.len()];
+        c1[FlopsComponent::Base.index()] = 100.0; // all base
+        let a = FlopsStack::from_counts(c1, 100, 64);
+        let mut c2 = [0.0; FLOPS_COMPONENTS.len()];
+        c2[FlopsComponent::Memory.index()] = 500.0; // all memory, 5× cycles
+        let b = FlopsStack::from_counts(c2, 500, 64);
+        let avg = average_flops_normalized(&[&a, &b]);
+        // Normalization makes both stacks weigh equally.
+        assert!((avg[FlopsComponent::Base.index()] - 0.5).abs() < 1e-12);
+        assert!((avg[FlopsComponent::Memory.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero stacks")]
+    fn empty_average_panics() {
+        let _ = average_cpi_components(&[]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Five-number summaries.
+
+/// A five-number summary: whiskers at the extremes, a box bounded by the
+/// first and third quartile, and the median — exactly the representation
+/// of paper Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boxplot {
+    /// Smallest sample.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Boxplot {
+    /// Computes the summary of `samples` (need not be sorted).
+    ///
+    /// Returns `None` for an empty slice. Quartiles use linear
+    /// interpolation between order statistics (type-7, the numpy default).
+    pub fn from_samples(samples: &[f64]) -> Option<Boxplot> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut s: Vec<f64> = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        Some(Boxplot {
+            min: s[0],
+            q1: quantile(&s, 0.25),
+            median: quantile(&s, 0.5),
+            q3: quantile(&s, 0.75),
+            max: s[s.len() - 1],
+            n: s.len(),
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl std::fmt::Display for Boxplot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:+.3} |{:+.3} {:+.3} {:+.3}| {:+.3}] (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Boxplot::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let b = Boxplot::from_samples(&[2.0]).unwrap();
+        assert_eq!(b.min, 2.0);
+        assert_eq!(b.median, 2.0);
+        assert_eq!(b.max, 2.0);
+    }
+
+    #[test]
+    fn known_quartiles() {
+        // 1..=5: q1 = 2, median = 3, q3 = 4 (type-7).
+        let b = Boxplot::from_samples(&[5.0, 3.0, 1.0, 4.0, 2.0]).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.q3, 4.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.iqr(), 2.0);
+        assert_eq!(b.n, 5);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        // 1..=4: median = 2.5.
+        let b = Boxplot::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((b.median - 2.5).abs() < 1e-12);
+        assert!((b.q1 - 1.75).abs() < 1e-12);
+        assert!((b.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_numbers() {
+        let b = Boxplot::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        let s = b.to_string();
+        assert!(s.contains("n=3"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The Fig. 2 error methodology.
+//!
+//! For every (benchmark, component) pair where the component is at least
+//! 10 % of total CPI *in any of the three stacks*, the paper compares each
+//! stack's predicted component against the actual CPI reduction measured
+//! by re-simulating with that structure idealized. The "error" of a single
+//! stack is `predicted − actual`; the error of the multi-stage
+//! representation is zero when the actual reduction falls within the
+//! [min, max] bounds, else the distance to the nearest bound.
+
+use crate::boxplot::Boxplot;
+use mstacks_core::{Component, MultiStackReport};
+
+/// One (benchmark, component) observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSample {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Component under study.
+    pub component: Component,
+    /// Dispatch-stack prediction error (`predicted − actual`).
+    pub dispatch: f64,
+    /// Issue-stack prediction error.
+    pub issue: f64,
+    /// Commit-stack prediction error.
+    pub commit: f64,
+    /// Multi-stage bound error (0 when the actual falls in the bounds).
+    pub multi: f64,
+}
+
+/// Collects [`ErrorSample`]s for one component and summarizes them.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentErrorStudy {
+    samples: Vec<ErrorSample>,
+}
+
+impl ComponentErrorStudy {
+    /// An empty study.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ≥10 %-of-total-CPI relevance filter: `true` if `c` contributes
+    /// at least `threshold` (fraction) of the total CPI in *any* stack.
+    /// The paper uses 0.10 to "filter out zeros".
+    pub fn is_relevant(multi: &MultiStackReport, c: Component, threshold: f64) -> bool {
+        multi.stacks().iter().any(|s| {
+            let total = s.total_cpi();
+            total > 0.0 && s.cpi_of(c) / total >= threshold
+        })
+    }
+
+    /// Adds the observation for one benchmark: `multi` is its baseline
+    /// multi-stack report, `actual` the measured CPI reduction from
+    /// idealizing the structure behind `c`.
+    pub fn add(&mut self, benchmark: &str, multi: &MultiStackReport, c: Component, actual: f64) {
+        self.samples.push(ErrorSample {
+            benchmark: benchmark.to_string(),
+            component: c,
+            dispatch: multi.dispatch.cpi_of(c) - actual,
+            issue: multi.issue.cpi_of(c) - actual,
+            commit: multi.commit.cpi_of(c) - actual,
+            multi: multi.bound_error(c, actual),
+        });
+    }
+
+    /// All collected samples.
+    pub fn samples(&self) -> &[ErrorSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Boxplots over (dispatch, issue, commit, multi) errors.
+    pub fn boxplots(&self) -> Option<[Boxplot; 4]> {
+        let col = |f: fn(&ErrorSample) -> f64| {
+            Boxplot::from_samples(&self.samples.iter().map(f).collect::<Vec<_>>())
+        };
+        Some([
+            col(|s| s.dispatch)?,
+            col(|s| s.issue)?,
+            col(|s| s.commit)?,
+            col(|s| s.multi)?,
+        ])
+    }
+
+    /// Mean absolute error per stack kind (dispatch, issue, commit, multi).
+    pub fn mean_abs_errors(&self) -> Option<[f64; 4]> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len() as f64;
+        let mut out = [0.0; 4];
+        for s in &self.samples {
+            out[0] += s.dispatch.abs();
+            out[1] += s.issue.abs();
+            out[2] += s.commit.abs();
+            out[3] += s.multi.abs();
+        }
+        for o in &mut out {
+            *o /= n;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_core::{CpiStack, Stage, COMPONENTS};
+
+    fn stack(stage: Stage, base: f64, dcache: f64) -> CpiStack {
+        let mut counts = [0.0; COMPONENTS.len()];
+        counts[Component::Base.index()] = base;
+        counts[Component::Dcache.index()] = dcache;
+        CpiStack::from_counts(stage, counts, 1_000, 1_000)
+    }
+
+    fn multi(d: f64, i: f64, c: f64) -> MultiStackReport {
+        MultiStackReport {
+            dispatch: stack(Stage::Dispatch, 250.0, d * 1_000.0),
+            issue: stack(Stage::Issue, 250.0, i * 1_000.0),
+            commit: stack(Stage::Commit, 250.0, c * 1_000.0),
+            fetch: None,
+        }
+    }
+
+    #[test]
+    fn relevance_filter() {
+        let m = multi(0.05, 0.08, 0.2);
+        // Dcache is 0.2 / 0.45 ≈ 44% of commit CPI → relevant at 10%.
+        assert!(ComponentErrorStudy::is_relevant(&m, Component::Dcache, 0.10));
+        // Bpred is zero everywhere.
+        assert!(!ComponentErrorStudy::is_relevant(&m, Component::Bpred, 0.10));
+    }
+
+    #[test]
+    fn errors_per_stack_and_multi() {
+        let mut study = ComponentErrorStudy::new();
+        let m = multi(0.06, 0.15, 0.30);
+        // Actual reduction 0.29 is within [0.06, 0.30] → multi error 0.
+        study.add("mcf", &m, Component::Dcache, 0.29);
+        let s = &study.samples()[0];
+        assert!((s.dispatch + 0.23).abs() < 1e-12);
+        assert!((s.issue + 0.14).abs() < 1e-12);
+        assert!((s.commit - 0.01).abs() < 1e-12);
+        assert_eq!(s.multi, 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_multi_error() {
+        let mut study = ComponentErrorStudy::new();
+        let m = multi(0.06, 0.15, 0.30);
+        study.add("cactus", &m, Component::Dcache, 0.40);
+        // Nearest bound 0.30 → error −0.10 (prediction too low).
+        assert!((study.samples()[0].multi + 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplots_and_mae() {
+        let mut study = ComponentErrorStudy::new();
+        let m = multi(0.06, 0.15, 0.30);
+        for (name, actual) in [("a", 0.10), ("b", 0.20), ("c", 0.35)] {
+            study.add(name, &m, Component::Dcache, actual);
+        }
+        let boxes = study.boxplots().unwrap();
+        assert_eq!(boxes[0].n, 3);
+        let mae = study.mean_abs_errors().unwrap();
+        // Multi MAE must be the smallest (bounds absorb in-range cases).
+        assert!(mae[3] <= mae[0] && mae[3] <= mae[1] && mae[3] <= mae[2]);
+    }
+
+    #[test]
+    fn empty_study() {
+        let s = ComponentErrorStudy::new();
+        assert!(s.is_empty());
+        assert!(s.boxplots().is_none());
+        assert!(s.mean_abs_errors().is_none());
+    }
+}

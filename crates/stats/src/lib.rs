@@ -1,0 +1,21 @@
+//! Statistics and reporting utilities for `mstacks` experiments.
+//!
+//! * [`boxplot`] — five-number summaries (the representation of paper
+//!   Fig. 2: quartile boxes, median line, whiskers to the extremes).
+//! * [`error`] — the Fig. 2 error methodology: per-component differences
+//!   between a stack's prediction and the measured CPI reduction, with the
+//!   multi-stage bound error, and the ≥10 %-of-CPI relevance filter.
+//! * [`aggregate`] — component-wise averaging of stacks across benchmarks
+//!   or threads (paper §IV).
+//! * [`render`] — plain-text stacked bars and aligned tables used by the
+//!   experiment binaries that regenerate every figure and table.
+
+pub mod aggregate;
+pub mod boxplot;
+pub mod error;
+pub mod render;
+
+pub use aggregate::{average_cpi_components, average_flops_normalized};
+pub use boxplot::Boxplot;
+pub use error::{ComponentErrorStudy, ErrorSample};
+pub use render::TextTable;

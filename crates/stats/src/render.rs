@@ -1,0 +1,234 @@
+//! Plain-text rendering: stacked bars and aligned tables.
+//!
+//! The experiment binaries print every figure as text; these helpers keep
+//! the output readable and consistent.
+
+use mstacks_core::{Component, CpiStack, FlopsStack, COMPONENTS, FLOPS_COMPONENTS};
+use mstacks_mem::HitLevel;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_stats::TextTable;
+///
+/// let mut t = TextTable::new(vec!["app".into(), "CPI".into()]);
+/// t.row(vec!["mcf".into(), "1.41".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("mcf"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells that
+    /// contain commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:w$}", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            print_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders one CPI stack as labelled component lines with proportional
+/// bars, e.g. for paper Fig. 1/3-style output.
+pub fn cpi_stack_lines(stack: &CpiStack, bar_width: usize) -> String {
+    let total = stack.total_cpi().max(1e-12);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} stack: CPI = {:.3}\n",
+        stack.stage,
+        stack.total_cpi()
+    ));
+    for &c in COMPONENTS.iter() {
+        let v = stack.cpi_of(c);
+        if v < 1e-9 {
+            continue;
+        }
+        let n = ((v / total) * bar_width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {:<12} {:>7.3}  {}\n",
+            c.label(),
+            v,
+            "#".repeat(n.max(1))
+        ));
+        // Per-level refinement of the Dcache component (paper §III-A).
+        if c == Component::Dcache {
+            for (name, level) in [("· l2", HitLevel::L2), ("· l3", HitLevel::L3), ("· mem", HitLevel::Mem)] {
+                let lv = stack.dcache_level_cpi(level);
+                if lv > 1e-9 {
+                    out.push_str(&format!("    {name:<10} {lv:>7.3}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a FLOPS stack in GFLOPS units (paper Fig. 5 right).
+pub fn flops_stack_lines(stack: &FlopsStack, freq_ghz: f64, bar_width: usize) -> String {
+    let comps = stack.gflops_components(freq_ghz);
+    let peak: f64 = comps.iter().sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FLOPS stack: achieved {:.1} / {:.1} GFLOPS\n",
+        stack.achieved_gflops(freq_ghz),
+        peak
+    ));
+    for &c in FLOPS_COMPONENTS.iter() {
+        let v = comps[c.index()];
+        if v < 1e-9 {
+            continue;
+        }
+        let n = ((v / peak.max(1e-12)) * bar_width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {:<12} {:>8.2}  {}\n",
+            c.label(),
+            v,
+            "#".repeat(n.max(1))
+        ));
+    }
+    out
+}
+
+/// Formats a signed number compactly for tables.
+pub fn fmt_signed(v: f64) -> String {
+    format!("{v:+.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_core::{Component, FlopsComponent, Stage};
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a-long-name".into(), "1".into()]);
+        t.row(vec!["b".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines have the same width structure.
+        assert!(lines[2].starts_with("a-long-name"));
+        assert!(lines[3].starts_with("b          "));
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["plain".into(), "with,comma".into()]);
+        t.row(vec!["quote\"d".into(), "x".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"quote\"\"d\",x");
+    }
+
+    #[test]
+    fn cpi_render_skips_zero_components() {
+        let mut counts = [0.0; COMPONENTS.len()];
+        counts[Component::Base.index()] = 25.0;
+        counts[Component::Dcache.index()] = 75.0;
+        let s = CpiStack::from_counts(Stage::Commit, counts, 100, 100);
+        let text = cpi_stack_lines(&s, 40);
+        assert!(text.contains("base"));
+        assert!(text.contains("dcache"));
+        assert!(!text.contains("bpred"));
+        assert!(text.contains("CPI = 1.000"));
+    }
+
+    #[test]
+    fn flops_render_shows_achieved() {
+        let mut counts = [0.0; FLOPS_COMPONENTS.len()];
+        counts[FlopsComponent::Base.index()] = 50.0;
+        counts[FlopsComponent::Memory.index()] = 50.0;
+        let s = FlopsStack::from_counts(counts, 100, 64);
+        let text = flops_stack_lines(&s, 2.0, 40);
+        assert!(text.contains("achieved 64.0 / 128.0 GFLOPS"));
+        assert!(text.contains("memory"));
+    }
+
+    #[test]
+    fn fmt_signed_shows_sign() {
+        assert_eq!(fmt_signed(0.5), "+0.500");
+        assert_eq!(fmt_signed(-0.25), "-0.250");
+    }
+}

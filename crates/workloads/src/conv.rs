@@ -1,0 +1,346 @@
+//! Convolution kernel traces (forward, backward-filter, backward-data).
+//!
+//! Convolution inner loops carry much more integer/addressing overhead per
+//! FMA than GEMM (im2col index arithmetic, boundary handling), so their
+//! VFP fraction is lower — in FLOPS-stack terms, a large **frontend**
+//! component (paper Fig. 4, conv suites). The backward phases add extra
+//! memory traffic: `bwd_filter` accumulates into the filter gradient
+//! (load+store per FMA group), `bwd_data` scatters with spatial stride
+//! (worse locality).
+
+use crate::deepbench::ConvConfig;
+use mstacks_model::{
+    AluClass, ArchReg, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp,
+};
+use std::collections::VecDeque;
+
+/// Which phase of training the kernel computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvPhase {
+    /// Forward propagation.
+    Forward,
+    /// Backward pass w.r.t. the filter weights.
+    BackwardFilter,
+    /// Backward pass w.r.t. the input data.
+    BackwardData,
+}
+
+impl std::fmt::Display for ConvPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvPhase::Forward => write!(f, "fwd"),
+            ConvPhase::BackwardFilter => write!(f, "bwd_f"),
+            ConvPhase::BackwardData => write!(f, "bwd_d"),
+        }
+    }
+}
+
+const IN_BASE: u64 = 0x2000_0000;
+const LOOP_PC: u64 = 0x40_3000;
+
+const ACC_BASE: u16 = 64;
+const LOAD_RING: u16 = 8;
+const IDX0: u16 = 1;
+const IDX1: u16 = 2;
+const IDX2: u16 = 3;
+
+/// A deterministic trace of one convolution phase.
+#[derive(Debug, Clone)]
+pub struct ConvTrace {
+    cfg: ConvConfig,
+    phase: ConvPhase,
+    lanes: u8,
+    queue: VecDeque<MicroOp>,
+    iter: u64,
+    in_pos: u64,
+    out_pos: u64,
+    in_bytes: u64,
+    filt_bytes: u64,
+    out_bytes: u64,
+}
+
+impl ConvTrace {
+    /// Starts the kernel for `cfg` / `phase` with `lanes` vector lanes.
+    pub fn new(cfg: ConvConfig, phase: ConvPhase, lanes: u8) -> Self {
+        let in_bytes = (cfg.w * cfg.h * cfg.c * cfg.n * 4) as u64;
+        let filt_bytes = (cfg.fw * cfg.fh * cfg.c * cfg.k * 4) as u64;
+        let out_bytes = (cfg.out_w() * cfg.out_h() * cfg.k * cfg.n * 4) as u64;
+        ConvTrace {
+            cfg,
+            phase,
+            lanes,
+            queue: VecDeque::with_capacity(64),
+            iter: 0,
+            in_pos: 0,
+            out_pos: 0,
+            in_bytes: in_bytes.max(4096),
+            filt_bytes: filt_bytes.max(4096),
+            out_bytes: out_bytes.max(4096),
+        }
+    }
+
+    fn filt_base(&self) -> u64 {
+        IN_BASE + ((self.in_bytes + 4095) & !4095)
+    }
+
+    fn out_base(&self) -> u64 {
+        self.filt_base() + ((self.filt_bytes + 4095) & !4095)
+    }
+
+    fn push_idx_math(&mut self, pc: &mut u64, count: usize) {
+        // Three independent index chains (w, h, c counters): serial within
+        // a chain, parallel across chains — enough ILP to keep a 4-wide
+        // core fed, as compiled loop nests are.
+        for i in 0..count {
+            let (src, dst) = match i % 3 {
+                0 => (IDX0, IDX0),
+                1 => (IDX1, IDX1),
+                _ => (IDX2, IDX2),
+            };
+            let class = if i % 2 == 0 { AluClass::Lea } else { AluClass::Add };
+            self.queue.push_back(
+                MicroOp::new(*pc, UopKind::IntAlu(class))
+                    .with_src(ArchReg::new(src))
+                    .with_dst(ArchReg::new(dst)),
+            );
+            *pc += 4;
+        }
+    }
+
+    fn fma(&self, pc: u64, acc: u16, src: u16) -> MicroOp {
+        MicroOp::new(
+            pc,
+            UopKind::VecFp(VecFpOp {
+                op: FpOpKind::Fma,
+                active_lanes: self.lanes,
+                elem: ElemType::F32,
+            }),
+        )
+        .with_src(ArchReg::new(acc))
+        .with_src(ArchReg::new(src))
+        .with_dst(ArchReg::new(acc))
+    }
+
+    /// Emits one filter-position iteration.
+    fn emit_iteration(&mut self) {
+        let mut pc = LOOP_PC;
+        let vec_bytes = u64::from(self.lanes) * 4;
+        let stride_bytes = (self.cfg.stride * 4) as u64;
+
+        // im2col-style index arithmetic: the frontend overhead that keeps
+        // the VFP fraction low.
+        let idx_ops = match self.phase {
+            ConvPhase::Forward => 4,
+            ConvPhase::BackwardFilter => 5,
+            ConvPhase::BackwardData => 6,
+        };
+        self.push_idx_math(&mut pc, idx_ops);
+
+        // Input row load. Real kernels are register/L1-blocked: the cursor
+        // slides sub-line inside an 8 KiB window that migrates across the
+        // input between outer iterations, so most accesses are L1 hits
+        // (strided layers advance faster).
+        const IN_WINDOW: u64 = 8 * 1024;
+        let in_step = 16 * (1 + stride_bytes / 4);
+        // The window is reused across all K output filters before moving.
+        let window = ((self.iter / 4096) * IN_WINDOW) % self.in_bytes.max(IN_WINDOW);
+        let in_addr = IN_BASE + window + (self.in_pos % IN_WINDOW.min(self.in_bytes));
+        self.in_pos = self.in_pos.wrapping_add(in_step);
+        let _ = vec_bytes;
+        self.queue.push_back(
+            MicroOp::new(pc, UopKind::Load { addr: in_addr })
+                .with_src(ArchReg::new(IDX0))
+                .with_dst(ArchReg::new(LOAD_RING)),
+        );
+        pc += 4;
+
+        // Filter load: the active filter slice is hot in the L1.
+        const F_WINDOW: u64 = 4 * 1024;
+        let f_addr = self.filt_base()
+            + ((self.iter / 2048) * F_WINDOW) % self.filt_bytes.max(F_WINDOW)
+            + (self.iter * 8) % F_WINDOW.min(self.filt_bytes);
+        self.queue.push_back(
+            MicroOp::new(pc, UopKind::Load { addr: f_addr })
+                .with_src(ArchReg::new(IDX1))
+                .with_dst(ArchReg::new(LOAD_RING + 1)),
+        );
+        pc += 4;
+
+        // FMA group: fewer per loads than GEMM.
+        let fmas = match self.phase {
+            ConvPhase::Forward => 3,
+            ConvPhase::BackwardFilter => 2,
+            ConvPhase::BackwardData => 2,
+        };
+        for r in 0..fmas {
+            // Rotate through 8 accumulators so FMA chains overlap across
+            // iterations (register-blocked kernels do exactly this).
+            let acc = ACC_BASE + ((self.iter as u16).wrapping_mul(fmas as u16) + r as u16) % 8;
+            let f = self
+                .fma(pc, acc, LOAD_RING)
+                .with_src(ArchReg::new(LOAD_RING + 1));
+            self.queue.push_back(f);
+            pc += 4;
+        }
+
+        // Phase-specific extra memory traffic.
+        match self.phase {
+            ConvPhase::Forward => {
+                // Output store once per few iterations (sequential stream).
+                if self.iter % 4 == 3 {
+                    let addr = self.out_base() + self.out_pos;
+                    self.out_pos = (self.out_pos + 16) % self.out_bytes;
+                    self.queue.push_back(
+                        MicroOp::new(pc, UopKind::Store { addr })
+                            .with_src(ArchReg::new(ACC_BASE)),
+                    );
+                    pc += 4;
+                }
+            }
+            ConvPhase::BackwardFilter => {
+                // Accumulate into the (hot) filter gradient: load + store.
+                let addr = self.filt_base() + (self.iter * 16) % (4 * 1024).min(self.filt_bytes);
+                self.queue.push_back(
+                    MicroOp::new(pc, UopKind::Load { addr })
+                        .with_dst(ArchReg::new(LOAD_RING + 2)),
+                );
+                pc += 4;
+                self.queue.push_back(
+                    MicroOp::new(pc, UopKind::Store { addr })
+                        .with_src(ArchReg::new(ACC_BASE)),
+                );
+                pc += 4;
+            }
+            ConvPhase::BackwardData => {
+                // Strided scatter into the input gradient: worse locality
+                // than the forward stream, but still window-local.
+                let scatter_step = 64 * (1 + stride_bytes);
+                let addr = self.out_base() + (self.iter * scatter_step) % self.out_bytes;
+                self.queue.push_back(
+                    MicroOp::new(pc, UopKind::Store { addr })
+                        .with_src(ArchReg::new(ACC_BASE)),
+                );
+                pc += 4;
+            }
+        }
+
+        // Loop branch over filter positions (predictable).
+        let trips = (self.cfg.fw * self.cfg.fh * self.cfg.c / usize::from(self.lanes)).max(4);
+        self.iter += 1;
+        let stay = !self.iter.is_multiple_of(trips as u64);
+        self.queue.push_back(MicroOp::new(
+            pc,
+            UopKind::Branch(BranchInfo {
+                taken: stay,
+                target: LOOP_PC,
+                fallthrough: pc + 4,
+                kind: BranchKind::Cond,
+            }),
+        ));
+        if !stay {
+            // Outer-loop bookkeeping: a couple of scalar ops and a jump.
+            let mut opc = pc + 4;
+            self.push_idx_math(&mut opc, 2);
+            self.queue.push_back(MicroOp::new(
+                opc,
+                UopKind::Branch(BranchInfo {
+                    taken: true,
+                    target: LOOP_PC,
+                    fallthrough: opc + 4,
+                    kind: BranchKind::Uncond,
+                }),
+            ));
+        }
+    }
+}
+
+impl Iterator for ConvTrace {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.queue.is_empty() {
+            self.emit_iteration();
+        }
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deepbench::conv_configs;
+
+    fn cfg() -> ConvConfig {
+        conv_configs()[2]
+    }
+
+    fn uops(phase: ConvPhase, n: usize) -> Vec<MicroOp> {
+        ConvTrace::new(cfg(), phase, 16).take(n).collect()
+    }
+
+    #[test]
+    fn all_phases_generate() {
+        for phase in [
+            ConvPhase::Forward,
+            ConvPhase::BackwardFilter,
+            ConvPhase::BackwardData,
+        ] {
+            let us = uops(phase, 5_000);
+            assert_eq!(us.len(), 5_000);
+            assert!(us.iter().any(|u| u.kind.is_vfp()), "{phase}");
+            assert!(us.iter().any(|u| u.kind.is_branch()), "{phase}");
+        }
+    }
+
+    #[test]
+    fn conv_vfp_fraction_below_gemm() {
+        use crate::deepbench::GemmConfig;
+        use crate::gemm::{GemmStyle, GemmTrace};
+        let conv_vfp = uops(ConvPhase::Forward, 20_000)
+            .iter()
+            .filter(|u| u.kind.is_vfp())
+            .count();
+        let gemm_vfp = GemmTrace::new(
+            GemmConfig {
+                m: 64,
+                n: 64,
+                k: 64,
+                train: true,
+            },
+            GemmStyle::SkxBroadcast,
+            16,
+        )
+        .take(20_000)
+        .filter(|u| u.kind.is_vfp())
+        .count();
+        assert!(
+            conv_vfp < gemm_vfp,
+            "conv VFP fraction ({conv_vfp}) must be below gemm ({gemm_vfp})"
+        );
+    }
+
+    #[test]
+    fn bwd_filter_has_more_stores_than_fwd() {
+        let count_stores = |p| {
+            uops(p, 20_000)
+                .iter()
+                .filter(|u| matches!(u.kind, UopKind::Store { .. }))
+                .count()
+        };
+        assert!(count_stores(ConvPhase::BackwardFilter) > count_stores(ConvPhase::Forward));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = uops(ConvPhase::BackwardData, 3_000);
+        let b = uops(ConvPhase::BackwardData, 3_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(ConvPhase::Forward.to_string(), "fwd");
+        assert_eq!(ConvPhase::BackwardFilter.to_string(), "bwd_f");
+        assert_eq!(ConvPhase::BackwardData.to_string(), "bwd_d");
+    }
+}

@@ -1,0 +1,194 @@
+//! DeepBench-like configuration tables.
+//!
+//! DeepBench's real lists hold 235 GEMM and 94 convolution layer shapes
+//! drawn from production deep-learning models. We model a representative,
+//! *scaled-down* subset (dimensions divided by ~16, minimum 16) so a full
+//! sweep remains tractable on one machine; the experiment harness reports
+//! how many configurations ran. The shapes keep the properties that matter
+//! for FLOPS-stack behaviour: tall/skinny vs square aspect ratios,
+//! train-vs-inference batch sizes, and convolution layers from early
+//! (large spatial, few channels) to late (small spatial, many channels).
+
+/// One GEMM layer shape: `C[m×n] += A[m×k] · B[k×n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmConfig {
+    /// Rows of A / C.
+    pub m: usize,
+    /// Columns of B / C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Training shape (large batch) vs inference shape (small batch).
+    pub train: bool,
+}
+
+impl GemmConfig {
+    /// Floating-point operations of the full GEMM (2·m·n·k).
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// Scaled-down DeepBench training GEMM shapes.
+pub fn sgemm_train_configs() -> Vec<GemmConfig> {
+    let dims: [(usize, usize, usize); 12] = [
+        (110, 440, 110),  // 1760×7000×1760 / 16
+        (128, 440, 128),  // 2048×7000×2048
+        (160, 440, 160),  // 2560×7000×2560
+        (110, 220, 110),  // smaller batch
+        (128, 220, 128),
+        (230, 128, 128),  // attention-style tall
+        (256, 64, 256),
+        (110, 440, 55),   // rectangular K
+        (64, 880, 64),    // very wide N
+        (320, 110, 320),
+        (96, 330, 96),
+        (440, 440, 64),   // wide M×N, short K
+    ];
+    dims.iter()
+        .map(|&(m, n, k)| GemmConfig { m, n, k, train: true })
+        .collect()
+}
+
+/// Scaled-down DeepBench inference GEMM shapes (batch-1-ish: tiny N).
+pub fn sgemm_inference_configs() -> Vec<GemmConfig> {
+    let dims: [(usize, usize, usize); 10] = [
+        (320, 16, 128),   // 5124×1/2-ish batch
+        (320, 16, 160),
+        (440, 16, 110),
+        (128, 16, 128),
+        (220, 32, 220),
+        (160, 32, 160),
+        (440, 32, 55),
+        (96, 16, 96),
+        (256, 16, 64),
+        (110, 32, 110),
+    ];
+    dims.iter()
+        .map(|&(m, n, k)| GemmConfig { m, n, k, train: false })
+        .collect()
+}
+
+/// One convolution layer shape (NCHW, square-ish filters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvConfig {
+    /// Input width.
+    pub w: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Batch size.
+    pub n: usize,
+    /// Output channels (filter count).
+    pub k: usize,
+    /// Filter width.
+    pub fw: usize,
+    /// Filter height.
+    pub fh: usize,
+    /// Spatial stride.
+    pub stride: usize,
+}
+
+impl ConvConfig {
+    /// Output width after convolution.
+    pub fn out_w(&self) -> usize {
+        (self.w - self.fw) / self.stride + 1
+    }
+
+    /// Output height after convolution.
+    pub fn out_h(&self) -> usize {
+        (self.h - self.fh) / self.stride + 1
+    }
+
+    /// Floating-point operations of the forward pass.
+    pub fn flops(&self) -> u64 {
+        2 * self.out_w() as u64
+            * self.out_h() as u64
+            * self.k as u64
+            * self.c as u64
+            * self.fw as u64
+            * self.fh as u64
+            * self.n as u64
+    }
+}
+
+/// One recurrent-layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RnnConfig {
+    /// Hidden-state width.
+    pub hidden: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Time steps unrolled.
+    pub timesteps: usize,
+}
+
+/// Scaled-down DeepBench recurrent-layer shapes.
+pub fn rnn_configs() -> Vec<RnnConfig> {
+    vec![
+        RnnConfig { hidden: 110, batch: 4, timesteps: 8 },  // 1760/16 speech
+        RnnConfig { hidden: 160, batch: 4, timesteps: 8 },  // 2560/16
+        RnnConfig { hidden: 64, batch: 8, timesteps: 16 },  // small translator
+        RnnConfig { hidden: 128, batch: 2, timesteps: 8 },
+    ]
+}
+
+/// Scaled-down DeepBench training convolution shapes.
+pub fn conv_configs() -> Vec<ConvConfig> {
+    vec![
+        // Early layers: large spatial, few channels, stride 2.
+        ConvConfig { w: 56, h: 56, c: 3, n: 2, k: 16, fw: 7, fh: 7, stride: 2 },
+        ConvConfig { w: 28, h: 28, c: 16, n: 2, k: 32, fw: 5, fh: 5, stride: 2 },
+        // Mid layers.
+        ConvConfig { w: 28, h: 28, c: 32, n: 2, k: 32, fw: 3, fh: 3, stride: 1 },
+        ConvConfig { w: 14, h: 14, c: 32, n: 2, k: 64, fw: 3, fh: 3, stride: 1 },
+        ConvConfig { w: 14, h: 14, c: 64, n: 2, k: 64, fw: 3, fh: 3, stride: 1 },
+        // Late layers: small spatial, many channels.
+        ConvConfig { w: 7, h: 7, c: 64, n: 2, k: 128, fw: 3, fh: 3, stride: 1 },
+        ConvConfig { w: 7, h: 7, c: 128, n: 2, k: 128, fw: 3, fh: 3, stride: 1 },
+        // 1×1 bottlenecks.
+        ConvConfig { w: 14, h: 14, c: 64, n: 2, k: 32, fw: 1, fh: 1, stride: 1 },
+        ConvConfig { w: 7, h: 7, c: 128, n: 2, k: 64, fw: 1, fh: 1, stride: 1 },
+        // Wide RNN-ish speech layer.
+        ConvConfig { w: 40, h: 20, c: 8, n: 2, k: 16, fw: 5, fh: 3, stride: 1 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_lists_are_nonempty_and_consistent() {
+        let train = sgemm_train_configs();
+        let inf = sgemm_inference_configs();
+        assert!(train.len() >= 10);
+        assert!(inf.len() >= 8);
+        assert!(train.iter().all(|c| c.train));
+        assert!(inf.iter().all(|c| !c.train));
+        // Inference shapes have small N (batch).
+        assert!(inf.iter().all(|c| c.n <= 32));
+    }
+
+    #[test]
+    fn gemm_flops() {
+        let c = GemmConfig { m: 10, n: 20, k: 30, train: true };
+        assert_eq!(c.flops(), 12_000);
+    }
+
+    #[test]
+    fn conv_geometry_and_flops() {
+        let c = ConvConfig { w: 28, h: 28, c: 16, n: 1, k: 32, fw: 3, fh: 3, stride: 1 };
+        assert_eq!(c.out_w(), 26);
+        assert_eq!(c.out_h(), 26);
+        assert_eq!(c.flops(), 2 * 26 * 26 * 32 * 16 * 9);
+    }
+
+    #[test]
+    fn conv_configs_cover_strides() {
+        let cfgs = conv_configs();
+        assert!(cfgs.iter().any(|c| c.stride == 2));
+        assert!(cfgs.iter().any(|c| c.fw == 1 && c.fh == 1));
+    }
+}

@@ -1,0 +1,394 @@
+//! Blocked single-precision GEMM kernel traces, in the two codegen styles
+//! the paper contrasts (§V-B):
+//!
+//! * **KNL jit** (`GemmStyle::KnlJit`): the MKL jit engine emits FMA
+//!   instructions *with a memory operand*. Each splits into a load micro-op
+//!   plus an FMA micro-op that depends on it, so the FMA waits on the L1D
+//!   — the FLOPS stack shows a large **memory** component even though
+//!   almost nothing misses the cache.
+//! * **SKX broadcast** (`GemmStyle::SkxBroadcast`): load B once, broadcast
+//!   it across an AVX-512 register (a vector-integer micro-op), then run
+//!   several register-only FMAs that depend on the broadcast — the FLOPS
+//!   stack shows a larger **dependence** component instead.
+
+use crate::deepbench::GemmConfig;
+use mstacks_model::{
+    AluClass, ArchReg, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp,
+};
+use std::collections::VecDeque;
+
+/// Code-generation style of the GEMM inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GemmStyle {
+    /// FMA-with-memory-operand (load + dependent FMA pairs), as MKL's jit
+    /// engine produces on KNL.
+    KnlJit,
+    /// Load + broadcast + register FMAs, as MKL produces on SKX.
+    SkxBroadcast,
+}
+
+impl std::fmt::Display for GemmStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GemmStyle::KnlJit => write!(f, "knl-jit"),
+            GemmStyle::SkxBroadcast => write!(f, "skx-broadcast"),
+        }
+    }
+}
+
+// Register map.
+const ACC_BASE: u16 = 64; // accumulators
+const A_REG_BASE: u16 = 80; // A-tile vector registers (SKX style)
+const B_REG: u16 = 96; // broadcast / B register
+const LOAD_RING: u16 = 8;
+const PTR_A: u16 = 1;
+const PTR_B: u16 = 2;
+
+// Code layout (small loop, resident in the L1I).
+const LOOP_PC: u64 = 0x40_1000;
+const WRITEBACK_PC: u64 = 0x40_2000;
+
+/// Number of accumulator registers (rows unrolled in the inner loop).
+const R: usize = 8;
+
+/// A deterministic trace of a blocked sgemm kernel.
+#[derive(Debug, Clone)]
+pub struct GemmTrace {
+    cfg: GemmConfig,
+    style: GemmStyle,
+    lanes: u8,
+    queue: VecDeque<MicroOp>,
+    /// Inner-loop iteration within the current k-loop.
+    k_iter: usize,
+    /// Which (m, n) tile we are on.
+    tile: usize,
+    /// A-matrix byte cursor.
+    a_pos: u64,
+    /// B-matrix byte cursor.
+    b_pos: u64,
+    a_bytes: u64,
+    b_bytes: u64,
+    c_bytes: u64,
+}
+
+const A_BASE: u64 = 0x1000_0000;
+
+impl GemmTrace {
+    /// Starts the kernel for `cfg` in `style` with `lanes` vector lanes.
+    pub fn new(cfg: GemmConfig, style: GemmStyle, lanes: u8) -> Self {
+        GemmTrace {
+            cfg,
+            style,
+            lanes,
+            queue: VecDeque::with_capacity(64),
+            k_iter: 0,
+            tile: 0,
+            a_pos: 0,
+            b_pos: 0,
+            a_bytes: (cfg.m * cfg.k * 4) as u64,
+            b_bytes: (cfg.k * cfg.n * 4) as u64,
+            c_bytes: (cfg.m * cfg.n * 4) as u64,
+        }
+    }
+
+    fn b_base(&self) -> u64 {
+        A_BASE + ((self.a_bytes + 4095) & !4095)
+    }
+
+    fn c_base(&self) -> u64 {
+        self.b_base() + ((self.b_bytes + 4095) & !4095)
+    }
+
+    fn fma(&self, pc: u64, acc: u16, extra_src: u16) -> MicroOp {
+        MicroOp::new(
+            pc,
+            UopKind::VecFp(VecFpOp {
+                op: FpOpKind::Fma,
+                active_lanes: self.lanes,
+                elem: ElemType::F32,
+            }),
+        )
+        .with_src(ArchReg::new(acc))
+        .with_src(ArchReg::new(extra_src))
+        .with_dst(ArchReg::new(acc))
+    }
+
+    /// A-tile accesses: real kernels are cache-blocked, so the inner loop
+    /// cycles inside a small resident window that slides across the matrix
+    /// between tiles. This keeps loads L1-resident — the paper's point is
+    /// that the FLOPS `memory` component comes from FMAs waiting on L1
+    /// *hits*, not on cache misses (§V-B).
+    fn next_a(&mut self, bytes: u64) -> u64 {
+        const TILE: u64 = 8 * 1024;
+        // The A tile is reused across the whole n-sweep: its window moves
+        // only every 16 (m,n) tiles.
+        let window = ((self.tile / 16) as u64 * TILE) % self.a_bytes.max(TILE);
+        let a = A_BASE + window + (self.a_pos % TILE.min(self.a_bytes));
+        self.a_pos = self.a_pos.wrapping_add(bytes);
+        a
+    }
+
+    /// B accesses slide through a small window as well (B is reused across
+    /// the m-tile).
+    fn next_b(&mut self, bytes: u64) -> u64 {
+        const TILE: u64 = 4 * 1024;
+        let window = (self.tile as u64 * TILE) % self.b_bytes.max(TILE);
+        let a = self.b_base() + window + (self.b_pos % TILE.min(self.b_bytes));
+        self.b_pos = self.b_pos.wrapping_add(bytes);
+        a
+    }
+
+    /// Emits one k-iteration of the inner loop into the queue.
+    fn emit_iteration(&mut self) {
+        let mut pc = LOOP_PC;
+        match self.style {
+            GemmStyle::KnlJit => {
+                // B vector load (reused by all rows this iteration; the
+                // cursor advances sub-line — consecutive iterations re-touch
+                // the same cache line, as a packed B panel does).
+                let b_addr = self.next_b(8);
+                self.queue.push_back(
+                    MicroOp::new(pc, UopKind::Load { addr: b_addr })
+                        .with_src(ArchReg::new(PTR_B))
+                        .with_dst(ArchReg::new(B_REG)),
+                );
+                pc += 4;
+                // R × (load A element + FMA with that memory operand).
+                for r in 0..R {
+                    let a_addr = self.next_a(8);
+                    let ld = LOAD_RING + (r as u16 % 8);
+                    self.queue.push_back(
+                        MicroOp::new(pc, UopKind::Load { addr: a_addr })
+                            .with_src(ArchReg::new(PTR_A))
+                            .with_dst(ArchReg::new(ld)),
+                    );
+                    pc += 4;
+                    // The FMA consumes the load it was fused with.
+                    let f = self.fma(pc, ACC_BASE + r as u16, ld);
+                    self.queue.push_back(f.with_src(ArchReg::new(B_REG)));
+                    pc += 4;
+                }
+            }
+            GemmStyle::SkxBroadcast => {
+                // Scalar B load + broadcast into a full register.
+                let b_addr = self.next_b(4);
+                self.queue.push_back(
+                    MicroOp::new(pc, UopKind::Load { addr: b_addr })
+                        .with_src(ArchReg::new(PTR_B))
+                        .with_dst(ArchReg::new(LOAD_RING)),
+                );
+                pc += 4;
+                self.queue.push_back(
+                    MicroOp::new(pc, UopKind::VecInt)
+                        .with_src(ArchReg::new(LOAD_RING))
+                        .with_dst(ArchReg::new(B_REG)),
+                );
+                pc += 4;
+                // Two A-tile vector loads per iteration keep A streaming.
+                for i in 0..2u16 {
+                    let a_addr = self.next_a(16);
+                    self.queue.push_back(
+                        MicroOp::new(pc, UopKind::Load { addr: a_addr })
+                            .with_src(ArchReg::new(PTR_A))
+                            .with_dst(ArchReg::new(A_REG_BASE + (i % 8))),
+                    );
+                    pc += 4;
+                }
+                // R register FMAs, all dependent on the broadcast.
+                for r in 0..R {
+                    let f = self.fma(pc, ACC_BASE + r as u16, B_REG);
+                    self.queue
+                        .push_back(f.with_src(ArchReg::new(A_REG_BASE + (r as u16 % 8))));
+                    pc += 4;
+                }
+            }
+        }
+        // Pointer bumps + loop branch.
+        self.queue.push_back(
+            MicroOp::new(pc, UopKind::IntAlu(AluClass::Add))
+                .with_src(ArchReg::new(PTR_A))
+                .with_dst(ArchReg::new(PTR_A)),
+        );
+        pc += 4;
+        self.queue.push_back(
+            MicroOp::new(pc, UopKind::IntAlu(AluClass::Add))
+                .with_src(ArchReg::new(PTR_B))
+                .with_dst(ArchReg::new(PTR_B)),
+        );
+        pc += 4;
+
+        let k_steps = self.cfg.k.max(16);
+        self.k_iter += 1;
+        let stay = !self.k_iter.is_multiple_of(k_steps);
+        self.queue.push_back(MicroOp::new(
+            pc,
+            UopKind::Branch(BranchInfo {
+                taken: stay,
+                target: LOOP_PC,
+                fallthrough: WRITEBACK_PC,
+                kind: BranchKind::Cond,
+            }),
+        ));
+        if !stay {
+            self.emit_writeback();
+        }
+    }
+
+    /// C-tile load/accumulate/store after a k-loop completes.
+    fn emit_writeback(&mut self) {
+        let mut pc = WRITEBACK_PC;
+        let vec_bytes = u64::from(self.lanes) * 4;
+        let c_base = self.c_base();
+        let tile_off = (self.tile as u64 * R as u64 * vec_bytes) % self.c_bytes.max(vec_bytes);
+        self.tile += 1;
+        for r in 0..R {
+            let addr = c_base + (tile_off + r as u64 * vec_bytes) % self.c_bytes.max(vec_bytes);
+            self.queue.push_back(
+                MicroOp::new(pc, UopKind::Load { addr })
+                    .with_dst(ArchReg::new(LOAD_RING + (r as u16 % 8))),
+            );
+            pc += 4;
+            self.queue.push_back(
+                MicroOp::new(
+                    pc,
+                    UopKind::VecFp(VecFpOp {
+                        op: FpOpKind::Add,
+                        active_lanes: self.lanes,
+                        elem: ElemType::F32,
+                    }),
+                )
+                .with_src(ArchReg::new(ACC_BASE + r as u16))
+                .with_src(ArchReg::new(LOAD_RING + (r as u16 % 8)))
+                .with_dst(ArchReg::new(ACC_BASE + r as u16)),
+            );
+            pc += 4;
+            self.queue.push_back(
+                MicroOp::new(pc, UopKind::Store { addr })
+                    .with_src(ArchReg::new(ACC_BASE + r as u16)),
+            );
+            pc += 4;
+        }
+        // Back to the top of the k-loop (next tile).
+        self.queue.push_back(MicroOp::new(
+            pc,
+            UopKind::Branch(BranchInfo {
+                taken: true,
+                target: LOOP_PC,
+                fallthrough: pc + 4,
+                kind: BranchKind::Uncond,
+            }),
+        ));
+    }
+}
+
+impl Iterator for GemmTrace {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.queue.is_empty() {
+            self.emit_iteration();
+        }
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GemmConfig {
+        GemmConfig {
+            m: 64,
+            n: 64,
+            k: 64,
+            train: true,
+        }
+    }
+
+    fn kinds(style: GemmStyle, n: usize) -> Vec<MicroOp> {
+        GemmTrace::new(cfg(), style, 16).take(n).collect()
+    }
+
+    #[test]
+    fn knl_style_pairs_loads_with_fmas() {
+        let uops = kinds(GemmStyle::KnlJit, 19);
+        // Pattern: B load, then (A load, FMA) pairs.
+        assert!(uops[0].kind.is_load());
+        assert!(uops[1].kind.is_load());
+        assert!(uops[2].kind.is_vfp());
+        // The FMA reads the load's destination register.
+        let ld_dst = uops[1].dst.unwrap();
+        assert!(uops[2].srcs().any(|r| r == ld_dst));
+    }
+
+    #[test]
+    fn skx_style_broadcast_feeds_fmas() {
+        let uops = kinds(GemmStyle::SkxBroadcast, 13);
+        assert!(uops[0].kind.is_load());
+        assert_eq!(uops[1].kind, UopKind::VecInt); // broadcast
+        let bcast_dst = uops[1].dst.unwrap();
+        let fmas: Vec<_> = uops.iter().filter(|u| u.kind.is_vfp()).collect();
+        assert_eq!(fmas.len(), R);
+        assert!(fmas.iter().all(|f| f.srcs().any(|r| r == bcast_dst)));
+    }
+
+    #[test]
+    fn vfp_fraction_higher_in_skx_style() {
+        let count_vfp = |style| {
+            kinds(style, 10_000)
+                .iter()
+                .filter(|u| u.kind.is_vfp())
+                .count()
+        };
+        let knl = count_vfp(GemmStyle::KnlJit);
+        let skx = count_vfp(GemmStyle::SkxBroadcast);
+        assert!(
+            skx > knl,
+            "broadcast style has denser VFP: skx {skx} vs knl {knl}"
+        );
+    }
+
+    #[test]
+    fn loop_branch_is_predictable() {
+        let uops = kinds(GemmStyle::KnlJit, 5_000);
+        let branches: Vec<_> = uops
+            .iter()
+            .filter_map(|u| match u.kind {
+                UopKind::Branch(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert!(branches.len() > 100);
+        // Mostly taken (loop), falls through once per k-loop.
+        let taken = branches.iter().filter(|b| b.taken).count();
+        assert!(taken * 10 > branches.len() * 6);
+    }
+
+    #[test]
+    fn writeback_stores_c() {
+        let uops = kinds(GemmStyle::KnlJit, 20_000);
+        let stores = uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Store { .. }))
+            .count();
+        assert!(stores > 0, "C tiles must be written back");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = kinds(GemmStyle::SkxBroadcast, 3_000);
+        let b = kinds(GemmStyle::SkxBroadcast, 3_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn addresses_stay_in_matrices() {
+        let t = GemmTrace::new(cfg(), GemmStyle::KnlJit, 16);
+        let total = (64 * 64 * 4 + 4096) * 3 + A_BASE;
+        for u in t.take(5_000) {
+            if let Some(a) = u.mem_addr() {
+                assert!(a >= A_BASE && a < total, "addr {a:#x} out of range");
+            }
+        }
+    }
+}

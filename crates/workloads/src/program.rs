@@ -1,0 +1,633 @@
+//! Program-shaped trace model: a static basic-block graph executed into a
+//! micro-op stream.
+//!
+//! The *static* side (per-block instruction kinds, branch patterns, target
+//! blocks, which address pattern each memory instruction uses) is fixed at
+//! build time, so re-executing a block re-produces the same instructions at
+//! the same PCs — which is what makes branch predictors and caches able to
+//! learn, exactly as for real code. The *dynamic* side (branch outcomes of
+//! random patterns, concrete addresses, operand rotation) is drawn from
+//! seeded PRNGs at execution time.
+
+use crate::addr::{AddrGen, AddrPattern};
+use mstacks_model::{
+    AluClass, ArchReg, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A static instruction template inside a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpTemplate {
+    /// Integer/address arithmetic of the given class.
+    Alu(AluClass),
+    /// Pipeline-filling no-op.
+    Nop,
+    /// Load drawing addresses from pattern `gen`; `chase` loads depend on
+    /// the previous chase load (pointer chasing).
+    Load {
+        /// Index into the program's address patterns.
+        gen: usize,
+        /// Serialize on the previous chase load.
+        chase: bool,
+    },
+    /// Store drawing addresses from pattern `gen`.
+    Store {
+        /// Index into the program's address patterns.
+        gen: usize,
+    },
+    /// Scalar floating-point operation.
+    ScalarFp(FpOpKind),
+    /// Vector floating-point operation over `lanes` active lanes.
+    VecFp {
+        /// Operation kind (FMA counts 2 ops/lane).
+        op: FpOpKind,
+        /// Active (unmasked) lanes.
+        lanes: u8,
+    },
+    /// Vector-integer / shuffle / broadcast work.
+    VecInt,
+}
+
+/// One templated micro-op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemplateUop {
+    /// What it does.
+    pub op: OpTemplate,
+    /// Microcoded marker (decode stalls on KNL-style cores).
+    pub microcoded: bool,
+}
+
+/// Static branch behaviour of a block terminator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BranchPattern {
+    /// Loop back `trip − 1` times, then fall through (highly predictable).
+    Loop {
+        /// Total iterations per loop entry.
+        trip: u32,
+    },
+    /// Taken with probability `taken_prob` per execution (random draws —
+    /// hard to predict when the probability is near 0.5).
+    Random {
+        /// Per-execution taken probability.
+        taken_prob: f64,
+    },
+}
+
+/// How a block ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        to: usize,
+    },
+    /// Conditional branch.
+    Cond {
+        /// Outcome behaviour.
+        pattern: BranchPattern,
+        /// Block when taken.
+        taken_to: usize,
+        /// Block when not taken.
+        fall_to: usize,
+    },
+    /// Call a function block (pushes the return block).
+    Call {
+        /// Function entry block.
+        callee: usize,
+        /// Block to return to.
+        ret_to: usize,
+    },
+    /// Return to the most recent caller.
+    Ret,
+    /// Indirect jump through a table: the executed target rotates through
+    /// `targets` (an interpreter-style dispatch — the BTB can only hold
+    /// the last target, so target changes mispredict).
+    IndirectJump {
+        /// Candidate target blocks.
+        targets: [usize; 4],
+    },
+}
+
+/// A static basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Start address of the block's first instruction.
+    pub pc: u64,
+    /// Instruction templates (the terminating branch is implicit).
+    pub uops: Vec<TemplateUop>,
+    /// How the block ends.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// PC of the terminating branch.
+    pub fn branch_pc(&self) -> u64 {
+        self.pc + self.uops.len() as u64 * 4
+    }
+}
+
+/// A static program: blocks + the address patterns its memory instructions
+/// use + dependence-shape parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Basic blocks; execution starts at block 0.
+    pub blocks: Vec<Block>,
+    /// Address patterns memory templates refer to.
+    pub addr_patterns: Vec<AddrPattern>,
+    /// Number of parallel integer dependence chains (1 = fully serial).
+    pub ilp: usize,
+    /// Number of parallel floating-point chains.
+    pub fp_ilp: usize,
+    /// Probability an ALU op consumes the most recent load's result.
+    pub load_dep_frac: f64,
+    /// Probability a conditional branch consumes the most recent load's
+    /// result (its resolution then waits for the load — this is what makes
+    /// mispredict penalties long on memory-bound code like `mcf`).
+    pub branch_dep_frac: f64,
+    /// Base address of the data segment (address patterns are laid out
+    /// from here, one after another).
+    pub data_base: u64,
+}
+
+// Register-file layout used by the executor.
+const ALU_RING_BASE: u16 = 0; // up to 8 integer chains
+const LOAD_RING_BASE: u16 = 8; // 8 rotating load destinations
+const CHASE_REG: u16 = 24;
+const STORE_SRC: u16 = 25;
+const FP_RING_BASE: u16 = 48; // up to 8 FP chains
+const VEC_RING_BASE: u16 = 64; // 8 vector accumulators
+
+/// Executes a [`Program`] into an endless micro-op stream.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    program: Program,
+    addr_gens: Vec<AddrGen>,
+    cur_block: usize,
+    cur_uop: usize,
+    loop_counters: Vec<u32>,
+    rng: SmallRng,
+    op_rng: SmallRng,
+    ret_stack: Vec<usize>,
+    alu_pos: usize,
+    fp_pos: usize,
+    vec_pos: usize,
+    load_pos: u16,
+    have_load: bool,
+    have_chase: bool,
+}
+
+impl Executor {
+    /// Starts executing `program` at block 0 with randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no blocks or an out-of-range pattern
+    /// index.
+    pub fn new(program: Program, seed: u64) -> Self {
+        assert!(!program.blocks.is_empty(), "program needs at least one block");
+        let mut base = program.data_base;
+        let mut addr_gens = Vec::with_capacity(program.addr_patterns.len());
+        for (i, &p) in program.addr_patterns.iter().enumerate() {
+            addr_gens.push(AddrGen::new(p, base, seed ^ (i as u64 + 1).wrapping_mul(0x9E37)));
+            let bytes = match p {
+                AddrPattern::Stream { bytes, .. }
+                | AddrPattern::Random { bytes }
+                | AddrPattern::Chase { bytes } => bytes,
+            };
+            // Separate the working sets, aligned to 4 KiB.
+            base += (bytes + 4095) & !4095;
+        }
+        let n = program.blocks.len();
+        Executor {
+            program,
+            addr_gens,
+            cur_block: 0,
+            cur_uop: 0,
+            loop_counters: vec![0; n],
+            rng: SmallRng::seed_from_u64(seed),
+            op_rng: SmallRng::seed_from_u64(seed ^ 0xABCD_EF01),
+            ret_stack: Vec::new(),
+            alu_pos: 0,
+            fp_pos: 0,
+            vec_pos: 0,
+            load_pos: 0,
+            have_load: false,
+            have_chase: false,
+        }
+    }
+
+    fn alu_regs(&mut self) -> (ArchReg, ArchReg) {
+        let ilp = self.program.ilp.clamp(1, 8);
+        let src = ArchReg::new(ALU_RING_BASE + (self.alu_pos % ilp) as u16);
+        self.alu_pos = (self.alu_pos + 1) % ilp;
+        let dst = ArchReg::new(ALU_RING_BASE + (self.alu_pos % ilp) as u16);
+        (src, dst)
+    }
+
+    fn fp_regs(&mut self) -> (ArchReg, ArchReg) {
+        let ilp = self.program.fp_ilp.clamp(1, 8);
+        let src = ArchReg::new(FP_RING_BASE + (self.fp_pos % ilp) as u16);
+        self.fp_pos = (self.fp_pos + 1) % ilp;
+        let dst = ArchReg::new(FP_RING_BASE + (self.fp_pos % ilp) as u16);
+        (src, dst)
+    }
+
+    fn emit(&mut self, t: TemplateUop, pc: u64) -> MicroOp {
+        let mut u = match t.op {
+            OpTemplate::Nop => MicroOp::new(pc, UopKind::Nop),
+            OpTemplate::Alu(class) => {
+                let (src, dst) = self.alu_regs();
+                let mut u = MicroOp::new(pc, UopKind::IntAlu(class))
+                    .with_src(src)
+                    .with_dst(dst);
+                if self.have_load && self.op_rng.gen_bool(self.program.load_dep_frac) {
+                    u = u.with_src(ArchReg::new(LOAD_RING_BASE + self.load_pos % 8));
+                }
+                u
+            }
+            OpTemplate::Load { gen, chase } => {
+                let addr = self.addr_gens[gen].next_addr();
+                if chase {
+                    self.have_chase = true;
+                    let mut u = MicroOp::new(pc, UopKind::Load { addr })
+                        .with_dst(ArchReg::new(CHASE_REG));
+                    if self.have_chase {
+                        u = u.with_src(ArchReg::new(CHASE_REG));
+                    }
+                    u
+                } else {
+                    self.load_pos = (self.load_pos + 1) % 8;
+                    self.have_load = true;
+                    MicroOp::new(pc, UopKind::Load { addr })
+                        .with_dst(ArchReg::new(LOAD_RING_BASE + self.load_pos))
+                }
+            }
+            OpTemplate::Store { gen } => {
+                let addr = self.addr_gens[gen].next_addr();
+                MicroOp::new(pc, UopKind::Store { addr }).with_src(ArchReg::new(STORE_SRC))
+            }
+            OpTemplate::ScalarFp(op) => {
+                let (src, dst) = self.fp_regs();
+                let mut u = MicroOp::new(pc, UopKind::ScalarFp(op))
+                    .with_src(src)
+                    .with_dst(dst);
+                if self.have_load && self.op_rng.gen_bool(self.program.load_dep_frac) {
+                    u = u.with_src(ArchReg::new(LOAD_RING_BASE + self.load_pos % 8));
+                }
+                u
+            }
+            OpTemplate::VecFp { op, lanes } => {
+                let acc = ArchReg::new(VEC_RING_BASE + (self.vec_pos % 8) as u16);
+                self.vec_pos += 1;
+                let mut u = MicroOp::new(
+                    pc,
+                    UopKind::VecFp(VecFpOp {
+                        op,
+                        active_lanes: lanes,
+                        elem: ElemType::F32,
+                    }),
+                )
+                .with_src(acc)
+                .with_dst(acc);
+                // Streaming kernels feed their FMAs from memory.
+                if self.have_load && self.op_rng.gen_bool(self.program.load_dep_frac) {
+                    u = u.with_src(ArchReg::new(LOAD_RING_BASE + self.load_pos % 8));
+                }
+                u
+            }
+            OpTemplate::VecInt => {
+                let acc = ArchReg::new(VEC_RING_BASE + (self.vec_pos % 8) as u16);
+                MicroOp::new(pc, UopKind::VecInt).with_src(acc).with_dst(acc)
+            }
+        };
+        u.microcoded = t.microcoded;
+        u
+    }
+
+    /// Decides the terminator of `block`, returning the branch micro-op and
+    /// the next block index.
+    fn terminate(&mut self, block_idx: usize) -> (MicroOp, usize) {
+        let block = &self.program.blocks[block_idx];
+        let pc = block.branch_pc();
+        let blocks = &self.program.blocks;
+        match block.term {
+            Terminator::Jump { to } => {
+                let b = BranchInfo {
+                    taken: true,
+                    target: blocks[to].pc,
+                    fallthrough: pc + 4,
+                    kind: BranchKind::Uncond,
+                };
+                (MicroOp::new(pc, UopKind::Branch(b)), to)
+            }
+            Terminator::Cond {
+                pattern,
+                taken_to,
+                fall_to,
+            } => {
+                let taken = match pattern {
+                    BranchPattern::Loop { trip } => {
+                        let c = &mut self.loop_counters[block_idx];
+                        *c += 1;
+                        if *c < trip {
+                            true
+                        } else {
+                            *c = 0;
+                            false
+                        }
+                    }
+                    BranchPattern::Random { taken_prob } => self.rng.gen_bool(taken_prob),
+                };
+                let next = if taken { taken_to } else { fall_to };
+                let b = BranchInfo {
+                    taken,
+                    target: blocks[taken_to].pc,
+                    fallthrough: blocks[fall_to].pc,
+                    kind: BranchKind::Cond,
+                };
+                let mut u = MicroOp::new(pc, UopKind::Branch(b));
+                // Data-dependent branches resolve only when the value they
+                // test arrives (random patterns only; loop exits are
+                // counter-driven).
+                if matches!(pattern, BranchPattern::Random { .. })
+                    && self.have_load
+                    && self.op_rng.gen_bool(self.program.branch_dep_frac)
+                {
+                    // Pointer-chasing codes test values from the chased
+                    // structure: prefer the chase register when present.
+                    let reg = if self.have_chase && self.op_rng.gen_bool(0.5) {
+                        CHASE_REG
+                    } else {
+                        LOAD_RING_BASE + self.load_pos % 8
+                    };
+                    u = u.with_src(ArchReg::new(reg));
+                }
+                (u, next)
+            }
+            Terminator::Call { callee, ret_to } => {
+                self.ret_stack.push(ret_to);
+                if self.ret_stack.len() > 64 {
+                    self.ret_stack.remove(0);
+                }
+                let b = BranchInfo {
+                    taken: true,
+                    target: blocks[callee].pc,
+                    fallthrough: blocks[ret_to].pc,
+                    kind: BranchKind::Call,
+                };
+                (MicroOp::new(pc, UopKind::Branch(b)), callee)
+            }
+            Terminator::Ret => {
+                let to = self.ret_stack.pop().unwrap_or(0);
+                let b = BranchInfo {
+                    taken: true,
+                    target: blocks[to].pc,
+                    fallthrough: pc + 4,
+                    kind: BranchKind::Ret,
+                };
+                (MicroOp::new(pc, UopKind::Branch(b)), to)
+            }
+            Terminator::IndirectJump { targets } => {
+                let idx = (self.rng.gen_range(0..4u8)) as usize;
+                let to = targets[idx];
+                let b = BranchInfo {
+                    taken: true,
+                    target: blocks[to].pc,
+                    fallthrough: pc + 4,
+                    kind: BranchKind::Indirect,
+                };
+                (MicroOp::new(pc, UopKind::Branch(b)), to)
+            }
+        }
+    }
+}
+
+impl Iterator for Executor {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        let block = &self.program.blocks[self.cur_block];
+        if self.cur_uop < block.uops.len() {
+            let t = block.uops[self.cur_uop];
+            let pc = block.pc + self.cur_uop as u64 * 4;
+            self.cur_uop += 1;
+            Some(self.emit(t, pc))
+        } else {
+            let (branch, next) = self.terminate(self.cur_block);
+            self.cur_block = next;
+            self.cur_uop = 0;
+            Some(branch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu_t() -> TemplateUop {
+        TemplateUop {
+            op: OpTemplate::Alu(AluClass::Add),
+            microcoded: false,
+        }
+    }
+
+    fn two_block_loop() -> Program {
+        Program {
+            blocks: vec![
+                Block {
+                    pc: 0x1000,
+                    uops: vec![alu_t(), alu_t()],
+                    term: Terminator::Cond {
+                        pattern: BranchPattern::Loop { trip: 3 },
+                        taken_to: 0,
+                        fall_to: 1,
+                    },
+                },
+                Block {
+                    pc: 0x2000,
+                    uops: vec![alu_t()],
+                    term: Terminator::Jump { to: 0 },
+                },
+            ],
+            addr_patterns: vec![],
+            ilp: 2,
+            fp_ilp: 1,
+            load_dep_frac: 0.0,
+            branch_dep_frac: 0.0,
+            data_base: 0x1000_0000,
+        }
+    }
+
+    #[test]
+    fn loop_pattern_iterates_trip_times() {
+        let mut ex = Executor::new(two_block_loop(), 1);
+        // Block 0 (2 uops + branch) × 3 iterations, then block 1.
+        let uops: Vec<_> = (&mut ex).take(3 * 3 + 2).collect();
+        // First two branches taken (back to block 0), third not taken.
+        let branches: Vec<_> = uops
+            .iter()
+            .filter_map(|u| match u.kind {
+                UopKind::Branch(b) => Some(b.taken),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(&branches[..3], &[true, true, false]);
+        // After the loop exits we're in block 1.
+        assert_eq!(uops[9].pc, 0x2000);
+    }
+
+    #[test]
+    fn pcs_follow_block_layout() {
+        let mut ex = Executor::new(two_block_loop(), 1);
+        let u0 = ex.next().unwrap();
+        let u1 = ex.next().unwrap();
+        let br = ex.next().unwrap();
+        assert_eq!(u0.pc, 0x1000);
+        assert_eq!(u1.pc, 0x1004);
+        assert_eq!(br.pc, 0x1008);
+        assert!(br.kind.is_branch());
+    }
+
+    #[test]
+    fn call_and_ret_round_trip() {
+        let p = Program {
+            blocks: vec![
+                Block {
+                    pc: 0x1000,
+                    uops: vec![alu_t()],
+                    term: Terminator::Call {
+                        callee: 1,
+                        ret_to: 2,
+                    },
+                },
+                Block {
+                    pc: 0x5000,
+                    uops: vec![alu_t()],
+                    term: Terminator::Ret,
+                },
+                Block {
+                    pc: 0x1010,
+                    uops: vec![alu_t()],
+                    term: Terminator::Jump { to: 0 },
+                },
+            ],
+            addr_patterns: vec![],
+            ilp: 1,
+            fp_ilp: 1,
+            load_dep_frac: 0.0,
+            branch_dep_frac: 0.0,
+            data_base: 0x1000_0000,
+        };
+        let ex = Executor::new(p, 9);
+        let pcs: Vec<u64> = ex.take(8).map(|u| u.pc).collect();
+        // block0 (0x1000, call at 0x1004) → block1 (0x5000, ret at 0x5004)
+        // → block2 (0x1010, jump) → block0 …
+        assert_eq!(pcs, vec![0x1000, 0x1004, 0x5000, 0x5004, 0x1010, 0x1014, 0x1000, 0x1004]);
+    }
+
+    #[test]
+    fn chase_loads_depend_on_previous_chase() {
+        let p = Program {
+            blocks: vec![Block {
+                pc: 0x1000,
+                uops: vec![
+                    TemplateUop {
+                        op: OpTemplate::Load { gen: 0, chase: true },
+                        microcoded: false,
+                    };
+                    2
+                ],
+                term: Terminator::Jump { to: 0 },
+            }],
+            addr_patterns: vec![AddrPattern::Chase { bytes: 1 << 20 }],
+            ilp: 1,
+            fp_ilp: 1,
+            load_dep_frac: 0.0,
+            branch_dep_frac: 0.0,
+            data_base: 0x2000_0000,
+        };
+        let ex = Executor::new(p, 3);
+        let uops: Vec<_> = ex.take(5).collect();
+        // The second chase load must read the chase register.
+        let second = &uops[1];
+        assert!(second.kind.is_load());
+        assert!(second.srcs().any(|r| r.index() == 24));
+        // Addresses fall inside the chase working set.
+        assert!(second.mem_addr().unwrap() >= 0x2000_0000);
+    }
+
+    #[test]
+    fn indirect_jump_rotates_targets() {
+        let p = Program {
+            blocks: vec![
+                Block {
+                    pc: 0x1000,
+                    uops: vec![alu_t()],
+                    term: Terminator::IndirectJump {
+                        targets: [1, 2, 1, 2],
+                    },
+                },
+                Block {
+                    pc: 0x2000,
+                    uops: vec![alu_t()],
+                    term: Terminator::Jump { to: 0 },
+                },
+                Block {
+                    pc: 0x3000,
+                    uops: vec![alu_t()],
+                    term: Terminator::Jump { to: 0 },
+                },
+            ],
+            addr_patterns: vec![],
+            ilp: 1,
+            fp_ilp: 1,
+            load_dep_frac: 0.0,
+            branch_dep_frac: 0.0,
+            data_base: 0,
+        };
+        let ex = Executor::new(p, 5);
+        let targets: std::collections::HashSet<u64> = ex
+            .take(200)
+            .filter_map(|u| match u.kind {
+                UopKind::Branch(b) if b.kind == BranchKind::Indirect => Some(b.target),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            targets,
+            [0x2000u64, 0x3000].into_iter().collect(),
+            "indirect jumps must visit multiple targets"
+        );
+    }
+
+    #[test]
+    fn executor_is_deterministic() {
+        let a: Vec<_> = Executor::new(two_block_loop(), 7).take(100).collect();
+        let b: Vec<_> = Executor::new(two_block_loop(), 7).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn microcoded_flag_propagates() {
+        let p = Program {
+            blocks: vec![Block {
+                pc: 0x1000,
+                uops: vec![TemplateUop {
+                    op: OpTemplate::Alu(AluClass::Add),
+                    microcoded: true,
+                }],
+                term: Terminator::Jump { to: 0 },
+            }],
+            addr_patterns: vec![],
+            ilp: 1,
+            fp_ilp: 1,
+            load_dep_frac: 0.0,
+            branch_dep_frac: 0.0,
+            data_base: 0,
+        };
+        let mut ex = Executor::new(p, 1);
+        assert!(ex.next().unwrap().microcoded);
+    }
+}

@@ -1,0 +1,251 @@
+//! Recurrent-cell kernel traces (vanilla RNN / LSTM / GRU time steps).
+//!
+//! DeepBench's third kernel family (beyond GEMM and convolution). A
+//! recurrent time step is two GEMV/GEMM-like passes (input and recurrent
+//! weights) followed by an *elementwise tail*: gate activations
+//! (sigmoid/tanh — non-FMA vector FP) and elementwise multiplies/adds.
+//! The tail is what distinguishes RNN FLOPS stacks from GEMM's: a sizable
+//! **non-FMA** component and extra **dependences** (the gates chain into
+//! the cell state), on top of the usual memory behaviour.
+
+use crate::deepbench::RnnConfig;
+use mstacks_model::{
+    AluClass, ArchReg, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp,
+};
+use std::collections::VecDeque;
+
+/// Which recurrent cell the kernel computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RnnCell {
+    /// Vanilla RNN: one gate.
+    Vanilla,
+    /// LSTM: four gates + cell state.
+    Lstm,
+    /// GRU: three gates.
+    Gru,
+}
+
+impl RnnCell {
+    /// Gate count of the cell.
+    pub fn gates(self) -> usize {
+        match self {
+            RnnCell::Vanilla => 1,
+            RnnCell::Lstm => 4,
+            RnnCell::Gru => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for RnnCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RnnCell::Vanilla => write!(f, "rnn"),
+            RnnCell::Lstm => write!(f, "lstm"),
+            RnnCell::Gru => write!(f, "gru"),
+        }
+    }
+}
+
+const W_BASE: u64 = 0x3000_0000;
+const LOOP_PC: u64 = 0x40_5000;
+const TAIL_PC: u64 = 0x40_6000;
+
+const ACC_BASE: u16 = 64;
+const GATE_BASE: u16 = 72; // gate registers for the elementwise tail
+const LOAD_RING: u16 = 8;
+const PTR: u16 = 1;
+const STATE: u16 = 80; // recurrent cell state register
+
+/// A deterministic trace of a recurrent-cell kernel.
+#[derive(Debug, Clone)]
+pub struct RnnTrace {
+    cfg: RnnConfig,
+    cell: RnnCell,
+    lanes: u8,
+    queue: VecDeque<MicroOp>,
+    iter: u64,
+    w_pos: u64,
+    w_bytes: u64,
+}
+
+impl RnnTrace {
+    /// Starts the kernel for `cfg` with `lanes` vector lanes.
+    pub fn new(cfg: RnnConfig, cell: RnnCell, lanes: u8) -> Self {
+        let w_bytes = (cfg.hidden * cfg.hidden * cell.gates() * 4) as u64;
+        RnnTrace {
+            cfg,
+            cell,
+            lanes,
+            queue: VecDeque::with_capacity(64),
+            iter: 0,
+            w_pos: 0,
+            w_bytes: w_bytes.max(4096),
+        }
+    }
+
+    fn vfp(&self, pc: u64, op: FpOpKind, dst: u16, src: u16) -> MicroOp {
+        MicroOp::new(
+            pc,
+            UopKind::VecFp(VecFpOp {
+                op,
+                active_lanes: self.lanes,
+                elem: ElemType::F32,
+            }),
+        )
+        .with_src(ArchReg::new(src))
+        .with_src(ArchReg::new(dst))
+        .with_dst(ArchReg::new(dst))
+    }
+
+    /// One k-step of the gate GEMMs: weight load + broadcast-free FMA per
+    /// gate accumulator (SKX-style register blocking).
+    fn emit_gemm_step(&mut self) {
+        let mut pc = LOOP_PC;
+        const TILE: u64 = 8 * 1024;
+        let window = ((self.iter / 2048) * TILE) % self.w_bytes.max(TILE);
+        let addr = W_BASE + window + (self.w_pos % TILE.min(self.w_bytes));
+        self.w_pos = self.w_pos.wrapping_add(16);
+        self.queue.push_back(
+            MicroOp::new(pc, UopKind::Load { addr })
+                .with_src(ArchReg::new(PTR))
+                .with_dst(ArchReg::new(LOAD_RING)),
+        );
+        pc += 4;
+        self.queue.push_back(
+            MicroOp::new(pc, UopKind::IntAlu(AluClass::Add))
+                .with_src(ArchReg::new(PTR))
+                .with_dst(ArchReg::new(PTR)),
+        );
+        pc += 4;
+        for g in 0..self.cell.gates() {
+            let acc = ACC_BASE + ((self.iter as u16).wrapping_add(g as u16)) % 8;
+            let f = self.vfp(pc, FpOpKind::Fma, acc, LOAD_RING);
+            self.queue.push_back(f);
+            pc += 4;
+        }
+        // Loop branch over the hidden dimension.
+        let trips = (self.cfg.hidden / usize::from(self.lanes)).max(8) as u64;
+        self.iter += 1;
+        let stay = !self.iter.is_multiple_of(trips);
+        self.queue.push_back(MicroOp::new(
+            pc,
+            UopKind::Branch(BranchInfo {
+                taken: stay,
+                target: LOOP_PC,
+                fallthrough: TAIL_PC,
+                kind: BranchKind::Cond,
+            }),
+        ));
+        if !stay {
+            self.emit_elementwise_tail();
+        }
+    }
+
+    /// The gate tail: activations (non-FMA VFP) and the state update
+    /// chain — `c = f⊙c + i⊙g`, `h = o⊙tanh(c)` for LSTM and the
+    /// analogous shorter chains for GRU / vanilla.
+    fn emit_elementwise_tail(&mut self) {
+        let mut pc = TAIL_PC;
+        for g in 0..self.cell.gates() as u16 {
+            // Activation: sigmoid/tanh ≈ a few non-FMA vector ops.
+            let u = self.vfp(pc, FpOpKind::Other, GATE_BASE + g, ACC_BASE + g % 8);
+            self.queue.push_back(u);
+            pc += 4;
+            let u = self.vfp(pc, FpOpKind::Mul, GATE_BASE + g, GATE_BASE + g);
+            self.queue.push_back(u);
+            pc += 4;
+        }
+        // State-update chain: serial dependences through STATE.
+        let chain = match self.cell {
+            RnnCell::Vanilla => 1,
+            RnnCell::Lstm => 4,
+            RnnCell::Gru => 3,
+        };
+        for step in 0..chain as u16 {
+            let u = self
+                .vfp(pc, FpOpKind::Mul, STATE, GATE_BASE + step % self.cell.gates() as u16)
+                .with_src(ArchReg::new(STATE));
+            self.queue.push_back(u);
+            pc += 4;
+            let u = self.vfp(pc, FpOpKind::Add, STATE, STATE);
+            self.queue.push_back(u);
+            pc += 4;
+        }
+        // Back to the next time step.
+        self.queue.push_back(MicroOp::new(
+            pc,
+            UopKind::Branch(BranchInfo {
+                taken: true,
+                target: LOOP_PC,
+                fallthrough: pc + 4,
+                kind: BranchKind::Uncond,
+            }),
+        ));
+    }
+}
+
+impl Iterator for RnnTrace {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.queue.is_empty() {
+            self.emit_gemm_step();
+        }
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deepbench::rnn_configs;
+
+    fn trace(cell: RnnCell, n: usize) -> Vec<MicroOp> {
+        RnnTrace::new(rnn_configs()[0], cell, 16).take(n).collect()
+    }
+
+    #[test]
+    fn all_cells_generate() {
+        for cell in [RnnCell::Vanilla, RnnCell::Lstm, RnnCell::Gru] {
+            let us = trace(cell, 5_000);
+            assert_eq!(us.len(), 5_000);
+            assert!(us.iter().any(|u| u.kind.is_vfp()));
+            assert!(us.iter().any(|u| u.kind.is_branch()));
+        }
+    }
+
+    #[test]
+    fn lstm_has_more_non_fma_than_vanilla() {
+        let non_fma = |cell| {
+            trace(cell, 20_000)
+                .iter()
+                .filter(|u| {
+                    matches!(
+                        u.kind,
+                        UopKind::VecFp(VecFpOp {
+                            op: FpOpKind::Mul | FpOpKind::Add | FpOpKind::Other,
+                            ..
+                        })
+                    )
+                })
+                .count()
+        };
+        assert!(
+            non_fma(RnnCell::Lstm) > non_fma(RnnCell::Vanilla),
+            "LSTM's gate tail must add non-FMA work"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(trace(RnnCell::Gru, 3_000), trace(RnnCell::Gru, 3_000));
+    }
+
+    #[test]
+    fn gate_counts() {
+        assert_eq!(RnnCell::Vanilla.gates(), 1);
+        assert_eq!(RnnCell::Lstm.gates(), 4);
+        assert_eq!(RnnCell::Gru.gates(), 3);
+        assert_eq!(RnnCell::Lstm.to_string(), "lstm");
+    }
+}

@@ -1,0 +1,604 @@
+//! Named synthetic profiles standing in for the paper's SPEC CPU 2017
+//! benchmarks.
+//!
+//! Each profile targets the bottleneck structure the paper reports (or
+//! implies) for the matching benchmark — see `DESIGN.md` for the
+//! substitution rationale. The five profiles the paper's Fig. 3 case
+//! studies rely on encode their specific mechanisms:
+//!
+//! * [`mcf`] — pointer-chasing over a memory-sized working set plus hard
+//!   branches: large Dcache and bpred components that *overlap* (Table I,
+//!   Fig. 3(a)).
+//! * [`cactus`] — instruction footprint ≫ L1I *and* data footprint sized to
+//!   contend for the same unified L2: the I↔D coupling of Fig. 3(b), plus a
+//!   D-cache-dependent dependence component.
+//! * [`bwaves`] — many concurrent data streams that keep the stride
+//!   prefetcher firing into the L2 MSHRs, with a code footprint slightly
+//!   above the L1I: I-cache misses queue behind prefetches (Fig. 3(c)).
+//! * [`povray`] — microcoded instructions and hard branches (Fig. 3(d) on
+//!   KNL).
+//! * [`imagick`] — serial chains of multi-cycle ALU/FP operations: the
+//!   issue stack blames ALU latency where dispatch/commit see dependences
+//!   (Fig. 3(e)).
+
+use crate::addr::AddrPattern;
+use crate::synth::{Mix, SynthParams};
+use crate::Workload;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Baseline parameters every profile starts from.
+fn base(name: &'static str, seed: u64) -> SynthParams {
+    SynthParams {
+        name,
+        seed,
+        n_blocks: 120,
+        block_len: (4, 9),
+        ifootprint: 12 * KB,
+        loop_frac: 0.35,
+        random_frac: 0.10,
+        call_frac: 0.08,
+        indirect_frac: 0.0,
+        taken_prob: 0.5,
+        loop_trip: (4, 24),
+        mix: Mix {
+            alu: 4.0,
+            lea: 1.2,
+            mul: 0.3,
+            div: 0.02,
+            load: 2.4,
+            store: 1.0,
+            ..Mix::default()
+        },
+        microcode_frac: 0.0,
+        ilp: 4,
+        fp_ilp: 2,
+        load_dep_frac: 0.35,
+        branch_dep_frac: 0.25,
+        mem: vec![
+            (AddrPattern::Random { bytes: 16 * KB }, 3.0),
+            (AddrPattern::Stream { bytes: 128 * KB, stride: 64 }, 1.0),
+        ],
+        vec_lanes: 8,
+    }
+}
+
+/// `mcf`-like: memory-latency-bound pointer chasing + hard branches.
+pub fn mcf() -> Workload {
+    let mut p = base("mcf", 0x6D63_6601);
+    p.random_frac = 0.55;
+    p.loop_frac = 0.15;
+    p.taken_prob = 0.5;
+    p.ilp = 3;
+    p.load_dep_frac = 0.45;
+    p.branch_dep_frac = 0.9;
+    p.mix.load = 2.6;
+    p.mix.store = 0.8;
+    p.mem = vec![
+        (AddrPattern::Chase { bytes: 2 * MB }, 0.05),
+        (AddrPattern::Random { bytes: 256 * KB }, 0.30),
+        (AddrPattern::Random { bytes: 16 * KB }, 5.0),
+    ];
+    Workload::Synth(p)
+}
+
+/// `cactuBSSN`-like: huge code footprint coupled to a large data footprint
+/// through the unified L2.
+pub fn cactus() -> Workload {
+    let mut p = base("cactus", 0x6361_6301);
+    p.n_blocks = 900;
+    p.ifootprint = 130 * KB;
+    p.block_len = (4, 9);
+    p.loop_frac = 0.45;
+    p.random_frac = 0.03;
+    p.call_frac = 0.05;
+    p.loop_trip = (3, 8);
+    p.ilp = 2;
+    p.fp_ilp = 2;
+    p.load_dep_frac = 0.5;
+    p.mix = Mix {
+        alu: 2.0,
+        lea: 1.0,
+        mul: 0.2,
+        load: 2.8,
+        store: 1.2,
+        fp_add: 1.2,
+        fp_mul: 1.2,
+        ..Mix::default()
+    };
+    p.mem = vec![
+        (AddrPattern::Random { bytes: 160 * KB }, 1.2),
+        (AddrPattern::Stream { bytes: 4 * MB, stride: 8 }, 0.5),
+        (AddrPattern::Random { bytes: 16 * KB }, 2.2),
+    ];
+    Workload::Synth(p)
+}
+
+/// `bwaves`-like: many concurrent memory streams (prefetcher-saturating)
+/// with a code footprint slightly above the L1I.
+pub fn bwaves() -> Workload {
+    let mut p = base("bwaves", 0x6277_6101);
+    p.n_blocks = 700;
+    p.ifootprint = 56 * KB;
+    p.block_len = (8, 16);
+    p.loop_frac = 0.55;
+    p.random_frac = 0.01;
+    p.call_frac = 0.02;
+    p.loop_trip = (8, 48);
+    p.ilp = 6;
+    p.fp_ilp = 4;
+    p.load_dep_frac = 0.5;
+    p.mix = Mix {
+        alu: 1.2,
+        lea: 1.0,
+        load: 3.4,
+        store: 1.1,
+        fp_add: 1.4,
+        fp_mul: 1.4,
+        ..Mix::default()
+    };
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 12 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Stream { bytes: 12 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Stream { bytes: 12 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Stream { bytes: 12 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Stream { bytes: 12 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Stream { bytes: 12 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Random { bytes: 16 * KB }, 1.2),
+    ];
+    Workload::Synth(p)
+}
+
+/// `povray`-like: microcoded instructions, branchy scalar FP (the KNL
+/// Microcode component of Fig. 3(d)).
+pub fn povray() -> Workload {
+    let mut p = base("povray", 0x706F_7601);
+    p.random_frac = 0.30;
+    p.loop_frac = 0.25;
+    p.call_frac = 0.15;
+    p.taken_prob = 0.5;
+    p.microcode_frac = 0.16;
+    p.ilp = 3;
+    p.fp_ilp = 2;
+    p.mix = Mix {
+        alu: 3.0,
+        lea: 1.0,
+        mul: 0.4,
+        div: 0.05,
+        load: 2.0,
+        store: 0.8,
+        fp_add: 1.2,
+        fp_mul: 1.4,
+        ..Mix::default()
+    };
+    p.mem = vec![
+        (AddrPattern::Random { bytes: 20 * KB }, 4.0),
+        (AddrPattern::Random { bytes: 192 * KB }, 0.25),
+    ];
+    Workload::Synth(p)
+}
+
+/// `imagick`-like: serial chains of multi-cycle operations — the issue
+/// stack blames ALU latency where dispatch/commit see dependences
+/// (Fig. 3(e)).
+pub fn imagick() -> Workload {
+    let mut p = base("imagick", 0x696D_6101);
+    p.loop_frac = 0.55;
+    p.random_frac = 0.02;
+    p.loop_trip = (16, 64);
+    p.microcode_frac = 0.04;
+    p.ilp = 3; // interleaved chains: heads are often 1-cycle dependents
+    p.fp_ilp = 1;
+    p.load_dep_frac = 0.25;
+    p.mix = Mix {
+        alu: 4.2,
+        lea: 0.8,
+        mul: 0.7,
+        load: 1.0,
+        store: 0.4,
+        fp_mul: 0.7,
+        fp_add: 0.4,
+        ..Mix::default()
+    };
+    p.mem = vec![(AddrPattern::Stream { bytes: 20 * KB, stride: 8 }, 1.0)];
+    Workload::Synth(p)
+}
+
+/// `gcc`-like: large code footprint, branchy integer code.
+pub fn gcc() -> Workload {
+    let mut p = base("gcc", 0x6763_6301);
+    p.n_blocks = 1000;
+    p.ifootprint = 280 * KB;
+    p.random_frac = 0.22;
+    p.loop_frac = 0.25;
+    p.call_frac = 0.12;
+    p.indirect_frac = 0.06;
+    p.mem = vec![
+        (AddrPattern::Random { bytes: 64 * KB }, 2.5),
+        (AddrPattern::Random { bytes: 2 * MB }, 0.8),
+    ];
+    Workload::Synth(p)
+}
+
+/// `perlbench`-like: indirect-branch-heavy interpreter loop.
+pub fn perlbench() -> Workload {
+    let mut p = base("perlbench", 0x7065_7201);
+    p.n_blocks = 500;
+    p.ifootprint = 120 * KB;
+    p.random_frac = 0.20;
+    p.loop_frac = 0.15;
+    p.call_frac = 0.15;
+    p.indirect_frac = 0.20;
+    p.taken_prob = 0.5;
+    p.taken_prob = 0.5;
+    p.branch_dep_frac = 0.35;
+    p.mem = vec![
+        (AddrPattern::Random { bytes: 32 * KB }, 2.5),
+        (AddrPattern::Random { bytes: MB }, 0.15),
+    ];
+    Workload::Synth(p)
+}
+
+/// `xz`-like: data-dependent integer compression with mid-size working set.
+pub fn xz() -> Workload {
+    let mut p = base("xz", 0x787A_0001);
+    p.random_frac = 0.40;
+    p.loop_frac = 0.20;
+    p.ilp = 2;
+    p.load_dep_frac = 0.6;
+    p.branch_dep_frac = 0.5;
+    p.mem = vec![
+        (AddrPattern::Random { bytes: MB }, 0.5),
+        (AddrPattern::Random { bytes: 8 * MB }, 0.1),
+        (AddrPattern::Random { bytes: 16 * KB }, 2.0),
+    ];
+    Workload::Synth(p)
+}
+
+/// `omnetpp`-like: discrete-event simulation — pointer-heavy, branchy.
+pub fn omnetpp() -> Workload {
+    let mut p = base("omnetpp", 0x6F6D_6E01);
+    p.n_blocks = 600;
+    p.ifootprint = 150 * KB;
+    p.random_frac = 0.35;
+    p.call_frac = 0.15;
+    p.load_dep_frac = 0.5;
+    p.branch_dep_frac = 0.5;
+    p.mem = vec![
+        (AddrPattern::Chase { bytes: 8 * MB }, 0.12),
+        (AddrPattern::Random { bytes: 32 * KB }, 2.2),
+    ];
+    Workload::Synth(p)
+}
+
+/// `x264`-like: high-ILP media kernels with streaming access.
+pub fn x264() -> Workload {
+    let mut p = base("x264", 0x7832_3601);
+    p.loop_frac = 0.5;
+    p.random_frac = 0.06;
+    p.ilp = 6;
+    p.mix.mul = 0.8;
+    p.mix.vec_int = 0.8;
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 512 * KB, stride: 16 }, 1.2),
+        (AddrPattern::Random { bytes: 48 * KB }, 2.0),
+    ];
+    Workload::Synth(p)
+}
+
+/// `deepsjeng`-like: game-tree search — hard branches, small data.
+pub fn deepsjeng() -> Workload {
+    let mut p = base("deepsjeng", 0x6473_6A01);
+    p.random_frac = 0.50;
+    p.loop_frac = 0.10;
+    p.call_frac = 0.15;
+    p.taken_prob = 0.5;
+    p.branch_dep_frac = 0.4;
+    p.mem = vec![
+        (AddrPattern::Random { bytes: 24 * KB }, 3.0),
+        (AddrPattern::Random { bytes: 512 * KB }, 0.15),
+    ];
+    Workload::Synth(p)
+}
+
+/// `leela`-like: Monte-Carlo tree search — branches + mid-size data.
+pub fn leela() -> Workload {
+    let mut p = base("leela", 0x6C65_6501);
+    p.random_frac = 0.45;
+    p.loop_frac = 0.15;
+    p.load_dep_frac = 0.5;
+    p.branch_dep_frac = 0.5;
+    p.mem = vec![
+        (AddrPattern::Chase { bytes: MB }, 0.15),
+        (AddrPattern::Random { bytes: 24 * KB }, 2.5),
+    ];
+    Workload::Synth(p)
+}
+
+/// `exchange2`-like: branch-light, cache-resident integer puzzle solver.
+pub fn exchange2() -> Workload {
+    let mut p = base("exchange2", 0x6578_6301);
+    p.loop_frac = 0.35;
+    p.random_frac = 0.30;
+    p.taken_prob = 0.5;
+    p.loop_trip = (8, 64);
+    p.ilp = 2;
+    p.mix.mul = 0.8;
+    p.mem = vec![(AddrPattern::Random { bytes: 24 * KB }, 1.0)];
+    Workload::Synth(p)
+}
+
+/// `xalancbmk`-like: XML processing — large code, calls, small-object data.
+pub fn xalancbmk() -> Workload {
+    let mut p = base("xalancbmk", 0x7861_6C01);
+    p.n_blocks = 1200;
+    p.ifootprint = 350 * KB;
+    p.call_frac = 0.20;
+    p.random_frac = 0.20;
+    p.mem = vec![
+        (AddrPattern::Random { bytes: 96 * KB }, 2.0),
+        (AddrPattern::Random { bytes: 3 * MB }, 0.6),
+    ];
+    Workload::Synth(p)
+}
+
+/// `lbm`-like: lattice-Boltzmann — pure streaming, bandwidth-bound.
+pub fn lbm() -> Workload {
+    let mut p = base("lbm", 0x6C62_6D01);
+    p.n_blocks = 80;
+    p.ifootprint = 8 * KB;
+    p.loop_frac = 0.6;
+    p.random_frac = 0.01;
+    p.loop_trip = (16, 64);
+    p.ilp = 6;
+    p.fp_ilp = 4;
+    p.mix = Mix {
+        alu: 1.0,
+        lea: 0.8,
+        load: 3.0,
+        store: 1.8,
+        fp_add: 1.5,
+        fp_mul: 1.5,
+        ..Mix::default()
+    };
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 24 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Stream { bytes: 24 * MB, stride: 8 }, 1.0),
+    ];
+    Workload::Synth(p)
+}
+
+/// `wrf`-like: weather model — mixed FP, mid footprints.
+pub fn wrf() -> Workload {
+    let mut p = base("wrf", 0x7772_6601);
+    p.n_blocks = 800;
+    p.ifootprint = 200 * KB;
+    p.loop_frac = 0.45;
+    p.random_frac = 0.05;
+    p.fp_ilp = 2;
+    p.mix.fp_add = 1.4;
+    p.mix.fp_mul = 1.4;
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 6 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Random { bytes: 128 * KB }, 1.5),
+    ];
+    Workload::Synth(p)
+}
+
+/// `cam4`-like: climate model — large code + FP.
+pub fn cam4() -> Workload {
+    let mut p = base("cam4", 0x6361_6D01);
+    p.n_blocks = 1100;
+    p.ifootprint = 300 * KB;
+    p.loop_frac = 0.45;
+    p.random_frac = 0.08;
+    p.mix.fp_add = 1.2;
+    p.mix.fp_mul = 1.2;
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 3 * MB, stride: 8 }, 0.8),
+        (AddrPattern::Random { bytes: 64 * KB }, 1.8),
+    ];
+    Workload::Synth(p)
+}
+
+/// `pop2`-like: ocean model — streams + halo exchanges.
+pub fn pop2() -> Workload {
+    let mut p = base("pop2", 0x706F_7001);
+    p.loop_frac = 0.5;
+    p.random_frac = 0.04;
+    p.fp_ilp = 3;
+    p.mix.fp_add = 1.3;
+    p.mix.fp_mul = 1.3;
+    p.mix.load = 2.8;
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 8 * MB, stride: 8 }, 1.2),
+        (AddrPattern::Random { bytes: 256 * KB }, 0.8),
+    ];
+    Workload::Synth(p)
+}
+
+/// `nab`-like: molecular dynamics — FP chains, cache-resident.
+pub fn nab() -> Workload {
+    let mut p = base("nab", 0x6E61_6201);
+    p.loop_frac = 0.55;
+    p.random_frac = 0.04;
+    p.fp_ilp = 1;
+    p.mix.fp_add = 1.6;
+    p.mix.fp_mul = 1.8;
+    p.mix.div = 0.08;
+    p.mem = vec![(AddrPattern::Random { bytes: 96 * KB }, 1.0)];
+    Workload::Synth(p)
+}
+
+/// `fotonik3d`-like: FDTD solver — streaming, bandwidth-bound FP.
+pub fn fotonik3d() -> Workload {
+    let mut p = base("fotonik3d", 0x666F_7401);
+    p.loop_frac = 0.6;
+    p.random_frac = 0.01;
+    p.ilp = 5;
+    p.fp_ilp = 3;
+    p.mix.fp_add = 1.5;
+    p.mix.fp_mul = 1.5;
+    p.mix.load = 3.2;
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 16 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Stream { bytes: 16 * MB, stride: 16 }, 1.0),
+    ];
+    Workload::Synth(p)
+}
+
+/// `roms`-like: regional ocean model — streams + small random.
+pub fn roms() -> Workload {
+    let mut p = base("roms", 0x726F_6D01);
+    p.loop_frac = 0.5;
+    p.random_frac = 0.03;
+    p.fp_ilp = 2;
+    p.mix.fp_add = 1.4;
+    p.mix.fp_mul = 1.2;
+    p.mem = vec![
+        (AddrPattern::Stream { bytes: 10 * MB, stride: 8 }, 1.0),
+        (AddrPattern::Random { bytes: 32 * KB }, 1.2),
+    ];
+    Workload::Synth(p)
+}
+
+/// All SPEC-like profiles (the Fig. 2 evaluation corpus).
+pub fn all() -> Vec<Workload> {
+    vec![
+        mcf(),
+        cactus(),
+        bwaves(),
+        povray(),
+        imagick(),
+        gcc(),
+        perlbench(),
+        xz(),
+        omnetpp(),
+        x264(),
+        deepsjeng(),
+        leela(),
+        exchange2(),
+        xalancbmk(),
+        lbm(),
+        wrf(),
+        cam4(),
+        pop2(),
+        nab(),
+        fotonik3d(),
+        roms(),
+    ]
+}
+
+/// Looks a profile up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::UopKind;
+
+    #[test]
+    fn all_profiles_generate() {
+        for w in all() {
+            let uops: Vec<_> = w.trace(2_000).collect();
+            assert_eq!(uops.len(), 2_000, "{}", w.name());
+            assert!(
+                uops.iter().any(|u| u.kind.is_branch()),
+                "{} must contain branches",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_profiles() {
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("bwaves").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn mcf_has_chase_loads() {
+        let uops: Vec<_> = mcf().trace(40_000).collect();
+        let chase_loads = uops
+            .iter()
+            .filter(|u| u.kind.is_load() && u.srcs().any(|r| r.index() == 24))
+            .count();
+        // Chase loads are deliberately rare (they each cost a full memory
+        // round-trip) but must be present.
+        assert!(chase_loads > 20, "mcf must pointer-chase: {chase_loads}");
+    }
+
+    #[test]
+    fn povray_is_microcoded() {
+        let uops: Vec<_> = povray().trace(5_000).collect();
+        let micro = uops.iter().filter(|u| u.microcoded).count();
+        assert!(micro > 200, "povray must be microcoded: {micro}");
+    }
+
+    #[test]
+    fn cactus_touches_many_instruction_lines() {
+        let uops: Vec<_> = cactus().trace(60_000).collect();
+        let lines: std::collections::HashSet<u64> =
+            uops.iter().map(|u| u.pc >> 6).collect();
+        // Far larger than the 512-line L1I (the Fig. 3(b) requirement).
+        assert!(
+            lines.len() > 700,
+            "cactus must have a large I-footprint: {} lines",
+            lines.len()
+        );
+    }
+
+    #[test]
+    fn bwaves_streams() {
+        let uops: Vec<_> = bwaves().trace(5_000).collect();
+        let stores = uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Store { .. }))
+            .count();
+        let loads = uops.iter().filter(|u| u.kind.is_load()).count();
+        assert!(loads > 800, "bwaves is load-heavy: {loads}");
+        assert!(stores > 200);
+    }
+
+    #[test]
+    fn imagick_has_serial_multiplies() {
+        let uops: Vec<_> = imagick().trace(5_000).collect();
+        let muls = uops
+            .iter()
+            .filter(|u| {
+                matches!(
+                    u.kind,
+                    UopKind::IntAlu(mstacks_model::AluClass::Mul) | UopKind::ScalarFp(_)
+                )
+            })
+            .count();
+        assert!(muls > 1_000, "imagick needs multi-cycle chains: {muls}");
+    }
+
+    #[test]
+    fn perlbench_has_indirect_branches() {
+        use mstacks_model::BranchKind;
+        let uops: Vec<_> = perlbench().trace(20_000).collect();
+        let indirect = uops
+            .iter()
+            .filter(|u| {
+                matches!(
+                    u.kind,
+                    mstacks_model::UopKind::Branch(b) if b.kind == BranchKind::Indirect
+                )
+            })
+            .count();
+        assert!(indirect > 100, "interpreter profile needs indirect jumps: {indirect}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<String> =
+            all().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), all().len());
+    }
+}

@@ -1,0 +1,373 @@
+//! Synthetic program builder: turns a parameter profile into a static
+//! [`Program`](crate::program) value plus its executing trace.
+
+use crate::addr::AddrPattern;
+use crate::program::{Block, BranchPattern, Executor, OpTemplate, Program, TemplateUop, Terminator};
+use mstacks_model::{AluClass, FpOpKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Instruction-mix weights (relative; normalized internally).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mix {
+    /// Single-cycle integer ALU.
+    pub alu: f64,
+    /// Address arithmetic.
+    pub lea: f64,
+    /// Integer multiply.
+    pub mul: f64,
+    /// Integer divide.
+    pub div: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Scalar FP add.
+    pub fp_add: f64,
+    /// Scalar FP multiply.
+    pub fp_mul: f64,
+    /// Vector FMA.
+    pub vec_fma: f64,
+    /// Vector FP add/mul.
+    pub vec_add: f64,
+    /// Vector integer / shuffle.
+    pub vec_int: f64,
+    /// No-ops.
+    pub nop: f64,
+}
+
+impl Mix {
+    fn weights(&self) -> [f64; 12] {
+        [
+            self.alu, self.lea, self.mul, self.div, self.load, self.store, self.fp_add,
+            self.fp_mul, self.vec_fma, self.vec_add, self.vec_int, self.nop,
+        ]
+    }
+}
+
+/// Full parameter profile of a synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthParams {
+    /// Profile name (reported by [`crate::Workload::name`]).
+    pub name: &'static str,
+    /// Seed for both program construction and execution randomness.
+    pub seed: u64,
+    /// Number of basic blocks (with `ifootprint`, sets the code footprint).
+    pub n_blocks: usize,
+    /// Min/max micro-ops per block (excluding the terminator).
+    pub block_len: (usize, usize),
+    /// Code-footprint in bytes the blocks are spread over.
+    pub ifootprint: u64,
+    /// Fraction of blocks ending in a (predictable) loop back-edge.
+    pub loop_frac: f64,
+    /// Fraction of blocks ending in a hard random branch.
+    pub random_frac: f64,
+    /// Fraction of blocks ending in a call to a function block.
+    pub call_frac: f64,
+    /// Fraction of blocks ending in an interpreter-style indirect jump
+    /// (4 rotating targets; the BTB mispredicts on every target change).
+    pub indirect_frac: f64,
+    /// Taken probability of random branches (0.5 = hardest).
+    pub taken_prob: f64,
+    /// Loop trip-count range.
+    pub loop_trip: (u32, u32),
+    /// Instruction mix.
+    pub mix: Mix,
+    /// Fraction of micro-ops that are microcoded (KNL decode stalls).
+    pub microcode_frac: f64,
+    /// Parallel integer dependence chains (1 = serial).
+    pub ilp: usize,
+    /// Parallel FP dependence chains.
+    pub fp_ilp: usize,
+    /// Probability an ALU/FP op consumes the latest load result.
+    pub load_dep_frac: f64,
+    /// Probability a random conditional branch consumes the latest load
+    /// result (long mispredict resolution).
+    pub branch_dep_frac: f64,
+    /// Weighted data-address patterns (working sets).
+    pub mem: Vec<(AddrPattern, f64)>,
+    /// Active lanes for vector templates.
+    pub vec_lanes: u8,
+}
+
+impl SynthParams {
+    /// Builds the static program for this profile.
+    pub fn build(&self) -> Program {
+        assert!(self.n_blocks >= 2, "need at least two blocks");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let (lo, hi) = self.block_len;
+        assert!(lo >= 1 && hi >= lo, "invalid block length range");
+
+        // Function blocks live at the top of the index space.
+        let n_funcs = ((self.n_blocks as f64 * 0.1) as usize).max(1);
+        let n_main = self.n_blocks - n_funcs;
+
+        // Spread blocks over the instruction footprint.
+        let max_block_bytes = ((hi + 1) * 4) as u64;
+        let spacing = (self.ifootprint / self.n_blocks as u64)
+            .max(max_block_bytes)
+            .next_multiple_of(16);
+        let base_pc = 0x40_0000u64;
+
+        // Address patterns and their cumulative weights.
+        let patterns: Vec<AddrPattern> = self.mem.iter().map(|&(p, _)| p).collect();
+        let weights: Vec<f64> = self.mem.iter().map(|&(_, w)| w).collect();
+        let wsum: f64 = weights.iter().sum();
+
+        let mix_w = self.mix.weights();
+        let mix_sum: f64 = mix_w.iter().sum();
+        assert!(mix_sum > 0.0, "instruction mix must have positive weight");
+
+        let mut blocks = Vec::with_capacity(self.n_blocks);
+        for i in 0..self.n_blocks {
+            let len = rng.gen_range(lo..=hi);
+            let mut uops = Vec::with_capacity(len);
+            for _ in 0..len {
+                let mut x = rng.gen_range(0.0..mix_sum);
+                let mut op = OpTemplate::Nop;
+                for (j, &w) in mix_w.iter().enumerate() {
+                    if x < w {
+                        op = match j {
+                            0 => OpTemplate::Alu(AluClass::Add),
+                            1 => OpTemplate::Alu(AluClass::Lea),
+                            2 => OpTemplate::Alu(AluClass::Mul),
+                            3 => OpTemplate::Alu(AluClass::Div),
+                            4 | 5 => {
+                                // Pick a working set (static per template).
+                                let mut y = rng.gen_range(0.0..wsum.max(f64::MIN_POSITIVE));
+                                let mut gen = 0;
+                                for (gi, &gw) in weights.iter().enumerate() {
+                                    if y < gw {
+                                        gen = gi;
+                                        break;
+                                    }
+                                    y -= gw;
+                                }
+                                if j == 4 {
+                                    OpTemplate::Load {
+                                        gen,
+                                        chase: patterns[gen].is_chase(),
+                                    }
+                                } else {
+                                    OpTemplate::Store { gen }
+                                }
+                            }
+                            6 => OpTemplate::ScalarFp(FpOpKind::Add),
+                            7 => OpTemplate::ScalarFp(FpOpKind::Mul),
+                            8 => OpTemplate::VecFp {
+                                op: FpOpKind::Fma,
+                                lanes: self.vec_lanes,
+                            },
+                            9 => OpTemplate::VecFp {
+                                op: FpOpKind::Add,
+                                lanes: self.vec_lanes,
+                            },
+                            10 => OpTemplate::VecInt,
+                            _ => OpTemplate::Nop,
+                        };
+                        break;
+                    }
+                    x -= w;
+                }
+                // Memory templates need a pattern to exist.
+                if matches!(op, OpTemplate::Load { .. } | OpTemplate::Store { .. })
+                    && patterns.is_empty()
+                {
+                    op = OpTemplate::Alu(AluClass::Add);
+                }
+                uops.push(TemplateUop {
+                    op,
+                    microcoded: rng.gen_bool(self.microcode_frac),
+                });
+            }
+
+            let next = (i + 1) % n_main.max(1);
+            let term = if i >= n_main {
+                // Function block.
+                Terminator::Ret
+            } else {
+                let r: f64 = rng.gen();
+                if r < self.loop_frac {
+                    Terminator::Cond {
+                        pattern: BranchPattern::Loop {
+                            trip: rng.gen_range(self.loop_trip.0..=self.loop_trip.1.max(self.loop_trip.0)),
+                        },
+                        taken_to: i,
+                        fall_to: next,
+                    }
+                } else if r < self.loop_frac + self.random_frac {
+                    // Random branch to a random main block.
+                    let target = rng.gen_range(0..n_main);
+                    Terminator::Cond {
+                        pattern: BranchPattern::Random {
+                            taken_prob: self.taken_prob,
+                        },
+                        taken_to: target,
+                        fall_to: next,
+                    }
+                } else if r < self.loop_frac + self.random_frac + self.call_frac {
+                    Terminator::Call {
+                        callee: n_main + rng.gen_range(0..n_funcs),
+                        ret_to: next,
+                    }
+                } else if r < self.loop_frac + self.random_frac + self.call_frac + self.indirect_frac
+                {
+                    Terminator::IndirectJump {
+                        targets: [
+                            rng.gen_range(0..n_main),
+                            rng.gen_range(0..n_main),
+                            rng.gen_range(0..n_main),
+                            next,
+                        ],
+                    }
+                } else {
+                    Terminator::Jump { to: next }
+                }
+            };
+
+            blocks.push(Block {
+                pc: base_pc + i as u64 * spacing,
+                uops,
+                term,
+            });
+        }
+
+        Program {
+            blocks,
+            addr_patterns: patterns,
+            ilp: self.ilp,
+            fp_ilp: self.fp_ilp,
+            load_dep_frac: self.load_dep_frac,
+            branch_dep_frac: self.branch_dep_frac,
+            data_base: 0x1000_0000,
+        }
+    }
+}
+
+/// The executing trace of a [`SynthParams`] profile.
+#[derive(Debug, Clone)]
+pub struct SynthTrace {
+    exec: Executor,
+}
+
+impl SynthTrace {
+    /// Builds the program and starts executing it.
+    pub fn new(params: SynthParams) -> Self {
+        let program = params.build();
+        SynthTrace {
+            exec: Executor::new(program, params.seed ^ 0x5EED_CAFE),
+        }
+    }
+}
+
+impl Iterator for SynthTrace {
+    type Item = mstacks_model::MicroOp;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.exec.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::UopKind;
+
+    fn base_params() -> SynthParams {
+        SynthParams {
+            name: "test",
+            seed: 42,
+            n_blocks: 50,
+            block_len: (4, 8),
+            ifootprint: 16 * 1024,
+            loop_frac: 0.3,
+            random_frac: 0.2,
+            call_frac: 0.1,
+            indirect_frac: 0.0,
+            taken_prob: 0.5,
+            loop_trip: (4, 16),
+            mix: Mix {
+                alu: 4.0,
+                lea: 1.0,
+                mul: 0.5,
+                load: 2.0,
+                store: 1.0,
+                ..Mix::default()
+            },
+            microcode_frac: 0.0,
+            ilp: 3,
+            fp_ilp: 2,
+            load_dep_frac: 0.3,
+            branch_dep_frac: 0.2,
+            mem: vec![
+                (AddrPattern::Random { bytes: 16 * 1024 }, 2.0),
+                (AddrPattern::Stream { bytes: 1 << 20, stride: 64 }, 1.0),
+            ],
+            vec_lanes: 8,
+        }
+    }
+
+    #[test]
+    fn build_produces_requested_blocks() {
+        let p = base_params().build();
+        assert_eq!(p.blocks.len(), 50);
+        // Function blocks end in Ret.
+        assert!(p.blocks.iter().any(|b| b.term == Terminator::Ret));
+        // PCs are strictly increasing and within the footprint scale.
+        for w in p.blocks.windows(2) {
+            assert!(w[1].pc > w[0].pc);
+        }
+    }
+
+    #[test]
+    fn trace_contains_expected_kinds() {
+        let t = SynthTrace::new(base_params());
+        let uops: Vec<_> = t.take(5_000).collect();
+        let loads = uops.iter().filter(|u| u.kind.is_load()).count();
+        let stores = uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Store { .. }))
+            .count();
+        let branches = uops.iter().filter(|u| u.kind.is_branch()).count();
+        assert!(loads > 300, "load fraction too low: {loads}");
+        assert!(stores > 100, "store fraction too low: {stores}");
+        assert!(branches > 300, "branch fraction too low: {branches}");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a: Vec<_> = SynthTrace::new(base_params()).take(2_000).collect();
+        let b: Vec<_> = SynthTrace::new(base_params()).take(2_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p2 = base_params();
+        p2.seed = 43;
+        let a: Vec<_> = SynthTrace::new(base_params()).take(2_000).collect();
+        let b: Vec<_> = SynthTrace::new(p2).take(2_000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn microcode_fraction_respected() {
+        let mut p = base_params();
+        p.microcode_frac = 0.2;
+        let uops: Vec<_> = SynthTrace::new(p).take(5_000).collect();
+        let micro = uops.iter().filter(|u| u.microcoded).count();
+        assert!(micro > 400, "expected ~20% microcoded, got {micro}/5000");
+        assert!(micro < 1_800);
+    }
+
+    #[test]
+    fn memory_templates_use_configured_working_sets() {
+        let uops: Vec<_> = SynthTrace::new(base_params()).take(5_000).collect();
+        // All data addresses fall in [data_base, data_base + total ws + slack).
+        for u in uops.iter().filter(|u| u.kind.is_mem()) {
+            let a = u.mem_addr().unwrap();
+            assert!(a >= 0x1000_0000, "addr {a:#x} below data base");
+            assert!(a < 0x1000_0000 + (2 << 20), "addr {a:#x} beyond working sets");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! HPC analysis with FLOPS stacks: why does my kernel not reach peak
+//! GFLOPS, and would a better cache even help?
+//!
+//! Runs the same sgemm shape in the two codegen styles the paper contrasts
+//! (§V-B) — KNL-jit FMA-with-memory-operand on a KNL core, and SKX
+//! load+broadcast+register-FMA on an SKX core — and prints the FLOPS
+//! stacks in GFLOPS (paper Eq. (1)), next to the roofline-style summary.
+//!
+//! ```text
+//! cargo run --release --example hpc_flops [m] [n] [k]
+//! ```
+
+use mstacks::prelude::*;
+use mstacks::stats::render::flops_stack_lines;
+use mstacks::workloads::{GemmConfig, GemmStyle};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dim = |i: usize, d: usize| args.get(i).and_then(|s| s.parse().ok()).unwrap_or(d);
+    let cfg_g = GemmConfig {
+        m: dim(1, 128),
+        n: dim(2, 440),
+        k: dim(3, 128),
+        train: true,
+    };
+    let uops = 300_000;
+
+    for (core, style) in [
+        (CoreConfig::knights_landing(), GemmStyle::KnlJit),
+        (CoreConfig::skylake_server(), GemmStyle::SkxBroadcast),
+    ] {
+        let lanes = (core.vector_bits / 32) as u8;
+        let w = Workload::Gemm {
+            cfg: cfg_g,
+            style,
+            lanes,
+        };
+        let report = Simulation::new(core.clone())
+            .run(w.trace(uops))
+            .expect("simulation completes");
+
+        println!("== {} on {} ==", w.name(), core.name);
+        println!(
+            "IPC {:.2} of {} — looks {}; achieved {:.1} of {:.1} GFLOPS ({:.0}%)",
+            report.result.ipc(),
+            core.accounting_width(),
+            if report.result.ipc() / f64::from(core.accounting_width()) > 0.7 {
+                "healthy"
+            } else {
+                "stalled"
+            },
+            report.gflops(core.freq_ghz),
+            core.peak_gflops(),
+            report.gflops(core.freq_ghz) / core.peak_gflops() * 100.0,
+        );
+        print!("{}", flops_stack_lines(&report.flops, core.freq_ghz, 40));
+
+        // The punchline the paper draws from these stacks:
+        let n = report.flops.normalized();
+        let mem = n[FlopsComponent::Memory.index()];
+        let dep = n[FlopsComponent::Depend.index()];
+        if mem > dep {
+            println!(
+                "→ dominated by FMAs waiting on loads ({:.0}%): the jit-style memory-operand\n\
+                 \x20 FMAs serialize on the L1 — restructure towards register reuse.\n",
+                mem * 100.0
+            );
+        } else {
+            println!(
+                "→ dominated by dependences ({:.0}%): FMAs serialize behind the broadcast —\n\
+                 \x20 more accumulators / deeper unrolling would help.\n",
+                dep * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Multi-core stack aggregation (paper §IV and reference [10]).
+//!
+//! The paper's DeepBench experiments run 68 KNL / 26 SKX threads and
+//! "aggregate the CPI stacks by averaging them component per component.
+//! This is possible because all threads show homogeneous behavior."
+//!
+//! This example simulates N homogeneous cores (same profile, per-core seed
+//! — each core's uncore share is already scaled into the preset), averages
+//! the per-core stacks, and shows how per-core variation collapses into
+//! one representative stack.
+//!
+//! ```text
+//! cargo run --release --example multicore_aggregate [workload] [cores]
+//! ```
+
+use mstacks::prelude::*;
+use mstacks::stats::aggregate::average_cpi_components;
+use mstacks::workloads::SynthParams;
+use std::sync::Mutex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wname = args.get(1).map(String::as_str).unwrap_or("bwaves");
+    let n_cores: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let uops = 150_000u64;
+
+    let Some(Workload::Synth(params)) = spec::by_name(wname) else {
+        panic!("unknown workload {wname}");
+    };
+
+    // One trace per core: same profile, different seed (what homogeneous
+    // threads of a data-parallel run look like).
+    let per_core: Vec<SynthParams> = (0..n_cores)
+        .map(|c| {
+            let mut p = params.clone();
+            p.seed ^= (c as u64 + 1).wrapping_mul(0x9E37_79B9);
+            p
+        })
+        .collect();
+
+    let reports: Mutex<Vec<(usize, SimReport)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for (c, p) in per_core.iter().enumerate() {
+            s.spawn({
+                let reports = &reports;
+                move || {
+                    let r = Simulation::new(CoreConfig::broadwell())
+                        .run(Workload::Synth(p.clone()).trace(uops))
+                        .expect("simulation completes");
+                    reports.lock().expect("lock").push((c, r));
+                }
+            });
+        }
+    });
+    let mut reports = reports.into_inner().expect("lock");
+    reports.sort_by_key(|(c, _)| *c);
+
+    println!("{wname} on {n_cores}x bdw ({uops} uops per core)\n");
+    println!("per-core commit-stage CPI:");
+    for (c, r) in &reports {
+        println!(
+            "  core {c}: CPI {:.3} (dcache {:.3}, icache {:.3}, bpred {:.3})",
+            r.cpi(),
+            r.multi.commit.cpi_of(Component::Dcache),
+            r.multi.commit.cpi_of(Component::Icache),
+            r.multi.commit.cpi_of(Component::Bpred),
+        );
+    }
+
+    let commits: Vec<&CpiStack> = reports.iter().map(|(_, r)| &r.multi.commit).collect();
+    let avg = average_cpi_components(&commits);
+    println!("\naggregated (component-wise average, paper §IV):");
+    for c in mstacks::core::COMPONENTS {
+        if avg[c.index()] > 5e-4 {
+            println!("  {:<12} {:>7.3}", c.label(), avg[c.index()]);
+        }
+    }
+    println!("  {:<12} {:>7.3}", "TOTAL", avg.iter().sum::<f64>());
+
+    // Homogeneity check: per-core CPI spread should be small.
+    let cpis: Vec<f64> = reports.iter().map(|(_, r)| r.cpi()).collect();
+    let mean = cpis.iter().sum::<f64>() / cpis.len() as f64;
+    let spread = cpis
+        .iter()
+        .map(|c| (c - mean).abs() / mean)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nmax per-core deviation from the mean CPI: {:.1}% — {}",
+        spread * 100.0,
+        if spread < 0.15 {
+            "homogeneous, aggregation is representative (paper §IV)"
+        } else {
+            "heterogeneous; per-core stacks should be inspected individually"
+        }
+    );
+}

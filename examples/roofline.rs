@@ -1,0 +1,92 @@
+//! FLOPS stacks as a roofline companion (paper §III-C: FLOPS stacks
+//! "augment the roofline model by identifying specific causes why an
+//! application does not reach its theoretical performance").
+//!
+//! Sweeps a family of synthetic vector kernels from memory-bound to
+//! compute-bound (varying the FMA-per-load ratio, i.e. arithmetic
+//! intensity) on the SKX core and prints, for each point, the achieved
+//! GFLOPS next to the FLOPS-stack component that *names* the limiter —
+//! which is exactly what a plain roofline plot cannot do.
+//!
+//! ```text
+//! cargo run --release --example roofline
+//! ```
+
+use mstacks::prelude::*;
+use mstacks::workloads::addr::AddrPattern;
+use mstacks::workloads::synth::{Mix, SynthParams};
+
+/// A streaming vector kernel with `fma_weight` FMAs per load-weight.
+fn kernel(fma_weight: f64) -> Workload {
+    Workload::Synth(SynthParams {
+        name: "roofline-kernel",
+        seed: 0xF10A + (fma_weight * 100.0) as u64,
+        n_blocks: 24,
+        block_len: (8, 12),
+        ifootprint: 4 * 1024,
+        loop_frac: 0.6,
+        random_frac: 0.0,
+        call_frac: 0.0,
+        indirect_frac: 0.0,
+        taken_prob: 0.5,
+        loop_trip: (16, 64),
+        mix: Mix {
+            alu: 0.6,
+            lea: 0.6,
+            load: 2.0,
+            store: 0.4,
+            vec_fma: fma_weight,
+            ..Mix::default()
+        },
+        microcode_frac: 0.0,
+        ilp: 4,
+        fp_ilp: 4,
+        load_dep_frac: 0.6,
+        branch_dep_frac: 0.0,
+        mem: vec![(AddrPattern::Stream { bytes: 16 << 20, stride: 8 }, 1.0)],
+        vec_lanes: 16,
+    })
+}
+
+fn main() {
+    let cfg = CoreConfig::skylake_server();
+    let uops = 150_000u64;
+    println!(
+        "Roofline sweep on {} (peak {:.0} GFLOPS, DRAM {:.1} B/cycle/core)\n",
+        cfg.name,
+        cfg.peak_gflops(),
+        cfg.mem.dram_bytes_per_cycle
+    );
+    println!(
+        "{:>10}  {:>8}  {:>8}  dominant FLOPS-stack limiter",
+        "FMA:load", "GFLOPS", "% peak"
+    );
+    for fma_weight in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let w = kernel(fma_weight);
+        let r = Simulation::new(cfg.clone())
+            .run(w.trace(uops))
+            .expect("simulation completes");
+        let g = r.gflops(cfg.freq_ghz);
+        let n = r.flops.normalized();
+        // Find the tallest non-base component.
+        let (limiter, share) = mstacks::core::FLOPS_COMPONENTS
+            .iter()
+            .filter(|&&c| c != FlopsComponent::Base)
+            .map(|&c| (c, n[c.index()]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaNs"))
+            .expect("components exist");
+        println!(
+            "{:>10.2}  {:>8.1}  {:>7.0}%  {} ({:.0}%)",
+            fma_weight / 2.0,
+            g,
+            g / cfg.peak_gflops() * 100.0,
+            limiter.label(),
+            share * 100.0
+        );
+    }
+    println!(
+        "\nLow intensity → the stack blames memory/frontend (bandwidth roof);\n\
+         high intensity → dependences/non-FMA remain (compute roof). The stack\n\
+         names the wall the kernel is leaning on — the roofline only shows height."
+    );
+}

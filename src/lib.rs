@@ -1,0 +1,61 @@
+//! # mstacks — Multi-Stage CPI Stacks and FLOPS Stacks
+//!
+//! A cycle-level out-of-order core simulator with the multi-stage
+//! CPI-stack and FLOPS-stack accounting of *"Extending the Performance
+//! Analysis Tool Box: Multi-Stage CPI Stacks and FLOPS Stacks"* (Eyerman,
+//! Heirman, Du Bois, Hur; ISPASS 2018).
+//!
+//! This crate is the facade: it re-exports the public API of the workspace
+//! crates. Most users need three things:
+//!
+//! * a **workload** — a named profile from [`workloads::spec`], a
+//!   DeepBench-like kernel ([`workloads::Workload::Gemm`] /
+//!   [`workloads::Workload::Conv`]), or any iterator of
+//!   [`model::MicroOp`]s;
+//! * a **core configuration** — [`model::CoreConfig::broadwell`],
+//!   [`model::CoreConfig::knights_landing`] or
+//!   [`model::CoreConfig::skylake_server`], optionally with
+//!   [`model::IdealFlags`] idealizations;
+//! * a **simulation** — [`core::Simulation`] runs the trace and returns a
+//!   [`core::SimReport`] with the three CPI stacks, the FLOPS stack and
+//!   all pipeline/memory statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use mstacks::core::Simulation;
+//! use mstacks::model::{CoreConfig, IdealFlags};
+//! use mstacks::workloads::spec;
+//!
+//! let report = Simulation::new(CoreConfig::broadwell())
+//!     .run(spec::mcf().trace(20_000))
+//!     .expect("simulation completes");
+//!
+//! // The three stacks agree on total CPI but disagree on the split —
+//! // that disagreement is the information (paper §III-A).
+//! let cpi = report.cpi();
+//! for stack in report.multi.stacks() {
+//!     assert!((stack.total_cpi() - cpi).abs() < 1e-6);
+//! }
+//! // Bounds on the benefit of a perfect D-cache:
+//! let (lo, hi) = report.multi.bounds(mstacks::core::Component::Dcache);
+//! assert!(lo <= hi);
+//! ```
+
+pub use mstacks_core as core;
+pub use mstacks_frontend as frontend;
+pub use mstacks_mem as mem;
+pub use mstacks_model as model;
+pub use mstacks_pipeline as pipeline;
+pub use mstacks_stats as stats;
+pub use mstacks_workloads as workloads;
+
+/// Convenience prelude: the types almost every user touches.
+pub mod prelude {
+    pub use mstacks_core::{
+        BadSpecMode, Component, CpiStack, FlopsComponent, FlopsStack, MultiStackReport,
+        SimReport, Simulation, Stage,
+    };
+    pub use mstacks_model::{CoreConfig, IdealFlags, MicroOp, UopKind};
+    pub use mstacks_workloads::{spec, Workload};
+}

@@ -1,0 +1,229 @@
+//! Cross-crate invariants of the accounting algorithms: every stack must
+//! decompose the *same* execution, so totals are pinned to the pipeline's
+//! cycle and commit counters.
+
+use mstacks::prelude::*;
+
+fn cores() -> [CoreConfig; 3] {
+    [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ]
+}
+
+fn small_suite() -> Vec<Workload> {
+    vec![
+        spec::mcf(),
+        spec::exchange2(),
+        spec::povray(),
+        spec::bwaves(),
+    ]
+}
+
+#[test]
+fn every_stack_sums_to_total_cycles() {
+    for cfg in cores() {
+        for w in small_suite() {
+            let r = Simulation::new(cfg.clone())
+                .run(w.trace(15_000))
+                .expect("simulation completes");
+            let cycles = r.result.cycles as f64;
+            for s in r.multi.stacks() {
+                assert!(
+                    (s.total_cycles() - cycles).abs() < 1e-6,
+                    "{} on {}: {} stack sums to {} ≠ {} cycles",
+                    w.name(),
+                    cfg.name,
+                    s.stage,
+                    s.total_cycles(),
+                    cycles
+                );
+            }
+            assert!(
+                (r.flops.total_cycles() - cycles).abs() < 1e-6,
+                "{} on {}: FLOPS stack sums to {} ≠ {}",
+                w.name(),
+                cfg.name,
+                r.flops.total_cycles(),
+                cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn base_component_identical_across_stages() {
+    // Ground-truth mode: every correct-path micro-op traverses every stage
+    // exactly once, so the base components agree (paper §III-A) and equal
+    // uops / W.
+    for cfg in cores() {
+        let w = spec::mcf();
+        let r = Simulation::new(cfg.clone())
+            .run(w.trace(15_000))
+            .expect("simulation completes");
+        let b = r.multi.commit.cycles_of(Component::Base);
+        for s in r.multi.stacks() {
+            assert!(
+                (s.cycles_of(Component::Base) - b).abs() < 1e-6,
+                "{}: base differs at {}",
+                cfg.name,
+                s.stage
+            );
+        }
+        let expect = r.result.committed_uops as f64 / f64::from(cfg.accounting_width());
+        assert!(
+            (b - expect).abs() < 1.0,
+            "{}: base {} ≠ uops/W {}",
+            cfg.name,
+            b,
+            expect
+        );
+    }
+}
+
+#[test]
+fn all_components_non_negative() {
+    for w in small_suite() {
+        let r = Simulation::new(CoreConfig::broadwell())
+            .run(w.trace(15_000))
+            .expect("simulation completes");
+        for s in r.multi.stacks() {
+            for (c, v) in s.iter_cpi() {
+                assert!(v >= 0.0, "{}: negative {} at {}", w.name(), c, s.stage);
+            }
+        }
+        for (c, v) in r.flops.iter_normalized() {
+            assert!(v >= -1e-12, "{}: negative FLOPS {}", w.name(), c);
+        }
+    }
+}
+
+#[test]
+fn commit_count_equals_trace_length() {
+    for cfg in cores() {
+        let r = Simulation::new(cfg)
+            .run(spec::gcc().trace(12_345))
+            .expect("simulation completes");
+        assert_eq!(r.result.committed_uops, 12_345);
+    }
+}
+
+#[test]
+fn flops_eq1_consistent_with_committed_flops() {
+    // Paper Eq. (1): base/cycles × M must equal the architectural FLOP
+    // rate — the committed-FLOPs counter provides an independent check.
+    let cfg = CoreConfig::skylake_server();
+    let w = Workload::Gemm {
+        cfg: mstacks::workloads::GemmConfig {
+            m: 64,
+            n: 64,
+            k: 64,
+            train: true,
+        },
+        style: mstacks::workloads::GemmStyle::SkxBroadcast,
+        lanes: 16,
+    };
+    let r = Simulation::new(cfg)
+        .run(w.trace(20_000))
+        .expect("simulation completes");
+    let from_stack = r.flops.achieved_flops_per_cycle();
+    let from_commits = r.result.committed_flops as f64 / r.result.cycles as f64;
+    // Issued-but-uncommitted tail ops allow a tiny divergence.
+    assert!(
+        (from_stack - from_commits).abs() / from_commits.max(1e-9) < 0.02,
+        "Eq.(1) rate {from_stack} vs committed rate {from_commits}"
+    );
+}
+
+#[test]
+fn total_cpi_consistent_with_pipeline_cpi() {
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::xz().trace(15_000))
+        .expect("simulation completes");
+    for s in r.multi.stacks() {
+        assert!(
+            (s.total_cpi() - r.cpi()).abs() < 1e-6,
+            "{} stack CPI {} ≠ {}",
+            s.stage,
+            s.total_cpi(),
+            r.cpi()
+        );
+    }
+}
+
+#[test]
+fn microcode_component_only_on_microcoded_cores() {
+    let w = spec::povray(); // microcoded profile
+    let knl = Simulation::new(CoreConfig::knights_landing())
+        .run(w.trace(15_000))
+        .expect("simulation completes");
+    let bdw = Simulation::new(CoreConfig::broadwell())
+        .run(w.trace(15_000))
+        .expect("simulation completes");
+    assert!(
+        knl.multi.dispatch.cpi_of(Component::Microcode) > 0.01,
+        "KNL must show a microcode component for povray"
+    );
+    assert!(
+        bdw.multi.dispatch.cpi_of(Component::Microcode) < 1e-9,
+        "BDW decodes microcode without stalling"
+    );
+}
+
+#[test]
+fn dcache_level_breakdown_sums_to_component() {
+    use mstacks::mem::HitLevel;
+    // mcf mixes L2/L3/DRAM misses on BDW.
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::mcf().trace(20_000))
+        .expect("simulation completes");
+    for s in r.multi.stacks() {
+        let sum = s.dcache_level_cpi(HitLevel::L2)
+            + s.dcache_level_cpi(HitLevel::L3)
+            + s.dcache_level_cpi(HitLevel::Mem);
+        let total = s.cpi_of(Component::Dcache);
+        assert!(
+            (sum - total).abs() < 1e-9,
+            "{}: level split {sum} ≠ dcache {total}",
+            s.stage
+        );
+    }
+    // A DRAM-bound profile shows a dominant DRAM share.
+    let commit = &r.multi.commit;
+    assert!(
+        commit.dcache_level_cpi(HitLevel::Mem) + commit.dcache_level_cpi(HitLevel::L3)
+            > commit.dcache_level_cpi(HitLevel::L2) * 0.2,
+        "mcf must have deep misses"
+    );
+}
+
+#[test]
+fn steady_state_cache_resident_split_favours_cache_levels() {
+    use mstacks::mem::HitLevel;
+    use mstacks::model::{ArchReg, MicroOp, UopKind};
+    // Serial loads sweeping a 300 KiB region (fits the L3 slice, exceeds
+    // the L1D/L2) for many passes: after the compulsory pass, the blamed
+    // level must be a cache, not DRAM. Dependences serialize the loads so
+    // their latency is actually blamed.
+    const REGION: u64 = 300 * 1024;
+    let passes = 16u64;
+    let per_pass = REGION / 64;
+    let trace = (0..passes * per_pass).map(move |i| {
+        let addr = 0x4000_0000 + (i % per_pass) * 64;
+        MicroOp::new(0x1000 + (i % 64) * 4, UopKind::Load { addr })
+            .with_src(ArchReg::new(1))
+            .with_dst(ArchReg::new(1))
+    });
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(trace)
+        .expect("simulation completes");
+    let commit = &r.multi.commit;
+    let cached = commit.dcache_level_cpi(HitLevel::L2) + commit.dcache_level_cpi(HitLevel::L3);
+    let mem = commit.dcache_level_cpi(HitLevel::Mem);
+    assert!(
+        cached > mem,
+        "steady-state resident sweep must blame cache levels: cached {cached} vs mem {mem}"
+    );
+    assert!(commit.cpi_of(Component::Dcache) > 0.5, "loads must stall");
+}

@@ -1,0 +1,77 @@
+//! The fetch/decode-stage CPI stack — the paper's "similar accounting can
+//! be done at other stages" extension.
+
+use mstacks::prelude::*;
+
+#[test]
+fn fetch_stack_obeys_the_accounting_invariants() {
+    for w in [spec::mcf(), spec::cactus(), spec::povray()] {
+        let r = Simulation::new(CoreConfig::broadwell())
+            .run(w.trace(15_000))
+            .expect("simulation completes");
+        let fetch = r.multi.fetch.as_ref().expect("fetch stack present");
+        assert_eq!(fetch.stage, Stage::Fetch);
+        let cycles = r.result.cycles as f64;
+        assert!(
+            (fetch.total_cycles() - cycles).abs() < 1e-6,
+            "{}: fetch stack sums to {} ≠ {}",
+            w.name(),
+            fetch.total_cycles(),
+            cycles
+        );
+        // Base identical to the other stages (each correct-path micro-op is
+        // fetched exactly once).
+        let b = r.multi.commit.cycles_of(Component::Base);
+        assert!(
+            (fetch.cycles_of(Component::Base) - b).abs() < 1e-6,
+            "{}: fetch base {} ≠ commit base {}",
+            w.name(),
+            fetch.cycles_of(Component::Base),
+            b
+        );
+    }
+}
+
+#[test]
+fn fetch_charges_icache_at_least_as_much_as_dispatch() {
+    // The fetch stage stalls on the I-miss itself; dispatch only once the
+    // frontend queue runs dry — so the fetch Icache component is the
+    // largest of all stages.
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::cactus().trace(20_000))
+        .expect("simulation completes");
+    let fetch = r.multi.fetch.as_ref().expect("fetch stack present");
+    assert!(
+        fetch.cpi_of(Component::Icache) + 1e-3 >= r.multi.dispatch.cpi_of(Component::Icache),
+        "fetch icache {} < dispatch icache {}",
+        fetch.cpi_of(Component::Icache),
+        r.multi.dispatch.cpi_of(Component::Icache)
+    );
+}
+
+#[test]
+fn fetch_backend_components_are_smallest() {
+    // Backend stalls reach the fetch stage last (only via queue
+    // back-pressure), so its Dcache component is the smallest.
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::mcf().trace(20_000))
+        .expect("simulation completes");
+    let fetch = r.multi.fetch.as_ref().expect("fetch stack present");
+    assert!(
+        fetch.cpi_of(Component::Dcache) <= r.multi.commit.cpi_of(Component::Dcache) + 1e-3,
+        "fetch dcache {} > commit dcache {}",
+        fetch.cpi_of(Component::Dcache),
+        r.multi.commit.cpi_of(Component::Dcache)
+    );
+}
+
+#[test]
+fn all_stacks_includes_fetch_first() {
+    let r = Simulation::new(CoreConfig::knights_landing())
+        .run(spec::exchange2().trace(10_000))
+        .expect("simulation completes");
+    let all = r.multi.all_stacks();
+    assert_eq!(all.len(), 4);
+    assert_eq!(all[0].stage, Stage::Fetch);
+    assert_eq!(all[3].stage, Stage::Commit);
+}

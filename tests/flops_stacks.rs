@@ -1,0 +1,153 @@
+//! FLOPS-stack behaviour on the DeepBench-like kernels (paper §V-B).
+
+use mstacks::prelude::*;
+use mstacks::workloads::{ConvPhase, GemmConfig, GemmStyle};
+
+fn gemm(style: GemmStyle) -> Workload {
+    Workload::Gemm {
+        cfg: GemmConfig {
+            m: 128,
+            n: 220,
+            k: 128,
+            train: true,
+        },
+        style,
+        lanes: 16,
+    }
+}
+
+#[test]
+fn knl_jit_style_is_memory_dominated() {
+    // FMAs with memory operands wait on their loads: the FLOPS `memory`
+    // component dominates even though almost everything hits the cache.
+    let r = Simulation::new(CoreConfig::knights_landing())
+        .run(gemm(GemmStyle::KnlJit).trace(30_000))
+        .expect("simulation completes");
+    let n = r.flops.normalized();
+    let mem = n[FlopsComponent::Memory.index()];
+    let dep = n[FlopsComponent::Depend.index()];
+    assert!(
+        mem > dep && mem > 0.3,
+        "KNL-jit: memory {mem:.2} should dominate depend {dep:.2}"
+    );
+}
+
+#[test]
+fn skx_broadcast_style_shifts_to_depend() {
+    // Register FMAs hanging off the broadcast: dependence component grows
+    // at the expense of memory, relative to the jit style.
+    let knl_style = Simulation::new(CoreConfig::skylake_server())
+        .run(gemm(GemmStyle::KnlJit).trace(30_000))
+        .expect("simulation completes");
+    let skx_style = Simulation::new(CoreConfig::skylake_server())
+        .run(gemm(GemmStyle::SkxBroadcast).trace(30_000))
+        .expect("simulation completes");
+    let dep_jit = knl_style.flops.normalized()[FlopsComponent::Depend.index()];
+    let dep_bcast = skx_style.flops.normalized()[FlopsComponent::Depend.index()];
+    assert!(
+        dep_bcast > dep_jit,
+        "broadcast codegen must show more dependence: {dep_bcast:.2} vs {dep_jit:.2}"
+    );
+}
+
+#[test]
+fn flops_base_below_cpi_base_share() {
+    // Fig. 4's constant: normalized FLOPS base ≤ normalized CPI base
+    // (not every pipeline slot is an FMA).
+    for style in [GemmStyle::KnlJit, GemmStyle::SkxBroadcast] {
+        let cfg = CoreConfig::knights_landing();
+        let r = Simulation::new(cfg)
+            .run(gemm(style).trace(30_000))
+            .expect("simulation completes");
+        let f = r.flops.normalized()[FlopsComponent::Base.index()];
+        let c = r.multi.issue.normalized()[Component::Base.index()];
+        assert!(
+            f <= c + 0.02,
+            "{style:?}: FLOPS base share {f:.2} should not exceed CPI base share {c:.2}"
+        );
+    }
+}
+
+#[test]
+fn conv_has_lower_vfp_density_than_gemm() {
+    let cfg = CoreConfig::skylake_server();
+    let conv = Workload::Conv {
+        cfg: mstacks::workloads::deepbench::conv_configs()[2],
+        phase: ConvPhase::Forward,
+        lanes: 16,
+    };
+    let rc = Simulation::new(cfg.clone())
+        .run(conv.trace(30_000))
+        .expect("simulation completes");
+    let rg = Simulation::new(cfg)
+        .run(gemm(GemmStyle::SkxBroadcast).trace(30_000))
+        .expect("simulation completes");
+    assert!(
+        rc.flops.achieved_flops_per_cycle() < rg.flops.achieved_flops_per_cycle(),
+        "conv ({:.1}) cannot out-FLOP gemm ({:.1})",
+        rc.flops.achieved_flops_per_cycle(),
+        rg.flops.achieved_flops_per_cycle()
+    );
+}
+
+#[test]
+fn perfect_dcache_migrates_flops_stalls() {
+    // Fig. 5: with a perfect D-cache the memory component collapses and
+    // frontend/depend grow.
+    let cfg = CoreConfig::skylake_server();
+    let conv = Workload::Conv {
+        cfg: mstacks::workloads::deepbench::conv_configs()[2],
+        phase: ConvPhase::Forward,
+        lanes: 16,
+    };
+    let base = Simulation::new(cfg.clone())
+        .run(conv.trace(30_000))
+        .expect("simulation completes");
+    let pd = Simulation::new(cfg)
+        .with_ideal(IdealFlags::none().with_perfect_dcache())
+        .run(conv.trace(30_000))
+        .expect("simulation completes");
+    let m0 = base.flops.normalized()[FlopsComponent::Memory.index()];
+    let m1 = pd.flops.normalized()[FlopsComponent::Memory.index()];
+    assert!(m1 < m0, "memory share must fall: {m0:.2} → {m1:.2}");
+    assert!(
+        pd.flops.achieved_flops_per_cycle() > base.flops.achieved_flops_per_cycle(),
+        "FLOPS must improve with a perfect D-cache"
+    );
+}
+
+#[test]
+fn gflops_scale_with_frequency() {
+    let r = Simulation::new(CoreConfig::knights_landing())
+        .run(gemm(GemmStyle::KnlJit).trace(10_000))
+        .expect("simulation completes");
+    let g1 = r.flops.achieved_gflops(1.0);
+    let g2 = r.flops.achieved_gflops(2.0);
+    assert!((g2 - 2.0 * g1).abs() < 1e-9);
+}
+
+#[test]
+fn lstm_tail_shows_non_fma_component() {
+    use mstacks::workloads::{deepbench, RnnCell};
+    // The recurrent gate tail (activations, elementwise ops) is non-FMA
+    // vector FP: the FLOPS stack must show a non_fma component that plain
+    // GEMM lacks.
+    let cfg = CoreConfig::skylake_server();
+    let rnn = Workload::Rnn {
+        cfg: deepbench::rnn_configs()[0],
+        cell: RnnCell::Lstm,
+        lanes: 16,
+    };
+    let rr = Simulation::new(cfg.clone())
+        .run(rnn.trace(30_000))
+        .expect("simulation completes");
+    let rg = Simulation::new(cfg)
+        .run(gemm(GemmStyle::SkxBroadcast).trace(30_000))
+        .expect("simulation completes");
+    let nf_rnn = rr.flops.normalized()[FlopsComponent::NonFma.index()];
+    let nf_gemm = rg.flops.normalized()[FlopsComponent::NonFma.index()];
+    assert!(
+        nf_rnn > nf_gemm + 0.01,
+        "LSTM non-FMA share {nf_rnn:.3} must exceed GEMM's {nf_gemm:.3}"
+    );
+}

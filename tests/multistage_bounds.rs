@@ -1,0 +1,124 @@
+//! The paper's ordering and bounding properties of the three stacks.
+
+use mstacks::prelude::*;
+
+#[test]
+fn frontend_components_shrink_towards_commit() {
+    // Paper §III-A: "the frontend miss components at the dispatch stage are
+    // always larger than those at the issue stage, which in their turn are
+    // larger than those of the commit stage."
+    for w in [spec::cactus(), spec::gcc(), spec::mcf()] {
+        let r = Simulation::new(CoreConfig::broadwell())
+            .run(w.trace(20_000))
+            .expect("simulation completes");
+        for c in [Component::Icache, Component::Bpred] {
+            let d = r.multi.dispatch.cpi_of(c);
+            let i = r.multi.issue.cpi_of(c);
+            let cm = r.multi.commit.cpi_of(c);
+            // Allow accounting noise of a milli-CPI.
+            assert!(
+                d + 1e-3 >= i && i + 1e-3 >= cm,
+                "{}: {} ordering violated: dispatch {d:.4} issue {i:.4} commit {cm:.4}",
+                w.name(),
+                c
+            );
+        }
+    }
+}
+
+#[test]
+fn backend_dcache_grows_towards_commit() {
+    // The commit stage starts charging a D-miss as soon as it reaches the
+    // ROB head; dispatch only once the ROB/RS fill up.
+    for w in [spec::mcf(), spec::omnetpp()] {
+        let r = Simulation::new(CoreConfig::broadwell())
+            .run(w.trace(20_000))
+            .expect("simulation completes");
+        let d = r.multi.dispatch.cpi_of(Component::Dcache);
+        let cm = r.multi.commit.cpi_of(Component::Dcache);
+        assert!(
+            cm + 1e-3 >= d,
+            "{}: commit dcache {cm:.4} should be ≥ dispatch {d:.4}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn issue_stack_lies_between_dispatch_and_commit() {
+    // "For all examples, the issue stack components are in between the
+    // respective components of the dispatch and commit stack" (§V-A) —
+    // checked for the frontend/backend components where the ordering
+    // argument applies.
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::mcf().trace(20_000))
+        .expect("simulation completes");
+    for c in [Component::Icache, Component::Bpred, Component::Dcache] {
+        let d = r.multi.dispatch.cpi_of(c);
+        let i = r.multi.issue.cpi_of(c);
+        let cm = r.multi.commit.cpi_of(c);
+        let (lo, hi) = (d.min(cm), d.max(cm));
+        assert!(
+            i >= lo - 5e-3 && i <= hi + 5e-3,
+            "{c}: issue {i:.4} outside [{lo:.4}, {hi:.4}]"
+        );
+    }
+}
+
+#[test]
+fn bounds_contain_actual_bpred_improvement() {
+    // The headline bounding property on a branch-dominated profile.
+    let w = spec::deepsjeng();
+    let cfg = CoreConfig::broadwell();
+    let base = Simulation::new(cfg.clone())
+        .run(w.trace(30_000))
+        .expect("simulation completes");
+    let ideal = Simulation::new(cfg)
+        .with_ideal(IdealFlags::none().with_perfect_bpred())
+        .run(w.trace(30_000))
+        .expect("simulation completes");
+    let actual = base.cpi() - ideal.cpi();
+    let (lo, hi) = base.multi.bounds(Component::Bpred);
+    assert!(
+        base.multi.contains(Component::Bpred, actual),
+        "actual {actual:.4} outside [{lo:.4}, {hi:.4}]"
+    );
+}
+
+#[test]
+fn bound_error_is_zero_inside_and_signed_outside() {
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::mcf().trace(15_000))
+        .expect("simulation completes");
+    let (lo, hi) = r.multi.bounds(Component::Dcache);
+    let mid = (lo + hi) / 2.0;
+    assert_eq!(r.multi.bound_error(Component::Dcache, mid), 0.0);
+    assert!(r.multi.bound_error(Component::Dcache, hi + 0.1) < 0.0);
+    assert!(r.multi.bound_error(Component::Dcache, (lo - 0.1).max(0.0)) >= 0.0);
+}
+
+#[test]
+fn perfect_everything_approaches_width_limit() {
+    // With every structure idealized, CPI approaches 1/W: the stacks must
+    // be nearly all base.
+    let cfg = CoreConfig::broadwell();
+    let ideal = IdealFlags::none()
+        .with_perfect_icache()
+        .with_perfect_dcache()
+        .with_perfect_bpred()
+        .with_single_cycle_alu();
+    let r = Simulation::new(cfg.clone())
+        .with_ideal(ideal)
+        .run(spec::x264().trace(20_000))
+        .expect("simulation completes");
+    let w = f64::from(cfg.accounting_width());
+    // Residual limiters are L1-hit load latency in dependence chains and
+    // load/store port pressure — CPI lands well under 2/W.
+    assert!(
+        r.cpi() < 2.0 / w,
+        "fully idealized x264 should approach CPI 1/W: {}",
+        r.cpi()
+    );
+    let base_share = r.multi.commit.normalized()[Component::Base.index()];
+    assert!(base_share > 0.5, "base share only {base_share}");
+}

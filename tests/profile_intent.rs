@@ -1,0 +1,123 @@
+//! Every named SPEC-like profile was designed around a bottleneck (see
+//! `workloads::spec` docs). This test pins each profile's *dominant
+//! non-base stall component* on BDW, so a retuning that silently changes a
+//! profile's character fails loudly.
+
+use mstacks::prelude::*;
+
+/// Expected dominant stall component per profile, judged by the *upper
+/// bound* across the three stacks (frontend components peak at dispatch,
+/// backend at commit, so the bound max is the fair dominance metric).
+/// The core column matters: `imagick` is a KNL case study in the paper.
+/// `None` = balanced profile, no single dominance asserted.
+fn expectations() -> Vec<(&'static str, &'static str, Option<Component>)> {
+    vec![
+        ("mcf", "bdw", Some(Component::Dcache)),
+        ("cactus", "bdw", Some(Component::Icache)),
+        ("bwaves", "bdw", Some(Component::Dcache)), // streams; icache secondary
+        ("imagick", "knl", Some(Component::AluLat)),
+        ("lbm", "bdw", Some(Component::Dcache)),
+        ("fotonik3d", "bdw", Some(Component::Dcache)),
+        ("pop2", "bdw", Some(Component::Dcache)),
+        ("roms", "bdw", Some(Component::Dcache)),
+        ("omnetpp", "bdw", Some(Component::Dcache)),
+        ("exchange2", "bdw", None),
+        ("povray", "knl", None),
+        ("gcc", "bdw", None),
+        ("perlbench", "bdw", None),
+        ("deepsjeng", "bdw", None),
+        ("leela", "bdw", None),
+        ("xz", "bdw", None),
+        ("x264", "bdw", None),
+        ("xalancbmk", "bdw", None),
+        ("wrf", "bdw", None),
+        ("cam4", "bdw", None),
+        ("nab", "bdw", None), // FP chains + L2-resident data: mixed
+    ]
+}
+
+#[test]
+fn profiles_keep_their_designed_bottleneck() {
+    let stall_components = [
+        Component::Icache,
+        Component::Bpred,
+        Component::Dcache,
+        Component::AluLat,
+        Component::Depend,
+        Component::Microcode,
+        Component::MemConflict,
+        Component::Other,
+    ];
+    let mut failures = Vec::new();
+    for (name, core, expected) in expectations() {
+        let Some(expected) = expected else { continue };
+        let w = spec::by_name(name).expect("profile exists");
+        let cfg = match core {
+            "knl" => CoreConfig::knights_landing(),
+            _ => CoreConfig::broadwell(),
+        };
+        let r = Simulation::new(cfg)
+            .run(w.trace(100_000))
+            .expect("simulation completes");
+        let dominant = stall_components
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                r.multi
+                    .bounds(*a)
+                    .1
+                    .partial_cmp(&r.multi.bounds(*b).1)
+                    .expect("no NaNs")
+            })
+            .expect("non-empty");
+        if dominant != expected {
+            failures.push(format!(
+                "{name}/{core}: expected {expected} to dominate, found {dominant} \
+                 ({expected}≤{:.3}, {dominant}≤{:.3})",
+                r.multi.bounds(expected).1,
+                r.multi.bounds(dominant).1
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "profile drift:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn every_profile_exercises_multiple_components() {
+    // No profile should be a degenerate single-component microbenchmark:
+    // at least two stall components above 2% of CPI.
+    for w in spec::all() {
+        let r = Simulation::new(CoreConfig::broadwell())
+            .run(w.trace(30_000))
+            .expect("simulation completes");
+        let commit = &r.multi.commit;
+        let cpi = r.cpi();
+        let active = commit
+            .iter_cpi()
+            .filter(|&(c, v)| c != Component::Base && v > 0.02 * cpi)
+            .count();
+        assert!(
+            active >= 2,
+            "{} exercises only {active} stall component(s)",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn knl_microcode_profiles_show_microcode_only_there() {
+    // povray and imagick are the microcoded profiles; on KNL they must
+    // show a Microcode component and the others must not.
+    for w in spec::all() {
+        let r = Simulation::new(CoreConfig::knights_landing())
+            .run(w.trace(25_000))
+            .expect("simulation completes");
+        let m = r.multi.dispatch.cpi_of(Component::Microcode);
+        let name = w.name();
+        if name == "povray" || name == "imagick" {
+            assert!(m > 0.005, "{name} must show microcode stalls: {m}");
+        } else {
+            assert!(m < 0.05, "{name} should not be microcode-bound: {m}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Property tests aimed directly at the accounting algorithms, feeding
+//! them synthetic per-cycle views (no pipeline in the loop).
+
+use mstacks::core::{
+    BadSpecMode, CommitAccountant, DispatchAccountant, FlopsAccountant, IssueAccountant,
+};
+use mstacks::mem::HitLevel;
+use mstacks::model::{ElemType, FpOpKind, FrontendStall, MicroOp, UopKind, VecFpOp};
+use mstacks::pipeline::{
+    Blame, CommitView, DispatchView, FlopsBlame, IssueView, IssuedInfo, StageObserver,
+};
+use proptest::prelude::*;
+
+fn arb_fe_stall() -> impl Strategy<Value = Option<FrontendStall>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(FrontendStall::Icache)),
+        Just(Some(FrontendStall::Bpred)),
+        Just(Some(FrontendStall::Microcode)),
+    ]
+}
+
+fn arb_blame() -> impl Strategy<Value = Option<Blame>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Blame::Dcache(HitLevel::L2))),
+        Just(Some(Blame::Dcache(HitLevel::L3))),
+        Just(Some(Blame::Dcache(HitLevel::Mem))),
+        Just(Some(Blame::LongLat)),
+        Just(Some(Blame::Depend)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of views the dispatch accountant sees, the stack
+    /// sums to the cycle count and never goes negative.
+    #[test]
+    fn dispatch_accountant_conserves_cycles(
+        views in proptest::collection::vec(
+            (0u32..=4, 0u32..=4, any::<bool>(), arb_blame(), arb_fe_stall()),
+            1..200,
+        )
+    ) {
+        let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+        let n_views = views.len();
+        for (i, (n_extra, n_correct, backend, blame, fe)) in views.into_iter().enumerate() {
+            let v = DispatchView {
+                n_total: n_correct + n_extra.min(4 - n_correct),
+                n_correct,
+                backend_blocked: backend,
+                smt_blocked: false,
+                head_blame: blame,
+                fe_stall: fe,
+            };
+            a.on_dispatch(i as u64, &v);
+        }
+        let s = a.finish(1_000, None);
+        prop_assert!((s.total_cycles() - n_views as f64).abs() < 1e-6);
+        for (c, v) in s.iter_cpi() {
+            prop_assert!(v >= 0.0, "negative component {c}");
+        }
+    }
+
+    /// Same conservation for the commit accountant. Commit can never
+    /// exceed the commit width, so `n ≤ W` (wider stages drain their
+    /// carry in trailing sub-width cycles; that path is pinned by the
+    /// `wide_issue_carries_over` unit test).
+    #[test]
+    fn commit_accountant_conserves_cycles(
+        views in proptest::collection::vec(
+            (0u32..=4, any::<bool>(), arb_blame(), arb_fe_stall()),
+            1..200,
+        )
+    ) {
+        let mut a = CommitAccountant::new(4);
+        let n_views = views.len();
+        for (i, (n, rob_empty, blame, fe)) in views.into_iter().enumerate() {
+            let v = CommitView {
+                n,
+                rob_empty,
+                smt_blocked: false,
+                fe_stall: fe,
+                head_blame: if rob_empty { None } else { blame },
+            };
+            a.on_commit(i as u64, &v);
+        }
+        let s = a.finish(1_000);
+        // Residual carry is folded into base at finish.
+        prop_assert!((s.total_cycles() - n_views as f64).abs() < 1e-6);
+    }
+
+    /// The FLOPS accountant produces exactly one cycle of component mass
+    /// per view, whatever mix of FMA/add/masked VFP µops is issued.
+    #[test]
+    fn flops_accountant_sums_to_one_per_cycle(
+        cycles in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u8..=1, 0u8..=16), 0..2),
+                any::<bool>(),
+                0u8..3,
+            ),
+            1..100,
+        )
+    ) {
+        let mut a = FlopsAccountant::new(2, 16);
+        let n_cycles = cycles.len();
+        for (i, (vfps, vu_stolen, blame_sel)) in cycles.into_iter().enumerate() {
+            let issued: Vec<IssuedInfo> = vfps
+                .iter()
+                .map(|&(is_fma, lanes)| IssuedInfo {
+                    uop: MicroOp::new(
+                        0,
+                        UopKind::VecFp(VecFpOp {
+                            op: if is_fma == 1 { FpOpKind::Fma } else { FpOpKind::Add },
+                            active_lanes: lanes,
+                            elem: ElemType::F32,
+                        }),
+                    ),
+                    wrong_path: false,
+                    on_vpu: true,
+                })
+                .collect();
+            let vfp_blame = match blame_sel {
+                0 => None,
+                1 => Some(FlopsBlame::Memory),
+                _ => Some(FlopsBlame::Depend),
+            };
+            let v = IssueView {
+                n_total: issued.len() as u32,
+                n_correct: issued.len() as u32,
+                rs_empty: false,
+                fe_stall: None,
+                blocking_blame: None,
+                structural: None,
+                smt_blocked: false,
+                issued: &issued,
+                vfp_in_rs: vfp_blame.is_some(),
+                vfp_blame,
+                vu_used_by_non_vfp: vu_stolen,
+            };
+            a.on_issue(i as u64, &v);
+        }
+        let s = a.finish();
+        prop_assert!(
+            (s.total_cycles() - n_cycles as f64).abs() < 1e-9,
+            "FLOPS stack sums to {} over {} cycles",
+            s.total_cycles(),
+            n_cycles
+        );
+        for (c, v) in s.iter_normalized() {
+            prop_assert!(v >= -1e-12, "negative {c}");
+        }
+    }
+
+    /// The issue accountant under the speculative-counter mode conserves
+    /// cycles across any interleaving of dispatch/commit/squash events.
+    #[test]
+    fn speculative_mode_conserves_cycles(
+        events in proptest::collection::vec(0u8..6, 1..300)
+    ) {
+        let mut a = IssueAccountant::new(2, BadSpecMode::SpeculativeCounters);
+        let mut cycles = 0u64;
+        let mut open_branches = 0u64;
+        let branch = MicroOp::new(
+            0x100,
+            UopKind::Branch(mstacks::model::BranchInfo {
+                taken: false,
+                target: 0x200,
+                fallthrough: 0x104,
+                kind: mstacks::model::BranchKind::Cond,
+            }),
+        );
+        for (i, e) in events.into_iter().enumerate() {
+            let i = i as u64;
+            match e {
+                0 => {
+                    a.on_issue(i, &IssueView {
+                        n_total: 2, n_correct: 2, rs_empty: false, fe_stall: None,
+                        blocking_blame: None, structural: None, smt_blocked: false,
+                        issued: &[], vfp_in_rs: false, vfp_blame: None,
+                        vu_used_by_non_vfp: false,
+                    });
+                    cycles += 1;
+                }
+                1 => {
+                    a.on_issue(i, &IssueView {
+                        n_total: 0, n_correct: 0, rs_empty: true,
+                        fe_stall: Some(FrontendStall::Bpred),
+                        blocking_blame: None, structural: None, smt_blocked: false,
+                        issued: &[], vfp_in_rs: false, vfp_blame: None,
+                        vu_used_by_non_vfp: false,
+                    });
+                    cycles += 1;
+                }
+                2 => {
+                    a.on_issue(i, &IssueView {
+                        n_total: 1, n_correct: 1, rs_empty: false, fe_stall: None,
+                        blocking_blame: Some(Blame::Dcache(HitLevel::Mem)),
+                        structural: None, smt_blocked: false,
+                        issued: &[], vfp_in_rs: false, vfp_blame: None,
+                        vu_used_by_non_vfp: false,
+                    });
+                    cycles += 1;
+                }
+                3 => {
+                    a.on_dispatch_uop(i, &branch);
+                    open_branches += 1;
+                }
+                4 if open_branches > 0 => {
+                    a.on_commit_uop(i, &branch);
+                    open_branches -= 1;
+                }
+                _ if open_branches > 0 => {
+                    a.on_squash(i, 5, 1);
+                    open_branches -= 1;
+                }
+                _ => {}
+            }
+        }
+        let s = a.finish(1_000, None);
+        prop_assert!(
+            (s.total_cycles() - cycles as f64).abs() < 1e-6,
+            "{} vs {}",
+            s.total_cycles(),
+            cycles
+        );
+    }
+}

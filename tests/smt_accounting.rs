@@ -1,0 +1,107 @@
+//! Per-thread SMT accounting invariants (the §II extension).
+
+use mstacks::core::SmtSimulation;
+use mstacks::prelude::*;
+
+#[test]
+fn per_thread_invariants_hold_under_smt() {
+    let report = SmtSimulation::new(CoreConfig::broadwell())
+        .run(vec![spec::exchange2().trace(10_000), spec::xz().trace(10_000)])
+        .expect("simulation completes");
+    assert_eq!(report.threads.len(), 2);
+    for (tid, t) in report.threads.iter().enumerate() {
+        assert_eq!(t.result.committed_uops, 10_000, "thread {tid}");
+        let cycles = t.result.cycles as f64;
+        for s in t.multi.stacks() {
+            // Off-by-one slack: a thread's drain cycle is quantized.
+            assert!(
+                (s.total_cycles() - cycles).abs() <= 2.0,
+                "thread {tid} {}: {} vs {}",
+                s.stage,
+                s.total_cycles(),
+                cycles
+            );
+            for (c, v) in s.iter_cpi() {
+                assert!(v >= 0.0, "thread {tid} {}: negative {}", s.stage, c);
+            }
+        }
+    }
+}
+
+#[test]
+fn co_running_threads_slow_each_other_down() {
+    let uops = 15_000u64;
+    let solo = Simulation::new(CoreConfig::broadwell())
+        .run(spec::exchange2().trace(uops))
+        .expect("simulation completes");
+    let smt = SmtSimulation::new(CoreConfig::broadwell())
+        .run(vec![
+            spec::exchange2().trace(uops),
+            spec::exchange2().trace(uops),
+        ])
+        .expect("simulation completes");
+    for t in &smt.threads {
+        assert!(
+            t.cpi() > solo.cpi(),
+            "SMT thread cannot beat its solo run: {} vs {}",
+            t.cpi(),
+            solo.cpi()
+        );
+        // But the total throughput beats time-slicing: both threads finish
+        // in less than 2x the solo time.
+        assert!(
+            t.result.cycles < 2 * solo.result.cycles,
+            "SMT must beat serialization: {} vs {}",
+            t.result.cycles,
+            2 * solo.result.cycles
+        );
+    }
+}
+
+#[test]
+fn smt_component_explains_the_slowdown_direction() {
+    // A memory-bound thread and a compute-bound thread: both see smt > 0,
+    // and the compute-bound thread (hungry for slots) sees more of it.
+    let uops = 15_000u64;
+    let report = SmtSimulation::new(CoreConfig::broadwell())
+        .run(vec![spec::exchange2().trace(uops), spec::mcf().trace(uops)])
+        .expect("simulation completes");
+    let smt_of = |t: &mstacks::core::ThreadReport| {
+        t.multi
+            .stacks()
+            .iter()
+            .map(|s| s.cpi_of(Component::Smt))
+            .fold(0.0f64, f64::max)
+    };
+    let compute = smt_of(&report.threads[0]);
+    assert!(
+        compute > 0.01,
+        "the compute-bound co-runner must lose slots to SMT: {compute}"
+    );
+}
+
+#[test]
+fn smt_run_is_deterministic() {
+    let run = || {
+        SmtSimulation::new(CoreConfig::knights_landing())
+            .run(vec![spec::povray().trace(8_000), spec::nab().trace(8_000)])
+            .expect("simulation completes")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn four_threads_are_supported() {
+    let report = SmtSimulation::new(CoreConfig::skylake_server())
+        .run(vec![
+            spec::exchange2().trace(5_000),
+            spec::xz().trace(5_000),
+            spec::leela().trace(5_000),
+            spec::nab().trace(5_000),
+        ])
+        .expect("simulation completes");
+    assert_eq!(report.threads.len(), 4);
+    for t in &report.threads {
+        assert_eq!(t.result.committed_uops, 5_000);
+    }
+}

@@ -1,0 +1,91 @@
+//! TLB behaviour: page walks fold into the Icache/Dcache components, as
+//! the paper defines them ("cache (and TLB)", §III).
+
+use mstacks::model::{ArchReg, MicroOp, TlbConfig, UopKind};
+use mstacks::prelude::*;
+
+/// Serialized loads striding one page at a time over 512 pages. The 512
+/// touched lines fit the L1D (cache-wise everything hits after the first
+/// pass), but 512 pages thrash a 64-entry D-TLB — so with real page walks
+/// each load pays the walk, and with free walks it is an L1 hit. The
+/// chain (each load addresses off the previous result) stops the
+/// out-of-order window from hiding the walk latency.
+fn page_strider(n: u64) -> impl Iterator<Item = MicroOp> {
+    (0..n).map(|i| {
+        // 512 pages = 2 MiB; the in-page offset varies so the 512 lines
+        // spread across cache sets instead of aliasing into one.
+        let page = i % 512;
+        let addr = 0x4000_0000 + page * 4096 + (page % 64) * 64;
+        MicroOp::new(0x1000 + (i % 32) * 4, UopKind::Load { addr })
+            .with_src(ArchReg::new(1))
+            .with_dst(ArchReg::new(1))
+    })
+}
+
+#[test]
+fn dtlb_misses_are_counted() {
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(page_strider(20_000))
+        .expect("simulation completes");
+    assert!(
+        r.result.mem.dtlb_misses > 15_000,
+        "page strider must thrash the 64-entry D-TLB: {}",
+        r.result.mem.dtlb_misses
+    );
+    // …while the lines themselves become cache-resident.
+    assert!(r.result.mem.l1d.miss_ratio() < 0.2);
+}
+
+#[test]
+fn walks_fold_into_the_dcache_component() {
+    // Same trace, same cache behaviour, one config with free page walks:
+    // the CPI difference must appear in the Dcache component.
+    let base_cfg = CoreConfig::broadwell();
+    let mut free_cfg = CoreConfig::broadwell();
+    free_cfg.mem.dtlb = TlbConfig::free();
+    free_cfg.mem.itlb = TlbConfig::free();
+
+    let with_walks = Simulation::new(base_cfg)
+        .run(page_strider(20_000))
+        .expect("simulation completes");
+    let without = Simulation::new(free_cfg)
+        .run(page_strider(20_000))
+        .expect("simulation completes");
+    assert!(
+        with_walks.cpi() > without.cpi(),
+        "page walks must cost cycles: {} vs {}",
+        with_walks.cpi(),
+        without.cpi()
+    );
+    let d_with = with_walks.multi.commit.cpi_of(Component::Dcache);
+    let d_without = without.multi.commit.cpi_of(Component::Dcache);
+    assert!(
+        d_with > d_without,
+        "the walk penalty must land in the Dcache component: {d_with} vs {d_without}"
+    );
+}
+
+#[test]
+fn dense_working_sets_rarely_miss_the_tlb() {
+    // exchange2 runs in a 24 KiB working set — a handful of pages.
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::exchange2().trace(20_000))
+        .expect("simulation completes");
+    let per_kilo = r.result.mem.dtlb_misses as f64 / 20.0;
+    assert!(
+        per_kilo < 5.0,
+        "dense code must not thrash the TLB: {per_kilo} misses/kilo-uop"
+    );
+}
+
+#[test]
+fn itlb_misses_appear_with_huge_code_footprints() {
+    // cactus touches ~130 KiB of code (> 32 pages): some I-TLB activity.
+    let r = Simulation::new(CoreConfig::broadwell())
+        .run(spec::cactus().trace(20_000))
+        .expect("simulation completes");
+    assert!(
+        r.result.mem.itlb_misses > 0,
+        "large code footprint must produce I-TLB misses"
+    );
+}
