@@ -9,7 +9,7 @@
 //! * **prefetcher on/off** — the stride prefetcher is what produces the
 //!   Fig. 3(c) effect; this measures its simulation-speed cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mstacks_bench::microbench::Group;
 use mstacks_core::{BadSpecMode, DispatchAccountant, IssueAccountant};
 use mstacks_model::{CoreConfig, IdealFlags, PrefetchConfig};
 use mstacks_pipeline::Core;
@@ -17,76 +17,61 @@ use mstacks_workloads::spec;
 
 const UOPS: u64 = 40_000;
 
-fn bench_badspec_modes(c: &mut Criterion) {
+fn bench_badspec_modes() {
     let w = spec::mcf(); // branchy: exercises squash/commit bookkeeping
     let cfg = CoreConfig::broadwell();
     let wdt = cfg.accounting_width();
-    let mut g = c.benchmark_group("badspec_mode");
-    g.sample_size(10);
+    let g = Group::new("badspec_mode", 10);
     for mode in [
         BadSpecMode::GroundTruth,
         BadSpecMode::SimpleRetireSlots,
         BadSpecMode::SpeculativeCounters,
     ] {
-        g.bench_function(mode.to_string(), |b| {
-            b.iter(|| {
-                let mut obs = (
-                    DispatchAccountant::new(wdt, mode),
-                    IssueAccountant::new(wdt, mode),
-                );
-                let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
-                let cycles = core.run(&mut obs).expect("runs").cycles;
-                std::hint::black_box((obs, cycles))
-            })
+        g.bench(&mode.to_string(), || {
+            let mut obs = (
+                DispatchAccountant::new(wdt, mode),
+                IssueAccountant::new(wdt, mode),
+            );
+            let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+            core.run(&mut obs).expect("runs").cycles
         });
     }
-    g.finish();
 }
 
-fn bench_prefetcher(c: &mut Criterion) {
+fn bench_prefetcher() {
     let w = spec::bwaves(); // streaming: maximum prefetch activity
-    let mut g = c.benchmark_group("prefetcher");
-    g.sample_size(10);
+    let g = Group::new("prefetcher", 10);
     for (name, enabled) in [("on", true), ("off", false)] {
         let mut cfg = CoreConfig::broadwell();
         if !enabled {
             cfg.mem.prefetch = PrefetchConfig::disabled();
         }
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
-                std::hint::black_box(core.run(&mut ()).expect("runs").cycles)
-            })
+        g.bench(name, || {
+            let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+            core.run(&mut ()).expect("runs").cycles
         });
     }
-    g.finish();
 }
 
-fn bench_wide_issue_carry(c: &mut Criterion) {
+fn bench_wide_issue_carry() {
     // The min-width normalizer runs once per stage per cycle; this measures
     // the accountant with a wide-issue core (carry-over active every cycle)
     // against a narrow one.
     let w = spec::x264();
-    let mut g = c.benchmark_group("width_normalization");
-    g.sample_size(10);
+    let g = Group::new("width_normalization", 10);
     for cfg in [CoreConfig::broadwell(), CoreConfig::knights_landing()] {
         let wdt = cfg.accounting_width();
-        g.bench_function(format!("{}_W{}", cfg.name, wdt), |b| {
-            b.iter(|| {
-                let mut obs = IssueAccountant::new(wdt, BadSpecMode::GroundTruth);
-                let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
-                let cycles = core.run(&mut obs).expect("runs").cycles;
-                std::hint::black_box((obs, cycles))
-            })
+        g.bench(&format!("{}_W{}", cfg.name, wdt), || {
+            let mut obs = IssueAccountant::new(wdt, BadSpecMode::GroundTruth);
+            let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+            let cycles = core.run(&mut obs).expect("runs").cycles;
+            (obs.finish(cycles, None).total_cycles(), cycles)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_badspec_modes,
-    bench_prefetcher,
-    bench_wide_issue_carry
-);
-criterion_main!(benches);
+fn main() {
+    bench_badspec_modes();
+    bench_prefetcher();
+    bench_wide_issue_carry();
+}

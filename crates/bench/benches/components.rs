@@ -1,107 +1,99 @@
 //! Microbenchmarks of the simulator's building blocks: cache hierarchy,
-//! branch predictor, wrong-path synthesis, workload generation, and the
-//! end-to-end pipeline on characteristic workloads.
+//! branch predictor, workload generation, and the end-to-end pipeline on
+//! characteristic workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mstacks_bench::microbench::Group;
 use mstacks_frontend::BranchPredictor;
 use mstacks_mem::Hierarchy;
 use mstacks_model::{BranchInfo, BranchKind, CoreConfig, IdealFlags};
 use mstacks_pipeline::Core;
 use mstacks_workloads::spec;
 
-fn bench_hierarchy(c: &mut Criterion) {
+fn bench_hierarchy() {
     let cfg = CoreConfig::broadwell();
-    let mut g = c.benchmark_group("memory_hierarchy");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("l1_hits", |b| {
+    let g = Group::new("memory_hierarchy", 20);
+    {
         let mut mem = Hierarchy::new(&cfg.mem);
         // Warm a small set.
         for i in 0..64u64 {
             mem.load(i * 64, 1, i);
         }
         let mut now = 1_000u64;
-        b.iter(|| {
+        g.bench("l1_hits", || {
+            let mut sum = 0u64;
             for i in 0..10_000u64 {
                 now += 1;
-                std::hint::black_box(mem.load((i % 64) * 64, 1, now));
+                sum = sum.wrapping_add(mem.load((i % 64) * 64, 1, now).ready);
             }
-        })
-    });
-    g.bench_function("streaming_misses", |b| {
+            sum
+        });
+    }
+    {
         let mut mem = Hierarchy::new(&cfg.mem);
         let mut addr = 0u64;
         let mut now = 0u64;
-        b.iter(|| {
+        g.bench("streaming_misses", || {
+            let mut sum = 0u64;
             for _ in 0..10_000u64 {
                 now += 20;
                 addr += 64;
-                std::hint::black_box(mem.load(addr, 7, now));
+                sum = sum.wrapping_add(mem.load(addr, 7, now).ready);
             }
-        })
-    });
-    g.finish();
-}
-
-fn bench_predictor(c: &mut Criterion) {
-    let cfg = CoreConfig::broadwell();
-    let mut g = c.benchmark_group("branch_predictor");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("predict_update", |b| {
-        let mut bp = BranchPredictor::new(&cfg.bpred, false);
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..10_000 {
-                i += 1;
-                let br = BranchInfo {
-                    taken: i.is_multiple_of(3),
-                    target: 0x9000 + (i % 64) * 8,
-                    fallthrough: 0x1000 + (i % 64) * 8 + 4,
-                    kind: BranchKind::Cond,
-                };
-                std::hint::black_box(bp.predict_and_update(0x1000 + (i % 64) * 8, &br));
-            }
-        })
-    });
-    g.finish();
-}
-
-fn bench_workload_gen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_generation");
-    g.throughput(Throughput::Elements(50_000));
-    for w in [spec::mcf(), spec::bwaves()] {
-        g.bench_function(w.name(), |b| {
-            b.iter(|| {
-                std::hint::black_box(w.trace(50_000).count());
-            })
+            sum
         });
     }
-    g.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_end_to_end");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(40_000));
+fn bench_predictor() {
+    let cfg = CoreConfig::broadwell();
+    let g = Group::new("branch_predictor", 20);
+    let mut bp = BranchPredictor::new(&cfg.bpred, false);
+    let mut i = 0u64;
+    g.bench("predict_update", || {
+        let mut hits = 0u32;
+        for _ in 0..10_000 {
+            i += 1;
+            let br = BranchInfo {
+                taken: i.is_multiple_of(3),
+                target: 0x9000 + (i % 64) * 8,
+                fallthrough: 0x1000 + (i % 64) * 8 + 4,
+                kind: BranchKind::Cond,
+            };
+            if !bp
+                .predict_and_update(0x1000 + (i % 64) * 8, &br)
+                .mispredicted
+            {
+                hits += 1;
+            }
+        }
+        hits
+    });
+}
+
+fn bench_workload_gen() {
+    let g = Group::new("workload_generation", 10);
+    for w in [spec::mcf(), spec::bwaves()] {
+        g.bench(&w.name(), || w.trace(50_000).count());
+    }
+}
+
+fn bench_pipeline() {
+    let g = Group::new("pipeline_end_to_end", 10);
     for (w, cfg) in [
         (spec::exchange2(), CoreConfig::broadwell()),
         (spec::mcf(), CoreConfig::broadwell()),
         (spec::imagick(), CoreConfig::knights_landing()),
     ] {
-        g.bench_function(format!("{}_{}", w.name(), cfg.name), |b| {
-            b.iter(|| {
-                let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(40_000));
-                std::hint::black_box(core.run(&mut ()).expect("runs").cycles)
-            })
+        g.bench(&format!("{}_{}", w.name(), cfg.name), || {
+            let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(40_000));
+            core.run(&mut ()).expect("runs").cycles
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hierarchy,
-    bench_predictor,
-    bench_workload_gen,
-    bench_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    bench_hierarchy();
+    bench_predictor();
+    bench_workload_gen();
+    bench_pipeline();
+}

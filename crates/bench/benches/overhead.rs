@@ -1,4 +1,4 @@
-//! Criterion version of the paper's §IV overhead experiment.
+//! The paper's §IV overhead experiment.
 //!
 //! Three variants of the identical simulation:
 //! * `bare` — unit observer (no accounting at all);
@@ -10,7 +10,7 @@
 //! The paper's claim maps to `full` vs `dispatch_only`: < 1% on Sniper;
 //! expect small single digits here on a far leaner simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mstacks_bench::microbench::Group;
 use mstacks_core::{
     BadSpecMode, CommitAccountant, DispatchAccountant, FlopsAccountant, IssueAccountant,
 };
@@ -20,46 +20,32 @@ use mstacks_workloads::spec;
 
 const UOPS: u64 = 60_000;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let w = spec::exchange2();
     let cfg = CoreConfig::broadwell();
     let wdt = cfg.accounting_width();
 
-    let mut g = c.benchmark_group("accounting_overhead");
-    g.sample_size(20);
+    let g = Group::new("accounting_overhead", 20);
 
-    g.bench_function("bare", |b| {
-        b.iter(|| {
-            let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
-            std::hint::black_box(core.run(&mut ()).expect("runs").cycles)
-        })
+    g.bench("bare", || {
+        let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+        core.run(&mut ()).expect("runs").cycles
     });
 
-    g.bench_function("dispatch_only", |b| {
-        b.iter(|| {
-            let mut obs = DispatchAccountant::new(wdt, BadSpecMode::GroundTruth);
-            let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
-            let cycles = core.run(&mut obs).expect("runs").cycles;
-            std::hint::black_box((obs, cycles))
-        })
+    g.bench("dispatch_only", || {
+        let mut obs = DispatchAccountant::new(wdt, BadSpecMode::GroundTruth);
+        let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+        core.run(&mut obs).expect("runs").cycles
     });
 
-    g.bench_function("full_multistage_and_flops", |b| {
-        b.iter(|| {
-            let mut obs = (
-                DispatchAccountant::new(wdt, BadSpecMode::GroundTruth),
-                IssueAccountant::new(wdt, BadSpecMode::GroundTruth),
-                CommitAccountant::new(wdt),
-                FlopsAccountant::new(cfg.vpu_count().max(1), cfg.vector_lanes_f32()),
-            );
-            let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
-            let cycles = core.run(&mut obs).expect("runs").cycles;
-            std::hint::black_box((obs, cycles))
-        })
+    g.bench("full_multistage_and_flops", || {
+        let mut obs = (
+            DispatchAccountant::new(wdt, BadSpecMode::GroundTruth),
+            IssueAccountant::new(wdt, BadSpecMode::GroundTruth),
+            CommitAccountant::new(wdt),
+            FlopsAccountant::new(cfg.vpu_count().max(1), cfg.vector_lanes_f32()),
+        );
+        let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(UOPS));
+        core.run(&mut obs).expect("runs").cycles
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! branch component under each scheme, with the ground truth as reference.
 
 use mstacks_bench::sim_uops;
-use mstacks_core::{BadSpecMode, Component, Simulation};
+use mstacks_core::{BadSpecMode, Component, Session};
 use mstacks_model::CoreConfig;
 use mstacks_stats::TextTable;
 use mstacks_workloads::spec;
@@ -33,7 +33,7 @@ fn main() {
     let mut spec_errs = Vec::new();
     for w in spec::all() {
         let run = |mode: BadSpecMode| {
-            Simulation::new(cfg.clone())
+            Session::new(cfg.clone())
                 .with_badspec(mode)
                 .run(w.trace(uops))
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name()))

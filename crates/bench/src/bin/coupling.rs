@@ -43,9 +43,7 @@ fn name_of(tag: char) -> &'static str {
 
 fn main() {
     let uops = sim_uops().min(300_000);
-    println!(
-        "Coupling matrix (Table I generalized): d(A+B) vs d(A)+d(B) per pair ({uops} uops)\n"
-    );
+    println!("Coupling matrix (Table I generalized): d(A+B) vs d(A)+d(B) per pair ({uops} uops)\n");
     for (wname, core) in [
         ("mcf", CoreConfig::broadwell()),
         ("mcf", CoreConfig::knights_landing()),
@@ -75,7 +73,13 @@ fn main() {
                     continue;
                 }
                 let both = base.cpi()
-                    - run(&w, &core, combine(ideal_of(tags[i]), ideal_of(tags[j])), uops).cpi();
+                    - run(
+                        &w,
+                        &core,
+                        combine(ideal_of(tags[i]), ideal_of(tags[j])),
+                        uops,
+                    )
+                    .cpi();
                 let sum = singles[i] + singles[j];
                 let regime = if both > sum * 1.05 + 0.01 {
                     "HIDDEN (super-additive)"
@@ -94,7 +98,12 @@ fn main() {
                 ]);
             }
         }
-        println!("=== {} on {} (baseline CPI {:.3}) ===", wname, core.name, base.cpi());
+        println!(
+            "=== {} on {} (baseline CPI {:.3}) ===",
+            wname,
+            core.name,
+            base.cpi()
+        );
         println!("{t}");
     }
     println!(

@@ -4,7 +4,7 @@
 //! different-looking stacks depending on the accounting stage. We use the
 //! `mcf` profile on the Broadwell core, as in the paper's running example.
 
-use mstacks_bench::{run, sim_uops};
+use mstacks_bench::{sim_uops, Sweep};
 use mstacks_core::COMPONENTS;
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::{render::cpi_stack_lines, TextTable};
@@ -14,7 +14,11 @@ fn main() {
     let uops = sim_uops();
     let w = spec::mcf();
     let cfg = CoreConfig::broadwell();
-    let r = run(&w, &cfg, IdealFlags::none(), uops);
+    let r = Sweep::new()
+        .point(w.clone(), cfg.clone(), IdealFlags::none(), uops)
+        .run()
+        .remove(0)
+        .report;
 
     println!(
         "Figure 1: CPI stacks at dispatch, issue and commit — {} on {} ({} uops)\n",

@@ -10,38 +10,18 @@
 //! Output: one boxplot row (min |q1 median q3| max) per component per
 //! accounting scheme, plus the mean absolute errors — the paper's claim is
 //! that the multi-stage representation has the smallest error.
+//!
+//! The runs fan out over the shared [`Sweep`] executor in two stages:
+//! first every baseline, then — once the baselines say which components
+//! clear the 10 % relevance bar — one idealized run per relevant
+//! (benchmark, component) pair.
 
-use mstacks_bench::{run, sim_uops, single_idealizations};
-use mstacks_core::{Component, SimReport};
+use mstacks_bench::{sim_uops, single_idealizations, Sweep};
+use mstacks_core::Component;
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::{ComponentErrorStudy, TextTable};
-use mstacks_workloads::{spec, Workload};
+use mstacks_workloads::spec;
 use std::collections::HashMap;
-use std::sync::Mutex;
-
-/// Baseline + relevant idealized runs for one (workload, core) pair.
-struct BenchResult {
-    name: String,
-    base: SimReport,
-    deltas: Vec<(Component, f64)>,
-}
-
-fn run_benchmark(w: &Workload, cfg: &CoreConfig, uops: u64) -> BenchResult {
-    let base = run(w, cfg, IdealFlags::none(), uops);
-    let mut deltas = Vec::new();
-    for (comp, ideal) in single_idealizations() {
-        if !ComponentErrorStudy::is_relevant(&base.multi, comp, 0.10) {
-            continue;
-        }
-        let idealized = run(w, cfg, ideal, uops);
-        deltas.push((comp, base.cpi() - idealized.cpi()));
-    }
-    BenchResult {
-        name: w.name(),
-        base,
-        deltas,
-    }
-}
 
 fn main() {
     let uops = sim_uops();
@@ -53,42 +33,38 @@ fn main() {
     );
 
     for cfg in [CoreConfig::broadwell(), CoreConfig::knights_landing()] {
-        // Fan the independent simulations out over threads.
-        let results: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
-        let next: Mutex<usize> = Mutex::new(0);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(workloads.len());
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = {
-                        let mut n = next.lock().expect("lock");
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
-                    if i >= workloads.len() {
-                        break;
-                    }
-                    let r = run_benchmark(&workloads[i], &cfg, uops);
-                    results.lock().expect("lock").push(r);
-                });
+        // Stage 1: all baselines, in parallel.
+        let bases = Sweep::product(
+            &workloads,
+            std::slice::from_ref(&cfg),
+            &[IdealFlags::none()],
+            uops,
+        )
+        .run();
+
+        // Stage 2: one idealized run per (benchmark, relevant component).
+        let mut idealized = Sweep::new();
+        let mut keys: Vec<(usize, Component)> = Vec::new();
+        for (i, b) in bases.iter().enumerate() {
+            for (comp, ideal) in single_idealizations() {
+                if ComponentErrorStudy::is_relevant(&b.report.multi, comp, 0.10) {
+                    idealized = idealized.point(workloads[i].clone(), cfg.clone(), ideal, uops);
+                    keys.push((i, comp));
+                }
             }
-        });
-        let mut results = results.into_inner().expect("lock");
-        results.sort_by(|a, b| a.name.cmp(&b.name));
+        }
+        let ideal_results = idealized.run();
 
         // Collect per-component error studies.
         let mut studies: HashMap<Component, ComponentErrorStudy> = HashMap::new();
-        for r in &results {
-            for &(comp, actual) in &r.deltas {
-                studies
-                    .entry(comp)
-                    .or_default()
-                    .add(&r.name, &r.base.multi, comp, actual);
-            }
+        for (&(i, comp), r) in keys.iter().zip(&ideal_results) {
+            let base = &bases[i];
+            studies.entry(comp).or_default().add(
+                &base.point.workload.name(),
+                &base.report.multi,
+                comp,
+                base.report.cpi() - r.report.cpi(),
+            );
         }
 
         println!("=== {} ===", cfg.name.to_uppercase());
@@ -147,8 +123,6 @@ fn main() {
                 }
             }
         }
-        println!(
-            "multi-stage representation has the lowest MAE for {wins}/{total} components\n"
-        );
+        println!("multi-stage representation has the lowest MAE for {wins}/{total} components\n");
     }
 }

@@ -16,8 +16,11 @@
 //! * (e) `imagick`/KNL — the issue stack's unique dependence knowledge:
 //!   it blames multi-cycle ALU latency where dispatch/commit see generic
 //!   dependences.
+//!
+//! Each case study is one [`Sweep`]: the baseline plus its idealized
+//! variants run in parallel, results in declaration order.
 
-use mstacks_bench::{run, sim_uops};
+use mstacks_bench::{sim_uops, Sweep, SweepResult};
 use mstacks_core::{Component, SimReport, COMPONENTS};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::TextTable;
@@ -73,6 +76,16 @@ fn bracket_line(base: &SimReport, comp: Component, delta: f64, label: &str) {
     );
 }
 
+/// Runs the baseline plus every idealized variant as one parallel sweep
+/// and returns the results in declaration order (baseline first).
+fn run_case(w: &Workload, cfg: &CoreConfig, ideals: &[IdealFlags], uops: u64) -> Vec<SweepResult> {
+    let mut sweep = Sweep::new().point(w.clone(), cfg.clone(), IdealFlags::none(), uops);
+    for &ideal in ideals {
+        sweep = sweep.point(w.clone(), cfg.clone(), ideal, uops);
+    }
+    sweep.run()
+}
+
 fn case(
     title: &str,
     w: &Workload,
@@ -80,16 +93,17 @@ fn case(
     ideals: &[(&str, IdealFlags, Option<Component>)],
     uops: u64,
 ) {
-    let base = run(w, cfg, IdealFlags::none(), uops);
-    let mut reports: Vec<(&str, SimReport)> = vec![("base", base.clone())];
-    for (name, ideal, _) in ideals {
-        reports.push((name, run(w, cfg, *ideal, uops)));
+    let flags: Vec<IdealFlags> = ideals.iter().map(|(_, i, _)| *i).collect();
+    let results = run_case(w, cfg, &flags, uops);
+    let base = &results[0].report;
+    let mut refs: Vec<(&str, &SimReport)> = vec![("base", base)];
+    for ((name, _, _), r) in ideals.iter().zip(&results[1..]) {
+        refs.push((name, &r.report));
     }
-    let refs: Vec<(&str, &SimReport)> = reports.iter().map(|(n, r)| (*n, r)).collect();
     stack_table(title, &refs);
     for (i, (name, _, comp)) in ideals.iter().enumerate() {
         if let Some(c) = comp {
-            bracket_line(&base, *c, base.cpi() - reports[i + 1].1.cpi(), name);
+            bracket_line(base, *c, base.cpi() - results[i + 1].report.cpi(), name);
         }
     }
     println!();
@@ -122,16 +136,18 @@ fn main() {
     );
 
     // (b) cactus on BDW: I↔D coupling through the unified L2.
-    let cactus = spec::cactus();
-    let base = run(&cactus, &bdw, IdealFlags::none(), uops);
-    let pi = run(&cactus, &bdw, IdealFlags::none().with_perfect_icache(), uops);
-    let pd = run(&cactus, &bdw, IdealFlags::none().with_perfect_dcache(), uops);
+    let cache_ideals = [
+        IdealFlags::none().with_perfect_icache(),
+        IdealFlags::none().with_perfect_dcache(),
+    ];
+    let r = run_case(&spec::cactus(), &bdw, &cache_ideals, uops);
+    let (base, pi, pd) = (&r[0].report, &r[1].report, &r[2].report);
     stack_table(
         "(b) cactus on BDW",
-        &[("base", &base), ("perf-I$", &pi), ("perf-D$", &pd)],
+        &[("base", base), ("perf-I$", pi), ("perf-D$", pd)],
     );
-    bracket_line(&base, Component::Icache, base.cpi() - pi.cpi(), "perf-I$");
-    bracket_line(&base, Component::Dcache, base.cpi() - pd.cpi(), "perf-D$");
+    bracket_line(base, Component::Icache, base.cpi() - pi.cpi(), "perf-I$");
+    bracket_line(base, Component::Dcache, base.cpi() - pd.cpi(), "perf-D$");
     println!(
         "  coupling: perfect I$ changes the *Dcache* commit component {:.3} → {:.3};\n\
          \x20           perfect D$ changes the *Icache* dispatch component {:.3} → {:.3}",
@@ -147,15 +163,13 @@ fn main() {
     );
 
     // (c) bwaves on BDW: unrealized Icache component.
-    let bwaves = spec::bwaves();
-    let base = run(&bwaves, &bdw, IdealFlags::none(), uops);
-    let pi = run(&bwaves, &bdw, IdealFlags::none().with_perfect_icache(), uops);
-    let pd = run(&bwaves, &bdw, IdealFlags::none().with_perfect_dcache(), uops);
+    let r = run_case(&spec::bwaves(), &bdw, &cache_ideals, uops);
+    let (base, pi, pd) = (&r[0].report, &r[1].report, &r[2].report);
     stack_table(
         "(c) bwaves on BDW",
-        &[("base", &base), ("perf-I$", &pi), ("perf-D$", &pd)],
+        &[("base", base), ("perf-I$", pi), ("perf-D$", pd)],
     );
-    bracket_line(&base, Component::Icache, base.cpi() - pi.cpi(), "perf-I$");
+    bracket_line(base, Component::Icache, base.cpi() - pi.cpi(), "perf-I$");
     println!(
         "  L2-MSHR wait cycles: base {}, perfect-I$ {} — I-misses queue behind prefetches;",
         base.result.mem.l2_mshr_wait_cycles, pi.result.mem.l2_mshr_wait_cycles
@@ -188,11 +202,15 @@ fn main() {
     );
 
     // (e) imagick on KNL: issue-stage dependence knowledge.
-    let imagick = spec::imagick();
-    let base = run(&imagick, &knl, IdealFlags::none(), uops);
-    let alu1 = run(&imagick, &knl, IdealFlags::none().with_single_cycle_alu(), uops);
-    stack_table("(e) imagick on KNL", &[("base", &base), ("ALU-1", &alu1)]);
-    bracket_line(&base, Component::AluLat, base.cpi() - alu1.cpi(), "ALU-1");
+    let r = run_case(
+        &spec::imagick(),
+        &knl,
+        &[IdealFlags::none().with_single_cycle_alu()],
+        uops,
+    );
+    let (base, alu1) = (&r[0].report, &r[1].report);
+    stack_table("(e) imagick on KNL", &[("base", base), ("ALU-1", alu1)]);
+    bracket_line(base, Component::AluLat, base.cpi() - alu1.cpi(), "ALU-1");
     println!(
         "  issue blames alu_lat {:.3} (vs depend {:.3}); dispatch/commit depend: {:.3}/{:.3}",
         base.multi.issue.cpi_of(Component::AluLat),

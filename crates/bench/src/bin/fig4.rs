@@ -14,14 +14,11 @@
 //! * convolution shows large **frontend** differences on both (low VFP
 //!   fraction due to indexing overhead).
 
-use mstacks_bench::sim_uops;
-use mstacks_core::{FlopsComponent, Simulation};
+use mstacks_bench::{par_map, sim_uops};
+use mstacks_core::{FlopsComponent, Session};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::TextTable;
-use mstacks_workloads::{
-    deepbench, ConvPhase, GemmStyle, RnnCell, Workload,
-};
-use std::sync::Mutex;
+use mstacks_workloads::{deepbench, ConvPhase, GemmStyle, RnnCell, Workload};
 
 /// Normalized (FLOPS − issue-CPI) per matched component, for one workload.
 /// Components are matched as in the paper: base↔base, frontend↔(icache +
@@ -37,7 +34,7 @@ struct Diff {
 }
 
 fn diff_of(w: &Workload, cfg: &CoreConfig, uops: u64) -> Diff {
-    let r = Simulation::new(cfg.clone())
+    let r = Session::new(cfg.clone())
         .with_ideal(IdealFlags::none())
         .run(w.trace(uops))
         .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
@@ -132,30 +129,10 @@ fn main() {
         } else {
             CoreConfig::skylake_server()
         };
-        let diffs: Mutex<Vec<Diff>> = Mutex::new(Vec::new());
-        let next: Mutex<usize> = Mutex::new(0);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(ws.len());
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = {
-                        let mut n = next.lock().expect("lock");
-                        let i = *n;
-                        *n += 1;
-                        i
-                    };
-                    if i >= ws.len() {
-                        break;
-                    }
-                    let d = diff_of(&ws[i], &cfg, uops);
-                    diffs.lock().expect("lock").push(d);
-                });
-            }
-        });
-        let avg = average(&diffs.into_inner().expect("lock"));
+        // Fan out over the shared pool; par_map keeps configuration order,
+        // so the float summation in average() is deterministic too.
+        let diffs = par_map(ws, |w| diff_of(w, &cfg, uops));
+        let avg = average(&diffs);
         let sum = avg.base + avg.frontend + avg.memory + avg.depend + avg.other;
         table.row(vec![
             name.clone(),

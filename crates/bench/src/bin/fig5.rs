@@ -7,7 +7,7 @@
 //! D-cache perfect raises both stacks a little; in the new FLOPS stack the
 //! memory component's place is taken by frontend and dependence components.
 
-use mstacks_bench::{run, sim_uops};
+use mstacks_bench::{sim_uops, Sweep};
 use mstacks_core::{Component, FlopsComponent, SimReport, COMPONENTS, FLOPS_COMPONENTS};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::render::flops_stack_lines;
@@ -15,8 +15,12 @@ use mstacks_workloads::{deepbench, ConvPhase, Workload};
 
 fn show(r: &SimReport, cfg: &CoreConfig, label: &str) {
     let max_ipc = f64::from(cfg.accounting_width());
-    println!("--- {label}: IPC {:.2} / {max_ipc:.0}, {:.1} / {:.1} GFLOPS ---",
-        r.result.ipc(), r.gflops(cfg.freq_ghz), cfg.peak_gflops());
+    println!(
+        "--- {label}: IPC {:.2} / {max_ipc:.0}, {:.1} / {:.1} GFLOPS ---",
+        r.result.ipc(),
+        r.gflops(cfg.freq_ghz),
+        cfg.peak_gflops()
+    );
     let ipc = r.multi.issue.ipc_components(max_ipc);
     println!("IPC stack (issue-stage counters, scaled to instructions/cycle):");
     for c in COMPONENTS {
@@ -44,8 +48,15 @@ fn main() {
         w.name(),
         uops
     );
-    let base = run(&w, &cfg, IdealFlags::none(), uops);
-    let pd = run(&w, &cfg, IdealFlags::none().with_perfect_dcache(), uops);
+    let mut r = Sweep::product(
+        std::slice::from_ref(&w),
+        std::slice::from_ref(&cfg),
+        &[IdealFlags::none(), IdealFlags::none().with_perfect_dcache()],
+        uops,
+    )
+    .run();
+    let pd = r.pop().expect("two sweep results").report;
+    let base = r.pop().expect("two sweep results").report;
     show(&base, &cfg, "all real");
     show(&pd, &cfg, "perfect Dcache");
 

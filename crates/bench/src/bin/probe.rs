@@ -30,7 +30,11 @@ fn main() {
     let base = run(&w, &cfg, IdealFlags::none(), uops);
     println!(
         "== {} on {} ({} uops, {} cycles, CPI {:.3}) ==",
-        wname, cname, base.result.committed_uops, base.result.cycles, base.cpi()
+        wname,
+        cname,
+        base.result.committed_uops,
+        base.result.cycles,
+        base.cpi()
     );
     println!(
         "mem: L1I mr {:.3} L1D mr {:.3} L2 mr {:.3} | bpred mpki {:.2} | l2 mshr wait {}",

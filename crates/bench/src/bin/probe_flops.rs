@@ -2,7 +2,7 @@
 //! SKX and prints the issue-stage CPI stack next to the FLOPS stack.
 
 use mstacks_bench::run;
-use mstacks_core::{FLOPS_COMPONENTS};
+use mstacks_core::FLOPS_COMPONENTS;
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::render::{cpi_stack_lines, flops_stack_lines};
 use mstacks_workloads::{GemmConfig, GemmStyle, Workload};

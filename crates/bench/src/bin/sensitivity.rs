@@ -11,8 +11,11 @@
 //!    stack only charges a backend miss once the ROB fills (paper §III-A),
 //!    so a smaller ROB moves the dispatch D-cache component toward the
 //!    commit one.
+//!
+//! Each ablation is a config sweep run in parallel on the shared
+//! [`Sweep`] executor; results come back in declaration (config) order.
 
-use mstacks_bench::{run, sim_uops};
+use mstacks_bench::{sim_uops, Sweep};
 use mstacks_core::Component;
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::TextTable;
@@ -24,6 +27,19 @@ fn main() {
 
     // --- 1. L2 MSHRs vs unrealized Icache gain (bwaves) ---------------
     let w = spec::bwaves();
+    let mshr_counts = [4u32, 8, 16, 32, 64];
+    let cfgs: Vec<CoreConfig> = mshr_counts
+        .iter()
+        .map(|&m| CoreConfig::broadwell().with_l2_mshrs(m))
+        .collect();
+    // Product order is config-major: [base, perfect-I$] per MSHR count.
+    let results = Sweep::product(
+        std::slice::from_ref(&w),
+        &cfgs,
+        &[IdealFlags::none(), IdealFlags::none().with_perfect_icache()],
+        uops,
+    )
+    .run();
     let mut t = TextTable::new(vec![
         "L2 MSHRs".into(),
         "CPI".into(),
@@ -31,10 +47,8 @@ fn main() {
         "realized d(perfect I$)".into(),
         "L2-MSHR wait cycles".into(),
     ]);
-    for mshrs in [4u32, 8, 16, 32, 64] {
-        let cfg = CoreConfig::broadwell().with_l2_mshrs(mshrs);
-        let base = run(&w, &cfg, IdealFlags::none(), uops);
-        let pi = run(&w, &cfg, IdealFlags::none().with_perfect_icache(), uops);
+    for (mshrs, pair) in mshr_counts.iter().zip(results.chunks(2)) {
+        let (base, pi) = (&pair[0].report, &pair[1].report);
         let (lo, hi) = base.multi.bounds(Component::Icache);
         t.row(vec![
             mshrs.to_string(),
@@ -48,6 +62,16 @@ fn main() {
     println!("{t}");
 
     // --- 2. Prefetcher on/off -----------------------------------------
+    let results = Sweep::product(
+        std::slice::from_ref(&w),
+        &[
+            CoreConfig::broadwell(),
+            CoreConfig::broadwell().without_prefetch(),
+        ],
+        &[IdealFlags::none()],
+        uops,
+    )
+    .run();
     let mut t = TextTable::new(vec![
         "prefetch".into(),
         "CPI".into(),
@@ -55,15 +79,10 @@ fn main() {
         "icache (dispatch)".into(),
         "prefetches".into(),
     ]);
-    for (label, enabled) in [("on", true), ("off", false)] {
-        let cfg = if enabled {
-            CoreConfig::broadwell()
-        } else {
-            CoreConfig::broadwell().without_prefetch()
-        };
-        let r = run(&w, &cfg, IdealFlags::none(), uops);
+    for (label, res) in ["on", "off"].iter().zip(&results) {
+        let r = &res.report;
         t.row(vec![
-            label.into(),
+            (*label).into(),
             format!("{:.3}", r.cpi()),
             format!("{:.3}", r.multi.commit.cpi_of(Component::Dcache)),
             format!("{:.3}", r.multi.dispatch.cpi_of(Component::Icache)),
@@ -75,6 +94,13 @@ fn main() {
 
     // --- 3. ROB size vs dispatch-stage backend visibility --------------
     let w = spec::mcf();
+    let rob_sizes = [48usize, 96, 192, 384];
+    let cfgs: Vec<CoreConfig> = rob_sizes
+        .iter()
+        .map(|&rob| CoreConfig::broadwell().with_rob_size(rob))
+        .collect();
+    let results =
+        Sweep::product(std::slice::from_ref(&w), &cfgs, &[IdealFlags::none()], uops).run();
     let mut t = TextTable::new(vec![
         "ROB".into(),
         "CPI".into(),
@@ -82,9 +108,8 @@ fn main() {
         "dcache@commit".into(),
         "dispatch/commit".into(),
     ]);
-    for rob in [48usize, 96, 192, 384] {
-        let cfg = CoreConfig::broadwell().with_rob_size(rob);
-        let r = run(&w, &cfg, IdealFlags::none(), uops);
+    for (rob, res) in rob_sizes.iter().zip(&results) {
+        let r = &res.report;
         let d = r.multi.dispatch.cpi_of(Component::Dcache);
         let c = r.multi.commit.cpi_of(Component::Dcache);
         t.row(vec![

@@ -4,8 +4,8 @@
 //! attribute to the `smt` interference component vs to *induced* stalls
 //! (e.g. extra cache misses from sharing the hierarchy).
 
-use mstacks_bench::sim_uops;
-use mstacks_core::{Component, Simulation, SmtSimulation};
+use mstacks_bench::{par_map, sim_uops};
+use mstacks_core::{Component, Session};
 use mstacks_model::CoreConfig;
 use mstacks_stats::TextTable;
 use mstacks_workloads::spec;
@@ -20,17 +20,30 @@ fn main() {
         cfg.name, uops
     );
 
-    // Solo baselines.
-    let solo: Vec<f64> = names
-        .iter()
-        .map(|n| {
-            let w = spec::by_name(n).expect("known profile");
-            Simulation::new(cfg.clone())
-                .run(w.trace(uops))
-                .expect("simulation completes")
-                .cpi()
-        })
-        .collect();
+    // Solo baselines, in parallel on the shared pool.
+    let solo: Vec<f64> = par_map(&names, |n| {
+        let w = spec::by_name(n).expect("known profile");
+        Session::new(cfg.clone())
+            .run(w.trace(uops))
+            .expect("simulation completes")
+            .cpi()
+    });
+
+    // Co-run matrix: every pair is an independent 2-thread session, so the
+    // pairs fan out too. par_map keeps declaration order.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..names.len() {
+        for j in i..names.len() {
+            pairs.push((i, j));
+        }
+    }
+    let reports = par_map(&pairs, |&(i, j)| {
+        let wa = spec::by_name(names[i]).expect("known profile");
+        let wb = spec::by_name(names[j]).expect("known profile");
+        Session::new(cfg.clone())
+            .run_threads(vec![wa.trace(uops), wb.trace(uops)])
+            .expect("simulation completes")
+    });
 
     let mut t = TextTable::new(vec![
         "pair".into(),
@@ -39,29 +52,22 @@ fn main() {
         "t1 slowdown".into(),
         "t1 smt CPI".into(),
     ]);
-    for (i, a) in names.iter().enumerate() {
-        for (j, b) in names.iter().enumerate().skip(i) {
-            let wa = spec::by_name(a).expect("known profile");
-            let wb = spec::by_name(b).expect("known profile");
-            let r = SmtSimulation::new(cfg.clone())
-                .run(vec![wa.trace(uops), wb.trace(uops)])
-                .expect("simulation completes");
-            let smt_of = |k: usize| {
-                r.threads[k]
-                    .multi
-                    .stacks()
-                    .iter()
-                    .map(|s| s.cpi_of(Component::Smt))
-                    .fold(0.0f64, f64::max)
-            };
-            t.row(vec![
-                format!("{a}+{b}"),
-                format!("{:.2}x", r.threads[0].cpi() / solo[i]),
-                format!("{:.3}", smt_of(0)),
-                format!("{:.2}x", r.threads[1].cpi() / solo[j]),
-                format!("{:.3}", smt_of(1)),
-            ]);
-        }
+    for (&(i, j), r) in pairs.iter().zip(&reports) {
+        let smt_of = |k: usize| {
+            r.threads[k]
+                .multi
+                .stacks()
+                .iter()
+                .map(|s| s.cpi_of(Component::Smt))
+                .fold(0.0f64, f64::max)
+        };
+        t.row(vec![
+            format!("{}+{}", names[i], names[j]),
+            format!("{:.2}x", r.threads[0].cpi() / solo[i]),
+            format!("{:.3}", smt_of(0)),
+            format!("{:.2}x", r.threads[1].cpi() / solo[j]),
+            format!("{:.3}", smt_of(1)),
+        ]);
     }
     println!("{t}");
     println!(

@@ -7,7 +7,7 @@
 //! combination gains less than the sum). Either way, a single additive
 //! CPI stack cannot represent both.
 
-use mstacks_bench::{run, sim_uops};
+use mstacks_bench::{sim_uops, Sweep};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_stats::TextTable;
 use mstacks_workloads::spec;
@@ -15,8 +15,36 @@ use mstacks_workloads::spec;
 fn main() {
     let uops = sim_uops();
     let w = spec::mcf();
+    let knl = CoreConfig::knights_landing();
+    let bdw = CoreConfig::broadwell();
 
     println!("Table I: CPI components by idealizing structures ({uops} uops)\n");
+
+    // All eight simulations in one parallel sweep: mcf/KNL with the ALU
+    // and D-cache idealizations, mcf/BDW with the bpred and D-cache ones.
+    let none = IdealFlags::none();
+    let r = Sweep::new()
+        .point(w.clone(), knl.clone(), none, uops)
+        .point(w.clone(), knl.clone(), none.with_single_cycle_alu(), uops)
+        .point(w.clone(), knl.clone(), none.with_perfect_dcache(), uops)
+        .point(
+            w.clone(),
+            knl.clone(),
+            none.with_perfect_dcache().with_single_cycle_alu(),
+            uops,
+        )
+        .point(w.clone(), bdw.clone(), none, uops)
+        .point(w.clone(), bdw.clone(), none.with_perfect_bpred(), uops)
+        .point(w.clone(), bdw.clone(), none.with_perfect_dcache(), uops)
+        .point(
+            w.clone(),
+            bdw.clone(),
+            none.with_perfect_bpred().with_perfect_dcache(),
+            uops,
+        )
+        .run();
+    let cpi = |i: usize| r[i].report.cpi();
+
     let mut table = TextTable::new(vec![
         "App & core".into(),
         "Config".into(),
@@ -25,75 +53,71 @@ fn main() {
     ]);
 
     // --- mcf on KNL: hidden ALU stalls --------------------------------
-    let knl = CoreConfig::knights_landing();
-    let base = run(&w, &knl, IdealFlags::none(), uops);
-    let alu = run(&w, &knl, IdealFlags::none().with_single_cycle_alu(), uops);
-    let dc = run(&w, &knl, IdealFlags::none().with_perfect_dcache(), uops);
-    let both = run(
-        &w,
-        &knl,
-        IdealFlags::none().with_perfect_dcache().with_single_cycle_alu(),
-        uops,
-    );
     table.row(vec![
         "mcf on KNL".into(),
         "All real".into(),
-        format!("{:.2}", base.cpi()),
+        format!("{:.2}", cpi(0)),
         String::new(),
     ]);
-    for (name, r) in [("1-cycle ALU", &alu), ("perfect Dcache", &dc), ("perf. Dcache & 1-cyc. ALU", &both)] {
-        table.row(vec![
-            String::new(),
-            name.into(),
-            format!("{:.2}", r.cpi()),
-            format!("{:.2}", base.cpi() - r.cpi()),
-        ]);
-    }
-    let d_alu = base.cpi() - alu.cpi();
-    let d_dc = base.cpi() - dc.cpi();
-    let d_both = base.cpi() - both.cpi();
-    let knl_hidden = d_both > d_alu + d_dc;
-
-    // --- mcf on BDW: overlapping bpred + Dcache ------------------------
-    let bdw = CoreConfig::broadwell();
-    let base_b = run(&w, &bdw, IdealFlags::none(), uops);
-    let bp = run(&w, &bdw, IdealFlags::none().with_perfect_bpred(), uops);
-    let dc_b = run(&w, &bdw, IdealFlags::none().with_perfect_dcache(), uops);
-    let both_b = run(
-        &w,
-        &bdw,
-        IdealFlags::none().with_perfect_bpred().with_perfect_dcache(),
-        uops,
-    );
-    table.row(vec![
-        "mcf on BDW".into(),
-        "All real".into(),
-        format!("{:.2}", base_b.cpi()),
-        String::new(),
-    ]);
-    for (name, r) in [
-        ("perfect bpred", &bp),
-        ("perfect Dcache", &dc_b),
-        ("perfect bpred & Dcache", &both_b),
+    for (name, i) in [
+        ("1-cycle ALU", 1),
+        ("perfect Dcache", 2),
+        ("perf. Dcache & 1-cyc. ALU", 3),
     ] {
         table.row(vec![
             String::new(),
             name.into(),
-            format!("{:.2}", r.cpi()),
-            format!("{:.2}", base_b.cpi() - r.cpi()),
+            format!("{:.2}", cpi(i)),
+            format!("{:.2}", cpi(0) - cpi(i)),
+        ]);
+    }
+    let d_alu = cpi(0) - cpi(1);
+    let d_dc = cpi(0) - cpi(2);
+    let d_both = cpi(0) - cpi(3);
+    let knl_hidden = d_both > d_alu + d_dc;
+
+    // --- mcf on BDW: overlapping bpred + Dcache ------------------------
+    table.row(vec![
+        "mcf on BDW".into(),
+        "All real".into(),
+        format!("{:.2}", cpi(4)),
+        String::new(),
+    ]);
+    for (name, i) in [
+        ("perfect bpred", 5),
+        ("perfect Dcache", 6),
+        ("perfect bpred & Dcache", 7),
+    ] {
+        table.row(vec![
+            String::new(),
+            name.into(),
+            format!("{:.2}", cpi(i)),
+            format!("{:.2}", cpi(4) - cpi(i)),
         ]);
     }
     println!("{table}");
 
-    let db_bp = base_b.cpi() - bp.cpi();
-    let db_dc = base_b.cpi() - dc_b.cpi();
-    let db_both = base_b.cpi() - both_b.cpi();
+    let db_bp = cpi(4) - cpi(5);
+    let db_dc = cpi(4) - cpi(6);
+    let db_both = cpi(4) - cpi(7);
     let bdw_overlap = db_both < db_bp + db_dc;
 
-    println!("KNL: d(ALU)={d_alu:.3} d(D$)={d_dc:.3} d(both)={d_both:.3} sum={:.3} → {}",
+    println!(
+        "KNL: d(ALU)={d_alu:.3} d(D$)={d_dc:.3} d(both)={d_both:.3} sum={:.3} → {}",
         d_alu + d_dc,
-        if knl_hidden { "HIDDEN stalls (combined > sum), as in the paper" } else { "no hidden-stall effect" });
-    println!("BDW: d(bpred)={db_bp:.3} d(D$)={db_dc:.3} d(both)={db_both:.3} sum={:.3} → {}",
+        if knl_hidden {
+            "HIDDEN stalls (combined > sum), as in the paper"
+        } else {
+            "no hidden-stall effect"
+        }
+    );
+    println!(
+        "BDW: d(bpred)={db_bp:.3} d(D$)={db_dc:.3} d(both)={db_both:.3} sum={:.3} → {}",
         db_bp + db_dc,
-        if bdw_overlap { "OVERLAPPING stalls (combined < sum), as in the paper" } else { "no overlap effect" });
+        if bdw_overlap {
+            "OVERLAPPING stalls (combined < sum), as in the paper"
+        } else {
+            "no overlap effect"
+        }
+    );
 }

@@ -2,10 +2,11 @@
 //! version of the full experiment suite, suitable for CI or a quick "does
 //! the reproduction still hold on this machine?" check.
 //!
+//! All simulations fan out over the shared [`Sweep`] executor.
 //! Exits non-zero if any claim fails.
 
-use mstacks_bench::{run, sim_uops};
-use mstacks_core::{Component, FlopsComponent, Simulation};
+use mstacks_bench::{run, sim_uops, Sweep};
+use mstacks_core::{Component, FlopsComponent};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_workloads::{spec, GemmConfig, GemmStyle, Workload};
 use std::process::ExitCode;
@@ -41,36 +42,40 @@ fn main() -> ExitCode {
 
     // --- Table I: hidden + overlapping stalls ---------------------------
     let w = spec::mcf();
-    let base_k = run(&w, &knl, IdealFlags::none(), uops);
-    let alu_k = run(&w, &knl, IdealFlags::none().with_single_cycle_alu(), uops);
-    let dc_k = run(&w, &knl, IdealFlags::none().with_perfect_dcache(), uops);
-    let both_k = run(
-        &w,
-        &knl,
-        IdealFlags::none().with_perfect_dcache().with_single_cycle_alu(),
-        uops,
-    );
-    let d_alu = base_k.cpi() - alu_k.cpi();
-    let d_dc = base_k.cpi() - dc_k.cpi();
-    let d_both = base_k.cpi() - both_k.cpi();
+    let none = IdealFlags::none();
+    let t1 = Sweep::new()
+        .point(w.clone(), knl.clone(), none, uops)
+        .point(w.clone(), knl.clone(), none.with_single_cycle_alu(), uops)
+        .point(w.clone(), knl.clone(), none.with_perfect_dcache(), uops)
+        .point(
+            w.clone(),
+            knl.clone(),
+            none.with_perfect_dcache().with_single_cycle_alu(),
+            uops,
+        )
+        .point(w.clone(), bdw.clone(), none, uops)
+        .point(w.clone(), bdw.clone(), none.with_perfect_bpred(), uops)
+        .point(w.clone(), bdw.clone(), none.with_perfect_dcache(), uops)
+        .point(
+            w.clone(),
+            bdw.clone(),
+            none.with_perfect_bpred().with_perfect_dcache(),
+            uops,
+        )
+        .run();
+    let cpi = |i: usize| t1[i].report.cpi();
+    let d_alu = cpi(0) - cpi(1);
+    let d_dc = cpi(0) - cpi(2);
+    let d_both = cpi(0) - cpi(3);
     c.check(
         "Table I: hidden stalls on mcf/KNL (d(both) > d(ALU)+d(D$))",
         d_both > d_alu + d_dc,
         format!("{d_both:.3} vs {:.3}", d_alu + d_dc),
     );
 
-    let base_b = run(&w, &bdw, IdealFlags::none(), uops);
-    let bp_b = run(&w, &bdw, IdealFlags::none().with_perfect_bpred(), uops);
-    let dc_b = run(&w, &bdw, IdealFlags::none().with_perfect_dcache(), uops);
-    let both_b = run(
-        &w,
-        &bdw,
-        IdealFlags::none().with_perfect_bpred().with_perfect_dcache(),
-        uops,
-    );
-    let s_bp = base_b.cpi() - bp_b.cpi();
-    let s_dc = base_b.cpi() - dc_b.cpi();
-    let s_both = base_b.cpi() - both_b.cpi();
+    let s_bp = cpi(4) - cpi(5);
+    let s_dc = cpi(4) - cpi(6);
+    let s_both = cpi(4) - cpi(7);
     c.check(
         "Table I: overlapping stalls on mcf/BDW (d(both) < d(bpred)+d(D$))",
         s_both < s_bp + s_dc,
@@ -78,7 +83,7 @@ fn main() -> ExitCode {
     );
 
     // --- §III-A ordering ------------------------------------------------
-    let r = &base_b.multi;
+    let r = &t1[4].report.multi;
     c.check(
         "§III-A: frontend components shrink dispatch → issue → commit (mcf/BDW)",
         r.dispatch.cpi_of(Component::Bpred) + 1e-3 >= r.issue.cpi_of(Component::Bpred)
@@ -101,20 +106,37 @@ fn main() -> ExitCode {
     );
 
     // --- Fig. 2 core claim: bounds contain the measured deltas ----------
-    let mut within = 0;
-    let mut total = 0;
-    for w in [spec::mcf(), spec::deepsjeng(), spec::gcc(), spec::omnetpp()] {
-        let base = run(&w, &bdw, IdealFlags::none(), uops);
+    // Stage 1: the four baselines in parallel; stage 2: every relevant
+    // idealization in parallel.
+    let fig2_workloads = [spec::mcf(), spec::deepsjeng(), spec::gcc(), spec::omnetpp()];
+    let bases = Sweep::product(
+        &fig2_workloads,
+        std::slice::from_ref(&bdw),
+        &[IdealFlags::none()],
+        uops,
+    )
+    .run();
+    let mut idealized = Sweep::new();
+    let mut keys: Vec<(usize, Component)> = Vec::new();
+    for (i, b) in bases.iter().enumerate() {
         for (comp, ideal) in mstacks_bench::single_idealizations() {
-            let (_, hi) = base.multi.bounds(comp);
-            if hi < 0.10 * base.cpi() {
+            let (_, hi) = b.report.multi.bounds(comp);
+            if hi < 0.10 * b.report.cpi() {
                 continue;
             }
-            let d = base.cpi() - run(&w, &bdw, ideal, uops).cpi();
-            total += 1;
-            if base.multi.contains(comp, d) {
-                within += 1;
-            }
+            idealized = idealized.point(fig2_workloads[i].clone(), bdw.clone(), ideal, uops);
+            keys.push((i, comp));
+        }
+    }
+    let ideal_results = idealized.run();
+    let mut within = 0;
+    let mut total = 0;
+    for (&(i, comp), ir) in keys.iter().zip(&ideal_results) {
+        let base = &bases[i].report;
+        let d = base.cpi() - ir.report.cpi();
+        total += 1;
+        if base.multi.contains(comp, d) {
+            within += 1;
         }
     }
     c.check(
@@ -134,12 +156,13 @@ fn main() -> ExitCode {
         style,
         lanes: 16,
     };
-    let jit = Simulation::new(knl.clone())
-        .run(gemm(GemmStyle::KnlJit).trace(uops.min(60_000)))
-        .expect("simulation completes");
-    let bcast = Simulation::new(skx.clone())
-        .run(gemm(GemmStyle::SkxBroadcast).trace(uops.min(60_000)))
-        .expect("simulation completes");
+    let gemm_uops = uops.min(60_000);
+    let mut g = Sweep::new()
+        .point(gemm(GemmStyle::KnlJit), knl.clone(), none, gemm_uops)
+        .point(gemm(GemmStyle::SkxBroadcast), skx.clone(), none, gemm_uops)
+        .run();
+    let bcast = g.pop().expect("two gemm results").report;
+    let jit = g.pop().expect("two gemm results").report;
     let jm = jit.flops.normalized()[FlopsComponent::Memory.index()];
     let bd = bcast.flops.normalized()[FlopsComponent::Depend.index()];
     let bm = bcast.flops.normalized()[FlopsComponent::Memory.index()];
@@ -159,9 +182,7 @@ fn main() -> ExitCode {
     );
 
     // --- Accounting invariants ------------------------------------------
-    let inv = Simulation::new(bdw.clone())
-        .run(spec::povray().trace(uops.min(60_000)))
-        .expect("simulation completes");
+    let inv = run(&spec::povray(), &bdw, none, uops.min(60_000));
     let cycles = inv.result.cycles as f64;
     let sums_ok = inv
         .multi
@@ -175,11 +196,7 @@ fn main() -> ExitCode {
         format!("{cycles} cycles"),
     );
 
-    println!(
-        "\n{}/{} claims hold",
-        c.checks - c.failures,
-        c.checks
-    );
+    println!("\n{}/{} claims hold", c.checks - c.failures, c.checks);
     if c.failures == 0 {
         ExitCode::SUCCESS
     } else {

@@ -5,7 +5,12 @@
 //! the common machinery: run a workload on a core configuration under a
 //! set of idealization flags, and compute CPI deltas between runs.
 
-use mstacks_core::{SimReport, Simulation};
+pub mod microbench;
+pub mod sweep;
+
+pub use sweep::{par_map, sweep_threads, Sweep, SweepPoint, SweepResult};
+
+use mstacks_core::{Session, SimReport};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_workloads::Workload;
 
@@ -30,7 +35,7 @@ pub fn sim_uops() -> u64 {
 ///
 /// Panics if the pipeline deadlocks (a simulator bug, not a user error).
 pub fn run(workload: &Workload, cfg: &CoreConfig, ideal: IdealFlags, uops: u64) -> SimReport {
-    Simulation::new(cfg.clone())
+    Session::new(cfg.clone())
         .with_ideal(ideal)
         .run(workload.trace(uops))
         .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name))
@@ -47,14 +52,8 @@ pub fn delta_cpi(base: &SimReport, idealized: &SimReport) -> f64 {
 pub fn single_idealizations() -> [(mstacks_core::Component, IdealFlags); 4] {
     use mstacks_core::Component;
     [
-        (
-            Component::Icache,
-            IdealFlags::none().with_perfect_icache(),
-        ),
-        (
-            Component::Dcache,
-            IdealFlags::none().with_perfect_dcache(),
-        ),
+        (Component::Icache, IdealFlags::none().with_perfect_icache()),
+        (Component::Dcache, IdealFlags::none().with_perfect_dcache()),
         (Component::Bpred, IdealFlags::none().with_perfect_bpred()),
         (
             Component::AluLat,

@@ -1,0 +1,49 @@
+//! Minimal timing harness for the `benches/` targets.
+//!
+//! The registry is offline, so the bench targets can't use an external
+//! harness crate; this module provides the small slice of functionality
+//! they need: warm-up, repeated timed samples, and a median/mean report
+//! on stdout. Run them with `cargo bench` (each is `harness = false`).
+
+use std::time::{Duration, Instant};
+
+/// One named group of related measurements, mirroring the way the old
+/// harness grouped output.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    /// Starts a group that takes `samples` timed runs per case.
+    pub fn new(name: &str, samples: usize) -> Self {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            samples: samples.max(3),
+        }
+    }
+
+    /// Times `f` (after one warm-up call) and prints median / mean / min.
+    pub fn bench<R>(&self, case: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{case}: median {:>10.3?}  mean {:>10.3?}  min {:>10.3?}  ({} samples)",
+            self.name,
+            median,
+            mean,
+            times[0],
+            times.len()
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! Parallel sweep executor shared by every experiment binary.
+//!
+//! Each figure/table of the paper is a product of workloads × core
+//! configurations × idealization flags, with every point an independent
+//! simulation. [`Sweep`] declares the product, [`Sweep::run`] fans the
+//! points out over a scoped thread pool, and the results come back in
+//! declaration order regardless of which thread finished first — so the
+//! parallel output is byte-identical to [`Sweep::run_serial`].
+//!
+//! The pool is sized by [`sweep_threads`]: `MSTACKS_THREADS` if set, else
+//! [`std::thread::available_parallelism`]. Only the standard library is
+//! used — no work-stealing crate, just an atomic work index over scoped
+//! threads.
+
+use mstacks_core::SimReport;
+use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for [`par_map`] / [`Sweep::run`]: the `MSTACKS_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+pub fn sweep_threads() -> usize {
+    std::env::var("MSTACKS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item on a scoped thread pool and returns the
+/// results **in input order**.
+///
+/// Threads pull work through a shared atomic index (dynamic scheduling —
+/// simulation lengths vary wildly between points) and write each result
+/// into the slot of its input, so ordering never depends on completion
+/// order. With one worker (or one item) this degenerates to a plain
+/// serial map on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is forwarded when the
+/// scope joins its threads).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = sweep_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+/// One simulation of a sweep: a workload on a core under idealization
+/// flags, for a number of micro-ops.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    pub workload: Workload,
+    pub cfg: CoreConfig,
+    pub ideal: IdealFlags,
+    pub uops: u64,
+}
+
+impl SweepPoint {
+    /// Human-readable identity of this point, e.g.
+    /// `mcf on bdw [perfect-dcache]`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} on {} [{}]",
+            self.workload.name(),
+            self.cfg.name,
+            self.ideal
+        )
+    }
+}
+
+/// A [`SweepPoint`] together with its finished [`SimReport`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    pub point: SweepPoint,
+    pub report: SimReport,
+}
+
+/// A declarative batch of independent simulations.
+///
+/// Build one with [`Sweep::product`] (full workload × config × ideal
+/// product) and/or the [`Sweep::point`] builder, then execute with
+/// [`Sweep::run`]. Results always come back in declaration order:
+/// product order is workload-major, then config, then ideal flags.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_bench::Sweep;
+/// use mstacks_model::{CoreConfig, IdealFlags};
+/// use mstacks_workloads::spec;
+///
+/// let results = Sweep::product(
+///     &[spec::exchange2()],
+///     &[CoreConfig::broadwell()],
+///     &[IdealFlags::none(), IdealFlags::none().with_perfect_bpred()],
+///     20_000,
+/// )
+/// .run();
+/// assert_eq!(results.len(), 2);
+/// // Declaration order: the baseline is first, the idealized run second.
+/// assert!(results[0].point.ideal.is_baseline());
+/// assert!(results[0].report.cpi() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// An empty sweep; add points with [`Sweep::point`].
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// The full product `workloads × cfgs × ideals`, each point simulated
+    /// for `uops` micro-ops. Workload-major order.
+    pub fn product(
+        workloads: &[Workload],
+        cfgs: &[CoreConfig],
+        ideals: &[IdealFlags],
+        uops: u64,
+    ) -> Self {
+        let mut sweep = Sweep::new();
+        for w in workloads {
+            for cfg in cfgs {
+                for &ideal in ideals {
+                    sweep.points.push(SweepPoint {
+                        workload: w.clone(),
+                        cfg: cfg.clone(),
+                        ideal,
+                        uops,
+                    });
+                }
+            }
+        }
+        sweep
+    }
+
+    /// Appends one point (builder style) — for irregular sweeps that are
+    /// not a full product.
+    pub fn point(
+        mut self,
+        workload: Workload,
+        cfg: CoreConfig,
+        ideal: IdealFlags,
+        uops: u64,
+    ) -> Self {
+        self.points.push(SweepPoint {
+            workload,
+            cfg,
+            ideal,
+            uops,
+        });
+        self
+    }
+
+    /// The declared points, in execution/result order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Runs every point on the [`sweep_threads`] pool. Results are in
+    /// declaration order and identical to [`Sweep::run_serial`] — the
+    /// simulator is deterministic and points share no state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any simulation deadlocks (a simulator bug).
+    pub fn run(&self) -> Vec<SweepResult> {
+        par_map(&self.points, Self::run_point)
+    }
+
+    /// Runs every point on the calling thread, in order. The reference
+    /// implementation [`Sweep::run`] must match exactly.
+    pub fn run_serial(&self) -> Vec<SweepResult> {
+        self.points.iter().map(Self::run_point).collect()
+    }
+
+    fn run_point(p: &SweepPoint) -> SweepResult {
+        SweepResult {
+            report: crate::run(&p.workload, &p.cfg, p.ideal, p.uops),
+            point: p.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_workloads::spec;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_on_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn product_order_is_workload_major() {
+        let sweep = Sweep::product(
+            &[spec::mcf(), spec::gcc()],
+            &[CoreConfig::broadwell(), CoreConfig::knights_landing()],
+            &[IdealFlags::none(), IdealFlags::none().with_perfect_dcache()],
+            1_000,
+        );
+        assert_eq!(sweep.len(), 8);
+        let labels: Vec<String> = sweep.points().iter().map(SweepPoint::label).collect();
+        assert_eq!(labels[0], "mcf on bdw [baseline]");
+        assert_eq!(labels[1], "mcf on bdw [perfect-dcache]");
+        assert_eq!(labels[2], "mcf on knl [baseline]");
+        assert_eq!(labels[4], "gcc on bdw [baseline]");
+    }
+
+    #[test]
+    fn parallel_results_match_serial_exactly_and_in_order() {
+        let sweep = Sweep::product(
+            &[spec::exchange2(), spec::mcf()],
+            &[CoreConfig::broadwell()],
+            &[IdealFlags::none(), IdealFlags::none().with_perfect_dcache()],
+            20_000,
+        );
+        let serial = sweep.run_serial();
+        let parallel = sweep.run();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.point.label(), p.point.label());
+            assert_eq!(
+                s.report,
+                p.report,
+                "parallel report differs at {}",
+                s.point.label()
+            );
+        }
+    }
+}

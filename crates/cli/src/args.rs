@@ -170,8 +170,18 @@ mod tests {
     #[test]
     fn all_flags() {
         let o = Options::parse(
-            &s(&["mcf", "--core", "knl", "--uops", "5000", "--ideal", "dcache,bpred",
-                 "--badspec", "simple", "--json"]),
+            &s(&[
+                "mcf",
+                "--core",
+                "knl",
+                "--uops",
+                "5000",
+                "--ideal",
+                "dcache,bpred",
+                "--badspec",
+                "simple",
+                "--json",
+            ]),
             1,
         )
         .unwrap();

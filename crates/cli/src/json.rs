@@ -91,8 +91,7 @@ pub fn smt_report(r: &SmtReport) -> String {
         .threads
         .iter()
         .map(|t| {
-            let stacks: Vec<String> =
-                t.multi.stacks().iter().map(|s| cpi_stack_json(s)).collect();
+            let stacks: Vec<String> = t.multi.stacks().iter().map(|s| cpi_stack_json(s)).collect();
             format!(
                 "{{\"cycles\":{},\"uops\":{},\"cpi\":{},\"stacks\":[{}]}}",
                 t.result.cycles,
@@ -123,13 +122,13 @@ mod tests {
 
     #[test]
     fn sim_report_shape() {
-        use mstacks_core::Simulation;
+        use mstacks_core::Session;
         use mstacks_model::{AluClass, ArchReg, CoreConfig, MicroOp, UopKind};
         let trace = (0..500u64).map(|i| {
             MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
                 .with_dst(ArchReg::new((i % 4) as u16))
         });
-        let r = Simulation::new(CoreConfig::broadwell())
+        let r = Session::new(CoreConfig::broadwell())
             .run(trace)
             .expect("runs");
         let j = sim_report(&r);

@@ -23,7 +23,7 @@ mod json;
 mod output;
 
 use args::{CliError, Options};
-use mstacks_core::{SmtSimulation, Simulation};
+use mstacks_core::Session;
 use mstacks_workloads::spec;
 use std::process::ExitCode;
 
@@ -60,7 +60,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "simulate" => {
             let opts = Options::parse(&argv[1..], 1)?;
             let w = opts.workload(0)?;
-            let report = Simulation::new(opts.core.clone())
+            let report = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .with_badspec(opts.badspec)
                 .run(w.trace(opts.uops))
@@ -80,7 +80,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "flops" => {
             let opts = Options::parse(&argv[1..], 1)?;
             let w = opts.workload(0)?;
-            let report = Simulation::new(opts.core.clone())
+            let report = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .run(w.trace(opts.uops))
                 .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
@@ -118,9 +118,9 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let opts = Options::parse(&argv[1..], 2)?;
             let w0 = opts.workload(0)?;
             let w1 = opts.workload(1)?;
-            let report = SmtSimulation::new(opts.core.clone())
+            let report = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
-                .run(vec![w0.trace(opts.uops), w1.trace(opts.uops)])
+                .run_threads(vec![w0.trace(opts.uops), w1.trace(opts.uops)])
                 .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
             if opts.json {
                 println!("{}", json::smt_report(&report));

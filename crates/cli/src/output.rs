@@ -1,7 +1,7 @@
 //! Human-readable output for the CLI subcommands.
 
 use crate::args::{CliError, Options};
-use mstacks_core::{Component, SimReport, Simulation, SmtReport};
+use mstacks_core::{Component, Session, SimReport, SmtReport};
 use mstacks_model::IdealFlags;
 use mstacks_stats::render::cpi_stack_lines;
 use mstacks_stats::render::flops_stack_lines;
@@ -41,7 +41,7 @@ pub fn print_simulate(w: &Workload, opts: &Options, r: &SimReport) {
 
 /// `mstacks bounds` text output: bound table plus live verification.
 pub fn print_bounds(w: &Workload, opts: &Options) -> Result<(), CliError> {
-    let base = Simulation::new(opts.core.clone())
+    let base = Session::new(opts.core.clone())
         .run(w.trace(opts.uops))
         .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
     println!(
@@ -60,14 +60,17 @@ pub fn print_bounds(w: &Workload, opts: &Options) -> Result<(), CliError> {
         (Component::Icache, IdealFlags::none().with_perfect_icache()),
         (Component::Bpred, IdealFlags::none().with_perfect_bpred()),
         (Component::Dcache, IdealFlags::none().with_perfect_dcache()),
-        (Component::AluLat, IdealFlags::none().with_single_cycle_alu()),
+        (
+            Component::AluLat,
+            IdealFlags::none().with_single_cycle_alu(),
+        ),
     ];
     for (c, ideal) in checks {
         let (lo, hi) = base.multi.bounds(c);
         if hi < 0.005 {
             continue;
         }
-        let r = Simulation::new(opts.core.clone())
+        let r = Session::new(opts.core.clone())
             .with_ideal(ideal)
             .run(w.trace(opts.uops))
             .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
@@ -122,7 +125,7 @@ pub fn print_compare(w: &Workload, opts: &Options) -> Result<(), CliError> {
         CoreConfig::knights_landing(),
         CoreConfig::skylake_server(),
     ] {
-        let r = Simulation::new(cfg.clone())
+        let r = Session::new(cfg.clone())
             .run(w.trace(opts.uops))
             .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
         let c = &r.multi.commit;
@@ -138,7 +141,11 @@ pub fn print_compare(w: &Workload, opts: &Options) -> Result<(), CliError> {
             format!("{:.1}", r.gflops(cfg.freq_ghz)),
         ]);
     }
-    println!("{} across the core presets ({} uops, commit-stage components):\n", w.name(), opts.uops);
+    println!(
+        "{} across the core presets ({} uops, commit-stage components):\n",
+        w.name(),
+        opts.uops
+    );
     println!("{t}");
     Ok(())
 }

@@ -179,13 +179,7 @@ mod tests {
     #[test]
     fn stack_sums_to_cycles() {
         let mut a = CommitAccountant::new(2);
-        a.on_commit(
-            0,
-            &CommitView {
-                n: 2,
-                ..view()
-            },
-        );
+        a.on_commit(0, &CommitView { n: 2, ..view() });
         a.on_commit(
             1,
             &CommitView {

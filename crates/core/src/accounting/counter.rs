@@ -202,8 +202,8 @@ mod tests {
         c.on_branch_dispatch(); // B2 (wrong path)
         c.add(Component::Base, 0.2);
         c.add(Component::AluLat, 0.4); // backend blame during wrong path → global
-        // Squash flushes 1 branch (B2): only ITS window re-blames; B1 is
-        // correct-path and keeps its window.
+                                       // Squash flushes 1 branch (B2): only ITS window re-blames; B1 is
+                                       // correct-path and keeps its window.
         c.on_squash(1);
         // B0 and B1 later commit normally.
         c.on_branch_commit();

@@ -164,8 +164,22 @@ mod tests {
     #[test]
     fn sums_to_cycles() {
         let mut a = FetchAccountant::new(2, BadSpecMode::GroundTruth);
-        a.on_fetch(0, &FetchView { n_total: 2, n_correct: 2, ..view() });
-        a.on_fetch(1, &FetchView { n_total: 1, n_correct: 1, ..view() });
+        a.on_fetch(
+            0,
+            &FetchView {
+                n_total: 2,
+                n_correct: 2,
+                ..view()
+            },
+        );
+        a.on_fetch(
+            1,
+            &FetchView {
+                n_total: 1,
+                n_correct: 1,
+                ..view()
+            },
+        );
         let s = a.finish(3, None);
         assert!((s.total_cycles() - 2.0).abs() < 1e-12);
     }

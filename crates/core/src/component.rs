@@ -193,8 +193,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            COMPONENTS.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<_> = COMPONENTS.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), COMPONENTS.len());
         let flabels: std::collections::HashSet<_> =
             FLOPS_COMPONENTS.iter().map(|c| c.label()).collect();

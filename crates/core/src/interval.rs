@@ -149,7 +149,9 @@ mod tests {
     fn run_intervals(trace: Vec<MicroOp>, interval: u64) -> Vec<CpiStack> {
         let cfg = CoreConfig::broadwell();
         let mut acct = IntervalAccountant::new(cfg.accounting_width(), interval);
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(cfg, ideal, trace.into_iter());
         core.run(&mut acct).expect("runs");
         acct.finish()
@@ -195,7 +197,11 @@ mod tests {
         let first = IntervalAccountant::dominant(&intervals[1]);
         let last = IntervalAccountant::dominant(&intervals[intervals.len() - 2]);
         assert_eq!(first, Component::Base, "phase 1 runs at full width");
-        assert_eq!(last, Component::AluLat, "phase 2 serializes on the multiplier");
+        assert_eq!(
+            last,
+            Component::AluLat,
+            "phase 2 serializes on the multiplier"
+        );
     }
 
     #[test]
@@ -206,7 +212,12 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("base"))
             .expect("base strip");
-        let n_chars = base_line.split('|').nth(1).expect("strip body").chars().count();
+        let n_chars = base_line
+            .split('|')
+            .nth(1)
+            .expect("strip body")
+            .chars()
+            .count();
         assert_eq!(n_chars, intervals.len());
     }
 

@@ -23,7 +23,7 @@
 //! # Quick start
 //!
 //! ```
-//! use mstacks_core::Simulation;
+//! use mstacks_core::Session;
 //! use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
 //!
 //! let trace: Vec<MicroOp> = (0..2_000u64)
@@ -33,7 +33,7 @@
 //!             .with_dst(ArchReg::new(1))
 //!     })
 //!     .collect();
-//! let report = Simulation::new(CoreConfig::broadwell())
+//! let report = Session::new(CoreConfig::broadwell())
 //!     .with_ideal(IdealFlags::none().with_perfect_icache().with_perfect_bpred())
 //!     .run(trace.into_iter())
 //!     .expect("simulation completes");
@@ -45,8 +45,7 @@ pub mod accounting;
 pub mod component;
 pub mod interval;
 pub mod multi;
-pub mod simulate;
-pub mod smt_sim;
+pub mod session;
 pub mod stack;
 
 pub use accounting::{
@@ -56,6 +55,7 @@ pub use accounting::{
 pub use component::{Component, FlopsComponent, Stage, COMPONENTS, FLOPS_COMPONENTS};
 pub use interval::IntervalAccountant;
 pub use multi::MultiStackReport;
-pub use simulate::{SimReport, Simulation};
-pub use smt_sim::{SmtReport, SmtSimulation, ThreadReport};
+pub use session::{Session, SessionReport, SimReport, SmtReport, ThreadReport};
+#[allow(deprecated)]
+pub use session::{Simulation, SmtSimulation};
 pub use stack::{CpiStack, FlopsStack};

@@ -1,0 +1,571 @@
+//! High-level simulation API: one [`Session`] builder runs one trace per
+//! hardware thread (1–4) on the unified engine with all accountants
+//! attached, and returns per-thread multi-stage CPI stacks and FLOPS
+//! stacks.
+//!
+//! A 1-thread session is *the* single-core simulation — same engine, same
+//! accountants, bit-identical results — exposed through the convenience
+//! [`Session::run`] that unwraps the one thread into a [`SimReport`]. The
+//! historical `Simulation` / `SmtSimulation` builders survive as thin
+//! deprecated shims over [`Session`].
+
+use crate::accounting::{
+    BadSpecMode, CommitAccountant, DispatchAccountant, FetchAccountant, FlopsAccountant,
+    IssueAccountant,
+};
+use crate::multi::MultiStackReport;
+use crate::stack::FlopsStack;
+use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
+use mstacks_pipeline::{Engine, PipelineError, PipelineResult, StageObserver};
+
+/// Everything one single-thread simulation produces: raw pipeline result,
+/// the three CPI stacks and the FLOPS stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Core configuration name ("bdw", "knl", "skx", …).
+    pub config_name: String,
+    /// Idealization flags the run used.
+    pub ideal: IdealFlags,
+    /// Raw pipeline counters (cycles, commits, cache stats, …).
+    pub result: PipelineResult,
+    /// The multi-stage CPI stacks.
+    pub multi: MultiStackReport,
+    /// The FLOPS stack (issue stage, vector FP only).
+    pub flops: FlopsStack,
+}
+
+impl SimReport {
+    /// Total CPI of the run.
+    pub fn cpi(&self) -> f64 {
+        self.result.cpi()
+    }
+
+    /// Achieved GFLOPS at clock `freq_ghz` (paper Eq. (1)).
+    pub fn gflops(&self, freq_ghz: f64) -> f64 {
+        self.flops.achieved_gflops(freq_ghz)
+    }
+}
+
+/// One hardware thread's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadReport {
+    /// Raw pipeline counters for this thread.
+    pub result: PipelineResult,
+    /// The thread's multi-stage CPI stacks (with `Smt` components when
+    /// co-runners were present).
+    pub multi: MultiStackReport,
+    /// The thread's FLOPS stack.
+    pub flops: FlopsStack,
+}
+
+impl ThreadReport {
+    /// This thread's CPI over its active period.
+    pub fn cpi(&self) -> f64 {
+        self.result.cpi()
+    }
+}
+
+/// Results of a session: one report per hardware thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Per-thread reports, in thread order.
+    pub threads: Vec<ThreadReport>,
+}
+
+/// Historical name for [`SessionReport`].
+pub type SmtReport = SessionReport;
+
+/// The full accountant set for one hardware thread, forwarding each stage
+/// hook to exactly the accountants that consume it.
+struct ThreadObserver {
+    dispatch: DispatchAccountant,
+    issue: IssueAccountant,
+    commit: CommitAccountant,
+    fetch: FetchAccountant,
+    flops: FlopsAccountant,
+}
+
+impl ThreadObserver {
+    fn new(cfg: &CoreConfig, badspec: BadSpecMode) -> Self {
+        let w = cfg.accounting_width();
+        ThreadObserver {
+            dispatch: DispatchAccountant::new(w, badspec),
+            issue: IssueAccountant::new(w, badspec),
+            commit: CommitAccountant::new(w),
+            fetch: FetchAccountant::new(w, badspec),
+            flops: FlopsAccountant::new(cfg.vpu_count().max(1), cfg.vector_lanes_f32()),
+        }
+    }
+
+    /// Closes the books and assembles this thread's report.
+    fn finish(self, result: PipelineResult) -> ThreadReport {
+        let uops = result.committed_uops;
+        let commit = self.commit.finish(uops);
+        let base = commit.cycles_of(crate::component::Component::Base);
+        ThreadReport {
+            multi: MultiStackReport {
+                dispatch: self.dispatch.finish(uops, Some(base)),
+                issue: self.issue.finish(uops, Some(base)),
+                commit,
+                fetch: Some(self.fetch.finish(uops, Some(base))),
+            },
+            flops: self.flops.finish(),
+            result,
+        }
+    }
+}
+
+impl StageObserver for ThreadObserver {
+    fn on_fetch(&mut self, cycle: u64, view: &mstacks_pipeline::FetchView) {
+        self.fetch.on_fetch(cycle, view);
+    }
+    fn on_dispatch(&mut self, cycle: u64, view: &mstacks_pipeline::DispatchView) {
+        self.dispatch.on_dispatch(cycle, view);
+    }
+    fn on_issue(&mut self, cycle: u64, view: &mstacks_pipeline::IssueView<'_>) {
+        self.issue.on_issue(cycle, view);
+        self.flops.on_issue(cycle, view);
+    }
+    fn on_commit(&mut self, cycle: u64, view: &mstacks_pipeline::CommitView) {
+        self.commit.on_commit(cycle, view);
+    }
+    fn on_dispatch_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        self.dispatch.on_dispatch_uop(cycle, uop);
+        self.issue.on_dispatch_uop(cycle, uop);
+        self.fetch.on_dispatch_uop(cycle, uop);
+    }
+    fn on_commit_uop(&mut self, cycle: u64, uop: &MicroOp) {
+        self.dispatch.on_commit_uop(cycle, uop);
+        self.issue.on_commit_uop(cycle, uop);
+        self.fetch.on_commit_uop(cycle, uop);
+    }
+    fn on_squash(&mut self, cycle: u64, n: u64, branches: u64) {
+        self.dispatch.on_squash(cycle, n, branches);
+        self.issue.on_squash(cycle, n, branches);
+        self.fetch.on_squash(cycle, n, branches);
+    }
+}
+
+/// Builder-style simulation runner over the unified engine.
+///
+/// # Example — single thread
+///
+/// ```
+/// use mstacks_core::Session;
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+///
+/// let trace = (0..500u64).map(|i| {
+///     MicroOp::new(0x400000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+///         .with_dst(ArchReg::new((i % 4) as u16))
+/// });
+/// let report = Session::new(CoreConfig::knights_landing())
+///     .with_ideal(IdealFlags::none().with_perfect_bpred())
+///     .run(trace)
+///     .expect("completes");
+/// assert_eq!(report.result.committed_uops, 500);
+/// ```
+///
+/// # Example — two hardware threads
+///
+/// ```
+/// use mstacks_core::Session;
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, MicroOp, UopKind};
+///
+/// let mk = |base: u64| {
+///     (0..2_000u64)
+///         .map(move |i| {
+///             MicroOp::new(base + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+///                 .with_dst(ArchReg::new((i % 8) as u16))
+///         })
+///         .collect::<Vec<_>>()
+///         .into_iter()
+/// };
+/// let report = Session::new(CoreConfig::broadwell())
+///     .run_threads(vec![mk(0x1000), mk(0x9000)])
+///     .expect("completes");
+/// assert_eq!(report.threads.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    cfg: CoreConfig,
+    ideal: IdealFlags,
+    badspec: BadSpecMode,
+    max_uops: Option<u64>,
+}
+
+impl Session {
+    /// A session on core `cfg` with no idealization, ground-truth
+    /// bad-speculation handling and no micro-op cap.
+    pub fn new(cfg: CoreConfig) -> Self {
+        Session {
+            cfg,
+            ideal: IdealFlags::none(),
+            badspec: BadSpecMode::GroundTruth,
+            max_uops: None,
+        }
+    }
+
+    /// Sets the idealization flags (builder style).
+    pub fn with_ideal(mut self, ideal: IdealFlags) -> Self {
+        self.ideal = ideal;
+        self
+    }
+
+    /// Sets the wrong-path discrimination mode (builder style).
+    pub fn with_badspec(mut self, mode: BadSpecMode) -> Self {
+        self.badspec = mode;
+        self
+    }
+
+    /// Caps the simulation at `n` committed micro-ops per thread (builder
+    /// style).
+    pub fn with_max_uops(mut self, n: u64) -> Self {
+        self.max_uops = Some(n);
+        self
+    }
+
+    /// Runs one trace per hardware thread (1–4) and produces per-thread
+    /// stacks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline (deadlock watchdog).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or holds more than 4 entries.
+    pub fn run_threads<I: Iterator<Item = MicroOp>>(
+        &self,
+        traces: Vec<I>,
+    ) -> Result<SessionReport, PipelineError> {
+        let n = traces.len();
+        let mut obs: Vec<ThreadObserver> = (0..n)
+            .map(|_| ThreadObserver::new(&self.cfg, self.badspec))
+            .collect();
+        let mut engine = Engine::new(self.cfg.clone(), self.ideal, traces);
+        let results = match self.max_uops {
+            Some(cap) => engine.run_uops(cap, &mut obs)?,
+            None => engine.run(&mut obs)?,
+        };
+        let threads = obs
+            .into_iter()
+            .zip(results)
+            .map(|(o, result)| o.finish(result))
+            .collect();
+        Ok(SessionReport { threads })
+    }
+
+    /// Runs a single trace and collects its stacks — the single-core
+    /// convenience over [`Session::run_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline (deadlock watchdog).
+    pub fn run<I: Iterator<Item = MicroOp>>(&self, trace: I) -> Result<SimReport, PipelineError> {
+        let report = self.run_threads(vec![trace])?;
+        let t = report.threads.into_iter().next().expect("one thread");
+        Ok(SimReport {
+            config_name: self.cfg.name.clone(),
+            ideal: self.ideal,
+            result: t.result,
+            multi: t.multi,
+            flops: t.flops,
+        })
+    }
+
+    /// The configuration this session runs on.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+}
+
+// ----- deprecated shims ---------------------------------------------------
+
+/// Single-core simulation builder.
+#[deprecated(note = "use `Session`, which unifies single-core and SMT runs")]
+#[derive(Debug, Clone)]
+pub struct Simulation(Session);
+
+#[allow(deprecated)]
+impl Simulation {
+    /// A simulation on core `cfg`; see [`Session::new`].
+    pub fn new(cfg: CoreConfig) -> Self {
+        Simulation(Session::new(cfg))
+    }
+
+    /// See [`Session::with_ideal`].
+    pub fn with_ideal(mut self, ideal: IdealFlags) -> Self {
+        self.0 = self.0.with_ideal(ideal);
+        self
+    }
+
+    /// See [`Session::with_badspec`].
+    pub fn with_badspec(mut self, mode: BadSpecMode) -> Self {
+        self.0 = self.0.with_badspec(mode);
+        self
+    }
+
+    /// See [`Session::with_max_uops`].
+    pub fn with_max_uops(mut self, n: u64) -> Self {
+        self.0 = self.0.with_max_uops(n);
+        self
+    }
+
+    /// See [`Session::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline.
+    pub fn run<I: Iterator<Item = MicroOp>>(&self, trace: I) -> Result<SimReport, PipelineError> {
+        self.0.run(trace)
+    }
+
+    /// See [`Session::config`].
+    pub fn config(&self) -> &CoreConfig {
+        self.0.config()
+    }
+}
+
+/// SMT simulation builder.
+#[deprecated(note = "use `Session::run_threads`, which unifies single-core and SMT runs")]
+#[derive(Debug, Clone)]
+pub struct SmtSimulation(Session);
+
+#[allow(deprecated)]
+impl SmtSimulation {
+    /// An SMT simulation on core `cfg`; see [`Session::new`].
+    pub fn new(cfg: CoreConfig) -> Self {
+        SmtSimulation(Session::new(cfg))
+    }
+
+    /// See [`Session::with_ideal`].
+    pub fn with_ideal(mut self, ideal: IdealFlags) -> Self {
+        self.0 = self.0.with_ideal(ideal);
+        self
+    }
+
+    /// See [`Session::with_badspec`].
+    pub fn with_badspec(mut self, mode: BadSpecMode) -> Self {
+        self.0 = self.0.with_badspec(mode);
+        self
+    }
+
+    /// See [`Session::run_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or holds more than 4 entries.
+    pub fn run<I: Iterator<Item = MicroOp>>(
+        &self,
+        traces: Vec<I>,
+    ) -> Result<SmtReport, PipelineError> {
+        self.0.run_threads(traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use mstacks_model::{AluClass, ArchReg, UopKind};
+
+    fn alu_chain(n: u64) -> impl Iterator<Item = MicroOp> {
+        (0..n).map(|i| {
+            MicroOp::new(0x1000 + (i % 32) * 4, UopKind::IntAlu(AluClass::Add))
+                .with_src(ArchReg::new(1))
+                .with_dst(ArchReg::new(1))
+        })
+    }
+
+    fn adds(n: u64, base: u64) -> std::vec::IntoIter<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(base + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn stacks_sum_to_cycles_at_every_stage() {
+        let report = Session::new(CoreConfig::broadwell())
+            .run(alu_chain(5_000))
+            .expect("completes");
+        let cycles = report.result.cycles as f64;
+        for s in report.multi.stacks() {
+            assert!(
+                (s.total_cycles() - cycles).abs() < 1e-6,
+                "{} stack sums to {} ≠ {} cycles",
+                s.stage,
+                s.total_cycles(),
+                cycles
+            );
+        }
+        assert!((report.flops.total_cycles() - cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn base_components_equal_across_stages() {
+        // Ground-truth mode: each correct-path micro-op traverses every
+        // stage exactly once → identical base components (paper §III-A).
+        let report = Session::new(CoreConfig::broadwell())
+            .run(alu_chain(5_000))
+            .expect("completes");
+        let b_d = report.multi.dispatch.cycles_of(Component::Base);
+        let b_i = report.multi.issue.cycles_of(Component::Base);
+        let b_c = report.multi.commit.cycles_of(Component::Base);
+        assert!((b_d - b_c).abs() < 1e-6, "dispatch {b_d} vs commit {b_c}");
+        assert!((b_i - b_c).abs() < 1e-6, "issue {b_i} vs commit {b_c}");
+        // And base CPI = 1/W.
+        let w = CoreConfig::broadwell().accounting_width();
+        assert!((report.multi.commit.cpi_of(Component::Base) - 1.0 / f64::from(w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependence_chain_shows_depend_component() {
+        let report = Session::new(CoreConfig::broadwell())
+            .with_ideal(
+                IdealFlags::none()
+                    .with_perfect_icache()
+                    .with_perfect_bpred(),
+            )
+            .run(alu_chain(5_000))
+            .expect("completes");
+        // CPI ≈ 1; 0.25 base + ~0.75 depend at every stage.
+        for s in report.multi.stacks() {
+            assert!(
+                s.cpi_of(Component::Depend) > 0.5,
+                "{} stack should be dependence-dominated: {:?}",
+                s.stage,
+                s.iter_cpi().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn max_uops_caps_the_run() {
+        let report = Session::new(CoreConfig::broadwell())
+            .with_max_uops(1_000)
+            .run(alu_chain(100_000))
+            .expect("completes");
+        assert!(report.result.committed_uops >= 1_000);
+        assert!(report.result.committed_uops < 1_100);
+    }
+
+    #[test]
+    fn badspec_modes_agree_without_branches() {
+        // No branches → no wrong path → all three modes identical.
+        let gt = Session::new(CoreConfig::broadwell())
+            .run(alu_chain(2_000))
+            .expect("completes");
+        let simple = Session::new(CoreConfig::broadwell())
+            .with_badspec(BadSpecMode::SimpleRetireSlots)
+            .run(alu_chain(2_000))
+            .expect("completes");
+        let spec = Session::new(CoreConfig::broadwell())
+            .with_badspec(BadSpecMode::SpeculativeCounters)
+            .run(alu_chain(2_000))
+            .expect("completes");
+        for c in crate::component::COMPONENTS {
+            let g = gt.multi.dispatch.cpi_of(c);
+            assert!((simple.multi.dispatch.cpi_of(c) - g).abs() < 1e-9, "{c}");
+            assert!((spec.multi.dispatch.cpi_of(c) - g).abs() < 1e-9, "{c}");
+        }
+    }
+
+    #[test]
+    fn per_thread_stacks_sum_to_per_thread_cycles() {
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
+        let report = Session::new(CoreConfig::broadwell())
+            .with_ideal(ideal)
+            .run_threads(vec![adds(4_000, 0x1000), adds(4_000, 0x9000)])
+            .expect("completes");
+        for (tid, t) in report.threads.iter().enumerate() {
+            let cycles = t.result.cycles as f64;
+            for s in t.multi.stacks() {
+                assert!(
+                    (s.total_cycles() - cycles).abs() <= 1.0 + 1e-6,
+                    "thread {tid} {} stack {} vs cycles {}",
+                    s.stage,
+                    s.total_cycles(),
+                    cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smt_component_appears_under_contention() {
+        // Two width-hungry threads on one 4-wide core: each must lose
+        // visible cycles to the other.
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
+        let report = Session::new(CoreConfig::broadwell())
+            .with_ideal(ideal)
+            .run_threads(vec![adds(6_000, 0x1000), adds(6_000, 0x9000)])
+            .expect("completes");
+        for (tid, t) in report.threads.iter().enumerate() {
+            let smt =
+                t.multi.dispatch.cpi_of(Component::Smt) + t.multi.commit.cpi_of(Component::Smt);
+            assert!(smt > 0.05, "thread {tid} must see SMT interference: {smt}");
+        }
+    }
+
+    #[test]
+    fn single_thread_has_no_smt_component() {
+        let report = Session::new(CoreConfig::broadwell())
+            .run_threads(vec![adds(3_000, 0x1000)])
+            .expect("completes");
+        let t = &report.threads[0];
+        for s in t.multi.stacks() {
+            assert!(
+                s.cpi_of(Component::Smt) < 1e-9,
+                "{}: solo thread cannot have SMT stalls",
+                s.stage
+            );
+        }
+    }
+
+    #[test]
+    fn one_thread_session_equals_single_run() {
+        // `run` is exactly `run_threads(vec![trace])` with the report
+        // unwrapped — verify field by field.
+        let single = Session::new(CoreConfig::broadwell())
+            .run(alu_chain(3_000))
+            .expect("completes");
+        let threaded = Session::new(CoreConfig::broadwell())
+            .run_threads(vec![alu_chain(3_000).collect::<Vec<_>>().into_iter()])
+            .expect("completes");
+        let t = &threaded.threads[0];
+        assert_eq!(single.result, t.result);
+        assert_eq!(single.multi, t.multi);
+        assert_eq!(single.flops, t.flops);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_session() {
+        let new = Session::new(CoreConfig::broadwell())
+            .run(alu_chain(2_000))
+            .expect("completes");
+        let old = Simulation::new(CoreConfig::broadwell())
+            .run(alu_chain(2_000))
+            .expect("completes");
+        assert_eq!(new, old);
+        let new_smt = Session::new(CoreConfig::broadwell())
+            .run_threads(vec![adds(2_000, 0x1000), adds(2_000, 0x9000)])
+            .expect("completes");
+        let old_smt = SmtSimulation::new(CoreConfig::broadwell())
+            .run(vec![adds(2_000, 0x1000), adds(2_000, 0x9000)])
+            .expect("completes");
+        assert_eq!(new_smt, old_smt);
+    }
+}

@@ -87,14 +87,22 @@ impl Btb {
             return;
         }
         if let Some(w) = set.iter_mut().find(|w| w.pc == INVALID) {
-            *w = BtbWay { pc, target, stamp: tick };
+            *w = BtbWay {
+                pc,
+                target,
+                stamp: tick,
+            };
             return;
         }
         let victim = set
             .iter_mut()
             .min_by_key(|w| w.stamp)
             .expect("associativity is non-zero");
-        *victim = BtbWay { pc, target, stamp: tick };
+        *victim = BtbWay {
+            pc,
+            target,
+            stamp: tick,
+        };
     }
 }
 

@@ -135,10 +135,7 @@ impl FrontendUnit {
 
     /// Next micro-op to fetch: the stashed one, else wrong-path synthesis,
     /// else the trace.
-    fn take_next(
-        &mut self,
-        trace: &mut dyn Iterator<Item = MicroOp>,
-    ) -> Option<(MicroOp, bool)> {
+    fn take_next(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> Option<(MicroOp, bool)> {
         if let Some(p) = self.pending.take() {
             return Some(p);
         }
@@ -298,7 +295,9 @@ impl FrontendUnit {
 
     /// `true` when the trace is exhausted and nothing is left to deliver.
     pub fn is_drained(&self) -> bool {
-        self.trace_done && self.queue.is_empty() && self.wrong_path.is_none()
+        self.trace_done
+            && self.queue.is_empty()
+            && self.wrong_path.is_none()
             && self.pending.is_none()
     }
 

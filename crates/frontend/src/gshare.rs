@@ -115,7 +115,10 @@ mod tests {
             g.update(0x2000, taken);
             taken = !taken;
         }
-        assert!(correct >= 30, "gshare should learn alternation: {correct}/32");
+        assert!(
+            correct >= 30,
+            "gshare should learn alternation: {correct}/32"
+        );
     }
 
     #[test]

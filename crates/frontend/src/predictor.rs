@@ -248,7 +248,10 @@ mod tests {
             kind: BranchKind::Uncond,
         };
         let p = bp.predict_and_update(0x100, &b);
-        assert!(p.mispredicted, "no BTB target → cannot redirect → mispredict");
+        assert!(
+            p.mispredicted,
+            "no BTB target → cannot redirect → mispredict"
+        );
         let p2 = bp.predict_and_update(0x100, &b);
         assert!(!p2.mispredicted);
     }

@@ -116,7 +116,11 @@ impl Hierarchy {
             l1d_mshr: MshrFile::new(cfg.l1d.mshrs),
             l2_mshr: MshrFile::new(cfg.l2.mshrs),
             l3_mshr: MshrFile::new(cfg.l3.map(|c| c.mshrs).unwrap_or(1)),
-            dram: Dram::new(cfg.dram_latency, cfg.dram_bytes_per_cycle, cfg.l2.line_bytes),
+            dram: Dram::new(
+                cfg.dram_latency,
+                cfg.dram_bytes_per_cycle,
+                cfg.l2.line_bytes,
+            ),
             lat_l1i: u64::from(cfg.l1i.latency),
             lat_l1d: u64::from(cfg.l1d.latency),
             lat_l2: u64::from(cfg.l2.latency),
@@ -291,7 +295,8 @@ impl Hierarchy {
             .as_mut()
             .expect("L3 presence checked above")
             .insert(line);
-        self.l3_mshr.insert(line, ready, level_to_tag(HitLevel::Mem));
+        self.l3_mshr
+            .insert(line, ready, level_to_tag(HitLevel::Mem));
         (ready, HitLevel::Mem)
     }
 
@@ -426,7 +431,7 @@ mod tests {
     #[test]
     fn l2_mshr_pressure_delays_icache_miss() {
         let mut m = Hierarchy::new(&small_mem()); // L2 has only 2 MSHRs
-        // Two outstanding data misses fill the L2 MSHRs.
+                                                  // Two outstanding data misses fill the L2 MSHRs.
         let a = m.load(0x100000, 1, 0);
         let b = m.load(0x200000, 1, 0);
         assert!(a.missed_l1() && b.missed_l1());

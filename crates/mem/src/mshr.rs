@@ -147,7 +147,7 @@ mod tests {
         m.insert(1, 300, 0);
         m.insert(2, 250, 0);
         m.insert(3, 400, 0); // queued allocation beyond capacity
-        // 3 in flight, capacity 2 → need 2 to drain: 250 then 300.
+                             // 3 in flight, capacity 2 → need 2 to drain: 250 then 300.
         assert_eq!(m.alloc_time(100), 300);
     }
 

@@ -219,7 +219,7 @@ mod tests {
         p.observe(2, 0);
         p.observe(3, 0); // evicts PC 1
         p.observe(1, 64); // PC 1 re-enters from scratch: stride unknown
-        // First repeat establishes the stride; threshold 1 → prefetch resumes.
+                          // First repeat establishes the stride; threshold 1 → prefetch resumes.
         assert_eq!(p.observe(1, 128), vec![192 >> 6]);
     }
 

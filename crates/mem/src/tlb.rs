@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn capacity_eviction() {
         let mut t = tlb(16); // 4 sets × 4 ways
-        // 32 distinct pages overflow a 16-entry TLB.
+                             // 32 distinct pages overflow a 16-entry TLB.
         for p in 0..32u64 {
             t.access(p << 12);
         }

@@ -338,7 +338,9 @@ impl CoreConfig {
         .chain(self.mem.l3.as_ref().map(|c| ("l3", c)))
         {
             if !c.line_bytes.is_power_of_two() {
-                return Err(ConfigError::new(format!("{name}: line size not a power of two")));
+                return Err(ConfigError::new(format!(
+                    "{name}: line size not a power of two"
+                )));
             }
             let sets = c.sets();
             if sets == 0 || !sets.is_power_of_two() {
@@ -485,8 +487,16 @@ impl CoreConfig {
                 dram_latency: 170,
                 // ~76.8 GB/s socket / 18 cores at 2.3 GHz ≈ 1.9 B/cycle.
                 dram_bytes_per_cycle: 1.9,
-                itlb: TlbConfig { entries: 128, assoc: 4, walk_cycles: 20 },
-                dtlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 26 },
+                itlb: TlbConfig {
+                    entries: 128,
+                    assoc: 4,
+                    walk_cycles: 20,
+                },
+                dtlb: TlbConfig {
+                    entries: 64,
+                    assoc: 4,
+                    walk_cycles: 26,
+                },
                 prefetch: PrefetchConfig {
                     stride_enabled: true,
                     stride_degree: 4,
@@ -574,8 +584,16 @@ impl CoreConfig {
                 dram_latency: 230,
                 // MCDRAM ~400 GB/s / 68 cores at 1.4 GHz ≈ 4.2 B/cycle.
                 dram_bytes_per_cycle: 4.2,
-                itlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 30 },
-                dtlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 38 },
+                itlb: TlbConfig {
+                    entries: 64,
+                    assoc: 4,
+                    walk_cycles: 30,
+                },
+                dtlb: TlbConfig {
+                    entries: 64,
+                    assoc: 4,
+                    walk_cycles: 38,
+                },
                 prefetch: PrefetchConfig {
                     stride_enabled: true,
                     stride_degree: 4,
@@ -672,8 +690,16 @@ impl CoreConfig {
                 dram_latency: 190,
                 // ~128 GB/s socket / 26 cores at 2.1 GHz ≈ 2.3 B/cycle.
                 dram_bytes_per_cycle: 2.3,
-                itlb: TlbConfig { entries: 128, assoc: 4, walk_cycles: 20 },
-                dtlb: TlbConfig { entries: 64, assoc: 4, walk_cycles: 26 },
+                itlb: TlbConfig {
+                    entries: 128,
+                    assoc: 4,
+                    walk_cycles: 20,
+                },
+                dtlb: TlbConfig {
+                    entries: 64,
+                    assoc: 4,
+                    walk_cycles: 26,
+                },
                 prefetch: PrefetchConfig {
                     stride_enabled: true,
                     stride_degree: 4,
@@ -698,7 +724,8 @@ mod tests {
             CoreConfig::knights_landing(),
             CoreConfig::skylake_server(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

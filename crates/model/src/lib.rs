@@ -36,6 +36,7 @@ pub mod config;
 pub mod ideal;
 pub mod ports;
 pub mod reg;
+pub mod rng;
 pub mod uop;
 
 pub use config::{
@@ -45,6 +46,7 @@ pub use config::{
 pub use ideal::IdealFlags;
 pub use ports::{caps, PortSpec};
 pub use reg::ArchReg;
+pub use rng::SmallRng;
 pub use uop::{AluClass, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp};
 
 /// Why the frontend is currently unable to deliver micro-ops.

@@ -1,60 +1,29 @@
-//! The out-of-order core: per-cycle orchestration of commit, branch
-//! resolution, issue, dispatch and fetch.
+//! The single-hardware-thread out-of-order core.
 //!
-//! Stages run back-to-front each cycle so that same-cycle structural state
-//! is consistent: a micro-op dispatched in cycle *t* can issue in *t + 1*
-//! at the earliest, and commits happen before the cycle's new completions
-//! are visible.
+//! [`Core`] is a thin convenience wrapper over the unified
+//! [`Engine`](crate::Engine) instantiated with exactly one hardware
+//! thread: single-observer signatures, scalar accessors, a
+//! [`PipelineResult`] instead of a one-element vector. The per-stage
+//! logic — commit, branch resolution, issue, dispatch, fetch — lives
+//! entirely in [`crate::engine`]; a 1-thread engine is cycle-for-cycle
+//! identical to the historical standalone single-core pipeline.
 
-use crate::exec::PortFile;
-use crate::lsq::{LoadCheck, StoreQueue};
-use crate::observer::{
-    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo,
-    StageObserver, StructuralStall,
-};
-use crate::result::{PipelineError, PipelineResult, PipelineStats};
-use crate::rob::{Rob, RobEntry};
-use mstacks_frontend::FrontendUnit;
-use mstacks_mem::{Hierarchy, HitLevel};
-use mstacks_model::{ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
-
-/// Cycles without a commit before the watchdog declares a deadlock.
-const WATCHDOG_CYCLES: u64 = 200_000;
+use crate::engine::Engine;
+use crate::observer::StageObserver;
+use crate::result::{PipelineError, PipelineResult};
+use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
 
 /// A simulated out-of-order core bound to one trace.
 pub struct Core<I> {
-    cfg: CoreConfig,
-    ideal: IdealFlags,
-    mem: Hierarchy,
-    frontend: FrontendUnit,
-    trace: I,
-    rob: Rob,
-    /// Reservation stations: sequence numbers of dispatched, not-yet-issued
-    /// micro-ops, in program order.
-    rs: Vec<u64>,
-    stq: StoreQueue,
-    ldq_count: usize,
-    rename: Vec<Option<u64>>,
-    ports: PortFile,
-    cycle: u64,
-    /// `(branch seq, resolve cycle)` of the in-flight mispredicted branch.
-    pending_redirect: Option<(u64, u64)>,
-    stats: PipelineStats,
-    committed: u64,
-    committed_flops: u64,
-    issued_buf: Vec<IssuedInfo>,
-    /// Vector-FP micro-ops currently waiting in the RS (incremental count,
-    /// so the per-cycle FLOPS view is O(1) for non-FP code).
-    vfp_waiting: usize,
+    engine: Engine<I>,
 }
 
 impl<I> std::fmt::Debug for Core<I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Core")
-            .field("config", &self.cfg.name)
-            .field("cycle", &self.cycle)
-            .field("committed", &self.committed)
-            .field("rob_len", &self.rob.len())
+            .field("config", &self.engine.config().name)
+            .field("cycle", &self.engine.cycle())
+            .field("committed", &self.engine.committed(0))
             .finish()
     }
 }
@@ -63,43 +32,8 @@ impl<I: Iterator<Item = MicroOp>> Core<I> {
     /// Builds a core with configuration `cfg`, idealization `ideal`,
     /// consuming `trace`.
     pub fn new(cfg: CoreConfig, ideal: IdealFlags, trace: I) -> Self {
-        debug_assert!(cfg.validate().is_ok(), "invalid core configuration");
-        let mut mem = Hierarchy::new(&cfg.mem);
-        mem.set_perfect_icache(ideal.perfect_icache);
-        mem.set_perfect_dcache(ideal.perfect_dcache);
-        let frontend = FrontendUnit::new(&cfg, ideal.perfect_bpred);
-        let ports = PortFile::new(&cfg.ports);
-        let rob = Rob::new(cfg.rob_size);
-        let stq = StoreQueue::new(cfg.stq_size);
         Core {
-            ideal,
-            mem,
-            frontend,
-            trace,
-            rob,
-            rs: Vec::with_capacity(cfg.rs_size),
-            stq,
-            ldq_count: 0,
-            rename: vec![None; ArchReg::COUNT],
-            ports,
-            cycle: 0,
-            pending_redirect: None,
-            stats: PipelineStats::default(),
-            committed: 0,
-            committed_flops: 0,
-            issued_buf: Vec::with_capacity(cfg.issue_width as usize),
-            vfp_waiting: 0,
-            cfg,
-        }
-    }
-
-    /// Effective execution latency for `kind` under the active
-    /// idealization (loads are handled by the memory hierarchy instead).
-    fn exec_latency(&self, kind: &UopKind) -> u64 {
-        if self.ideal.single_cycle_alu && !kind.is_mem() {
-            1
-        } else {
-            u64::from(self.cfg.lat.exec_latency(kind))
+            engine: Engine::new(cfg, ideal, vec![trace]),
         }
     }
 
@@ -110,21 +44,9 @@ impl<I: Iterator<Item = MicroOp>> Core<I> {
     /// Returns [`PipelineError::Deadlock`] if the pipeline stops making
     /// progress (a model invariant violation, not an expected outcome).
     pub fn run<O: StageObserver>(&mut self, obs: &mut O) -> Result<PipelineResult, PipelineError> {
-        let mut last_progress_cycle = 0u64;
-        let mut last_committed = 0u64;
-        while !(self.frontend.is_drained() && self.rob.is_empty()) {
-            self.step(obs);
-            if self.committed != last_committed {
-                last_committed = self.committed;
-                last_progress_cycle = self.cycle;
-            } else if self.cycle - last_progress_cycle > WATCHDOG_CYCLES {
-                return Err(PipelineError::Deadlock {
-                    cycle: self.cycle,
-                    committed: self.committed,
-                });
-            }
-        }
-        Ok(self.result())
+        self.engine
+            .run(std::slice::from_mut(obs))
+            .map(|mut v| v.remove(0))
     }
 
     /// Runs at most `max_uops` committed micro-ops (or to trace end).
@@ -137,426 +59,47 @@ impl<I: Iterator<Item = MicroOp>> Core<I> {
         max_uops: u64,
         obs: &mut O,
     ) -> Result<PipelineResult, PipelineError> {
-        let mut last_progress_cycle = 0u64;
-        let mut last_committed = 0u64;
-        while !(self.frontend.is_drained() && self.rob.is_empty()) && self.committed < max_uops {
-            self.step(obs);
-            if self.committed != last_committed {
-                last_committed = self.committed;
-                last_progress_cycle = self.cycle;
-            } else if self.cycle - last_progress_cycle > WATCHDOG_CYCLES {
-                return Err(PipelineError::Deadlock {
-                    cycle: self.cycle,
-                    committed: self.committed,
-                });
-            }
-        }
-        Ok(self.result())
+        self.engine
+            .run_uops(max_uops, std::slice::from_mut(obs))
+            .map(|mut v| v.remove(0))
     }
 
     /// Snapshot of the result so far.
     pub fn result(&self) -> PipelineResult {
-        PipelineResult {
-            cycles: self.cycle,
-            committed_uops: self.committed,
-            committed_flops: self.committed_flops,
-            stats: self.stats,
-            frontend: *self.frontend.stats(),
-            mem: self.mem.stats_snapshot(),
-        }
+        self.engine.result_of(0)
     }
 
     /// Advances the pipeline by one cycle.
     pub fn step<O: StageObserver>(&mut self, obs: &mut O) {
-        let now = self.cycle;
-        // Resolve before commit: the cycle a mispredicted branch completes,
-        // its wrong path must be squashed before the commit stage could ever
-        // see a (completed) wrong-path micro-op behind the branch.
-        self.do_resolve(now, obs);
-        self.do_commit(now, obs);
-        self.do_issue(now, obs);
-        self.do_dispatch(now, obs);
-        let fc = self.frontend.tick(now, &mut self.mem, &mut self.trace);
-        let head_blame = if fc.backpressure {
-            self.rob.head().and_then(|h| h.blame(now))
-        } else {
-            None
-        };
-        obs.on_fetch(
-            now,
-            &FetchView {
-                n_total: fc.n_total,
-                n_correct: fc.n_correct,
-                fe_stall: self.frontend.stall_reason(now),
-                backpressure: fc.backpressure,
-                head_blame,
-            },
-        );
-        self.cycle += 1;
+        self.engine.step(std::slice::from_mut(obs));
     }
-
-    // ----- commit ---------------------------------------------------------
-
-    fn do_commit<O: StageObserver>(&mut self, now: u64, obs: &mut O) {
-        let mut n = 0u32;
-        while n < self.cfg.commit_width {
-            let Some(head) = self.rob.head() else { break };
-            if !head.is_done(now) {
-                break;
-            }
-            let e = self.rob.pop_head().expect("head exists");
-            debug_assert!(!e.fu.wrong_path, "wrong-path micro-op reached commit");
-            match e.fu.uop.kind {
-                UopKind::Store { .. } => self.stq.retire(e.seq),
-                UopKind::Load { .. } => self.ldq_count -= 1,
-                _ => {}
-            }
-            if let Some(d) = e.fu.uop.dst {
-                // Drop the rename mapping if this was still the last writer.
-                if self.rename[d.index()] == Some(e.seq) {
-                    self.rename[d.index()] = None;
-                }
-            }
-            self.committed += 1;
-            self.committed_flops += e.fu.uop.flops();
-            obs.on_commit_uop(now, &e.fu.uop);
-            n += 1;
-        }
-        let head_blame = self.rob.head().and_then(|h| h.blame(now));
-        let view = CommitView {
-            n,
-            rob_empty: self.rob.is_empty(),
-            smt_blocked: false,
-            fe_stall: self.frontend.stall_reason(now),
-            head_blame,
-        };
-        obs.on_commit(now, &view);
-    }
-
-    // ----- branch resolution ---------------------------------------------
-
-    fn do_resolve<O: StageObserver>(&mut self, now: u64, obs: &mut O) {
-        let Some((seq, at)) = self.pending_redirect else {
-            return;
-        };
-        if at > now {
-            return;
-        }
-        let (squashed, squashed_branches) = self.rob.squash_younger_than(seq);
-        self.rs.retain(|&s| s <= seq);
-        self.vfp_waiting = self
-            .rs
-            .iter()
-            .filter(|&&s| self.rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp()))
-            .count();
-        self.stq.squash_younger_than(seq);
-        self.ldq_count = self
-            .rob
-            .iter()
-            .filter(|e| e.fu.uop.kind.is_load())
-            .count();
-        // Rebuild the rename table from the surviving window.
-        self.rename.fill(None);
-        let mut fresh = vec![None; ArchReg::COUNT];
-        for e in self.rob.iter() {
-            if let Some(d) = e.fu.uop.dst {
-                fresh[d.index()] = Some(e.seq);
-            }
-        }
-        self.rename = fresh;
-        self.frontend.redirect(now);
-        self.stats.squashed_uops += squashed;
-        self.stats.redirects += 1;
-        self.pending_redirect = None;
-        obs.on_squash(now, squashed, squashed_branches);
-    }
-
-    // ----- issue ----------------------------------------------------------
-
-    /// Blame for the first still-outstanding producer of `e`
-    /// ("`i = prod(first non-ready instr)`", paper Table II issue column).
-    fn producer_blame(&self, e: &RobEntry, now: u64) -> Blame {
-        for p in e.deps.iter().flatten() {
-            if self.rob.producer_done(*p, now) {
-                continue;
-            }
-            let Some(pe) = self.rob.get(*p) else { continue };
-            if pe.issued {
-                if pe.mem_level.is_some_and(|l| l.beyond_l1()) {
-                    return Blame::Dcache(pe.mem_level.unwrap_or(HitLevel::Mem));
-                }
-                if pe.exec_lat > 1 {
-                    return Blame::LongLat;
-                }
-            }
-            return Blame::Depend;
-        }
-        Blame::Depend
-    }
-
-    /// FLOPS blame for the oldest waiting VFP micro-op (Table III 14–18).
-    fn vfp_blame(&self, now: u64) -> Option<FlopsBlame> {
-        let seq = self
-            .rs
-            .iter()
-            .copied()
-            .find(|&s| self.rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp()))?;
-        let e = self.rob.get(seq)?;
-        for p in e.deps.iter().flatten() {
-            if self.rob.producer_done(*p, now) {
-                continue;
-            }
-            let Some(pe) = self.rob.get(*p) else { continue };
-            return Some(if pe.fu.uop.kind.is_load() {
-                FlopsBlame::Memory
-            } else {
-                FlopsBlame::Depend
-            });
-        }
-        Some(FlopsBlame::Depend)
-    }
-
-    fn do_issue<O: StageObserver>(&mut self, now: u64, obs: &mut O) {
-        self.ports.begin_cycle(now);
-        let mut issued_buf = std::mem::take(&mut self.issued_buf);
-        issued_buf.clear();
-
-        let rs_empty = self.rs.is_empty();
-        let mut n_total = 0u32;
-        let mut n_correct = 0u32;
-        let mut structural: Option<StructuralStall> = None;
-        let mut vu_used_by_non_vfp = false;
-        let mut blocking_blame: Option<Blame> = None;
-        let vfp_in_rs = self.vfp_waiting > 0;
-
-        let mut i = 0;
-        while i < self.rs.len() && n_total < self.cfg.issue_width {
-            let seq = self.rs[i];
-            let e = *self.rob.get(seq).expect("RS entry is in the ROB");
-            // Dependence readiness.
-            let deps_ready = e
-                .deps
-                .iter()
-                .flatten()
-                .all(|&p| self.rob.producer_done(p, now));
-            if !deps_ready {
-                if blocking_blame.is_none() {
-                    blocking_blame = Some(self.producer_blame(&e, now));
-                }
-                i += 1;
-                continue;
-            }
-            let kind = e.fu.uop.kind;
-            // Memory disambiguation for loads.
-            let mut forward = false;
-            if let UopKind::Load { addr } = kind {
-                match self.stq.check_load(seq, addr) {
-                    LoadCheck::Blocked => {
-                        structural = structural.or(Some(StructuralStall::MemDisambiguation));
-                        i += 1;
-                        continue;
-                    }
-                    LoadCheck::Forward => forward = true,
-                    LoadCheck::Proceed => {}
-                }
-            }
-            // Port allocation.
-            let base_lat = self.exec_latency(&kind);
-            let Some(port) = self.ports.try_issue(&kind, now, base_lat) else {
-                structural = structural.or(Some(StructuralStall::Ports));
-                i += 1;
-                continue;
-            };
-            // Execution timing.
-            let (ready_at, mem_level) = match kind {
-                UopKind::Load { addr } => {
-                    if forward {
-                        self.stats.store_forwards += 1;
-                        (now + u64::from(self.cfg.mem.l1d.latency), Some(HitLevel::L1))
-                    } else {
-                        let res = self.mem.load(addr, e.fu.uop.pc, now);
-                        (res.ready, Some(res.level))
-                    }
-                }
-                UopKind::Store { addr } => {
-                    // Address/data ready quickly; the line fill proceeds in
-                    // the background through the hierarchy (write-allocate).
-                    self.stq.mark_executed(seq);
-                    let _ = self.mem.store(addr, e.fu.uop.pc, now);
-                    (now + base_lat, None)
-                }
-                _ => (now + base_lat, None),
-            };
-            {
-                let em = self.rob.get_mut(seq).expect("RS entry is in the ROB");
-                em.issued = true;
-                em.issued_at = now;
-                em.ready_at = ready_at;
-                em.exec_lat = ready_at - now;
-                em.mem_level = mem_level;
-            }
-            // A mispredicted correct-path branch schedules the redirect for
-            // its completion cycle.
-            if e.fu.mispredicted_branch && !e.fu.wrong_path {
-                debug_assert!(self.pending_redirect.is_none());
-                self.pending_redirect = Some((seq, ready_at));
-            }
-            let on_vpu = self.ports.is_vpu(port);
-            if on_vpu && !kind.is_vfp() {
-                vu_used_by_non_vfp = true;
-            }
-            if kind.is_vfp() {
-                self.vfp_waiting -= 1;
-            }
-            issued_buf.push(IssuedInfo {
-                uop: e.fu.uop,
-                wrong_path: e.fu.wrong_path,
-                on_vpu,
-            });
-            n_total += 1;
-            if !e.fu.wrong_path {
-                n_correct += 1;
-            }
-            self.rs.remove(i);
-        }
-
-        // A structural stall only matters if the stage had width left.
-        if n_total >= self.cfg.issue_width {
-            structural = None;
-        }
-        if n_total > 0 {
-            self.stats.issued_uops += u64::from(n_correct);
-            self.stats.issued_wrong_path += u64::from(n_total - n_correct);
-        }
-
-        // Only worth computing when a VFP micro-op is actually waiting.
-        let vfp_blame = if self.vfp_waiting > 0 {
-            self.vfp_blame(now)
-        } else {
-            None
-        };
-        let view = IssueView {
-            n_total,
-            n_correct,
-            rs_empty,
-            fe_stall: self.frontend.stall_reason(now),
-            blocking_blame,
-            structural,
-            smt_blocked: false,
-            issued: &issued_buf,
-            vfp_in_rs,
-            vfp_blame,
-            vu_used_by_non_vfp,
-        };
-        obs.on_issue(now, &view);
-        self.issued_buf = issued_buf;
-    }
-
-    // ----- dispatch -------------------------------------------------------
-
-    fn do_dispatch<O: StageObserver>(&mut self, now: u64, obs: &mut O) {
-        let mut n_total = 0u32;
-        let mut n_correct = 0u32;
-        let mut backend_blocked = false;
-
-        while n_total < self.cfg.dispatch_width {
-            let Some(f) = self.frontend.peek_ready(now) else {
-                break;
-            };
-            let kind = f.uop.kind;
-            if self.rob.is_full() || self.rs.len() >= self.cfg.rs_size {
-                backend_blocked = true;
-                break;
-            }
-            if matches!(kind, UopKind::Store { .. }) && self.stq.is_full() {
-                backend_blocked = true;
-                break;
-            }
-            if matches!(kind, UopKind::Load { .. }) && self.ldq_count >= self.cfg.ldq_size {
-                backend_blocked = true;
-                break;
-            }
-            let f = self.frontend.pop_ready(now).expect("peeked entry");
-            let seq = self.rob.next_seq();
-            let mut deps = [None; 3];
-            for (slot, r) in f.uop.srcs().enumerate() {
-                deps[slot] = self.rename[r.index()];
-            }
-            match kind {
-                UopKind::Store { addr } => self.stq.push(seq, addr),
-                UopKind::Load { .. } => self.ldq_count += 1,
-                _ => {}
-            }
-            if let Some(d) = f.uop.dst {
-                self.rename[d.index()] = Some(seq);
-            }
-            self.rob.push(RobEntry {
-                fu: f,
-                seq,
-                deps,
-                issued: false,
-                issued_at: 0,
-                ready_at: 0,
-                exec_lat: 0,
-                mem_level: None,
-            });
-            self.rs.push(seq);
-            if kind.is_vfp() {
-                self.vfp_waiting += 1;
-            }
-            obs.on_dispatch_uop(now, &f.uop);
-            n_total += 1;
-            if !f.wrong_path {
-                n_correct += 1;
-            }
-        }
-
-        if backend_blocked {
-            self.stats.dispatch_backend_blocked_cycles += 1;
-        }
-        let head_blame = if backend_blocked {
-            self.rob.head().and_then(|h| h.blame(now))
-        } else {
-            None
-        };
-        let view = DispatchView {
-            n_total,
-            n_correct,
-            backend_blocked,
-            smt_blocked: false,
-            head_blame,
-            fe_stall: self.frontend.stall_reason(now),
-        };
-        obs.on_dispatch(now, &view);
-    }
-
-    // ----- accessors ------------------------------------------------------
 
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.engine.cycle()
     }
 
     /// Committed correct-path micro-ops so far.
     pub fn committed(&self) -> u64 {
-        self.committed
+        self.engine.committed(0)
     }
 
     /// The core configuration this core simulates.
     pub fn config(&self) -> &CoreConfig {
-        &self.cfg
+        self.engine.config()
     }
 
     /// The idealization flags in effect.
     pub fn ideal(&self) -> IdealFlags {
-        self.ideal
+        self.engine.ideal()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mstacks_model::{AluClass, ArchReg, BranchInfo, BranchKind, ElemType, VecFpOp};
+    use crate::observer::{CommitView, DispatchView, IssueView};
+    use mstacks_model::{AluClass, ArchReg, BranchInfo, BranchKind, ElemType, UopKind, VecFpOp};
 
     fn bdw() -> CoreConfig {
         CoreConfig::broadwell()
@@ -572,7 +115,9 @@ mod tests {
     #[test]
     fn independent_alus_reach_full_width() {
         // Ideal conditions: tiny loop, perfect caches, no branches.
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, alu_trace(40_000));
         let r = core.run(&mut ()).expect("runs");
         assert_eq!(r.committed_uops, 40_000);
@@ -590,7 +135,9 @@ mod tests {
                 .with_src(ArchReg::new(1))
                 .with_dst(ArchReg::new(1))
         });
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, trace);
         let r = core.run(&mut ()).expect("runs");
         let cpi = r.cpi();
@@ -605,7 +152,9 @@ mod tests {
                 .with_src(ArchReg::new(1))
                 .with_dst(ArchReg::new(1))
         });
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, trace);
         let r = core.run(&mut ()).expect("runs");
         let cpi = r.cpi();
@@ -637,10 +186,16 @@ mod tests {
             MicroOp::new(0x1000 + (i % 8) * 4, UopKind::Load { addr: i * 8192 })
                 .with_dst(ArchReg::new((i % 8) as u16))
         });
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, trace);
         let r = core.run(&mut ()).expect("runs");
-        assert!(r.cpi() > 1.0, "memory-bound loads must stall, CPI {}", r.cpi());
+        assert!(
+            r.cpi() > 1.0,
+            "memory-bound loads must stall, CPI {}",
+            r.cpi()
+        );
         assert!(r.mem.l1d.misses > 2_000);
         // Same trace with a perfect D-cache flows at near-ideal CPI.
         let trace2 = (0..3_000u64).map(|i| {
@@ -674,7 +229,10 @@ mod tests {
         let ideal = IdealFlags::none().with_perfect_icache();
         let mut core = Core::new(bdw(), ideal, mk_real());
         let r = core.run(&mut ()).expect("runs");
-        assert!(r.stats.redirects > 100, "irregular branches must mispredict");
+        assert!(
+            r.stats.redirects > 100,
+            "irregular branches must mispredict"
+        );
         assert!(r.stats.squashed_uops > 0);
         let mut core2 = Core::new(bdw(), ideal.with_perfect_bpred(), mk_real());
         let r2 = core2.run(&mut ()).expect("runs");
@@ -697,7 +255,9 @@ mod tests {
                     .with_dst(ArchReg::new(2)),
             );
         }
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, uops.into_iter());
         let r = core.run(&mut ()).expect("runs");
         assert!(r.stats.store_forwards > 1_000, "loads should forward");
@@ -712,7 +272,9 @@ mod tests {
             )
             .with_dst(ArchReg::new((i % 8) as u16))
         });
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, trace);
         let r = core.run(&mut ()).expect("runs");
         assert_eq!(r.committed_flops, 1_000 * 16); // 8 lanes × 2 (FMA)
@@ -720,7 +282,9 @@ mod tests {
 
     #[test]
     fn knl_is_narrower_than_bdw() {
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut bdw_core = Core::new(bdw(), ideal, alu_trace(20_000));
         let rb = bdw_core.run(&mut ()).expect("runs");
         let mut knl_core = Core::new(CoreConfig::knights_landing(), ideal, alu_trace(20_000));
@@ -753,7 +317,9 @@ mod tests {
             }
         }
         let mut probe = Probe::default();
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, alu_trace(1_000));
         let r = core.run(&mut probe).expect("runs");
         assert_eq!(probe.d, r.cycles);
@@ -768,8 +334,13 @@ mod tests {
             (0..5_000u64).map(|i| {
                 let pc = 0x1000 + (i % 64) * 4;
                 if i % 7 == 0 {
-                    MicroOp::new(pc, UopKind::Load { addr: (i * 2654435761) % 262144 })
-                        .with_dst(ArchReg::new(3))
+                    MicroOp::new(
+                        pc,
+                        UopKind::Load {
+                            addr: (i * 2654435761) % 262144,
+                        },
+                    )
+                    .with_dst(ArchReg::new(3))
                 } else {
                     MicroOp::new(pc, UopKind::IntAlu(AluClass::Add))
                         .with_src(ArchReg::new(3))
@@ -788,7 +359,9 @@ mod tests {
 
     #[test]
     fn run_uops_stops_early() {
-        let ideal = IdealFlags::none().with_perfect_icache().with_perfect_bpred();
+        let ideal = IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred();
         let mut core = Core::new(bdw(), ideal, alu_trace(100_000));
         let r = core.run_uops(5_000, &mut ()).expect("runs");
         assert!(r.committed_uops >= 5_000);

@@ -1,0 +1,856 @@
+//! The unified, thread-parameterized out-of-order engine.
+//!
+//! One implementation of every pipeline stage (branch resolution, commit,
+//! issue, dispatch, fetch), generic over the number of hardware-thread
+//! contexts. A single-thread [`Engine`] is cycle-for-cycle identical to
+//! the historical single-core pipeline; with 2–4 threads it implements the
+//! Intel-style SMT sharing model the paper's §V-C per-thread accounting
+//! runs on:
+//!
+//! * each thread owns a frontend, rename table, store queue and a
+//!   *partitioned* ROB / load queue (capacity / threads);
+//! * the reservation stations, execution ports, caches/TLBs and DRAM are
+//!   shared;
+//! * fetch alternates round-robin cycle by cycle; dispatch and commit
+//!   share their stage widths with per-cycle round-robin priority.
+//!
+//! Each thread gets its own [`StageObserver`]; cycles a thread loses to a
+//! co-runner's occupancy are flagged `smt_blocked` in its views, which the
+//! accountants turn into the `Smt` CPI component. On a 1-thread engine the
+//! SMT-blame signals are hard-wired off, so the observer sees exactly what
+//! the single-core pipeline always produced.
+//!
+//! The thin [`Core`](crate::Core) and [`SmtCore`](crate::SmtCore) types
+//! are shims over this engine; the canonical API surface lives here
+//! ([`Engine::results`], [`Engine::committed`], [`Engine::cycle`]).
+
+use crate::exec::PortFile;
+use crate::lsq::{LoadCheck, StoreQueue};
+use crate::observer::{
+    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo, StageObserver,
+    StructuralStall,
+};
+use crate::result::{PipelineError, PipelineResult, PipelineStats, StallStage};
+use crate::rob::{Rob, RobEntry};
+use mstacks_frontend::FrontendUnit;
+use mstacks_mem::{Hierarchy, HitLevel};
+use mstacks_model::{ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+
+/// Cycles without a commit (on any thread) before the watchdog declares a
+/// deadlock. Hoisted here so every run path shares one constant.
+pub const WATCHDOG_CYCLES: u64 = 200_000;
+
+/// Per-hardware-thread state.
+struct ThreadCtx<I> {
+    frontend: FrontendUnit,
+    trace: I,
+    rob: Rob,
+    stq: StoreQueue,
+    ldq_count: usize,
+    ldq_cap: usize,
+    rename: Vec<Option<u64>>,
+    /// `(branch seq, resolve cycle)` of the in-flight mispredicted branch.
+    pending_redirect: Option<(u64, u64)>,
+    /// Vector-FP micro-ops currently waiting in the RS (incremental count,
+    /// so the per-cycle FLOPS view is O(1) for non-FP code).
+    vfp_waiting: usize,
+    committed: u64,
+    committed_flops: u64,
+    stats: PipelineStats,
+    /// Cycle the thread drained (it stops being observed from then on).
+    finished_at: Option<u64>,
+}
+
+impl<I> ThreadCtx<I> {
+    fn done(&self) -> bool {
+        self.frontend.is_drained() && self.rob.is_empty()
+    }
+}
+
+/// The unified out-of-order engine: 1–4 hardware threads over one backend.
+///
+/// # Example
+///
+/// ```
+/// use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+/// use mstacks_pipeline::Engine;
+///
+/// let mk = |base: u64| {
+///     (0..800u64)
+///         .map(move |i| {
+///             MicroOp::new(base + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+///                 .with_dst(ArchReg::new((i % 8) as u16))
+///         })
+///         .collect::<Vec<_>>()
+///         .into_iter()
+/// };
+/// let mut engine = Engine::new(
+///     CoreConfig::broadwell(),
+///     IdealFlags::none(),
+///     vec![mk(0x1000), mk(0x9000)],
+/// );
+/// let mut observers = [(), ()]; // one per thread
+/// let results = engine.run(&mut observers).expect("runs");
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].committed_uops, 800);
+/// ```
+pub struct Engine<I> {
+    cfg: CoreConfig,
+    ideal: IdealFlags,
+    mem: Hierarchy,
+    threads: Vec<ThreadCtx<I>>,
+    /// Shared reservation stations: `(thread, seq)` in dispatch order.
+    rs: Vec<(usize, u64)>,
+    ports: PortFile,
+    cycle: u64,
+    /// Per-thread scratch buffers for the issue views, reused each cycle.
+    issued_bufs: Vec<Vec<IssuedInfo>>,
+}
+
+impl<I> std::fmt::Debug for Engine<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.cfg.name)
+            .field("threads", &self.threads.len())
+            .field("cycle", &self.cycle)
+            .field("committed", &self.committed_total())
+            .finish()
+    }
+}
+
+impl<I: Iterator<Item = MicroOp>> Engine<I> {
+    /// Builds an engine with one hardware thread per trace. The ROB, store
+    /// queue and load queue are partitioned evenly; one thread gets the
+    /// whole structures (so a 1-thread engine *is* the single-core
+    /// pipeline, not a half-sized one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or larger than 4, or if partitioning
+    /// leaves a thread without resources.
+    pub fn new(cfg: CoreConfig, ideal: IdealFlags, traces: Vec<I>) -> Self {
+        debug_assert!(cfg.validate().is_ok(), "invalid core configuration");
+        let n = traces.len();
+        assert!((1..=4).contains(&n), "1..=4 hardware threads supported");
+        let rob_part = cfg.rob_size / n;
+        let stq_part = (cfg.stq_size / n).max(1);
+        let ldq_part = (cfg.ldq_size / n).max(1);
+        assert!(rob_part > 0, "ROB partition too small");
+        let mut mem = Hierarchy::new(&cfg.mem);
+        mem.set_perfect_icache(ideal.perfect_icache);
+        mem.set_perfect_dcache(ideal.perfect_dcache);
+        let threads: Vec<ThreadCtx<I>> = traces
+            .into_iter()
+            .map(|trace| ThreadCtx {
+                frontend: FrontendUnit::new(&cfg, ideal.perfect_bpred),
+                trace,
+                rob: Rob::new(rob_part),
+                stq: StoreQueue::new(stq_part),
+                ldq_count: 0,
+                ldq_cap: ldq_part,
+                rename: vec![None; ArchReg::COUNT],
+                pending_redirect: None,
+                vfp_waiting: 0,
+                committed: 0,
+                committed_flops: 0,
+                stats: PipelineStats::default(),
+                finished_at: None,
+            })
+            .collect();
+        Engine {
+            ideal,
+            mem,
+            issued_bufs: (0..n)
+                .map(|_| Vec::with_capacity(cfg.issue_width as usize))
+                .collect(),
+            threads,
+            rs: Vec::with_capacity(cfg.rs_size),
+            ports: PortFile::new(&cfg.ports),
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// Effective execution latency for `kind` under the active
+    /// idealization (loads are handled by the memory hierarchy instead).
+    fn exec_latency(&self, kind: &UopKind) -> u64 {
+        if self.ideal.single_cycle_alu && !kind.is_mem() {
+            1
+        } else {
+            u64::from(self.cfg.lat.exec_latency(kind))
+        }
+    }
+
+    /// Runs all threads to completion; `obs[t]` observes thread `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Deadlock`] if no thread commits for
+    /// [`WATCHDOG_CYCLES`], reporting which thread and stage stalled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len()` differs from the thread count.
+    pub fn run<O: StageObserver>(
+        &mut self,
+        obs: &mut [O],
+    ) -> Result<Vec<PipelineResult>, PipelineError> {
+        self.run_impl(obs, None)
+    }
+
+    /// Runs until every thread has drained or committed `max_uops`
+    /// micro-ops (whichever comes first per thread).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Deadlock`] as [`Engine::run`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len()` differs from the thread count.
+    pub fn run_uops<O: StageObserver>(
+        &mut self,
+        max_uops: u64,
+        obs: &mut [O],
+    ) -> Result<Vec<PipelineResult>, PipelineError> {
+        self.run_impl(obs, Some(max_uops))
+    }
+
+    fn run_impl<O: StageObserver>(
+        &mut self,
+        obs: &mut [O],
+        max_uops: Option<u64>,
+    ) -> Result<Vec<PipelineResult>, PipelineError> {
+        assert_eq!(obs.len(), self.threads.len(), "one observer per thread");
+        let stopped = |t: &ThreadCtx<I>| t.done() || max_uops.is_some_and(|m| t.committed >= m);
+        let mut last_progress = self.cycle;
+        let mut last_total = self.committed_total();
+        while !self.threads.iter().all(stopped) {
+            self.step(obs);
+            let total = self.committed_total();
+            if total != last_total {
+                last_total = total;
+                last_progress = self.cycle;
+            } else if self.cycle - last_progress > WATCHDOG_CYCLES {
+                return Err(self.deadlock_error());
+            }
+        }
+        Ok(self.results())
+    }
+
+    /// Builds the deadlock error, diagnosing the stalled thread and stage.
+    fn deadlock_error(&self) -> PipelineError {
+        let (thread, stage) = self.diagnose_stall();
+        PipelineError::Deadlock {
+            cycle: self.cycle,
+            committed: self.committed_total(),
+            thread,
+            stage,
+        }
+    }
+
+    /// Heuristic post-mortem: the first not-yet-drained thread, and the
+    /// stage its oldest work is stuck in.
+    fn diagnose_stall(&self) -> (usize, StallStage) {
+        let now = self.cycle;
+        for tid in 0..self.threads.len() {
+            if self.threads[tid].done() {
+                continue;
+            }
+            if self.threads[tid].rob.is_empty() {
+                // Window empty: micro-ops are stuck upstream. If the
+                // frontend has one ready, dispatch never accepted it.
+                let stage = if self.threads[tid].frontend.peek_ready(now).is_some() {
+                    StallStage::Dispatch
+                } else {
+                    StallStage::Fetch
+                };
+                return (tid, stage);
+            }
+            let head = self.threads[tid].rob.head().expect("non-empty ROB");
+            let stage = if !head.issued {
+                StallStage::Issue
+            } else if !head.is_done(now) {
+                StallStage::Execute
+            } else {
+                StallStage::Commit
+            };
+            return (tid, stage);
+        }
+        (0, StallStage::Commit)
+    }
+
+    /// Advances the shared pipeline by one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len()` differs from the thread count.
+    pub fn step<O: StageObserver>(&mut self, obs: &mut [O]) {
+        assert_eq!(obs.len(), self.threads.len(), "one observer per thread");
+        let now = self.cycle;
+        // Resolve before commit: the cycle a mispredicted branch completes,
+        // its wrong path must be squashed before the commit stage could ever
+        // see a (completed) wrong-path micro-op behind the branch.
+        self.do_resolve(now, obs);
+        self.do_commit(now, obs);
+        self.do_issue(now, obs);
+        self.do_dispatch(now, obs);
+        self.do_fetch(now, obs);
+        for t in self.threads.iter_mut() {
+            if t.finished_at.is_none() && t.done() {
+                t.finished_at = Some(now + 1);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    fn active(&self, tid: usize) -> bool {
+        self.threads[tid].finished_at.is_none()
+    }
+
+    /// Whether SMT-interference blame applies at all (never on 1 thread:
+    /// a single-thread engine must be indistinguishable from the classic
+    /// single-core pipeline, including `smt_blocked` never firing).
+    fn multi(&self) -> bool {
+        self.threads.len() > 1
+    }
+
+    /// Round-robin thread order starting at `cycle % n`.
+    fn rr_order(&self, now: u64) -> impl Iterator<Item = usize> {
+        let n = self.threads.len();
+        (0..n).map(move |i| (now as usize + i) % n)
+    }
+
+    // ----- branch resolution ---------------------------------------------
+
+    fn do_resolve<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
+        for (tid, o) in obs.iter_mut().enumerate().take(self.threads.len()) {
+            let Some((seq, at)) = self.threads[tid].pending_redirect else {
+                continue;
+            };
+            if at > now {
+                continue;
+            }
+            let t = &mut self.threads[tid];
+            let (squashed, squashed_branches) = t.rob.squash_younger_than(seq);
+            self.rs.retain(|&(rt, rs_seq)| rt != tid || rs_seq <= seq);
+            t.stq.squash_younger_than(seq);
+            t.ldq_count = t.rob.iter().filter(|e| e.fu.uop.kind.is_load()).count();
+            // Rebuild the rename table from the surviving window.
+            t.rename.fill(None);
+            for e in t.rob.iter() {
+                if let Some(d) = e.fu.uop.dst {
+                    t.rename[d.index()] = Some(e.seq);
+                }
+            }
+            t.frontend.redirect(now);
+            t.stats.squashed_uops += squashed;
+            t.stats.redirects += 1;
+            t.pending_redirect = None;
+            // Recount this thread's waiting VFP micro-ops.
+            let rob = &t.rob;
+            t.vfp_waiting = self
+                .rs
+                .iter()
+                .filter(|&&(rt, s)| rt == tid && rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp()))
+                .count();
+            o.on_squash(now, squashed, squashed_branches);
+        }
+    }
+
+    // ----- commit ---------------------------------------------------------
+
+    fn do_commit<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
+        let n_threads = self.threads.len();
+        let mut budget = self.cfg.commit_width;
+        let mut per_thread_n = vec![0u32; n_threads];
+        let mut head_ready_unserved = vec![false; n_threads];
+        for tid in self.rr_order(now).collect::<Vec<_>>() {
+            if !self.active(tid) {
+                continue;
+            }
+            loop {
+                let t = &mut self.threads[tid];
+                let Some(head) = t.rob.head() else { break };
+                if !head.is_done(now) {
+                    break;
+                }
+                if budget == 0 {
+                    head_ready_unserved[tid] = true;
+                    break;
+                }
+                let e = t.rob.pop_head().expect("head exists");
+                debug_assert!(!e.fu.wrong_path, "wrong-path micro-op reached commit");
+                match e.fu.uop.kind {
+                    UopKind::Store { .. } => t.stq.retire(e.seq),
+                    UopKind::Load { .. } => t.ldq_count -= 1,
+                    _ => {}
+                }
+                if let Some(d) = e.fu.uop.dst {
+                    // Drop the rename mapping if this was still the last writer.
+                    if t.rename[d.index()] == Some(e.seq) {
+                        t.rename[d.index()] = None;
+                    }
+                }
+                t.committed += 1;
+                t.committed_flops += e.fu.uop.flops();
+                obs[tid].on_commit_uop(now, &e.fu.uop);
+                per_thread_n[tid] += 1;
+                budget -= 1;
+            }
+        }
+        let multi = self.multi();
+        for (tid, ob) in obs.iter_mut().enumerate() {
+            if !self.active(tid) {
+                continue;
+            }
+            let t = &self.threads[tid];
+            let view = CommitView {
+                n: per_thread_n[tid],
+                rob_empty: t.rob.is_empty(),
+                smt_blocked: multi && head_ready_unserved[tid],
+                fe_stall: t.frontend.stall_reason(now),
+                head_blame: t.rob.head().and_then(|h| h.blame(now)),
+            };
+            ob.on_commit(now, &view);
+        }
+    }
+
+    // ----- issue ----------------------------------------------------------
+
+    /// Blame for the first still-outstanding producer of `e`
+    /// ("`i = prod(first non-ready instr)`", paper Table II issue column).
+    fn producer_blame(&self, tid: usize, e: &RobEntry, now: u64) -> Blame {
+        let rob = &self.threads[tid].rob;
+        for p in e.deps.iter().flatten() {
+            if rob.producer_done(*p, now) {
+                continue;
+            }
+            let Some(pe) = rob.get(*p) else { continue };
+            if pe.issued {
+                if pe.mem_level.is_some_and(|l| l.beyond_l1()) {
+                    return Blame::Dcache(pe.mem_level.unwrap_or(HitLevel::Mem));
+                }
+                if pe.exec_lat > 1 {
+                    return Blame::LongLat;
+                }
+            }
+            return Blame::Depend;
+        }
+        Blame::Depend
+    }
+
+    /// FLOPS blame for the oldest waiting VFP micro-op (Table III 14–18).
+    fn vfp_blame(&self, tid: usize, now: u64) -> Option<FlopsBlame> {
+        let rob = &self.threads[tid].rob;
+        let seq = self
+            .rs
+            .iter()
+            .filter(|&&(rt, _)| rt == tid)
+            .map(|&(_, s)| s)
+            .find(|&s| rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp()))?;
+        let e = rob.get(seq)?;
+        for p in e.deps.iter().flatten() {
+            if rob.producer_done(*p, now) {
+                continue;
+            }
+            let Some(pe) = rob.get(*p) else { continue };
+            return Some(if pe.fu.uop.kind.is_load() {
+                FlopsBlame::Memory
+            } else {
+                FlopsBlame::Depend
+            });
+        }
+        Some(FlopsBlame::Depend)
+    }
+
+    fn do_issue<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
+        self.ports.begin_cycle(now);
+        let n_threads = self.threads.len();
+        let mut issued_bufs = std::mem::take(&mut self.issued_bufs);
+        for buf in issued_bufs.iter_mut() {
+            buf.clear();
+        }
+        let mut n_total = vec![0u32; n_threads];
+        let mut n_correct = vec![0u32; n_threads];
+        let mut blocking: Vec<Option<Blame>> = vec![None; n_threads];
+        let mut structural: Vec<Option<StructuralStall>> = vec![None; n_threads];
+        let mut port_blocked = vec![false; n_threads];
+        let mut vu_non_vfp = vec![false; n_threads];
+        // Captured before issuing: "was a VFP micro-op waiting this cycle"
+        // (Table III line 9 inspects the pre-issue RS state).
+        let vfp_in_rs: Vec<bool> = self.threads.iter().map(|t| t.vfp_waiting > 0).collect();
+        let rs_empty: Vec<bool> = (0..n_threads)
+            .map(|tid| !self.rs.iter().any(|&(rt, _)| rt == tid))
+            .collect();
+
+        let mut budget = self.cfg.issue_width;
+        let mut i = 0;
+        while i < self.rs.len() && budget > 0 {
+            let (tid, seq) = self.rs[i];
+            let e = *self.threads[tid]
+                .rob
+                .get(seq)
+                .expect("RS entry is in the ROB");
+            let rob = &self.threads[tid].rob;
+            // Dependence readiness.
+            let deps_ready = e.deps.iter().flatten().all(|&p| rob.producer_done(p, now));
+            if !deps_ready {
+                if blocking[tid].is_none() {
+                    blocking[tid] = Some(self.producer_blame(tid, &e, now));
+                }
+                i += 1;
+                continue;
+            }
+            let kind = e.fu.uop.kind;
+            // Memory disambiguation for loads.
+            let mut forward = false;
+            if let UopKind::Load { addr } = kind {
+                match self.threads[tid].stq.check_load(seq, addr) {
+                    LoadCheck::Blocked => {
+                        structural[tid] =
+                            structural[tid].or(Some(StructuralStall::MemDisambiguation));
+                        i += 1;
+                        continue;
+                    }
+                    LoadCheck::Forward => forward = true,
+                    LoadCheck::Proceed => {}
+                }
+            }
+            // Port allocation.
+            let base_lat = self.exec_latency(&kind);
+            let Some(port) = self.ports.try_issue(&kind, now, base_lat) else {
+                structural[tid] = structural[tid].or(Some(StructuralStall::Ports));
+                port_blocked[tid] = true;
+                i += 1;
+                continue;
+            };
+            // Execution timing.
+            let (ready_at, mem_level) = match kind {
+                UopKind::Load { addr } => {
+                    if forward {
+                        self.threads[tid].stats.store_forwards += 1;
+                        (
+                            now + u64::from(self.cfg.mem.l1d.latency),
+                            Some(HitLevel::L1),
+                        )
+                    } else {
+                        let res = self.mem.load(addr, e.fu.uop.pc, now);
+                        (res.ready, Some(res.level))
+                    }
+                }
+                UopKind::Store { addr } => {
+                    // Address/data ready quickly; the line fill proceeds in
+                    // the background through the hierarchy (write-allocate).
+                    self.threads[tid].stq.mark_executed(seq);
+                    let _ = self.mem.store(addr, e.fu.uop.pc, now);
+                    (now + base_lat, None)
+                }
+                _ => (now + base_lat, None),
+            };
+            {
+                let em = self.threads[tid]
+                    .rob
+                    .get_mut(seq)
+                    .expect("RS entry is in the ROB");
+                em.issued = true;
+                em.issued_at = now;
+                em.ready_at = ready_at;
+                em.exec_lat = ready_at - now;
+                em.mem_level = mem_level;
+            }
+            // A mispredicted correct-path branch schedules the redirect for
+            // its completion cycle.
+            if e.fu.mispredicted_branch && !e.fu.wrong_path {
+                debug_assert!(self.threads[tid].pending_redirect.is_none());
+                self.threads[tid].pending_redirect = Some((seq, ready_at));
+            }
+            let on_vpu = self.ports.is_vpu(port);
+            if on_vpu && !kind.is_vfp() {
+                vu_non_vfp[tid] = true;
+            }
+            if kind.is_vfp() {
+                self.threads[tid].vfp_waiting -= 1;
+            }
+            issued_bufs[tid].push(IssuedInfo {
+                uop: e.fu.uop,
+                wrong_path: e.fu.wrong_path,
+                on_vpu,
+            });
+            n_total[tid] += 1;
+            if !e.fu.wrong_path {
+                n_correct[tid] += 1;
+            }
+            self.rs.remove(i);
+            budget -= 1;
+        }
+
+        let any_issued: u32 = n_total.iter().sum();
+        let multi = self.multi();
+        for (tid, ob) in obs.iter_mut().enumerate() {
+            if !self.active(tid) {
+                continue;
+            }
+            // Port-blocked while other threads issued → SMT interference.
+            let smt_blocked = multi && n_total[tid] == 0 && port_blocked[tid] && any_issued > 0;
+            // A structural stall only matters if the stage had width left.
+            if n_total[tid] >= self.cfg.issue_width {
+                structural[tid] = None;
+            }
+            self.threads[tid].stats.issued_uops += u64::from(n_correct[tid]);
+            self.threads[tid].stats.issued_wrong_path += u64::from(n_total[tid] - n_correct[tid]);
+            // Only worth computing when a VFP micro-op is actually waiting.
+            let vfp_blame = if self.threads[tid].vfp_waiting > 0 {
+                self.vfp_blame(tid, now)
+            } else {
+                None
+            };
+            let view = IssueView {
+                n_total: n_total[tid],
+                n_correct: n_correct[tid],
+                rs_empty: rs_empty[tid],
+                fe_stall: self.threads[tid].frontend.stall_reason(now),
+                blocking_blame: blocking[tid],
+                structural: structural[tid],
+                smt_blocked,
+                issued: &issued_bufs[tid],
+                vfp_in_rs: vfp_in_rs[tid],
+                vfp_blame,
+                vu_used_by_non_vfp: vu_non_vfp[tid],
+            };
+            ob.on_issue(now, &view);
+        }
+        self.issued_bufs = issued_bufs;
+    }
+
+    // ----- dispatch -------------------------------------------------------
+
+    fn do_dispatch<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
+        let n_threads = self.threads.len();
+        let mut budget = self.cfg.dispatch_width;
+        let mut n_tot = vec![0u32; n_threads];
+        let mut n_cor = vec![0u32; n_threads];
+        let mut backend = vec![false; n_threads];
+        let mut starved_by_smt = vec![false; n_threads];
+        let mut supply_limited = vec![false; n_threads];
+        let rs_cap = self.cfg.rs_size;
+
+        for tid in self.rr_order(now).collect::<Vec<_>>() {
+            if !self.active(tid) {
+                continue;
+            }
+            loop {
+                let rs_len = self.rs.len();
+                let t = &mut self.threads[tid];
+                let Some(f) = t.frontend.peek_ready(now) else {
+                    supply_limited[tid] = true;
+                    break;
+                };
+                if budget == 0 {
+                    starved_by_smt[tid] = true;
+                    break;
+                }
+                let kind = f.uop.kind;
+                if t.rob.is_full() || rs_len >= rs_cap {
+                    backend[tid] = true;
+                    break;
+                }
+                if matches!(kind, UopKind::Store { .. }) && t.stq.is_full() {
+                    backend[tid] = true;
+                    break;
+                }
+                if matches!(kind, UopKind::Load { .. }) && t.ldq_count >= t.ldq_cap {
+                    backend[tid] = true;
+                    break;
+                }
+                let f = t.frontend.pop_ready(now).expect("peeked entry");
+                let seq = t.rob.next_seq();
+                let mut deps = [None; 3];
+                for (slot, r) in f.uop.srcs().enumerate() {
+                    deps[slot] = t.rename[r.index()];
+                }
+                match kind {
+                    UopKind::Store { addr } => t.stq.push(seq, addr),
+                    UopKind::Load { .. } => t.ldq_count += 1,
+                    _ => {}
+                }
+                if let Some(d) = f.uop.dst {
+                    t.rename[d.index()] = Some(seq);
+                }
+                t.rob.push(RobEntry {
+                    fu: f,
+                    seq,
+                    deps,
+                    issued: false,
+                    issued_at: 0,
+                    ready_at: 0,
+                    exec_lat: 0,
+                    mem_level: None,
+                });
+                if kind.is_vfp() {
+                    t.vfp_waiting += 1;
+                }
+                self.rs.push((tid, seq));
+                obs[tid].on_dispatch_uop(now, &f.uop);
+                n_tot[tid] += 1;
+                if !f.wrong_path {
+                    n_cor[tid] += 1;
+                }
+                budget -= 1;
+            }
+        }
+
+        let multi = self.multi();
+        for (tid, ob) in obs.iter_mut().enumerate() {
+            if !self.active(tid) {
+                continue;
+            }
+            if multi && backend[tid] {
+                // Structure full: distinguish own-occupancy (partitioned
+                // ROB) from shared-RS pressure by the other thread.
+                let own_rs = self.rs.iter().filter(|&&(rt, _)| rt == tid).count();
+                let t = &self.threads[tid];
+                if !t.rob.is_full() && self.rs.len() >= rs_cap && own_rs < rs_cap / 2 {
+                    // The shared RS is full mostly with other threads' work.
+                    backend[tid] = false;
+                    starved_by_smt[tid] = true;
+                }
+            }
+            let t = &self.threads[tid];
+            // A thread whose frontend ran dry without any stall cause on a
+            // multi-thread core is starved by the *shared fetch bandwidth*:
+            // blame the co-runner (Eyerman & Eeckhout's shared-frontend
+            // interference), not "other".
+            let fe_stall = t.frontend.stall_reason(now);
+            if multi
+                && supply_limited[tid]
+                && fe_stall.is_none()
+                && !t.frontend.is_drained()
+                && n_tot[tid] < self.cfg.dispatch_width
+                && !backend[tid]
+            {
+                starved_by_smt[tid] = true;
+            }
+            if backend[tid] {
+                self.threads[tid].stats.dispatch_backend_blocked_cycles += 1;
+            }
+            let t = &self.threads[tid];
+            let view = DispatchView {
+                n_total: n_tot[tid],
+                n_correct: n_cor[tid],
+                backend_blocked: backend[tid],
+                smt_blocked: multi && starved_by_smt[tid],
+                head_blame: if multi || backend[tid] {
+                    t.rob.head().and_then(|h| h.blame(now))
+                } else {
+                    None
+                },
+                fe_stall,
+            };
+            ob.on_dispatch(now, &view);
+        }
+    }
+
+    // ----- fetch ----------------------------------------------------------
+
+    fn do_fetch<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
+        // Fetch bandwidth alternates between threads (round-robin SMT
+        // fetch); the off-turn thread reports an SMT-blocked fetch cycle.
+        // With one thread it is always that thread's turn.
+        let n_threads = self.threads.len();
+        let turn = (now as usize) % n_threads;
+        for (tid, ob) in obs.iter_mut().enumerate() {
+            if !self.active(tid) {
+                continue;
+            }
+            if tid == turn {
+                let t = &mut self.threads[tid];
+                let fc = t.frontend.tick(now, &mut self.mem, &mut t.trace);
+                let view = FetchView {
+                    n_total: fc.n_total,
+                    n_correct: fc.n_correct,
+                    fe_stall: t.frontend.stall_reason(now),
+                    backpressure: fc.backpressure,
+                    head_blame: if fc.backpressure {
+                        t.rob.head().and_then(|h| h.blame(now))
+                    } else {
+                        None
+                    },
+                };
+                ob.on_fetch(now, &view);
+            } else {
+                // No fetch slot this cycle: an SMT-shared-frontend stall.
+                let t = &self.threads[tid];
+                let view = FetchView {
+                    n_total: 0,
+                    n_correct: 0,
+                    fe_stall: t.frontend.stall_reason(now),
+                    backpressure: false,
+                    head_blame: None,
+                };
+                ob.on_fetch(now, &view);
+            }
+        }
+    }
+}
+
+// Accessors and result snapshots need no trace bound (the `Debug` impls of
+// the `Core`/`SmtCore` shims call them for any `I`).
+impl<I> Engine<I> {
+    /// Per-thread result snapshots (cycles = the thread's drain time, or
+    /// the current cycle for threads still running).
+    pub fn results(&self) -> Vec<PipelineResult> {
+        (0..self.threads.len()).map(|t| self.result_of(t)).collect()
+    }
+
+    /// Result snapshot for one hardware thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn result_of(&self, tid: usize) -> PipelineResult {
+        let t = &self.threads[tid];
+        PipelineResult {
+            cycles: t.finished_at.unwrap_or(self.cycle),
+            committed_uops: t.committed,
+            committed_flops: t.committed_flops,
+            stats: t.stats,
+            frontend: *t.frontend.stats(),
+            mem: self.mem.stats_snapshot(),
+        }
+    }
+
+    /// Number of hardware threads.
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Committed correct-path micro-ops of thread `tid` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn committed(&self, tid: usize) -> u64 {
+        self.threads[tid].committed
+    }
+
+    /// Committed correct-path micro-ops summed over all threads.
+    pub fn committed_total(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// The core configuration this engine simulates.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// The idealization flags in effect.
+    pub fn ideal(&self) -> IdealFlags {
+        self.ideal
+    }
+}

@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn one_op_per_port_per_cycle() {
-        let mut pf = PortFile::new(&[
-            PortSpec::new(caps::INT_ALU),
-            PortSpec::new(caps::INT_ALU),
-        ]);
+        let mut pf = PortFile::new(&[PortSpec::new(caps::INT_ALU), PortSpec::new(caps::INT_ALU)]);
         pf.begin_cycle(0);
         assert!(pf.try_issue(&alu(), 0, 1).is_some());
         assert!(pf.try_issue(&alu(), 0, 1).is_some());
@@ -207,6 +204,9 @@ mod tests {
             elem: ElemType::F32,
         });
         assert!(unpipelined(&vdiv));
-        assert!(!unpipelined(&UopKind::VecFp(VecFpOp::fma(8, ElemType::F32))));
+        assert!(!unpipelined(&UopKind::VecFp(VecFpOp::fma(
+            8,
+            ElemType::F32
+        ))));
     }
 }

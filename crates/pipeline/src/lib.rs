@@ -39,6 +39,7 @@
 //! ```
 
 pub mod core;
+pub mod engine;
 pub mod exec;
 pub mod lsq;
 pub mod observer;
@@ -47,12 +48,13 @@ pub mod rob;
 pub mod smt;
 
 pub use crate::core::Core;
+pub use engine::{Engine, WATCHDOG_CYCLES};
 pub use exec::PortFile;
 pub use lsq::StoreQueue;
 pub use observer::{
-    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo,
-    StageObserver, StructuralStall,
+    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo, StageObserver,
+    StructuralStall,
 };
-pub use result::{PipelineError, PipelineResult, PipelineStats};
+pub use result::{PipelineError, PipelineResult, PipelineStats, StallStage};
 pub use rob::{Rob, RobEntry};
 pub use smt::SmtCore;

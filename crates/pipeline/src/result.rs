@@ -63,25 +63,64 @@ impl PipelineResult {
     }
 }
 
+/// The pipeline stage a deadlocked hardware thread is stuck in, as
+/// diagnosed by the watchdog (see `Engine::diagnose_stall`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallStage {
+    /// The frontend cannot deliver micro-ops and the window is empty.
+    Fetch,
+    /// Fetched micro-ops are ready but cannot enter the window.
+    Dispatch,
+    /// The window head never issued (dependences or structural hazards).
+    Issue,
+    /// The window head issued but its execution never completes.
+    Execute,
+    /// The window head completed but cannot retire.
+    Commit,
+}
+
+impl std::fmt::Display for StallStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallStage::Fetch => write!(f, "fetch"),
+            StallStage::Dispatch => write!(f, "dispatch"),
+            StallStage::Issue => write!(f, "issue"),
+            StallStage::Execute => write!(f, "execute"),
+            StallStage::Commit => write!(f, "commit"),
+        }
+    }
+}
+
 /// Errors a simulation run can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
     /// The pipeline made no forward progress for too long — a model bug or
-    /// an impossible configuration. Contains the cycle the watchdog fired.
+    /// an impossible configuration. Contains the cycle the watchdog fired
+    /// plus the hardware thread and stage the stall was diagnosed in.
     Deadlock {
         /// Cycle at which the watchdog gave up.
         cycle: u64,
-        /// Committed micro-ops at that point.
+        /// Committed micro-ops (all threads) at that point.
         committed: u64,
+        /// Hardware thread that stopped making progress.
+        thread: usize,
+        /// Stage the stalled thread is stuck in.
+        stage: StallStage,
     },
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PipelineError::Deadlock { cycle, committed } => write!(
+            PipelineError::Deadlock {
+                cycle,
+                committed,
+                thread,
+                stage,
+            } => write!(
                 f,
-                "pipeline deadlock at cycle {cycle} after {committed} committed micro-ops"
+                "pipeline deadlock at cycle {cycle} after {committed} committed micro-ops \
+                 (hardware thread {thread} stalled in the {stage} stage)"
             ),
         }
     }
@@ -126,7 +165,21 @@ mod tests {
         let e = PipelineError::Deadlock {
             cycle: 42,
             committed: 7,
+            thread: 1,
+            stage: StallStage::Issue,
         };
-        assert!(e.to_string().contains("deadlock at cycle 42"));
+        let msg = e.to_string();
+        assert!(msg.contains("deadlock at cycle 42"));
+        assert!(msg.contains("thread 1"));
+        assert!(msg.contains("issue stage"));
+    }
+
+    #[test]
+    fn stall_stage_display() {
+        assert_eq!(StallStage::Fetch.to_string(), "fetch");
+        assert_eq!(StallStage::Dispatch.to_string(), "dispatch");
+        assert_eq!(StallStage::Issue.to_string(), "issue");
+        assert_eq!(StallStage::Execute.to_string(), "execute");
+        assert_eq!(StallStage::Commit.to_string(), "commit");
     }
 }

@@ -5,52 +5,15 @@
 //! stacks at other stages, in line with the algorithms described in
 //! Section III").
 //!
-//! Sharing model (Intel-style):
-//! * each thread has its own frontend, rename table, store queue, and a
-//!   *partitioned* ROB (capacity / threads);
-//! * the reservation stations, execution ports, all caches/TLBs and the
-//!   DRAM channel are shared;
-//! * fetch alternates between threads cycle by cycle (shared frontend
-//!   bandwidth); dispatch and commit share their widths with per-cycle
-//!   round-robin priority.
-//!
-//! Each thread gets its own [`StageObserver`]; cycles a thread loses to
-//! the *other* thread's occupancy are flagged `smt_blocked` in its views,
-//! which the accountants turn into the `Smt` CPI component.
+//! [`SmtCore`] is a thin wrapper over the unified
+//! [`Engine`](crate::Engine) — the sharing model (partitioned ROB/LDQ/STQ,
+//! shared RS/ports/caches, round-robin fetch/dispatch/commit arbitration)
+//! is documented there.
 
-#![allow(clippy::needless_range_loop)] // thread ids index parallel arrays
-
-use crate::exec::PortFile;
-use crate::lsq::{LoadCheck, StoreQueue};
-use crate::observer::{
-    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo,
-    StageObserver, StructuralStall,
-};
-use crate::result::{PipelineError, PipelineResult, PipelineStats};
-use crate::rob::{Rob, RobEntry};
-use mstacks_frontend::FrontendUnit;
-use mstacks_mem::{Hierarchy, HitLevel};
-use mstacks_model::{ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
-
-const WATCHDOG_CYCLES: u64 = 200_000;
-
-/// Per-thread state.
-struct SmtThread<I> {
-    frontend: FrontendUnit,
-    trace: I,
-    rob: Rob,
-    stq: StoreQueue,
-    ldq_count: usize,
-    ldq_cap: usize,
-    rename: Vec<Option<u64>>,
-    pending_redirect: Option<(u64, u64)>,
-    vfp_waiting: usize,
-    committed: u64,
-    committed_flops: u64,
-    stats: PipelineStats,
-    /// Cycle the thread drained (it stops being observed from then on).
-    finished_at: Option<u64>,
-}
+use crate::engine::Engine;
+use crate::observer::StageObserver;
+use crate::result::{PipelineError, PipelineResult};
+use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
 
 /// An SMT core running one trace per hardware thread.
 ///
@@ -80,21 +43,15 @@ struct SmtThread<I> {
 /// assert_eq!(results[0].committed_uops, 800);
 /// ```
 pub struct SmtCore<I> {
-    cfg: CoreConfig,
-    mem: Hierarchy,
-    threads: Vec<SmtThread<I>>,
-    /// Shared reservation stations: `(thread, seq)` in dispatch order.
-    rs: Vec<(usize, u64)>,
-    ports: PortFile,
-    cycle: u64,
+    engine: Engine<I>,
 }
 
 impl<I> std::fmt::Debug for SmtCore<I> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SmtCore")
-            .field("config", &self.cfg.name)
-            .field("threads", &self.threads.len())
-            .field("cycle", &self.cycle)
+            .field("config", &self.engine.config().name)
+            .field("threads", &self.engine.n_threads())
+            .field("cycle", &self.engine.cycle())
             .finish()
     }
 }
@@ -108,45 +65,9 @@ impl<I: Iterator<Item = MicroOp>> SmtCore<I> {
     /// Panics if `traces` is empty or larger than 4, or if partitioning
     /// leaves a thread without resources.
     pub fn new(cfg: CoreConfig, ideal: IdealFlags, traces: Vec<I>) -> Self {
-        let n = traces.len();
-        assert!((1..=4).contains(&n), "1..=4 SMT threads supported");
-        let rob_part = cfg.rob_size / n;
-        let stq_part = (cfg.stq_size / n).max(1);
-        let ldq_part = (cfg.ldq_size / n).max(1);
-        assert!(rob_part > 0, "ROB partition too small");
-        let mut mem = Hierarchy::new(&cfg.mem);
-        mem.set_perfect_icache(ideal.perfect_icache);
-        mem.set_perfect_dcache(ideal.perfect_dcache);
-        let threads = traces
-            .into_iter()
-            .map(|trace| SmtThread {
-                frontend: FrontendUnit::new(&cfg, ideal.perfect_bpred),
-                trace,
-                rob: Rob::new(rob_part),
-                stq: StoreQueue::new(stq_part),
-                ldq_count: 0,
-                ldq_cap: ldq_part,
-                rename: vec![None; ArchReg::COUNT],
-                pending_redirect: None,
-                vfp_waiting: 0,
-                committed: 0,
-                committed_flops: 0,
-                stats: PipelineStats::default(),
-                finished_at: None,
-            })
-            .collect();
         SmtCore {
-            ports: PortFile::new(&cfg.ports),
-            mem,
-            threads,
-            rs: Vec::with_capacity(cfg.rs_size),
-            cycle: 0,
-            cfg,
+            engine: Engine::new(cfg, ideal, traces),
         }
-    }
-
-    fn thread_done(t: &SmtThread<I>) -> bool {
-        t.frontend.is_drained() && t.rob.is_empty()
     }
 
     /// Runs all threads to completion; `obs[t]` observes thread `t`.
@@ -163,509 +84,38 @@ impl<I: Iterator<Item = MicroOp>> SmtCore<I> {
         &mut self,
         obs: &mut [O],
     ) -> Result<Vec<PipelineResult>, PipelineError> {
-        assert_eq!(obs.len(), self.threads.len(), "one observer per thread");
-        let mut last_progress = 0u64;
-        let mut last_total = 0u64;
-        while !self.threads.iter().all(Self::thread_done) {
-            self.step(obs);
-            let total: u64 = self.threads.iter().map(|t| t.committed).sum();
-            if total != last_total {
-                last_total = total;
-                last_progress = self.cycle;
-            } else if self.cycle - last_progress > WATCHDOG_CYCLES {
-                return Err(PipelineError::Deadlock {
-                    cycle: self.cycle,
-                    committed: total,
-                });
-            }
-        }
-        Ok(self.results())
+        self.engine.run(obs)
     }
 
     /// Per-thread result snapshots (cycles = the thread's drain time).
     pub fn results(&self) -> Vec<PipelineResult> {
-        self.threads
-            .iter()
-            .map(|t| PipelineResult {
-                cycles: t.finished_at.unwrap_or(self.cycle),
-                committed_uops: t.committed,
-                committed_flops: t.committed_flops,
-                stats: t.stats,
-                frontend: *t.frontend.stats(),
-                mem: self.mem.stats_snapshot(),
-            })
-            .collect()
-    }
-
-    fn exec_latency(&self, kind: &UopKind, ideal_alu: bool) -> u64 {
-        if ideal_alu && !kind.is_mem() {
-            1
-        } else {
-            u64::from(self.cfg.lat.exec_latency(kind))
-        }
+        self.engine.results()
     }
 
     /// Advances the shared pipeline by one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs.len()` differs from the thread count.
     pub fn step<O: StageObserver>(&mut self, obs: &mut [O]) {
-        let now = self.cycle;
-        self.do_resolve(now, obs);
-        self.do_commit(now, obs);
-        self.do_issue(now, obs);
-        self.do_dispatch(now, obs);
-        self.do_fetch(now, obs);
-        for (tid, t) in self.threads.iter_mut().enumerate() {
-            if t.finished_at.is_none() && t.frontend.is_drained() && t.rob.is_empty() {
-                t.finished_at = Some(now + 1);
-                let _ = tid;
-            }
-        }
-        self.cycle += 1;
+        self.engine.step(obs);
     }
 
-    fn active(&self, tid: usize) -> bool {
-        self.threads[tid].finished_at.is_none()
-    }
-
-    /// Round-robin thread order starting at `cycle % n`.
-    fn rr_order(&self, now: u64) -> Vec<usize> {
-        let n = self.threads.len();
-        (0..n).map(|i| (now as usize + i) % n).collect()
-    }
-
-    fn do_resolve<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
-        for tid in 0..self.threads.len() {
-            let Some((seq, at)) = self.threads[tid].pending_redirect else {
-                continue;
-            };
-            if at > now {
-                continue;
-            }
-            let t = &mut self.threads[tid];
-            let (squashed, squashed_branches) = t.rob.squash_younger_than(seq);
-            self.rs.retain(|&(rt, rs_seq)| rt != tid || rs_seq <= seq);
-            t.stq.squash_younger_than(seq);
-            t.ldq_count = t.rob.iter().filter(|e| e.fu.uop.kind.is_load()).count();
-            t.rename.fill(None);
-            let mut fresh = vec![None; ArchReg::COUNT];
-            for e in t.rob.iter() {
-                if let Some(d) = e.fu.uop.dst {
-                    fresh[d.index()] = Some(e.seq);
-                }
-            }
-            t.rename = fresh;
-            t.frontend.redirect(now);
-            t.stats.squashed_uops += squashed;
-            t.stats.redirects += 1;
-            t.pending_redirect = None;
-            // Recount this thread's waiting VFP micro-ops.
-            let rob = &t.rob;
-            t.vfp_waiting = self
-                .rs
-                .iter()
-                .filter(|&&(rt, s)| {
-                    rt == tid && rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp())
-                })
-                .count();
-            obs[tid].on_squash(now, squashed, squashed_branches);
-        }
-    }
-
-    fn do_commit<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
-        let mut budget = self.cfg.commit_width;
-        let order = self.rr_order(now);
-        let mut per_thread_n = vec![0u32; self.threads.len()];
-        let mut head_ready_unserved = vec![false; self.threads.len()];
-        for &tid in &order {
-            if !self.active(tid) {
-                continue;
-            }
-            loop {
-                let t = &mut self.threads[tid];
-                let Some(head) = t.rob.head() else { break };
-                if !head.is_done(now) {
-                    break;
-                }
-                if budget == 0 {
-                    head_ready_unserved[tid] = true;
-                    break;
-                }
-                let e = t.rob.pop_head().expect("head exists");
-                debug_assert!(!e.fu.wrong_path);
-                match e.fu.uop.kind {
-                    UopKind::Store { .. } => t.stq.retire(e.seq),
-                    UopKind::Load { .. } => t.ldq_count -= 1,
-                    _ => {}
-                }
-                if let Some(d) = e.fu.uop.dst {
-                    if t.rename[d.index()] == Some(e.seq) {
-                        t.rename[d.index()] = None;
-                    }
-                }
-                t.committed += 1;
-                t.committed_flops += e.fu.uop.flops();
-                obs[tid].on_commit_uop(now, &e.fu.uop);
-                per_thread_n[tid] += 1;
-                budget -= 1;
-            }
-        }
-        for tid in 0..self.threads.len() {
-            if !self.active(tid) {
-                continue;
-            }
-            let t = &self.threads[tid];
-            let view = CommitView {
-                n: per_thread_n[tid],
-                rob_empty: t.rob.is_empty(),
-                smt_blocked: head_ready_unserved[tid],
-                fe_stall: t.frontend.stall_reason(now),
-                head_blame: t.rob.head().and_then(|h| h.blame(now)),
-            };
-            obs[tid].on_commit(now, &view);
-        }
-    }
-
-    fn producer_blame(&self, tid: usize, e: &RobEntry, now: u64) -> Blame {
-        let rob = &self.threads[tid].rob;
-        for p in e.deps.iter().flatten() {
-            if rob.producer_done(*p, now) {
-                continue;
-            }
-            let Some(pe) = rob.get(*p) else { continue };
-            if pe.issued {
-                if pe.mem_level.is_some_and(|l| l.beyond_l1()) {
-                    return Blame::Dcache(pe.mem_level.unwrap_or(HitLevel::Mem));
-                }
-                if pe.exec_lat > 1 {
-                    return Blame::LongLat;
-                }
-            }
-            return Blame::Depend;
-        }
-        Blame::Depend
-    }
-
-    fn vfp_blame(&self, tid: usize, now: u64) -> Option<FlopsBlame> {
-        let rob = &self.threads[tid].rob;
-        let seq = self
-            .rs
-            .iter()
-            .filter(|&&(rt, _)| rt == tid)
-            .map(|&(_, s)| s)
-            .find(|&s| rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp()))?;
-        let e = rob.get(seq)?;
-        for p in e.deps.iter().flatten() {
-            if rob.producer_done(*p, now) {
-                continue;
-            }
-            let Some(pe) = rob.get(*p) else { continue };
-            return Some(if pe.fu.uop.kind.is_load() {
-                FlopsBlame::Memory
-            } else {
-                FlopsBlame::Depend
-            });
-        }
-        Some(FlopsBlame::Depend)
-    }
-
-    fn do_issue<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
-        self.ports.begin_cycle(now);
-        let n_threads = self.threads.len();
-        let mut issued_bufs: Vec<Vec<IssuedInfo>> = vec![Vec::new(); n_threads];
-        let mut n_total = vec![0u32; n_threads];
-        let mut n_correct = vec![0u32; n_threads];
-        let mut blocking: Vec<Option<Blame>> = vec![None; n_threads];
-        let mut structural: Vec<Option<StructuralStall>> = vec![None; n_threads];
-        let mut port_blocked = vec![false; n_threads];
-        let mut vu_non_vfp = vec![false; n_threads];
-        let rs_empty: Vec<bool> = (0..n_threads)
-            .map(|tid| !self.rs.iter().any(|&(rt, _)| rt == tid))
-            .collect();
-        let ideal_alu = false; // SMT runs use realistic latencies unless set below
-
-        let mut budget = self.cfg.issue_width;
-        let mut i = 0;
-        while i < self.rs.len() && budget > 0 {
-            let (tid, seq) = self.rs[i];
-            let e = *self.threads[tid].rob.get(seq).expect("RS entry in ROB");
-            let rob = &self.threads[tid].rob;
-            let deps_ready = e.deps.iter().flatten().all(|&p| rob.producer_done(p, now));
-            if !deps_ready {
-                if blocking[tid].is_none() {
-                    blocking[tid] = Some(self.producer_blame(tid, &e, now));
-                }
-                i += 1;
-                continue;
-            }
-            let kind = e.fu.uop.kind;
-            let mut forward = false;
-            if let UopKind::Load { addr } = kind {
-                match self.threads[tid].stq.check_load(seq, addr) {
-                    LoadCheck::Blocked => {
-                        structural[tid] =
-                            structural[tid].or(Some(StructuralStall::MemDisambiguation));
-                        i += 1;
-                        continue;
-                    }
-                    LoadCheck::Forward => forward = true,
-                    LoadCheck::Proceed => {}
-                }
-            }
-            let base_lat = self.exec_latency(&kind, ideal_alu);
-            let Some(port) = self.ports.try_issue(&kind, now, base_lat) else {
-                structural[tid] = structural[tid].or(Some(StructuralStall::Ports));
-                port_blocked[tid] = true;
-                i += 1;
-                continue;
-            };
-            let (ready_at, mem_level) = match kind {
-                UopKind::Load { addr } => {
-                    if forward {
-                        self.threads[tid].stats.store_forwards += 1;
-                        (now + u64::from(self.cfg.mem.l1d.latency), Some(HitLevel::L1))
-                    } else {
-                        let res = self.mem.load(addr, e.fu.uop.pc, now);
-                        (res.ready, Some(res.level))
-                    }
-                }
-                UopKind::Store { addr } => {
-                    self.threads[tid].stq.mark_executed(seq);
-                    let _ = self.mem.store(addr, e.fu.uop.pc, now);
-                    (now + base_lat, None)
-                }
-                _ => (now + base_lat, None),
-            };
-            {
-                let em = self.threads[tid].rob.get_mut(seq).expect("entry");
-                em.issued = true;
-                em.issued_at = now;
-                em.ready_at = ready_at;
-                em.exec_lat = ready_at - now;
-                em.mem_level = mem_level;
-            }
-            if e.fu.mispredicted_branch && !e.fu.wrong_path {
-                self.threads[tid].pending_redirect = Some((seq, ready_at));
-            }
-            let on_vpu = self.ports.is_vpu(port);
-            if on_vpu && !kind.is_vfp() {
-                vu_non_vfp[tid] = true;
-            }
-            if kind.is_vfp() {
-                self.threads[tid].vfp_waiting -= 1;
-            }
-            issued_bufs[tid].push(IssuedInfo {
-                uop: e.fu.uop,
-                wrong_path: e.fu.wrong_path,
-                on_vpu,
-            });
-            n_total[tid] += 1;
-            if !e.fu.wrong_path {
-                n_correct[tid] += 1;
-            }
-            self.rs.remove(i);
-            budget -= 1;
-        }
-
-        let any_issued: u32 = n_total.iter().sum();
-        for tid in 0..n_threads {
-            if !self.active(tid) {
-                continue;
-            }
-            // Port-blocked while other threads issued → SMT interference.
-            let smt_blocked =
-                n_total[tid] == 0 && port_blocked[tid] && any_issued > 0;
-            if n_total[tid] >= self.cfg.issue_width {
-                structural[tid] = None;
-            }
-            self.threads[tid].stats.issued_uops += u64::from(n_correct[tid]);
-            self.threads[tid].stats.issued_wrong_path +=
-                u64::from(n_total[tid] - n_correct[tid]);
-            let vfp_blame = if self.threads[tid].vfp_waiting > 0 {
-                self.vfp_blame(tid, now)
-            } else {
-                None
-            };
-            let view = IssueView {
-                n_total: n_total[tid],
-                n_correct: n_correct[tid],
-                rs_empty: rs_empty[tid],
-                fe_stall: self.threads[tid].frontend.stall_reason(now),
-                blocking_blame: blocking[tid],
-                structural: structural[tid],
-                smt_blocked,
-                issued: &issued_bufs[tid],
-                vfp_in_rs: self.threads[tid].vfp_waiting > 0 || !issued_bufs[tid].is_empty(),
-                vfp_blame,
-                vu_used_by_non_vfp: vu_non_vfp[tid],
-            };
-            obs[tid].on_issue(now, &view);
-        }
-    }
-
-    fn do_dispatch<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
-        let n_threads = self.threads.len();
-        let mut budget = self.cfg.dispatch_width;
-        let mut n_tot = vec![0u32; n_threads];
-        let mut n_cor = vec![0u32; n_threads];
-        let mut backend = vec![false; n_threads];
-        let mut starved_by_smt = vec![false; n_threads];
-        let mut supply_limited = vec![false; n_threads];
-        let rs_cap = self.cfg.rs_size;
-
-        for &tid in &self.rr_order(now) {
-            if !self.active(tid) {
-                continue;
-            }
-            loop {
-                let rs_len = self.rs.len();
-                let t = &mut self.threads[tid];
-                let Some(f) = t.frontend.peek_ready(now) else {
-                    supply_limited[tid] = true;
-                    break;
-                };
-                if budget == 0 {
-                    starved_by_smt[tid] = true;
-                    break;
-                }
-                let kind = f.uop.kind;
-                if t.rob.is_full() || rs_len >= rs_cap {
-                    backend[tid] = true;
-                    break;
-                }
-                if matches!(kind, UopKind::Store { .. }) && t.stq.is_full() {
-                    backend[tid] = true;
-                    break;
-                }
-                if matches!(kind, UopKind::Load { .. }) && t.ldq_count >= t.ldq_cap {
-                    backend[tid] = true;
-                    break;
-                }
-                let f = t.frontend.pop_ready(now).expect("peeked");
-                let seq = t.rob.next_seq();
-                let mut deps = [None; 3];
-                for (slot, r) in f.uop.srcs().enumerate() {
-                    deps[slot] = t.rename[r.index()];
-                }
-                match kind {
-                    UopKind::Store { addr } => t.stq.push(seq, addr),
-                    UopKind::Load { .. } => t.ldq_count += 1,
-                    _ => {}
-                }
-                if let Some(d) = f.uop.dst {
-                    t.rename[d.index()] = Some(seq);
-                }
-                t.rob.push(RobEntry {
-                    fu: f,
-                    seq,
-                    deps,
-                    issued: false,
-                    issued_at: 0,
-                    ready_at: 0,
-                    exec_lat: 0,
-                    mem_level: None,
-                });
-                if kind.is_vfp() {
-                    t.vfp_waiting += 1;
-                }
-                self.rs.push((tid, seq));
-                obs[tid].on_dispatch_uop(now, &f.uop);
-                n_tot[tid] += 1;
-                if !f.wrong_path {
-                    n_cor[tid] += 1;
-                }
-                budget -= 1;
-            }
-        }
-
-        for tid in 0..n_threads {
-            if !self.active(tid) {
-                continue;
-            }
-            let t = &self.threads[tid];
-            if backend[tid] {
-                // Structure full: distinguish own-occupancy (partitioned
-                // ROB) from shared-RS pressure by the other thread.
-                let own_rs = self.rs.iter().filter(|&&(rt, _)| rt == tid).count();
-                if !t.rob.is_full() && self.rs.len() >= rs_cap && own_rs < rs_cap / 2 {
-                    // The shared RS is full mostly with other threads' work.
-                    backend[tid] = false;
-                    starved_by_smt[tid] = true;
-                }
-            }
-            // A thread whose frontend ran dry without any stall cause on a
-            // multi-thread core is starved by the *shared fetch bandwidth*:
-            // blame the co-runner (Eyerman & Eeckhout's shared-frontend
-            // interference), not "other".
-            let fe_stall = t.frontend.stall_reason(now);
-            if n_threads > 1
-                && supply_limited[tid]
-                && fe_stall.is_none()
-                && !t.frontend.is_drained()
-                && n_tot[tid] < self.cfg.dispatch_width
-                && !backend[tid]
-            {
-                starved_by_smt[tid] = true;
-            }
-            let view = DispatchView {
-                n_total: n_tot[tid],
-                n_correct: n_cor[tid],
-                backend_blocked: backend[tid],
-                smt_blocked: starved_by_smt[tid],
-                head_blame: t.rob.head().and_then(|h| h.blame(now)),
-                fe_stall,
-            };
-            obs[tid].on_dispatch(now, &view);
-        }
-    }
-
-    fn do_fetch<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
-        // Fetch bandwidth alternates between threads (round-robin SMT
-        // fetch); the off-turn thread reports an SMT-blocked fetch cycle.
-        let n_threads = self.threads.len();
-        let turn = (now as usize) % n_threads;
-        for tid in 0..n_threads {
-            if !self.active(tid) {
-                continue;
-            }
-            if tid == turn {
-                let t = &mut self.threads[tid];
-                let fc = t.frontend.tick(now, &mut self.mem, &mut t.trace);
-                let view = FetchView {
-                    n_total: fc.n_total,
-                    n_correct: fc.n_correct,
-                    fe_stall: t.frontend.stall_reason(now),
-                    backpressure: fc.backpressure,
-                    head_blame: if fc.backpressure {
-                        t.rob.head().and_then(|h| h.blame(now))
-                    } else {
-                        None
-                    },
-                };
-                obs[tid].on_fetch(now, &view);
-            } else {
-                // No fetch slot this cycle: an SMT-shared-frontend stall.
-                let t = &self.threads[tid];
-                let view = FetchView {
-                    n_total: 0,
-                    n_correct: 0,
-                    fe_stall: t.frontend.stall_reason(now),
-                    backpressure: false,
-                    head_blame: None,
-                };
-                obs[tid].on_fetch(now, &view);
-            }
-        }
+    /// Number of hardware threads.
+    pub fn n_threads(&self) -> usize {
+        self.engine.n_threads()
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        self.engine.cycle()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mstacks_model::{AluClass, ArchReg};
+    use mstacks_model::{AluClass, ArchReg, UopKind};
 
     fn alu_trace(n: u64, pc_base: u64) -> impl Iterator<Item = MicroOp> {
         (0..n).map(move |i| {
@@ -679,7 +129,9 @@ mod tests {
     }
 
     fn ideal() -> IdealFlags {
-        IdealFlags::none().with_perfect_icache().with_perfect_bpred()
+        IdealFlags::none()
+            .with_perfect_icache()
+            .with_perfect_bpred()
     }
 
     #[test]
@@ -737,7 +189,19 @@ mod tests {
     }
 
     #[test]
-    fn deterministic() {
+    fn single_thread_smt_is_bit_identical_to_core() {
+        // The unified engine's n=1 instantiation must be exactly the
+        // single-core pipeline, not merely close.
+        let mut solo = crate::core::Core::new(bdw(), IdealFlags::none(), alu_trace(5_000, 0x1000));
+        let solo_result = solo.run(&mut ()).expect("runs");
+        let mut smt = SmtCore::new(bdw(), IdealFlags::none(), vec![alu_trace(5_000, 0x1000)]);
+        let mut obs = [()];
+        let results = smt.run(&mut obs).expect("runs");
+        assert_eq!(results[0], solo_result);
+    }
+
+    #[test]
+    fn determinism() {
         let run = || {
             let mut smt = SmtCore::new(
                 bdw(),
@@ -751,7 +215,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1..=4 SMT threads")]
+    #[should_panic(expected = "1..=4 hardware threads")]
     fn zero_threads_panics() {
         let _ = SmtCore::<std::vec::IntoIter<MicroOp>>::new(bdw(), IdealFlags::none(), vec![]);
     }

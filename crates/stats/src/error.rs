@@ -137,9 +137,17 @@ mod tests {
     fn relevance_filter() {
         let m = multi(0.05, 0.08, 0.2);
         // Dcache is 0.2 / 0.45 ≈ 44% of commit CPI → relevant at 10%.
-        assert!(ComponentErrorStudy::is_relevant(&m, Component::Dcache, 0.10));
+        assert!(ComponentErrorStudy::is_relevant(
+            &m,
+            Component::Dcache,
+            0.10
+        ));
         // Bpred is zero everywhere.
-        assert!(!ComponentErrorStudy::is_relevant(&m, Component::Bpred, 0.10));
+        assert!(!ComponentErrorStudy::is_relevant(
+            &m,
+            Component::Bpred,
+            0.10
+        ));
     }
 
     #[test]

@@ -130,7 +130,11 @@ pub fn cpi_stack_lines(stack: &CpiStack, bar_width: usize) -> String {
         ));
         // Per-level refinement of the Dcache component (paper §III-A).
         if c == Component::Dcache {
-            for (name, level) in [("· l2", HitLevel::L2), ("· l3", HitLevel::L3), ("· mem", HitLevel::Mem)] {
+            for (name, level) in [
+                ("· l2", HitLevel::L2),
+                ("· l3", HitLevel::L3),
+                ("· mem", HitLevel::Mem),
+            ] {
                 let lv = stack.dcache_level_cpi(level);
                 if lv > 1e-9 {
                     out.push_str(&format!("    {name:<10} {lv:>7.3}\n"));

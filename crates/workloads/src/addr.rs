@@ -7,8 +7,7 @@
 //! DRAM misses — and a `Stream` pattern is what wakes the stride
 //! prefetcher up (paper Fig. 3(c)).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mstacks_model::rng::SmallRng;
 
 /// A static address pattern over one working set.
 #[derive(Debug, Clone, Copy, PartialEq)]

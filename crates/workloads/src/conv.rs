@@ -97,7 +97,11 @@ impl ConvTrace {
                 1 => (IDX1, IDX1),
                 _ => (IDX2, IDX2),
             };
-            let class = if i % 2 == 0 { AluClass::Lea } else { AluClass::Add };
+            let class = if i % 2 == 0 {
+                AluClass::Lea
+            } else {
+                AluClass::Add
+            };
             self.queue.push_back(
                 MicroOp::new(*pc, UopKind::IntAlu(class))
                     .with_src(ArchReg::new(src))
@@ -191,8 +195,7 @@ impl ConvTrace {
                     let addr = self.out_base() + self.out_pos;
                     self.out_pos = (self.out_pos + 16) % self.out_bytes;
                     self.queue.push_back(
-                        MicroOp::new(pc, UopKind::Store { addr })
-                            .with_src(ArchReg::new(ACC_BASE)),
+                        MicroOp::new(pc, UopKind::Store { addr }).with_src(ArchReg::new(ACC_BASE)),
                     );
                     pc += 4;
                 }
@@ -201,13 +204,11 @@ impl ConvTrace {
                 // Accumulate into the (hot) filter gradient: load + store.
                 let addr = self.filt_base() + (self.iter * 16) % (4 * 1024).min(self.filt_bytes);
                 self.queue.push_back(
-                    MicroOp::new(pc, UopKind::Load { addr })
-                        .with_dst(ArchReg::new(LOAD_RING + 2)),
+                    MicroOp::new(pc, UopKind::Load { addr }).with_dst(ArchReg::new(LOAD_RING + 2)),
                 );
                 pc += 4;
                 self.queue.push_back(
-                    MicroOp::new(pc, UopKind::Store { addr })
-                        .with_src(ArchReg::new(ACC_BASE)),
+                    MicroOp::new(pc, UopKind::Store { addr }).with_src(ArchReg::new(ACC_BASE)),
                 );
                 pc += 4;
             }
@@ -217,8 +218,7 @@ impl ConvTrace {
                 let scatter_step = 64 * (1 + stride_bytes);
                 let addr = self.out_base() + (self.iter * scatter_step) % self.out_bytes;
                 self.queue.push_back(
-                    MicroOp::new(pc, UopKind::Store { addr })
-                        .with_src(ArchReg::new(ACC_BASE)),
+                    MicroOp::new(pc, UopKind::Store { addr }).with_src(ArchReg::new(ACC_BASE)),
                 );
                 pc += 4;
             }

@@ -32,28 +32,33 @@ impl GemmConfig {
 /// Scaled-down DeepBench training GEMM shapes.
 pub fn sgemm_train_configs() -> Vec<GemmConfig> {
     let dims: [(usize, usize, usize); 12] = [
-        (110, 440, 110),  // 1760×7000×1760 / 16
-        (128, 440, 128),  // 2048×7000×2048
-        (160, 440, 160),  // 2560×7000×2560
-        (110, 220, 110),  // smaller batch
+        (110, 440, 110), // 1760×7000×1760 / 16
+        (128, 440, 128), // 2048×7000×2048
+        (160, 440, 160), // 2560×7000×2560
+        (110, 220, 110), // smaller batch
         (128, 220, 128),
-        (230, 128, 128),  // attention-style tall
+        (230, 128, 128), // attention-style tall
         (256, 64, 256),
-        (110, 440, 55),   // rectangular K
-        (64, 880, 64),    // very wide N
+        (110, 440, 55), // rectangular K
+        (64, 880, 64),  // very wide N
         (320, 110, 320),
         (96, 330, 96),
-        (440, 440, 64),   // wide M×N, short K
+        (440, 440, 64), // wide M×N, short K
     ];
     dims.iter()
-        .map(|&(m, n, k)| GemmConfig { m, n, k, train: true })
+        .map(|&(m, n, k)| GemmConfig {
+            m,
+            n,
+            k,
+            train: true,
+        })
         .collect()
 }
 
 /// Scaled-down DeepBench inference GEMM shapes (batch-1-ish: tiny N).
 pub fn sgemm_inference_configs() -> Vec<GemmConfig> {
     let dims: [(usize, usize, usize); 10] = [
-        (320, 16, 128),   // 5124×1/2-ish batch
+        (320, 16, 128), // 5124×1/2-ish batch
         (320, 16, 160),
         (440, 16, 110),
         (128, 16, 128),
@@ -65,7 +70,12 @@ pub fn sgemm_inference_configs() -> Vec<GemmConfig> {
         (110, 32, 110),
     ];
     dims.iter()
-        .map(|&(m, n, k)| GemmConfig { m, n, k, train: false })
+        .map(|&(m, n, k)| GemmConfig {
+            m,
+            n,
+            k,
+            train: false,
+        })
         .collect()
 }
 
@@ -127,10 +137,26 @@ pub struct RnnConfig {
 /// Scaled-down DeepBench recurrent-layer shapes.
 pub fn rnn_configs() -> Vec<RnnConfig> {
     vec![
-        RnnConfig { hidden: 110, batch: 4, timesteps: 8 },  // 1760/16 speech
-        RnnConfig { hidden: 160, batch: 4, timesteps: 8 },  // 2560/16
-        RnnConfig { hidden: 64, batch: 8, timesteps: 16 },  // small translator
-        RnnConfig { hidden: 128, batch: 2, timesteps: 8 },
+        RnnConfig {
+            hidden: 110,
+            batch: 4,
+            timesteps: 8,
+        }, // 1760/16 speech
+        RnnConfig {
+            hidden: 160,
+            batch: 4,
+            timesteps: 8,
+        }, // 2560/16
+        RnnConfig {
+            hidden: 64,
+            batch: 8,
+            timesteps: 16,
+        }, // small translator
+        RnnConfig {
+            hidden: 128,
+            batch: 2,
+            timesteps: 8,
+        },
     ]
 }
 
@@ -138,20 +164,110 @@ pub fn rnn_configs() -> Vec<RnnConfig> {
 pub fn conv_configs() -> Vec<ConvConfig> {
     vec![
         // Early layers: large spatial, few channels, stride 2.
-        ConvConfig { w: 56, h: 56, c: 3, n: 2, k: 16, fw: 7, fh: 7, stride: 2 },
-        ConvConfig { w: 28, h: 28, c: 16, n: 2, k: 32, fw: 5, fh: 5, stride: 2 },
+        ConvConfig {
+            w: 56,
+            h: 56,
+            c: 3,
+            n: 2,
+            k: 16,
+            fw: 7,
+            fh: 7,
+            stride: 2,
+        },
+        ConvConfig {
+            w: 28,
+            h: 28,
+            c: 16,
+            n: 2,
+            k: 32,
+            fw: 5,
+            fh: 5,
+            stride: 2,
+        },
         // Mid layers.
-        ConvConfig { w: 28, h: 28, c: 32, n: 2, k: 32, fw: 3, fh: 3, stride: 1 },
-        ConvConfig { w: 14, h: 14, c: 32, n: 2, k: 64, fw: 3, fh: 3, stride: 1 },
-        ConvConfig { w: 14, h: 14, c: 64, n: 2, k: 64, fw: 3, fh: 3, stride: 1 },
+        ConvConfig {
+            w: 28,
+            h: 28,
+            c: 32,
+            n: 2,
+            k: 32,
+            fw: 3,
+            fh: 3,
+            stride: 1,
+        },
+        ConvConfig {
+            w: 14,
+            h: 14,
+            c: 32,
+            n: 2,
+            k: 64,
+            fw: 3,
+            fh: 3,
+            stride: 1,
+        },
+        ConvConfig {
+            w: 14,
+            h: 14,
+            c: 64,
+            n: 2,
+            k: 64,
+            fw: 3,
+            fh: 3,
+            stride: 1,
+        },
         // Late layers: small spatial, many channels.
-        ConvConfig { w: 7, h: 7, c: 64, n: 2, k: 128, fw: 3, fh: 3, stride: 1 },
-        ConvConfig { w: 7, h: 7, c: 128, n: 2, k: 128, fw: 3, fh: 3, stride: 1 },
+        ConvConfig {
+            w: 7,
+            h: 7,
+            c: 64,
+            n: 2,
+            k: 128,
+            fw: 3,
+            fh: 3,
+            stride: 1,
+        },
+        ConvConfig {
+            w: 7,
+            h: 7,
+            c: 128,
+            n: 2,
+            k: 128,
+            fw: 3,
+            fh: 3,
+            stride: 1,
+        },
         // 1×1 bottlenecks.
-        ConvConfig { w: 14, h: 14, c: 64, n: 2, k: 32, fw: 1, fh: 1, stride: 1 },
-        ConvConfig { w: 7, h: 7, c: 128, n: 2, k: 64, fw: 1, fh: 1, stride: 1 },
+        ConvConfig {
+            w: 14,
+            h: 14,
+            c: 64,
+            n: 2,
+            k: 32,
+            fw: 1,
+            fh: 1,
+            stride: 1,
+        },
+        ConvConfig {
+            w: 7,
+            h: 7,
+            c: 128,
+            n: 2,
+            k: 64,
+            fw: 1,
+            fh: 1,
+            stride: 1,
+        },
         // Wide RNN-ish speech layer.
-        ConvConfig { w: 40, h: 20, c: 8, n: 2, k: 16, fw: 5, fh: 3, stride: 1 },
+        ConvConfig {
+            w: 40,
+            h: 20,
+            c: 8,
+            n: 2,
+            k: 16,
+            fw: 5,
+            fh: 3,
+            stride: 1,
+        },
     ]
 }
 
@@ -173,13 +289,27 @@ mod tests {
 
     #[test]
     fn gemm_flops() {
-        let c = GemmConfig { m: 10, n: 20, k: 30, train: true };
+        let c = GemmConfig {
+            m: 10,
+            n: 20,
+            k: 30,
+            train: true,
+        };
         assert_eq!(c.flops(), 12_000);
     }
 
     #[test]
     fn conv_geometry_and_flops() {
-        let c = ConvConfig { w: 28, h: 28, c: 16, n: 1, k: 32, fw: 3, fh: 3, stride: 1 };
+        let c = ConvConfig {
+            w: 28,
+            h: 28,
+            c: 16,
+            n: 1,
+            k: 32,
+            fw: 3,
+            fh: 3,
+            stride: 1,
+        };
         assert_eq!(c.out_w(), 26);
         assert_eq!(c.out_h(), 26);
         assert_eq!(c.flops(), 2 * 26 * 26 * 32 * 16 * 9);

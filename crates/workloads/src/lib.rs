@@ -97,10 +97,9 @@ impl Workload {
             Workload::Gemm { cfg, style, .. } => {
                 format!("sgemm-{}x{}x{}-{}", cfg.m, cfg.n, cfg.k, style)
             }
-            Workload::Conv { cfg, phase, .. } => format!(
-                "conv-{}x{}x{}k{}-{}",
-                cfg.w, cfg.h, cfg.c, cfg.k, phase
-            ),
+            Workload::Conv { cfg, phase, .. } => {
+                format!("conv-{}x{}x{}k{}-{}", cfg.w, cfg.h, cfg.c, cfg.k, phase)
+            }
             Workload::Rnn { cfg, cell, .. } => {
                 format!("{}-h{}b{}", cell, cfg.hidden, cfg.batch)
             }
@@ -168,10 +167,7 @@ mod tests {
 
     #[test]
     fn sequence_concatenates_and_repeats() {
-        let seq = Workload::Sequence(vec![
-            (spec::exchange2(), 2_000),
-            (spec::mcf(), 2_000),
-        ]);
+        let seq = Workload::Sequence(vec![(spec::exchange2(), 2_000), (spec::mcf(), 2_000)]);
         assert_eq!(seq.trace(9_000).count(), 9_000); // 2¼ rounds
         assert!(seq.name().contains("exchange2"));
         assert!(seq.name().contains("mcf"));
@@ -179,8 +175,11 @@ mod tests {
         // dominated by hard random branches, exchange2 by loops.
         let us: Vec<_> = seq.trace(4_000).collect();
         let mcf_alone: Vec<_> = spec::mcf().trace(2_000).collect();
-        assert_eq!(&us[2_000..], &mcf_alone[..],
-            "the second phase must be exactly the mcf stream");
+        assert_eq!(
+            &us[2_000..],
+            &mcf_alone[..],
+            "the second phase must be exactly the mcf stream"
+        );
     }
 
     #[test]

@@ -10,11 +10,10 @@
 //! seeded PRNGs at execution time.
 
 use crate::addr::{AddrGen, AddrPattern};
+use mstacks_model::rng::SmallRng;
 use mstacks_model::{
     AluClass, ArchReg, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp,
 };
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A static instruction template inside a block.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,11 +184,18 @@ impl Executor {
     /// Panics if the program has no blocks or an out-of-range pattern
     /// index.
     pub fn new(program: Program, seed: u64) -> Self {
-        assert!(!program.blocks.is_empty(), "program needs at least one block");
+        assert!(
+            !program.blocks.is_empty(),
+            "program needs at least one block"
+        );
         let mut base = program.data_base;
         let mut addr_gens = Vec::with_capacity(program.addr_patterns.len());
         for (i, &p) in program.addr_patterns.iter().enumerate() {
-            addr_gens.push(AddrGen::new(p, base, seed ^ (i as u64 + 1).wrapping_mul(0x9E37)));
+            addr_gens.push(AddrGen::new(
+                p,
+                base,
+                seed ^ (i as u64 + 1).wrapping_mul(0x9E37),
+            ));
             let bytes = match p {
                 AddrPattern::Stream { bytes, .. }
                 | AddrPattern::Random { bytes }
@@ -250,8 +256,8 @@ impl Executor {
                 let addr = self.addr_gens[gen].next_addr();
                 if chase {
                     self.have_chase = true;
-                    let mut u = MicroOp::new(pc, UopKind::Load { addr })
-                        .with_dst(ArchReg::new(CHASE_REG));
+                    let mut u =
+                        MicroOp::new(pc, UopKind::Load { addr }).with_dst(ArchReg::new(CHASE_REG));
                     if self.have_chase {
                         u = u.with_src(ArchReg::new(CHASE_REG));
                     }
@@ -298,7 +304,9 @@ impl Executor {
             }
             OpTemplate::VecInt => {
                 let acc = ArchReg::new(VEC_RING_BASE + (self.vec_pos % 8) as u16);
-                MicroOp::new(pc, UopKind::VecInt).with_src(acc).with_dst(acc)
+                MicroOp::new(pc, UopKind::VecInt)
+                    .with_src(acc)
+                    .with_dst(acc)
             }
         };
         u.microcoded = t.microcoded;
@@ -524,7 +532,10 @@ mod tests {
         let pcs: Vec<u64> = ex.take(8).map(|u| u.pc).collect();
         // block0 (0x1000, call at 0x1004) → block1 (0x5000, ret at 0x5004)
         // → block2 (0x1010, jump) → block0 …
-        assert_eq!(pcs, vec![0x1000, 0x1004, 0x5000, 0x5004, 0x1010, 0x1014, 0x1000, 0x1004]);
+        assert_eq!(
+            pcs,
+            vec![0x1000, 0x1004, 0x5000, 0x5004, 0x1010, 0x1014, 0x1000, 0x1004]
+        );
     }
 
     #[test]
@@ -534,7 +545,10 @@ mod tests {
                 pc: 0x1000,
                 uops: vec![
                     TemplateUop {
-                        op: OpTemplate::Load { gen: 0, chase: true },
+                        op: OpTemplate::Load {
+                            gen: 0,
+                            chase: true
+                        },
                         microcoded: false,
                     };
                     2

@@ -163,7 +163,12 @@ impl RnnTrace {
         };
         for step in 0..chain as u16 {
             let u = self
-                .vfp(pc, FpOpKind::Mul, STATE, GATE_BASE + step % self.cell.gates() as u16)
+                .vfp(
+                    pc,
+                    FpOpKind::Mul,
+                    STATE,
+                    GATE_BASE + step % self.cell.gates() as u16,
+                )
                 .with_src(ArchReg::new(STATE));
             self.queue.push_back(u);
             pc += 4;

@@ -2,10 +2,11 @@
 //! [`Program`](crate::program) value plus its executing trace.
 
 use crate::addr::AddrPattern;
-use crate::program::{Block, BranchPattern, Executor, OpTemplate, Program, TemplateUop, Terminator};
+use crate::program::{
+    Block, BranchPattern, Executor, OpTemplate, Program, TemplateUop, Terminator,
+};
+use mstacks_model::rng::SmallRng;
 use mstacks_model::{AluClass, FpOpKind};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Instruction-mix weights (relative; normalized internally).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -39,8 +40,18 @@ pub struct Mix {
 impl Mix {
     fn weights(&self) -> [f64; 12] {
         [
-            self.alu, self.lea, self.mul, self.div, self.load, self.store, self.fp_add,
-            self.fp_mul, self.vec_fma, self.vec_add, self.vec_int, self.nop,
+            self.alu,
+            self.lea,
+            self.mul,
+            self.div,
+            self.load,
+            self.store,
+            self.fp_add,
+            self.fp_mul,
+            self.vec_fma,
+            self.vec_add,
+            self.vec_int,
+            self.nop,
         ]
     }
 }
@@ -186,11 +197,13 @@ impl SynthParams {
                 // Function block.
                 Terminator::Ret
             } else {
-                let r: f64 = rng.gen();
+                let r: f64 = rng.gen_f64();
                 if r < self.loop_frac {
                     Terminator::Cond {
                         pattern: BranchPattern::Loop {
-                            trip: rng.gen_range(self.loop_trip.0..=self.loop_trip.1.max(self.loop_trip.0)),
+                            trip: rng.gen_range(
+                                self.loop_trip.0..=self.loop_trip.1.max(self.loop_trip.0),
+                            ),
                         },
                         taken_to: i,
                         fall_to: next,
@@ -210,7 +223,10 @@ impl SynthParams {
                         callee: n_main + rng.gen_range(0..n_funcs),
                         ret_to: next,
                     }
-                } else if r < self.loop_frac + self.random_frac + self.call_frac + self.indirect_frac
+                } else if r < self.loop_frac
+                    + self.random_frac
+                    + self.call_frac
+                    + self.indirect_frac
                 {
                     Terminator::IndirectJump {
                         targets: [
@@ -301,7 +317,13 @@ mod tests {
             branch_dep_frac: 0.2,
             mem: vec![
                 (AddrPattern::Random { bytes: 16 * 1024 }, 2.0),
-                (AddrPattern::Stream { bytes: 1 << 20, stride: 64 }, 1.0),
+                (
+                    AddrPattern::Stream {
+                        bytes: 1 << 20,
+                        stride: 64,
+                    },
+                    1.0,
+                ),
             ],
             vec_lanes: 8,
         }
@@ -367,7 +389,10 @@ mod tests {
         for u in uops.iter().filter(|u| u.kind.is_mem()) {
             let a = u.mem_addr().unwrap();
             assert!(a >= 0x1000_0000, "addr {a:#x} below data base");
-            assert!(a < 0x1000_0000 + (2 << 20), "addr {a:#x} beyond working sets");
+            assert!(
+                a < 0x1000_0000 + (2 << 20),
+                "addr {a:#x} beyond working sets"
+            );
         }
     }
 }

@@ -32,7 +32,7 @@ fn main() {
     let cfg = core_by_name(cname);
     let uops = 300_000;
 
-    let base = Simulation::new(cfg.clone())
+    let base = Session::new(cfg.clone())
         .run(workload.trace(uops))
         .expect("simulation completes");
     println!(
@@ -56,7 +56,12 @@ fn main() {
     .collect();
     ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaNs"));
     for (c, lo, hi) in &ranked {
-        println!("  {:<12} could recover {:.3} – {:.3} CPI", c.label(), lo, hi);
+        println!(
+            "  {:<12} could recover {:.3} – {:.3} CPI",
+            c.label(),
+            lo,
+            hi
+        );
     }
 
     println!("\nverification (re-simulating with each structure idealized):");
@@ -64,14 +69,17 @@ fn main() {
         (Component::Icache, IdealFlags::none().with_perfect_icache()),
         (Component::Bpred, IdealFlags::none().with_perfect_bpred()),
         (Component::Dcache, IdealFlags::none().with_perfect_dcache()),
-        (Component::AluLat, IdealFlags::none().with_single_cycle_alu()),
+        (
+            Component::AluLat,
+            IdealFlags::none().with_single_cycle_alu(),
+        ),
     ];
     for (c, ideal) in checks {
         let (_lo, hi) = base.multi.bounds(c);
         if hi <= 0.005 {
             continue;
         }
-        let r = Simulation::new(cfg.clone())
+        let r = Session::new(cfg.clone())
             .with_ideal(ideal)
             .run(workload.trace(uops))
             .expect("simulation completes");

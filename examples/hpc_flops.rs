@@ -35,7 +35,7 @@ fn main() {
             style,
             lanes,
         };
-        let report = Simulation::new(core.clone())
+        let report = Session::new(core.clone())
             .run(w.trace(uops))
             .expect("simulation completes");
 

@@ -44,7 +44,7 @@ fn main() {
             s.spawn({
                 let reports = &reports;
                 move || {
-                    let r = Simulation::new(CoreConfig::broadwell())
+                    let r = Session::new(CoreConfig::broadwell())
                         .run(Workload::Synth(p.clone()).trace(uops))
                         .expect("simulation completes");
                     reports.lock().expect("lock").push((c, r));

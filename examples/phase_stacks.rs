@@ -50,7 +50,10 @@ fn main() {
     let mut i = warmup;
     while i + 1 < doms.len() {
         if doms[i] != doms[i + 1] {
-            let run = doms[i + 1..].iter().take_while(|&&d| d == doms[i + 1]).count();
+            let run = doms[i + 1..]
+                .iter()
+                .take_while(|&&d| d == doms[i + 1])
+                .count();
             if best.is_none_or(|(_, r)| run > r) {
                 best = Some((i, run));
             }

@@ -27,7 +27,7 @@ fn main() {
     };
 
     println!("simulating {wname} on {cname} (300k micro-ops)…");
-    let report = Simulation::new(cfg)
+    let report = Session::new(cfg)
         .run(workload.trace(300_000))
         .expect("simulation completes");
 

@@ -43,7 +43,13 @@ fn kernel(fma_weight: f64) -> Workload {
         fp_ilp: 4,
         load_dep_frac: 0.6,
         branch_dep_frac: 0.0,
-        mem: vec![(AddrPattern::Stream { bytes: 16 << 20, stride: 8 }, 1.0)],
+        mem: vec![(
+            AddrPattern::Stream {
+                bytes: 16 << 20,
+                stride: 8,
+            },
+            1.0,
+        )],
         vec_lanes: 16,
     })
 }
@@ -63,7 +69,7 @@ fn main() {
     );
     for fma_weight in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let w = kernel(fma_weight);
-        let r = Simulation::new(cfg.clone())
+        let r = Session::new(cfg.clone())
             .run(w.trace(uops))
             .expect("simulation completes");
         let g = r.gflops(cfg.freq_ghz);

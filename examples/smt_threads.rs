@@ -10,7 +10,7 @@
 //! cargo run --release --example smt_threads [workload0] [workload1]
 //! ```
 
-use mstacks::core::SmtSimulation;
+use mstacks::core::Session;
 use mstacks::prelude::*;
 use mstacks::stats::render::cpi_stack_lines;
 
@@ -24,15 +24,15 @@ fn main() {
     let wl1 = spec::by_name(w1).unwrap_or_else(|| panic!("unknown workload {w1}"));
 
     // Solo baselines for the slowdown comparison.
-    let solo0 = Simulation::new(CoreConfig::broadwell())
+    let solo0 = Session::new(CoreConfig::broadwell())
         .run(wl0.trace(uops))
         .expect("simulation completes");
-    let solo1 = Simulation::new(CoreConfig::broadwell())
+    let solo1 = Session::new(CoreConfig::broadwell())
         .run(wl1.trace(uops))
         .expect("simulation completes");
 
-    let report = SmtSimulation::new(CoreConfig::broadwell())
-        .run(vec![wl0.trace(uops), wl1.trace(uops)])
+    let report = Session::new(CoreConfig::broadwell())
+        .run_threads(vec![wl0.trace(uops), wl1.trace(uops)])
         .expect("simulation completes");
 
     println!("2-way SMT on bdw: {w0} + {w1} ({uops} uops per thread)\n");

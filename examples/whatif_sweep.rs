@@ -24,7 +24,10 @@ fn main() {
         (Component::Icache, IdealFlags::none().with_perfect_icache()),
         (Component::Bpred, IdealFlags::none().with_perfect_bpred()),
         (Component::Dcache, IdealFlags::none().with_perfect_dcache()),
-        (Component::AluLat, IdealFlags::none().with_single_cycle_alu()),
+        (
+            Component::AluLat,
+            IdealFlags::none().with_single_cycle_alu(),
+        ),
     ];
 
     let mut table = TextTable::new(vec![
@@ -37,7 +40,7 @@ fn main() {
     let mut within = 0;
     let mut total = 0;
     for w in spec::all() {
-        let base = Simulation::new(cfg.clone())
+        let base = Session::new(cfg.clone())
             .run(w.trace(uops))
             .expect("simulation completes");
         for (c, ideal) in checks {
@@ -46,7 +49,7 @@ fn main() {
             if hi < 0.10 * base.cpi() {
                 continue;
             }
-            let r = Simulation::new(cfg.clone())
+            let r = Session::new(cfg.clone())
                 .with_ideal(ideal)
                 .run(w.trace(uops))
                 .expect("simulation completes");
@@ -61,7 +64,11 @@ fn main() {
                 c.label().into(),
                 format!("[{lo:.3}, {hi:.3}]"),
                 format!("{actual:+.3}"),
-                if ok { "within".into() } else { "outside".into() },
+                if ok {
+                    "within".into()
+                } else {
+                    "outside".into()
+                },
             ]);
         }
     }

@@ -16,18 +16,18 @@
 //!   [`model::CoreConfig::knights_landing`] or
 //!   [`model::CoreConfig::skylake_server`], optionally with
 //!   [`model::IdealFlags`] idealizations;
-//! * a **simulation** — [`core::Simulation`] runs the trace and returns a
-//!   [`core::SimReport`] with the three CPI stacks, the FLOPS stack and
-//!   all pipeline/memory statistics.
+//! * a **session** — [`core::Session`] runs one trace per hardware thread
+//!   (one for a classic single-core run) and returns the three CPI stacks,
+//!   the FLOPS stack and all pipeline/memory statistics.
 //!
 //! # Example
 //!
 //! ```
-//! use mstacks::core::Simulation;
+//! use mstacks::core::Session;
 //! use mstacks::model::{CoreConfig, IdealFlags};
 //! use mstacks::workloads::spec;
 //!
-//! let report = Simulation::new(CoreConfig::broadwell())
+//! let report = Session::new(CoreConfig::broadwell())
 //!     .run(spec::mcf().trace(20_000))
 //!     .expect("simulation completes");
 //!
@@ -52,9 +52,11 @@ pub use mstacks_workloads as workloads;
 
 /// Convenience prelude: the types almost every user touches.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use mstacks_core::Simulation;
     pub use mstacks_core::{
-        BadSpecMode, Component, CpiStack, FlopsComponent, FlopsStack, MultiStackReport,
-        SimReport, Simulation, Stage,
+        BadSpecMode, Component, CpiStack, FlopsComponent, FlopsStack, MultiStackReport, Session,
+        SessionReport, SimReport, Stage, ThreadReport,
     };
     pub use mstacks_model::{CoreConfig, IdealFlags, MicroOp, UopKind};
     pub use mstacks_workloads::{spec, Workload};

@@ -25,7 +25,7 @@ fn small_suite() -> Vec<Workload> {
 fn every_stack_sums_to_total_cycles() {
     for cfg in cores() {
         for w in small_suite() {
-            let r = Simulation::new(cfg.clone())
+            let r = Session::new(cfg.clone())
                 .run(w.trace(15_000))
                 .expect("simulation completes");
             let cycles = r.result.cycles as f64;
@@ -59,7 +59,7 @@ fn base_component_identical_across_stages() {
     // uops / W.
     for cfg in cores() {
         let w = spec::mcf();
-        let r = Simulation::new(cfg.clone())
+        let r = Session::new(cfg.clone())
             .run(w.trace(15_000))
             .expect("simulation completes");
         let b = r.multi.commit.cycles_of(Component::Base);
@@ -85,7 +85,7 @@ fn base_component_identical_across_stages() {
 #[test]
 fn all_components_non_negative() {
     for w in small_suite() {
-        let r = Simulation::new(CoreConfig::broadwell())
+        let r = Session::new(CoreConfig::broadwell())
             .run(w.trace(15_000))
             .expect("simulation completes");
         for s in r.multi.stacks() {
@@ -102,7 +102,7 @@ fn all_components_non_negative() {
 #[test]
 fn commit_count_equals_trace_length() {
     for cfg in cores() {
-        let r = Simulation::new(cfg)
+        let r = Session::new(cfg)
             .run(spec::gcc().trace(12_345))
             .expect("simulation completes");
         assert_eq!(r.result.committed_uops, 12_345);
@@ -124,7 +124,7 @@ fn flops_eq1_consistent_with_committed_flops() {
         style: mstacks::workloads::GemmStyle::SkxBroadcast,
         lanes: 16,
     };
-    let r = Simulation::new(cfg)
+    let r = Session::new(cfg)
         .run(w.trace(20_000))
         .expect("simulation completes");
     let from_stack = r.flops.achieved_flops_per_cycle();
@@ -138,7 +138,7 @@ fn flops_eq1_consistent_with_committed_flops() {
 
 #[test]
 fn total_cpi_consistent_with_pipeline_cpi() {
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(spec::xz().trace(15_000))
         .expect("simulation completes");
     for s in r.multi.stacks() {
@@ -155,10 +155,10 @@ fn total_cpi_consistent_with_pipeline_cpi() {
 #[test]
 fn microcode_component_only_on_microcoded_cores() {
     let w = spec::povray(); // microcoded profile
-    let knl = Simulation::new(CoreConfig::knights_landing())
+    let knl = Session::new(CoreConfig::knights_landing())
         .run(w.trace(15_000))
         .expect("simulation completes");
-    let bdw = Simulation::new(CoreConfig::broadwell())
+    let bdw = Session::new(CoreConfig::broadwell())
         .run(w.trace(15_000))
         .expect("simulation completes");
     assert!(
@@ -175,7 +175,7 @@ fn microcode_component_only_on_microcoded_cores() {
 fn dcache_level_breakdown_sums_to_component() {
     use mstacks::mem::HitLevel;
     // mcf mixes L2/L3/DRAM misses on BDW.
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(spec::mcf().trace(20_000))
         .expect("simulation completes");
     for s in r.multi.stacks() {
@@ -215,7 +215,7 @@ fn steady_state_cache_resident_split_favours_cache_levels() {
             .with_src(ArchReg::new(1))
             .with_dst(ArchReg::new(1))
     });
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(trace)
         .expect("simulation completes");
     let commit = &r.multi.commit;

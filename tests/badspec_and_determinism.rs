@@ -7,7 +7,7 @@ fn simple_mode_recovers_commit_base() {
     // The simple retire-slot scheme forces the dispatch/issue base to the
     // commit base and moves the surplus to the branch component.
     let w = spec::deepsjeng(); // branchy → lots of wrong-path slots
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .with_badspec(BadSpecMode::SimpleRetireSlots)
         .run(w.trace(20_000))
         .expect("simulation completes");
@@ -27,10 +27,10 @@ fn simple_mode_close_to_ground_truth() {
     // "this will account for the largest part of the branch miss component"
     // (paper §III-B).
     let w = spec::deepsjeng();
-    let gt = Simulation::new(CoreConfig::broadwell())
+    let gt = Session::new(CoreConfig::broadwell())
         .run(w.trace(30_000))
         .expect("simulation completes");
-    let simple = Simulation::new(CoreConfig::broadwell())
+    let simple = Session::new(CoreConfig::broadwell())
         .with_badspec(BadSpecMode::SimpleRetireSlots)
         .run(w.trace(30_000))
         .expect("simulation completes");
@@ -46,10 +46,10 @@ fn simple_mode_close_to_ground_truth() {
 #[test]
 fn speculative_counters_close_to_ground_truth() {
     let w = spec::leela();
-    let gt = Simulation::new(CoreConfig::broadwell())
+    let gt = Session::new(CoreConfig::broadwell())
         .run(w.trace(30_000))
         .expect("simulation completes");
-    let sc = Simulation::new(CoreConfig::broadwell())
+    let sc = Session::new(CoreConfig::broadwell())
         .with_badspec(BadSpecMode::SpeculativeCounters)
         .run(w.trace(30_000))
         .expect("simulation completes");
@@ -73,7 +73,7 @@ fn all_modes_identical_without_speculation() {
     // must agree exactly.
     let w = spec::lbm();
     let run = |mode| {
-        Simulation::new(CoreConfig::broadwell())
+        Session::new(CoreConfig::broadwell())
             .with_ideal(IdealFlags::none().with_perfect_bpred())
             .with_badspec(mode)
             .run(w.trace(15_000))
@@ -99,10 +99,10 @@ fn all_modes_identical_without_speculation() {
 #[test]
 fn simulation_is_deterministic() {
     for w in [spec::mcf(), spec::povray()] {
-        let a = Simulation::new(CoreConfig::knights_landing())
+        let a = Session::new(CoreConfig::knights_landing())
             .run(w.trace(15_000))
             .expect("simulation completes");
-        let b = Simulation::new(CoreConfig::knights_landing())
+        let b = Session::new(CoreConfig::knights_landing())
             .run(w.trace(15_000))
             .expect("simulation completes");
         assert_eq!(a, b, "{} must be bit-identical across runs", w.name());
@@ -116,10 +116,10 @@ fn different_cores_differ() {
     // (Memory-bound profiles can invert this: the KNL preset has more
     // per-core DRAM bandwidth, as the real parts did.)
     let w = spec::imagick();
-    let bdw = Simulation::new(CoreConfig::broadwell())
+    let bdw = Session::new(CoreConfig::broadwell())
         .run(w.trace(40_000))
         .expect("simulation completes");
-    let knl = Simulation::new(CoreConfig::knights_landing())
+    let knl = Session::new(CoreConfig::knights_landing())
         .run(w.trace(40_000))
         .expect("simulation completes");
     assert!(knl.cpi() > bdw.cpi(), "2-wide KNL must have higher CPI");

@@ -1,0 +1,99 @@
+//! The unified engine contract: a 1-thread SMT session is *the same
+//! machine* as a classic single-core run, and the parallel sweep executor
+//! is invisible in the results.
+//!
+//! Both code paths now instantiate the same thread-parameterized
+//! [`mstacks::pipeline::Engine`], so these are exact (`==`) comparisons,
+//! not tolerance checks: every CPI-stack value, every pipeline/memory
+//! statistic and every committed micro-op count must match bit for bit.
+
+use mstacks::core::Session;
+use mstacks::prelude::*;
+use mstacks_bench::Sweep;
+use mstacks_workloads::{deepbench, GemmStyle};
+
+/// The three profile classes the ISSUE calls out: a memory-bound SPEC
+/// profile, a microcode/FP-heavy one, and a DeepBench sgemm kernel.
+fn workloads() -> Vec<Workload> {
+    let mut cfgs = deepbench::sgemm_train_configs();
+    vec![
+        spec::mcf(),
+        spec::povray(),
+        Workload::Gemm {
+            cfg: cfgs.remove(0),
+            style: GemmStyle::KnlJit,
+            lanes: 16,
+        },
+    ]
+}
+
+#[test]
+fn one_thread_session_is_bit_identical_to_single_core_run() {
+    let uops = 15_000u64;
+    for w in workloads() {
+        for cfg in [CoreConfig::broadwell(), CoreConfig::knights_landing()] {
+            let single = Session::new(cfg.clone())
+                .run(w.trace(uops))
+                .expect("single-core run completes");
+            let smt = Session::new(cfg.clone())
+                .run_threads(vec![w.trace(uops)])
+                .expect("1-thread session completes");
+            assert_eq!(smt.threads.len(), 1);
+            let t = &smt.threads[0];
+            let label = format!("{} on {}", w.name(), cfg.name);
+
+            assert_eq!(
+                t.result.committed_uops, single.result.committed_uops,
+                "{label}: committed micro-ops differ"
+            );
+            assert_eq!(t.result, single.result, "{label}: pipeline results differ");
+            assert_eq!(t.multi, single.multi, "{label}: CPI stacks differ");
+            assert_eq!(t.flops, single.flops, "{label}: FLOPS stacks differ");
+        }
+    }
+}
+
+#[test]
+fn one_thread_session_under_idealization_stays_identical() {
+    let uops = 12_000u64;
+    let ideal = IdealFlags::none()
+        .with_perfect_dcache()
+        .with_perfect_bpred();
+    let w = spec::mcf();
+    let single = Session::new(CoreConfig::broadwell())
+        .with_ideal(ideal)
+        .run(w.trace(uops))
+        .expect("single-core run completes");
+    let smt = Session::new(CoreConfig::broadwell())
+        .with_ideal(ideal)
+        .run_threads(vec![w.trace(uops)])
+        .expect("1-thread session completes");
+    assert_eq!(smt.threads[0].result, single.result);
+    assert_eq!(smt.threads[0].multi, single.multi);
+}
+
+#[test]
+fn parallel_sweep_matches_serial_in_values_and_order() {
+    let sweep = Sweep::product(
+        &workloads(),
+        &[CoreConfig::broadwell()],
+        &[IdealFlags::none(), IdealFlags::none().with_perfect_dcache()],
+        10_000,
+    );
+    let serial = sweep.run_serial();
+    let parallel = sweep.run();
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(serial.len(), sweep.len());
+    for ((s, p), point) in serial.iter().zip(&parallel).zip(sweep.points()) {
+        // Order: each result sits in the slot its point was declared in.
+        assert_eq!(s.point.label(), point.label());
+        assert_eq!(p.point.label(), point.label());
+        // Values: byte-for-byte the same simulation.
+        assert_eq!(
+            s.report,
+            p.report,
+            "parallel report differs at {}",
+            point.label()
+        );
+    }
+}

@@ -6,7 +6,7 @@ use mstacks::prelude::*;
 #[test]
 fn fetch_stack_obeys_the_accounting_invariants() {
     for w in [spec::mcf(), spec::cactus(), spec::povray()] {
-        let r = Simulation::new(CoreConfig::broadwell())
+        let r = Session::new(CoreConfig::broadwell())
             .run(w.trace(15_000))
             .expect("simulation completes");
         let fetch = r.multi.fetch.as_ref().expect("fetch stack present");
@@ -37,7 +37,7 @@ fn fetch_charges_icache_at_least_as_much_as_dispatch() {
     // The fetch stage stalls on the I-miss itself; dispatch only once the
     // frontend queue runs dry — so the fetch Icache component is the
     // largest of all stages.
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(spec::cactus().trace(20_000))
         .expect("simulation completes");
     let fetch = r.multi.fetch.as_ref().expect("fetch stack present");
@@ -53,7 +53,7 @@ fn fetch_charges_icache_at_least_as_much_as_dispatch() {
 fn fetch_backend_components_are_smallest() {
     // Backend stalls reach the fetch stage last (only via queue
     // back-pressure), so its Dcache component is the smallest.
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(spec::mcf().trace(20_000))
         .expect("simulation completes");
     let fetch = r.multi.fetch.as_ref().expect("fetch stack present");
@@ -67,7 +67,7 @@ fn fetch_backend_components_are_smallest() {
 
 #[test]
 fn all_stacks_includes_fetch_first() {
-    let r = Simulation::new(CoreConfig::knights_landing())
+    let r = Session::new(CoreConfig::knights_landing())
         .run(spec::exchange2().trace(10_000))
         .expect("simulation completes");
     let all = r.multi.all_stacks();

@@ -20,7 +20,7 @@ fn gemm(style: GemmStyle) -> Workload {
 fn knl_jit_style_is_memory_dominated() {
     // FMAs with memory operands wait on their loads: the FLOPS `memory`
     // component dominates even though almost everything hits the cache.
-    let r = Simulation::new(CoreConfig::knights_landing())
+    let r = Session::new(CoreConfig::knights_landing())
         .run(gemm(GemmStyle::KnlJit).trace(30_000))
         .expect("simulation completes");
     let n = r.flops.normalized();
@@ -36,10 +36,10 @@ fn knl_jit_style_is_memory_dominated() {
 fn skx_broadcast_style_shifts_to_depend() {
     // Register FMAs hanging off the broadcast: dependence component grows
     // at the expense of memory, relative to the jit style.
-    let knl_style = Simulation::new(CoreConfig::skylake_server())
+    let knl_style = Session::new(CoreConfig::skylake_server())
         .run(gemm(GemmStyle::KnlJit).trace(30_000))
         .expect("simulation completes");
-    let skx_style = Simulation::new(CoreConfig::skylake_server())
+    let skx_style = Session::new(CoreConfig::skylake_server())
         .run(gemm(GemmStyle::SkxBroadcast).trace(30_000))
         .expect("simulation completes");
     let dep_jit = knl_style.flops.normalized()[FlopsComponent::Depend.index()];
@@ -56,7 +56,7 @@ fn flops_base_below_cpi_base_share() {
     // (not every pipeline slot is an FMA).
     for style in [GemmStyle::KnlJit, GemmStyle::SkxBroadcast] {
         let cfg = CoreConfig::knights_landing();
-        let r = Simulation::new(cfg)
+        let r = Session::new(cfg)
             .run(gemm(style).trace(30_000))
             .expect("simulation completes");
         let f = r.flops.normalized()[FlopsComponent::Base.index()];
@@ -76,10 +76,10 @@ fn conv_has_lower_vfp_density_than_gemm() {
         phase: ConvPhase::Forward,
         lanes: 16,
     };
-    let rc = Simulation::new(cfg.clone())
+    let rc = Session::new(cfg.clone())
         .run(conv.trace(30_000))
         .expect("simulation completes");
-    let rg = Simulation::new(cfg)
+    let rg = Session::new(cfg)
         .run(gemm(GemmStyle::SkxBroadcast).trace(30_000))
         .expect("simulation completes");
     assert!(
@@ -100,10 +100,10 @@ fn perfect_dcache_migrates_flops_stalls() {
         phase: ConvPhase::Forward,
         lanes: 16,
     };
-    let base = Simulation::new(cfg.clone())
+    let base = Session::new(cfg.clone())
         .run(conv.trace(30_000))
         .expect("simulation completes");
-    let pd = Simulation::new(cfg)
+    let pd = Session::new(cfg)
         .with_ideal(IdealFlags::none().with_perfect_dcache())
         .run(conv.trace(30_000))
         .expect("simulation completes");
@@ -118,7 +118,7 @@ fn perfect_dcache_migrates_flops_stalls() {
 
 #[test]
 fn gflops_scale_with_frequency() {
-    let r = Simulation::new(CoreConfig::knights_landing())
+    let r = Session::new(CoreConfig::knights_landing())
         .run(gemm(GemmStyle::KnlJit).trace(10_000))
         .expect("simulation completes");
     let g1 = r.flops.achieved_gflops(1.0);
@@ -138,10 +138,10 @@ fn lstm_tail_shows_non_fma_component() {
         cell: RnnCell::Lstm,
         lanes: 16,
     };
-    let rr = Simulation::new(cfg.clone())
+    let rr = Session::new(cfg.clone())
         .run(rnn.trace(30_000))
         .expect("simulation completes");
-    let rg = Simulation::new(cfg)
+    let rg = Session::new(cfg)
         .run(gemm(GemmStyle::SkxBroadcast).trace(30_000))
         .expect("simulation completes");
     let nf_rnn = rr.flops.normalized()[FlopsComponent::NonFma.index()];

@@ -56,7 +56,7 @@ fn profiles_keep_their_designed_bottleneck() {
             "knl" => CoreConfig::knights_landing(),
             _ => CoreConfig::broadwell(),
         };
-        let r = Simulation::new(cfg)
+        let r = Session::new(cfg)
             .run(w.trace(100_000))
             .expect("simulation completes");
         let dominant = stall_components
@@ -79,7 +79,11 @@ fn profiles_keep_their_designed_bottleneck() {
             ));
         }
     }
-    assert!(failures.is_empty(), "profile drift:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "profile drift:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -87,7 +91,7 @@ fn every_profile_exercises_multiple_components() {
     // No profile should be a degenerate single-component microbenchmark:
     // at least two stall components above 2% of CPI.
     for w in spec::all() {
-        let r = Simulation::new(CoreConfig::broadwell())
+        let r = Session::new(CoreConfig::broadwell())
             .run(w.trace(30_000))
             .expect("simulation completes");
         let commit = &r.multi.commit;
@@ -109,7 +113,7 @@ fn knl_microcode_profiles_show_microcode_only_there() {
     // povray and imagick are the microcoded profiles; on KNL they must
     // show a Microcode component and the others must not.
     for w in spec::all() {
-        let r = Simulation::new(CoreConfig::knights_landing())
+        let r = Session::new(CoreConfig::knights_landing())
             .run(w.trace(25_000))
             .expect("simulation completes");
         let m = r.multi.dispatch.cpi_of(Component::Microcode);

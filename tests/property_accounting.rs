@@ -1,120 +1,130 @@
-//! Property tests aimed directly at the accounting algorithms, feeding
+//! Randomized tests aimed directly at the accounting algorithms, feeding
 //! them synthetic per-cycle views (no pipeline in the loop).
+//!
+//! These were originally `proptest` properties; they now draw their cases
+//! from the in-repo seeded PRNG so the suite builds offline and every run
+//! explores exactly the same case set.
 
 use mstacks::core::{
     BadSpecMode, CommitAccountant, DispatchAccountant, FlopsAccountant, IssueAccountant,
 };
 use mstacks::mem::HitLevel;
+use mstacks::model::rng::SmallRng;
 use mstacks::model::{ElemType, FpOpKind, FrontendStall, MicroOp, UopKind, VecFpOp};
 use mstacks::pipeline::{
     Blame, CommitView, DispatchView, FlopsBlame, IssueView, IssuedInfo, StageObserver,
 };
-use proptest::prelude::*;
 
-fn arb_fe_stall() -> impl Strategy<Value = Option<FrontendStall>> {
-    prop_oneof![
-        Just(None),
-        Just(Some(FrontendStall::Icache)),
-        Just(Some(FrontendStall::Bpred)),
-        Just(Some(FrontendStall::Microcode)),
-    ]
+const CASES: u64 = 64;
+
+fn rand_fe_stall(rng: &mut SmallRng) -> Option<FrontendStall> {
+    match rng.gen_range(0u8..4) {
+        0 => None,
+        1 => Some(FrontendStall::Icache),
+        2 => Some(FrontendStall::Bpred),
+        _ => Some(FrontendStall::Microcode),
+    }
 }
 
-fn arb_blame() -> impl Strategy<Value = Option<Blame>> {
-    prop_oneof![
-        Just(None),
-        Just(Some(Blame::Dcache(HitLevel::L2))),
-        Just(Some(Blame::Dcache(HitLevel::L3))),
-        Just(Some(Blame::Dcache(HitLevel::Mem))),
-        Just(Some(Blame::LongLat)),
-        Just(Some(Blame::Depend)),
-    ]
+fn rand_blame(rng: &mut SmallRng) -> Option<Blame> {
+    match rng.gen_range(0u8..6) {
+        0 => None,
+        1 => Some(Blame::Dcache(HitLevel::L2)),
+        2 => Some(Blame::Dcache(HitLevel::L3)),
+        3 => Some(Blame::Dcache(HitLevel::Mem)),
+        4 => Some(Blame::LongLat),
+        _ => Some(Blame::Depend),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whatever sequence of views the dispatch accountant sees, the stack
-    /// sums to the cycle count and never goes negative.
-    #[test]
-    fn dispatch_accountant_conserves_cycles(
-        views in proptest::collection::vec(
-            (0u32..=4, 0u32..=4, any::<bool>(), arb_blame(), arb_fe_stall()),
-            1..200,
-        )
-    ) {
+/// Whatever sequence of views the dispatch accountant sees, the stack
+/// sums to the cycle count and never goes negative.
+#[test]
+fn dispatch_accountant_conserves_cycles() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xD15_0000 + case);
+        let n_views = rng.gen_range(1usize..200);
         let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
-        let n_views = views.len();
-        for (i, (n_extra, n_correct, backend, blame, fe)) in views.into_iter().enumerate() {
+        for i in 0..n_views {
+            let n_extra = rng.gen_range(0u32..=4);
+            let n_correct = rng.gen_range(0u32..=4);
             let v = DispatchView {
                 n_total: n_correct + n_extra.min(4 - n_correct),
                 n_correct,
-                backend_blocked: backend,
+                backend_blocked: rng.gen_bool(0.5),
                 smt_blocked: false,
-                head_blame: blame,
-                fe_stall: fe,
+                head_blame: rand_blame(&mut rng),
+                fe_stall: rand_fe_stall(&mut rng),
             };
             a.on_dispatch(i as u64, &v);
         }
         let s = a.finish(1_000, None);
-        prop_assert!((s.total_cycles() - n_views as f64).abs() < 1e-6);
+        assert!(
+            (s.total_cycles() - n_views as f64).abs() < 1e-6,
+            "case {case}: {} ≠ {}",
+            s.total_cycles(),
+            n_views
+        );
         for (c, v) in s.iter_cpi() {
-            prop_assert!(v >= 0.0, "negative component {c}");
+            assert!(v >= 0.0, "case {case}: negative component {c}");
         }
     }
+}
 
-    /// Same conservation for the commit accountant. Commit can never
-    /// exceed the commit width, so `n ≤ W` (wider stages drain their
-    /// carry in trailing sub-width cycles; that path is pinned by the
-    /// `wide_issue_carries_over` unit test).
-    #[test]
-    fn commit_accountant_conserves_cycles(
-        views in proptest::collection::vec(
-            (0u32..=4, any::<bool>(), arb_blame(), arb_fe_stall()),
-            1..200,
-        )
-    ) {
+/// Same conservation for the commit accountant. Commit can never
+/// exceed the commit width, so `n ≤ W` (wider stages drain their
+/// carry in trailing sub-width cycles; that path is pinned by the
+/// `wide_issue_carries_over` unit test).
+#[test]
+fn commit_accountant_conserves_cycles() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC0_3317 + case);
+        let n_views = rng.gen_range(1usize..200);
         let mut a = CommitAccountant::new(4);
-        let n_views = views.len();
-        for (i, (n, rob_empty, blame, fe)) in views.into_iter().enumerate() {
+        for i in 0..n_views {
+            let rob_empty = rng.gen_bool(0.5);
+            let blame = rand_blame(&mut rng);
             let v = CommitView {
-                n,
+                n: rng.gen_range(0u32..=4),
                 rob_empty,
                 smt_blocked: false,
-                fe_stall: fe,
+                fe_stall: rand_fe_stall(&mut rng),
                 head_blame: if rob_empty { None } else { blame },
             };
             a.on_commit(i as u64, &v);
         }
         let s = a.finish(1_000);
         // Residual carry is folded into base at finish.
-        prop_assert!((s.total_cycles() - n_views as f64).abs() < 1e-6);
+        assert!(
+            (s.total_cycles() - n_views as f64).abs() < 1e-6,
+            "case {case}: {} ≠ {}",
+            s.total_cycles(),
+            n_views
+        );
     }
+}
 
-    /// The FLOPS accountant produces exactly one cycle of component mass
-    /// per view, whatever mix of FMA/add/masked VFP µops is issued.
-    #[test]
-    fn flops_accountant_sums_to_one_per_cycle(
-        cycles in proptest::collection::vec(
-            (
-                proptest::collection::vec((0u8..=1, 0u8..=16), 0..2),
-                any::<bool>(),
-                0u8..3,
-            ),
-            1..100,
-        )
-    ) {
+/// The FLOPS accountant produces exactly one cycle of component mass
+/// per view, whatever mix of FMA/add/masked VFP µops is issued.
+#[test]
+fn flops_accountant_sums_to_one_per_cycle() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xF70_9500 + case);
+        let n_cycles = rng.gen_range(1usize..100);
         let mut a = FlopsAccountant::new(2, 16);
-        let n_cycles = cycles.len();
-        for (i, (vfps, vu_stolen, blame_sel)) in cycles.into_iter().enumerate() {
-            let issued: Vec<IssuedInfo> = vfps
-                .iter()
-                .map(|&(is_fma, lanes)| IssuedInfo {
+        for i in 0..n_cycles {
+            let n_vfp = rng.gen_range(0usize..2);
+            let issued: Vec<IssuedInfo> = (0..n_vfp)
+                .map(|_| IssuedInfo {
                     uop: MicroOp::new(
                         0,
                         UopKind::VecFp(VecFpOp {
-                            op: if is_fma == 1 { FpOpKind::Fma } else { FpOpKind::Add },
-                            active_lanes: lanes,
+                            op: if rng.gen_bool(0.5) {
+                                FpOpKind::Fma
+                            } else {
+                                FpOpKind::Add
+                            },
+                            active_lanes: rng.gen_range(0u8..=16),
                             elem: ElemType::F32,
                         }),
                     ),
@@ -122,7 +132,7 @@ proptest! {
                     on_vpu: true,
                 })
                 .collect();
-            let vfp_blame = match blame_sel {
+            let vfp_blame = match rng.gen_range(0u8..3) {
                 0 => None,
                 1 => Some(FlopsBlame::Memory),
                 _ => Some(FlopsBlame::Depend),
@@ -138,28 +148,30 @@ proptest! {
                 issued: &issued,
                 vfp_in_rs: vfp_blame.is_some(),
                 vfp_blame,
-                vu_used_by_non_vfp: vu_stolen,
+                vu_used_by_non_vfp: rng.gen_bool(0.5),
             };
             a.on_issue(i as u64, &v);
         }
         let s = a.finish();
-        prop_assert!(
+        assert!(
             (s.total_cycles() - n_cycles as f64).abs() < 1e-9,
-            "FLOPS stack sums to {} over {} cycles",
+            "case {case}: FLOPS stack sums to {} over {} cycles",
             s.total_cycles(),
             n_cycles
         );
         for (c, v) in s.iter_normalized() {
-            prop_assert!(v >= -1e-12, "negative {c}");
+            assert!(v >= -1e-12, "case {case}: negative {c}");
         }
     }
+}
 
-    /// The issue accountant under the speculative-counter mode conserves
-    /// cycles across any interleaving of dispatch/commit/squash events.
-    #[test]
-    fn speculative_mode_conserves_cycles(
-        events in proptest::collection::vec(0u8..6, 1..300)
-    ) {
+/// The issue accountant under the speculative-counter mode conserves
+/// cycles across any interleaving of dispatch/commit/squash events.
+#[test]
+fn speculative_mode_conserves_cycles() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x59EC_0000 + case);
+        let n_events = rng.gen_range(1usize..300);
         let mut a = IssueAccountant::new(2, BadSpecMode::SpeculativeCounters);
         let mut cycles = 0u64;
         let mut open_branches = 0u64;
@@ -172,36 +184,64 @@ proptest! {
                 kind: mstacks::model::BranchKind::Cond,
             }),
         );
-        for (i, e) in events.into_iter().enumerate() {
+        for i in 0..n_events {
             let i = i as u64;
-            match e {
+            match rng.gen_range(0u8..6) {
                 0 => {
-                    a.on_issue(i, &IssueView {
-                        n_total: 2, n_correct: 2, rs_empty: false, fe_stall: None,
-                        blocking_blame: None, structural: None, smt_blocked: false,
-                        issued: &[], vfp_in_rs: false, vfp_blame: None,
-                        vu_used_by_non_vfp: false,
-                    });
+                    a.on_issue(
+                        i,
+                        &IssueView {
+                            n_total: 2,
+                            n_correct: 2,
+                            rs_empty: false,
+                            fe_stall: None,
+                            blocking_blame: None,
+                            structural: None,
+                            smt_blocked: false,
+                            issued: &[],
+                            vfp_in_rs: false,
+                            vfp_blame: None,
+                            vu_used_by_non_vfp: false,
+                        },
+                    );
                     cycles += 1;
                 }
                 1 => {
-                    a.on_issue(i, &IssueView {
-                        n_total: 0, n_correct: 0, rs_empty: true,
-                        fe_stall: Some(FrontendStall::Bpred),
-                        blocking_blame: None, structural: None, smt_blocked: false,
-                        issued: &[], vfp_in_rs: false, vfp_blame: None,
-                        vu_used_by_non_vfp: false,
-                    });
+                    a.on_issue(
+                        i,
+                        &IssueView {
+                            n_total: 0,
+                            n_correct: 0,
+                            rs_empty: true,
+                            fe_stall: Some(FrontendStall::Bpred),
+                            blocking_blame: None,
+                            structural: None,
+                            smt_blocked: false,
+                            issued: &[],
+                            vfp_in_rs: false,
+                            vfp_blame: None,
+                            vu_used_by_non_vfp: false,
+                        },
+                    );
                     cycles += 1;
                 }
                 2 => {
-                    a.on_issue(i, &IssueView {
-                        n_total: 1, n_correct: 1, rs_empty: false, fe_stall: None,
-                        blocking_blame: Some(Blame::Dcache(HitLevel::Mem)),
-                        structural: None, smt_blocked: false,
-                        issued: &[], vfp_in_rs: false, vfp_blame: None,
-                        vu_used_by_non_vfp: false,
-                    });
+                    a.on_issue(
+                        i,
+                        &IssueView {
+                            n_total: 1,
+                            n_correct: 1,
+                            rs_empty: false,
+                            fe_stall: None,
+                            blocking_blame: Some(Blame::Dcache(HitLevel::Mem)),
+                            structural: None,
+                            smt_blocked: false,
+                            issued: &[],
+                            vfp_in_rs: false,
+                            vfp_blame: None,
+                            vu_used_by_non_vfp: false,
+                        },
+                    );
                     cycles += 1;
                 }
                 3 => {
@@ -220,9 +260,9 @@ proptest! {
             }
         }
         let s = a.finish(1_000, None);
-        prop_assert!(
+        assert!(
             (s.total_cycles() - cycles as f64).abs() < 1e-6,
-            "{} vs {}",
+            "case {case}: {} vs {}",
             s.total_cycles(),
             cycles
         );

@@ -1,104 +1,120 @@
-//! Property-based tests: the accounting invariants must hold for *any*
+//! Randomized workload tests: the accounting invariants must hold for *any*
 //! workload the generator can produce, not just the tuned profiles.
+//!
+//! Originally `proptest` properties; now driven by the in-repo seeded PRNG
+//! so the suite builds offline and explores a fixed, reproducible case set.
 
+use mstacks::model::rng::SmallRng;
 use mstacks::model::{AluClass, ArchReg, BranchInfo, BranchKind, MicroOp, UopKind};
 use mstacks::prelude::*;
 use mstacks::workloads::addr::AddrPattern;
 use mstacks::workloads::synth::{Mix, SynthParams};
-use proptest::prelude::*;
 
-/// A bounded, always-valid random profile.
-fn arb_params() -> impl Strategy<Value = SynthParams> {
-    (
-        1u64..u64::MAX,
-        2usize..40,              // n_blocks
-        1usize..8,               // block_len lo
-        0usize..8,               // block_len extra
-        0.0f64..0.6,             // loop_frac
-        0.0f64..0.5,             // random_frac
-        0.0f64..0.2,             // call_frac
-        0.05f64..0.95,           // taken_prob
-        1usize..6,               // ilp
-        0.0f64..0.9,             // load_dep_frac
-        0.0f64..0.2,             // microcode_frac
-        1u64..1024,              // working set KiB
-    )
-        .prop_map(
-            |(seed, n_blocks, lo, extra, loop_frac, random_frac, call_frac, taken_prob, ilp, load_dep_frac, microcode_frac, ws_kib)| {
-                SynthParams {
-                    name: "prop",
-                    seed,
-                    n_blocks,
-                    block_len: (lo, lo + extra),
-                    ifootprint: 4096,
-                    loop_frac,
-                    random_frac,
-                    call_frac,
-                    indirect_frac: 0.05,
-                    taken_prob,
-                    loop_trip: (2, 8),
-                    mix: Mix {
-                        alu: 3.0,
-                        lea: 1.0,
-                        mul: 0.4,
-                        div: 0.05,
-                        load: 2.0,
-                        store: 1.0,
-                        fp_add: 0.5,
-                        fp_mul: 0.5,
-                        vec_fma: 0.2,
-                        vec_add: 0.1,
-                        vec_int: 0.1,
-                        nop: 0.2,
-                    },
-                    microcode_frac,
-                    ilp,
-                    fp_ilp: 2,
-                    load_dep_frac,
-                    branch_dep_frac: 0.3,
-                    mem: vec![
-                        (AddrPattern::Random { bytes: ws_kib * 1024 }, 1.0),
-                        (AddrPattern::Stream { bytes: 64 * 1024, stride: 16 }, 0.5),
-                    ],
-                    vec_lanes: 8,
-                }
-            },
-        )
+/// A bounded, always-valid random profile drawn from `rng`.
+fn rand_params(rng: &mut SmallRng) -> SynthParams {
+    let lo = rng.gen_range(1usize..8);
+    let extra = rng.gen_range(0usize..8);
+    SynthParams {
+        name: "prop",
+        seed: rng.gen_range(1u64..u64::MAX),
+        n_blocks: rng.gen_range(2usize..40),
+        block_len: (lo, lo + extra),
+        ifootprint: 4096,
+        loop_frac: rng.gen_range(0.0f64..0.6),
+        random_frac: rng.gen_range(0.0f64..0.5),
+        call_frac: rng.gen_range(0.0f64..0.2),
+        indirect_frac: 0.05,
+        taken_prob: rng.gen_range(0.05f64..0.95),
+        loop_trip: (2, 8),
+        mix: Mix {
+            alu: 3.0,
+            lea: 1.0,
+            mul: 0.4,
+            div: 0.05,
+            load: 2.0,
+            store: 1.0,
+            fp_add: 0.5,
+            fp_mul: 0.5,
+            vec_fma: 0.2,
+            vec_add: 0.1,
+            vec_int: 0.1,
+            nop: 0.2,
+        },
+        microcode_frac: rng.gen_range(0.0f64..0.2),
+        ilp: rng.gen_range(1usize..6),
+        fp_ilp: 2,
+        load_dep_frac: rng.gen_range(0.0f64..0.9),
+        branch_dep_frac: 0.3,
+        mem: vec![
+            (
+                AddrPattern::Random {
+                    bytes: rng.gen_range(1u64..1024) * 1024,
+                },
+                1.0,
+            ),
+            (
+                AddrPattern::Stream {
+                    bytes: 64 * 1024,
+                    stride: 16,
+                },
+                0.5,
+            ),
+        ],
+        vec_lanes: 8,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_workloads_preserve_accounting_invariants(params in arb_params()) {
-        let w = Workload::Synth(params);
-        let r = Simulation::new(CoreConfig::broadwell())
+#[test]
+fn random_workloads_preserve_accounting_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0x1171);
+    for case in 0..12 {
+        let w = Workload::Synth(rand_params(&mut rng));
+        let r = Session::new(CoreConfig::broadwell())
             .run(w.trace(4_000))
             .expect("simulation completes");
-        prop_assert_eq!(r.result.committed_uops, 4_000);
+        assert_eq!(r.result.committed_uops, 4_000, "case {case}");
         let cycles = r.result.cycles as f64;
         for s in r.multi.stacks() {
-            prop_assert!((s.total_cycles() - cycles).abs() < 1e-6,
-                "{} stack sums to {} ≠ {}", s.stage, s.total_cycles(), cycles);
+            assert!(
+                (s.total_cycles() - cycles).abs() < 1e-6,
+                "case {case}: {} stack sums to {} ≠ {}",
+                s.stage,
+                s.total_cycles(),
+                cycles
+            );
             for (c, v) in s.iter_cpi() {
-                prop_assert!(v >= 0.0, "negative {} at {}", c, s.stage);
+                assert!(v >= 0.0, "case {case}: negative {} at {}", c, s.stage);
             }
         }
-        prop_assert!((r.flops.total_cycles() - cycles).abs() < 1e-6);
+        assert!(
+            (r.flops.total_cycles() - cycles).abs() < 1e-6,
+            "case {case}"
+        );
         // Base equal across stages in ground-truth mode.
         let b = r.multi.commit.cycles_of(Component::Base);
-        prop_assert!((r.multi.dispatch.cycles_of(Component::Base) - b).abs() < 1e-6);
-        prop_assert!((r.multi.issue.cycles_of(Component::Base) - b).abs() < 1e-6);
+        assert!(
+            (r.multi.dispatch.cycles_of(Component::Base) - b).abs() < 1e-6,
+            "case {case}"
+        );
+        assert!(
+            (r.multi.issue.cycles_of(Component::Base) - b).abs() < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn random_workloads_are_deterministic(params in arb_params()) {
-        let w = Workload::Synth(params);
-        let a = Simulation::new(CoreConfig::knights_landing())
-            .run(w.trace(2_000)).expect("simulation completes");
-        let b = Simulation::new(CoreConfig::knights_landing())
-            .run(w.trace(2_000)).expect("simulation completes");
-        prop_assert_eq!(a, b);
+#[test]
+fn random_workloads_are_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xDE7E);
+    for case in 0..12 {
+        let w = Workload::Synth(rand_params(&mut rng));
+        let a = Session::new(CoreConfig::knights_landing())
+            .run(w.trace(2_000))
+            .expect("simulation completes");
+        let b = Session::new(CoreConfig::knights_landing())
+            .run(w.trace(2_000))
+            .expect("simulation completes");
+        assert_eq!(a, b, "case {case}");
     }
 }
 
@@ -116,10 +132,20 @@ fn raw_trace(seed: u64, n: usize) -> Vec<MicroOp> {
         let pc = 0x1000 + (i as u64 % 128) * 4;
         let r = rng();
         let u = match r % 7 {
-            0 => MicroOp::new(pc, UopKind::Load { addr: r % (1 << 22) })
-                .with_dst(ArchReg::new((r % 16) as u16)),
-            1 => MicroOp::new(pc, UopKind::Store { addr: r % (1 << 22) })
-                .with_src(ArchReg::new((r % 16) as u16)),
+            0 => MicroOp::new(
+                pc,
+                UopKind::Load {
+                    addr: r % (1 << 22),
+                },
+            )
+            .with_dst(ArchReg::new((r % 16) as u16)),
+            1 => MicroOp::new(
+                pc,
+                UopKind::Store {
+                    addr: r % (1 << 22),
+                },
+            )
+            .with_src(ArchReg::new((r % 16) as u16)),
             2 => {
                 let taken = r & 1 == 0;
                 MicroOp::new(
@@ -144,19 +170,22 @@ fn raw_trace(seed: u64, n: usize) -> Vec<MicroOp> {
     uops
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn adversarial_raw_traces_never_deadlock(seed in 1u64..u64::MAX) {
+#[test]
+fn adversarial_raw_traces_never_deadlock() {
+    let mut seeds = SmallRng::seed_from_u64(0xADA5);
+    for case in 0..8 {
+        let seed = seeds.gen_range(1u64..u64::MAX);
         let trace = raw_trace(seed, 3_000);
-        let r = Simulation::new(CoreConfig::broadwell())
+        let r = Session::new(CoreConfig::broadwell())
             .run(trace.into_iter())
             .expect("no deadlock");
-        prop_assert_eq!(r.result.committed_uops, 3_000);
+        assert_eq!(r.result.committed_uops, 3_000, "case {case} seed {seed}");
         let cycles = r.result.cycles as f64;
         for s in r.multi.stacks() {
-            prop_assert!((s.total_cycles() - cycles).abs() < 1e-6);
+            assert!(
+                (s.total_cycles() - cycles).abs() < 1e-6,
+                "case {case} seed {seed}"
+            );
         }
     }
 }

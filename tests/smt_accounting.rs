@@ -1,12 +1,15 @@
 //! Per-thread SMT accounting invariants (the §II extension).
 
-use mstacks::core::SmtSimulation;
+use mstacks::core::Session;
 use mstacks::prelude::*;
 
 #[test]
 fn per_thread_invariants_hold_under_smt() {
-    let report = SmtSimulation::new(CoreConfig::broadwell())
-        .run(vec![spec::exchange2().trace(10_000), spec::xz().trace(10_000)])
+    let report = Session::new(CoreConfig::broadwell())
+        .run_threads(vec![
+            spec::exchange2().trace(10_000),
+            spec::xz().trace(10_000),
+        ])
         .expect("simulation completes");
     assert_eq!(report.threads.len(), 2);
     for (tid, t) in report.threads.iter().enumerate() {
@@ -31,11 +34,11 @@ fn per_thread_invariants_hold_under_smt() {
 #[test]
 fn co_running_threads_slow_each_other_down() {
     let uops = 15_000u64;
-    let solo = Simulation::new(CoreConfig::broadwell())
+    let solo = Session::new(CoreConfig::broadwell())
         .run(spec::exchange2().trace(uops))
         .expect("simulation completes");
-    let smt = SmtSimulation::new(CoreConfig::broadwell())
-        .run(vec![
+    let smt = Session::new(CoreConfig::broadwell())
+        .run_threads(vec![
             spec::exchange2().trace(uops),
             spec::exchange2().trace(uops),
         ])
@@ -63,8 +66,8 @@ fn smt_component_explains_the_slowdown_direction() {
     // A memory-bound thread and a compute-bound thread: both see smt > 0,
     // and the compute-bound thread (hungry for slots) sees more of it.
     let uops = 15_000u64;
-    let report = SmtSimulation::new(CoreConfig::broadwell())
-        .run(vec![spec::exchange2().trace(uops), spec::mcf().trace(uops)])
+    let report = Session::new(CoreConfig::broadwell())
+        .run_threads(vec![spec::exchange2().trace(uops), spec::mcf().trace(uops)])
         .expect("simulation completes");
     let smt_of = |t: &mstacks::core::ThreadReport| {
         t.multi
@@ -83,8 +86,8 @@ fn smt_component_explains_the_slowdown_direction() {
 #[test]
 fn smt_run_is_deterministic() {
     let run = || {
-        SmtSimulation::new(CoreConfig::knights_landing())
-            .run(vec![spec::povray().trace(8_000), spec::nab().trace(8_000)])
+        Session::new(CoreConfig::knights_landing())
+            .run_threads(vec![spec::povray().trace(8_000), spec::nab().trace(8_000)])
             .expect("simulation completes")
     };
     assert_eq!(run(), run());
@@ -92,8 +95,8 @@ fn smt_run_is_deterministic() {
 
 #[test]
 fn four_threads_are_supported() {
-    let report = SmtSimulation::new(CoreConfig::skylake_server())
-        .run(vec![
+    let report = Session::new(CoreConfig::skylake_server())
+        .run_threads(vec![
             spec::exchange2().trace(5_000),
             spec::xz().trace(5_000),
             spec::leela().trace(5_000),

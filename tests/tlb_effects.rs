@@ -24,7 +24,7 @@ fn page_strider(n: u64) -> impl Iterator<Item = MicroOp> {
 
 #[test]
 fn dtlb_misses_are_counted() {
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(page_strider(20_000))
         .expect("simulation completes");
     assert!(
@@ -45,10 +45,10 @@ fn walks_fold_into_the_dcache_component() {
     free_cfg.mem.dtlb = TlbConfig::free();
     free_cfg.mem.itlb = TlbConfig::free();
 
-    let with_walks = Simulation::new(base_cfg)
+    let with_walks = Session::new(base_cfg)
         .run(page_strider(20_000))
         .expect("simulation completes");
-    let without = Simulation::new(free_cfg)
+    let without = Session::new(free_cfg)
         .run(page_strider(20_000))
         .expect("simulation completes");
     assert!(
@@ -68,7 +68,7 @@ fn walks_fold_into_the_dcache_component() {
 #[test]
 fn dense_working_sets_rarely_miss_the_tlb() {
     // exchange2 runs in a 24 KiB working set — a handful of pages.
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(spec::exchange2().trace(20_000))
         .expect("simulation completes");
     let per_kilo = r.result.mem.dtlb_misses as f64 / 20.0;
@@ -81,7 +81,7 @@ fn dense_working_sets_rarely_miss_the_tlb() {
 #[test]
 fn itlb_misses_appear_with_huge_code_footprints() {
     // cactus touches ~130 KiB of code (> 32 pages): some I-TLB activity.
-    let r = Simulation::new(CoreConfig::broadwell())
+    let r = Session::new(CoreConfig::broadwell())
         .run(spec::cactus().trace(20_000))
         .expect("simulation completes");
     assert!(
