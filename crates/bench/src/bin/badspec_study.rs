@@ -35,6 +35,7 @@ fn main() {
         let run = |mode: BadSpecMode| {
             Session::new(cfg.clone())
                 .with_badspec(mode)
+                .audit(mstacks_bench::audit_enabled())
                 .run(w.trace(uops))
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name()))
         };

@@ -36,6 +36,7 @@ struct Diff {
 fn diff_of(w: &Workload, cfg: &CoreConfig, uops: u64) -> Diff {
     let r = Session::new(cfg.clone())
         .with_ideal(IdealFlags::none())
+        .audit(mstacks_bench::audit_enabled())
         .run(w.trace(uops))
         .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
     let cpi = r.multi.issue.normalized();

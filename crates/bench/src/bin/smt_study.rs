@@ -24,6 +24,7 @@ fn main() {
     let solo: Vec<f64> = par_map(&names, |n| {
         let w = spec::by_name(n).expect("known profile");
         Session::new(cfg.clone())
+            .audit(mstacks_bench::audit_enabled())
             .run(w.trace(uops))
             .expect("simulation completes")
             .cpi()
@@ -41,6 +42,7 @@ fn main() {
         let wa = spec::by_name(names[i]).expect("known profile");
         let wb = spec::by_name(names[j]).expect("known profile");
         Session::new(cfg.clone())
+            .audit(mstacks_bench::audit_enabled())
             .run_threads(vec![wa.trace(uops), wb.trace(uops)])
             .expect("simulation completes")
     });

@@ -29,14 +29,28 @@ pub fn sim_uops() -> u64 {
         .unwrap_or(DEFAULT_UOPS)
 }
 
+/// Whether the `MSTACKS_AUDIT` environment variable asks for audited runs
+/// (`1`, `true` or `yes`). CI sets this on the validation sweep so every
+/// experiment run doubles as a conservation check.
+pub fn audit_enabled() -> bool {
+    std::env::var("MSTACKS_AUDIT")
+        .map(|v| matches!(v.as_str(), "1" | "true" | "yes"))
+        .unwrap_or(false)
+}
+
 /// Runs `workload` for `uops` micro-ops on `cfg` under `ideal`.
+///
+/// With `MSTACKS_AUDIT` set (see [`audit_enabled`]) the run carries the
+/// conservation auditor and any invariant violation becomes a panic here.
 ///
 /// # Panics
 ///
-/// Panics if the pipeline deadlocks (a simulator bug, not a user error).
+/// Panics if the pipeline deadlocks (a simulator bug, not a user error) or
+/// if an audited run trips an accounting invariant.
 pub fn run(workload: &Workload, cfg: &CoreConfig, ideal: IdealFlags, uops: u64) -> SimReport {
     Session::new(cfg.clone())
         .with_ideal(ideal)
+        .audit(audit_enabled())
         .run(workload.trace(uops))
         .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name))
 }

@@ -35,6 +35,8 @@ pub struct Options {
     pub ideal: IdealFlags,
     pub badspec: BadSpecMode,
     pub json: bool,
+    pub audit: bool,
+    pub trace_out: Option<String>,
 }
 
 impl Options {
@@ -46,6 +48,8 @@ impl Options {
         let mut ideal = IdealFlags::none();
         let mut badspec = BadSpecMode::GroundTruth;
         let mut json = false;
+        let mut audit = false;
+        let mut trace_out = None;
 
         let mut it = argv.iter();
         while let Some(a) = it.next() {
@@ -77,6 +81,13 @@ impl Options {
                     badspec = parse_badspec(v)?;
                 }
                 "--json" => json = true,
+                "--audit" => audit = true,
+                "--trace-out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::new("--trace-out needs a path"))?;
+                    trace_out = Some(v.to_string());
+                }
                 flag if flag.starts_with("--") => {
                     return Err(CliError::new(format!("unknown flag `{flag}`")));
                 }
@@ -98,6 +109,8 @@ impl Options {
             ideal,
             badspec,
             json,
+            audit,
+            trace_out,
         })
     }
 
@@ -165,6 +178,8 @@ mod tests {
         assert_eq!(o.uops, 300_000);
         assert!(o.ideal.is_baseline());
         assert!(!o.json);
+        assert!(!o.audit);
+        assert!(o.trace_out.is_none());
     }
 
     #[test]
@@ -181,6 +196,9 @@ mod tests {
                 "--badspec",
                 "simple",
                 "--json",
+                "--audit",
+                "--trace-out",
+                "/tmp/trace.jsonl",
             ]),
             1,
         )
@@ -191,6 +209,8 @@ mod tests {
         assert!(!o.ideal.perfect_icache);
         assert_eq!(o.badspec, mstacks_core::BadSpecMode::SimpleRetireSlots);
         assert!(o.json);
+        assert!(o.audit);
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/trace.jsonl"));
     }
 
     #[test]
@@ -210,6 +230,7 @@ mod tests {
         assert!(Options::parse(&s(&["mcf", "--uops", "0"]), 1).is_err());
         assert!(Options::parse(&s(&["mcf", "--ideal", "magic"]), 1).is_err());
         assert!(Options::parse(&s(&["mcf", "--badspec", "oracle"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--trace-out"]), 1).is_err());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   --ideal FLAGS           comma list: icache,dcache,bpred,alu
 //!   --badspec MODE          ground-truth|simple|speculative
 //!   --json                  machine-readable output
+//!   --audit                 verify per-cycle accounting invariants
+//!   --trace-out PATH        write a JSONL pipetrace (implies auditing)
 //! ```
 
 mod args;
@@ -23,9 +25,41 @@ mod json;
 mod output;
 
 use args::{CliError, Options};
-use mstacks_core::Session;
+use mstacks_core::{AuditOptions, AuditReport, Session};
 use mstacks_workloads::spec;
 use std::process::ExitCode;
+
+/// Builds audit options for `--audit` / `--trace-out`, opening the JSONL
+/// pipetrace file when one was requested. `None` when neither flag is set.
+fn audit_options(opts: &Options) -> Result<Option<AuditOptions>, CliError> {
+    if !opts.audit && opts.trace_out.is_none() {
+        return Ok(None);
+    }
+    let mut a = AuditOptions::default();
+    if let Some(path) = &opts.trace_out {
+        let f = std::fs::File::create(path)
+            .map_err(|e| CliError::new(format!("cannot create `{path}`: {e}")))?;
+        a = a.with_trace(Box::new(std::io::BufWriter::new(f)));
+    }
+    Ok(Some(a))
+}
+
+/// Prints audit findings as structured diagnostics on stderr and turns a
+/// dirty report into a failing exit status.
+fn check_audit(audit: &AuditReport) -> Result<(), CliError> {
+    for v in &audit.violations {
+        eprintln!("audit: {v}");
+    }
+    if audit.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::new(format!(
+            "audit failed: {} invariant violation(s) across {} thread-cycles",
+            audit.violations.len() + audit.dropped,
+            audit.cycles_checked,
+        )))
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -60,11 +94,21 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "simulate" => {
             let opts = Options::parse(&argv[1..], 1)?;
             let w = opts.workload(0)?;
-            let report = Session::new(opts.core.clone())
+            let session = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
-                .with_badspec(opts.badspec)
-                .run(w.trace(opts.uops))
-                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+                .with_badspec(opts.badspec);
+            let report = match audit_options(&opts)? {
+                Some(a) => {
+                    let (r, audit) = session
+                        .run_audited(w.trace(opts.uops), a)
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+                    check_audit(&audit)?;
+                    r
+                }
+                None => session
+                    .run(w.trace(opts.uops))
+                    .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+            };
             if opts.json {
                 println!("{}", json::sim_report(&report));
             } else {
@@ -80,10 +124,19 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "flops" => {
             let opts = Options::parse(&argv[1..], 1)?;
             let w = opts.workload(0)?;
-            let report = Session::new(opts.core.clone())
-                .with_ideal(opts.ideal)
-                .run(w.trace(opts.uops))
-                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            let session = Session::new(opts.core.clone()).with_ideal(opts.ideal);
+            let report = match audit_options(&opts)? {
+                Some(a) => {
+                    let (r, audit) = session
+                        .run_audited(w.trace(opts.uops), a)
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+                    check_audit(&audit)?;
+                    r
+                }
+                None => session
+                    .run(w.trace(opts.uops))
+                    .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+            };
             if opts.json {
                 println!("{}", json::flops_report(&report, opts.core.freq_ghz));
             } else {
@@ -118,10 +171,20 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let opts = Options::parse(&argv[1..], 2)?;
             let w0 = opts.workload(0)?;
             let w1 = opts.workload(1)?;
-            let report = Session::new(opts.core.clone())
-                .with_ideal(opts.ideal)
-                .run_threads(vec![w0.trace(opts.uops), w1.trace(opts.uops)])
-                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            let session = Session::new(opts.core.clone()).with_ideal(opts.ideal);
+            let traces = vec![w0.trace(opts.uops), w1.trace(opts.uops)];
+            let report = match audit_options(&opts)? {
+                Some(a) => {
+                    let (r, audit) = session
+                        .run_threads_audited(traces, a)
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+                    check_audit(&audit)?;
+                    r
+                }
+                None => session
+                    .run_threads(traces)
+                    .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+            };
             if opts.json {
                 println!("{}", json::smt_report(&report));
             } else {
@@ -146,6 +209,8 @@ fn print_help() {
          \x20 mstacks trace    <workload> [--uops N]\n\n\
          cores: bdw (Broadwell), knl (Knights Landing), skx (Skylake-SP)\n\
          ideal flags (comma list): icache, dcache, bpred, alu\n\
-         badspec modes: ground-truth (default), simple, speculative"
+         badspec modes: ground-truth (default), simple, speculative\n\
+         audit: --audit verifies per-cycle accounting invariants (all commands);\n\
+         \x20      --trace-out PATH writes a JSONL pipetrace (simulate/flops/smt)"
     );
 }

@@ -42,6 +42,7 @@ pub fn print_simulate(w: &Workload, opts: &Options, r: &SimReport) {
 /// `mstacks bounds` text output: bound table plus live verification.
 pub fn print_bounds(w: &Workload, opts: &Options) -> Result<(), CliError> {
     let base = Session::new(opts.core.clone())
+        .audit(opts.audit)
         .run(w.trace(opts.uops))
         .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
     println!(
@@ -72,6 +73,7 @@ pub fn print_bounds(w: &Workload, opts: &Options) -> Result<(), CliError> {
         }
         let r = Session::new(opts.core.clone())
             .with_ideal(ideal)
+            .audit(opts.audit)
             .run(w.trace(opts.uops))
             .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
         let actual = base.cpi() - r.cpi();
@@ -126,6 +128,7 @@ pub fn print_compare(w: &Workload, opts: &Options) -> Result<(), CliError> {
         CoreConfig::skylake_server(),
     ] {
         let r = Session::new(cfg.clone())
+            .audit(opts.audit)
             .run(w.trace(opts.uops))
             .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
         let c = &r.multi.commit;

@@ -136,6 +136,26 @@ impl ComponentCounter {
         self.mem_levels
     }
 
+    /// The counters as the auditor sees them mid-run: global counts plus
+    /// every still-open speculative window (a window is cycles already
+    /// spent — conservation must hold whichever component they end up in).
+    pub(crate) fn audited_counts(&self) -> [f64; COMPONENTS.len()] {
+        let mut out = self.counts;
+        for w in &self.windows {
+            for (o, v) in out.iter_mut().zip(w.iter()) {
+                *o += *v;
+            }
+        }
+        out
+    }
+
+    /// Fault injection for the audit tests: corrupts one component count
+    /// directly (bypassing the speculative windows, as a real accounting
+    /// bug would).
+    pub(crate) fn skew(&mut self, c: Component, x: f64) {
+        self.counts[c.index()] += x;
+    }
+
     /// Finalizes the counters: flushes the speculative buffer, folds the
     /// width-normalizer residual into the base component, and applies the
     /// simple retire-slot correction when requested

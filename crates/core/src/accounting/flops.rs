@@ -66,6 +66,22 @@ impl FlopsAccountant {
     pub fn finish(self) -> FlopsStack {
         FlopsStack::from_counts(self.counts, self.cycles, self.peak)
     }
+
+    /// Running conservation check for the audit subsystem. FLOPS accounting
+    /// has no width carry, so the residual is always zero and the
+    /// components must sum to the cycle count exactly.
+    pub fn conservation(&self) -> crate::audit::ConservationCheck {
+        crate::audit::ConservationCheck {
+            stage: "flops",
+            cycles: self.cycles,
+            accounted: self.counts.iter().sum(),
+            residual: 0.0,
+        }
+    }
+
+    pub(crate) fn audited_counts(&self) -> [f64; FLOPS_COMPONENTS.len()] {
+        self.counts
+    }
 }
 
 impl StageObserver for FlopsAccountant {

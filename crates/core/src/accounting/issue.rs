@@ -49,6 +49,30 @@ impl IssueAccountant {
         let counts = self.counter.finish(residual, commit_base);
         CpiStack::from_counts_with_levels(Stage::Issue, counts, levels, cycles, uops)
     }
+
+    /// Running conservation check for the audit subsystem: accumulated
+    /// components (open speculative windows included) must equal elapsed
+    /// cycles; the normalizer residual is reported alongside.
+    pub fn conservation(&self) -> crate::audit::ConservationCheck {
+        crate::audit::ConservationCheck {
+            stage: "issue",
+            cycles: self.counter.cycles(),
+            accounted: self.counter.audited_counts().iter().sum(),
+            residual: self.norm.residual(),
+        }
+    }
+
+    pub(crate) fn audited_counts(&self) -> [f64; crate::component::COMPONENTS.len()] {
+        self.counter.audited_counts()
+    }
+
+    pub(crate) fn residual(&self) -> f64 {
+        self.norm.residual()
+    }
+
+    pub(crate) fn skew(&mut self, c: Component, x: f64) {
+        self.counter.skew(c, x);
+    }
 }
 
 impl StageObserver for IssueAccountant {

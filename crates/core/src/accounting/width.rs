@@ -43,21 +43,34 @@ impl WidthNormalizer {
     }
 
     /// The fraction of this cycle considered useful, in [0, 1].
+    ///
+    /// The carry is accumulated in f64 across millions of cycles; rounding
+    /// can drift it an epsilon below zero, which would leak a negative
+    /// fraction into a component. Both branches clamp at zero so the
+    /// returned fraction and the stored carry are always non-negative.
     pub fn fraction(&mut self, n: u32) -> f64 {
         let raw = f64::from(n) / self.width + self.carry;
         if raw > 1.0 {
-            self.carry = raw - 1.0;
+            self.carry = (raw - 1.0).max(0.0);
             1.0
         } else {
             self.carry = 0.0;
-            raw
+            raw.max(0.0)
         }
     }
 
-    /// Carry not yet consumed (added to the base component at finalize so
-    /// stacks sum exactly to the cycle count).
+    /// Carry not yet consumed, guaranteed `>= 0`.
+    ///
+    /// # Folding contract
+    ///
+    /// At finalize time the session folds this residual into the stage's
+    /// base component (`ComponentCounter::finish`) so the stack sums
+    /// *exactly* to the elapsed cycle count: work clamped out of earlier
+    /// cycles is not lost, it is re-attributed as base work at the end of
+    /// the run. Callers must therefore read `residual()` exactly once,
+    /// after the last `fraction()` call.
     pub fn residual(&self) -> f64 {
-        self.carry
+        self.carry.max(0.0)
     }
 }
 
@@ -98,5 +111,36 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_width_panics() {
         let _ = WidthNormalizer::new(0);
+    }
+
+    #[test]
+    fn random_streams_conserve_and_stay_non_negative() {
+        // Σf + residual == Σn / W for arbitrary burst patterns, and the
+        // per-cycle fraction / residual never dip below zero.
+        let mut rng = mstacks_model::rng::SmallRng::seed_from_u64(0x05ee_d01d);
+        for width in [1u32, 2, 4, 6, 8] {
+            let mut n = WidthNormalizer::new(width);
+            let mut total_n = 0u64;
+            let mut total_f = 0.0f64;
+            for _ in 0..100_000 {
+                // Bursty pattern: mostly idle, occasionally far over width.
+                let x = if rng.gen_bool(0.3) {
+                    rng.gen_range(0..=3 * width)
+                } else {
+                    0
+                };
+                let f = n.fraction(x);
+                assert!((0.0..=1.0).contains(&f), "fraction {f} out of [0,1]");
+                assert!(n.residual() >= 0.0, "negative residual");
+                total_n += u64::from(x);
+                total_f += f;
+            }
+            let expect = total_n as f64 / f64::from(width);
+            let got = total_f + n.residual();
+            assert!(
+                (got - expect).abs() < 1e-6 * expect.max(1.0),
+                "width {width}: accounted {got} vs issued {expect}"
+            );
+        }
     }
 }

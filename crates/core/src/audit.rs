@@ -1,0 +1,573 @@
+//! The conservation-audit subsystem.
+//!
+//! The paper's methodology rests on one invariant: at every stage, the
+//! CPI-stack components sum exactly to the measured cycle count (§III-A
+//! width normalization, §III-B bad-speculation separation). A silent leak
+//! at any stage quietly mis-attributes cycles in every figure. The
+//! [`AuditObserver`] wraps the full accountant set of one hardware thread
+//! and verifies, while the simulation runs:
+//!
+//! * **per-cycle conservation** — every stage hook attributes exactly one
+//!   cycle across its components (to the configured tolerance, default
+//!   `1e-9`), with open speculative windows counted where the cycles will
+//!   eventually land;
+//! * **cumulative conservation** — each accountant's accumulated
+//!   components equal its elapsed cycle count (tolerance scaled by cycles);
+//! * **width carry** — every `WidthNormalizer` residual stays finite and
+//!   non-negative (the finalize-time folding contract);
+//! * **occupancy** — ROB / shared RS / LDQ / STQ never exceed capacity and
+//!   the MSHR files never hold more live entries than they have;
+//! * **commit order** — the next-commit sequence number is monotone and
+//!   advances by exactly the number of micro-ops the commit view reported.
+//!
+//! Violations become structured [`AuditViolation`] diagnostics (stage,
+//! thread, cycle, per-component deltas of the offending cycle) collected in
+//! an [`AuditReport`] — not a bare panic — and an optional JSONL pipetrace
+//! records one line per thread-cycle for offline debugging.
+//!
+//! Enable via [`crate::Session::audit`], the CLI `--audit` flag, or
+//! `MSTACKS_AUDIT=1` for the benchmark executors.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use crate::component::{Component, Stage, COMPONENTS, FLOPS_COMPONENTS};
+use crate::session::ThreadObserver;
+use mstacks_pipeline::{
+    CommitView, CycleEndView, DispatchView, FetchView, IssueView, StageObserver,
+};
+
+/// One accountant's running books, as inspected mid-run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConservationCheck {
+    /// Which accountant ("fetch", "dispatch", "issue", "commit", "flops").
+    pub stage: &'static str,
+    /// Cycles the accountant has seen.
+    pub cycles: u64,
+    /// Sum of all accumulated components, open speculative windows
+    /// included. Must equal `cycles`.
+    pub accounted: f64,
+    /// Width-normalizer carry not yet consumed. Folded into the base
+    /// component at finalize, so it is *not* part of `accounted`; it must
+    /// stay finite and non-negative.
+    pub residual: f64,
+}
+
+impl ConservationCheck {
+    /// Signed leak: accounted cycles minus elapsed cycles.
+    pub fn error(&self) -> f64 {
+        self.accounted - self.cycles as f64
+    }
+
+    /// Whether the books balance to a per-cycle tolerance of `tol` (the
+    /// absolute bound scales with elapsed cycles, since f64 accumulation
+    /// error grows with the stream length).
+    pub fn holds(&self, tol: f64) -> bool {
+        self.accounted.is_finite()
+            && self.residual.is_finite()
+            && self.residual >= 0.0
+            && self.error().abs() <= tol * self.cycles.max(1) as f64
+    }
+}
+
+/// A deliberate accounting corruption, for mutation-style tests that prove
+/// the auditor actually detects broken books (see
+/// [`crate::Session::with_fault_injection`]). Applied once, to hardware
+/// thread 0, at the first `stage` hook at or after `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Accountant to corrupt.
+    pub stage: Stage,
+    /// Component whose count is skewed.
+    pub component: Component,
+    /// Earliest cycle the skew is applied at.
+    pub cycle: u64,
+    /// Cycles added to the component (bypassing normalization).
+    pub amount: f64,
+}
+
+/// Shared sink for the optional JSONL pipetrace (one writer, all threads).
+pub type TraceSink = Rc<RefCell<Box<dyn Write>>>;
+
+/// Audit configuration.
+#[derive(Clone)]
+pub struct AuditOptions {
+    /// Per-cycle conservation tolerance (default `1e-9`).
+    pub tolerance: f64,
+    /// Violations kept per thread before counting drops (default 32).
+    pub max_violations: usize,
+    /// Optional JSONL pipetrace sink (one line per thread-cycle).
+    pub trace: Option<TraceSink>,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            tolerance: 1e-9,
+            max_violations: 32,
+            trace: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for AuditOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditOptions")
+            .field("tolerance", &self.tolerance)
+            .field("max_violations", &self.max_violations)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl AuditOptions {
+    /// Attaches a JSONL pipetrace writer (builder style).
+    pub fn with_trace(mut self, w: Box<dyn Write>) -> Self {
+        self.trace = Some(Rc::new(RefCell::new(w)));
+        self
+    }
+}
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditViolation {
+    /// Hardware thread the violation was observed on.
+    pub thread: usize,
+    /// Cycle of the violation.
+    pub cycle: u64,
+    /// Invariant family ("dispatch", "width", "occupancy", …).
+    pub stage: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Per-component deltas of the offending cycle (non-zero entries only;
+    /// empty for non-conservation violations).
+    pub deltas: Vec<(&'static str, f64)>,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread {} cycle {} [{}]: {}",
+            self.thread, self.cycle, self.stage, self.message
+        )?;
+        if !self.deltas.is_empty() {
+            write!(f, " — cycle deltas:")?;
+            for (label, d) in &self.deltas {
+                write!(f, " {label}={d:+.9}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything an audited run found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Violations, in detection order (capped per thread).
+    pub violations: Vec<AuditViolation>,
+    /// Violations beyond the per-thread cap (detected, not stored).
+    pub dropped: usize,
+    /// Thread-cycles the auditor checked.
+    pub cycles_checked: u64,
+}
+
+impl AuditReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.dropped == 0
+    }
+
+    /// Folds another thread's findings into this report.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.violations.extend(other.violations);
+        self.dropped += other.dropped;
+        self.cycles_checked += other.cycles_checked;
+    }
+}
+
+/// Previous-cycle snapshot of one CPI accountant's books.
+#[derive(Clone, Copy)]
+struct StagePrev {
+    counts: [f64; COMPONENTS.len()],
+    residual: f64,
+}
+
+impl Default for StagePrev {
+    fn default() -> Self {
+        StagePrev {
+            counts: [0.0; COMPONENTS.len()],
+            residual: 0.0,
+        }
+    }
+}
+
+/// The auditing wrapper around one thread's accountant set. Forwards every
+/// stage hook to the inner [`ThreadObserver`] unchanged (an audited run
+/// produces bit-identical stacks), then re-checks the books.
+pub(crate) struct AuditObserver {
+    inner: ThreadObserver,
+    thread: usize,
+    tol: f64,
+    max_violations: usize,
+    violations: Vec<AuditViolation>,
+    dropped: usize,
+    cycles_checked: u64,
+    fault: Option<FaultSpec>,
+    trace: Option<TraceSink>,
+    prev_fetch: StagePrev,
+    prev_dispatch: StagePrev,
+    prev_issue: StagePrev,
+    prev_commit: StagePrev,
+    prev_flops: [f64; FLOPS_COMPONENTS.len()],
+    /// Commit-order state from the previous cycle end.
+    last_next_seq: Option<u64>,
+    last_committed: Option<u64>,
+    /// This cycle's committed count, per the commit view.
+    commit_n: u32,
+    /// Pipetrace scratch: per-stage micro-op counts of the current cycle.
+    tr: [u32; 4],
+}
+
+impl AuditObserver {
+    pub(crate) fn new(
+        inner: ThreadObserver,
+        thread: usize,
+        opts: &AuditOptions,
+        fault: Option<FaultSpec>,
+    ) -> Self {
+        AuditObserver {
+            inner,
+            thread,
+            tol: opts.tolerance,
+            max_violations: opts.max_violations,
+            violations: Vec::new(),
+            dropped: 0,
+            cycles_checked: 0,
+            fault,
+            trace: opts.trace.clone(),
+            prev_fetch: StagePrev::default(),
+            prev_dispatch: StagePrev::default(),
+            prev_issue: StagePrev::default(),
+            prev_commit: StagePrev::default(),
+            prev_flops: [0.0; FLOPS_COMPONENTS.len()],
+            last_next_seq: None,
+            last_committed: None,
+            commit_n: 0,
+            tr: [0; 4],
+        }
+    }
+
+    /// Surrenders the wrapped accountants (for report assembly) and the
+    /// audit findings.
+    pub(crate) fn into_parts(self) -> (ThreadObserver, AuditReport) {
+        (
+            self.inner,
+            AuditReport {
+                violations: self.violations,
+                dropped: self.dropped,
+                cycles_checked: self.cycles_checked,
+            },
+        )
+    }
+
+    fn record(
+        &mut self,
+        cycle: u64,
+        stage: &str,
+        message: String,
+        deltas: Vec<(&'static str, f64)>,
+    ) {
+        if self.violations.len() < self.max_violations {
+            self.violations.push(AuditViolation {
+                thread: self.thread,
+                cycle,
+                stage: stage.to_string(),
+                message,
+                deltas,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Applies a pending fault once its stage hook fires at/after its
+    /// cycle — the corruption the mutation tests expect the checks below to
+    /// catch.
+    fn apply_fault(&mut self, stage: Stage, cycle: u64) {
+        let due = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.stage == stage && cycle >= f.cycle);
+        if !due {
+            return;
+        }
+        let f = self.fault.take().expect("checked above");
+        match stage {
+            Stage::Fetch => self.inner.fetch.skew(f.component, f.amount),
+            Stage::Dispatch => self.inner.dispatch.skew(f.component, f.amount),
+            Stage::Issue => self.inner.issue.skew(f.component, f.amount),
+            Stage::Commit => self.inner.commit.skew(f.component, f.amount),
+        }
+    }
+
+    /// The per-cycle conservation check: across one stage hook, the
+    /// accountant must have attributed exactly one cycle to its components
+    /// (a carry drain moves cycles *between* components, never in or out),
+    /// and the width carry must stay finite and non-negative.
+    fn check_stage(
+        &mut self,
+        cycle: u64,
+        stage: &'static str,
+        counts: [f64; COMPONENTS.len()],
+        residual: f64,
+    ) {
+        let prev = match stage {
+            "fetch" => &mut self.prev_fetch,
+            "dispatch" => &mut self.prev_dispatch,
+            "issue" => &mut self.prev_issue,
+            "commit" => &mut self.prev_commit,
+            _ => unreachable!("unknown stage"),
+        };
+        let mut sum = 0.0;
+        let mut deltas = Vec::new();
+        for (i, c) in COMPONENTS.iter().enumerate() {
+            let d = counts[i] - prev.counts[i];
+            sum += d;
+            if d != 0.0 {
+                deltas.push((c.label(), d));
+            }
+        }
+        let dres = residual - prev.residual;
+        *prev = StagePrev { counts, residual };
+        if !residual.is_finite() || residual < 0.0 {
+            self.record(
+                cycle,
+                "width",
+                format!("{stage} normalizer carry is {residual} (must be finite and ≥ 0)"),
+                vec![("residual", dres)],
+            );
+        }
+        if !(sum - 1.0).abs().is_finite() || (sum - 1.0).abs() > self.tol {
+            deltas.push(("residual", dres));
+            self.record(
+                cycle,
+                stage,
+                format!(
+                    "cycle attributed {sum:.12} components (expected 1 ± {:e})",
+                    self.tol
+                ),
+                deltas,
+            );
+        }
+    }
+
+    /// The FLOPS stack's per-cycle check: Table III components provably sum
+    /// to exactly 1 every issue cycle.
+    fn check_flops(&mut self, cycle: u64) {
+        let counts = self.inner.flops.audited_counts();
+        let mut sum = 0.0;
+        let mut deltas = Vec::new();
+        for (i, c) in FLOPS_COMPONENTS.iter().enumerate() {
+            let d = counts[i] - self.prev_flops[i];
+            sum += d;
+            if d != 0.0 {
+                deltas.push((c.label(), d));
+            }
+        }
+        self.prev_flops = counts;
+        if !(sum - 1.0).abs().is_finite() || (sum - 1.0).abs() > self.tol {
+            self.record(
+                cycle,
+                "flops",
+                format!(
+                    "cycle attributed {sum:.12} components (expected 1 ± {:e})",
+                    self.tol
+                ),
+                deltas,
+            );
+        }
+    }
+
+    fn check_occupancy(&mut self, cycle: u64, v: &CycleEndView) {
+        let mut over = Vec::new();
+        if v.rob_len > v.rob_cap {
+            over.push(format!("ROB {}/{}", v.rob_len, v.rob_cap));
+        }
+        if v.rs_total > v.rs_cap {
+            over.push(format!("RS {}/{}", v.rs_total, v.rs_cap));
+        }
+        if v.ldq_len > v.ldq_cap {
+            over.push(format!("LDQ {}/{}", v.ldq_len, v.ldq_cap));
+        }
+        if v.stq_len > v.stq_cap {
+            over.push(format!("STQ {}/{}", v.stq_len, v.stq_cap));
+        }
+        for (m, name) in v.mshr.iter().zip(["L1I", "L1D", "L2", "L3"]) {
+            if !m.within_capacity() {
+                over.push(format!("{name} MSHR {}/{}", m.occupied, m.capacity));
+            }
+        }
+        if !over.is_empty() {
+            self.record(
+                cycle,
+                "occupancy",
+                format!("structure over capacity: {}", over.join(", ")),
+                Vec::new(),
+            );
+        }
+    }
+
+    fn check_commit_order(&mut self, cycle: u64, v: &CycleEndView) {
+        if let (Some(seq), Some(committed)) = (self.last_next_seq, self.last_committed) {
+            let dseq = v.next_commit_seq.wrapping_sub(seq);
+            let dcommit = v.committed.wrapping_sub(committed);
+            if v.next_commit_seq < seq {
+                self.record(
+                    cycle,
+                    "commit-order",
+                    format!(
+                        "next commit seq went backwards: {seq} → {}",
+                        v.next_commit_seq
+                    ),
+                    Vec::new(),
+                );
+            } else if dseq != u64::from(self.commit_n) || dcommit != u64::from(self.commit_n) {
+                self.record(
+                    cycle,
+                    "commit-order",
+                    format!(
+                        "commit view reported {} retires but head seq advanced {dseq} \
+                         and the committed counter {dcommit}",
+                        self.commit_n
+                    ),
+                    Vec::new(),
+                );
+            }
+        }
+        self.last_next_seq = Some(v.next_commit_seq);
+        self.last_committed = Some(v.committed);
+    }
+
+    /// Cumulative conservation: each accountant's books re-sum to its
+    /// elapsed cycle count (tolerance scaled by cycles — f64 error grows
+    /// with stream length).
+    fn check_cumulative(&mut self, cycle: u64) {
+        let checks = [
+            self.inner.fetch.conservation(),
+            self.inner.dispatch.conservation(),
+            self.inner.issue.conservation(),
+            self.inner.commit.conservation(),
+            self.inner.flops.conservation(),
+        ];
+        for c in checks {
+            if !c.holds(self.tol) {
+                self.record(
+                    cycle,
+                    "conservation",
+                    format!(
+                        "{} accountant books off by {:.12} after {} cycles (residual {})",
+                        c.stage,
+                        c.error(),
+                        c.cycles,
+                        c.residual
+                    ),
+                    Vec::new(),
+                );
+            }
+        }
+    }
+
+    fn write_trace(&mut self, cycle: u64, v: &CycleEndView) {
+        let Some(sink) = &self.trace else { return };
+        let mut w = sink.borrow_mut();
+        let _ = writeln!(
+            w,
+            "{{\"cycle\":{},\"thread\":{},\"fetch\":{},\"dispatch\":{},\"issue\":{},\
+             \"commit\":{},\"rob\":{},\"rs\":{},\"ldq\":{},\"stq\":{},\"seq\":{},\
+             \"mshr\":[{},{},{},{}]}}",
+            cycle,
+            self.thread,
+            self.tr[0],
+            self.tr[1],
+            self.tr[2],
+            self.tr[3],
+            v.rob_len,
+            v.rs_own,
+            v.ldq_len,
+            v.stq_len,
+            v.next_commit_seq,
+            v.mshr[0].occupied,
+            v.mshr[1].occupied,
+            v.mshr[2].occupied,
+            v.mshr[3].occupied,
+        );
+    }
+}
+
+impl StageObserver for AuditObserver {
+    fn on_fetch(&mut self, cycle: u64, view: &FetchView) {
+        self.inner.on_fetch(cycle, view);
+        self.apply_fault(Stage::Fetch, cycle);
+        let counts = self.inner.fetch.audited_counts();
+        let residual = self.inner.fetch.residual();
+        self.check_stage(cycle, "fetch", counts, residual);
+        self.tr[0] = view.n_total;
+    }
+
+    fn on_dispatch(&mut self, cycle: u64, view: &DispatchView) {
+        self.inner.on_dispatch(cycle, view);
+        self.apply_fault(Stage::Dispatch, cycle);
+        let counts = self.inner.dispatch.audited_counts();
+        let residual = self.inner.dispatch.residual();
+        self.check_stage(cycle, "dispatch", counts, residual);
+        self.tr[1] = view.n_total;
+    }
+
+    fn on_issue(&mut self, cycle: u64, view: &IssueView<'_>) {
+        self.inner.on_issue(cycle, view);
+        self.apply_fault(Stage::Issue, cycle);
+        let counts = self.inner.issue.audited_counts();
+        let residual = self.inner.issue.residual();
+        self.check_stage(cycle, "issue", counts, residual);
+        self.check_flops(cycle);
+        self.tr[2] = view.n_total;
+    }
+
+    fn on_commit(&mut self, cycle: u64, view: &CommitView) {
+        self.inner.on_commit(cycle, view);
+        self.apply_fault(Stage::Commit, cycle);
+        let counts = self.inner.commit.audited_counts();
+        let residual = self.inner.commit.residual();
+        self.check_stage(cycle, "commit", counts, residual);
+        self.commit_n = view.n;
+        self.tr[3] = view.n;
+    }
+
+    fn on_dispatch_uop(&mut self, cycle: u64, uop: &mstacks_model::MicroOp) {
+        self.inner.on_dispatch_uop(cycle, uop);
+    }
+
+    fn on_commit_uop(&mut self, cycle: u64, uop: &mstacks_model::MicroOp) {
+        self.inner.on_commit_uop(cycle, uop);
+    }
+
+    fn on_squash(&mut self, cycle: u64, n: u64, branches: u64) {
+        self.inner.on_squash(cycle, n, branches);
+    }
+
+    fn wants_cycle_end(&self) -> bool {
+        true
+    }
+
+    fn on_cycle_end(&mut self, cycle: u64, view: &CycleEndView) {
+        self.check_occupancy(cycle, view);
+        self.check_commit_order(cycle, view);
+        self.check_cumulative(cycle);
+        self.write_trace(cycle, view);
+        self.cycles_checked += 1;
+        self.commit_n = 0;
+        self.tr = [0; 4];
+    }
+}

@@ -89,6 +89,13 @@ impl IntervalAccountant {
         self.done
     }
 
+    /// Running conservation check for the audit subsystem, delegated to the
+    /// wrapped commit accountant (interval snapshots are pure reads of its
+    /// counters, so the same invariant covers both).
+    pub fn conservation(&self) -> crate::audit::ConservationCheck {
+        self.inner.conservation()
+    }
+
     /// A compact per-interval phase label: the dominant stall component
     /// (or `Base` when the interval ran at full width).
     pub fn dominant(stack: &CpiStack) -> Component {

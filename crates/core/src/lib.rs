@@ -42,6 +42,7 @@
 //! ```
 
 pub mod accounting;
+pub mod audit;
 pub mod component;
 pub mod interval;
 pub mod multi;
@@ -52,6 +53,7 @@ pub use accounting::{
     BadSpecMode, CommitAccountant, DispatchAccountant, FetchAccountant, FlopsAccountant,
     IssueAccountant, WidthNormalizer,
 };
+pub use audit::{AuditOptions, AuditReport, AuditViolation, ConservationCheck, FaultSpec};
 pub use component::{Component, FlopsComponent, Stage, COMPONENTS, FLOPS_COMPONENTS};
 pub use interval::IntervalAccountant;
 pub use multi::MultiStackReport;

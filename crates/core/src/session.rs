@@ -13,6 +13,7 @@ use crate::accounting::{
     BadSpecMode, CommitAccountant, DispatchAccountant, FetchAccountant, FlopsAccountant,
     IssueAccountant,
 };
+use crate::audit::{AuditObserver, AuditOptions, AuditReport, FaultSpec};
 use crate::multi::MultiStackReport;
 use crate::stack::FlopsStack;
 use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
@@ -77,16 +78,16 @@ pub type SmtReport = SessionReport;
 
 /// The full accountant set for one hardware thread, forwarding each stage
 /// hook to exactly the accountants that consume it.
-struct ThreadObserver {
-    dispatch: DispatchAccountant,
-    issue: IssueAccountant,
-    commit: CommitAccountant,
-    fetch: FetchAccountant,
-    flops: FlopsAccountant,
+pub(crate) struct ThreadObserver {
+    pub(crate) dispatch: DispatchAccountant,
+    pub(crate) issue: IssueAccountant,
+    pub(crate) commit: CommitAccountant,
+    pub(crate) fetch: FetchAccountant,
+    pub(crate) flops: FlopsAccountant,
 }
 
 impl ThreadObserver {
-    fn new(cfg: &CoreConfig, badspec: BadSpecMode) -> Self {
+    pub(crate) fn new(cfg: &CoreConfig, badspec: BadSpecMode) -> Self {
         let w = cfg.accounting_width();
         ThreadObserver {
             dispatch: DispatchAccountant::new(w, badspec),
@@ -98,7 +99,7 @@ impl ThreadObserver {
     }
 
     /// Closes the books and assembles this thread's report.
-    fn finish(self, result: PipelineResult) -> ThreadReport {
+    pub(crate) fn finish(self, result: PipelineResult) -> ThreadReport {
         let uops = result.committed_uops;
         let commit = self.commit.finish(uops);
         let base = commit.cycles_of(crate::component::Component::Base);
@@ -191,6 +192,8 @@ pub struct Session {
     ideal: IdealFlags,
     badspec: BadSpecMode,
     max_uops: Option<u64>,
+    audit: bool,
+    fault: Option<FaultSpec>,
 }
 
 impl Session {
@@ -202,6 +205,8 @@ impl Session {
             ideal: IdealFlags::none(),
             badspec: BadSpecMode::GroundTruth,
             max_uops: None,
+            audit: false,
+            fault: None,
         }
     }
 
@@ -224,6 +229,22 @@ impl Session {
         self
     }
 
+    /// Enables the conservation-audit subsystem (builder style). Audited
+    /// runs produce identical stacks, verify the per-cycle invariants as
+    /// they go, and turn any violation into [`PipelineError::Audit`].
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Injects a deliberate accounting corruption into hardware thread 0
+    /// (builder style) — the mutation hook the audit tests use to prove the
+    /// auditor detects broken books. Implies auditing.
+    pub fn with_fault_injection(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Runs one trace per hardware thread (1–4) and produces per-thread
     /// stacks.
     ///
@@ -238,6 +259,19 @@ impl Session {
         &self,
         traces: Vec<I>,
     ) -> Result<SessionReport, PipelineError> {
+        if self.audit || self.fault.is_some() {
+            let (report, audit) = self.run_threads_audited(traces, AuditOptions::default())?;
+            if let Some(v) = audit.violations.first() {
+                return Err(PipelineError::Audit {
+                    cycle: v.cycle,
+                    thread: v.thread,
+                    stage: v.stage.clone(),
+                    violations: audit.violations.len() + audit.dropped,
+                    detail: v.message.clone(),
+                });
+            }
+            return Ok(report);
+        }
         let n = traces.len();
         let mut obs: Vec<ThreadObserver> = (0..n)
             .map(|_| ThreadObserver::new(&self.cfg, self.badspec))
@@ -253,6 +287,53 @@ impl Session {
             .map(|(o, result)| o.finish(result))
             .collect();
         Ok(SessionReport { threads })
+    }
+
+    /// Runs with the audit subsystem attached and returns the structured
+    /// findings next to the (identical) session report, instead of folding
+    /// the first violation into a [`PipelineError::Audit`] as
+    /// [`Session::run_threads`] does when auditing is on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline (deadlock watchdog).
+    /// Audit violations do NOT error here — inspect the [`AuditReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or holds more than 4 entries.
+    pub fn run_threads_audited<I: Iterator<Item = MicroOp>>(
+        &self,
+        traces: Vec<I>,
+        opts: AuditOptions,
+    ) -> Result<(SessionReport, AuditReport), PipelineError> {
+        let n = traces.len();
+        let mut obs: Vec<AuditObserver> = (0..n)
+            .map(|t| {
+                AuditObserver::new(
+                    ThreadObserver::new(&self.cfg, self.badspec),
+                    t,
+                    &opts,
+                    if t == 0 { self.fault } else { None },
+                )
+            })
+            .collect();
+        let mut engine = Engine::new(self.cfg.clone(), self.ideal, traces);
+        let results = match self.max_uops {
+            Some(cap) => engine.run_uops(cap, &mut obs)?,
+            None => engine.run(&mut obs)?,
+        };
+        let mut audit = AuditReport::default();
+        let threads = obs
+            .into_iter()
+            .zip(results)
+            .map(|(o, result)| {
+                let (inner, findings) = o.into_parts();
+                audit.merge(findings);
+                inner.finish(result)
+            })
+            .collect();
+        Ok((SessionReport { threads }, audit))
     }
 
     /// Runs a single trace and collects its stacks — the single-core
@@ -271,6 +352,34 @@ impl Session {
             multi: t.multi,
             flops: t.flops,
         })
+    }
+
+    /// Runs a single trace with the audit subsystem attached — the
+    /// single-core convenience over [`Session::run_threads_audited`].
+    /// Violations are returned in the [`AuditReport`] rather than folded
+    /// into an error, so callers (the CLI, the bench harness) can print
+    /// structured diagnostics and decide the exit status themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline (deadlock watchdog).
+    pub fn run_audited<I: Iterator<Item = MicroOp>>(
+        &self,
+        trace: I,
+        opts: AuditOptions,
+    ) -> Result<(SimReport, AuditReport), PipelineError> {
+        let (report, audit) = self.run_threads_audited(vec![trace], opts)?;
+        let t = report.threads.into_iter().next().expect("one thread");
+        Ok((
+            SimReport {
+                config_name: self.cfg.name.clone(),
+                ideal: self.ideal,
+                result: t.result,
+                multi: t.multi,
+                flops: t.flops,
+            },
+            audit,
+        ))
     }
 
     /// The configuration this session runs on.
@@ -548,6 +657,59 @@ mod tests {
         assert_eq!(single.result, t.result);
         assert_eq!(single.multi, t.multi);
         assert_eq!(single.flops, t.flops);
+    }
+
+    #[test]
+    fn audited_run_is_clean_and_matches_plain_run() {
+        let plain = Session::new(CoreConfig::broadwell())
+            .run(alu_chain(3_000))
+            .expect("completes");
+        let (audited, findings) = Session::new(CoreConfig::broadwell())
+            .run_threads_audited(
+                vec![alu_chain(3_000).collect::<Vec<_>>().into_iter()],
+                crate::audit::AuditOptions::default(),
+            )
+            .expect("completes");
+        assert!(findings.is_clean(), "violations: {:?}", findings.violations);
+        assert!(findings.cycles_checked > 0);
+        let t = &audited.threads[0];
+        assert_eq!(plain.result, t.result);
+        assert_eq!(plain.multi, t.multi);
+        assert_eq!(plain.flops, t.flops);
+    }
+
+    #[test]
+    fn audited_smt_run_matches_plain_run() {
+        let traces = || vec![adds(3_000, 0x1000), adds(3_000, 0x9000)];
+        let plain = Session::new(CoreConfig::broadwell())
+            .run_threads(traces())
+            .expect("completes");
+        let (audited, findings) = Session::new(CoreConfig::broadwell())
+            .run_threads_audited(traces(), crate::audit::AuditOptions::default())
+            .expect("completes");
+        assert!(findings.is_clean(), "violations: {:?}", findings.violations);
+        assert_eq!(plain, audited);
+    }
+
+    #[test]
+    fn injected_fault_trips_the_auditor() {
+        let fault = crate::audit::FaultSpec {
+            stage: crate::component::Stage::Dispatch,
+            component: Component::Dcache,
+            cycle: 100,
+            amount: 0.5,
+        };
+        let err = Session::new(CoreConfig::broadwell())
+            .with_fault_injection(fault)
+            .run(alu_chain(3_000))
+            .expect_err("corrupted books must fail the audit");
+        match err {
+            PipelineError::Audit { stage, cycle, .. } => {
+                assert_eq!(stage, "dispatch");
+                assert!(cycle >= 100);
+            }
+            other => panic!("expected an audit error, got {other}"),
+        }
     }
 
     #[test]

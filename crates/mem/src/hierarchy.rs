@@ -27,7 +27,7 @@
 
 use crate::cache::SetAssocCache;
 use crate::dram::Dram;
-use crate::mshr::MshrFile;
+use crate::mshr::{MshrFile, MshrOccupancy};
 use crate::prefetch::{NextLinePrefetcher, StridePrefetcher};
 use crate::stats::MemStats;
 use crate::tlb::Tlb;
@@ -195,7 +195,8 @@ impl Hierarchy {
         let start = self.l1i_mshr.alloc_time(now);
         let (ready, level) = self.access_l2(line, start + self.lat_l1i, true);
         self.l1i.insert(line);
-        self.l1i_mshr.insert(line, ready, level_to_tag(level));
+        self.l1i_mshr
+            .insert(line, start, ready, level_to_tag(level));
         AccessResult { ready, level }
     }
 
@@ -242,7 +243,8 @@ impl Hierarchy {
         let start = self.l1d_mshr.alloc_time(now);
         let (ready, level) = self.access_l2(line, start + self.lat_l1d, false);
         self.l1d.insert(line);
-        self.l1d_mshr.insert(line, ready, level_to_tag(level));
+        self.l1d_mshr
+            .insert(line, start, ready, level_to_tag(level));
         // Prefetches launch after the demand miss and contend for the same
         // L2 MSHRs and DRAM bandwidth.
         for pf in pf_lines {
@@ -270,7 +272,7 @@ impl Hierarchy {
         self.stats.l2_mshr_wait_cycles += start - at;
         let (ready, level) = self.access_l3(line, start + self.lat_l2);
         self.l2.insert(line);
-        self.l2_mshr.insert(line, ready, level_to_tag(level));
+        self.l2_mshr.insert(line, start, ready, level_to_tag(level));
         (ready, level)
     }
 
@@ -296,7 +298,7 @@ impl Hierarchy {
             .expect("L3 presence checked above")
             .insert(line);
         self.l3_mshr
-            .insert(line, ready, level_to_tag(HitLevel::Mem));
+            .insert(line, start, ready, level_to_tag(HitLevel::Mem));
         (ready, HitLevel::Mem)
     }
 
@@ -310,7 +312,18 @@ impl Hierarchy {
         let start = self.l2_mshr.alloc_time(at);
         let (ready, level) = self.access_l3(line, start + self.lat_l2);
         self.l2.insert(line);
-        self.l2_mshr.insert(line, ready, level_to_tag(level));
+        self.l2_mshr.insert(line, start, ready, level_to_tag(level));
+    }
+
+    /// Occupancy of the four MSHR files (L1I, L1D, L2, L3) at cycle `now` —
+    /// the probe the audit subsystem checks against each file's capacity.
+    pub fn mshr_occupancy(&mut self, now: u64) -> [MshrOccupancy; 4] {
+        [
+            self.l1i_mshr.occupancy(now),
+            self.l1d_mshr.occupancy(now),
+            self.l2_mshr.occupancy(now),
+            self.l3_mshr.occupancy(now),
+        ]
     }
 
     /// Copies the DRAM queueing statistic into [`MemStats`] and returns the
@@ -380,6 +393,30 @@ mod tests {
         let r2 = m.load(0x10040 - 0x40, 2, 5);
         assert_eq!(r2.ready, r.ready);
         assert!(r2.missed_l1());
+    }
+
+    #[test]
+    fn access_in_the_fill_cycle_coalesces() {
+        let mut m = Hierarchy::new(&small_mem());
+        let r = m.load(0x10000, 1, 0);
+        let misses = m.stats().l1d.misses;
+        // Re-access the line in the exact cycle the miss completes: it must
+        // coalesce onto the fill, not re-miss.
+        let r2 = m.load(0x10000, 2, r.ready);
+        assert_eq!(r2.ready, r.ready);
+        assert!(r2.missed_l1());
+        assert_eq!(m.stats().l1d.misses, misses);
+    }
+
+    #[test]
+    fn mshr_occupancy_tracks_in_flight_misses() {
+        let mut m = Hierarchy::new(&small_mem());
+        let r = m.load(0x10000, 1, 0);
+        let occ = m.mshr_occupancy(1);
+        assert_eq!(occ[1].occupied, 1, "one L1D miss in flight");
+        assert!(occ.iter().all(MshrOccupancy::within_capacity));
+        let occ = m.mshr_occupancy(r.ready + 1);
+        assert_eq!(occ[1].occupied, 0, "miss drained");
     }
 
     #[test]

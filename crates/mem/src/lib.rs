@@ -38,7 +38,7 @@ pub mod tlb;
 pub use cache::SetAssocCache;
 pub use dram::Dram;
 pub use hierarchy::{AccessResult, Hierarchy};
-pub use mshr::MshrFile;
+pub use mshr::{MshrFile, MshrOccupancy};
 pub use prefetch::{NextLinePrefetcher, StridePrefetcher};
 pub use stats::{CacheStats, MemStats};
 pub use tlb::Tlb;

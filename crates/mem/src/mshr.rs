@@ -5,7 +5,8 @@
 //!
 //! * **Coalescing**: a second access to a line whose miss is already in
 //!   flight does not allocate a new entry; it completes when the first miss
-//!   completes.
+//!   completes. A miss completing *exactly* at the access cycle still
+//!   satisfies the access (its fill is on the bus this cycle).
 //! * **Back-pressure**: when every entry is busy, a new miss must wait until
 //!   an entry frees. On the L2 this queueing — largely caused by hardware
 //!   prefetches — is exactly the `bwaves` effect of paper Fig. 3(c): I-cache
@@ -15,8 +16,31 @@
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     line: u64,
+    /// Cycle the entry is allocated (equals the caller's
+    /// [`MshrFile::alloc_time`]; later than the request cycle when the
+    /// allocation queued behind a full file).
+    start: u64,
     ready: u64,
     tag: u8,
+}
+
+/// Occupancy of one MSHR file at a cycle boundary, as probed by the audit
+/// subsystem ([`MshrFile::occupancy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MshrOccupancy {
+    /// Entries live at the probed cycle (allocated and not yet completed).
+    pub occupied: usize,
+    /// Total entries in the file.
+    pub capacity: usize,
+}
+
+impl MshrOccupancy {
+    /// The invariant the auditor checks: a file never holds more live
+    /// entries than it has.
+    #[inline]
+    pub fn within_capacity(&self) -> bool {
+        self.occupied <= self.capacity
+    }
 }
 
 /// A bounded file of in-flight misses at one cache level.
@@ -28,8 +52,8 @@ struct Entry {
 ///
 /// let mut m = MshrFile::new(2);
 /// assert_eq!(m.alloc_time(100), 100); // free entry → allocate immediately
-/// m.insert(1, 150, 0);
-/// m.insert(2, 180, 0);
+/// m.insert(1, 100, 150, 0);
+/// m.insert(2, 100, 180, 0);
 /// // File is full until cycle 150: a third miss at cycle 120 waits.
 /// assert_eq!(m.alloc_time(120), 150);
 /// // Accessing line 1 again coalesces onto the in-flight miss.
@@ -55,19 +79,26 @@ impl MshrFile {
         }
     }
 
-    /// Drops entries whose miss completed at or before `now`.
+    /// Drops entries whose miss completed strictly before `now` could still
+    /// observe them (i.e. `ready <= now`). Coalescing lookups run *before*
+    /// this, so a same-cycle completion is still visible to [`Self::pending`].
     fn gc(&mut self, now: u64) {
         self.entries.retain(|e| e.ready > now);
     }
 
     /// If a miss for `line` is in flight at `now`, returns its completion
-    /// cycle and the caller-supplied tag (coalescing).
+    /// cycle and the caller-supplied tag (coalescing). A miss completing
+    /// exactly at `now` still coalesces — the line arrives this cycle.
     pub fn pending(&mut self, line: u64, now: u64) -> Option<(u64, u8)> {
-        self.gc(now);
-        self.entries
+        // Look up before garbage collection: `ready == now` entries satisfy
+        // this access but would be dropped by `gc`.
+        let hit = self
+            .entries
             .iter()
-            .find(|e| e.line == line)
-            .map(|e| (e.ready, e.tag))
+            .find(|e| e.line == line && e.ready >= now)
+            .map(|e| (e.ready, e.tag));
+        self.gc(now);
+        hit
     }
 
     /// Earliest cycle ≥ `now` at which a new entry can be allocated.
@@ -86,21 +117,54 @@ impl MshrFile {
         readies[need - 1]
     }
 
-    /// Records a new in-flight miss for `line`, completing at `ready`.
+    /// Records a new in-flight miss for `line`: allocated at `start` (the
+    /// caller's [`MshrFile::alloc_time`] result), completing at `ready`.
     /// `tag` is an opaque caller payload returned by [`MshrFile::pending`]
     /// (the hierarchy stores the serviced [`crate::HitLevel`] there).
     ///
-    /// The caller must have consulted [`MshrFile::alloc_time`] first; this
-    /// method does not enforce the capacity wait (entries beyond capacity
-    /// represent allocations already queued with correct timestamps).
-    pub fn insert(&mut self, line: u64, ready: u64, tag: u8) {
-        self.entries.push(Entry { line, ready, tag });
+    /// # Panics
+    ///
+    /// Panics if the file already holds `capacity` live entries at `start` —
+    /// the caller skipped the [`MshrFile::alloc_time`] back-pressure wait
+    /// and would defeat the bounded-miss model (paper Fig. 3(c)).
+    pub fn insert(&mut self, line: u64, start: u64, ready: u64, tag: u8) {
+        debug_assert!(ready >= start, "miss completes before it starts");
+        self.gc(start);
+        // Entries queued to start later do not occupy the file at `start`.
+        let live = self.entries.iter().filter(|e| e.start <= start).count();
+        assert!(
+            live < self.capacity,
+            "MSHR capacity exceeded: {live}/{} entries live at cycle {start} \
+             (caller must wait for alloc_time)",
+            self.capacity
+        );
+        self.entries.push(Entry {
+            line,
+            start,
+            ready,
+            tag,
+        });
     }
 
     /// Number of misses in flight at `now`.
     pub fn in_flight(&mut self, now: u64) -> usize {
         self.gc(now);
         self.entries.len()
+    }
+
+    /// Occupancy probe for the audit subsystem: entries live at `now`
+    /// (allocated at or before `now`, completing after it) against the
+    /// file's capacity.
+    pub fn occupancy(&mut self, now: u64) -> MshrOccupancy {
+        self.gc(now);
+        MshrOccupancy {
+            occupied: self
+                .entries
+                .iter()
+                .filter(|e| e.start <= now && e.ready > now)
+                .count(),
+            capacity: self.capacity,
+        }
     }
 
     /// Total capacity.
@@ -123,18 +187,31 @@ mod tests {
     #[test]
     fn coalesces_same_line() {
         let mut m = MshrFile::new(4);
-        m.insert(9, 200, 3);
+        m.insert(9, 50, 200, 3);
         assert_eq!(m.pending(9, 100), Some((200, 3)));
         assert_eq!(m.pending(8, 100), None);
-        // After completion the entry is gone.
-        assert_eq!(m.pending(9, 200), None);
+        // A miss completing exactly now still satisfies this access...
+        assert_eq!(m.pending(9, 200), Some((200, 3)));
+        // ...and is gone one cycle later.
+        assert_eq!(m.pending(9, 201), None);
+    }
+
+    #[test]
+    fn same_cycle_completion_coalesces_then_frees() {
+        let mut m = MshrFile::new(1);
+        m.insert(7, 0, 100, 1);
+        // The fill cycle itself coalesces instead of re-missing.
+        assert_eq!(m.pending(7, 100), Some((100, 1)));
+        // The entry was garbage-collected by that lookup: the file is free.
+        assert_eq!(m.in_flight(100), 0);
+        assert_eq!(m.alloc_time(100), 100);
     }
 
     #[test]
     fn full_file_queues_new_allocations() {
         let mut m = MshrFile::new(2);
-        m.insert(1, 300, 0);
-        m.insert(2, 250, 0);
+        m.insert(1, 0, 300, 0);
+        m.insert(2, 0, 250, 0);
         // Earliest-finishing entry frees at 250.
         assert_eq!(m.alloc_time(100), 250);
         // After 250, one slot is free.
@@ -144,20 +221,59 @@ mod tests {
     #[test]
     fn overcommitted_file_queues_behind_kth_entry() {
         let mut m = MshrFile::new(2);
-        m.insert(1, 300, 0);
-        m.insert(2, 250, 0);
-        m.insert(3, 400, 0); // queued allocation beyond capacity
-                             // 3 in flight, capacity 2 → need 2 to drain: 250 then 300.
+        m.insert(1, 0, 300, 0);
+        m.insert(2, 0, 250, 0);
+        // Queued allocation beyond capacity: starts when entry 2 drains.
+        m.insert(3, 250, 400, 0);
+        // 3 in flight, capacity 2 → need 2 to drain: 250 then 300.
         assert_eq!(m.alloc_time(100), 300);
     }
 
     #[test]
     fn gc_frees_completed_entries() {
         let mut m = MshrFile::new(1);
-        m.insert(1, 100, 0);
+        m.insert(1, 0, 100, 0);
         assert_eq!(m.in_flight(99), 1);
         assert_eq!(m.in_flight(100), 0);
         assert_eq!(m.alloc_time(100), 100);
+    }
+
+    #[test]
+    fn insert_enforces_capacity() {
+        let mut m = MshrFile::new(2);
+        m.insert(1, 0, 300, 0);
+        m.insert(2, 0, 250, 0);
+        // A third allocation at a cycle where both entries are live must go
+        // through alloc_time; inserting directly is a caller bug.
+        let start = m.alloc_time(100);
+        assert_eq!(start, 250);
+        m.insert(3, start, 400, 0); // legal: entry 2 drained at 250
+        assert_eq!(m.occupancy(260).occupied, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHR capacity exceeded")]
+    fn insert_past_capacity_panics() {
+        let mut m = MshrFile::new(2);
+        m.insert(1, 0, 300, 0);
+        m.insert(2, 0, 250, 0);
+        // Both entries are live at cycle 100; skipping alloc_time panics.
+        m.insert(3, 100, 400, 0);
+    }
+
+    #[test]
+    fn occupancy_counts_only_live_entries() {
+        let mut m = MshrFile::new(4);
+        m.insert(1, 0, 100, 0);
+        m.insert(2, 0, 200, 0);
+        let o = m.occupancy(50);
+        assert_eq!((o.occupied, o.capacity), (2, 4));
+        assert!(o.within_capacity());
+        m.insert(3, 150, 300, 0); // queued: starts at 150
+                                  // At 150 entry 1 completed and entry 3 started.
+        assert_eq!(m.occupancy(150).occupied, 2);
+        assert_eq!(m.occupancy(250).occupied, 1);
+        assert_eq!(m.occupancy(300).occupied, 0);
     }
 
     #[test]

@@ -27,8 +27,8 @@
 use crate::exec::PortFile;
 use crate::lsq::{LoadCheck, StoreQueue};
 use crate::observer::{
-    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo, StageObserver,
-    StructuralStall,
+    Blame, CommitView, CycleEndView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo,
+    StageObserver, StructuralStall,
 };
 use crate::result::{PipelineError, PipelineResult, PipelineStats, StallStage};
 use crate::rob::{Rob, RobEntry};
@@ -296,12 +296,46 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         self.do_issue(now, obs);
         self.do_dispatch(now, obs);
         self.do_fetch(now, obs);
+        // Structural end-of-cycle snapshot, published with the same
+        // active-thread cadence as the stage views (before `finished_at`
+        // updates). Assembled only when an observer opted in.
+        if obs.iter().any(|o| o.wants_cycle_end()) {
+            self.publish_cycle_end(now, obs);
+        }
         for t in self.threads.iter_mut() {
             if t.finished_at.is_none() && t.done() {
                 t.finished_at = Some(now + 1);
             }
         }
         self.cycle += 1;
+    }
+
+    fn publish_cycle_end<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
+        let mshr = self.mem.mshr_occupancy(now);
+        let rs_total = self.rs.len();
+        let rs_cap = self.cfg.rs_size;
+        for (tid, ob) in obs.iter_mut().enumerate() {
+            if !self.active(tid) || !ob.wants_cycle_end() {
+                continue;
+            }
+            let rs_own = self.rs.iter().filter(|&&(rt, _)| rt == tid).count();
+            let t = &self.threads[tid];
+            let view = CycleEndView {
+                rob_len: t.rob.len(),
+                rob_cap: t.rob.capacity(),
+                rs_own,
+                rs_total,
+                rs_cap,
+                ldq_len: t.ldq_count,
+                ldq_cap: t.ldq_cap,
+                stq_len: t.stq.len(),
+                stq_cap: t.stq.capacity(),
+                next_commit_seq: t.rob.head_seq(),
+                committed: t.committed,
+                mshr,
+            };
+            ob.on_cycle_end(now, &view);
+        }
     }
 
     fn active(&self, tid: usize) -> bool {

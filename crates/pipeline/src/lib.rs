@@ -52,8 +52,8 @@ pub use engine::{Engine, WATCHDOG_CYCLES};
 pub use exec::PortFile;
 pub use lsq::StoreQueue;
 pub use observer::{
-    Blame, CommitView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo, StageObserver,
-    StructuralStall,
+    Blame, CommitView, CycleEndView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo,
+    StageObserver, StructuralStall,
 };
 pub use result::{PipelineError, PipelineResult, PipelineStats, StallStage};
 pub use rob::{Rob, RobEntry};

@@ -69,6 +69,11 @@ impl StoreQueue {
         self.entries.is_empty()
     }
 
+    /// Total entries the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Allocates an entry at dispatch.
     ///
     /// # Panics

@@ -7,7 +7,7 @@
 //! all hooks into no-ops, giving the bare simulator for overhead
 //! measurements.
 
-use mstacks_mem::HitLevel;
+use mstacks_mem::{HitLevel, MshrOccupancy};
 use mstacks_model::{FrontendStall, MicroOp};
 
 /// Who a backend stall is blamed on, following the paper's decision chain
@@ -146,6 +146,40 @@ pub struct CommitView {
     pub head_blame: Option<Blame>,
 }
 
+/// End-of-cycle structural snapshot for one hardware thread, published only
+/// when an attached observer asks for it ([`StageObserver::wants_cycle_end`]).
+/// This is the raw material for the audit subsystem's occupancy and
+/// commit-order invariants; the per-stage views above stay lean because the
+/// accounting hot path never pays for this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleEndView {
+    /// Entries in this thread's reorder buffer.
+    pub rob_len: usize,
+    /// Reorder-buffer capacity.
+    pub rob_cap: usize,
+    /// Reservation-station entries owned by this thread.
+    pub rs_own: usize,
+    /// Reservation-station entries across all threads (shared structure).
+    pub rs_total: usize,
+    /// Reservation-station capacity (shared).
+    pub rs_cap: usize,
+    /// Loads in flight for this thread.
+    pub ldq_len: usize,
+    /// Load-queue capacity.
+    pub ldq_cap: usize,
+    /// Entries in this thread's store queue.
+    pub stq_len: usize,
+    /// Store-queue capacity.
+    pub stq_cap: usize,
+    /// Sequence number the next commit must carry (ROB head, or the next
+    /// sequence to be allocated when the ROB is empty).
+    pub next_commit_seq: u64,
+    /// Correct-path micro-ops committed by this thread so far.
+    pub committed: u64,
+    /// Live-entry counts of the L1I/L1D/L2/L3 MSHR files (shared).
+    pub mshr: [MshrOccupancy; 4],
+}
+
 /// Observer of per-cycle, per-stage pipeline state.
 ///
 /// All methods default to no-ops so observers implement only what they
@@ -185,6 +219,17 @@ pub trait StageObserver {
     fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
         let _ = (cycle, n_squashed, branches_squashed);
     }
+    /// Whether this observer needs [`StageObserver::on_cycle_end`]. The
+    /// engine skips assembling the structural snapshot entirely when no
+    /// attached observer wants it, so plain accounting runs pay nothing.
+    fn wants_cycle_end(&self) -> bool {
+        false
+    }
+    /// End-of-cycle structural snapshot for one thread (published after all
+    /// stage hooks of `cycle`, only when [`StageObserver::wants_cycle_end`]).
+    fn on_cycle_end(&mut self, cycle: u64, view: &CycleEndView) {
+        let _ = (cycle, view);
+    }
 }
 
 impl StageObserver for () {}
@@ -210,6 +255,12 @@ impl<T: StageObserver + ?Sized> StageObserver for &mut T {
     }
     fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
         (**self).on_squash(cycle, n_squashed, branches_squashed);
+    }
+    fn wants_cycle_end(&self) -> bool {
+        (**self).wants_cycle_end()
+    }
+    fn on_cycle_end(&mut self, cycle: u64, view: &CycleEndView) {
+        (**self).on_cycle_end(cycle, view);
     }
 }
 
@@ -250,6 +301,16 @@ macro_rules! impl_observer_tuple {
                 #[allow(non_snake_case)]
                 let ($($name,)+) = self;
                 $($name.on_squash(cycle, n_squashed, branches_squashed);)+
+            }
+            fn wants_cycle_end(&self) -> bool {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                false $(|| $name.wants_cycle_end())+
+            }
+            fn on_cycle_end(&mut self, cycle: u64, view: &CycleEndView) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_cycle_end(cycle, view);)+
             }
         }
     };
@@ -305,6 +366,42 @@ mod tests {
         // Compiles and does nothing.
         ().on_dispatch(0, &dview());
         ().on_squash(0, 3, 1);
+    }
+
+    struct Auditorish(u64);
+
+    impl StageObserver for Auditorish {
+        fn wants_cycle_end(&self) -> bool {
+            true
+        }
+        fn on_cycle_end(&mut self, _c: u64, _v: &CycleEndView) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn cycle_end_opt_in_propagates_through_tuples() {
+        let passive = (Counter::default(), Counter::default());
+        assert!(!passive.wants_cycle_end());
+        let mut mixed = (Counter::default(), Auditorish(0));
+        assert!(mixed.wants_cycle_end());
+        let view = CycleEndView {
+            rob_len: 0,
+            rob_cap: 224,
+            rs_own: 0,
+            rs_total: 0,
+            rs_cap: 97,
+            ldq_len: 0,
+            ldq_cap: 72,
+            stq_len: 0,
+            stq_cap: 56,
+            next_commit_seq: 0,
+            committed: 0,
+            mshr: [Default::default(); 4],
+        };
+        mixed.on_cycle_end(0, &view);
+        mixed.on_cycle_end(1, &view);
+        assert_eq!(mixed.1 .0, 2);
     }
 
     #[test]

@@ -107,6 +107,23 @@ pub enum PipelineError {
         /// Stage the stalled thread is stuck in.
         stage: StallStage,
     },
+    /// The audit subsystem found invariant violations (conservation leak,
+    /// occupancy overflow, non-monotone commit order, …). The payload
+    /// summarizes the first violation; the full structured report is
+    /// available from the audited run API.
+    Audit {
+        /// Cycle of the first violation.
+        cycle: u64,
+        /// Hardware thread the first violation was observed on.
+        thread: usize,
+        /// Invariant family that tripped first (e.g. `"dispatch"`,
+        /// `"occupancy"`).
+        stage: String,
+        /// Total violations recorded (reporting may have been truncated).
+        violations: usize,
+        /// Human-readable description of the first violation.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -121,6 +138,17 @@ impl std::fmt::Display for PipelineError {
                 f,
                 "pipeline deadlock at cycle {cycle} after {committed} committed micro-ops \
                  (hardware thread {thread} stalled in the {stage} stage)"
+            ),
+            PipelineError::Audit {
+                cycle,
+                thread,
+                stage,
+                violations,
+                detail,
+            } => write!(
+                f,
+                "audit failed: {violations} invariant violation(s), first at cycle {cycle} \
+                 on thread {thread} ({stage}): {detail}"
             ),
         }
     }
@@ -172,6 +200,21 @@ mod tests {
         assert!(msg.contains("deadlock at cycle 42"));
         assert!(msg.contains("thread 1"));
         assert!(msg.contains("issue stage"));
+    }
+
+    #[test]
+    fn audit_error_display() {
+        let e = PipelineError::Audit {
+            cycle: 128,
+            thread: 0,
+            stage: "dispatch".into(),
+            violations: 3,
+            detail: "cycle total 1.25 (expected 1 ± 1e-9)".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3 invariant violation(s)"));
+        assert!(msg.contains("cycle 128"));
+        assert!(msg.contains("dispatch"));
     }
 
     #[test]

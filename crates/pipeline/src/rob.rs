@@ -195,6 +195,20 @@ impl Rob {
     pub fn next_seq(&self) -> u64 {
         self.head_seq + self.entries.len() as u64
     }
+
+    /// Total entries the ROB can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sequence number the next commit must carry. Advances only in
+    /// [`Rob::pop_head`] (squashes truncate the tail), so the audit
+    /// subsystem checks commit-order monotonicity against it.
+    #[inline]
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
 }
 
 #[cfg(test)]

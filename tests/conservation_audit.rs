@@ -1,0 +1,166 @@
+//! End-to-end audit-subsystem tests: every named workload profile runs
+//! clean under the conservation auditor on every core preset, audited runs
+//! reproduce the plain runs bit-for-bit, and a deliberately corrupted
+//! accountant is caught with the right stage attribution.
+
+use mstacks::core::{AuditOptions, Component, FaultSpec, Session, Stage};
+use mstacks::model::CoreConfig;
+use mstacks::pipeline::PipelineError;
+use mstacks::workloads::{deepbench, spec, ConvPhase, GemmStyle, RnnCell, Workload};
+
+fn cores() -> [CoreConfig; 3] {
+    [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ]
+}
+
+/// Runs `w` audited on `cfg`, asserts a clean report and that every
+/// finalized stage stack sums to the measured cycle count.
+fn assert_clean(w: &Workload, cfg: &CoreConfig, uops: u64) {
+    let (report, audit) = Session::new(cfg.clone())
+        .run_threads_audited(vec![w.trace(uops)], AuditOptions::default())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), cfg.name));
+    for t in &report.threads {
+        let cycles = t.result.cycles as f64;
+        for s in t.multi.all_stacks() {
+            assert!(
+                (s.total_cycles() - cycles).abs() <= 1e-6 * cycles.max(1.0),
+                "{} on {}: {} stack sums to {} over {} cycles",
+                w.name(),
+                cfg.name,
+                s.stage,
+                s.total_cycles(),
+                cycles,
+            );
+        }
+    }
+    assert!(
+        audit.is_clean(),
+        "{} on {}: {} violation(s), first: {}",
+        w.name(),
+        cfg.name,
+        audit.violations.len() + audit.dropped,
+        audit
+            .violations
+            .first()
+            .map_or_else(|| "<dropped>".to_string(), std::string::ToString::to_string),
+    );
+    assert!(audit.cycles_checked > 0, "auditor saw no cycles");
+}
+
+#[test]
+fn every_spec_profile_audits_clean_on_every_core() {
+    for cfg in cores() {
+        for w in spec::all() {
+            assert_clean(&w, &cfg, 5_000);
+        }
+    }
+}
+
+fn deepbench_workloads(cfg: &CoreConfig) -> Vec<Workload> {
+    let lanes = (cfg.vector_bits / 32) as u8;
+    let style = if cfg.name == "knl" {
+        GemmStyle::KnlJit
+    } else {
+        GemmStyle::SkxBroadcast
+    };
+    vec![
+        Workload::Gemm {
+            cfg: deepbench::sgemm_train_configs()[0],
+            style,
+            lanes,
+        },
+        Workload::Conv {
+            cfg: deepbench::conv_configs()[0],
+            phase: ConvPhase::Forward,
+            lanes,
+        },
+        Workload::Rnn {
+            cfg: deepbench::rnn_configs()[0],
+            cell: RnnCell::Lstm,
+            lanes,
+        },
+    ]
+}
+
+#[test]
+fn deepbench_kernels_audit_clean_on_every_core() {
+    for cfg in cores() {
+        for w in deepbench_workloads(&cfg) {
+            assert_clean(&w, &cfg, 2_000);
+        }
+    }
+}
+
+#[test]
+fn audited_run_reproduces_the_plain_run() {
+    let w = spec::mcf();
+    for cfg in cores() {
+        let plain = Session::new(cfg.clone())
+            .run(w.trace(8_000))
+            .expect("plain run completes");
+        let audited = Session::new(cfg.clone())
+            .audit(true)
+            .run(w.trace(8_000))
+            .expect("audited run is clean");
+        assert_eq!(
+            plain.result, audited.result,
+            "{}: counters differ",
+            cfg.name
+        );
+        assert_eq!(
+            plain.multi.commit.normalized(),
+            audited.multi.commit.normalized(),
+            "{}: commit stack differs",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn corrupting_any_stage_trips_the_auditor_with_that_stage() {
+    let w = spec::xz();
+    for stage in [Stage::Fetch, Stage::Dispatch, Stage::Issue, Stage::Commit] {
+        let fault = FaultSpec {
+            stage,
+            component: Component::Dcache,
+            cycle: 500,
+            amount: 0.25,
+        };
+        let err = Session::new(CoreConfig::broadwell())
+            .with_fault_injection(fault)
+            .run(w.trace(5_000))
+            .expect_err("corrupted books must not pass the audit");
+        let PipelineError::Audit {
+            stage: found,
+            cycle,
+            ..
+        } = err
+        else {
+            panic!("{stage}: expected an audit error, got {err}");
+        };
+        assert_eq!(found, stage.to_string(), "wrong stage blamed");
+        assert!(cycle >= 500, "violation before the fault was injected");
+    }
+}
+
+#[test]
+fn fault_detection_works_under_smt() {
+    let fault = FaultSpec {
+        stage: Stage::Commit,
+        component: Component::Base,
+        cycle: 200,
+        amount: -0.5,
+    };
+    let err = Session::new(CoreConfig::broadwell())
+        .with_fault_injection(fault)
+        .run_threads(vec![spec::mcf().trace(3_000), spec::lbm().trace(3_000)])
+        .expect_err("fault on thread 0 must be detected");
+    let PipelineError::Audit { thread, stage, .. } = err else {
+        panic!("expected an audit error");
+    };
+    assert_eq!(thread, 0, "fault is injected into thread 0");
+    assert_eq!(stage, "commit");
+}
