@@ -1,0 +1,184 @@
+//! Differential + metamorphic verification sweep.
+//!
+//! Part 1 — **differential oracle**: every SPEC-like profile and a set of
+//! DeepBench kernels run on BDW/KNL/SKX through two independent models —
+//! the cycle-level engine and the analytical first-order oracle
+//! (`mstacks-oracle`). Each CPI component must agree within its tolerance
+//! band (DESIGN.md §9); any divergence is an attribution bug in one of
+//! the two code paths.
+//!
+//! Part 2 — **metamorphic fuzz**: a seeded fuzzer generates ~100
+//! randomized valid core configurations (`CoreConfig::fuzz`) and asserts
+//! the paper's structural invariants on simulator output: conservation,
+//! stage-total consistency, idealization monotonicity, FLOPS ≤ peak, and
+//! SMT per-thread aggregation. Same seed ⇒ same configs ⇒ same verdicts.
+//!
+//! Environment: `MSTACKS_UOPS` scales the differential runs,
+//! `MSTACKS_FUZZ_CONFIGS` (default 100) and `MSTACKS_FUZZ_SEED` (default
+//! 0x00C0FFEE) control the fuzz fleet. Exits non-zero on any failure.
+
+use mstacks_bench::{par_map, sim_uops};
+use mstacks_core::Session;
+use mstacks_model::rng::SmallRng;
+use mstacks_model::{CoreConfig, IdealFlags, IDEAL_KINDS};
+use mstacks_oracle::{crosscheck, invariants, predict, ToleranceBands, WorkloadSummary};
+use mstacks_workloads::{spec, ConvPhase, GemmStyle, Workload};
+use std::process::ExitCode;
+
+fn deepbench_kernels() -> Vec<Workload> {
+    let gemm = mstacks_workloads::deepbench::sgemm_train_configs()[0];
+    let conv = mstacks_workloads::deepbench::conv_configs()[0];
+    vec![
+        Workload::Gemm {
+            cfg: gemm,
+            style: GemmStyle::KnlJit,
+            lanes: 16,
+        },
+        Workload::Gemm {
+            cfg: gemm,
+            style: GemmStyle::SkxBroadcast,
+            lanes: 16,
+        },
+        Workload::Conv {
+            cfg: conv,
+            phase: ConvPhase::Forward,
+            lanes: 16,
+        },
+    ]
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let uops = sim_uops().min(120_000);
+    let bands = ToleranceBands::default();
+    let cores = [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ];
+
+    // ---- Part 1: differential oracle sweep -----------------------------
+    let mut workloads = spec::all();
+    workloads.extend(deepbench_kernels());
+    println!(
+        "crosscheck: {} workloads × {} cores, {uops} uops per run…\n",
+        workloads.len(),
+        cores.len()
+    );
+
+    let points: Vec<(Workload, CoreConfig)> = workloads
+        .iter()
+        .flat_map(|w| cores.iter().map(move |c| (w.clone(), c.clone())))
+        .collect();
+    let results = par_map(&points, |(w, cfg)| {
+        let summary = WorkloadSummary::profile(cfg, IdealFlags::none(), w.trace(uops));
+        let prediction = predict(cfg, &summary);
+        let report = Session::new(cfg.clone())
+            .run(w.trace(uops))
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), cfg.name));
+        let cmp = crosscheck(&prediction, &report.multi, &bands);
+        (w.name(), cfg.name.clone(), cmp)
+    });
+
+    let mut failures = 0u32;
+    let mut worst: f64 = 0.0;
+    for (wname, cname, cmp) in &results {
+        worst = worst.max(cmp.worst_gap());
+        if cmp.pass() {
+            println!("PASS  {wname} on {cname}");
+        } else {
+            failures += 1;
+            println!("FAIL  {wname} on {cname}");
+            for c in cmp.failures() {
+                println!("      {c}");
+            }
+        }
+    }
+    println!(
+        "\ndifferential: {}/{} agree (worst residual gap {worst:.4} CPI)\n",
+        results.len() as u32 - failures,
+        results.len()
+    );
+
+    // ---- Part 2: metamorphic fuzz fleet --------------------------------
+    let n_configs = env_u64("MSTACKS_FUZZ_CONFIGS", 100);
+    let seed = env_u64("MSTACKS_FUZZ_SEED", 0x00C0_FFEE);
+    let fuzz_uops = uops.min(20_000);
+    println!("fuzz: {n_configs} seeded configs (seed {seed:#x}), {fuzz_uops} uops per run…");
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let fleet: Vec<(usize, CoreConfig)> = (0..n_configs as usize)
+        .map(|i| (i, CoreConfig::fuzz(&mut rng)))
+        .collect();
+    let profiles = spec::all();
+
+    let violations: Vec<Vec<String>> = par_map(&fleet, |(i, cfg)| {
+        let w = &profiles[i % profiles.len()];
+        let label = format!("fuzz#{i}:{}", w.name());
+        let mut v = Vec::new();
+
+        let base = match Session::new(cfg.clone()).run(w.trace(fuzz_uops)) {
+            Ok(r) => r,
+            Err(e) => return vec![format!("{label}: baseline run failed: {e}")],
+        };
+        v.extend(invariants::check_report(&label, &base, cfg));
+
+        // Each config exercises one idealization's monotonicity; the
+        // fleet as a whole covers all four kinds on all profiles.
+        let kind = IDEAL_KINDS[i % IDEAL_KINDS.len()];
+        match Session::new(cfg.clone())
+            .with_ideal(IdealFlags::none().with(kind))
+            .run(w.trace(fuzz_uops))
+        {
+            Ok(ideal) => {
+                v.extend(invariants::check_report(
+                    &format!("{label}+{kind}"),
+                    &ideal,
+                    cfg,
+                ));
+                v.extend(invariants::check_idealization_monotone(
+                    &label, kind, &base, &ideal,
+                ));
+            }
+            Err(e) => v.push(format!("{label}: {kind} run failed: {e}")),
+        }
+
+        // Every fifth config additionally runs a two-thread SMT session.
+        if i % 5 == 0 {
+            let w2 = &profiles[(i + 7) % profiles.len()];
+            match Session::new(cfg.clone())
+                .run_threads(vec![w.trace(fuzz_uops / 2), w2.trace(fuzz_uops / 2)])
+            {
+                Ok(s) => v.extend(invariants::check_session(&format!("{label}+smt"), &s, cfg)),
+                Err(e) => v.push(format!("{label}: smt run failed: {e}")),
+            }
+        }
+        v
+    });
+
+    let fuzz_violations: Vec<&String> = violations.iter().flatten().collect();
+    for m in &fuzz_violations {
+        println!("VIOLATION  {m}");
+    }
+    println!(
+        "fuzz: {}/{n_configs} configs uphold all invariants\n",
+        n_configs - violations.iter().filter(|v| !v.is_empty()).count() as u64
+    );
+
+    if failures == 0 && fuzz_violations.is_empty() {
+        println!("crosscheck: all checks pass");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "crosscheck: {failures} differential failures, {} invariant violations",
+            fuzz_violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -3,7 +3,9 @@
 //! Only what the tool needs: objects, arrays, strings without exotic
 //! escapes, and finite numbers.
 
-use mstacks_core::{SimReport, SmtReport, COMPONENTS, FLOPS_COMPONENTS};
+use mstacks_core::{
+    AuditReport, SimReport, SmtReport, StackComparison, COMPONENTS, FLOPS_COMPONENTS,
+};
 
 /// Escapes a string for JSON (the names here are all ASCII identifiers,
 /// but be safe).
@@ -56,14 +58,28 @@ fn flops_stack_json(s: &mstacks_core::FlopsStack) -> String {
     )
 }
 
+/// Serializes an audit verdict: `null` when no audit ran (the field is
+/// present either way so the schema is stable).
+fn audit_json(a: Option<&AuditReport>) -> String {
+    match a {
+        None => "null".to_string(),
+        Some(a) => format!(
+            "{{\"clean\":{},\"violations\":{},\"cycles_checked\":{}}}",
+            a.is_clean(),
+            a.violations.len() + a.dropped,
+            a.cycles_checked
+        ),
+    }
+}
+
 /// Serializes a [`SimReport`].
-pub fn sim_report(r: &SimReport) -> String {
+pub fn sim_report(r: &SimReport, audit: Option<&AuditReport>) -> String {
     let mut stacks: Vec<String> = r.multi.stacks().iter().map(|s| cpi_stack_json(s)).collect();
     if let Some(f) = &r.multi.fetch {
         stacks.insert(0, cpi_stack_json(f));
     }
     format!(
-        "{{\"config\":\"{}\",\"ideal\":\"{}\",\"cycles\":{},\"uops\":{},\"cpi\":{},\"stacks\":[{}],\"flops\":{}}}",
+        "{{\"config\":\"{}\",\"ideal\":\"{}\",\"cycles\":{},\"uops\":{},\"cpi\":{},\"stacks\":[{}],\"flops\":{},\"audit\":{}}}",
         esc(&r.config_name),
         r.ideal,
         r.result.cycles,
@@ -71,22 +87,24 @@ pub fn sim_report(r: &SimReport) -> String {
         num(r.cpi()),
         stacks.join(","),
         flops_stack_json(&r.flops),
+        audit_json(audit),
     )
 }
 
 /// Serializes the FLOPS view of a report (with GFLOPS at `freq_ghz`).
-pub fn flops_report(r: &SimReport, freq_ghz: f64) -> String {
+pub fn flops_report(r: &SimReport, freq_ghz: f64, audit: Option<&AuditReport>) -> String {
     format!(
-        "{{\"config\":\"{}\",\"gflops\":{},\"peak_gflops\":{},\"stack\":{}}}",
+        "{{\"config\":\"{}\",\"gflops\":{},\"peak_gflops\":{},\"stack\":{},\"audit\":{}}}",
         esc(&r.config_name),
         num(r.flops.achieved_gflops(freq_ghz)),
         num(freq_ghz * f64::from(r.flops.peak_flops_per_cycle)),
         flops_stack_json(&r.flops),
+        audit_json(audit),
     )
 }
 
 /// Serializes an [`SmtReport`].
-pub fn smt_report(r: &SmtReport) -> String {
+pub fn smt_report(r: &SmtReport, audit: Option<&AuditReport>) -> String {
     let threads: Vec<String> = r
         .threads
         .iter()
@@ -101,7 +119,40 @@ pub fn smt_report(r: &SmtReport) -> String {
             )
         })
         .collect();
-    format!("{{\"threads\":[{}]}}", threads.join(","))
+    format!(
+        "{{\"threads\":[{}],\"audit\":{}}}",
+        threads.join(","),
+        audit_json(audit)
+    )
+}
+
+/// Serializes a differential [`StackComparison`] (the `crosscheck`
+/// subcommand's `--json` output).
+pub fn crosscheck_report(workload: &str, config: &str, cmp: &StackComparison) -> String {
+    let checks: Vec<String> = cmp
+        .checks
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"component\":\"{}\",\"predicted\":[{},{}],\"measured\":[{},{}],\"margin\":{},\"gap\":{},\"pass\":{}}}",
+                esc(&c.label),
+                num(c.predicted.lo),
+                num(c.predicted.hi),
+                num(c.measured.lo),
+                num(c.measured.hi),
+                num(c.margin),
+                num(c.gap),
+                c.pass()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workload\":\"{}\",\"config\":\"{}\",\"pass\":{},\"checks\":[{}]}}",
+        esc(workload),
+        esc(config),
+        cmp.pass(),
+        checks.join(",")
+    )
 }
 
 #[cfg(test)]
@@ -131,12 +182,13 @@ mod tests {
         let r = Session::new(CoreConfig::broadwell())
             .run(trace)
             .expect("runs");
-        let j = sim_report(&r);
+        let j = sim_report(&r, None);
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"config\":\"bdw\""));
         assert!(j.contains("\"stage\":\"dispatch\""));
         assert!(j.contains("\"stage\":\"fetch\""));
         assert!(j.contains("\"flops\""));
+        assert!(j.contains("\"audit\":null"));
         // Balanced braces as a cheap well-formedness proxy.
         let open = j.matches('{').count();
         let close = j.matches('}').count();

@@ -9,6 +9,7 @@
 //! mstacks smt      <w0> <w1> [options]         2-way SMT per-thread stacks
 //! mstacks compare  <workload> [options]        one workload across all cores
 //! mstacks trace    <workload> [options]        dump the micro-op stream head
+//! mstacks crosscheck <workload> [options]      differential oracle vs simulator
 //!
 //! options:
 //!   --core bdw|knl|skx      core preset (default bdw)
@@ -97,20 +98,23 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let session = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .with_badspec(opts.badspec);
-            let report = match audit_options(&opts)? {
+            let (report, audit) = match audit_options(&opts)? {
                 Some(a) => {
                     let (r, audit) = session
                         .run_audited(w.trace(opts.uops), a)
                         .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
                     check_audit(&audit)?;
-                    r
+                    (r, Some(audit))
                 }
-                None => session
-                    .run(w.trace(opts.uops))
-                    .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+                None => (
+                    session
+                        .run(w.trace(opts.uops))
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+                    None,
+                ),
             };
             if opts.json {
-                println!("{}", json::sim_report(&report));
+                println!("{}", json::sim_report(&report, audit.as_ref()));
             } else {
                 output::print_simulate(&w, &opts, &report);
             }
@@ -125,24 +129,66 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let opts = Options::parse(&argv[1..], 1)?;
             let w = opts.workload(0)?;
             let session = Session::new(opts.core.clone()).with_ideal(opts.ideal);
-            let report = match audit_options(&opts)? {
+            let (report, audit) = match audit_options(&opts)? {
                 Some(a) => {
                     let (r, audit) = session
                         .run_audited(w.trace(opts.uops), a)
                         .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
                     check_audit(&audit)?;
-                    r
+                    (r, Some(audit))
                 }
-                None => session
-                    .run(w.trace(opts.uops))
-                    .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+                None => (
+                    session
+                        .run(w.trace(opts.uops))
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+                    None,
+                ),
             };
             if opts.json {
-                println!("{}", json::flops_report(&report, opts.core.freq_ghz));
+                println!(
+                    "{}",
+                    json::flops_report(&report, opts.core.freq_ghz, audit.as_ref())
+                );
             } else {
                 output::print_flops(&w, &opts, &report);
             }
             Ok(())
+        }
+        "crosscheck" => {
+            let opts = Options::parse(&argv[1..], 1)?;
+            let w = opts.workload(0)?;
+            let summary = mstacks_oracle::WorkloadSummary::profile(
+                &opts.core,
+                opts.ideal,
+                w.trace(opts.uops),
+            );
+            let prediction = mstacks_oracle::predict(&opts.core, &summary);
+            let report = Session::new(opts.core.clone())
+                .with_ideal(opts.ideal)
+                .audit(opts.audit)
+                .run(w.trace(opts.uops))
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            let cmp = mstacks_oracle::crosscheck(
+                &prediction,
+                &report.multi,
+                &mstacks_oracle::ToleranceBands::default(),
+            );
+            if opts.json {
+                println!(
+                    "{}",
+                    json::crosscheck_report(&w.name(), &opts.core.name, &cmp)
+                );
+            } else {
+                output::print_crosscheck(&w, &opts, &report, &cmp);
+            }
+            if cmp.pass() {
+                Ok(())
+            } else {
+                Err(CliError::new(format!(
+                    "oracle and simulator diverge on {} component(s)",
+                    cmp.failures().count()
+                )))
+            }
         }
         "trace" => {
             let opts = Options::parse(&argv[1..], 1)?;
@@ -173,20 +219,23 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let w1 = opts.workload(1)?;
             let session = Session::new(opts.core.clone()).with_ideal(opts.ideal);
             let traces = vec![w0.trace(opts.uops), w1.trace(opts.uops)];
-            let report = match audit_options(&opts)? {
+            let (report, audit) = match audit_options(&opts)? {
                 Some(a) => {
                     let (r, audit) = session
                         .run_threads_audited(traces, a)
                         .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
                     check_audit(&audit)?;
-                    r
+                    (r, Some(audit))
                 }
-                None => session
-                    .run_threads(traces)
-                    .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+                None => (
+                    session
+                        .run_threads(traces)
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+                    None,
+                ),
             };
             if opts.json {
-                println!("{}", json::smt_report(&report));
+                println!("{}", json::smt_report(&report, audit.as_ref()));
             } else {
                 output::print_smt(&[w0.name(), w1.name()], &report);
             }
@@ -206,7 +255,8 @@ fn print_help() {
          \x20 mstacks flops    <workload> [--core C] [--uops N] [--json]\n\
          \x20 mstacks smt      <w0> <w1>  [--core C] [--uops N] [--json]\n\
          \x20 mstacks compare  <workload> [--uops N]\n\
-         \x20 mstacks trace    <workload> [--uops N]\n\n\
+         \x20 mstacks trace    <workload> [--uops N]\n\
+         \x20 mstacks crosscheck <workload> [--core C] [--uops N] [--ideal F] [--json]\n\n\
          cores: bdw (Broadwell), knl (Knights Landing), skx (Skylake-SP)\n\
          ideal flags (comma list): icache, dcache, bpred, alu\n\
          badspec modes: ground-truth (default), simple, speculative\n\

@@ -153,6 +153,44 @@ pub fn print_compare(w: &Workload, opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `mstacks crosscheck` text output: oracle prediction vs simulator
+/// measurement, per component.
+pub fn print_crosscheck(
+    w: &Workload,
+    opts: &Options,
+    r: &SimReport,
+    cmp: &mstacks_core::StackComparison,
+) {
+    println!(
+        "{} on {} [{}]: measured CPI {:.3}; analytical oracle vs simulator:\n",
+        w.name(),
+        opts.core.name,
+        r.ideal,
+        r.cpi()
+    );
+    let mut t = TextTable::new(vec![
+        "component".into(),
+        "oracle [lo, hi]".into(),
+        "simulator [lo, hi]".into(),
+        "margin".into(),
+        "verdict".into(),
+    ]);
+    for c in &cmp.checks {
+        t.row(vec![
+            c.label.clone(),
+            format!("[{:.3}, {:.3}]", c.predicted.lo, c.predicted.hi),
+            format!("[{:.3}, {:.3}]", c.measured.lo, c.measured.hi),
+            format!("{:.3}", c.margin),
+            if c.pass() {
+                "agree".into()
+            } else {
+                format!("DIVERGED by {:.4}", c.gap)
+            },
+        ]);
+    }
+    println!("{t}");
+}
+
 /// `mstacks smt` text output.
 pub fn print_smt(names: &[String], r: &SmtReport) {
     for (tid, t) in r.threads.iter().enumerate() {

@@ -1,0 +1,147 @@
+//! Golden-snapshot tests for the `--json` output schema.
+//!
+//! Numeric values vary with the simulated workload, so every number is
+//! normalized to `N` before comparison; what these tests pin down is the
+//! *schema* — field names, field order, component ordering inside each
+//! stack, stage ordering, and the always-present `audit` field. Any change
+//! to the JSON layer that would break downstream consumers shows up here
+//! as a snapshot diff.
+
+use std::process::Command;
+
+/// Runs the `mstacks` binary and returns stdout (panics on failure).
+fn mstacks(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_mstacks"))
+        .args(args)
+        .output()
+        .expect("spawn mstacks");
+    assert!(
+        out.status.success(),
+        "mstacks {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// Replaces every JSON number (including sign, decimals, exponents) with
+/// the placeholder `N`, leaving names, strings, booleans, and null alone.
+fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.trim().chars().peekable();
+    while let Some(c) = chars.next() {
+        let starts_number =
+            c.is_ascii_digit() || (c == '-' && chars.peek().is_some_and(|d| d.is_ascii_digit()));
+        if starts_number {
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() || matches!(d, '.' | 'e' | 'E' | '+' | '-') {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push('N');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+const COMPONENTS: &str = "{\"base\":N,\"icache\":N,\"bpred\":N,\"dcache\":N,\
+\"alu_lat\":N,\"depend\":N,\"microcode\":N,\"memconflict\":N,\"smt\":N,\"other\":N}";
+
+const FLOPS: &str = "{\"flops_per_cycle\":N,\"peak_per_cycle\":N,\"normalized\":\
+{\"base\":N,\"non_fma\":N,\"mask\":N,\"frontend\":N,\"non_vfp\":N,\"memory\":N,\"depend\":N}}";
+
+fn stage(name: &str) -> String {
+    format!("{{\"stage\":\"{name}\",\"cpi\":N,\"components\":{COMPONENTS}}}")
+}
+
+fn sim_golden(audit: &str) -> String {
+    format!(
+        "{{\"config\":\"bdw\",\"ideal\":\"baseline\",\"cycles\":N,\"uops\":N,\"cpi\":N,\
+\"stacks\":[{},{},{},{}],\"flops\":{FLOPS},\"audit\":{audit}}}",
+        stage("fetch"),
+        stage("dispatch"),
+        stage("issue"),
+        stage("commit"),
+    )
+}
+
+#[test]
+fn simulate_json_schema_is_stable() {
+    let got = normalize(&mstacks(&["simulate", "mcf", "--uops", "2000", "--json"]));
+    assert_eq!(got, sim_golden("null"));
+}
+
+#[test]
+fn simulate_json_audit_field_is_populated_under_audit() {
+    let got = normalize(&mstacks(&[
+        "simulate", "mcf", "--uops", "2000", "--json", "--audit",
+    ]));
+    assert_eq!(
+        got,
+        sim_golden("{\"clean\":true,\"violations\":N,\"cycles_checked\":N}")
+    );
+}
+
+#[test]
+fn flops_json_schema_is_stable() {
+    let got = normalize(&mstacks(&["flops", "povray", "--uops", "2000", "--json"]));
+    assert_eq!(
+        got,
+        format!(
+            "{{\"config\":\"bdw\",\"gflops\":N,\"peak_gflops\":N,\"stack\":{FLOPS},\"audit\":null}}"
+        )
+    );
+}
+
+#[test]
+fn smt_json_schema_is_stable() {
+    let got = normalize(&mstacks(&[
+        "smt", "mcf", "leela", "--uops", "2000", "--json",
+    ]));
+    // SMT stacks carry no fetch stage: per-thread accounting starts at
+    // dispatch (the shared frontend is attributed via the smt component).
+    let thread = format!(
+        "{{\"cycles\":N,\"uops\":N,\"cpi\":N,\"stacks\":[{},{},{}]}}",
+        stage("dispatch"),
+        stage("issue"),
+        stage("commit"),
+    );
+    assert_eq!(
+        got,
+        format!("{{\"threads\":[{thread},{thread}],\"audit\":null}}")
+    );
+}
+
+#[test]
+fn crosscheck_json_schema_is_stable() {
+    let got = normalize(&mstacks(&["crosscheck", "mcf", "--uops", "2000", "--json"]));
+    let check = |c: &str| {
+        format!(
+            "{{\"component\":\"{c}\",\"predicted\":[N,N],\"measured\":[N,N],\
+\"margin\":N,\"gap\":N,\"pass\":true}}"
+        )
+    };
+    let checks: Vec<String> = [
+        "base",
+        "icache",
+        "branch",
+        "memory",
+        "execute",
+        "depend",
+        "microcode",
+        "total",
+    ]
+    .iter()
+    .map(|c| check(c))
+    .collect();
+    assert_eq!(
+        got,
+        format!(
+            "{{\"workload\":\"mcf\",\"config\":\"bdw\",\"pass\":true,\"checks\":[{}]}}",
+            checks.join(",")
+        )
+    );
+}

@@ -1,0 +1,290 @@
+//! Stack-component comparison: intervals, tolerance bands and structured
+//! verdicts for differential model validation.
+//!
+//! The multi-stage representation is interval-valued by design: a
+//! component's prediction is the `[min, max]` across the dispatch, issue
+//! and commit stacks (paper §V-A), and the analytical oracle in
+//! `mstacks-oracle` likewise predicts a first-order interval per
+//! component. Two models *agree* on a component when their intervals
+//! overlap after widening the prediction by a per-component tolerance
+//! band; the gap between non-overlapping intervals is the divergence the
+//! crosscheck harness reports.
+
+use crate::component::Component;
+use crate::multi::MultiStackReport;
+
+/// A closed CPI interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The interval `[lo, hi]`; bounds are reordered if reversed.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// A degenerate point interval `[x, x]`.
+    pub fn point(x: f64) -> Self {
+        Interval { lo: x, hi: x }
+    }
+
+    /// Interval width (`hi - lo`).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the interval.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `x` lies inside the (closed) interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Whether two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Distance between two intervals: 0 when they overlap, otherwise the
+    /// gap between the nearest bounds.
+    pub fn gap(&self, other: &Interval) -> f64 {
+        if self.overlaps(other) {
+            0.0
+        } else if self.hi < other.lo {
+            other.lo - self.hi
+        } else {
+            self.lo - other.hi
+        }
+    }
+
+    /// The interval widened by `margin` on both sides (clamped below 0 at
+    /// the low end — CPI components are non-negative).
+    pub fn widen(&self, margin: f64) -> Self {
+        Interval {
+            lo: (self.lo - margin).max(0.0),
+            hi: self.hi + margin,
+        }
+    }
+
+    /// Smallest interval covering both.
+    pub fn hull(&self, other: &Interval) -> Self {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.lo, self.hi)
+    }
+}
+
+/// Per-component tolerance band: the allowed margin is
+/// `abs + rel · scale`, where `scale` is the run's total CPI — so tight
+/// absolute floors still work on low-CPI runs, and high-CPI runs get
+/// proportional slack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Absolute CPI margin.
+    pub abs: f64,
+    /// Margin relative to the run's total CPI.
+    pub rel: f64,
+}
+
+impl Band {
+    /// A band with absolute margin `abs` and relative margin `rel`.
+    pub fn new(abs: f64, rel: f64) -> Self {
+        Band { abs, rel }
+    }
+
+    /// The CPI margin this band allows at `scale` (total CPI).
+    pub fn margin(&self, scale: f64) -> f64 {
+        self.abs + self.rel * scale.max(0.0)
+    }
+}
+
+/// Verdict for one compared component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentCheck {
+    /// Component label ("base", "memory", …).
+    pub label: String,
+    /// Prediction interval (oracle side).
+    pub predicted: Interval,
+    /// Measurement interval (simulator side; a point for single stacks).
+    pub measured: Interval,
+    /// Tolerance band applied to the prediction.
+    pub band: Band,
+    /// Margin the band allowed at this run's scale.
+    pub margin: f64,
+    /// Residual gap after widening the prediction by `margin`
+    /// (0 = agreement).
+    pub gap: f64,
+}
+
+impl ComponentCheck {
+    /// Compares a prediction against a measurement under `band`, with the
+    /// band scaled by `scale` (typically the run's total CPI).
+    pub fn evaluate(
+        label: impl Into<String>,
+        predicted: Interval,
+        measured: Interval,
+        band: Band,
+        scale: f64,
+    ) -> Self {
+        let margin = band.margin(scale);
+        let gap = predicted.widen(margin).gap(&measured);
+        ComponentCheck {
+            label: label.into(),
+            predicted,
+            measured,
+            band,
+            margin,
+            gap,
+        }
+    }
+
+    /// Whether the models agree on this component.
+    pub fn pass(&self) -> bool {
+        self.gap <= 0.0 + f64::EPSILON
+    }
+}
+
+impl std::fmt::Display for ComponentCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} predicted {} measured {} margin {:.4} → {}",
+            self.label,
+            self.predicted,
+            self.measured,
+            self.margin,
+            if self.pass() {
+                "ok".to_string()
+            } else {
+                format!("DIVERGED by {:.4}", self.gap)
+            }
+        )
+    }
+}
+
+/// The full comparison of one run: a verdict per component.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StackComparison {
+    /// Per-component verdicts, in stacking order.
+    pub checks: Vec<ComponentCheck>,
+}
+
+impl StackComparison {
+    /// Whether every component agreed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(ComponentCheck::pass)
+    }
+
+    /// The diverged components (empty on agreement).
+    pub fn failures(&self) -> impl Iterator<Item = &ComponentCheck> {
+        self.checks.iter().filter(|c| !c.pass())
+    }
+
+    /// The largest residual gap across all components (0 on agreement).
+    pub fn worst_gap(&self) -> f64 {
+        self.checks.iter().map(|c| c.gap).fold(0.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for StackComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for c in &self.checks {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl MultiStackReport {
+    /// The multi-stage prediction interval for `c` as an [`Interval`]
+    /// (the `[min, max]` of [`MultiStackReport::bounds`]).
+    pub fn interval(&self, c: Component) -> Interval {
+        let (lo, hi) = self.bounds(c);
+        Interval::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let i = Interval::new(2.0, 1.0); // reversed bounds reorder
+        assert_eq!(i, Interval::new(1.0, 2.0));
+        assert!((i.width() - 1.0).abs() < 1e-12);
+        assert!((i.mid() - 1.5).abs() < 1e-12);
+        assert!(i.contains(1.0) && i.contains(2.0) && !i.contains(2.01));
+        let p = Interval::point(3.0);
+        assert!(!i.overlaps(&p));
+        assert!((i.gap(&p) - 1.0).abs() < 1e-12);
+        assert!((p.gap(&i) - 1.0).abs() < 1e-12);
+        assert!(i.widen(1.0).overlaps(&p));
+        assert_eq!(i.hull(&p), Interval::new(1.0, 3.0));
+        // Widening never goes negative at the low end.
+        assert_eq!(Interval::point(0.1).widen(0.5).lo, 0.0);
+    }
+
+    #[test]
+    fn band_margin_scales() {
+        let b = Band::new(0.02, 0.05);
+        assert!((b.margin(0.0) - 0.02).abs() < 1e-12);
+        assert!((b.margin(2.0) - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_pass_and_gap() {
+        let pred = Interval::new(0.10, 0.20);
+        let meas = Interval::point(0.24);
+        let tight = ComponentCheck::evaluate("x", pred, meas, Band::new(0.01, 0.0), 1.0);
+        assert!(!tight.pass());
+        assert!((tight.gap - 0.03).abs() < 1e-12);
+        let loose = ComponentCheck::evaluate("x", pred, meas, Band::new(0.05, 0.0), 1.0);
+        assert!(loose.pass());
+        assert_eq!(loose.gap, 0.0);
+    }
+
+    #[test]
+    fn comparison_aggregates() {
+        let mk = |gap_margin: f64| {
+            ComponentCheck::evaluate(
+                "c",
+                Interval::point(0.0),
+                Interval::point(0.5),
+                Band::new(gap_margin, 0.0),
+                0.0,
+            )
+        };
+        let ok = StackComparison {
+            checks: vec![mk(0.6), mk(0.5)],
+        };
+        assert!(ok.pass());
+        assert_eq!(ok.worst_gap(), 0.0);
+        let bad = StackComparison {
+            checks: vec![mk(0.6), mk(0.1)],
+        };
+        assert!(!bad.pass());
+        assert_eq!(bad.failures().count(), 1);
+        assert!((bad.worst_gap() - 0.4).abs() < 1e-12);
+        assert!(bad.to_string().contains("DIVERGED"));
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod accounting;
 pub mod audit;
+pub mod compare;
 pub mod component;
 pub mod interval;
 pub mod multi;
@@ -54,6 +55,7 @@ pub use accounting::{
     IssueAccountant, WidthNormalizer,
 };
 pub use audit::{AuditOptions, AuditReport, AuditViolation, ConservationCheck, FaultSpec};
+pub use compare::{Band, ComponentCheck, Interval, StackComparison};
 pub use component::{Component, FlopsComponent, Stage, COMPONENTS, FLOPS_COMPONENTS};
 pub use interval::IntervalAccountant;
 pub use multi::MultiStackReport;

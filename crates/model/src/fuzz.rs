@@ -1,0 +1,216 @@
+//! Seeded random generation of valid [`CoreConfig`]s.
+//!
+//! The metamorphic fuzz harness needs a large population of *legal but
+//! unusual* cores: odd width combinations, shallow queues, slow dividers,
+//! no L3, tiny TLBs. Every config produced here passes
+//! [`CoreConfig::validate`] by construction (geometries are built from
+//! power-of-two set counts, the port file always covers the required
+//! capability bits, and `issue_width` never exceeds the port count), and
+//! the ranges are chosen so the cycle-level engine always makes forward
+//! progress — the fuzzer explores the accounting space, not the deadlock
+//! space.
+//!
+//! Determinism is part of the contract: `CoreConfig::fuzz` draws a fixed
+//! sequence of values from the caller's [`SmallRng`], so the same seed
+//! always reproduces the same config population (the harness reports
+//! config indices, which are meaningful across runs).
+
+use crate::config::{
+    BpredConfig, CacheConfig, CoreConfig, LatencyTable, MemConfig, PrefetchConfig, TlbConfig,
+};
+use crate::ports::{caps, PortSpec};
+use crate::rng::SmallRng;
+
+/// Builds a cache level from a power-of-two set count so the geometry is
+/// valid by construction (`size = sets · assoc · line`).
+fn fuzz_cache(rng: &mut SmallRng, sets_log2: std::ops::RangeInclusive<u32>) -> CacheConfig {
+    let sets = 1u64 << rng.gen_range(sets_log2);
+    let assoc = [4u32, 8, 16][rng.gen_range(0usize..3)];
+    let line_bytes = 64u32;
+    CacheConfig {
+        size_bytes: sets * u64::from(assoc) * u64::from(line_bytes),
+        assoc,
+        line_bytes,
+        latency: 1, // caller overrides
+        mshrs: 4,   // caller overrides
+    }
+}
+
+impl CoreConfig {
+    /// Draws a random, always-valid core configuration from `rng`.
+    ///
+    /// The returned config is named `"fuzz"`; callers that generate a
+    /// population usually rename it (`cfg.name = format!("fuzz{i}")`) so
+    /// reports can point back at the offending index.
+    ///
+    /// ```
+    /// use mstacks_model::{CoreConfig, SmallRng};
+    ///
+    /// let mut rng = SmallRng::seed_from_u64(7);
+    /// let cfg = CoreConfig::fuzz(&mut rng);
+    /// cfg.validate().unwrap();
+    /// // Same seed, same config:
+    /// let again = CoreConfig::fuzz(&mut SmallRng::seed_from_u64(7));
+    /// assert_eq!(cfg, again);
+    /// ```
+    pub fn fuzz(rng: &mut SmallRng) -> Self {
+        // Execution ports: a fixed backbone guaranteeing every capability
+        // the workload generators can emit (INT_ALU/MUL/DIV, BRANCH,
+        // LOAD, STORE, VEC_FP, VEC_INT — a missing capability would be an
+        // issue-stage deadlock, not an interesting accounting case), plus
+        // a few random extra ports for width diversity.
+        let mut ports = vec![
+            PortSpec::new(caps::INT_ALU | caps::BRANCH),
+            PortSpec::new(caps::INT_ALU | caps::INT_MUL | caps::INT_DIV),
+            PortSpec::new(caps::VEC_FP | caps::VEC_INT),
+            PortSpec::new(caps::LOAD),
+            PortSpec::new(caps::STORE),
+        ];
+        let menu = [
+            caps::INT_ALU,
+            caps::INT_ALU | caps::INT_MUL,
+            caps::INT_ALU | caps::VEC_INT,
+            caps::VEC_FP | caps::VEC_INT,
+            caps::LOAD,
+            caps::LOAD | caps::STORE,
+        ];
+        for _ in 0..rng.gen_range(0usize..=3) {
+            ports.push(PortSpec::new(menu[rng.gen_range(0usize..menu.len())]));
+        }
+
+        let fetch_width = rng.gen_range(1u32..=6);
+        let dispatch_width = rng.gen_range(1u32..=6);
+        let commit_width = rng.gen_range(1u32..=6);
+        let issue_width = rng.gen_range(2u32..=(ports.len() as u32));
+
+        let rob_size = rng.gen_range(48usize..=256);
+        let rs_size = rng.gen_range(16usize..=rob_size.min(128));
+        let ldq_size = rng.gen_range(16usize..=72);
+        let stq_size = rng.gen_range(12usize..=56);
+
+        let mut l1i = fuzz_cache(rng, 5..=7);
+        l1i.latency = rng.gen_range(1u32..=2);
+        l1i.mshrs = rng.gen_range(2u32..=8);
+        let mut l1d = fuzz_cache(rng, 5..=7);
+        l1d.latency = rng.gen_range(3u32..=5);
+        l1d.mshrs = rng.gen_range(4u32..=16);
+        let mut l2 = fuzz_cache(rng, 8..=10);
+        l2.latency = rng.gen_range(10u32..=20);
+        l2.mshrs = rng.gen_range(6u32..=24);
+        let l3 = rng.gen_bool(0.6).then(|| {
+            let mut c = fuzz_cache(rng, 10..=12);
+            c.latency = rng.gen_range(30u32..=60);
+            c.mshrs = rng.gen_range(16u32..=32);
+            c
+        });
+
+        let itlb = TlbConfig {
+            entries: 4 << rng.gen_range(3u32..=5),
+            assoc: 4,
+            walk_cycles: rng.gen_range(15u32..=40),
+        };
+        let dtlb = TlbConfig {
+            entries: 4 << rng.gen_range(3u32..=5),
+            assoc: 4,
+            walk_cycles: rng.gen_range(15u32..=40),
+        };
+
+        let cfg = CoreConfig {
+            name: "fuzz".to_string(),
+            fetch_width,
+            dispatch_width,
+            issue_width,
+            commit_width,
+            rob_size,
+            rs_size,
+            ldq_size,
+            stq_size,
+            frontend_depth: rng.gen_range(4u32..=10),
+            microcode_decode_cycles: if rng.gen_bool(0.3) {
+                rng.gen_range(1u32..=3)
+            } else {
+                0
+            },
+            ports,
+            lat: LatencyTable {
+                int_add: 1,
+                int_mul: rng.gen_range(3u32..=5),
+                int_div: rng.gen_range(16u32..=40),
+                lea: rng.gen_range(1u32..=2),
+                branch: 1,
+                fp_add: rng.gen_range(3u32..=6),
+                fp_mul: rng.gen_range(3u32..=6),
+                fp_fma: rng.gen_range(4u32..=6),
+                fp_div: rng.gen_range(12u32..=32),
+                vec_int: rng.gen_range(1u32..=2),
+                store: 1,
+            },
+            vector_bits: [128u32, 256, 512][rng.gen_range(0usize..3)],
+            freq_ghz: rng.gen_range(1.0f64..3.5),
+            bpred: BpredConfig {
+                history_bits: rng.gen_range(10u32..=15),
+                btb_sets_log2: rng.gen_range(7u32..=10),
+                btb_ways: [2u32, 4][rng.gen_range(0usize..2)],
+                ras_entries: rng.gen_range(8u32..=32),
+            },
+            mem: MemConfig {
+                l1i,
+                l1d,
+                l2,
+                l3,
+                dram_latency: rng.gen_range(120u32..=300),
+                dram_bytes_per_cycle: rng.gen_range(1.0f64..6.0),
+                prefetch: PrefetchConfig {
+                    stride_enabled: rng.gen_bool(0.7),
+                    stride_degree: rng.gen_range(2u32..=4),
+                    stride_threshold: 2,
+                    next_line_enabled: rng.gen_bool(0.7),
+                },
+                itlb,
+                dtlb,
+            },
+        };
+        debug_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_configs_always_validate() {
+        let mut rng = SmallRng::seed_from_u64(0xF022);
+        for i in 0..500 {
+            let cfg = CoreConfig::fuzz(&mut rng);
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("fuzz config {i}: {e}"));
+            assert!(cfg.issue_width as usize <= cfg.ports.len());
+            assert!(cfg.rs_size <= cfg.rob_size);
+            assert!(cfg.vpu_count() >= 1, "fuzz config {i} has no VPU");
+            assert!(cfg.peak_flops_per_cycle() > 0);
+        }
+    }
+
+    #[test]
+    fn fuzz_is_deterministic_per_seed() {
+        let a: Vec<CoreConfig> = {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..20).map(|_| CoreConfig::fuzz(&mut rng)).collect()
+        };
+        let b: Vec<CoreConfig> = {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..20).map(|_| CoreConfig::fuzz(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fuzz_explores_distinct_configs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = CoreConfig::fuzz(&mut rng);
+        let b = CoreConfig::fuzz(&mut rng);
+        assert_ne!(a, b);
+    }
+}

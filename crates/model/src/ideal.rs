@@ -5,7 +5,34 @@
 //! the predicted component (Table I, Fig. 2, Fig. 3). These flags select
 //! which structures are idealized in a run.
 
+/// One idealizable structure — the unit the combination tests and the
+/// metamorphic fuzz harness enumerate over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdealKind {
+    /// Perfect L1 instruction cache.
+    Icache,
+    /// Perfect L1 data cache.
+    Dcache,
+    /// Perfect branch direction + target prediction.
+    Bpred,
+    /// Single-cycle ALU/FP arithmetic.
+    Alu,
+}
+
+/// All idealizable structures, in canonical order (the bit order of
+/// [`IdealFlags::bits`]).
+pub const IDEAL_KINDS: [IdealKind; 4] = [
+    IdealKind::Icache,
+    IdealKind::Dcache,
+    IdealKind::Bpred,
+    IdealKind::Alu,
+];
+
 /// Which micro-architectural structures are made perfect in a simulation.
+///
+/// Composition is a set union: every builder sets an independent flag, so
+/// flags compose in **any order** to the same value — the combination test
+/// suite (`tests/ideal_combinations.rs`) pins this down for all 16 subsets.
 ///
 /// # Example
 ///
@@ -15,6 +42,8 @@
 /// let i = IdealFlags::none().with_perfect_bpred().with_perfect_dcache();
 /// assert!(i.perfect_bpred && i.perfect_dcache);
 /// assert!(!i.perfect_icache);
+/// // Order never matters:
+/// assert_eq!(i, IdealFlags::none().with_perfect_dcache().with_perfect_bpred());
 /// assert_eq!(i.to_string(), "perfect-dcache+perfect-bpred");
 /// assert_eq!(IdealFlags::none().to_string(), "baseline");
 /// ```
@@ -37,28 +66,94 @@ impl IdealFlags {
         IdealFlags::default()
     }
 
-    /// Enables a perfect instruction cache (builder style).
-    pub fn with_perfect_icache(mut self) -> Self {
-        self.perfect_icache = true;
+    /// Every structure idealized at once (the "perfect everything" run).
+    pub fn all() -> Self {
+        IdealFlags::from_bits(0xF)
+    }
+
+    /// Enables the structure named by `kind` (builder style). The generic
+    /// entry point behind the four named builders; composition is a set
+    /// union, so call order is irrelevant.
+    pub fn with(mut self, kind: IdealKind) -> Self {
+        match kind {
+            IdealKind::Icache => self.perfect_icache = true,
+            IdealKind::Dcache => self.perfect_dcache = true,
+            IdealKind::Bpred => self.perfect_bpred = true,
+            IdealKind::Alu => self.single_cycle_alu = true,
+        }
         self
+    }
+
+    /// Disables the structure named by `kind` (builder style) — used by the
+    /// combination tests to compare a flag set against the same set minus
+    /// one member.
+    pub fn without(mut self, kind: IdealKind) -> Self {
+        match kind {
+            IdealKind::Icache => self.perfect_icache = false,
+            IdealKind::Dcache => self.perfect_dcache = false,
+            IdealKind::Bpred => self.perfect_bpred = false,
+            IdealKind::Alu => self.single_cycle_alu = false,
+        }
+        self
+    }
+
+    /// Whether the structure named by `kind` is idealized.
+    pub fn has(&self, kind: IdealKind) -> bool {
+        match kind {
+            IdealKind::Icache => self.perfect_icache,
+            IdealKind::Dcache => self.perfect_dcache,
+            IdealKind::Bpred => self.perfect_bpred,
+            IdealKind::Alu => self.single_cycle_alu,
+        }
+    }
+
+    /// Set union of two flag values.
+    pub fn union(self, other: IdealFlags) -> Self {
+        IdealFlags::from_bits(self.bits() | other.bits())
+    }
+
+    /// Dense bit encoding in [`IDEAL_KINDS`] order (bit 0 = icache, …,
+    /// bit 3 = ALU).
+    pub fn bits(&self) -> u8 {
+        IDEAL_KINDS
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &k)| acc | (u8::from(self.has(k)) << i))
+    }
+
+    /// Decodes [`IdealFlags::bits`]; bits above 3 are ignored.
+    pub fn from_bits(bits: u8) -> Self {
+        IDEAL_KINDS
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| bits & (1 << i) != 0)
+            .fold(IdealFlags::none(), |f, (_, &k)| f.with(k))
+    }
+
+    /// All 16 flag combinations, in [`IdealFlags::bits`] order (baseline
+    /// first, everything-perfect last).
+    pub fn combinations() -> impl Iterator<Item = IdealFlags> {
+        (0u8..16).map(IdealFlags::from_bits)
+    }
+
+    /// Enables a perfect instruction cache (builder style).
+    pub fn with_perfect_icache(self) -> Self {
+        self.with(IdealKind::Icache)
     }
 
     /// Enables a perfect data cache (builder style).
-    pub fn with_perfect_dcache(mut self) -> Self {
-        self.perfect_dcache = true;
-        self
+    pub fn with_perfect_dcache(self) -> Self {
+        self.with(IdealKind::Dcache)
     }
 
     /// Enables perfect branch (direction + target) prediction (builder style).
-    pub fn with_perfect_bpred(mut self) -> Self {
-        self.perfect_bpred = true;
-        self
+    pub fn with_perfect_bpred(self) -> Self {
+        self.with(IdealKind::Bpred)
     }
 
     /// Makes all ALU/FP arithmetic single-cycle (builder style).
-    pub fn with_single_cycle_alu(mut self) -> Self {
-        self.single_cycle_alu = true;
-        self
+    pub fn with_single_cycle_alu(self) -> Self {
+        self.with(IdealKind::Alu)
     }
 
     /// `true` if no structure is idealized.
@@ -67,24 +162,27 @@ impl IdealFlags {
     }
 }
 
+impl std::fmt::Display for IdealKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdealKind::Icache => write!(f, "perfect-icache"),
+            IdealKind::Dcache => write!(f, "perfect-dcache"),
+            IdealKind::Bpred => write!(f, "perfect-bpred"),
+            IdealKind::Alu => write!(f, "1-cycle-alu"),
+        }
+    }
+}
+
 impl std::fmt::Display for IdealFlags {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_baseline() {
             return write!(f, "baseline");
         }
-        let mut parts = Vec::new();
-        if self.perfect_icache {
-            parts.push("perfect-icache");
-        }
-        if self.perfect_dcache {
-            parts.push("perfect-dcache");
-        }
-        if self.perfect_bpred {
-            parts.push("perfect-bpred");
-        }
-        if self.single_cycle_alu {
-            parts.push("1-cycle-alu");
-        }
+        let parts: Vec<String> = IDEAL_KINDS
+            .iter()
+            .filter(|&&k| self.has(k))
+            .map(ToString::to_string)
+            .collect();
         write!(f, "{}", parts.join("+"))
     }
 }
@@ -110,5 +208,50 @@ mod tests {
             all.to_string(),
             "perfect-icache+perfect-dcache+perfect-bpred+1-cycle-alu"
         );
+        assert_eq!(all, IdealFlags::all());
+    }
+
+    #[test]
+    fn bits_roundtrip_all_16() {
+        for bits in 0u8..16 {
+            let f = IdealFlags::from_bits(bits);
+            assert_eq!(f.bits(), bits);
+        }
+        let combos: Vec<IdealFlags> = IdealFlags::combinations().collect();
+        assert_eq!(combos.len(), 16);
+        assert!(combos[0].is_baseline());
+        assert_eq!(combos[15], IdealFlags::all());
+    }
+
+    #[test]
+    fn composition_is_order_independent() {
+        // Every permutation of every subset lands on the same value.
+        for bits in 0u8..16 {
+            let kinds: Vec<IdealKind> = IDEAL_KINDS
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| bits & (1 << i) != 0)
+                .map(|(_, &k)| k)
+                .collect();
+            let forward = kinds.iter().fold(IdealFlags::none(), |f, &k| f.with(k));
+            let backward = kinds
+                .iter()
+                .rev()
+                .fold(IdealFlags::none(), |f, &k| f.with(k));
+            assert_eq!(forward, backward, "subset {bits:#06b}");
+            assert_eq!(forward, IdealFlags::from_bits(bits));
+        }
+    }
+
+    #[test]
+    fn with_without_and_union() {
+        let f = IdealFlags::all().without(IdealKind::Bpred);
+        assert!(!f.perfect_bpred);
+        assert!(f.perfect_icache && f.perfect_dcache && f.single_cycle_alu);
+        assert_eq!(f.with(IdealKind::Bpred), IdealFlags::all());
+        let a = IdealFlags::none().with(IdealKind::Icache);
+        let b = IdealFlags::none().with(IdealKind::Alu);
+        assert_eq!(a.union(b).bits(), a.bits() | b.bits());
+        assert_eq!(a.union(b), b.union(a));
     }
 }

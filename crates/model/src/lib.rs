@@ -33,6 +33,7 @@
 //! ```
 
 pub mod config;
+pub mod fuzz;
 pub mod ideal;
 pub mod ports;
 pub mod reg;
@@ -43,7 +44,7 @@ pub use config::{
     BpredConfig, CacheConfig, ConfigError, CoreConfig, LatencyTable, MemConfig, PrefetchConfig,
     TlbConfig,
 };
-pub use ideal::IdealFlags;
+pub use ideal::{IdealFlags, IdealKind, IDEAL_KINDS};
 pub use ports::{caps, PortSpec};
 pub use reg::ArchReg;
 pub use rng::SmallRng;

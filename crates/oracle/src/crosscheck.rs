@@ -1,0 +1,122 @@
+//! Differential comparison: oracle prediction vs simulator measurement.
+//!
+//! The simulator side of a component is itself an interval — the min/max
+//! across the dispatch, issue and commit stacks of the summed CPI of the
+//! core components the oracle component aggregates. Agreement means the
+//! tolerance-widened prediction overlaps that measured interval, plus a
+//! total-CPI bracket check (with the unmodeled `Other`/`Smt` cycles
+//! allowed on the high side only).
+
+use crate::predict::{OraclePrediction, ORACLE_COMPONENTS};
+use crate::tolerance::ToleranceBands;
+use mstacks_core::{ComponentCheck, Interval, MultiStackReport, StackComparison};
+
+/// The measured interval for one oracle component: `[min, max]` over the
+/// three bounding stacks of the summed core-component CPI.
+pub fn measured_interval(multi: &MultiStackReport, c: crate::predict::OracleComponent) -> Interval {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for stack in multi.stacks() {
+        let v: f64 = c.core_components().iter().map(|&cc| stack.cpi_of(cc)).sum();
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Interval::new(lo, hi)
+}
+
+/// Compares a prediction against a measured multi-stage report under
+/// `bands`. The comparison scale (for the relative band part) is the
+/// measured total CPI.
+pub fn crosscheck(
+    prediction: &OraclePrediction,
+    multi: &MultiStackReport,
+    bands: &ToleranceBands,
+) -> StackComparison {
+    let scale = multi.total_cpi();
+    let mut checks: Vec<ComponentCheck> = ORACLE_COMPONENTS
+        .iter()
+        .map(|&c| {
+            ComponentCheck::evaluate(
+                c.label(),
+                prediction.interval(c),
+                measured_interval(multi, c),
+                bands.band(c),
+                scale,
+            )
+        })
+        .collect();
+
+    // Total bracket: the measured total must fall inside the summed
+    // prediction, widened by the total band — asymmetrically, because the
+    // oracle does not model the `Other`/`Smt` cycles which only ever push
+    // the measurement up.
+    let other: f64 = multi
+        .stacks()
+        .iter()
+        .map(|s| s.cpi_of(mstacks_core::Component::Other) + s.cpi_of(mstacks_core::Component::Smt))
+        .fold(0.0, f64::max);
+    let total_pred = Interval::new(prediction.total.lo, prediction.total.hi + other);
+    checks.push(ComponentCheck::evaluate(
+        "total",
+        total_pred,
+        Interval::point(scale),
+        bands.total,
+        scale,
+    ));
+    StackComparison { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::{predict, OracleComponent};
+    use crate::summary::WorkloadSummary;
+    use mstacks_core::Session;
+    use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+
+    fn trace(n: u64) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_src(ArchReg::new((i % 4) as u16))
+                    .with_dst(ArchReg::new(((i + 1) % 4) as u16))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_alu_trace_crosschecks() {
+        let cfg = CoreConfig::broadwell();
+        let t = trace(20_000);
+        let s = WorkloadSummary::profile(&cfg, IdealFlags::none(), t.clone().into_iter());
+        let p = predict(&cfg, &s);
+        let report = Session::new(cfg).run(t.into_iter()).expect("completes");
+        let cmp = crosscheck(&p, &report.multi, &ToleranceBands::default());
+        assert!(cmp.pass(), "diverged:\n{cmp}");
+    }
+
+    #[test]
+    fn measured_interval_spans_stages() {
+        let cfg = CoreConfig::broadwell();
+        let t = trace(5_000);
+        let report = Session::new(cfg).run(t.into_iter()).expect("completes");
+        let iv = measured_interval(&report.multi, OracleComponent::Base);
+        // Base CPI is identical at every stage: degenerate interval 1/W.
+        assert!(iv.width() < 1e-9);
+        assert!((iv.mid() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_wrong_prediction_fails() {
+        let cfg = CoreConfig::broadwell();
+        let t = trace(5_000);
+        let s = WorkloadSummary::profile(&cfg, IdealFlags::none(), t.clone().into_iter());
+        let mut p = predict(&cfg, &s);
+        // Corrupt the total so the bracket check must fail.
+        p.total = Interval::new(40.0, 50.0);
+        let report = Session::new(cfg).run(t.into_iter()).expect("completes");
+        let cmp = crosscheck(&p, &report.multi, &ToleranceBands::default());
+        assert!(!cmp.pass());
+        assert!(cmp.failures().any(|c| c.label == "total"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Metamorphic invariants on simulator output.
+//!
+//! These are the paper's structural guarantees, checked on *any* run —
+//! including runs on fuzzed configurations where no golden numbers exist:
+//!
+//! 1. every stage's CPI stack sums to the measured cycle count;
+//! 2. the dispatch/issue/commit totals are mutually consistent;
+//! 3. each [`IdealFlags`] idealization never *increases* the component it
+//!    idealizes;
+//! 4. achieved FLOPS never exceed `peak_flops_per_cycle`, and the FLOPS
+//!    stack also sums to the cycle count;
+//! 5. SMT per-thread stacks each account every one of their thread's
+//!    cycles (the per-thread books aggregate to the multi-threaded run).
+//!
+//! Checks return human-readable violation strings (empty = clean), so the
+//! fuzz harness can aggregate them across hundreds of runs and stay
+//! deterministic: same seed, same configs, same verdicts.
+
+use mstacks_core::{Component, SessionReport, SimReport};
+use mstacks_model::{CoreConfig, IdealKind};
+
+/// Absolute slack (in cycles) allowed when a stack's component sum is
+/// compared against the measured cycle count. SMT runs add one boundary
+/// cycle per thread.
+const SUM_SLACK_CYCLES: f64 = 1.5;
+
+/// Upper allowance for the width-normalizer carry folded into base at
+/// finalize (the folding contract in `mstacks_core::audit`): a stage wider
+/// than the accounting width can end the run with undrained carry, bounded
+/// by the maximum in-flight work divided by the accounting width. On
+/// configurations where every stage width equals the accounting width
+/// (all three presets) this is never consumed — sums are exact there.
+fn carry_allowance(cfg: &CoreConfig) -> f64 {
+    let in_flight = cfg.rob_size as f64 + f64::from(cfg.fetch_width * cfg.frontend_depth);
+    in_flight / f64::from(cfg.accounting_width().max(1))
+}
+
+/// Relative slack for cross-run component comparisons (idealization
+/// monotonicity): second-order coupling means "never increases" holds up
+/// to accounting noise, not to the last ulp.
+const MONOTONE_ABS: f64 = 0.02;
+const MONOTONE_REL: f64 = 0.02;
+
+fn check_stack_sums(
+    out: &mut Vec<String>,
+    label: &str,
+    stacks: &mstacks_core::MultiStackReport,
+    flops: &mstacks_core::FlopsStack,
+    cycles: u64,
+    carry: f64,
+) {
+    let cycles_f = cycles as f64;
+    for s in stacks.all_stacks() {
+        let sum = s.total_cycles();
+        if sum < cycles_f - SUM_SLACK_CYCLES || sum > cycles_f + carry + SUM_SLACK_CYCLES {
+            out.push(format!(
+                "{label}: {} stack sums to {sum:.3} ≠ {cycles} cycles (carry allowance {carry:.1})",
+                s.stage
+            ));
+        }
+        for (c, cpi) in s.iter_cpi() {
+            if cpi < -1e-9 {
+                out.push(format!(
+                    "{label}: {} stack has negative {c} component {cpi:.6}",
+                    s.stage
+                ));
+            }
+        }
+    }
+    // Mutual consistency of the three bounding stacks: all sum to the
+    // same cycle count, so their totals agree pairwise.
+    let totals: Vec<f64> = stacks.stacks().iter().map(|s| s.total_cycles()).collect();
+    for (i, a) in totals.iter().enumerate() {
+        for b in &totals[i + 1..] {
+            if (a - b).abs() > carry + 2.0 * SUM_SLACK_CYCLES {
+                out.push(format!(
+                    "{label}: stage totals inconsistent ({a:.3} vs {b:.3})"
+                ));
+            }
+        }
+    }
+    let fsum = flops.total_cycles();
+    if fsum < cycles_f - SUM_SLACK_CYCLES || fsum > cycles_f + carry + SUM_SLACK_CYCLES {
+        out.push(format!(
+            "{label}: FLOPS stack sums to {fsum:.3} ≠ {cycles} cycles (carry allowance {carry:.1})"
+        ));
+    }
+}
+
+/// Invariants 1, 2 and 4 on a single-thread report.
+pub fn check_report(label: &str, r: &SimReport, cfg: &CoreConfig) -> Vec<String> {
+    let peak_flops_per_cycle = cfg.peak_flops_per_cycle();
+    let carry = carry_allowance(cfg);
+    let mut out = Vec::new();
+    check_stack_sums(&mut out, label, &r.multi, &r.flops, r.result.cycles, carry);
+    let achieved = r.result.flops_per_cycle();
+    if achieved > f64::from(peak_flops_per_cycle) + 1e-9 {
+        out.push(format!(
+            "{label}: achieved {achieved:.3} FLOPS/cycle exceeds peak {peak_flops_per_cycle}"
+        ));
+    }
+    let stack_achieved = r.flops.achieved_flops_per_cycle();
+    if stack_achieved > f64::from(peak_flops_per_cycle) + 1e-9 {
+        out.push(format!(
+            "{label}: FLOPS-stack base implies {stack_achieved:.3} FLOPS/cycle > peak {peak_flops_per_cycle}"
+        ));
+    }
+    out
+}
+
+/// The CPI component targeted by each idealization knob.
+pub fn idealized_component(kind: IdealKind) -> Component {
+    match kind {
+        IdealKind::Icache => Component::Icache,
+        IdealKind::Dcache => Component::Dcache,
+        IdealKind::Bpred => Component::Bpred,
+        IdealKind::Alu => Component::AluLat,
+    }
+}
+
+/// Invariant 3: idealizing a structure never increases the component it
+/// targets, at any stage (up to accounting noise).
+pub fn check_idealization_monotone(
+    label: &str,
+    kind: IdealKind,
+    baseline: &SimReport,
+    idealized: &SimReport,
+) -> Vec<String> {
+    let c = idealized_component(kind);
+    let mut out = Vec::new();
+    for (b, i) in baseline
+        .multi
+        .all_stacks()
+        .iter()
+        .zip(idealized.multi.all_stacks())
+    {
+        let before = b.cpi_of(c);
+        let after = i.cpi_of(c);
+        if after > before + MONOTONE_ABS + MONOTONE_REL * before.max(0.0) {
+            out.push(format!(
+                "{label}: {kind} increased {c} at {} stage ({before:.4} → {after:.4})",
+                b.stage
+            ));
+        }
+    }
+    out
+}
+
+/// Invariant 5: each SMT thread's books account every one of its cycles,
+/// FLOPS stay under peak per thread, and solo runs carry no SMT
+/// component.
+pub fn check_session(label: &str, r: &SessionReport, cfg: &CoreConfig) -> Vec<String> {
+    let peak_flops_per_cycle = cfg.peak_flops_per_cycle();
+    let carry = carry_allowance(cfg);
+    let mut out = Vec::new();
+    for (tid, t) in r.threads.iter().enumerate() {
+        let tl = format!("{label}[t{tid}]");
+        check_stack_sums(&mut out, &tl, &t.multi, &t.flops, t.result.cycles, carry);
+        let achieved = t.result.flops_per_cycle();
+        if achieved > f64::from(peak_flops_per_cycle) + 1e-9 {
+            out.push(format!(
+                "{tl}: achieved {achieved:.3} FLOPS/cycle exceeds peak {peak_flops_per_cycle}"
+            ));
+        }
+        if r.threads.len() == 1 {
+            for s in t.multi.all_stacks() {
+                let smt = s.cpi_of(Component::Smt);
+                if smt > 1e-9 {
+                    out.push(format!(
+                        "{tl}: solo thread has nonzero SMT component {smt:.6} at {} stage",
+                        s.stage
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_core::Session;
+    use mstacks_model::{AluClass, ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+
+    fn trace(n: u64, base: u64) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(base + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_src(ArchReg::new((i % 4) as u16))
+                    .with_dst(ArchReg::new(((i + 1) % 4) as u16))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let cfg = CoreConfig::broadwell();
+        let r = Session::new(cfg.clone())
+            .run(trace(5_000, 0x1000).into_iter())
+            .expect("completes");
+        let v = check_report("bdw", &r, &cfg);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn idealization_monotone_on_real_runs() {
+        let cfg = CoreConfig::broadwell();
+        let base = Session::new(cfg.clone())
+            .run(trace(5_000, 0x1000).into_iter())
+            .expect("completes");
+        for kind in mstacks_model::IDEAL_KINDS {
+            let ideal = Session::new(cfg.clone())
+                .with_ideal(IdealFlags::none().with(kind))
+                .run(trace(5_000, 0x1000).into_iter())
+                .expect("completes");
+            let v = check_idealization_monotone("bdw", kind, &base, &ideal);
+            assert!(v.is_empty(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn smt_session_is_clean() {
+        let cfg = CoreConfig::broadwell();
+        let r = Session::new(cfg.clone())
+            .run_threads(vec![
+                trace(4_000, 0x1000).into_iter(),
+                trace(4_000, 0x9000).into_iter(),
+            ])
+            .expect("completes");
+        let v = check_session("bdw-smt", &r, &cfg);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn corrupted_books_are_reported() {
+        let cfg = CoreConfig::broadwell();
+        let mut r = Session::new(cfg.clone())
+            .run(trace(3_000, 0x1000).into_iter())
+            .expect("completes");
+        // Forge a cycle count the books cannot explain.
+        r.result.cycles += 1_000;
+        let v = check_report("forged", &r, &cfg);
+        assert!(!v.is_empty());
+        assert!(v.iter().any(|m| m.contains("stack sums to")));
+    }
+}

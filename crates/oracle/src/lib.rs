@@ -1,0 +1,32 @@
+//! Analytical first-order reference model and differential/metamorphic
+//! harness for the mstacks simulator.
+//!
+//! The cycle-level engine and this oracle answer the same question — "how
+//! many cycles does this trace cost on this core, and why?" — through two
+//! independent code paths:
+//!
+//! * [`summary::WorkloadSummary::profile`] runs a *functional* (tag-only,
+//!   non-timed) pass over a trace: cache/TLB tag simulation with the same
+//!   geometries and prefetchers, the real branch predictor, and dual
+//!   dataflow critical-path profiles (configured vs unit latencies).
+//! * [`predict::predict`] turns those summary statistics into
+//!   per-component CPI *intervals* from interval-analysis equations —
+//!   first-order models in the tradition the paper builds on.
+//! * [`crosscheck::crosscheck`] compares the prediction against the
+//!   simulator's multi-stage measurement under per-component
+//!   [`tolerance::ToleranceBands`]; divergence beyond a band flags an
+//!   attribution bug in one of the two models.
+//! * [`invariants`] checks metamorphic properties that need no reference
+//!   numbers at all — conservation, idealization monotonicity, FLOPS
+//!   peaks, SMT aggregation — so fuzzed configurations are testable too.
+
+pub mod crosscheck;
+pub mod invariants;
+pub mod predict;
+pub mod summary;
+pub mod tolerance;
+
+pub use crosscheck::{crosscheck, measured_interval};
+pub use predict::{predict, OracleComponent, OraclePrediction, ORACLE_COMPONENTS};
+pub use summary::{MissProfile, WorkloadSummary};
+pub use tolerance::ToleranceBands;

@@ -1,0 +1,288 @@
+//! First-order interval equations: from workload summary statistics to
+//! per-component CPI prediction intervals.
+//!
+//! Every equation is deliberately *first order*: each stall source is
+//! priced as if it acted alone, and the unavoidable second-order effects
+//! (overlap between stall sources, finite-window dependence jamming,
+//! wrong-path cache pollution) are absorbed by predicting an interval
+//! `[optimistic, pessimistic]` instead of a point. The cycle-level
+//! simulator's multi-stage measurement — itself interval-valued across
+//! the dispatch/issue/commit stacks — must overlap each prediction after
+//! widening by the per-component tolerance band
+//! ([`crate::tolerance::ToleranceBands`]).
+
+use crate::summary::WorkloadSummary;
+use mstacks_core::{Component, Interval};
+use mstacks_model::CoreConfig;
+
+/// The oracle's component vocabulary — a coarser grouping of the
+/// simulator's CPI components that first-order equations can actually
+/// price (e.g. `MemConflict` folds into `Memory`; `Smt`/`Other` are
+/// unmodeled and only constrain the total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleComponent {
+    /// Useful-width base: `1/W`.
+    Base,
+    /// Instruction-delivery stalls (L1I + ITLB misses).
+    Icache,
+    /// Branch-misprediction penalties.
+    Branch,
+    /// Data-side memory stalls (L1D misses, DTLB walks, store conflicts).
+    Memory,
+    /// Multi-cycle execution latency beyond 1 cycle/op.
+    Execute,
+    /// Inter-instruction dependence stalls at unit latency.
+    Depend,
+    /// Microcode-sequencer decode stalls.
+    Microcode,
+}
+
+/// All oracle components, in stacking order.
+pub const ORACLE_COMPONENTS: [OracleComponent; 7] = [
+    OracleComponent::Base,
+    OracleComponent::Icache,
+    OracleComponent::Branch,
+    OracleComponent::Memory,
+    OracleComponent::Execute,
+    OracleComponent::Depend,
+    OracleComponent::Microcode,
+];
+
+impl OracleComponent {
+    /// Dense index into prediction arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OracleComponent::Base => 0,
+            OracleComponent::Icache => 1,
+            OracleComponent::Branch => 2,
+            OracleComponent::Memory => 3,
+            OracleComponent::Execute => 4,
+            OracleComponent::Depend => 5,
+            OracleComponent::Microcode => 6,
+        }
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleComponent::Base => "base",
+            OracleComponent::Icache => "icache",
+            OracleComponent::Branch => "branch",
+            OracleComponent::Memory => "memory",
+            OracleComponent::Execute => "execute",
+            OracleComponent::Depend => "depend",
+            OracleComponent::Microcode => "microcode",
+        }
+    }
+
+    /// The simulator CPI components this oracle component aggregates.
+    pub fn core_components(self) -> &'static [Component] {
+        match self {
+            OracleComponent::Base => &[Component::Base],
+            OracleComponent::Icache => &[Component::Icache],
+            OracleComponent::Branch => &[Component::Bpred],
+            OracleComponent::Memory => &[Component::Dcache, Component::MemConflict],
+            OracleComponent::Execute => &[Component::AluLat],
+            OracleComponent::Depend => &[Component::Depend],
+            OracleComponent::Microcode => &[Component::Microcode],
+        }
+    }
+}
+
+impl std::fmt::Display for OracleComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The oracle's output: one CPI interval per component plus the implied
+/// total-CPI interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OraclePrediction {
+    intervals: [Interval; ORACLE_COMPONENTS.len()],
+    /// Sum of the component intervals: the oracle's total-CPI bracket
+    /// (unmodeled `Other`/structural cycles widen only the high side via
+    /// the total tolerance band at comparison time).
+    pub total: Interval,
+}
+
+impl OraclePrediction {
+    /// Prediction interval for `c`.
+    pub fn interval(&self, c: OracleComponent) -> Interval {
+        self.intervals[c.index()]
+    }
+
+    /// `(component, interval)` pairs in stacking order.
+    pub fn iter(&self) -> impl Iterator<Item = (OracleComponent, Interval)> + '_ {
+        ORACLE_COMPONENTS
+            .iter()
+            .map(move |&c| (c, self.interval(c)))
+    }
+}
+
+/// Cumulative access latency for a request served at each level, as seen
+/// from the L1 (the engine charges the chain of lookups it traverses).
+struct LevelLatencies {
+    l2: f64,
+    l3: f64,
+    dram: f64,
+}
+
+impl LevelLatencies {
+    fn of(cfg: &CoreConfig) -> Self {
+        let l2 = f64::from(cfg.mem.l2.latency);
+        let l3 = l2 + cfg.mem.l3.as_ref().map_or(0.0, |c| f64::from(c.latency));
+        let dram = l3 + f64::from(cfg.mem.dram_latency);
+        LevelLatencies { l2, l3, dram }
+    }
+
+    /// Serialized stall cycles for a miss profile (every miss priced at
+    /// its full serving latency, no overlap).
+    fn serialized(&self, p: &crate::summary::MissProfile) -> f64 {
+        p.l2 as f64 * self.l2 + p.l3 as f64 * self.l3 + p.dram as f64 * self.dram
+    }
+}
+
+/// Predicts per-component CPI intervals for `summary` on core `cfg`.
+///
+/// The equations (documented in DESIGN.md §9):
+///
+/// * **base** `= 1/W` exactly (every committed micro-op consumes `1/W` of
+///   the accounting width).
+/// * **icache**: between "fetch-ahead hides everything" (0) and the fully
+///   serialized L1I+ITLB miss cost.
+/// * **branch**: mispredict rate × penalty, penalty between the frontend
+///   refill depth and refill + a resolution allowance.
+/// * **memory**: serialized L1D+DTLB miss cost as the upper bound; the
+///   lower bound divides by the attainable memory-level parallelism and
+///   floors at the DRAM bandwidth limit.
+/// * **execute**: the per-op gap between the configured-latency and
+///   unit-latency dataflow critical paths.
+/// * **depend**: unit-latency critical path minus the base width cost.
+/// * **microcode**: microcoded fraction × decode penalty.
+pub fn predict(cfg: &CoreConfig, summary: &WorkloadSummary) -> OraclePrediction {
+    let n = summary.uops.max(1) as f64;
+    let w = f64::from(cfg.accounting_width().max(1));
+    let lat = LevelLatencies::of(cfg);
+
+    let mut iv = [Interval::point(0.0); ORACLE_COMPONENTS.len()];
+
+    // Base: exact.
+    iv[OracleComponent::Base.index()] = Interval::point(1.0 / w);
+
+    // Icache: [0, serialized]. The decoupled frontend can hide an L1I
+    // miss entirely behind backend stalls; the dispatch stack charges it
+    // in full when dispatch starves.
+    let ic_serial = (lat.serialized(&summary.icache)
+        + summary.itlb_misses as f64 * f64::from(cfg.mem.itlb.walk_cycles))
+        / n;
+    iv[OracleComponent::Icache.index()] = Interval::new(0.0, ic_serial);
+
+    // Branch: rate × penalty. The refill penalty is the frontend depth;
+    // resolution adds up to the window drain, bounded by how long the
+    // window can cover (ROB/W) and by the dataflow depth per op.
+    let m_rate = summary.mispredicts as f64 / n; // mispredicts per uop
+    let depth = f64::from(cfg.frontend_depth);
+    let resolve = (cfg.rob_size as f64 / w).min(3.0 * depth + 16.0);
+    iv[OracleComponent::Branch.index()] =
+        Interval::new(m_rate * depth * 0.5, m_rate * (depth + resolve));
+
+    // Memory: serialized cost as the pessimistic bound; MLP-overlapped
+    // and bandwidth-floored as the optimistic bound.
+    let d_serial = (lat.serialized(&summary.dcache)
+        + summary.dtlb_misses as f64 * f64::from(cfg.mem.dtlb.walk_cycles))
+        / n;
+    let mlp = f64::from(cfg.mem.l1d.mshrs.clamp(1, 16));
+    let bw_floor = summary.dcache.dram as f64 * f64::from(cfg.mem.l2.line_bytes)
+        / cfg.mem.dram_bytes_per_cycle
+        / n;
+    iv[OracleComponent::Memory.index()] = Interval::new(
+        (d_serial / mlp).max(bw_floor.min(d_serial)),
+        d_serial * 1.05,
+    );
+
+    // Execute: configured-vs-unit latency gap on the dataflow critical
+    // path. Fully hidden under abundant ILP; exposed ~1:1 on chains.
+    let exec = ((summary.critpath_cfg - summary.critpath_unit) / n).max(0.0);
+    iv[OracleComponent::Execute.index()] = Interval::new(0.0, 1.3 * exec + 0.02);
+
+    // Depend: unit-latency dataflow CPI beyond the base cost. The
+    // infinite-window estimate is optimistic (finite windows jam), so the
+    // upper bound gets headroom.
+    let depend = (summary.critpath_unit / n - 1.0 / w).max(0.0);
+    iv[OracleComponent::Depend.index()] = Interval::new(0.3 * depend, 1.6 * depend + 0.05);
+
+    // Microcode: decode stalls, fully exposed at worst.
+    let uc = summary.microcoded as f64 / n * f64::from(cfg.microcode_decode_cycles);
+    iv[OracleComponent::Microcode.index()] = Interval::new(0.0, 1.2 * uc + 0.01);
+
+    let total = iv.iter().fold(Interval::point(0.0), |acc, i| {
+        Interval::new(acc.lo + i.lo, acc.hi + i.hi)
+    });
+    OraclePrediction {
+        intervals: iv,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::IdealFlags;
+    use mstacks_model::{AluClass, ArchReg, MicroOp, UopKind};
+
+    #[test]
+    fn base_is_inverse_width() {
+        let cfg = CoreConfig::broadwell();
+        let trace = (0..500u64).map(|i| {
+            MicroOp::new(0x1000 + (i % 8) * 4, UopKind::IntAlu(AluClass::Add))
+                .with_dst(ArchReg::new((i % 8) as u16))
+        });
+        let s = WorkloadSummary::profile(&cfg, IdealFlags::none(), trace);
+        let p = predict(&cfg, &s);
+        let b = p.interval(OracleComponent::Base);
+        assert!((b.lo - 0.25).abs() < 1e-12);
+        assert!((b.hi - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_chain_predicts_depend() {
+        let cfg = CoreConfig::broadwell();
+        let trace = (0..1_000u64).map(|i| {
+            MicroOp::new(0x1000 + (i % 8) * 4, UopKind::IntAlu(AluClass::Add))
+                .with_src(ArchReg::new(1))
+                .with_dst(ArchReg::new(1))
+        });
+        let s = WorkloadSummary::profile(&cfg, IdealFlags::none(), trace);
+        let p = predict(&cfg, &s);
+        let d = p.interval(OracleComponent::Depend);
+        // True depend CPI is 1 − 1/4 = 0.75; the interval must cover it.
+        assert!(d.contains(0.75), "depend interval {d} misses 0.75");
+    }
+
+    #[test]
+    fn total_sums_components() {
+        let cfg = CoreConfig::knights_landing();
+        let trace = (0..500u64).map(|i| {
+            MicroOp::new(0x1000 + (i % 8) * 4, UopKind::IntAlu(AluClass::Add))
+                .with_dst(ArchReg::new((i % 4) as u16))
+        });
+        let s = WorkloadSummary::profile(&cfg, IdealFlags::none(), trace);
+        let p = predict(&cfg, &s);
+        let lo: f64 = ORACLE_COMPONENTS.iter().map(|&c| p.interval(c).lo).sum();
+        let hi: f64 = ORACLE_COMPONENTS.iter().map(|&c| p.interval(c).hi).sum();
+        assert!((p.total.lo - lo).abs() < 1e-12);
+        assert!((p.total.hi - hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            ORACLE_COMPONENTS.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), ORACLE_COMPONENTS.len());
+        for (i, c) in ORACLE_COMPONENTS.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

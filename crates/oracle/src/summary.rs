@@ -1,0 +1,469 @@
+//! Single-pass trace profiler: turns a micro-op stream into the workload
+//! summary statistics the interval equations consume.
+//!
+//! The profiler is *functional only* — it replays caches, TLBs and the
+//! branch predictor as tag arrays with LRU replacement and counts events,
+//! but models no timing, no out-of-order window, no ports and no
+//! speculation. Everything cycle-shaped is derived later by the analytical
+//! equations in [`crate::predict`], which is what makes the oracle an
+//! independent reference for the cycle-level engine.
+
+use mstacks_frontend::BranchPredictor;
+use mstacks_model::{ArchReg, CacheConfig, CoreConfig, IdealFlags, MicroOp, TlbConfig, UopKind};
+use std::collections::HashMap;
+
+/// A tag-only set-associative LRU cache (no data, no timing).
+#[derive(Debug, Clone)]
+struct TagCache {
+    /// Per-set tag vectors, most-recently-used first.
+    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl TagCache {
+    fn new(cfg: &CacheConfig) -> Self {
+        let n_sets = cfg.sets().max(1) as usize;
+        TagCache {
+            sets: vec![Vec::new(); n_sets],
+            assoc: cfg.assoc.max(1) as usize,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (n_sets as u64) - 1,
+        }
+    }
+
+    /// Touches `addr`; returns `true` on a hit. Misses allocate.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            return true;
+        }
+        set.insert(0, line);
+        set.truncate(self.assoc);
+        false
+    }
+
+    /// Installs `addr` without counting it as a demand access (prefetch).
+    fn install(&mut self, addr: u64) {
+        let _ = self.access(addr);
+    }
+}
+
+/// A tag-only TLB over 4 KiB pages.
+#[derive(Debug, Clone)]
+struct TagTlb(TagCache);
+
+impl TagTlb {
+    fn new(cfg: &TlbConfig) -> Self {
+        let sets = (cfg.entries / cfg.assoc.max(1)).max(1);
+        TagTlb(TagCache {
+            sets: vec![Vec::new(); sets as usize],
+            assoc: cfg.assoc.max(1) as usize,
+            line_shift: 12,
+            set_mask: u64::from(sets) - 1,
+        })
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        self.0.access(addr)
+    }
+}
+
+/// Per-PC stride detector mirroring the first-order effect of the
+/// hardware stride prefetcher: confident strided streams install lines
+/// ahead of the demand accesses.
+#[derive(Debug, Clone, Default)]
+struct StrideTable {
+    entries: HashMap<u64, (u64, i64, u32)>, // pc → (last addr, stride, confidence)
+}
+
+impl StrideTable {
+    /// Observes a demand access; returns prefetch addresses to install.
+    fn observe(&mut self, pc: u64, addr: u64, degree: u32, threshold: u32) -> Vec<u64> {
+        let e = self.entries.entry(pc).or_insert((addr, 0, 0));
+        let stride = addr as i64 - e.0 as i64;
+        if stride != 0 && stride == e.1 {
+            e.2 += 1;
+        } else {
+            e.1 = stride;
+            e.2 = 0;
+        }
+        e.0 = addr;
+        if e.2 >= threshold && e.1 != 0 {
+            (1..=i64::from(degree))
+                .map(|d| (addr as i64 + d * e.1) as u64)
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Demand misses of one cache level, split by where the request was
+/// eventually served.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MissProfile {
+    /// Accesses that reached this level (misses of the level above).
+    pub accesses: u64,
+    /// Served by the L2.
+    pub l2: u64,
+    /// Served by the L3.
+    pub l3: u64,
+    /// Served by DRAM.
+    pub dram: u64,
+}
+
+impl MissProfile {
+    /// Total misses beyond the first-level structure.
+    pub fn total(&self) -> u64 {
+        self.l2 + self.l3 + self.dram
+    }
+}
+
+/// Workload summary statistics: everything the interval equations need,
+/// gathered in one functional pass over the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Micro-ops profiled.
+    pub uops: u64,
+    /// Load micro-ops.
+    pub loads: u64,
+    /// Store micro-ops.
+    pub stores: u64,
+    /// Branch micro-ops.
+    pub branches: u64,
+    /// Micro-ops belonging to microcoded instructions.
+    pub microcoded: u64,
+    /// Vector floating-point operations (the FLOPS numerator).
+    pub flops: u64,
+    /// Mispredicted branches under the core's predictor (0 when the
+    /// perfect-bpred idealization is on).
+    pub mispredicts: u64,
+    /// Instruction-side misses (L1I + ITLB walks folded together, split
+    /// by serving level).
+    pub icache: MissProfile,
+    /// ITLB misses.
+    pub itlb_misses: u64,
+    /// Data-side misses (loads + stores beyond the L1D, split by serving
+    /// level; 0 when the perfect-dcache idealization is on).
+    pub dcache: MissProfile,
+    /// DTLB misses.
+    pub dtlb_misses: u64,
+    /// Dataflow critical-path length in cycles under the core's latency
+    /// table (infinite window, infinite ports; loads at L1D hit latency).
+    pub critpath_cfg: f64,
+    /// Same critical path with every arithmetic latency forced to 1
+    /// (loads keep the L1D hit latency — the single-cycle-ALU rule).
+    pub critpath_unit: f64,
+}
+
+impl WorkloadSummary {
+    /// Branch misprediction ratio over all branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Events per micro-op for a raw count.
+    pub fn per_uop(&self, count: u64) -> f64 {
+        if self.uops == 0 {
+            0.0
+        } else {
+            count as f64 / self.uops as f64
+        }
+    }
+
+    /// Profiles `trace` against core `cfg` under `ideal` (idealized
+    /// structures produce zero misses, matching the engine's semantics).
+    pub fn profile<I: Iterator<Item = MicroOp>>(
+        cfg: &CoreConfig,
+        ideal: IdealFlags,
+        trace: I,
+    ) -> Self {
+        let mut l1i = TagCache::new(&cfg.mem.l1i);
+        let mut l1d = TagCache::new(&cfg.mem.l1d);
+        let mut l2 = TagCache::new(&cfg.mem.l2);
+        let mut l3 = cfg.mem.l3.as_ref().map(TagCache::new);
+        let mut itlb = TagTlb::new(&cfg.mem.itlb);
+        let mut dtlb = TagTlb::new(&cfg.mem.dtlb);
+        let mut bpred = BranchPredictor::new(&cfg.bpred, ideal.perfect_bpred);
+        let mut strides = StrideTable::default();
+
+        let mut s = WorkloadSummary {
+            uops: 0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            microcoded: 0,
+            flops: 0,
+            mispredicts: 0,
+            icache: MissProfile::default(),
+            itlb_misses: 0,
+            dcache: MissProfile::default(),
+            dtlb_misses: 0,
+            critpath_cfg: 0.0,
+            critpath_unit: 0.0,
+        };
+
+        // Dataflow ready-times per architectural register, under the
+        // configured latency table and under unit latencies.
+        let mut ready_cfg = [0.0f64; ArchReg::COUNT];
+        let mut ready_unit = [0.0f64; ArchReg::COUNT];
+        let l1d_lat = f64::from(cfg.mem.l1d.latency);
+
+        // Walks the L2(/L3) levels for a demand L1 miss and records where
+        // it was served. `install_next_line` mirrors the L2 next-line
+        // prefetcher.
+        let miss_walk = |p: &mut MissProfile,
+                         l2c: &mut TagCache,
+                         l3c: &mut Option<TagCache>,
+                         addr: u64,
+                         next_line: bool,
+                         line_bytes: u64| {
+            if l2c.access(addr) {
+                p.l2 += 1;
+                return;
+            }
+            if next_line {
+                l2c.install(addr + line_bytes);
+            }
+            if let Some(l3c) = l3c {
+                if l3c.access(addr) {
+                    p.l3 += 1;
+                    return;
+                }
+            }
+            p.dram += 1;
+        };
+        let line_bytes = u64::from(cfg.mem.l2.line_bytes);
+        let next_line = cfg.mem.prefetch.next_line_enabled;
+
+        for u in trace {
+            s.uops += 1;
+            if u.microcoded {
+                s.microcoded += 1;
+            }
+            s.flops += u.flops();
+
+            // Instruction side.
+            if ideal.perfect_icache {
+                // No instruction-side events.
+            } else {
+                if !itlb.access(u.pc) {
+                    s.itlb_misses += 1;
+                }
+                if !l1i.access(u.pc) {
+                    s.icache.accesses += 1;
+                    miss_walk(&mut s.icache, &mut l2, &mut l3, u.pc, next_line, line_bytes);
+                }
+            }
+
+            // Data side.
+            if let Some(addr) = u.mem_addr() {
+                if u.kind.is_load() {
+                    s.loads += 1;
+                } else {
+                    s.stores += 1;
+                }
+                if !ideal.perfect_dcache {
+                    if !dtlb.access(addr) {
+                        s.dtlb_misses += 1;
+                    }
+                    if !l1d.access(addr) {
+                        s.dcache.accesses += 1;
+                        miss_walk(&mut s.dcache, &mut l2, &mut l3, addr, next_line, line_bytes);
+                    }
+                    if cfg.mem.prefetch.stride_enabled {
+                        for pf in strides.observe(
+                            u.pc,
+                            addr,
+                            cfg.mem.prefetch.stride_degree,
+                            cfg.mem.prefetch.stride_threshold,
+                        ) {
+                            // The timed hierarchy fills prefetches into
+                            // the L2 only (`prefetch_into_l2`): later
+                            // demand misses still pay the L1D→L2 trip.
+                            l2.install(pf);
+                        }
+                    }
+                }
+            }
+
+            // Branches.
+            if let UopKind::Branch(info) = &u.kind {
+                s.branches += 1;
+                if bpred.predict_and_update(u.pc, info).mispredicted {
+                    s.mispredicts += 1;
+                }
+            }
+
+            // Dataflow critical path. Loads carry the L1D hit latency in
+            // both variants (the single-cycle-ALU idealization keeps load
+            // latency); everything else collapses to 1 in the unit path.
+            let lat_cfg = if ideal.single_cycle_alu && !u.kind.is_load() {
+                1.0
+            } else {
+                f64::from(cfg.lat.exec_latency(&u.kind))
+            } + if u.kind.is_load() { l1d_lat } else { 0.0 };
+            let lat_unit = 1.0 + if u.kind.is_load() { l1d_lat } else { 0.0 };
+
+            let start_cfg = u
+                .srcs()
+                .map(|r| ready_cfg[r.index()])
+                .fold(0.0f64, f64::max);
+            let start_unit = u
+                .srcs()
+                .map(|r| ready_unit[r.index()])
+                .fold(0.0f64, f64::max);
+            let fin_cfg = start_cfg + lat_cfg;
+            let fin_unit = start_unit + lat_unit;
+            if let Some(d) = u.dst {
+                ready_cfg[d.index()] = fin_cfg;
+                ready_unit[d.index()] = fin_unit;
+            }
+            s.critpath_cfg = s.critpath_cfg.max(fin_cfg);
+            s.critpath_unit = s.critpath_unit.max(fin_unit);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::{AluClass, BranchInfo, BranchKind};
+
+    fn adds(n: u64) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_mix() {
+        let mut trace = adds(100);
+        trace.push(MicroOp::new(0x2000, UopKind::Load { addr: 0x8000 }));
+        trace.push(MicroOp::new(0x2004, UopKind::Store { addr: 0x8040 }));
+        trace.push(MicroOp::new(
+            0x2008,
+            UopKind::Branch(BranchInfo {
+                taken: true,
+                target: 0x1000,
+                fallthrough: 0x200c,
+                kind: BranchKind::Uncond,
+            }),
+        ));
+        let s = WorkloadSummary::profile(
+            &CoreConfig::broadwell(),
+            IdealFlags::none(),
+            trace.into_iter(),
+        );
+        assert_eq!(s.uops, 103);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 1);
+    }
+
+    #[test]
+    fn independent_adds_have_short_critpath() {
+        let s = WorkloadSummary::profile(
+            &CoreConfig::broadwell(),
+            IdealFlags::none(),
+            adds(1_000).into_iter(),
+        );
+        // 8 rotating destinations, no sources: chains never form.
+        assert!(s.critpath_unit < 10.0, "critpath {}", s.critpath_unit);
+    }
+
+    #[test]
+    fn serial_chain_has_full_critpath() {
+        let trace: Vec<MicroOp> = (0..500u64)
+            .map(|i| {
+                MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Mul))
+                    .with_src(ArchReg::new(1))
+                    .with_dst(ArchReg::new(1))
+            })
+            .collect();
+        let cfg = CoreConfig::broadwell();
+        let s = WorkloadSummary::profile(&cfg, IdealFlags::none(), trace.into_iter());
+        // Unit latency: one per op. Config latency: int_mul per op.
+        assert!((s.critpath_unit - 500.0).abs() < 1e-9);
+        assert!((s.critpath_cfg - 500.0 * f64::from(cfg.lat.int_mul)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_flags_suppress_events() {
+        // A streaming footprint much larger than the L1D.
+        let trace: Vec<MicroOp> = (0..4_000u64)
+            .map(|i| MicroOp::new(0x1000, UopKind::Load { addr: i * 4096 }))
+            .collect();
+        let cfg = CoreConfig::broadwell().without_prefetch();
+        let real = WorkloadSummary::profile(&cfg, IdealFlags::none(), trace.clone().into_iter());
+        assert!(real.dcache.total() > 0);
+        let ideal = WorkloadSummary::profile(
+            &cfg,
+            IdealFlags::none().with_perfect_dcache(),
+            trace.into_iter(),
+        );
+        assert_eq!(ideal.dcache.total(), 0);
+        assert_eq!(ideal.dtlb_misses, 0);
+    }
+
+    #[test]
+    fn miss_levels_partition_misses() {
+        let trace: Vec<MicroOp> = (0..8_000u64)
+            .map(|i| {
+                MicroOp::new(
+                    0x1000,
+                    UopKind::Load {
+                        addr: (i * 64) % (1 << 22),
+                    },
+                )
+            })
+            .collect();
+        let s = WorkloadSummary::profile(
+            &CoreConfig::broadwell().without_prefetch(),
+            IdealFlags::none(),
+            trace.into_iter(),
+        );
+        assert_eq!(s.dcache.total(), s.dcache.accesses);
+        assert_eq!(s.dcache.l2 + s.dcache.l3 + s.dcache.dram, s.dcache.total());
+    }
+
+    #[test]
+    fn strided_stream_prefetches() {
+        let mk = |pf: bool| {
+            let cfg = if pf {
+                CoreConfig::broadwell()
+            } else {
+                CoreConfig::broadwell().without_prefetch()
+            };
+            let trace: Vec<MicroOp> = (0..8_000u64)
+                .map(|i| MicroOp::new(0x1000, UopKind::Load { addr: i * 64 }))
+                .collect();
+            WorkloadSummary::profile(&cfg, IdealFlags::none(), trace.into_iter())
+        };
+        let with_pf = mk(true);
+        let without = mk(false);
+        // Prefetches fill the L2 (not the L1D), so the miss *count* stays
+        // but the serving level moves up: DRAM-served misses become
+        // L2-served ones.
+        assert!(
+            with_pf.dcache.dram < without.dcache.dram / 2,
+            "prefetcher must catch a strided stream in the L2: {} vs {} DRAM-served",
+            with_pf.dcache.dram,
+            without.dcache.dram
+        );
+        assert!(with_pf.dcache.l2 > without.dcache.l2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Per-component tolerance bands for the differential crosscheck.
+//!
+//! A band widens the oracle's prediction interval by `abs + rel · CPI`
+//! before it must overlap the simulator's measured interval. The defaults
+//! are calibrated on the full SPEC/DeepBench × BDW/KNL/SKX sweep (see
+//! DESIGN.md §9 and `cargo run --release --bin crosscheck`): tight enough
+//! that past attribution bugs (double-charged components, leaked cycles)
+//! would trip them, loose enough that legitimate second-order overlap
+//! effects do not.
+
+use crate::predict::{OracleComponent, ORACLE_COMPONENTS};
+use mstacks_core::Band;
+
+/// One [`Band`] per oracle component, plus a band for the total-CPI check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToleranceBands {
+    per: [Band; ORACLE_COMPONENTS.len()],
+    /// Band for the total-CPI bracket. Wider on the high side in effect,
+    /// since unmodeled components (`Other`, structural stalls) only ever
+    /// add cycles.
+    pub total: Band,
+}
+
+impl ToleranceBands {
+    /// The calibrated defaults.
+    pub fn default_bands() -> Self {
+        let mut per = [Band::new(0.05, 0.05); ORACLE_COMPONENTS.len()];
+        // Base is exact: accounting errors here are always bugs.
+        per[OracleComponent::Base.index()] = Band::new(0.01, 0.01);
+        // Icache: fetch-ahead and wrong-path pollution interact.
+        per[OracleComponent::Icache.index()] = Band::new(0.03, 0.05);
+        // Branch: wrong-path slot accounting differs per stage.
+        per[OracleComponent::Branch.index()] = Band::new(0.05, 0.08);
+        // Memory: MLP and prefetch timing are the least first-order
+        // effects in the model.
+        per[OracleComponent::Memory.index()] = Band::new(0.08, 0.12);
+        // Execute/Depend: finite-window jamming vs infinite-window path.
+        per[OracleComponent::Execute.index()] = Band::new(0.05, 0.08);
+        per[OracleComponent::Depend.index()] = Band::new(0.06, 0.10);
+        per[OracleComponent::Microcode.index()] = Band::new(0.03, 0.05);
+        ToleranceBands {
+            per,
+            total: Band::new(0.10, 0.15),
+        }
+    }
+
+    /// The band for component `c`.
+    pub fn band(&self, c: OracleComponent) -> Band {
+        self.per[c.index()]
+    }
+
+    /// Overrides the band for component `c` (builder style; used to
+    /// tighten the harness around a component under investigation).
+    pub fn with_band(mut self, c: OracleComponent, band: Band) -> Self {
+        self.per[c.index()] = band;
+        self
+    }
+}
+
+impl Default for ToleranceBands {
+    fn default() -> Self {
+        ToleranceBands::default_bands()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_band_is_tightest() {
+        let t = ToleranceBands::default();
+        let base = t.band(OracleComponent::Base);
+        for &c in &ORACLE_COMPONENTS {
+            let b = t.band(c);
+            assert!(b.abs >= base.abs && b.rel >= base.rel, "{c}");
+        }
+    }
+
+    #[test]
+    fn with_band_overrides() {
+        let t = ToleranceBands::default().with_band(OracleComponent::Memory, Band::new(1.0, 0.0));
+        assert_eq!(t.band(OracleComponent::Memory), Band::new(1.0, 0.0));
+        assert_eq!(
+            t.band(OracleComponent::Base),
+            ToleranceBands::default().band(OracleComponent::Base)
+        );
+    }
+}

@@ -46,6 +46,7 @@ pub use mstacks_core as core;
 pub use mstacks_frontend as frontend;
 pub use mstacks_mem as mem;
 pub use mstacks_model as model;
+pub use mstacks_oracle as oracle;
 pub use mstacks_pipeline as pipeline;
 pub use mstacks_stats as stats;
 pub use mstacks_workloads as workloads;

@@ -1,0 +1,115 @@
+//! Exhaustive engine-level coverage of every `IdealFlags` combination.
+//!
+//! All 2⁴ = 16 subsets of {perfect-icache, perfect-dcache, perfect-bpred,
+//! 1-cycle-alu} run on a fixed profile (mcf/BDW — the one profile where
+//! all four targeted components are non-zero). Asserted:
+//!
+//! * every combination simulates to completion and keeps the books clean
+//!   (stack conservation, FLOPS ≤ peak);
+//! * adding any single flag to any subset never *increases* the stack
+//!   component that flag targets, at any stage — the paper's idealization
+//!   monotonicity, checked across the whole lattice (32 edges);
+//! * the order in which a combination is built is irrelevant to the
+//!   engine: same flag set ⇒ bit-identical cycles and stacks.
+
+use mstacks::core::Session;
+use mstacks::model::{CoreConfig, IdealFlags, IDEAL_KINDS};
+use mstacks::oracle::invariants;
+use mstacks::workloads::spec;
+use std::sync::OnceLock;
+
+const UOPS: u64 = 15_000;
+
+fn report(flags: IdealFlags) -> mstacks::core::SimReport {
+    Session::new(CoreConfig::broadwell())
+        .with_ideal(flags)
+        .run(spec::mcf().trace(UOPS))
+        .unwrap_or_else(|e| panic!("{flags} failed: {e}"))
+}
+
+/// All 16 reports, indexed by `IdealFlags::bits()`, simulated once per
+/// test binary.
+fn lattice() -> &'static Vec<mstacks::core::SimReport> {
+    static LATTICE: OnceLock<Vec<mstacks::core::SimReport>> = OnceLock::new();
+    LATTICE.get_or_init(|| IdealFlags::combinations().map(report).collect())
+}
+
+#[test]
+fn all_16_combinations_run_and_conserve() {
+    let cfg = CoreConfig::broadwell();
+    for flags in IdealFlags::combinations() {
+        let r = &lattice()[flags.bits() as usize];
+        assert!(r.result.committed_uops >= UOPS, "{flags} committed too few");
+        let v = invariants::check_report(&flags.to_string(), r, &cfg);
+        assert!(v.is_empty(), "{flags}: {v:?}");
+    }
+}
+
+#[test]
+fn baseline_has_all_four_target_components() {
+    // The monotonicity test below is only meaningful if the fixed profile
+    // actually exercises every component being idealized away.
+    let base = &lattice()[0];
+    for kind in IDEAL_KINDS {
+        let c = invariants::idealized_component(kind);
+        let (_, hi) = base.multi.bounds(c);
+        assert!(hi > 0.005, "{c} is ~zero on mcf/BDW; pick another profile");
+    }
+}
+
+#[test]
+fn each_flag_monotonically_shrinks_its_component_across_the_lattice() {
+    let all = lattice();
+    let mut edges = 0;
+    for kind in IDEAL_KINDS {
+        for flags in IdealFlags::combinations() {
+            if flags.has(kind) {
+                continue;
+            }
+            let with = flags.with(kind);
+            let v = invariants::check_idealization_monotone(
+                &format!("{flags}→{with}"),
+                kind,
+                &all[flags.bits() as usize],
+                &all[with.bits() as usize],
+            );
+            assert!(v.is_empty(), "{v:?}");
+            edges += 1;
+        }
+    }
+    assert_eq!(edges, 32); // 4 kinds × 8 subsets not containing the kind
+}
+
+#[test]
+fn composition_order_is_irrelevant_at_engine_level() {
+    // Build the same set in opposite orders, plus via union of halves.
+    let fwd = IdealFlags::none()
+        .with_perfect_icache()
+        .with_perfect_dcache()
+        .with_perfect_bpred()
+        .with_single_cycle_alu();
+    let rev = IdealFlags::none()
+        .with_single_cycle_alu()
+        .with_perfect_bpred()
+        .with_perfect_dcache()
+        .with_perfect_icache();
+    let union = IdealFlags::none()
+        .with_perfect_bpred()
+        .with_perfect_icache()
+        .union(
+            IdealFlags::none()
+                .with_single_cycle_alu()
+                .with_perfect_dcache(),
+        );
+    assert_eq!(fwd, rev);
+    assert_eq!(fwd, union);
+
+    let a = report(fwd);
+    let b = report(rev);
+    assert_eq!(a.result.cycles, b.result.cycles);
+    for (sa, sb) in a.multi.all_stacks().iter().zip(b.multi.all_stacks()) {
+        for ((c, va), (_, vb)) in sa.iter_cpi().zip(sb.iter_cpi()) {
+            assert_eq!(va, vb, "{c} differs between build orders");
+        }
+    }
+}

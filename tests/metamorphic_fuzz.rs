@@ -1,0 +1,84 @@
+//! Metamorphic-invariant fuzz tests through the public facade: seeded
+//! random core configurations, no golden numbers — only the paper's
+//! structural guarantees. The 100-config fleet runs in CI via
+//! `cargo run --release --bin crosscheck`; this slice keeps the invariant
+//! machinery honest on every `cargo test`.
+
+use mstacks::core::Session;
+use mstacks::model::rng::SmallRng;
+use mstacks::model::{CoreConfig, IdealFlags, IDEAL_KINDS};
+use mstacks::oracle::invariants;
+use mstacks::workloads::spec;
+
+const SEED: u64 = 0x00C0_FFEE;
+const CONFIGS: usize = 8;
+const UOPS: u64 = 6_000;
+
+fn fleet() -> Vec<CoreConfig> {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    (0..CONFIGS).map(|_| CoreConfig::fuzz(&mut rng)).collect()
+}
+
+#[test]
+fn fuzzer_is_deterministic_and_valid() {
+    let a = fleet();
+    let b = fleet();
+    assert_eq!(a, b, "same seed must yield the same configs");
+    for (i, cfg) in a.iter().enumerate() {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("fuzz config #{i} invalid: {e}"));
+    }
+    // The fleet must actually explore the space, not repeat one point.
+    assert!(a.windows(2).any(|w| w[0] != w[1]));
+}
+
+#[test]
+fn fuzzed_configs_uphold_conservation_and_flops_peak() {
+    let profiles = spec::all();
+    for (i, cfg) in fleet().iter().enumerate() {
+        let w = &profiles[i % profiles.len()];
+        let r = Session::new(cfg.clone())
+            .run(w.trace(UOPS))
+            .unwrap_or_else(|e| panic!("fuzz#{i} ({}) failed: {e}", w.name()));
+        let v = invariants::check_report(&format!("fuzz#{i}:{}", w.name()), &r, cfg);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}
+
+#[test]
+fn fuzzed_configs_uphold_idealization_monotonicity() {
+    let profiles = spec::all();
+    for (i, cfg) in fleet().iter().enumerate() {
+        let w = &profiles[i % profiles.len()];
+        let kind = IDEAL_KINDS[i % IDEAL_KINDS.len()];
+        let base = Session::new(cfg.clone())
+            .run(w.trace(UOPS))
+            .unwrap_or_else(|e| panic!("fuzz#{i} baseline failed: {e}"));
+        let ideal = Session::new(cfg.clone())
+            .with_ideal(IdealFlags::none().with(kind))
+            .run(w.trace(UOPS))
+            .unwrap_or_else(|e| panic!("fuzz#{i}+{kind} failed: {e}"));
+        let v = invariants::check_idealization_monotone(
+            &format!("fuzz#{i}:{}", w.name()),
+            kind,
+            &base,
+            &ideal,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}
+
+#[test]
+fn fuzzed_smt_sessions_keep_per_thread_books() {
+    let profiles = spec::all();
+    for (i, cfg) in fleet().iter().enumerate().take(3) {
+        let w0 = &profiles[i % profiles.len()];
+        let w1 = &profiles[(i + 7) % profiles.len()];
+        let r = Session::new(cfg.clone())
+            .run_threads(vec![w0.trace(UOPS / 2), w1.trace(UOPS / 2)])
+            .unwrap_or_else(|e| panic!("fuzz#{i} smt failed: {e}"));
+        assert_eq!(r.threads.len(), 2);
+        let v = invariants::check_session(&format!("fuzz#{i}+smt"), &r, cfg);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Differential-oracle integration tests: the analytical model and the
+//! cycle-level engine must agree, within the documented tolerance bands,
+//! through the public facade. The full SPEC/DeepBench × BDW/KNL/SKX sweep
+//! runs in CI via `cargo run --release --bin crosscheck`; this is the
+//! always-on slice.
+
+use mstacks::core::Session;
+use mstacks::model::{CoreConfig, IdealFlags};
+use mstacks::oracle::{crosscheck, predict, ToleranceBands, WorkloadSummary};
+use mstacks::workloads::spec;
+
+const UOPS: u64 = 40_000;
+
+fn check(w: &mstacks::workloads::Workload, cfg: &CoreConfig) {
+    let summary = WorkloadSummary::profile(cfg, IdealFlags::none(), w.trace(UOPS));
+    let prediction = predict(cfg, &summary);
+    let report = Session::new(cfg.clone())
+        .run(w.trace(UOPS))
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), cfg.name));
+    let cmp = crosscheck(&prediction, &report.multi, &ToleranceBands::default());
+    assert!(cmp.pass(), "{} on {} diverged:\n{cmp}", w.name(), cfg.name);
+}
+
+#[test]
+fn memory_bound_profile_agrees_on_all_cores() {
+    for cfg in [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ] {
+        check(&spec::mcf(), &cfg);
+    }
+}
+
+#[test]
+fn branchy_profile_agrees() {
+    check(&spec::deepsjeng(), &CoreConfig::broadwell());
+    check(&spec::exchange2(), &CoreConfig::knights_landing());
+}
+
+#[test]
+fn streaming_profile_agrees() {
+    check(&spec::lbm(), &CoreConfig::skylake_server());
+}
+
+#[test]
+fn profiling_is_deterministic() {
+    let cfg = CoreConfig::broadwell();
+    let w = spec::omnetpp();
+    let a = WorkloadSummary::profile(&cfg, IdealFlags::none(), w.trace(10_000));
+    let b = WorkloadSummary::profile(&cfg, IdealFlags::none(), w.trace(10_000));
+    assert_eq!(a.uops, b.uops);
+    assert_eq!(a.mispredicts, b.mispredicts);
+    assert_eq!(a.dcache.total(), b.dcache.total());
+    assert_eq!(a.icache.total(), b.icache.total());
+    assert_eq!(a.critpath_cfg.to_bits(), b.critpath_cfg.to_bits());
+    assert_eq!(a.critpath_unit.to_bits(), b.critpath_unit.to_bits());
+}
+
+#[test]
+fn a_deliberately_broken_prediction_is_caught() {
+    // The harness must actually be able to fail: corrupt the memory
+    // interval far outside any band and expect a divergence verdict.
+    let cfg = CoreConfig::broadwell();
+    let w = spec::mcf();
+    let summary = WorkloadSummary::profile(&cfg, IdealFlags::none(), w.trace(UOPS));
+    let mut prediction = predict(&cfg, &summary);
+    prediction.total = mstacks::core::Interval::new(90.0, 95.0);
+    let report = Session::new(cfg.clone()).run(w.trace(UOPS)).expect("runs");
+    let cmp = crosscheck(&prediction, &report.multi, &ToleranceBands::default());
+    assert!(!cmp.pass());
+    assert!(cmp.failures().any(|c| c.label == "total"));
+}

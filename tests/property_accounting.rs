@@ -71,6 +71,40 @@ fn dispatch_accountant_conserves_cycles() {
     }
 }
 
+/// Regression pinned from the retired `proptest-regressions` seed file
+/// (case `57e14d1c…`, shrunk to `views = [(5, false, None, None)]`): a
+/// single dispatch view delivering more micro-ops than the accounting
+/// width. The width normalizer must clamp the cycle at 1.0 and the
+/// finalize step must fold the excess carry (5/4 − 1 = 0.25) into the
+/// base component — not drop it, and not charge it to a stall bucket.
+#[test]
+fn dispatch_view_wider_than_accounting_width_folds_carry() {
+    use mstacks::core::Component;
+    let mut a = DispatchAccountant::new(4, BadSpecMode::GroundTruth);
+    a.on_dispatch(
+        0,
+        &DispatchView {
+            n_total: 5,
+            n_correct: 5,
+            backend_blocked: false,
+            smt_blocked: false,
+            head_blame: None,
+            fe_stall: None,
+        },
+    );
+    let s = a.finish(5, None);
+    // One elapsed cycle plus the folded 0.25-cycle carry, all of it base.
+    assert!(
+        (s.total_cycles() - 1.25).abs() < 1e-9,
+        "{}",
+        s.total_cycles()
+    );
+    assert!((s.cycles_of(Component::Base) - 1.25).abs() < 1e-9);
+    for (c, v) in s.iter_cpi() {
+        assert!(v >= 0.0, "negative component {c}");
+    }
+}
+
 /// Same conservation for the commit accountant. Commit can never
 /// exceed the commit width, so `n ≤ W` (wider stages drain their
 /// carry in trailing sub-width cycles; that path is pinned by the
