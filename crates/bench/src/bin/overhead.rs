@@ -1,25 +1,31 @@
-//! **§IV overhead claim** — "the simulation time increases by less than 1%
-//! compared to the original version of Sniper (which already includes
-//! measuring dispatch CPI stacks)".
+//! **§IV overhead claim + simulator throughput baseline.**
 //!
-//! The faithful comparison therefore is: a simulator that already accounts
-//! the dispatch-stage CPI stack (the "original Sniper" baseline) versus
-//! one that additionally accounts the issue and commit stacks plus the
-//! FLOPS stack. We also report the bare pipeline (no observers at all) for
-//! context — that comparison overstates the cost, because the compiler
-//! dead-code-eliminates the per-cycle state probes the views feed on.
+//! Part 1 — the paper's overhead claim: "the simulation time increases by
+//! less than 1% compared to the original version of Sniper (which already
+//! includes measuring dispatch CPI stacks)". The faithful comparison is a
+//! simulator that already accounts the dispatch-stage CPI stack versus one
+//! that additionally accounts the issue and commit stacks plus the FLOPS
+//! stack.
 //!
-//! `cargo bench -p mstacks-bench` runs the statistically rigorous
-//! Criterion version; this binary gives a quick summary.
+//! Part 2 — the tracked throughput baseline (PR 4): committed uops/sec and
+//! simulated cycles/sec per profile x core, one warmup run then the median
+//! of `MSTACKS_BENCH_REPS` (default 5) timed runs, for both the bare
+//! engine (unit observers) and the full accountant set (`Session`). The
+//! `fig1` row is the acceptance metric of the scheduler overhaul: `mcf` on
+//! Broadwell with all accountants attached, exactly what `--bin fig1`
+//! simulates. Set `MSTACKS_BENCH_OUT=path.json` to also emit the numbers
+//! as JSON (the committed `BENCH_PR4.json` is two such runs, one from the
+//! pre-refactor engine and one from the current one).
 
 use mstacks_bench::sim_uops;
 use mstacks_core::{
-    BadSpecMode, CommitAccountant, DispatchAccountant, FlopsAccountant, IssueAccountant,
+    BadSpecMode, CommitAccountant, DispatchAccountant, FlopsAccountant, IssueAccountant, Session,
 };
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_pipeline::{Core, StageObserver};
 use mstacks_stats::TextTable;
 use mstacks_workloads::{spec, Workload};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 fn time_with<O: StageObserver>(
@@ -40,8 +46,124 @@ fn time_with<O: StageObserver>(
     best
 }
 
-fn main() {
-    let uops = sim_uops();
+/// One throughput measurement: simulated work per wall-clock second.
+#[derive(Clone, Copy)]
+struct Throughput {
+    uops_per_sec: f64,
+    cycles_per_sec: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Times `run` (which returns `(committed uops, cycles)`) `reps` times
+/// after one warmup and reports the median rates.
+fn throughput(reps: u32, mut run: impl FnMut() -> (u64, u64)) -> Throughput {
+    let _ = run(); // warmup
+    let mut uops_rates = Vec::with_capacity(reps as usize);
+    let mut cycle_rates = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (uops, cycles) = run();
+        let dt = t.elapsed().as_secs_f64();
+        uops_rates.push(uops as f64 / dt);
+        cycle_rates.push(cycles as f64 / dt);
+    }
+    Throughput {
+        uops_per_sec: median(uops_rates),
+        cycles_per_sec: median(cycle_rates),
+    }
+}
+
+/// Full-accountant run, the realistic configuration (what fig1..fig5 pay).
+fn full_run(cfg: &CoreConfig, w: &Workload, uops: u64) -> (u64, u64) {
+    let r = Session::new(cfg.clone())
+        .run(w.trace(uops))
+        .expect("runs")
+        .result;
+    std::hint::black_box((r.committed_uops, r.cycles))
+}
+
+/// Bare-engine run (unit observer): the pipeline floor.
+fn bare_run(cfg: &CoreConfig, w: &Workload, uops: u64) -> (u64, u64) {
+    let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(uops));
+    let r = core.run(&mut ()).expect("runs");
+    std::hint::black_box((r.committed_uops, r.cycles))
+}
+
+struct Row {
+    profile: String,
+    core: String,
+    mode: &'static str,
+    tp: Throughput,
+}
+
+fn bench_reps() -> u32 {
+    std::env::var("MSTACKS_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+}
+
+fn throughput_baseline(uops: u64, reps: u32) -> Vec<Row> {
+    let cores = [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ];
+    let profiles = [spec::mcf(), spec::imagick(), spec::exchange2()];
+    let mut rows = Vec::new();
+    // The acceptance row first: the fig1 configuration (mcf on BDW, all
+    // accountants), named so the committed baseline can be diffed by key.
+    rows.push(Row {
+        profile: "mcf".into(),
+        core: "bdw".into(),
+        mode: "fig1",
+        tp: throughput(reps, || {
+            full_run(&CoreConfig::broadwell(), &spec::mcf(), uops)
+        }),
+    });
+    for cfg in &cores {
+        for w in &profiles {
+            rows.push(Row {
+                profile: w.name(),
+                core: cfg.name.clone(),
+                mode: "full",
+                tp: throughput(reps, || full_run(cfg, w, uops)),
+            });
+            rows.push(Row {
+                profile: w.name(),
+                core: cfg.name.clone(),
+                mode: "bare",
+                tp: throughput(reps, || bare_run(cfg, w, uops)),
+            });
+        }
+    }
+    rows
+}
+
+fn rows_to_json(uops: u64, reps: u32, rows: &[Row]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"overhead-throughput\",");
+    let _ = writeln!(s, "  \"uops\": {uops},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"profile\": \"{}\", \"core\": \"{}\", \"mode\": \"{}\", \
+             \"uops_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}",
+            r.profile, r.core, r.mode, r.tp.uops_per_sec, r.tp.cycles_per_sec
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn overhead_study(uops: u64) {
     let reps = 5;
     println!(
         "Accounting overhead ({uops} uops, best of {reps}):\n\
@@ -99,7 +221,39 @@ fn main() {
     println!(
         "worst-case overhead of adding multi-stage + FLOPS accounting: {:+.1}%\n\
          (paper: <1% on Sniper; small single-digit percentages are expected here\n\
-         because this pipeline model is orders of magnitude leaner than Sniper)",
+         because this pipeline model is orders of magnitude leaner than Sniper)\n",
         worst * 100.0
     );
+}
+
+fn main() {
+    let uops = sim_uops();
+    overhead_study(uops);
+
+    let reps = bench_reps();
+    println!("Simulator throughput (median of {reps} after 1 warmup, {uops} uops per run):");
+    let rows = throughput_baseline(uops, reps);
+    let mut table = TextTable::new(vec![
+        "profile".into(),
+        "core".into(),
+        "mode".into(),
+        "committed Mu/s".into(),
+        "sim Mcycles/s".into(),
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.profile.clone(),
+            r.core.clone(),
+            r.mode.into(),
+            format!("{:.2}", r.tp.uops_per_sec / 1e6),
+            format!("{:.2}", r.tp.cycles_per_sec / 1e6),
+        ]);
+    }
+    println!("{table}");
+
+    if let Ok(path) = std::env::var("MSTACKS_BENCH_OUT") {
+        let json = rows_to_json(uops, reps, &rows);
+        std::fs::write(&path, json).expect("write benchmark JSON");
+        println!("wrote {path}");
+    }
 }

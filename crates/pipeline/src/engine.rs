@@ -20,6 +20,19 @@
 //! SMT-blame signals are hard-wired off, so the observer sees exactly what
 //! the single-core pipeline always produced.
 //!
+//! # Hot-loop structure
+//!
+//! The per-cycle stages run allocation-free in steady state: the
+//! reservation stations are per-thread partitions with an explicit
+//! wakeup-driven ready queue (see the [`crate::sched`] module docs), the
+//! ROB is a ring with O(1) sequence-number lookup, all per-stage scratch
+//! lives in fixed `[T; MAX_THREADS]` arrays or engine-owned reusable
+//! buffers, and squash recovery adjusts occupancy counters incrementally
+//! instead of recounting the window. The observer-visible issue order is
+//! an invariant across all of this: oldest-first within a thread,
+//! dispatch-order (round-robin) interleaved across threads — exactly the
+//! order the old unified RS vector produced.
+//!
 //! The thin [`Core`](crate::Core) and [`SmtCore`](crate::SmtCore) types
 //! are shims over this engine; the canonical API surface lives here
 //! ([`Engine::results`], [`Engine::committed`], [`Engine::cycle`]).
@@ -32,6 +45,7 @@ use crate::observer::{
 };
 use crate::result::{PipelineError, PipelineResult, PipelineStats, StallStage};
 use crate::rob::{Rob, RobEntry};
+use crate::sched::{ReadyRef, RsEntry, ThreadSched};
 use mstacks_frontend::FrontendUnit;
 use mstacks_mem::{Hierarchy, HitLevel};
 use mstacks_model::{ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
@@ -39,6 +53,10 @@ use mstacks_model::{ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
 /// Cycles without a commit (on any thread) before the watchdog declares a
 /// deadlock. Hoisted here so every run path shares one constant.
 pub const WATCHDOG_CYCLES: u64 = 200_000;
+
+/// Hardware-thread ceiling; per-stage scratch arrays are sized by it so
+/// `step()` never allocates.
+const MAX_THREADS: usize = 4;
 
 /// Per-hardware-thread state.
 struct ThreadCtx<I> {
@@ -51,9 +69,9 @@ struct ThreadCtx<I> {
     rename: Vec<Option<u64>>,
     /// `(branch seq, resolve cycle)` of the in-flight mispredicted branch.
     pending_redirect: Option<(u64, u64)>,
-    /// Vector-FP micro-ops currently waiting in the RS (incremental count,
-    /// so the per-cycle FLOPS view is O(1) for non-FP code).
-    vfp_waiting: usize,
+    /// Waiting micro-ops of this thread: partition, consumer lists and the
+    /// oldest-waiting-VFP index the FLOPS accounting reads.
+    sched: ThreadSched,
     committed: u64,
     committed_flops: u64,
     stats: PipelineStats,
@@ -99,8 +117,18 @@ pub struct Engine<I> {
     ideal: IdealFlags,
     mem: Hierarchy,
     threads: Vec<ThreadCtx<I>>,
-    /// Shared reservation stations: `(thread, seq)` in dispatch order.
-    rs: Vec<(usize, u64)>,
+    /// Dependence-ready waiting micro-ops across all threads, sorted by
+    /// dispatch stamp (= the old unified-RS scan order). Entries whose
+    /// `due` is still in the future ride along until it arrives.
+    ready: Vec<ReadyRef>,
+    /// Scratch for consumers woken during the issue scan; merged into
+    /// `ready` after the scan (their results arrive next cycle at the
+    /// earliest, so they can never issue in the cycle that woke them).
+    woken: Vec<ReadyRef>,
+    /// Next dispatch stamp (globally unique, never reused).
+    next_stamp: u64,
+    /// Waiting micro-ops across all threads (the shared-RS occupancy).
+    rs_total: usize,
     ports: PortFile,
     cycle: u64,
     /// Per-thread scratch buffers for the issue views, reused each cycle.
@@ -131,7 +159,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
     pub fn new(cfg: CoreConfig, ideal: IdealFlags, traces: Vec<I>) -> Self {
         debug_assert!(cfg.validate().is_ok(), "invalid core configuration");
         let n = traces.len();
-        assert!((1..=4).contains(&n), "1..=4 hardware threads supported");
+        assert!(
+            (1..=MAX_THREADS).contains(&n),
+            "1..=4 hardware threads supported"
+        );
         let rob_part = cfg.rob_size / n;
         let stq_part = (cfg.stq_size / n).max(1);
         let ldq_part = (cfg.ldq_size / n).max(1);
@@ -150,7 +181,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 ldq_cap: ldq_part,
                 rename: vec![None; ArchReg::COUNT],
                 pending_redirect: None,
-                vfp_waiting: 0,
+                sched: ThreadSched::new(rob_part),
                 committed: 0,
                 committed_flops: 0,
                 stats: PipelineStats::default(),
@@ -164,7 +195,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 .map(|_| Vec::with_capacity(cfg.issue_width as usize))
                 .collect(),
             threads,
-            rs: Vec::with_capacity(cfg.rs_size),
+            ready: Vec::with_capacity(cfg.rs_size),
+            woken: Vec::with_capacity(cfg.issue_width as usize),
+            next_stamp: 0,
+            rs_total: 0,
             ports: PortFile::new(&cfg.ports),
             cycle: 0,
             cfg,
@@ -312,18 +346,17 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
 
     fn publish_cycle_end<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
         let mshr = self.mem.mshr_occupancy(now);
-        let rs_total = self.rs.len();
+        let rs_total = self.rs_total;
         let rs_cap = self.cfg.rs_size;
         for (tid, ob) in obs.iter_mut().enumerate() {
             if !self.active(tid) || !ob.wants_cycle_end() {
                 continue;
             }
-            let rs_own = self.rs.iter().filter(|&&(rt, _)| rt == tid).count();
             let t = &self.threads[tid];
             let view = CycleEndView {
                 rob_len: t.rob.len(),
                 rob_cap: t.rob.capacity(),
-                rs_own,
+                rs_own: t.sched.len(),
                 rs_total,
                 rs_cap,
                 ldq_len: t.ldq_count,
@@ -349,12 +382,6 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         self.threads.len() > 1
     }
 
-    /// Round-robin thread order starting at `cycle % n`.
-    fn rr_order(&self, now: u64) -> impl Iterator<Item = usize> {
-        let n = self.threads.len();
-        (0..n).map(move |i| (now as usize + i) % n)
-    }
-
     // ----- branch resolution ---------------------------------------------
 
     fn do_resolve<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
@@ -366,29 +393,38 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 continue;
             }
             let t = &mut self.threads[tid];
-            let (squashed, squashed_branches) = t.rob.squash_younger_than(seq);
-            self.rs.retain(|&(rt, rs_seq)| rt != tid || rs_seq <= seq);
+            let next_before = t.rob.next_seq();
+            let sq = t.rob.squash_younger_than(seq);
+            // The squashed entries' ROB slots are vacant now; clear any
+            // consumer lists anchored there so a future occupant of the
+            // slot does not wake stale entries. (The stamp check would
+            // reject them anyway; clearing keeps the lists tight.)
+            for s in (seq + 1)..next_before {
+                let slot = t.rob.slot_of(s);
+                t.sched.consumers[slot].clear();
+            }
+            let removed = t.sched.squash_younger_than(seq);
+            self.rs_total -= removed;
             t.stq.squash_younger_than(seq);
-            t.ldq_count = t.rob.iter().filter(|e| e.fu.uop.kind.is_load()).count();
-            // Rebuild the rename table from the surviving window.
+            t.ldq_count -= sq.loads as usize;
+            // Rebuild the rename table from the surviving window (nothing
+            // to walk when the squash emptied it).
             t.rename.fill(None);
-            for e in t.rob.iter() {
-                if let Some(d) = e.fu.uop.dst {
-                    t.rename[d.index()] = Some(e.seq);
+            if !t.rob.is_empty() {
+                for e in t.rob.iter() {
+                    if let Some(d) = e.fu.uop.dst {
+                        t.rename[d.index()] = Some(e.seq);
+                    }
                 }
             }
             t.frontend.redirect(now);
-            t.stats.squashed_uops += squashed;
+            t.stats.squashed_uops += sq.uops;
             t.stats.redirects += 1;
             t.pending_redirect = None;
-            // Recount this thread's waiting VFP micro-ops.
-            let rob = &t.rob;
-            t.vfp_waiting = self
-                .rs
-                .iter()
-                .filter(|&&(rt, s)| rt == tid && rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp()))
-                .count();
-            o.on_squash(now, squashed, squashed_branches);
+            // Purge this thread's squashed entries from the ready queue
+            // (retain keeps the stamp order).
+            self.ready.retain(|e| e.tid as usize != tid || e.seq <= seq);
+            o.on_squash(now, sq.uops, sq.branches);
         }
     }
 
@@ -397,9 +433,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
     fn do_commit<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
         let n_threads = self.threads.len();
         let mut budget = self.cfg.commit_width;
-        let mut per_thread_n = vec![0u32; n_threads];
-        let mut head_ready_unserved = vec![false; n_threads];
-        for tid in self.rr_order(now).collect::<Vec<_>>() {
+        let mut per_thread_n = [0u32; MAX_THREADS];
+        let mut head_ready_unserved = [false; MAX_THREADS];
+        for k in 0..n_threads {
+            let tid = (now as usize + k) % n_threads;
             if !self.active(tid) {
                 continue;
             }
@@ -475,14 +512,11 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
     }
 
     /// FLOPS blame for the oldest waiting VFP micro-op (Table III 14–18).
+    /// O(1) lookup: the scheduler keeps the waiting-VFP list sorted.
     fn vfp_blame(&self, tid: usize, now: u64) -> Option<FlopsBlame> {
-        let rob = &self.threads[tid].rob;
-        let seq = self
-            .rs
-            .iter()
-            .filter(|&&(rt, _)| rt == tid)
-            .map(|&(_, s)| s)
-            .find(|&s| rob.get(s).is_some_and(|e| e.fu.uop.kind.is_vfp()))?;
+        let t = &self.threads[tid];
+        let seq = *t.sched.vfp.first()?;
+        let rob = &t.rob;
         let e = rob.get(seq)?;
         for p in e.deps.iter().flatten() {
             if rob.producer_done(*p, now) {
@@ -505,38 +539,46 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         for buf in issued_bufs.iter_mut() {
             buf.clear();
         }
-        let mut n_total = vec![0u32; n_threads];
-        let mut n_correct = vec![0u32; n_threads];
-        let mut blocking: Vec<Option<Blame>> = vec![None; n_threads];
-        let mut structural: Vec<Option<StructuralStall>> = vec![None; n_threads];
-        let mut port_blocked = vec![false; n_threads];
-        let mut vu_non_vfp = vec![false; n_threads];
+        let mut n_total = [0u32; MAX_THREADS];
+        let mut n_correct = [0u32; MAX_THREADS];
+        let mut structural: [Option<StructuralStall>; MAX_THREADS] = [None; MAX_THREADS];
+        let mut port_blocked = [false; MAX_THREADS];
+        let mut vu_non_vfp = [false; MAX_THREADS];
         // Captured before issuing: "was a VFP micro-op waiting this cycle"
         // (Table III line 9 inspects the pre-issue RS state).
-        let vfp_in_rs: Vec<bool> = self.threads.iter().map(|t| t.vfp_waiting > 0).collect();
-        let rs_empty: Vec<bool> = (0..n_threads)
-            .map(|tid| !self.rs.iter().any(|&(rt, _)| rt == tid))
-            .collect();
+        let mut vfp_in_rs = [false; MAX_THREADS];
+        let mut rs_empty = [false; MAX_THREADS];
+        for tid in 0..n_threads {
+            vfp_in_rs[tid] = !self.threads[tid].sched.vfp.is_empty();
+            rs_empty[tid] = self.threads[tid].sched.is_empty();
+        }
 
         let mut budget = self.cfg.issue_width;
-        let mut i = 0;
-        while i < self.rs.len() && budget > 0 {
-            let (tid, seq) = self.rs[i];
-            let e = *self.threads[tid]
-                .rob
-                .get(seq)
-                .expect("RS entry is in the ROB");
-            let rob = &self.threads[tid].rob;
-            // Dependence readiness.
-            let deps_ready = e.deps.iter().flatten().all(|&p| rob.producer_done(p, now));
-            if !deps_ready {
-                if blocking[tid].is_none() {
-                    blocking[tid] = Some(self.producer_blame(tid, &e, now));
-                }
-                i += 1;
+        // Stamp of the entry that consumed the last issue slot. Entries the
+        // old linear RS scan would never have reached (larger stamp) must
+        // not contribute blocking blame below; `u64::MAX` = scan completed.
+        let mut stop_stamp = u64::MAX;
+        let mut ready = std::mem::take(&mut self.ready);
+        let mut woken = std::mem::take(&mut self.woken);
+        debug_assert!(woken.is_empty());
+        // Single compacting pass in stamp order: issued entries drop out,
+        // everything else shifts down in place.
+        let mut w = 0;
+        let mut r = 0;
+        while r < ready.len() {
+            if budget == 0 {
+                break;
+            }
+            let cand = ready[r];
+            r += 1;
+            if cand.due > now {
+                ready[w] = cand;
+                w += 1;
                 continue;
             }
-            let kind = e.fu.uop.kind;
+            let tid = cand.tid as usize;
+            let seq = cand.seq;
+            let kind = cand.kind;
             // Memory disambiguation for loads.
             let mut forward = false;
             if let UopKind::Load { addr } = kind {
@@ -544,7 +586,8 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                     LoadCheck::Blocked => {
                         structural[tid] =
                             structural[tid].or(Some(StructuralStall::MemDisambiguation));
-                        i += 1;
+                        ready[w] = cand;
+                        w += 1;
                         continue;
                     }
                     LoadCheck::Forward => forward = true,
@@ -556,9 +599,15 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             let Some(port) = self.ports.try_issue(&kind, now, base_lat) else {
                 structural[tid] = structural[tid].or(Some(StructuralStall::Ports));
                 port_blocked[tid] = true;
-                i += 1;
+                ready[w] = cand;
+                w += 1;
                 continue;
             };
+            let fu = self.threads[tid]
+                .rob
+                .get(seq)
+                .expect("RS entry is in the ROB")
+                .fu;
             // Execution timing.
             let (ready_at, mem_level) = match kind {
                 UopKind::Load { addr } => {
@@ -569,7 +618,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                             Some(HitLevel::L1),
                         )
                     } else {
-                        let res = self.mem.load(addr, e.fu.uop.pc, now);
+                        let res = self.mem.load(addr, fu.uop.pc, now);
                         (res.ready, Some(res.level))
                     }
                 }
@@ -577,16 +626,14 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                     // Address/data ready quickly; the line fill proceeds in
                     // the background through the hierarchy (write-allocate).
                     self.threads[tid].stq.mark_executed(seq);
-                    let _ = self.mem.store(addr, e.fu.uop.pc, now);
+                    let _ = self.mem.store(addr, fu.uop.pc, now);
                     (now + base_lat, None)
                 }
                 _ => (now + base_lat, None),
             };
+            let t = &mut self.threads[tid];
             {
-                let em = self.threads[tid]
-                    .rob
-                    .get_mut(seq)
-                    .expect("RS entry is in the ROB");
+                let em = t.rob.get_mut(seq).expect("RS entry is in the ROB");
                 em.issued = true;
                 em.issued_at = now;
                 em.ready_at = ready_at;
@@ -595,31 +642,76 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             }
             // A mispredicted correct-path branch schedules the redirect for
             // its completion cycle.
-            if e.fu.mispredicted_branch && !e.fu.wrong_path {
-                debug_assert!(self.threads[tid].pending_redirect.is_none());
-                self.threads[tid].pending_redirect = Some((seq, ready_at));
+            if fu.mispredicted_branch && !fu.wrong_path {
+                debug_assert!(t.pending_redirect.is_none());
+                t.pending_redirect = Some((seq, ready_at));
             }
+            // Wake the consumers now that the completion time is known.
+            // The (seq, stamp) pair guards against stale registrations
+            // left by squashes; entries reaching zero pending producers
+            // join the ready queue after the scan (their results arrive
+            // strictly later than `now`, so the old linear scan could not
+            // have issued them this cycle either).
+            let slot = t.rob.slot_of(seq);
+            let mut wakers = std::mem::take(&mut t.sched.consumers[slot]);
+            for &(cseq, cstamp) in &wakers {
+                if let Some(ci) = t.sched.find(cseq) {
+                    let c = &mut t.sched.entries[ci];
+                    if c.stamp == cstamp {
+                        c.pending -= 1;
+                        c.ready_time = c.ready_time.max(ready_at);
+                        if c.pending == 0 {
+                            woken.push(ReadyRef {
+                                stamp: c.stamp,
+                                due: c.ready_time,
+                                tid: cand.tid,
+                                seq: cseq,
+                                kind: c.kind,
+                            });
+                        }
+                    }
+                }
+            }
+            wakers.clear();
+            t.sched.consumers[slot] = wakers;
+            t.sched.remove_seq(seq);
+            if kind.is_vfp() {
+                t.sched.remove_vfp(seq);
+            }
+            self.rs_total -= 1;
             let on_vpu = self.ports.is_vpu(port);
             if on_vpu && !kind.is_vfp() {
                 vu_non_vfp[tid] = true;
             }
-            if kind.is_vfp() {
-                self.threads[tid].vfp_waiting -= 1;
-            }
             issued_bufs[tid].push(IssuedInfo {
-                uop: e.fu.uop,
-                wrong_path: e.fu.wrong_path,
+                uop: fu.uop,
+                wrong_path: fu.wrong_path,
                 on_vpu,
             });
             n_total[tid] += 1;
-            if !e.fu.wrong_path {
+            if !fu.wrong_path {
                 n_correct[tid] += 1;
             }
-            self.rs.remove(i);
             budget -= 1;
+            if budget == 0 {
+                stop_stamp = cand.stamp;
+            }
         }
+        // Keep the unscanned tail, then merge the wakeups in stamp order.
+        while r < ready.len() {
+            ready[w] = ready[r];
+            w += 1;
+            r += 1;
+        }
+        ready.truncate(w);
+        for wk in woken.drain(..) {
+            let pos = ready.partition_point(|e| e.stamp < wk.stamp);
+            ready.insert(pos, wk);
+        }
+        self.ready = ready;
+        self.woken = woken;
 
-        let any_issued: u32 = n_total.iter().sum();
+        let any_issued: u32 = n_total[..n_threads].iter().sum();
         let multi = self.multi();
         for (tid, ob) in obs.iter_mut().enumerate() {
             if !self.active(tid) {
@@ -631,20 +723,36 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             if n_total[tid] >= self.cfg.issue_width {
                 structural[tid] = None;
             }
+            // Blocking blame: the oldest waiting micro-op whose dependences
+            // are not done — exactly the first such entry the old linear
+            // scan encountered, provided the scan reached it before the
+            // budget ran out. Its producers all carry smaller stamps, so
+            // their state no longer changes after the scan and evaluating
+            // the blame here is equivalent to evaluating it mid-scan.
+            let blocking = match self.threads[tid].sched.first_not_done(now) {
+                Some(e) if e.stamp < stop_stamp => {
+                    let re = self.threads[tid]
+                        .rob
+                        .get(e.seq)
+                        .expect("waiting entry is in the ROB");
+                    Some(self.producer_blame(tid, re, now))
+                }
+                _ => None,
+            };
             self.threads[tid].stats.issued_uops += u64::from(n_correct[tid]);
             self.threads[tid].stats.issued_wrong_path += u64::from(n_total[tid] - n_correct[tid]);
             // Only worth computing when a VFP micro-op is actually waiting.
-            let vfp_blame = if self.threads[tid].vfp_waiting > 0 {
-                self.vfp_blame(tid, now)
-            } else {
+            let vfp_blame = if self.threads[tid].sched.vfp.is_empty() {
                 None
+            } else {
+                self.vfp_blame(tid, now)
             };
             let view = IssueView {
                 n_total: n_total[tid],
                 n_correct: n_correct[tid],
                 rs_empty: rs_empty[tid],
                 fe_stall: self.threads[tid].frontend.stall_reason(now),
-                blocking_blame: blocking[tid],
+                blocking_blame: blocking,
                 structural: structural[tid],
                 smt_blocked,
                 issued: &issued_bufs[tid],
@@ -662,19 +770,20 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
     fn do_dispatch<O: StageObserver>(&mut self, now: u64, obs: &mut [O]) {
         let n_threads = self.threads.len();
         let mut budget = self.cfg.dispatch_width;
-        let mut n_tot = vec![0u32; n_threads];
-        let mut n_cor = vec![0u32; n_threads];
-        let mut backend = vec![false; n_threads];
-        let mut starved_by_smt = vec![false; n_threads];
-        let mut supply_limited = vec![false; n_threads];
+        let mut n_tot = [0u32; MAX_THREADS];
+        let mut n_cor = [0u32; MAX_THREADS];
+        let mut backend = [false; MAX_THREADS];
+        let mut starved_by_smt = [false; MAX_THREADS];
+        let mut supply_limited = [false; MAX_THREADS];
         let rs_cap = self.cfg.rs_size;
 
-        for tid in self.rr_order(now).collect::<Vec<_>>() {
+        for k in 0..n_threads {
+            let tid = (now as usize + k) % n_threads;
             if !self.active(tid) {
                 continue;
             }
             loop {
-                let rs_len = self.rs.len();
+                let rs_len = self.rs_total;
                 let t = &mut self.threads[tid];
                 let Some(f) = t.frontend.peek_ready(now) else {
                     supply_limited[tid] = true;
@@ -721,10 +830,47 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                     exec_lat: 0,
                     mem_level: None,
                 });
-                if kind.is_vfp() {
-                    t.vfp_waiting += 1;
+                // Scheduler registration: count the producers that still
+                // have to issue (per dependence slot — a duplicated source
+                // is woken per slot) and subscribe to their wakeups; fold
+                // already-issued producers into the readiness time.
+                let stamp = self.next_stamp;
+                self.next_stamp += 1;
+                let mut pending = 0u8;
+                let mut ready_time = 0u64;
+                for p in deps.iter().flatten() {
+                    match t.rob.get(*p) {
+                        Some(pe) if !pe.issued => {
+                            pending += 1;
+                            let slot = t.rob.slot_of(*p);
+                            t.sched.consumers[slot].push((seq, stamp));
+                        }
+                        Some(pe) => ready_time = ready_time.max(pe.ready_at),
+                        None => {} // committed → result long available
+                    }
                 }
-                self.rs.push((tid, seq));
+                t.sched.entries.push(RsEntry {
+                    seq,
+                    stamp,
+                    pending,
+                    ready_time,
+                    kind,
+                });
+                if kind.is_vfp() {
+                    t.sched.vfp.push(seq);
+                }
+                self.rs_total += 1;
+                if pending == 0 {
+                    // Dispatch stamps increase monotonically, so pushing
+                    // keeps the ready queue stamp-sorted.
+                    self.ready.push(ReadyRef {
+                        stamp,
+                        due: ready_time,
+                        tid: tid as u32,
+                        seq,
+                        kind,
+                    });
+                }
                 obs[tid].on_dispatch_uop(now, &f.uop);
                 n_tot[tid] += 1;
                 if !f.wrong_path {
@@ -742,9 +888,9 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             if multi && backend[tid] {
                 // Structure full: distinguish own-occupancy (partitioned
                 // ROB) from shared-RS pressure by the other thread.
-                let own_rs = self.rs.iter().filter(|&&(rt, _)| rt == tid).count();
+                let own_rs = self.threads[tid].sched.len();
                 let t = &self.threads[tid];
-                if !t.rob.is_full() && self.rs.len() >= rs_cap && own_rs < rs_cap / 2 {
+                if !t.rob.is_full() && self.rs_total >= rs_cap && own_rs < rs_cap / 2 {
                     // The shared RS is full mostly with other threads' work.
                     backend[tid] = false;
                     starved_by_smt[tid] = true;

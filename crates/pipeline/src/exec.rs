@@ -68,11 +68,24 @@ struct PortState {
 #[derive(Debug, Clone)]
 pub struct PortFile {
     ports: Vec<PortState>,
+    /// For each capability bit (indexed by its trailing-zero count), the
+    /// ports that support it, in port order — so issue scans only the
+    /// candidate ports while picking the same (lowest-index) port the full
+    /// scan would.
+    by_cap: [Vec<u8>; 16],
 }
 
 impl PortFile {
     /// Builds a port file from the configuration's port specs.
     pub fn new(specs: &[PortSpec]) -> Self {
+        let mut by_cap: [Vec<u8>; 16] = Default::default();
+        for (idx, spec) in specs.iter().enumerate() {
+            for (bit, list) in by_cap.iter_mut().enumerate() {
+                if spec.supports(1 << bit) {
+                    list.push(idx as u8);
+                }
+            }
+        }
         PortFile {
             ports: specs
                 .iter()
@@ -82,6 +95,7 @@ impl PortFile {
                     used_this_cycle: false,
                 })
                 .collect(),
+            by_cap,
         }
     }
 
@@ -98,10 +112,10 @@ impl PortFile {
     /// port until completion.
     pub fn try_issue(&mut self, kind: &UopKind, now: u64, lat: u64) -> Option<usize> {
         let cap = cap_for(kind);
-        let idx = self
-            .ports
+        let idx = self.by_cap[cap.trailing_zeros() as usize]
             .iter()
-            .position(|p| !p.used_this_cycle && p.busy_until <= now && p.spec.supports(cap))?;
+            .map(|&i| i as usize)
+            .find(|&i| !self.ports[i].used_this_cycle && self.ports[i].busy_until <= now)?;
         let p = &mut self.ports[idx];
         p.used_this_cycle = true;
         if unpipelined(kind) {
@@ -114,9 +128,9 @@ impl PortFile {
     /// consuming it).
     pub fn could_issue(&self, kind: &UopKind) -> bool {
         let cap = cap_for(kind);
-        self.ports
+        self.by_cap[cap.trailing_zeros() as usize]
             .iter()
-            .any(|p| !p.used_this_cycle && p.spec.supports(cap))
+            .any(|&i| !self.ports[i as usize].used_this_cycle)
     }
 
     /// Whether port `idx` hosts a vector unit.

@@ -45,6 +45,7 @@ pub mod lsq;
 pub mod observer;
 pub mod result;
 pub mod rob;
+mod sched;
 pub mod smt;
 
 pub use crate::core::Core;

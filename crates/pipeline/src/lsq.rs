@@ -88,16 +88,23 @@ impl StoreQueue {
         });
     }
 
-    /// Marks a store as executed (address/data known).
+    /// Marks a store as executed (address/data known). Entries are
+    /// allocated in dispatch order and only ever removed from the front
+    /// (retire) or back (squash), so the queue stays seq-sorted and the
+    /// lookup can bisect.
     pub fn mark_executed(&mut self, seq: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
-            e.executed = true;
+        if let Ok(pos) = self.entries.binary_search_by(|e| e.seq.cmp(&seq)) {
+            self.entries[pos].executed = true;
         }
     }
 
-    /// Removes the store at commit.
+    /// Removes the store at commit. Commit retires stores oldest-first, so
+    /// the match is the front entry; the bisect fallback keeps the method
+    /// correct for out-of-order callers.
     pub fn retire(&mut self, seq: u64) {
-        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+        if self.entries.front().is_some_and(|e| e.seq == seq) {
+            self.entries.pop_front();
+        } else if let Ok(pos) = self.entries.binary_search_by(|e| e.seq.cmp(&seq)) {
             self.entries.remove(pos);
         }
     }
@@ -111,7 +118,10 @@ impl StoreQueue {
     /// `addr` (8-byte granularity for forwarding).
     pub fn check_load(&self, load_seq: u64, addr: u64) -> LoadCheck {
         let mut forward = false;
-        for e in self.entries.iter().filter(|e| e.seq < load_seq) {
+        for e in &self.entries {
+            if e.seq >= load_seq {
+                break; // seq-sorted: everything from here on is younger
+            }
             if !e.executed {
                 return LoadCheck::Blocked;
             }

@@ -97,6 +97,14 @@ pub struct DispatchView {
 
 /// Issue-stage state for one cycle (paper Table II issue column and
 /// Table III).
+///
+/// The engine derives these fields from its wakeup-driven scheduler
+/// structures (per-thread partitions + a dispatch-stamp-ordered ready
+/// queue), but the observable contract is fixed: micro-ops issue
+/// oldest-first within a thread and in dispatch (round-robin) order
+/// across threads, `rs_empty`/`vfp_in_rs` reflect the pre-issue RS
+/// state, and `blocking_blame` names the oldest waiting micro-op the
+/// issue scan reached whose dependences were not done.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IssueView<'a> {
     /// Micro-ops issued this cycle, wrong path included.

@@ -4,12 +4,18 @@
 //! monotonically increasing sequence number. The accounting stages inspect
 //! the head entry ("`i = ROB head`" in paper Table II), so [`Rob`] exposes
 //! the head's blame classification directly.
-
-use std::collections::VecDeque;
+//!
+//! Storage is a fixed ring over `capacity` slots with the physical slot of
+//! sequence number `s` pinned at `s % capacity`. Live sequence numbers
+//! span less than one capacity, so the mapping is injective, every
+//! `seq -> entry` lookup is O(1), and — crucially for the scheduler's
+//! producer→consumer wakeup lists — an entry keeps one stable
+//! [`Rob::slot_of`] index for its whole lifetime.
 
 use crate::observer::Blame;
 use mstacks_frontend::FetchedUop;
 use mstacks_mem::HitLevel;
+use mstacks_model::{MicroOp, UopKind};
 
 /// One in-flight micro-op.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +72,40 @@ impl RobEntry {
     fn mem_level_beyond_l1(&self) -> bool {
         self.mem_level.is_some_and(|l| l.beyond_l1())
     }
+
+    /// Placeholder for unoccupied ring slots.
+    fn vacant() -> Self {
+        RobEntry {
+            fu: FetchedUop {
+                uop: MicroOp::new(0, UopKind::Nop),
+                wrong_path: false,
+                mispredicted_branch: false,
+                avail: 0,
+                icache_miss: false,
+            },
+            seq: 0,
+            deps: [None; 3],
+            issued: false,
+            issued_at: 0,
+            ready_at: 0,
+            exec_lat: 0,
+            mem_level: None,
+        }
+    }
+}
+
+/// What a branch-misprediction squash removed from the window, counted
+/// while walking the squashed suffix once (so the engine can maintain its
+/// load-queue occupancy and statistics incrementally instead of recounting
+/// the surviving window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquashSummary {
+    /// Micro-ops removed.
+    pub uops: u64,
+    /// Branch micro-ops among them.
+    pub branches: u64,
+    /// Load micro-ops among them.
+    pub loads: u64,
 }
 
 /// The reorder buffer: a bounded, in-order window of in-flight micro-ops.
@@ -80,10 +120,14 @@ impl RobEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rob {
-    entries: VecDeque<RobEntry>,
+    /// Ring storage; the entry with sequence number `s` lives in slot
+    /// `s % capacity` while in flight.
+    slots: Vec<RobEntry>,
     capacity: usize,
     /// Sequence number of the entry at the front (head) of the ROB.
     head_seq: u64,
+    /// Number of live entries, `[head_seq, head_seq + len)`.
+    len: usize,
 }
 
 impl Rob {
@@ -95,34 +139,46 @@ impl Rob {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB capacity must be non-zero");
         Rob {
-            entries: VecDeque::with_capacity(capacity),
+            slots: vec![RobEntry::vacant(); capacity],
             capacity,
             head_seq: 0,
+            len: 0,
         }
     }
 
     /// Whether no more micro-ops can be dispatched.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.len == self.capacity
     }
 
     /// Whether the ROB holds no micro-ops.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// In-flight micro-op count.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
+    }
+
+    /// The physical ring slot of `seq` — stable for the whole lifetime of
+    /// the entry, and unique among live entries.
+    #[inline]
+    pub fn slot_of(&self, seq: u64) -> usize {
+        (seq % self.capacity as u64) as usize
     }
 
     /// The oldest in-flight micro-op.
     #[inline]
     pub fn head(&self) -> Option<&RobEntry> {
-        self.entries.front()
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.slots[self.slot_of(self.head_seq)])
+        }
     }
 
     /// Appends a dispatched micro-op; its `seq` must be the next sequence
@@ -133,30 +189,50 @@ impl Rob {
     /// Panics if the ROB is full or the sequence number is not contiguous.
     pub fn push(&mut self, entry: RobEntry) {
         assert!(!self.is_full(), "pushing into a full ROB");
-        let expected = self.head_seq + self.entries.len() as u64;
+        let expected = self.head_seq + self.len as u64;
         assert_eq!(entry.seq, expected, "non-contiguous ROB sequence number");
-        self.entries.push_back(entry);
+        let slot = self.slot_of(entry.seq);
+        self.slots[slot] = entry;
+        self.len += 1;
     }
 
     /// Pops the head (commit). The caller must have checked it is done.
     pub fn pop_head(&mut self) -> Option<RobEntry> {
-        let e = self.entries.pop_front()?;
+        if self.len == 0 {
+            return None;
+        }
+        let e = self.slots[self.slot_of(self.head_seq)];
         self.head_seq = e.seq + 1;
+        self.len -= 1;
         Some(e)
     }
 
-    /// Looks an in-flight micro-op up by sequence number.
+    /// Whether `seq` is currently in flight.
     #[inline]
-    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
-        let idx = seq.checked_sub(self.head_seq)?;
-        self.entries.get(idx as usize)
+    fn in_flight(&self, seq: u64) -> bool {
+        seq >= self.head_seq && seq < self.head_seq + self.len as u64
     }
 
-    /// Mutable lookup by sequence number.
+    /// Looks an in-flight micro-op up by sequence number — O(1) via the
+    /// ring index.
+    #[inline]
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        if self.in_flight(seq) {
+            Some(&self.slots[self.slot_of(seq)])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable lookup by sequence number — O(1) via the ring index.
     #[inline]
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        let idx = seq.checked_sub(self.head_seq)?;
-        self.entries.get_mut(idx as usize)
+        if self.in_flight(seq) {
+            let slot = self.slot_of(seq);
+            Some(&mut self.slots[slot])
+        } else {
+            None
+        }
     }
 
     /// Whether the producer with `seq` has its result available at `now`.
@@ -169,31 +245,36 @@ impl Rob {
         }
     }
 
-    /// Removes every entry younger than `seq` (branch-misprediction squash);
-    /// returns `(micro-ops removed, branches among them)`.
-    pub fn squash_younger_than(&mut self, seq: u64) -> (u64, u64) {
+    /// Removes every entry younger than `seq` (branch-misprediction
+    /// squash), counting the removed micro-ops by category in one walk of
+    /// the squashed suffix.
+    pub fn squash_younger_than(&mut self, seq: u64) -> SquashSummary {
         let keep = (seq + 1).saturating_sub(self.head_seq) as usize;
-        let keep = keep.min(self.entries.len());
-        let branches = self
-            .entries
-            .iter()
-            .skip(keep)
-            .filter(|e| e.fu.uop.kind.is_branch())
-            .count() as u64;
-        let removed = self.entries.len() - keep;
-        self.entries.truncate(keep);
-        (removed as u64, branches)
+        let keep = keep.min(self.len);
+        let mut summary = SquashSummary::default();
+        for s in (self.head_seq + keep as u64)..(self.head_seq + self.len as u64) {
+            let kind = &self.slots[self.slot_of(s)].fu.uop.kind;
+            summary.uops += 1;
+            if kind.is_branch() {
+                summary.branches += 1;
+            }
+            if kind.is_load() {
+                summary.loads += 1;
+            }
+        }
+        self.len = keep;
+        summary
     }
 
     /// Iterates entries oldest → youngest.
     pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
-        self.entries.iter()
+        (self.head_seq..self.head_seq + self.len as u64).map(move |s| &self.slots[self.slot_of(s)])
     }
 
     /// Next sequence number to dispatch.
     #[inline]
     pub fn next_seq(&self) -> u64 {
-        self.head_seq + self.entries.len() as u64
+        self.head_seq + self.len as u64
     }
 
     /// Total entries the ROB can hold.
@@ -248,6 +329,38 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_across_many_windows() {
+        // Push/pop far past the capacity: the ring must stay coherent and
+        // keep O(1) lookups valid after dozens of wraps.
+        let mut rob = Rob::new(3);
+        for s in 0..100u64 {
+            rob.push(entry(s));
+            assert_eq!(rob.get(s).unwrap().seq, s);
+            assert_eq!(rob.pop_head().unwrap().seq, s);
+        }
+        assert!(rob.is_empty());
+        assert_eq!(rob.next_seq(), 100);
+    }
+
+    #[test]
+    fn slot_of_is_stable_and_unique_among_live_entries() {
+        let mut rob = Rob::new(4);
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        let slots: Vec<usize> = (0..4).map(|s| rob.slot_of(s)).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "live slots must be unique: {slots:?}");
+        // Slots do not move as the head advances.
+        rob.pop_head();
+        rob.pop_head();
+        assert_eq!(rob.slot_of(2), slots[2]);
+        assert_eq!(rob.slot_of(3), slots[3]);
+    }
+
+    #[test]
     #[should_panic(expected = "full ROB")]
     fn push_full_panics() {
         let mut rob = Rob::new(1);
@@ -297,14 +410,41 @@ mod tests {
         for s in 0..6 {
             rob.push(entry(s));
         }
-        let (removed, branches) = rob.squash_younger_than(2);
-        assert_eq!(removed, 3);
-        assert_eq!(branches, 0); // the test entries are all ALU ops
+        let sq = rob.squash_younger_than(2);
+        assert_eq!(sq.uops, 3);
+        assert_eq!(sq.branches, 0); // the test entries are all ALU ops
+        assert_eq!(sq.loads, 0);
         assert_eq!(rob.len(), 3);
         assert_eq!(rob.next_seq(), 3);
         // New pushes continue from seq 3.
         rob.push(entry(3));
         assert_eq!(rob.len(), 4);
+    }
+
+    #[test]
+    fn squash_counts_loads_and_branches() {
+        let mut rob = Rob::new(8);
+        rob.push(entry(0));
+        let mut ld = entry(1);
+        ld.fu.uop.kind = UopKind::Load { addr: 0x100 };
+        rob.push(ld);
+        let mut br = entry(2);
+        br.fu.uop.kind = UopKind::Branch(mstacks_model::BranchInfo {
+            taken: true,
+            target: 0x40,
+            fallthrough: 0xc,
+            kind: mstacks_model::BranchKind::Cond,
+        });
+        rob.push(br);
+        let sq = rob.squash_younger_than(0);
+        assert_eq!(
+            sq,
+            SquashSummary {
+                uops: 2,
+                branches: 1,
+                loads: 1
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Wakeup-driven reservation-station bookkeeping.
+//!
+//! The engine used to keep one unified `Vec<(thread, seq)>` of waiting
+//! micro-ops and, every cycle, re-derive everything from it: dependence
+//! readiness by chasing `producer_done` per entry per cycle, per-thread
+//! occupancy and the oldest waiting vector-FP op by re-filtering the whole
+//! vector, and squash recovery by recounting. This module replaces that
+//! with the classic scheduler split:
+//!
+//! * a per-thread **partition** ([`ThreadSched::entries`]) of waiting
+//!   [`RsEntry`]s in dispatch (= sequence) order, each tracking how many
+//!   of its producers have not issued yet (`pending`) and the cycle its
+//!   already-issued producers' results are available (`ready_time`);
+//! * a per-ROB-slot **consumer list** ([`ThreadSched::consumers`]): when a
+//!   producer issues and its completion time becomes known, it wakes its
+//!   consumers by decrementing their `pending` instead of every consumer
+//!   polling every cycle;
+//! * a sorted list of waiting vector-FP sequence numbers
+//!   ([`ThreadSched::vfp`]) so the FLOPS accounting reads the oldest
+//!   waiting VFP op in O(1);
+//! * a global, dispatch-stamp-ordered **ready queue** (owned by the
+//!   engine) holding only entries with `pending == 0`.
+//!
+//! Sequence numbers are reused after a squash (the window truncates and
+//! dispatch continues from the branch), so a consumer list may hold stale
+//! references. Every entry therefore carries a globally unique, monotone
+//! dispatch [`RsEntry::stamp`]; a wakeup only applies when both the
+//! sequence number *and* the stamp match. The stamp order is exactly the
+//! old unified-vector order, which keeps the issue scan bit-identical
+//! (oldest-first within a thread, dispatch-interleaved across threads).
+
+use mstacks_model::UopKind;
+
+/// One waiting (dispatched, not yet issued) micro-op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RsEntry {
+    /// ROB sequence number (per-thread, reused after squashes).
+    pub seq: u64,
+    /// Globally unique dispatch stamp (never reused; total dispatch order
+    /// across threads).
+    pub stamp: u64,
+    /// Producers that have not issued yet (counted per dependence slot, so
+    /// a duplicated source counts twice and is woken twice).
+    pub pending: u8,
+    /// Cycle every already-issued producer's result is available. The
+    /// entry is dependence-ready at `now` iff `pending == 0 &&
+    /// ready_time <= now`.
+    pub ready_time: u64,
+    /// Op kind, denormalized from the ROB so the issue scan touches the
+    /// ROB only for micro-ops it actually issues.
+    pub kind: UopKind,
+}
+
+/// One entry of the engine-owned global ready queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReadyRef {
+    /// Dispatch stamp — the queue is sorted by it.
+    pub stamp: u64,
+    /// Earliest cycle the entry is dependence-ready.
+    pub due: u64,
+    /// Hardware thread.
+    pub tid: u32,
+    /// ROB sequence number within that thread.
+    pub seq: u64,
+    /// Op kind (denormalized, see [`RsEntry::kind`]).
+    pub kind: UopKind,
+}
+
+/// Per-thread scheduler state.
+#[derive(Debug)]
+pub(crate) struct ThreadSched {
+    /// Waiting micro-ops in sequence (= per-thread stamp) order.
+    pub entries: Vec<RsEntry>,
+    /// Sequence numbers of waiting vector-FP micro-ops, ascending.
+    pub vfp: Vec<u64>,
+    /// `consumers[rob_slot]` = `(consumer seq, consumer stamp)` pairs
+    /// registered at dispatch, woken when the producer in that ROB slot
+    /// issues. Indexed by the ROB's stable ring slot; the inner vectors
+    /// are reused (cleared, never dropped) so steady state allocates
+    /// nothing.
+    pub consumers: Vec<Vec<(u64, u64)>>,
+}
+
+impl ThreadSched {
+    pub fn new(rob_capacity: usize) -> Self {
+        ThreadSched {
+            entries: Vec::with_capacity(rob_capacity),
+            vfp: Vec::new(),
+            consumers: vec![Vec::new(); rob_capacity],
+        }
+    }
+
+    /// Number of waiting micro-ops of this thread.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the waiting entry with `seq`, if any (binary search — the
+    /// partition is seq-sorted).
+    #[inline]
+    pub fn find(&self, seq: u64) -> Option<usize> {
+        self.entries.binary_search_by(|e| e.seq.cmp(&seq)).ok()
+    }
+
+    /// Removes the waiting entry with `seq` (it issued).
+    pub fn remove_seq(&mut self, seq: u64) {
+        if let Some(i) = self.find(seq) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Drops every waiting entry younger than `seq` (squash), returning
+    /// how many were removed.
+    pub fn squash_younger_than(&mut self, seq: u64) -> usize {
+        let keep = self.entries.partition_point(|e| e.seq <= seq);
+        let removed = self.entries.len() - keep;
+        self.entries.truncate(keep);
+        let vfp_keep = self.vfp.partition_point(|&s| s <= seq);
+        self.vfp.truncate(vfp_keep);
+        removed
+    }
+
+    /// Removes `seq` from the waiting-VFP list (it issued).
+    pub fn remove_vfp(&mut self, seq: u64) {
+        if let Ok(i) = self.vfp.binary_search(&seq) {
+            self.vfp.remove(i);
+        }
+    }
+
+    /// The oldest waiting entry whose dependences are not all done at
+    /// `now` — the issue-stage blocking candidate (paper Table II: the
+    /// producer of the first non-ready instruction gets the blame).
+    #[inline]
+    pub fn first_not_done(&self, now: u64) -> Option<&RsEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.pending > 0 || e.ready_time > now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::AluClass;
+
+    fn entry(seq: u64, stamp: u64) -> RsEntry {
+        RsEntry {
+            seq,
+            stamp,
+            pending: 0,
+            ready_time: 0,
+            kind: UopKind::IntAlu(AluClass::Add),
+        }
+    }
+
+    #[test]
+    fn find_and_remove_by_seq() {
+        let mut s = ThreadSched::new(8);
+        for seq in [3, 5, 9] {
+            s.entries.push(entry(seq, seq * 10));
+        }
+        assert_eq!(s.find(5), Some(1));
+        assert_eq!(s.find(4), None);
+        s.remove_seq(5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.find(9), Some(1));
+    }
+
+    #[test]
+    fn squash_truncates_entries_and_vfp() {
+        let mut s = ThreadSched::new(8);
+        for seq in 0..6 {
+            s.entries.push(entry(seq, seq));
+        }
+        s.vfp = vec![1, 3, 5];
+        let removed = s.squash_younger_than(2);
+        assert_eq!(removed, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.vfp, vec![1]);
+    }
+
+    #[test]
+    fn first_not_done_respects_pending_and_ready_time() {
+        let mut s = ThreadSched::new(8);
+        let mut a = entry(0, 0); // done (issued producers completed)
+        a.ready_time = 5;
+        let mut b = entry(1, 1); // waiting on an unissued producer
+        b.pending = 1;
+        let mut c = entry(2, 2); // waiting on an in-flight result
+        c.ready_time = 20;
+        s.entries.extend([a, b, c]);
+        assert_eq!(s.first_not_done(10).unwrap().seq, 1);
+        s.entries.remove(1);
+        assert_eq!(s.first_not_done(10).unwrap().seq, 2);
+        assert!(s.first_not_done(30).is_none());
+    }
+}

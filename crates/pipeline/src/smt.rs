@@ -8,7 +8,11 @@
 //! [`SmtCore`] is a thin wrapper over the unified
 //! [`Engine`](crate::Engine) — the sharing model (partitioned ROB/LDQ/STQ,
 //! shared RS/ports/caches, round-robin fetch/dispatch/commit arbitration)
-//! is documented there.
+//! is documented there. The shared reservation stations are physically
+//! per-thread partitions with one global dispatch-stamp-ordered ready
+//! queue (see `pipeline::sched`); the *capacity* stays shared — dispatch
+//! blocks on total RS occupancy — so the SMT contention behaviour is
+//! exactly that of the historical unified RS vector.
 
 use crate::engine::Engine;
 use crate::observer::StageObserver;

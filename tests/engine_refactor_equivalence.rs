@@ -1,0 +1,170 @@
+//! Golden-stack equivalence: the scheduler overhaul (PR 4) must not move a
+//! single bit of the accounting. Every SPEC and DeepBench profile runs on
+//! every core preset with 1- and 2-thread engines, and the cycle counts,
+//! all stage CPI stacks and the FLOPS stacks are hashed and compared
+//! against values pinned from the pre-refactor engine.
+//!
+//! Regenerate the goldens (only legitimate when the simulated
+//! micro-architecture itself changes, never for a pure optimization) with:
+//!
+//! ```text
+//! MSTACKS_BLESS=1 cargo test --test engine_refactor_equivalence
+//! ```
+
+use mstacks::core::{Session, ThreadReport, COMPONENTS, FLOPS_COMPONENTS};
+use mstacks::model::CoreConfig;
+use mstacks::workloads::{deepbench, spec, ConvPhase, GemmStyle, RnnCell, Workload};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SPEC_UOPS: u64 = 3_000;
+const DEEPBENCH_UOPS: u64 = 2_000;
+
+fn cores() -> [CoreConfig; 3] {
+    [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ]
+}
+
+/// The DeepBench kernel set of `tests/conservation_audit.rs`, vectorized
+/// for the core at hand.
+fn deepbench_workloads(cfg: &CoreConfig) -> Vec<Workload> {
+    let lanes = (cfg.vector_bits / 32) as u8;
+    let style = if cfg.name == "knl" {
+        GemmStyle::KnlJit
+    } else {
+        GemmStyle::SkxBroadcast
+    };
+    vec![
+        Workload::Gemm {
+            cfg: deepbench::sgemm_train_configs()[0],
+            style,
+            lanes,
+        },
+        Workload::Conv {
+            cfg: deepbench::conv_configs()[0],
+            phase: ConvPhase::Forward,
+            lanes,
+        },
+        Workload::Rnn {
+            cfg: deepbench::rnn_configs()[0],
+            cell: RnnCell::Lstm,
+            lanes,
+        },
+    ]
+}
+
+/// FNV-1a over raw `f64` bit patterns: any change to any component of a
+/// stack — even in the last ulp — changes the digest.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn f64(&mut self, v: f64) {
+        for b in v.to_bits().to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// One golden line per hardware thread: clear-text cycle/uop/flop counts
+/// plus one digest per stage stack and one for the FLOPS stack.
+fn thread_line(key: &str, tid: usize, t: &ThreadReport) -> String {
+    let mut line = format!(
+        "{key} thread={tid} cycles={} uops={} flops={}",
+        t.result.cycles, t.result.committed_uops, t.result.committed_flops
+    );
+    let fetch = t.multi.fetch.as_ref().expect("fetch stack present");
+    for (name, stack) in [
+        ("fetch", fetch),
+        ("dispatch", &t.multi.dispatch),
+        ("issue", &t.multi.issue),
+        ("commit", &t.multi.commit),
+    ] {
+        let mut h = Fnv::new();
+        for c in COMPONENTS {
+            h.f64(stack.cycles_of(c));
+        }
+        let _ = write!(line, " {name}={}", h.hex());
+    }
+    let mut h = Fnv::new();
+    for c in FLOPS_COMPONENTS {
+        h.f64(t.flops.cycles_of(c));
+    }
+    let _ = write!(line, " flops_stack={}", h.hex());
+    line
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/engine_stacks.golden")
+}
+
+fn generate() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Pinned pre-refactor engine output: profile x core x threads -> \
+         cycles + stack digests.\n# Regenerate: MSTACKS_BLESS=1 cargo test \
+         --test engine_refactor_equivalence\n",
+    );
+    for cfg in cores() {
+        let mut workloads: Vec<(Workload, u64)> =
+            spec::all().into_iter().map(|w| (w, SPEC_UOPS)).collect();
+        workloads.extend(
+            deepbench_workloads(&cfg)
+                .into_iter()
+                .map(|w| (w, DEEPBENCH_UOPS)),
+        );
+        for (w, uops) in workloads {
+            for n_threads in [1usize, 2] {
+                let traces = (0..n_threads).map(|_| w.trace(uops)).collect();
+                let report = Session::new(cfg.clone())
+                    .run_threads(traces)
+                    .unwrap_or_else(|e| panic!("{} on {} x{}: {e}", w.name(), cfg.name, n_threads));
+                let key = format!("{} core={} threads={}", w.name(), cfg.name, n_threads);
+                for (tid, t) in report.threads.iter().enumerate() {
+                    out.push_str(&thread_line(&key, tid, t));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn stacks_are_bit_identical_to_pre_refactor_goldens() {
+    let path = golden_path();
+    let actual = generate();
+    if std::env::var("MSTACKS_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("parent dir")).expect("mkdir goldens");
+        std::fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    if expected == actual {
+        return;
+    }
+    // Pinpoint the first divergence for the failure message.
+    for (ln, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "stack digests diverge from the pre-refactor engine (line {})",
+            ln + 1
+        );
+    }
+    assert_eq!(
+        expected.lines().count(),
+        actual.lines().count(),
+        "golden file and generated output differ in length"
+    );
+}
