@@ -1,17 +1,22 @@
 //! Differential + metamorphic verification sweep.
 //!
 //! Part 1 — **differential oracle**: every SPEC-like profile and a set of
-//! DeepBench kernels run on BDW/KNL/SKX through two independent models —
-//! the cycle-level engine and the analytical first-order oracle
-//! (`mstacks-oracle`). Each CPI component must agree within its tolerance
-//! band (DESIGN.md §9); any divergence is an attribution bug in one of
-//! the two code paths.
+//! DeepBench kernels run on all five shipped cores (BDW/KNL/SKX plus the
+//! table-only zen/atom) through two independent models — the cycle-level
+//! engine and the analytical first-order oracle (`mstacks-oracle`). Each
+//! CPI component must agree within its tolerance band (DESIGN.md §9), and
+//! the OSACA-style static port-pressure bound must bracket the engine's
+//! issue-stage CPI; any divergence is an attribution bug in one of the
+//! two code paths. The cores are loaded from their shipped `.core`
+//! tables, so the sweep also exercises the declarative table path.
 //!
 //! Part 2 — **metamorphic fuzz**: a seeded fuzzer generates ~100
 //! randomized valid core configurations (`CoreConfig::fuzz`) and asserts
 //! the paper's structural invariants on simulator output: conservation,
 //! stage-total consistency, idealization monotonicity, FLOPS ≤ peak, and
-//! SMT per-thread aggregation. Same seed ⇒ same configs ⇒ same verdicts.
+//! SMT per-thread aggregation — plus a table round-trip (dump ⇒ parse ⇒
+//! identical config) per fuzzed core. Same seed ⇒ same configs ⇒ same
+//! verdicts.
 //!
 //! Environment: `MSTACKS_UOPS` scales the differential runs,
 //! `MSTACKS_FUZZ_CONFIGS` (default 100) and `MSTACKS_FUZZ_SEED` (default
@@ -20,8 +25,10 @@
 use mstacks_bench::{par_map, sim_uops};
 use mstacks_core::Session;
 use mstacks_model::rng::SmallRng;
-use mstacks_model::{CoreConfig, IdealFlags, IDEAL_KINDS};
-use mstacks_oracle::{crosscheck, invariants, predict, ToleranceBands, WorkloadSummary};
+use mstacks_model::{coretab, CoreConfig, IdealFlags, IDEAL_KINDS};
+use mstacks_oracle::{
+    crosscheck_static, invariants, predict, static_port_bound, ToleranceBands, WorkloadSummary,
+};
 use mstacks_workloads::{spec, ConvPhase, GemmStyle, Workload};
 use std::process::ExitCode;
 
@@ -57,11 +64,13 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn main() -> ExitCode {
     let uops = sim_uops().min(120_000);
     let bands = ToleranceBands::default();
-    let cores = [
-        CoreConfig::broadwell(),
-        CoreConfig::knights_landing(),
-        CoreConfig::skylake_server(),
-    ];
+    // Every core comes from its shipped declarative table — the three
+    // presets (bit-identical to the constructors) and the two table-only
+    // machines. No construction path escapes the sweep.
+    let cores: Vec<CoreConfig> = coretab::BUILTIN_NAMES
+        .iter()
+        .map(|name| coretab::builtin(name).expect("shipped table"))
+        .collect();
 
     // ---- Part 1: differential oracle sweep -----------------------------
     let mut workloads = spec::all();
@@ -79,10 +88,11 @@ fn main() -> ExitCode {
     let results = par_map(&points, |(w, cfg)| {
         let summary = WorkloadSummary::profile(cfg, IdealFlags::none(), w.trace(uops));
         let prediction = predict(cfg, &summary);
+        let bound = static_port_bound(cfg, IdealFlags::none(), &summary);
         let report = Session::new(cfg.clone())
             .run(w.trace(uops))
             .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), cfg.name));
-        let cmp = crosscheck(&prediction, &report.multi, &bands);
+        let cmp = crosscheck_static(&prediction, &bound, &report.multi, &bands);
         (w.name(), cfg.name.clone(), cmp)
     });
 
@@ -122,6 +132,12 @@ fn main() -> ExitCode {
         let w = &profiles[i % profiles.len()];
         let label = format!("fuzz#{i}:{}", w.name());
         let mut v = Vec::new();
+
+        // Table round-trip: dumping any valid config as a `.core` table
+        // and parsing it back must reproduce the config exactly.
+        if let Err(e) = coretab::roundtrip(cfg) {
+            v.push(format!("{label}: table round-trip failed: {e}"));
+        }
 
         let base = match Session::new(cfg.clone()).run(w.trace(fuzz_uops)) {
             Ok(r) => r,

@@ -6,14 +6,16 @@
 
 use mstacks_bench::{sim_uops, Sweep};
 use mstacks_core::COMPONENTS;
-use mstacks_model::{CoreConfig, IdealFlags};
+use mstacks_model::{coretab, IdealFlags};
 use mstacks_stats::{render::cpi_stack_lines, TextTable};
 use mstacks_workloads::spec;
 
 fn main() {
     let uops = sim_uops();
     let w = spec::mcf();
-    let cfg = CoreConfig::broadwell();
+    // Loaded from the shipped declarative table (not the constructor), so
+    // the perf-smoke CI job also covers table-loading startup cost.
+    let cfg = coretab::builtin("bdw").expect("shipped bdw table");
     let r = Sweep::new()
         .point(w.clone(), cfg.clone(), IdealFlags::none(), uops)
         .run()

@@ -171,6 +171,26 @@ impl Sweep {
         sweep
     }
 
+    /// [`Sweep::product`] with the core configurations loaded from
+    /// `.core` table files instead of constructed in code — experiment
+    /// batches over machines that exist only as data.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first table that fails to load, parse or validate.
+    pub fn product_from_files(
+        workloads: &[Workload],
+        core_files: &[impl AsRef<std::path::Path>],
+        ideals: &[IdealFlags],
+        uops: u64,
+    ) -> Result<Self, mstacks_model::TableError> {
+        let cfgs = core_files
+            .iter()
+            .map(CoreConfig::from_core_file)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::product(workloads, &cfgs, ideals, uops))
+    }
+
     /// Appends one point (builder style) — for irregular sweeps that are
     /// not a full product.
     pub fn point(
@@ -260,6 +280,38 @@ mod tests {
         assert_eq!(labels[1], "mcf on bdw [perfect-dcache]");
         assert_eq!(labels[2], "mcf on knl [baseline]");
         assert_eq!(labels[4], "gcc on bdw [baseline]");
+    }
+
+    #[test]
+    fn product_from_files_matches_in_code_product() {
+        let dir = std::env::temp_dir().join("mstacks-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for cfg in [CoreConfig::broadwell(), CoreConfig::knights_landing()] {
+            let p = dir.join(format!("{}.core", cfg.name));
+            std::fs::write(&p, cfg.to_table()).unwrap();
+            paths.push(p);
+        }
+        let from_files =
+            Sweep::product_from_files(&[spec::mcf()], &paths, &[IdealFlags::none()], 1_000)
+                .expect("tables load");
+        let in_code = Sweep::product(
+            &[spec::mcf()],
+            &[CoreConfig::broadwell(), CoreConfig::knights_landing()],
+            &[IdealFlags::none()],
+            1_000,
+        );
+        assert_eq!(from_files.len(), in_code.len());
+        for (a, b) in from_files.points().iter().zip(in_code.points()) {
+            assert_eq!(a.cfg, b.cfg);
+        }
+        assert!(Sweep::product_from_files(
+            &[spec::mcf()],
+            &[dir.join("missing.core")],
+            &[IdealFlags::none()],
+            1_000,
+        )
+        .is_err());
     }
 
     #[test]

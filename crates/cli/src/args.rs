@@ -60,6 +60,13 @@ impl Options {
                         .ok_or_else(|| CliError::new("--core needs a value"))?;
                     core = parse_core(v)?;
                 }
+                "--core-file" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::new("--core-file needs a path"))?;
+                    core =
+                        CoreConfig::from_core_file(v).map_err(|e| CliError::new(e.to_string()))?;
+                }
                 "--uops" => {
                     let v = it
                         .next()
@@ -123,14 +130,14 @@ impl Options {
 }
 
 pub fn parse_core(v: &str) -> Result<CoreConfig, CliError> {
-    match v {
-        "bdw" => Ok(CoreConfig::broadwell()),
-        "knl" => Ok(CoreConfig::knights_landing()),
-        "skx" => Ok(CoreConfig::skylake_server()),
-        other => Err(CliError::new(format!(
-            "unknown core `{other}` (use bdw, knl or skx)"
-        ))),
-    }
+    // Every built-in core resolves through its shipped `.core` table —
+    // the CLI is a table consumer, with no path to the constructors.
+    mstacks_model::coretab::builtin(v).ok_or_else(|| {
+        CliError::new(format!(
+            "unknown core `{v}` (use {})",
+            mstacks_model::coretab::BUILTIN_NAMES.join(", ")
+        ))
+    })
 }
 
 fn parse_ideal(v: &str) -> Result<IdealFlags, CliError> {
@@ -211,6 +218,31 @@ mod tests {
         assert!(o.json);
         assert!(o.audit);
         assert_eq!(o.trace_out.as_deref(), Some("/tmp/trace.jsonl"));
+    }
+
+    #[test]
+    fn table_only_cores_resolve() {
+        // zen/atom have no constructor: --core reaches them through the
+        // embedded tables.
+        let o = Options::parse(&s(&["mcf", "--core", "zen"]), 1).unwrap();
+        assert_eq!(o.core.name, "zen");
+        assert_eq!(o.core.ports.len(), 11);
+        let o = Options::parse(&s(&["mcf", "--core", "atom"]), 1).unwrap();
+        assert_eq!(o.core.name, "atom");
+    }
+
+    #[test]
+    fn core_file_loads_a_table() {
+        let dir = std::env::temp_dir().join("mstacks-args-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("custom.core");
+        let mut cfg = CoreConfig::skylake_server();
+        cfg.name = "custom".to_string();
+        std::fs::write(&path, cfg.to_table()).unwrap();
+        let o = Options::parse(&s(&["mcf", "--core-file", path.to_str().unwrap()]), 1).unwrap();
+        assert_eq!(o.core, cfg);
+        assert!(Options::parse(&s(&["mcf", "--core-file", "/nonexistent.core"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--core-file"]), 1).is_err());
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! mstacks compare  <workload> [options]        one workload across all cores
 //! mstacks trace    <workload> [options]        dump the micro-op stream head
 //! mstacks crosscheck <workload> [options]      differential oracle vs simulator
+//! mstacks cores [list|dump <name>|check <f>…]  declarative core tables
 //!
 //! options:
-//!   --core bdw|knl|skx      core preset (default bdw)
+//!   --core NAME             built-in core table (default bdw)
+//!   --core-file PATH        load a .core table file instead
 //!   --uops N                micro-ops to simulate (default 300000)
 //!   --ideal FLAGS           comma list: icache,dcache,bpred,alu
 //!   --badspec MODE          ground-truth|simple|speculative
@@ -27,6 +29,7 @@ mod output;
 
 use args::{CliError, Options};
 use mstacks_core::{AuditOptions, AuditReport, Session};
+use mstacks_model::{coretab, CoreConfig};
 use mstacks_workloads::spec;
 use std::process::ExitCode;
 
@@ -89,9 +92,10 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             for w in spec::all() {
                 println!("  {}", w.name());
             }
-            println!("cores: bdw, knl, skx");
+            println!("cores: {}", coretab::BUILTIN_NAMES.join(", "));
             Ok(())
         }
+        "cores" => cores_command(&argv[1..]),
         "simulate" => {
             let opts = Options::parse(&argv[1..], 1)?;
             let w = opts.workload(0)?;
@@ -163,13 +167,15 @@ fn run(argv: &[String]) -> Result<(), CliError> {
                 w.trace(opts.uops),
             );
             let prediction = mstacks_oracle::predict(&opts.core, &summary);
+            let bound = mstacks_oracle::static_port_bound(&opts.core, opts.ideal, &summary);
             let report = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .audit(opts.audit)
                 .run(w.trace(opts.uops))
                 .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
-            let cmp = mstacks_oracle::crosscheck(
+            let cmp = mstacks_oracle::crosscheck_static(
                 &prediction,
+                &bound,
                 &report.multi,
                 &mstacks_oracle::ToleranceBands::default(),
             );
@@ -245,6 +251,60 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// `mstacks cores …` — the declarative machine-model toolbox:
+/// `list` the built-in tables, `dump` one as a canonical `.core` file,
+/// `check` (parse + validate + round-trip) table files on disk.
+fn cores_command(argv: &[String]) -> Result<(), CliError> {
+    match argv.first().map(String::as_str).unwrap_or("list") {
+        "list" => {
+            for name in coretab::BUILTIN_NAMES {
+                let cfg = args::parse_core(name)?;
+                println!(
+                    "{:<5} {}-wide, rob {:>3}, {:>2} ports, {} GHz  ({} lines)",
+                    name,
+                    cfg.dispatch_width,
+                    cfg.rob_size,
+                    cfg.ports.len(),
+                    cfg.freq_ghz,
+                    coretab::builtin_source(name)
+                        .expect("shipped table")
+                        .lines()
+                        .count(),
+                );
+            }
+            Ok(())
+        }
+        "dump" => {
+            let name = argv
+                .get(1)
+                .ok_or_else(|| CliError::new("usage: mstacks cores dump <name>"))?;
+            print!("{}", args::parse_core(name)?.to_table());
+            Ok(())
+        }
+        "check" => {
+            let paths = &argv[1..];
+            if paths.is_empty() {
+                return Err(CliError::new("usage: mstacks cores check <file.core>..."));
+            }
+            for path in paths {
+                let cfg = CoreConfig::from_core_file(path)
+                    .map_err(|e| CliError::new(format!("{path}: {e}")))?;
+                coretab::roundtrip(&cfg).map_err(|e| CliError::new(format!("{path}: {e}")))?;
+                println!(
+                    "{path}: ok — {} ({}-wide, {} ports)",
+                    cfg.name,
+                    cfg.dispatch_width,
+                    cfg.ports.len()
+                );
+            }
+            Ok(())
+        }
+        other => Err(CliError::new(format!(
+            "unknown cores subcommand `{other}` (use list, dump, check)"
+        ))),
+    }
+}
+
 fn print_help() {
     println!(
         "mstacks — multi-stage CPI stacks and FLOPS stacks (ISPASS 2018)\n\n\
@@ -256,8 +316,11 @@ fn print_help() {
          \x20 mstacks smt      <w0> <w1>  [--core C] [--uops N] [--json]\n\
          \x20 mstacks compare  <workload> [--uops N]\n\
          \x20 mstacks trace    <workload> [--uops N]\n\
-         \x20 mstacks crosscheck <workload> [--core C] [--uops N] [--ideal F] [--json]\n\n\
-         cores: bdw (Broadwell), knl (Knights Landing), skx (Skylake-SP)\n\
+         \x20 mstacks crosscheck <workload> [--core C] [--uops N] [--ideal F] [--json]\n\
+         \x20 mstacks cores [list | dump <name> | check <file.core>...]\n\n\
+         cores: bdw (Broadwell), knl (Knights Landing), skx (Skylake-SP),\n\
+         \x20      zen (Zen-class, table-only), atom (narrow in-order-class, table-only)\n\
+         \x20      — every core is a declarative table; --core-file PATH loads your own\n\
          ideal flags (comma list): icache, dcache, bpred, alu\n\
          badspec modes: ground-truth (default), simple, speculative\n\
          audit: --audit verifies per-cycle accounting invariants (all commands);\n\

@@ -133,6 +133,7 @@ fn crosscheck_json_schema_is_stable() {
         "depend",
         "microcode",
         "total",
+        "static-port",
     ]
     .iter()
     .map(|c| check(c))

@@ -210,6 +210,20 @@ impl Session {
         }
     }
 
+    /// A session on a core loaded from a `.core` table file — the
+    /// file-based twin of [`Session::new`], so experiment drivers can
+    /// take machine descriptions as data.
+    ///
+    /// # Errors
+    ///
+    /// Returns the table's parse or validation error (line-numbered where
+    /// possible).
+    pub fn from_core_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, mstacks_model::TableError> {
+        Ok(Session::new(CoreConfig::from_core_file(path)?))
+    }
+
     /// Sets the idealization flags (builder style).
     pub fn with_ideal(mut self, ideal: IdealFlags) -> Self {
         self.ideal = ideal;

@@ -1,0 +1,340 @@
+//! Declarative µop-class model: the tabular form of a core's execution
+//! resources.
+//!
+//! uops.info (Abel & Reineke) demonstrates that per-instruction
+//! latency/throughput/port-usage data is naturally *tabular*: one row per
+//! operation class with a latency, a pipelining flag and a set of eligible
+//! ports. This module gives the simulator that representation. Every
+//! micro-op kind maps onto one of [`UopClass::COUNT`] classes
+//! ([`UopClass::of`]), and a [`ClassTable`] holds one [`ClassSpec`] row
+//! per class — derived from a [`CoreConfig`]'s port capabilities and
+//! latency table by [`ClassTable::from_parts`], or parsed from a `.core`
+//! table file by [`crate::coretab`].
+//!
+//! The pipeline's port allocator and latency lookup consume the
+//! [`ClassTable`] (not the raw capability bits), so a core loaded from a
+//! table file drives the engine through exactly the same data path as a
+//! built-in preset. The derivation preserves the engine's historical
+//! semantics bit-for-bit: `Nop` and `Load` execute in 1 cycle (address
+//! generation; the memory hierarchy adds the rest of a load's latency),
+//! `FpOpKind::Other` prices as an FP add, and only the divide classes are
+//! unpipelined.
+
+use crate::config::{CoreConfig, LatencyTable};
+use crate::ports::{caps, PortSpec};
+use crate::uop::{AluClass, FpOpKind, UopKind, VecFpOp};
+
+/// One row key of the class table: the µop classes the machine model
+/// distinguishes for port binding and execution latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopClass {
+    /// No-op (still occupies an issue slot and an ALU port).
+    Nop,
+    /// Simple integer ALU op.
+    IntAdd,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (unpipelined).
+    IntDiv,
+    /// Address arithmetic.
+    Lea,
+    /// Branch resolution.
+    Branch,
+    /// Load address generation (the hierarchy adds the access latency).
+    Load,
+    /// Store execution.
+    Store,
+    /// Scalar/vector FP add (also prices `FpOpKind::Other`).
+    FpAdd,
+    /// Scalar/vector FP multiply.
+    FpMul,
+    /// Scalar/vector fused multiply-add.
+    FpFma,
+    /// Scalar/vector FP divide (unpipelined).
+    FpDiv,
+    /// Vector integer / shuffle / broadcast.
+    VecInt,
+}
+
+/// All classes, in canonical table-row order.
+pub const UOP_CLASSES: [UopClass; UopClass::COUNT] = [
+    UopClass::Nop,
+    UopClass::IntAdd,
+    UopClass::IntMul,
+    UopClass::IntDiv,
+    UopClass::Lea,
+    UopClass::Branch,
+    UopClass::Load,
+    UopClass::Store,
+    UopClass::FpAdd,
+    UopClass::FpMul,
+    UopClass::FpFma,
+    UopClass::FpDiv,
+    UopClass::VecInt,
+];
+
+impl UopClass {
+    /// Number of µop classes.
+    pub const COUNT: usize = 13;
+
+    /// The class of a micro-op kind.
+    pub fn of(kind: &UopKind) -> UopClass {
+        match kind {
+            UopKind::Nop => UopClass::Nop,
+            UopKind::IntAlu(AluClass::Add) => UopClass::IntAdd,
+            UopKind::IntAlu(AluClass::Mul) => UopClass::IntMul,
+            UopKind::IntAlu(AluClass::Div) => UopClass::IntDiv,
+            UopKind::IntAlu(AluClass::Lea) => UopClass::Lea,
+            UopKind::Branch(_) => UopClass::Branch,
+            UopKind::Load { .. } => UopClass::Load,
+            UopKind::Store { .. } => UopClass::Store,
+            UopKind::ScalarFp(op) | UopKind::VecFp(VecFpOp { op, .. }) => match op {
+                FpOpKind::Add | FpOpKind::Other => UopClass::FpAdd,
+                FpOpKind::Mul => UopClass::FpMul,
+                FpOpKind::Fma => UopClass::FpFma,
+                FpOpKind::Div => UopClass::FpDiv,
+            },
+            UopKind::VecInt => UopClass::VecInt,
+        }
+    }
+
+    /// Dense index into per-class arrays (row order of [`UOP_CLASSES`]).
+    pub fn index(self) -> usize {
+        UOP_CLASSES
+            .iter()
+            .position(|&c| c == self)
+            .expect("every class is listed")
+    }
+
+    /// The port-capability bit an op of this class requires.
+    pub fn cap(self) -> u16 {
+        match self {
+            UopClass::Nop | UopClass::IntAdd | UopClass::Lea => caps::INT_ALU,
+            UopClass::IntMul => caps::INT_MUL,
+            UopClass::IntDiv => caps::INT_DIV,
+            UopClass::Branch => caps::BRANCH,
+            UopClass::Load => caps::LOAD,
+            UopClass::Store => caps::STORE,
+            UopClass::FpAdd | UopClass::FpMul | UopClass::FpFma | UopClass::FpDiv => caps::VEC_FP,
+            UopClass::VecInt => caps::VEC_INT,
+        }
+    }
+
+    /// Table-row name of this class (the `.core` file spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            UopClass::Nop => "nop",
+            UopClass::IntAdd => "int_add",
+            UopClass::IntMul => "int_mul",
+            UopClass::IntDiv => "int_div",
+            UopClass::Lea => "lea",
+            UopClass::Branch => "branch",
+            UopClass::Load => "load",
+            UopClass::Store => "store",
+            UopClass::FpAdd => "fp_add",
+            UopClass::FpMul => "fp_mul",
+            UopClass::FpFma => "fp_fma",
+            UopClass::FpDiv => "fp_div",
+            UopClass::VecInt => "vec_int",
+        }
+    }
+
+    /// Inverse of [`UopClass::name`].
+    pub fn from_name(s: &str) -> Option<UopClass> {
+        UOP_CLASSES.iter().copied().find(|c| c.name() == s)
+    }
+}
+
+impl std::fmt::Display for UopClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of the class table: how ops of one class execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// Execution latency in cycles.
+    pub latency: u32,
+    /// `false` when an op blocks its port for the full latency.
+    pub pipelined: bool,
+    /// Eligible ports as a bitmask over port indices (bit `i` = the
+    /// `i`-th port of the core can execute this class).
+    pub port_mask: u32,
+}
+
+impl ClassSpec {
+    /// Port indices in the mask, in issue-priority (ascending) order.
+    pub fn ports(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..u32::BITS as usize).filter(|&i| self.port_mask >> i & 1 == 1)
+    }
+}
+
+/// The declarative execution model of one core: a [`ClassSpec`] per µop
+/// class, plus the port count and the vector-unit port mask. This is what
+/// the pipeline's port allocator and latency lookup consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassTable {
+    specs: [ClassSpec; UopClass::COUNT],
+    n_ports: usize,
+    vpu_mask: u32,
+}
+
+impl ClassTable {
+    /// Derives the table from a port list and a latency table, preserving
+    /// the engine's historical semantics exactly: a class may issue on
+    /// every port supporting its capability bit, `Nop`/`Load` execute in
+    /// 1 cycle, and only the divide classes are unpipelined.
+    pub fn from_parts(ports: &[PortSpec], lat: &LatencyTable) -> Self {
+        assert!(
+            ports.len() <= u32::BITS as usize,
+            "at most 32 execution ports supported"
+        );
+        let mask_for = |cap: u16| -> u32 {
+            ports
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.supports(cap))
+                .fold(0u32, |m, (i, _)| m | 1 << i)
+        };
+        let mut specs = [ClassSpec {
+            latency: 0,
+            pipelined: true,
+            port_mask: 0,
+        }; UopClass::COUNT];
+        for c in UOP_CLASSES {
+            specs[c.index()] = ClassSpec {
+                latency: match c {
+                    UopClass::Nop | UopClass::Load => 1,
+                    UopClass::IntAdd => lat.int_add,
+                    UopClass::IntMul => lat.int_mul,
+                    UopClass::IntDiv => lat.int_div,
+                    UopClass::Lea => lat.lea,
+                    UopClass::Branch => lat.branch,
+                    UopClass::Store => lat.store,
+                    UopClass::FpAdd => lat.fp_add,
+                    UopClass::FpMul => lat.fp_mul,
+                    UopClass::FpFma => lat.fp_fma,
+                    UopClass::FpDiv => lat.fp_div,
+                    UopClass::VecInt => lat.vec_int,
+                },
+                pipelined: !matches!(c, UopClass::IntDiv | UopClass::FpDiv),
+                port_mask: mask_for(c.cap()),
+            };
+        }
+        ClassTable {
+            specs,
+            n_ports: ports.len(),
+            vpu_mask: mask_for(caps::VEC_FP),
+        }
+    }
+
+    /// The row for class `c`.
+    pub fn spec(&self, c: UopClass) -> ClassSpec {
+        self.specs[c.index()]
+    }
+
+    /// Execution latency for a micro-op kind (identical to
+    /// [`LatencyTable::exec_latency`] on derived tables).
+    pub fn latency_of(&self, kind: &UopKind) -> u32 {
+        self.specs[UopClass::of(kind).index()].latency
+    }
+
+    /// Number of execution ports.
+    pub fn n_ports(&self) -> usize {
+        self.n_ports
+    }
+
+    /// Bitmask of ports hosting a vector FP unit.
+    pub fn vpu_mask(&self) -> u32 {
+        self.vpu_mask
+    }
+
+    /// Whether port `idx` hosts a vector FP unit.
+    pub fn is_vpu_port(&self, idx: usize) -> bool {
+        self.vpu_mask >> idx & 1 == 1
+    }
+}
+
+impl CoreConfig {
+    /// The declarative class table this configuration induces — the form
+    /// the pipeline's port allocator and latency lookup consume.
+    pub fn class_table(&self) -> ClassTable {
+        ClassTable::from_parts(&self.ports, &self.lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::ElemType;
+
+    #[test]
+    fn every_kind_maps_to_a_class() {
+        let kinds = [
+            UopKind::Nop,
+            UopKind::IntAlu(AluClass::Add),
+            UopKind::IntAlu(AluClass::Mul),
+            UopKind::IntAlu(AluClass::Div),
+            UopKind::IntAlu(AluClass::Lea),
+            UopKind::Load { addr: 0 },
+            UopKind::Store { addr: 0 },
+            UopKind::ScalarFp(FpOpKind::Other),
+            UopKind::VecFp(VecFpOp::fma(8, ElemType::F32)),
+            UopKind::VecInt,
+        ];
+        for k in &kinds {
+            let c = UopClass::of(k);
+            assert_eq!(UOP_CLASSES[c.index()], c);
+            assert_eq!(UopClass::from_name(c.name()), Some(c));
+        }
+        // `Other` prices as an FP add — same class.
+        assert_eq!(
+            UopClass::of(&UopKind::ScalarFp(FpOpKind::Other)),
+            UopClass::FpAdd
+        );
+    }
+
+    #[test]
+    fn derived_table_matches_latency_table() {
+        let cfg = CoreConfig::broadwell();
+        let table = cfg.class_table();
+        for kind in [
+            UopKind::Nop,
+            UopKind::IntAlu(AluClass::Div),
+            UopKind::Load { addr: 64 },
+            UopKind::Store { addr: 64 },
+            UopKind::ScalarFp(FpOpKind::Fma),
+            UopKind::ScalarFp(FpOpKind::Other),
+            UopKind::VecInt,
+        ] {
+            assert_eq!(table.latency_of(&kind), cfg.lat.exec_latency(&kind));
+        }
+    }
+
+    #[test]
+    fn only_divides_are_unpipelined() {
+        let table = CoreConfig::skylake_server().class_table();
+        for c in UOP_CLASSES {
+            let want_unpipelined = matches!(c, UopClass::IntDiv | UopClass::FpDiv);
+            assert_eq!(table.spec(c).pipelined, !want_unpipelined, "{c}");
+        }
+    }
+
+    #[test]
+    fn port_masks_follow_capabilities() {
+        let cfg = CoreConfig::broadwell();
+        let table = cfg.class_table();
+        // BDW ports: p5, p6, p0, p1, load, load, store (vec order 0..6).
+        assert_eq!(table.n_ports(), 7);
+        assert_eq!(table.spec(UopClass::IntAdd).port_mask, 0b000_1111);
+        assert_eq!(table.spec(UopClass::Branch).port_mask, 0b000_0010);
+        assert_eq!(table.spec(UopClass::Load).port_mask, 0b011_0000);
+        assert_eq!(table.spec(UopClass::Store).port_mask, 0b100_0000);
+        assert_eq!(table.spec(UopClass::FpFma).port_mask, 0b000_1100);
+        assert_eq!(table.vpu_mask(), 0b000_1100);
+        assert!(table.is_vpu_port(2) && !table.is_vpu_port(0));
+        let fma_ports: Vec<usize> = table.spec(UopClass::FpFma).ports().collect();
+        assert_eq!(fma_ports, vec![2, 3]);
+    }
+}

@@ -103,6 +103,67 @@ impl PrefetchConfig {
     }
 }
 
+/// Builds the memory hierarchy shared by every preset: the L1 geometry
+/// and prefetcher setup are identical across BDW/KNL/SKX (32 KiB 8-way
+/// L1s, stride + next-line prefetching); only the L1D MSHR depth, the
+/// outer levels, DRAM timing and the TLBs differ per core. Table files
+/// (`cores/*.core`) spell out every field; this helper is the single
+/// construction path the hand-written presets map onto.
+fn preset_mem(
+    l1d_mshrs: u32,
+    l2: CacheConfig,
+    l3: Option<CacheConfig>,
+    dram_latency: u32,
+    dram_bytes_per_cycle: f64,
+    itlb: TlbConfig,
+    dtlb: TlbConfig,
+) -> MemConfig {
+    MemConfig {
+        l1i: CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 4,
+        },
+        l1d: CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 4,
+            mshrs: l1d_mshrs,
+        },
+        l2,
+        l3,
+        dram_latency,
+        dram_bytes_per_cycle,
+        prefetch: PrefetchConfig {
+            stride_enabled: true,
+            stride_degree: 4,
+            stride_threshold: 2,
+            next_line_enabled: true,
+        },
+        itlb,
+        dtlb,
+    }
+}
+
+/// The server-class TLB pair shared by the BDW and SKX presets.
+fn server_tlbs() -> (TlbConfig, TlbConfig) {
+    (
+        TlbConfig {
+            entries: 128,
+            assoc: 4,
+            walk_cycles: 20,
+        },
+        TlbConfig {
+            entries: 64,
+            assoc: 4,
+            walk_cycles: 26,
+        },
+    )
+}
+
 /// Memory-hierarchy configuration: three or four levels plus DRAM.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
@@ -319,10 +380,34 @@ impl CoreConfig {
                 "issue width cannot exceed the number of ports",
             ));
         }
+        for (i, p) in self.ports.iter().enumerate() {
+            if p.caps == 0 {
+                return Err(ConfigError::new(format!(
+                    "port {i}: empty capability mask (port can execute nothing)"
+                )));
+            }
+            if p.caps & !caps::ALL != 0 {
+                return Err(ConfigError::new(format!(
+                    "port {i}: capability mask {:#x} references undefined unit bits {:#x}",
+                    p.caps,
+                    p.caps & !caps::ALL
+                )));
+            }
+        }
         for cap in [caps::INT_ALU, caps::LOAD, caps::STORE, caps::BRANCH] {
             if !self.ports.iter().any(|p| p.supports(cap)) {
                 return Err(ConfigError::new(format!(
                     "no port supports capability bit {cap:#x}"
+                )));
+            }
+        }
+        // Unpipelined ops monopolize a port for their whole latency; a
+        // zero latency would make that occupancy vanish and break the
+        // static port-pressure bound (DESIGN.md §11).
+        for (name, lat) in [("int_div", self.lat.int_div), ("fp_div", self.lat.fp_div)] {
+            if lat == 0 {
+                return Err(ConfigError::new(format!(
+                    "{name}: unpipelined op cannot have zero latency"
                 )));
             }
         }
@@ -454,55 +539,31 @@ impl CoreConfig {
                 btb_ways: 4,
                 ras_entries: 16,
             },
-            mem: MemConfig {
-                l1i: CacheConfig {
-                    size_bytes: 32 * 1024,
-                    assoc: 8,
-                    line_bytes: 64,
-                    latency: 1,
-                    mshrs: 4,
-                },
-                l1d: CacheConfig {
-                    size_bytes: 32 * 1024,
-                    assoc: 8,
-                    line_bytes: 64,
-                    latency: 4,
-                    mshrs: 10,
-                },
-                l2: CacheConfig {
-                    size_bytes: 256 * 1024,
-                    assoc: 8,
-                    line_bytes: 64,
-                    latency: 12,
-                    mshrs: 16,
-                },
-                // 45 MB / 18 cores = 2.5 MB slice.
-                l3: Some(CacheConfig {
-                    size_bytes: 2560 * 1024,
-                    assoc: 20,
-                    line_bytes: 64,
-                    latency: 34,
-                    mshrs: 32,
-                }),
-                dram_latency: 170,
-                // ~76.8 GB/s socket / 18 cores at 2.3 GHz ≈ 1.9 B/cycle.
-                dram_bytes_per_cycle: 1.9,
-                itlb: TlbConfig {
-                    entries: 128,
-                    assoc: 4,
-                    walk_cycles: 20,
-                },
-                dtlb: TlbConfig {
-                    entries: 64,
-                    assoc: 4,
-                    walk_cycles: 26,
-                },
-                prefetch: PrefetchConfig {
-                    stride_enabled: true,
-                    stride_degree: 4,
-                    stride_threshold: 2,
-                    next_line_enabled: true,
-                },
+            mem: {
+                let (itlb, dtlb) = server_tlbs();
+                preset_mem(
+                    10,
+                    CacheConfig {
+                        size_bytes: 256 * 1024,
+                        assoc: 8,
+                        line_bytes: 64,
+                        latency: 12,
+                        mshrs: 16,
+                    },
+                    // 45 MB / 18 cores = 2.5 MB slice.
+                    Some(CacheConfig {
+                        size_bytes: 2560 * 1024,
+                        assoc: 20,
+                        line_bytes: 64,
+                        latency: 34,
+                        mshrs: 32,
+                    }),
+                    170,
+                    // ~76.8 GB/s socket / 18 cores at 2.3 GHz ≈ 1.9 B/cycle.
+                    1.9,
+                    itlb,
+                    dtlb,
+                )
             },
         };
         debug_assert!(cfg.validate().is_ok());
@@ -557,50 +618,31 @@ impl CoreConfig {
                 btb_ways: 4,
                 ras_entries: 16,
             },
-            mem: MemConfig {
-                l1i: CacheConfig {
-                    size_bytes: 32 * 1024,
-                    assoc: 8,
-                    line_bytes: 64,
-                    latency: 1,
-                    mshrs: 4,
-                },
-                l1d: CacheConfig {
-                    size_bytes: 32 * 1024,
-                    assoc: 8,
-                    line_bytes: 64,
-                    latency: 4,
-                    mshrs: 12,
-                },
+            mem: preset_mem(
+                12,
                 // 1 MB per 2-core tile → 512 KB per core.
-                l2: CacheConfig {
+                CacheConfig {
                     size_bytes: 512 * 1024,
                     assoc: 16,
                     line_bytes: 64,
                     latency: 17,
                     mshrs: 12,
                 },
-                l3: None,
-                dram_latency: 230,
+                None,
+                230,
                 // MCDRAM ~400 GB/s / 68 cores at 1.4 GHz ≈ 4.2 B/cycle.
-                dram_bytes_per_cycle: 4.2,
-                itlb: TlbConfig {
+                4.2,
+                TlbConfig {
                     entries: 64,
                     assoc: 4,
                     walk_cycles: 30,
                 },
-                dtlb: TlbConfig {
+                TlbConfig {
                     entries: 64,
                     assoc: 4,
                     walk_cycles: 38,
                 },
-                prefetch: PrefetchConfig {
-                    stride_enabled: true,
-                    stride_degree: 4,
-                    stride_threshold: 2,
-                    next_line_enabled: true,
-                },
-            },
+            ),
         };
         debug_assert!(cfg.validate().is_ok());
         cfg
@@ -657,55 +699,32 @@ impl CoreConfig {
                 btb_ways: 4,
                 ras_entries: 16,
             },
-            mem: MemConfig {
-                l1i: CacheConfig {
-                    size_bytes: 32 * 1024,
-                    assoc: 8,
-                    line_bytes: 64,
-                    latency: 1,
-                    mshrs: 4,
-                },
-                l1d: CacheConfig {
-                    size_bytes: 32 * 1024,
-                    assoc: 8,
-                    line_bytes: 64,
-                    latency: 4,
-                    mshrs: 12,
-                },
-                l2: CacheConfig {
-                    size_bytes: 1024 * 1024,
-                    assoc: 16,
-                    line_bytes: 64,
-                    latency: 14,
-                    mshrs: 16,
-                },
-                // 1.375 MB per core slice → round to a power-of-two set count.
-                l3: Some(CacheConfig {
-                    size_bytes: 1408 * 1024,
-                    assoc: 11,
-                    line_bytes: 64,
-                    latency: 50,
-                    mshrs: 32,
-                }),
-                dram_latency: 190,
-                // ~128 GB/s socket / 26 cores at 2.1 GHz ≈ 2.3 B/cycle.
-                dram_bytes_per_cycle: 2.3,
-                itlb: TlbConfig {
-                    entries: 128,
-                    assoc: 4,
-                    walk_cycles: 20,
-                },
-                dtlb: TlbConfig {
-                    entries: 64,
-                    assoc: 4,
-                    walk_cycles: 26,
-                },
-                prefetch: PrefetchConfig {
-                    stride_enabled: true,
-                    stride_degree: 4,
-                    stride_threshold: 2,
-                    next_line_enabled: true,
-                },
+            mem: {
+                let (itlb, dtlb) = server_tlbs();
+                preset_mem(
+                    12,
+                    CacheConfig {
+                        size_bytes: 1024 * 1024,
+                        assoc: 16,
+                        line_bytes: 64,
+                        latency: 14,
+                        mshrs: 16,
+                    },
+                    // 1.375 MB per core slice → round to a power-of-two set
+                    // count.
+                    Some(CacheConfig {
+                        size_bytes: 1408 * 1024,
+                        assoc: 11,
+                        line_bytes: 64,
+                        latency: 50,
+                        mshrs: 32,
+                    }),
+                    190,
+                    // ~128 GB/s socket / 26 cores at 2.1 GHz ≈ 2.3 B/cycle.
+                    2.3,
+                    itlb,
+                    dtlb,
+                )
             },
         };
         debug_assert!(cfg.validate().is_ok());
@@ -785,6 +804,32 @@ mod tests {
         let mut cfg = CoreConfig::broadwell();
         cfg.ports.retain(|p| !p.supports(caps::STORE));
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_undefined_capability_bits() {
+        let mut cfg = CoreConfig::broadwell();
+        cfg.ports.push(PortSpec::new(1 << 12));
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("undefined unit bits"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_empty_port_mask() {
+        let mut cfg = CoreConfig::broadwell();
+        cfg.ports.push(PortSpec::new(0));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_latency_unpipelined_ops() {
+        let mut cfg = CoreConfig::broadwell();
+        cfg.lat.int_div = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CoreConfig::broadwell();
+        cfg.lat.fp_div = 0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("zero latency"), "{err}");
     }
 
     #[test]

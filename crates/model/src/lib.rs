@@ -32,7 +32,9 @@
 //! assert!(nop.dst.is_none());
 //! ```
 
+pub mod classes;
 pub mod config;
+pub mod coretab;
 pub mod fuzz;
 pub mod ideal;
 pub mod ports;
@@ -40,10 +42,12 @@ pub mod reg;
 pub mod rng;
 pub mod uop;
 
+pub use classes::{ClassSpec, ClassTable, UopClass, UOP_CLASSES};
 pub use config::{
     BpredConfig, CacheConfig, ConfigError, CoreConfig, LatencyTable, MemConfig, PrefetchConfig,
     TlbConfig,
 };
+pub use coretab::TableError;
 pub use ideal::{IdealFlags, IdealKind, IDEAL_KINDS};
 pub use ports::{caps, PortSpec};
 pub use reg::ArchReg;

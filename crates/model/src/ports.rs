@@ -24,6 +24,13 @@ pub mod caps {
     pub const VEC_FP: u16 = 1 << 6;
     /// Vector integer / shuffle / broadcast unit.
     pub const VEC_INT: u16 = 1 << 7;
+
+    /// Every defined capability bit. Bits outside this mask reference a
+    /// functional unit that does not exist — [`CoreConfig::validate`]
+    /// rejects them.
+    ///
+    /// [`CoreConfig::validate`]: crate::CoreConfig::validate
+    pub const ALL: u16 = INT_ALU | INT_MUL | INT_DIV | BRANCH | LOAD | STORE | VEC_FP | VEC_INT;
 }
 
 /// Static description of one execution port.

@@ -22,11 +22,13 @@
 
 pub mod crosscheck;
 pub mod invariants;
+pub mod portpressure;
 pub mod predict;
 pub mod summary;
 pub mod tolerance;
 
 pub use crosscheck::{crosscheck, measured_interval};
+pub use portpressure::{crosscheck_static, port_bound_check, static_port_bound, StaticPortBound};
 pub use predict::{predict, OracleComponent, OraclePrediction, ORACLE_COMPONENTS};
 pub use summary::{MissProfile, WorkloadSummary};
 pub use tolerance::ToleranceBands;

@@ -1,0 +1,312 @@
+//! OSACA-style static port-pressure throughput bound.
+//!
+//! Static analyzers in the OSACA/uops.info tradition predict a kernel's
+//! steady-state throughput from tabular per-instruction port and latency
+//! data alone — no timing simulation. This module computes the same kind
+//! of bound from a [`WorkloadSummary`]'s per-class µop counts and the
+//! core's declarative class table, and the crosscheck harness uses it as
+//! a second differential axis against the cycle-level engine:
+//!
+//! ```text
+//!     issue-stage Base CPI  ≤  static bound CPI  ≤  issue-stage total CPI
+//! ```
+//!
+//! Both inequalities are theorems, not tolerances:
+//!
+//! * **Lower side.** The bound is `max(width bound, port bound)` and the
+//!   width bound is `1/W` (every stage drains at most its width per
+//!   cycle, so `cycles ≥ n/W` with `W` the accounting width) — which is
+//!   exactly the measured Base component of every stack.
+//! * **Upper side.** The engine issues at most one µop per port per
+//!   cycle, and an unpipelined µop monopolizes its port for its whole
+//!   latency; therefore the engine's cycle count is at least the minimal
+//!   makespan of scheduling the trace's port load. Wrong-path and replay
+//!   work only *add* engine cycles, so the bound stays below the
+//!   measured total even though the summary counts architectural µops
+//!   only.
+//!
+//! The minimal makespan with per-class port-eligibility sets is computed
+//! exactly: for divisible load, LP duality reduces it to
+//! `max over class subsets S of load(S) / |ports(S)|`, where `ports(S)`
+//! is the union of the eligible ports of the classes in `S` (a
+//! fractional relaxation — real schedules are integral, so the true
+//! engine makespan can only be larger, which keeps the bound on the safe
+//! side). With at most 13 classes the subset enumeration is at most 2¹³
+//! terms, and only classes that actually occur are enumerated.
+
+use crate::crosscheck::crosscheck;
+use crate::predict::OraclePrediction;
+use crate::summary::WorkloadSummary;
+use crate::tolerance::ToleranceBands;
+use mstacks_core::{Band, Component, ComponentCheck, Interval, MultiStackReport, StackComparison};
+use mstacks_model::{CoreConfig, IdealFlags, UopClass, UOP_CLASSES};
+
+/// The static throughput bound for one (core, workload) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticPortBound {
+    /// Width-limited CPI: `1 / accounting_width`.
+    pub width_cpi: f64,
+    /// Port-limited CPI: minimal port makespan divided by the µop count.
+    pub port_cpi: f64,
+    /// The bound itself: `max(width_cpi, port_cpi)`.
+    pub bound_cpi: f64,
+    /// Port mask (bit i = port i) of the binding port subset when the
+    /// bound is port-limited; 0 when the width bound dominates.
+    pub critical_ports: u32,
+    /// Port-cycles of demand per class (count × occupancy), indexed by
+    /// [`UopClass::index`].
+    pub per_class_load: [f64; UopClass::COUNT],
+}
+
+impl StaticPortBound {
+    /// Whether execution-port pressure (rather than pipeline width) is
+    /// the binding constraint.
+    pub fn port_limited(&self) -> bool {
+        self.port_cpi > self.width_cpi
+    }
+}
+
+/// Computes the static port-pressure bound for `summary` on `cfg` under
+/// `ideal` (the single-cycle-ALU idealization collapses the occupancy of
+/// unpipelined non-memory ops to one cycle, mirroring the engine).
+pub fn static_port_bound(
+    cfg: &CoreConfig,
+    ideal: IdealFlags,
+    summary: &WorkloadSummary,
+) -> StaticPortBound {
+    let table = cfg.class_table();
+    let mut per_class_load = [0.0f64; UopClass::COUNT];
+
+    // Active classes: (port mask, port-cycles of load).
+    let mut active: Vec<(u32, f64)> = Vec::new();
+    for c in UOP_CLASSES {
+        let n = summary.class_uops[c.index()];
+        if n == 0 {
+            continue;
+        }
+        let spec = table.spec(c);
+        // Pipelined ops occupy their port for one cycle regardless of
+        // latency; unpipelined ops block it for the whole (effective)
+        // latency. Loads/stores are memory ops, so single_cycle_alu never
+        // rewrites them — but no memory class is unpipelined anyway.
+        let occupancy = if spec.pipelined || ideal.single_cycle_alu {
+            1.0
+        } else {
+            f64::from(spec.latency)
+        };
+        let load = n as f64 * occupancy;
+        per_class_load[c.index()] = load;
+        active.push((spec.port_mask, load));
+    }
+
+    let width_cpi = 1.0 / f64::from(cfg.accounting_width());
+    let (mut makespan, mut critical_ports) = (0.0f64, 0u32);
+    for subset in 1u32..(1 << active.len()) {
+        let mut load = 0.0;
+        let mut ports = 0u32;
+        for (i, &(mask, l)) in active.iter().enumerate() {
+            if subset >> i & 1 == 1 {
+                load += l;
+                ports |= mask;
+            }
+        }
+        let span = if ports == 0 {
+            // A class with demand but no eligible port can never issue;
+            // the engine would deadlock. Unreachable for configurations
+            // whose traces it actually ran, kept as a guard.
+            f64::INFINITY
+        } else {
+            load / f64::from(ports.count_ones())
+        };
+        if span > makespan {
+            makespan = span;
+            critical_ports = ports;
+        }
+    }
+    let port_cpi = if summary.uops == 0 {
+        0.0
+    } else {
+        makespan / summary.uops as f64
+    };
+    if port_cpi <= width_cpi {
+        critical_ports = 0;
+    }
+    StaticPortBound {
+        width_cpi,
+        port_cpi,
+        bound_cpi: width_cpi.max(port_cpi),
+        critical_ports,
+        per_class_load,
+    }
+}
+
+/// The bracket check: the static bound must land between the issue
+/// stack's Base CPI and its total CPI. The band is a pure floating-point
+/// epsilon — both sides are mathematical inequalities, not model
+/// tolerances.
+pub fn port_bound_check(bound: &StaticPortBound, multi: &MultiStackReport) -> ComponentCheck {
+    let measured = Interval::new(multi.issue.cpi_of(Component::Base), multi.issue.total_cpi());
+    ComponentCheck::evaluate(
+        "static-port",
+        Interval::point(bound.bound_cpi),
+        measured,
+        Band::new(1e-6, 0.0),
+        multi.total_cpi(),
+    )
+}
+
+/// [`crosscheck`] with the static port-pressure bound appended as an
+/// extra differential axis.
+pub fn crosscheck_static(
+    prediction: &OraclePrediction,
+    bound: &StaticPortBound,
+    multi: &MultiStackReport,
+    bands: &ToleranceBands,
+) -> StackComparison {
+    let mut cmp = crosscheck(prediction, multi, bands);
+    cmp.checks.push(port_bound_check(bound, multi));
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_core::Session;
+    use mstacks_model::{AluClass, ArchReg, MicroOp, UopKind};
+
+    fn profile(trace: &[MicroOp], ideal: IdealFlags) -> (CoreConfig, WorkloadSummary) {
+        let cfg = CoreConfig::broadwell();
+        let s = WorkloadSummary::profile(&cfg, ideal, trace.iter().cloned());
+        (cfg, s)
+    }
+
+    fn adds(n: u64) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn alu_trace_is_width_bound() {
+        // Four ALU ports on BDW and accounting width 4: both bounds are
+        // 0.25, so the width bound dominates (ties go to width).
+        let (cfg, s) = profile(&adds(4_000), IdealFlags::none());
+        let b = static_port_bound(&cfg, IdealFlags::none(), &s);
+        assert!((b.width_cpi - 0.25).abs() < 1e-12);
+        assert!((b.port_cpi - 0.25).abs() < 1e-12);
+        assert!(!b.port_limited());
+        assert_eq!(b.critical_ports, 0);
+    }
+
+    #[test]
+    fn divides_are_port_bound_by_their_latency() {
+        // int_div: one eligible port, 21-cycle unpipelined occupancy →
+        // port CPI 21 regardless of width.
+        let trace: Vec<MicroOp> = (0..500u64)
+            .map(|i| {
+                MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Div))
+                    .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect();
+        let (cfg, s) = profile(&trace, IdealFlags::none());
+        let b = static_port_bound(&cfg, IdealFlags::none(), &s);
+        assert!((b.port_cpi - f64::from(cfg.lat.int_div)).abs() < 1e-12);
+        assert!(b.port_limited());
+        assert_ne!(b.critical_ports, 0);
+    }
+
+    #[test]
+    fn single_cycle_alu_collapses_divide_occupancy() {
+        let trace: Vec<MicroOp> = (0..500u64)
+            .map(|_| MicroOp::new(0x1000, UopKind::IntAlu(AluClass::Div)))
+            .collect();
+        let ideal = IdealFlags::none().with_single_cycle_alu();
+        let (cfg, s) = profile(&trace, ideal);
+        let b = static_port_bound(&cfg, ideal, &s);
+        // One eligible port, one-cycle occupancy → port CPI 1.
+        assert!((b.port_cpi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_union_beats_single_classes() {
+        // Loads (ports 4,5) and stores (port 6) individually bound CPI at
+        // 1/2 and 1/3 of the mix; the {load,store} subset shares 3 ports
+        // and with a 50/50 mix gives (n/2 + n/2) / 3 = n/3 port-cycles —
+        // but store alone gives (n/2)/1 = n/2, the true maximum. The
+        // enumeration must find it.
+        let trace: Vec<MicroOp> = (0..1_000u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    MicroOp::new(
+                        0x1000,
+                        UopKind::Load {
+                            addr: 0x8000 + (i % 64) * 8,
+                        },
+                    )
+                } else {
+                    MicroOp::new(
+                        0x1000,
+                        UopKind::Store {
+                            addr: 0x8000 + (i % 64) * 8,
+                        },
+                    )
+                }
+            })
+            .collect();
+        let (cfg, s) = profile(&trace, IdealFlags::none());
+        let b = static_port_bound(&cfg, IdealFlags::none(), &s);
+        assert!((b.port_cpi - 0.5).abs() < 1e-12, "port cpi {}", b.port_cpi);
+        // The binding subset is the store port alone.
+        assert_eq!(b.critical_ports, 1 << 6);
+    }
+
+    #[test]
+    fn bound_brackets_the_engine() {
+        for ideal in [
+            IdealFlags::none(),
+            IdealFlags::none().with_single_cycle_alu(),
+        ] {
+            for trace in [
+                adds(3_000),
+                (0..1_500u64)
+                    .map(|i| {
+                        MicroOp::new(0x1000 + (i % 32) * 4, {
+                            match i % 5 {
+                                0 => UopKind::Load {
+                                    addr: (i % 128) * 64,
+                                },
+                                1 => UopKind::Store {
+                                    addr: (i % 128) * 64,
+                                },
+                                2 => UopKind::IntAlu(AluClass::Mul),
+                                3 => UopKind::IntAlu(AluClass::Div),
+                                _ => UopKind::IntAlu(AluClass::Add),
+                            }
+                        })
+                        .with_dst(ArchReg::new((i % 8) as u16))
+                    })
+                    .collect(),
+            ] {
+                let (cfg, s) = profile(&trace, ideal);
+                let b = static_port_bound(&cfg, ideal, &s);
+                let report = Session::new(cfg)
+                    .with_ideal(ideal)
+                    .run(trace.into_iter())
+                    .expect("completes");
+                let check = port_bound_check(&b, &report.multi);
+                assert!(check.pass(), "bracket violated:\n{check}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_degenerate() {
+        let (cfg, s) = profile(&[], IdealFlags::none());
+        let b = static_port_bound(&cfg, IdealFlags::none(), &s);
+        assert_eq!(b.port_cpi, 0.0);
+        assert!((b.bound_cpi - b.width_cpi).abs() < 1e-12);
+    }
+}

@@ -9,7 +9,9 @@
 //! independent reference for the cycle-level engine.
 
 use mstacks_frontend::BranchPredictor;
-use mstacks_model::{ArchReg, CacheConfig, CoreConfig, IdealFlags, MicroOp, TlbConfig, UopKind};
+use mstacks_model::{
+    ArchReg, CacheConfig, CoreConfig, IdealFlags, MicroOp, TlbConfig, UopClass, UopKind,
+};
 use std::collections::HashMap;
 
 /// A tag-only set-associative LRU cache (no data, no timing).
@@ -138,6 +140,10 @@ pub struct WorkloadSummary {
     pub branches: u64,
     /// Micro-ops belonging to microcoded instructions.
     pub microcoded: u64,
+    /// Micro-op count per [`UopClass`] (indexed by [`UopClass::index`]) —
+    /// the inputs of the static port-pressure bound
+    /// ([`crate::portpressure`]).
+    pub class_uops: [u64; UopClass::COUNT],
     /// Vector floating-point operations (the FLOPS numerator).
     pub flops: u64,
     /// Mispredicted branches under the core's predictor (0 when the
@@ -202,6 +208,7 @@ impl WorkloadSummary {
             stores: 0,
             branches: 0,
             microcoded: 0,
+            class_uops: [0; UopClass::COUNT],
             flops: 0,
             mispredicts: 0,
             icache: MissProfile::default(),
@@ -247,6 +254,7 @@ impl WorkloadSummary {
 
         for u in trace {
             s.uops += 1;
+            s.class_uops[UopClass::of(&u.kind).index()] += 1;
             if u.microcoded {
                 s.microcoded += 1;
             }

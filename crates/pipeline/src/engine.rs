@@ -48,7 +48,7 @@ use crate::rob::{Rob, RobEntry};
 use crate::sched::{ReadyRef, RsEntry, ThreadSched};
 use mstacks_frontend::FrontendUnit;
 use mstacks_mem::{Hierarchy, HitLevel};
-use mstacks_model::{ArchReg, CoreConfig, IdealFlags, MicroOp, UopKind};
+use mstacks_model::{ArchReg, CoreConfig, IdealFlags, MicroOp, UopClass, UopKind};
 
 /// Cycles without a commit (on any thread) before the watchdog declares a
 /// deadlock. Hoisted here so every run path shares one constant.
@@ -130,6 +130,8 @@ pub struct Engine<I> {
     /// Waiting micro-ops across all threads (the shared-RS occupancy).
     rs_total: usize,
     ports: PortFile,
+    /// Execution latency per µop class, from the core's class table.
+    lat_by_class: [u64; UopClass::COUNT],
     cycle: u64,
     /// Per-thread scratch buffers for the issue views, reused each cycle.
     issued_bufs: Vec<Vec<IssuedInfo>>,
@@ -167,6 +169,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         let stq_part = (cfg.stq_size / n).max(1);
         let ldq_part = (cfg.ldq_size / n).max(1);
         assert!(rob_part > 0, "ROB partition too small");
+        // The engine consumes the declarative per-class table, not raw
+        // port specs: eligibility, pipelining and latencies all come from
+        // the same rows a `.core` file carries.
+        let classes = cfg.class_table();
         let mut mem = Hierarchy::new(&cfg.mem);
         mem.set_perfect_icache(ideal.perfect_icache);
         mem.set_perfect_dcache(ideal.perfect_dcache);
@@ -199,7 +205,14 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             woken: Vec::with_capacity(cfg.issue_width as usize),
             next_stamp: 0,
             rs_total: 0,
-            ports: PortFile::new(&cfg.ports),
+            ports: PortFile::new(&classes),
+            lat_by_class: {
+                let mut lat = [0u64; UopClass::COUNT];
+                for c in mstacks_model::UOP_CLASSES {
+                    lat[c.index()] = u64::from(classes.spec(c).latency);
+                }
+                lat
+            },
             cycle: 0,
             cfg,
         }
@@ -211,7 +224,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         if self.ideal.single_cycle_alu && !kind.is_mem() {
             1
         } else {
-            u64::from(self.cfg.lat.exec_latency(kind))
+            self.lat_by_class[UopClass::of(kind).index()]
         }
     }
 

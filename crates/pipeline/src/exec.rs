@@ -4,62 +4,49 @@
 //! (divides) additionally block their port until they complete. Structural
 //! port stalls surface in the issue-stage CPI stack as the `Other`
 //! component (paper §V-A).
+//!
+//! The port file is a consumer of the declarative machine description: it
+//! is built from a [`ClassTable`] (the per-µop-class latency/port rows a
+//! `.core` table carries, see `mstacks_model::coretab`), not from code
+//! that knows about specific cores. Eligibility and pipelining are looked
+//! up per [`UopClass`]; issue picks the lowest-indexed free eligible port,
+//! which is exactly the declaration order of the table's `[ports]` line.
 
-use mstacks_model::{caps, AluClass, FpOpKind, PortSpec, UopKind, VecFpOp};
+use mstacks_model::{caps, ClassTable, UopClass, UopKind};
 
 /// Resource class an op needs, as a [`caps`] bit.
 pub fn cap_for(kind: &UopKind) -> u16 {
-    match kind {
-        UopKind::Nop => caps::INT_ALU,
-        UopKind::IntAlu(AluClass::Add) | UopKind::IntAlu(AluClass::Lea) => caps::INT_ALU,
-        UopKind::IntAlu(AluClass::Mul) => caps::INT_MUL,
-        UopKind::IntAlu(AluClass::Div) => caps::INT_DIV,
-        UopKind::Branch(_) => caps::BRANCH,
-        UopKind::Load { .. } => caps::LOAD,
-        UopKind::Store { .. } => caps::STORE,
-        UopKind::ScalarFp(_) | UopKind::VecFp(_) => caps::VEC_FP,
-        UopKind::VecInt => caps::VEC_INT,
-    }
+    UopClass::of(kind).cap()
 }
 
 /// Whether this kind executes on a vector unit (for the FLOPS stack's
 /// `non_vfp` component the VPU occupancy matters, not just VFP ops).
 pub fn uses_vpu(kind: &UopKind) -> bool {
-    matches!(
-        kind,
-        UopKind::ScalarFp(_) | UopKind::VecFp(_) | UopKind::VecInt
-    )
+    matches!(cap_for(kind), caps::VEC_FP | caps::VEC_INT)
 }
 
 /// Whether an op monopolizes its port for the whole latency.
 pub fn unpipelined(kind: &UopKind) -> bool {
-    matches!(
-        kind,
-        UopKind::IntAlu(AluClass::Div)
-            | UopKind::ScalarFp(FpOpKind::Div)
-            | UopKind::VecFp(VecFpOp {
-                op: FpOpKind::Div,
-                ..
-            })
-    )
+    matches!(UopClass::of(kind), UopClass::IntDiv | UopClass::FpDiv)
 }
 
 #[derive(Debug, Clone, Copy)]
 struct PortState {
-    spec: PortSpec,
     busy_until: u64,
     used_this_cycle: bool,
 }
 
-/// The set of execution ports of one core.
+/// The set of execution ports of one core, with per-class eligibility.
 ///
 /// # Example
 ///
 /// ```
-/// use mstacks_model::{caps, PortSpec, UopKind, AluClass};
+/// use mstacks_model::{caps, ClassTable, CoreConfig, PortSpec, UopKind, AluClass};
 /// use mstacks_pipeline::PortFile;
 ///
-/// let mut ports = PortFile::new(&[PortSpec::new(caps::INT_ALU)]);
+/// let lat = CoreConfig::broadwell().lat;
+/// let table = ClassTable::from_parts(&[PortSpec::new(caps::INT_ALU)], &lat);
+/// let mut ports = PortFile::new(&table);
 /// ports.begin_cycle(0);
 /// let kind = UopKind::IntAlu(AluClass::Add);
 /// assert!(ports.try_issue(&kind, 0, 1).is_some());
@@ -68,34 +55,37 @@ struct PortState {
 #[derive(Debug, Clone)]
 pub struct PortFile {
     ports: Vec<PortState>,
-    /// For each capability bit (indexed by its trailing-zero count), the
-    /// ports that support it, in port order — so issue scans only the
-    /// candidate ports while picking the same (lowest-index) port the full
-    /// scan would.
-    by_cap: [Vec<u8>; 16],
+    /// For each µop class, the eligible ports in ascending port order — so
+    /// issue scans only the candidates while picking the same
+    /// (lowest-index) port a full scan would.
+    by_class: [Vec<u8>; UopClass::COUNT],
+    /// Classes that monopolize their port for the whole latency.
+    unpipelined: [bool; UopClass::COUNT],
+    /// Ports hosting a vector FP unit (bit i set ⇒ port i is a VPU).
+    vpu_mask: u32,
 }
 
 impl PortFile {
-    /// Builds a port file from the configuration's port specs.
-    pub fn new(specs: &[PortSpec]) -> Self {
-        let mut by_cap: [Vec<u8>; 16] = Default::default();
-        for (idx, spec) in specs.iter().enumerate() {
-            for (bit, list) in by_cap.iter_mut().enumerate() {
-                if spec.supports(1 << bit) {
-                    list.push(idx as u8);
-                }
-            }
+    /// Builds a port file from the core's class table.
+    pub fn new(table: &ClassTable) -> Self {
+        let mut by_class: [Vec<u8>; UopClass::COUNT] = Default::default();
+        let mut unpipelined = [false; UopClass::COUNT];
+        for (i, c) in mstacks_model::UOP_CLASSES.into_iter().enumerate() {
+            let spec = table.spec(c);
+            by_class[i] = spec.ports().map(|p| p as u8).collect();
+            unpipelined[i] = !spec.pipelined;
         }
         PortFile {
-            ports: specs
-                .iter()
-                .map(|&spec| PortState {
-                    spec,
+            ports: vec![
+                PortState {
                     busy_until: 0,
                     used_this_cycle: false,
-                })
-                .collect(),
-            by_cap,
+                };
+                table.n_ports()
+            ],
+            by_class,
+            unpipelined,
+            vpu_mask: table.vpu_mask(),
         }
     }
 
@@ -111,14 +101,14 @@ impl PortFile {
     /// `lat`. Returns the port index on success. Unpipelined ops block the
     /// port until completion.
     pub fn try_issue(&mut self, kind: &UopKind, now: u64, lat: u64) -> Option<usize> {
-        let cap = cap_for(kind);
-        let idx = self.by_cap[cap.trailing_zeros() as usize]
+        let class = UopClass::of(kind).index();
+        let idx = self.by_class[class]
             .iter()
             .map(|&i| i as usize)
             .find(|&i| !self.ports[i].used_this_cycle && self.ports[i].busy_until <= now)?;
         let p = &mut self.ports[idx];
         p.used_this_cycle = true;
-        if unpipelined(kind) {
+        if self.unpipelined[class] {
             p.busy_until = now + lat;
         }
         Some(idx)
@@ -127,15 +117,14 @@ impl PortFile {
     /// Whether a free, capable port exists for `kind` at `now` (without
     /// consuming it).
     pub fn could_issue(&self, kind: &UopKind) -> bool {
-        let cap = cap_for(kind);
-        self.by_cap[cap.trailing_zeros() as usize]
+        self.by_class[UopClass::of(kind).index()]
             .iter()
             .any(|&i| !self.ports[i as usize].used_this_cycle)
     }
 
     /// Whether port `idx` hosts a vector unit.
     pub fn is_vpu(&self, idx: usize) -> bool {
-        self.ports[idx].spec.is_vpu()
+        self.vpu_mask >> idx & 1 == 1
     }
 
     /// Number of ports.
@@ -152,15 +141,23 @@ impl PortFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mstacks_model::ElemType;
+    use mstacks_model::{AluClass, CoreConfig, ElemType, FpOpKind, PortSpec, VecFpOp};
 
     fn alu() -> UopKind {
         UopKind::IntAlu(AluClass::Add)
     }
 
+    /// Class table over the given port specs, with Broadwell latencies.
+    fn table(specs: &[PortSpec]) -> ClassTable {
+        ClassTable::from_parts(specs, &CoreConfig::broadwell().lat)
+    }
+
     #[test]
     fn one_op_per_port_per_cycle() {
-        let mut pf = PortFile::new(&[PortSpec::new(caps::INT_ALU), PortSpec::new(caps::INT_ALU)]);
+        let mut pf = PortFile::new(&table(&[
+            PortSpec::new(caps::INT_ALU),
+            PortSpec::new(caps::INT_ALU),
+        ]));
         pf.begin_cycle(0);
         assert!(pf.try_issue(&alu(), 0, 1).is_some());
         assert!(pf.try_issue(&alu(), 0, 1).is_some());
@@ -171,7 +168,7 @@ mod tests {
 
     #[test]
     fn capability_mismatch_rejected() {
-        let mut pf = PortFile::new(&[PortSpec::new(caps::LOAD)]);
+        let mut pf = PortFile::new(&table(&[PortSpec::new(caps::LOAD)]));
         pf.begin_cycle(0);
         assert!(pf.try_issue(&alu(), 0, 1).is_none());
         assert!(pf.try_issue(&UopKind::Load { addr: 0 }, 0, 1).is_some());
@@ -179,7 +176,7 @@ mod tests {
 
     #[test]
     fn unpipelined_blocks_port() {
-        let mut pf = PortFile::new(&[PortSpec::new(caps::INT_DIV | caps::INT_ALU)]);
+        let mut pf = PortFile::new(&table(&[PortSpec::new(caps::INT_DIV | caps::INT_ALU)]));
         let div = UopKind::IntAlu(AluClass::Div);
         pf.begin_cycle(0);
         assert!(pf.try_issue(&div, 0, 20).is_some());
@@ -191,12 +188,26 @@ mod tests {
 
     #[test]
     fn pipelined_multi_cycle_does_not_block() {
-        let mut pf = PortFile::new(&[PortSpec::new(caps::INT_MUL)]);
+        let mut pf = PortFile::new(&table(&[PortSpec::new(caps::INT_MUL)]));
         let mul = UopKind::IntAlu(AluClass::Mul);
         pf.begin_cycle(0);
         assert!(pf.try_issue(&mul, 0, 3).is_some());
         pf.begin_cycle(1);
         assert!(pf.try_issue(&mul, 1, 3).is_some());
+    }
+
+    #[test]
+    fn lowest_index_eligible_port_wins() {
+        // Same tie-break as the pre-table engine: candidates are scanned
+        // in table declaration order.
+        let mut pf = PortFile::new(&table(&[
+            PortSpec::new(caps::LOAD),
+            PortSpec::new(caps::INT_ALU),
+            PortSpec::new(caps::INT_ALU),
+        ]));
+        pf.begin_cycle(0);
+        assert_eq!(pf.try_issue(&alu(), 0, 1), Some(1));
+        assert_eq!(pf.try_issue(&alu(), 0, 1), Some(2));
     }
 
     #[test]
@@ -208,6 +219,16 @@ mod tests {
         assert_eq!(cap_for(&UopKind::VecInt), caps::VEC_INT);
         assert!(uses_vpu(&UopKind::VecInt));
         assert!(!uses_vpu(&alu()));
+    }
+
+    #[test]
+    fn vpu_ports_follow_the_table() {
+        let pf = PortFile::new(&table(&[
+            PortSpec::new(caps::INT_ALU),
+            PortSpec::new(caps::VEC_FP | caps::VEC_INT),
+        ]));
+        assert!(!pf.is_vpu(0));
+        assert!(pf.is_vpu(1));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! End-to-end tests of the declarative machine-model layer (DESIGN.md §11).
+//!
+//! Three claims are pinned here, each across crate boundaries:
+//!
+//! 1. **Presets are tables.** Parsing the shipped `cores/{bdw,knl,skx}.core`
+//!    files reproduces the in-code constructors field-for-field — the
+//!    constructors survive only as a reference implementation, and the
+//!    golden engine stacks (pinned by `engine_refactor_equivalence`) are
+//!    produced from table-loaded configs.
+//! 2. **Diagnostics are line-numbered.** Every class of table error —
+//!    syntax, unknown reference, inconsistency, missing section — points
+//!    at the offending line.
+//! 3. **Table-only cores are first-class.** The zen/atom machines exist
+//!    only as `.core` files, yet parse, validate, simulate, and uphold the
+//!    static port-pressure bracket like any preset.
+
+use mstacks::core::Session;
+use mstacks::model::{coretab, CoreConfig, IdealFlags};
+use mstacks::oracle::{static_port_bound, WorkloadSummary};
+use mstacks::workloads::spec;
+
+// ---------------------------------------------------------------------------
+// 1. presets == parsed tables, field for field
+// ---------------------------------------------------------------------------
+
+fn preset_pairs() -> [(CoreConfig, &'static str); 3] {
+    [
+        (CoreConfig::broadwell(), "bdw"),
+        (CoreConfig::knights_landing(), "knl"),
+        (CoreConfig::skylake_server(), "skx"),
+    ]
+}
+
+#[test]
+fn shipped_preset_tables_match_the_constructors_field_for_field() {
+    for (built, name) in preset_pairs() {
+        let parsed = coretab::builtin(name).expect("shipped preset table");
+        // Spelled-out fields first, so a mismatch names the culprit…
+        assert_eq!(built.name, parsed.name);
+        assert_eq!(built.fetch_width, parsed.fetch_width, "{name} fetch_width");
+        assert_eq!(
+            built.dispatch_width, parsed.dispatch_width,
+            "{name} dispatch_width"
+        );
+        assert_eq!(built.issue_width, parsed.issue_width, "{name} issue_width");
+        assert_eq!(
+            built.commit_width, parsed.commit_width,
+            "{name} commit_width"
+        );
+        assert_eq!(built.rob_size, parsed.rob_size, "{name} rob_size");
+        assert_eq!(built.rs_size, parsed.rs_size, "{name} rs_size");
+        assert_eq!(built.ldq_size, parsed.ldq_size, "{name} ldq_size");
+        assert_eq!(built.stq_size, parsed.stq_size, "{name} stq_size");
+        assert_eq!(
+            built.frontend_depth, parsed.frontend_depth,
+            "{name} frontend_depth"
+        );
+        assert_eq!(
+            built.microcode_decode_cycles, parsed.microcode_decode_cycles,
+            "{name} microcode_decode_cycles"
+        );
+        assert_eq!(built.ports, parsed.ports, "{name} ports");
+        assert_eq!(built.lat, parsed.lat, "{name} latency table");
+        assert_eq!(built.vector_bits, parsed.vector_bits, "{name} vector_bits");
+        assert_eq!(
+            built.freq_ghz.to_bits(),
+            parsed.freq_ghz.to_bits(),
+            "{name} freq_ghz"
+        );
+        assert_eq!(built.bpred, parsed.bpred, "{name} bpred");
+        assert_eq!(built.mem, parsed.mem, "{name} memory hierarchy");
+        // …then the whole-struct equality closes over any future field.
+        assert_eq!(built, parsed, "{name}: constructor != parsed table");
+    }
+}
+
+#[test]
+fn preset_tables_round_trip_through_dump_and_parse() {
+    // Comments and blank lines are the one freedom the shipped files take
+    // over canonical dump output (zen/atom carry prose headers); the data
+    // lines must match the dump exactly.
+    fn data_lines(s: &str) -> Vec<&str> {
+        s.lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .collect()
+    }
+    for name in coretab::BUILTIN_NAMES {
+        let cfg = coretab::builtin(name).expect("shipped table");
+        coretab::roundtrip(&cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            data_lines(coretab::builtin_source(name).expect("source")),
+            data_lines(&coretab::dump(&cfg)),
+            "{name}: shipped .core data lines are not canonical"
+        );
+    }
+}
+
+#[test]
+fn table_loaded_presets_simulate_identically_to_constructed_ones() {
+    let trace_len = 5_000;
+    for (built, name) in preset_pairs() {
+        let parsed = coretab::builtin(name).expect("shipped table");
+        let a = Session::new(built)
+            .run(spec::mcf().trace(trace_len))
+            .expect("run");
+        let b = Session::new(parsed)
+            .run(spec::mcf().trace(trace_len))
+            .expect("run");
+        assert_eq!(a, b, "{name}: table-loaded config changed engine output");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. parser diagnostics carry line numbers
+// ---------------------------------------------------------------------------
+
+/// Returns the bdw table with the first line containing `needle` replaced
+/// by `replacement`, plus that line's 1-based number.
+fn patched(needle: &str, replacement: &str) -> (String, usize) {
+    let src = coretab::builtin_source("bdw").expect("bdw table");
+    let idx = src
+        .lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("no line contains {needle:?}"));
+    let out: Vec<String> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == idx {
+                replacement.to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect();
+    (out.join("\n") + "\n", idx + 1)
+}
+
+#[test]
+fn syntax_errors_point_at_the_offending_line() {
+    let (src, line) = patched("rob_size", "rob_size 192"); // missing `=`
+    let err = coretab::parse(&src).expect_err("missing `=` must fail");
+    assert_eq!(err.line, Some(line), "{err}");
+    assert!(err.to_string().contains(&format!("line {line}")), "{err}");
+}
+
+#[test]
+fn unknown_port_references_point_at_the_class_row() {
+    let (src, line) = patched("int_div", "int_div    21  no         p9");
+    let err = coretab::parse(&src).expect_err("unknown port must fail");
+    assert_eq!(err.line, Some(line), "{err}");
+    assert!(err.to_string().contains("p9"), "{err}");
+}
+
+#[test]
+fn bad_values_point_at_the_offending_line() {
+    let (src, line) = patched("freq_ghz", "freq_ghz = fast");
+    let err = coretab::parse(&src).expect_err("non-numeric freq must fail");
+    assert_eq!(err.line, Some(line), "{err}");
+}
+
+#[test]
+fn semantic_validation_errors_have_no_line_but_a_clear_message() {
+    // A table can be syntactically perfect and still describe an invalid
+    // machine; those errors come from `CoreConfig::validate` and carry no
+    // line (the problem is cross-cutting, not positional).
+    let (src, _) = patched("rs_size", "rs_size = 100000");
+    let err = coretab::parse(&src).expect_err("RS > ROB must fail");
+    assert_eq!(err.line, None, "{err}");
+    assert!(err.to_string().contains("RS"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// 3. table-only cores are first-class machines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn table_only_cores_parse_validate_and_simulate() {
+    for name in ["zen", "atom"] {
+        let cfg = coretab::builtin(name).expect("shipped table-only core");
+        cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = Session::new(cfg.clone())
+            .run(spec::mcf().trace(10_000))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.cpi() > 0.0, "{name}: degenerate CPI");
+        // The three stacks agree on total CPI on the new machines too.
+        let cpi = report.cpi();
+        for stack in report.multi.stacks() {
+            assert!(
+                (stack.total_cpi() - cpi).abs() < 1e-6,
+                "{name}: stack total diverges from CPI"
+            );
+        }
+    }
+}
+
+#[test]
+fn static_port_bound_brackets_the_engine_on_table_only_cores() {
+    for name in ["zen", "atom"] {
+        let cfg = coretab::builtin(name).expect("shipped table-only core");
+        for w in [spec::mcf(), spec::exchange2(), spec::povray()] {
+            let summary = WorkloadSummary::profile(&cfg, IdealFlags::none(), w.trace(10_000));
+            let bound = static_port_bound(&cfg, IdealFlags::none(), &summary);
+            let report = Session::new(cfg.clone())
+                .run(w.trace(10_000))
+                .unwrap_or_else(|e| panic!("{} on {name}: {e}", w.name()));
+            let issue = &report.multi.issue;
+            let base = issue.cpi_of(mstacks::core::Component::Base);
+            assert!(
+                bound.bound_cpi + 1e-6 >= base,
+                "{} on {name}: static bound {:.4} below issue Base CPI {base:.4}",
+                w.name(),
+                bound.bound_cpi
+            );
+            assert!(
+                bound.bound_cpi <= issue.total_cpi() + 1e-6,
+                "{} on {name}: static bound {:.4} above issue total CPI {:.4}",
+                w.name(),
+                bound.bound_cpi,
+                issue.total_cpi()
+            );
+        }
+    }
+}
