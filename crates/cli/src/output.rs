@@ -1,7 +1,7 @@
 //! Human-readable output for the CLI subcommands.
 
 use crate::args::{CliError, Options};
-use mstacks_core::{Component, Session, SimReport, SmtReport};
+use mstacks_core::{Component, SampledReport, Session, SimReport, SmtReport, Stage};
 use mstacks_model::IdealFlags;
 use mstacks_stats::render::cpi_stack_lines;
 use mstacks_stats::render::flops_stack_lines;
@@ -37,6 +37,45 @@ pub fn print_simulate(w: &Workload, opts: &Options, r: &SimReport) {
         r.result.frontend.mispredicts as f64 / (r.result.committed_uops as f64 / 1000.0),
         r.result.stats.squashed_uops,
     );
+}
+
+/// `mstacks simulate --sample` text output: aggregate stacks plus the
+/// sampling statistics (windows, measured fraction, per-component CIs at
+/// the commit stage).
+pub fn print_sampled(w: &Workload, opts: &Options, s: &SampledReport) {
+    println!(
+        "{} on {} [{}] — sampled {}:{}:{} (warmup:detailed:ff)\n\
+         {} of {} uops measured ({:.1}%) in {} windows\n\
+         CPI {:.3} ± {:.3} (95% CI over windows)\n",
+        w.name(),
+        opts.core.name,
+        s.report.ideal,
+        s.plan.warmup,
+        s.plan.detailed,
+        s.plan.ff,
+        s.sampled_uops,
+        s.total_uops,
+        s.sampled_fraction() * 100.0,
+        s.windows,
+        s.cpi_mean,
+        s.cpi_ci95,
+    );
+    for stack in s.report.multi.all_stacks() {
+        println!("{}", cpi_stack_lines(stack, 40));
+    }
+    println!("commit-stage component confidence (mean CPI ± 95% CI):");
+    for c in s
+        .components
+        .iter()
+        .filter(|c| c.stage == Stage::Commit && c.mean_cpi > 1e-9)
+    {
+        println!(
+            "  {:<12} {:.4} ± {:.4}",
+            c.component.label(),
+            c.mean_cpi,
+            c.ci95
+        );
+    }
 }
 
 /// `mstacks bounds` text output: bound table plus live verification.

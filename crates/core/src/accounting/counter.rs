@@ -18,7 +18,16 @@ use std::collections::VecDeque;
 /// path. Other modes write the global counters directly.
 #[derive(Debug, Clone)]
 pub(crate) struct ComponentCounter {
+    /// The folded books: authoritative totals up to the last chunk fold.
     counts: [f64; COMPONENTS.len()],
+    /// Per-chunk scratch tally. Direct (non-windowed) increments land
+    /// here and fold into `counts` once per [`Self::CHUNK_CYCLES`] —
+    /// every read path folds on demand, so the split is invisible to the
+    /// auditor's per-cycle conservation checks. All increments are
+    /// multiples of 1/W; for power-of-two accounting widths each partial
+    /// sum is exact, so chunk-subtotal-then-fold reorders the additions
+    /// without changing a single bit of the totals.
+    scratch: [f64; COMPONENTS.len()],
     /// Open speculative windows, oldest first (SpeculativeCounters only).
     windows: VecDeque<[f64; COMPONENTS.len()]>,
     /// Per-memory-level split of the Dcache component (L2 / L3 / DRAM) —
@@ -26,16 +35,22 @@ pub(crate) struct ComponentCounter {
     /// moves whole cycles to Bpred; the level split only describes the
     /// surviving Dcache cycles).
     mem_levels: [f64; 3],
+    scratch_mem: [f64; 3],
     mode: BadSpecMode,
     cycles: u64,
 }
 
 impl ComponentCounter {
+    /// Cycles per scratch chunk before the tally folds into the books.
+    const CHUNK_CYCLES: u64 = 256;
+
     pub(crate) fn new(mode: BadSpecMode) -> Self {
         ComponentCounter {
             counts: [0.0; COMPONENTS.len()],
+            scratch: [0.0; COMPONENTS.len()],
             windows: VecDeque::new(),
             mem_levels: [0.0; 3],
+            scratch_mem: [0.0; 3],
             mode,
             cycles: 0,
         }
@@ -47,10 +62,25 @@ impl ComponentCounter {
 
     pub(crate) fn begin_cycle(&mut self) {
         self.cycles += 1;
+        if self.cycles.is_multiple_of(Self::CHUNK_CYCLES) {
+            self.fold_scratch();
+        }
     }
 
     pub(crate) fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Folds the scratch tally of the current chunk into the books.
+    fn fold_scratch(&mut self) {
+        for (c, s) in self.counts.iter_mut().zip(self.scratch.iter_mut()) {
+            *c += *s;
+            *s = 0.0;
+        }
+        for (m, s) in self.mem_levels.iter_mut().zip(self.scratch_mem.iter_mut()) {
+            *m += *s;
+            *s = 0.0;
+        }
     }
 
     pub(crate) fn add(&mut self, c: Component, x: f64) {
@@ -60,7 +90,7 @@ impl ComponentCounter {
                 return;
             }
         }
-        self.counts[c.index()] += x;
+        self.scratch[c.index()] += x;
     }
 
     /// Which components accrue to the speculative window of the youngest
@@ -92,7 +122,7 @@ impl ComponentCounter {
             HitLevel::L3 => 1,
             HitLevel::Mem => 2,
         };
-        self.mem_levels[i] += x;
+        self.scratch_mem[i] += x;
     }
 
     /// A branch dispatched: a new speculative window opens.
@@ -131,16 +161,27 @@ impl ComponentCounter {
         self.counts[Component::Bpred.index()] += reblamed;
     }
 
-    /// Per-level Dcache breakdown accumulated so far (L2, L3, DRAM).
+    /// Per-level Dcache breakdown accumulated so far (L2, L3, DRAM),
+    /// including the open scratch chunk.
     pub(crate) fn mem_levels(&self) -> [f64; 3] {
-        self.mem_levels
+        let mut out = self.mem_levels;
+        for (o, s) in out.iter_mut().zip(self.scratch_mem.iter()) {
+            *o += *s;
+        }
+        out
     }
 
-    /// The counters as the auditor sees them mid-run: global counts plus
-    /// every still-open speculative window (a window is cycles already
-    /// spent — conservation must hold whichever component they end up in).
+    /// The counters as the auditor sees them mid-run: folded books plus
+    /// the open scratch chunk plus every still-open speculative window (a
+    /// window is cycles already spent — conservation must hold whichever
+    /// component they end up in). Reading through the scratch keeps the
+    /// per-cycle conservation invariant exact even though the books only
+    /// fold once per chunk.
     pub(crate) fn audited_counts(&self) -> [f64; COMPONENTS.len()] {
         let mut out = self.counts;
+        for (o, s) in out.iter_mut().zip(self.scratch.iter()) {
+            *o += *s;
+        }
         for w in &self.windows {
             for (o, v) in out.iter_mut().zip(w.iter()) {
                 *o += *v;
@@ -165,6 +206,7 @@ impl ComponentCounter {
         residual: f64,
         simple_commit_base: Option<f64>,
     ) -> [f64; COMPONENTS.len()] {
+        self.fold_scratch();
         // Unresolved windows at trace end flush as measured.
         while let Some(w) = self.windows.pop_front() {
             for (c, v) in self.counts.iter_mut().zip(w.iter()) {
@@ -268,6 +310,55 @@ mod tests {
         assert_eq!(c.mem_levels(), [0.5, 0.0, 0.25]);
         let out = c.finish(0.0, None);
         assert!((out[Component::Dcache.index()] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_chunk_is_invisible_to_every_read_path() {
+        // Increments sit in the per-chunk scratch until a chunk boundary,
+        // but audited_counts / mem_levels / finish must always see them.
+        let mut c = ComponentCounter::new(BadSpecMode::GroundTruth);
+        c.begin_cycle();
+        c.add(Component::Base, 0.25);
+        c.add_dcache(HitLevel::Mem, 0.75);
+        // Mid-chunk: nothing folded yet, reads still include the scratch.
+        assert_eq!(c.audited_counts()[Component::Base.index()], 0.25);
+        assert_eq!(c.audited_counts()[Component::Dcache.index()], 0.75);
+        assert_eq!(c.mem_levels(), [0.0, 0.0, 0.75]);
+        // Cross a chunk boundary: the tally folds into the books and the
+        // observable totals do not move.
+        for _ in 0..ComponentCounter::CHUNK_CYCLES {
+            c.begin_cycle();
+        }
+        assert_eq!(c.audited_counts()[Component::Base.index()], 0.25);
+        assert_eq!(c.mem_levels(), [0.0, 0.0, 0.75]);
+        c.add(Component::Base, 0.5); // new chunk's scratch
+        assert_eq!(c.audited_counts()[Component::Base.index()], 0.75);
+        let out = c.finish(0.0, None);
+        assert_eq!(out[Component::Base.index()], 0.75);
+        assert_eq!(out[Component::Dcache.index()], 0.75);
+    }
+
+    #[test]
+    fn chunked_fold_totals_match_unchunked_order() {
+        // Same increment stream, one counter folded every chunk (driven by
+        // begin_cycle) and one read only at the end: identical totals —
+        // all increments are multiples of 1/W with W a power of two, so
+        // the reordered additions are exact.
+        let mut rng = mstacks_model::rng::SmallRng::seed_from_u64(0xc0ff_ee00);
+        let mut chunked = ComponentCounter::new(BadSpecMode::GroundTruth);
+        let mut reference = [0.0f64; COMPONENTS.len()];
+        let w = 4.0;
+        for _ in 0..10_000 {
+            chunked.begin_cycle();
+            let c = COMPONENTS[rng.gen_range(0..COMPONENTS.len() as u32) as usize];
+            let x = f64::from(rng.gen_range(0u32..=4)) / w;
+            chunked.add(c, x);
+            reference[c.index()] += x;
+        }
+        let got = chunked.finish(0.0, None);
+        for (g, r) in got.iter().zip(reference.iter()) {
+            assert_eq!(g.to_bits(), r.to_bits(), "chunked fold changed a bit");
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod compare;
 pub mod component;
 pub mod interval;
 pub mod multi;
+pub mod sampling;
 pub mod session;
 pub mod stack;
 
@@ -59,6 +60,7 @@ pub use compare::{Band, ComponentCheck, Interval, StackComparison};
 pub use component::{Component, FlopsComponent, Stage, COMPONENTS, FLOPS_COMPONENTS};
 pub use interval::IntervalAccountant;
 pub use multi::MultiStackReport;
+pub use sampling::{ComponentCi, SamplePlan, SampledReport};
 pub use session::{Session, SessionReport, SimReport, SmtReport, ThreadReport};
 #[allow(deprecated)]
 pub use session::{Simulation, SmtSimulation};

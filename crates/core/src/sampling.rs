@@ -1,0 +1,316 @@
+//! SMARTS-style interval sampling: alternate short *detailed* windows
+//! (full timing model, accountants attached) with long *functional
+//! fast-forward* segments (caches, TLBs and the branch predictor observe
+//! every micro-op, but no cycles elapse and no statistics accumulate).
+//!
+//! Each detailed window is preceded by a *warmup* sub-window that runs
+//! under the full timing model but with a unit observer, so the measured
+//! portion starts with a filled pipeline and settled queue state on top
+//! of the functionally-warmed caches. The estimator is the classic
+//! systematic-sampling one: per-window CPIs (and per-component CPIs) are
+//! treated as an i.i.d.-ish sample, reported with a 95% confidence
+//! interval `1.96·s/√n`; the aggregate stacks are ratio-of-sums over all
+//! detailed windows, so they remain exactly conservative (components sum
+//! to measured cycles).
+//!
+//! With `ff = 0` there is nothing to skip and
+//! [`Session::run_sampled`](crate::Session::run_sampled) short-circuits
+//! to the plain full run — bit-identical to [`Session::run`](crate::Session::run).
+
+use crate::component::{Component, Stage, COMPONENTS, FLOPS_COMPONENTS};
+use crate::multi::MultiStackReport;
+use crate::session::SimReport;
+use crate::stack::{CpiStack, FlopsStack};
+use mstacks_mem::HitLevel;
+
+/// Micro-ops of detailed-but-unmeasured *cooldown* run after each
+/// measured segment (borrowed from the fast-forward budget, so the
+/// period is unchanged). Its job is to keep younger-instruction overlap
+/// alive while the measured tail commits, so the window edge is not
+/// charged pipeline-drain cycles; one ROB's worth suffices, and 1024
+/// comfortably exceeds every core preset's ROB.
+pub const COOLDOWN_UOPS: u64 = 1024;
+
+/// The shape of one sampling period: `warmup` micro-ops of detailed
+/// execution that are *not* measured, `detailed` measured micro-ops, then
+/// `ff` micro-ops of functional fast-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePlan {
+    /// Detailed-but-unmeasured micro-ops at the head of each window.
+    pub warmup: u64,
+    /// Measured micro-ops per window.
+    pub detailed: u64,
+    /// Functionally fast-forwarded micro-ops between windows.
+    pub ff: u64,
+}
+
+impl SamplePlan {
+    /// A plan from its three segment lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detailed == 0` (a window must measure something).
+    pub fn new(warmup: u64, detailed: u64, ff: u64) -> Self {
+        assert!(detailed > 0, "a sample plan needs a detailed segment");
+        SamplePlan {
+            warmup,
+            detailed,
+            ff,
+        }
+    }
+
+    /// Parses the CLI syntax `warmup:detailed:ff`, e.g. `2000:10000:200000`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "expected warmup:detailed:ff (three integers), got {s:?}"
+            ));
+        }
+        let num = |p: &str, what: &str| -> Result<u64, String> {
+            p.trim()
+                .replace('_', "")
+                .parse::<u64>()
+                .map_err(|e| format!("bad {what} {p:?}: {e}"))
+        };
+        let warmup = num(parts[0], "warmup")?;
+        let detailed = num(parts[1], "detailed")?;
+        let ff = num(parts[2], "ff")?;
+        if detailed == 0 {
+            return Err("detailed segment must be > 0".into());
+        }
+        Ok(SamplePlan {
+            warmup,
+            detailed,
+            ff,
+        })
+    }
+
+    /// Whether this plan degenerates to a plain full run (`ff == 0`).
+    pub fn is_full(&self) -> bool {
+        self.ff == 0
+    }
+
+    /// Micro-ops per full sampling period.
+    pub fn period(&self) -> u64 {
+        self.warmup + self.detailed + self.ff
+    }
+
+    /// Fraction of the trace executed in detail (warmup + measured).
+    pub fn detail_fraction(&self) -> f64 {
+        (self.warmup + self.detailed) as f64 / self.period() as f64
+    }
+}
+
+impl std::fmt::Display for SamplePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.warmup, self.detailed, self.ff)
+    }
+}
+
+/// Mean and 95% confidence half-width of one stack component's CPI over
+/// the detailed windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentCi {
+    /// Stage the component was measured at.
+    pub stage: Stage,
+    /// The component.
+    pub component: Component,
+    /// Mean per-window CPI contribution.
+    pub mean_cpi: f64,
+    /// 95% confidence half-width (`1.96·s/√n`; 0 with fewer than 2
+    /// windows).
+    pub ci95: f64,
+}
+
+/// Everything a sampled run produces: the aggregate report (stacks built
+/// by ratio-of-sums over the detailed windows) plus the sampling
+/// statistics a full run cannot provide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledReport {
+    /// Aggregate report. `multi`/`flops` cover exactly the measured
+    /// (detailed) micro-ops; `result` holds the engine's cumulative
+    /// counters over everything executed in detail (warmup + measured),
+    /// excluding fast-forwarded micro-ops.
+    pub report: SimReport,
+    /// The plan that produced this report.
+    pub plan: SamplePlan,
+    /// Number of detailed windows that measured at least one micro-op.
+    pub windows: usize,
+    /// Micro-ops measured in detail (sum over windows).
+    pub sampled_uops: u64,
+    /// Micro-ops in the trace overall.
+    pub total_uops: u64,
+    /// Per-window total CPI, in window order (diagnostic; the CI inputs).
+    pub window_cpis: Vec<f64>,
+    /// Mean per-window CPI — the sampling estimate of the program's CPI.
+    pub cpi_mean: f64,
+    /// 95% confidence half-width of [`SampledReport::cpi_mean`].
+    pub cpi_ci95: f64,
+    /// Per-component means and confidence intervals, all four stages.
+    pub components: Vec<ComponentCi>,
+}
+
+impl SampledReport {
+    /// Fraction of the trace that was measured in detail.
+    pub fn sampled_fraction(&self) -> f64 {
+        if self.total_uops == 0 {
+            0.0
+        } else {
+            self.sampled_uops as f64 / self.total_uops as f64
+        }
+    }
+
+    /// The confidence entry for `(stage, component)`, if present.
+    pub fn ci_of(&self, stage: Stage, component: Component) -> Option<&ComponentCi> {
+        self.components
+            .iter()
+            .find(|c| c.stage == stage && c.component == component)
+    }
+}
+
+/// Sample mean of `xs` (0 when empty).
+pub(crate) fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// 95% confidence half-width `1.96·s/√n` with the sample (n−1) standard
+/// deviation; 0 with fewer than two observations.
+pub(crate) fn ci95(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+    1.96 * var.sqrt() / (n as f64).sqrt()
+}
+
+/// Ratio-of-sums aggregation of per-window CPI stacks measured at one
+/// stage: component counts and the Dcache level split add exactly (they
+/// are cycle counts), cycles and micro-ops add as integers.
+pub(crate) fn aggregate_cpi_stacks(stage: Stage, stacks: &[&CpiStack]) -> CpiStack {
+    let mut counts = [0.0; COMPONENTS.len()];
+    let mut levels = [0.0; 3];
+    let mut cycles = 0u64;
+    let mut uops = 0u64;
+    for s in stacks {
+        for (i, &c) in COMPONENTS.iter().enumerate() {
+            counts[i] += s.cycles_of(c);
+        }
+        let u = s.uops as f64;
+        levels[0] += s.dcache_level_cpi(HitLevel::L2) * u;
+        levels[1] += s.dcache_level_cpi(HitLevel::L3) * u;
+        levels[2] += s.dcache_level_cpi(HitLevel::Mem) * u;
+        cycles += s.cycles;
+        uops += s.uops;
+    }
+    CpiStack::from_counts_with_levels(stage, counts, levels, cycles, uops)
+}
+
+/// Ratio-of-sums aggregation of per-window FLOPS stacks.
+pub(crate) fn aggregate_flops_stacks(stacks: &[&FlopsStack]) -> FlopsStack {
+    let peak = stacks.first().map_or(0, |s| s.peak_flops_per_cycle);
+    let mut counts = [0.0; FLOPS_COMPONENTS.len()];
+    let mut cycles = 0u64;
+    for s in stacks {
+        for (i, &c) in FLOPS_COMPONENTS.iter().enumerate() {
+            counts[i] += s.cycles_of(c);
+        }
+        cycles += s.cycles;
+    }
+    FlopsStack::from_counts(counts, cycles, peak)
+}
+
+/// Builds the per-component CI table from per-window multi-stack reports.
+pub(crate) fn component_cis(windows: &[&MultiStackReport]) -> Vec<ComponentCi> {
+    fn stage_of(m: &MultiStackReport, stage: Stage) -> Option<&CpiStack> {
+        match stage {
+            Stage::Dispatch => Some(&m.dispatch),
+            Stage::Issue => Some(&m.issue),
+            Stage::Commit => Some(&m.commit),
+            Stage::Fetch => m.fetch.as_ref(),
+        }
+    }
+    let mut out = Vec::new();
+    for stage in [Stage::Fetch, Stage::Dispatch, Stage::Issue, Stage::Commit] {
+        for &component in &COMPONENTS {
+            let xs: Vec<f64> = windows
+                .iter()
+                .filter_map(|m| stage_of(m, stage))
+                .map(|s| s.cpi_of(component))
+                .collect();
+            if xs.is_empty() {
+                continue;
+            }
+            out.push(ComponentCi {
+                stage,
+                component,
+                mean_cpi: mean(&xs),
+                ci95: ci95(&xs),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let p = SamplePlan::parse("2000:10000:200000").expect("parses");
+        assert_eq!(p.warmup, 2_000);
+        assert_eq!(p.detailed, 10_000);
+        assert_eq!(p.ff, 200_000);
+        assert_eq!(p.to_string(), "2000:10000:200000");
+        assert_eq!(p.period(), 212_000);
+        assert!(!p.is_full());
+    }
+
+    #[test]
+    fn parse_accepts_underscores_and_spaces() {
+        let p = SamplePlan::parse(" 1_000 : 5_000 : 50_000 ").expect("parses");
+        assert_eq!((p.warmup, p.detailed, p.ff), (1_000, 5_000, 50_000));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(SamplePlan::parse("10:20").is_err());
+        assert!(SamplePlan::parse("a:b:c").is_err());
+        assert!(SamplePlan::parse("10:0:30").is_err(), "detailed must be >0");
+        assert!(SamplePlan::parse("1:2:3:4").is_err());
+    }
+
+    #[test]
+    fn ff_zero_is_full() {
+        assert!(SamplePlan::parse("0:1000:0").expect("parses").is_full());
+    }
+
+    #[test]
+    fn ci_math() {
+        assert_eq!(ci95(&[1.0]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        // Constant sample → zero-width interval.
+        assert_eq!(ci95(&[2.0, 2.0, 2.0, 2.0]), 0.0);
+        // Known case: s = 1, n = 4 → 1.96/2.
+        let w = ci95(&[1.0, 2.0, 3.0, 2.0]);
+        let expected = 1.96 * (2.0f64 / 3.0).sqrt() / 2.0;
+        assert!((w - expected).abs() < 1e-12, "{w} vs {expected}");
+    }
+
+    #[test]
+    fn detail_fraction() {
+        let p = SamplePlan::new(1_000, 9_000, 90_000);
+        assert!((p.detail_fraction() - 0.1).abs() < 1e-12);
+    }
+}

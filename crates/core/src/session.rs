@@ -14,10 +14,13 @@ use crate::accounting::{
     IssueAccountant,
 };
 use crate::audit::{AuditObserver, AuditOptions, AuditReport, FaultSpec};
+use crate::component::Stage;
 use crate::multi::MultiStackReport;
-use crate::stack::FlopsStack;
+use crate::sampling::{self, SamplePlan, SampledReport};
+use crate::stack::{CpiStack, FlopsStack};
 use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
 use mstacks_pipeline::{Engine, PipelineError, PipelineResult, StageObserver};
+use mstacks_workloads::SampleSource;
 
 /// Everything one single-thread simulation produces: raw pipeline result,
 /// the three CPI stacks and the FLOPS stack.
@@ -394,6 +397,160 @@ impl Session {
             },
             audit,
         ))
+    }
+
+    /// Runs `total_uops` micro-ops of a single-thread trace under
+    /// SMARTS-style interval sampling and returns the aggregate stacks
+    /// with per-component confidence intervals.
+    ///
+    /// `source` is any [`SampleSource`]: a pre-decoded trace buffer
+    /// (whose batched `warm_range` makes the fast-forward segments
+    /// roughly twice as fast), or a plain window closure wrapped in
+    /// [`WindowFn`](mstacks_workloads::WindowFn). The run alternates:
+    ///
+    /// 1. *warmup*: `plan.warmup` micro-ops under the full timing model
+    ///    with a unit observer (fills the pipeline, settles queues; not
+    ///    measured),
+    /// 2. *detailed*: `plan.detailed` micro-ops under a fresh accountant
+    ///    set (measured),
+    /// 3. *cooldown*: up to [`sampling::COOLDOWN_UOPS`] further
+    ///    micro-ops (a comfortable ROB's worth), borrowed from the
+    ///    fast-forward segment, under the unit observer again — so the
+    ///    tail of the measurement keeps downstream overlap instead of
+    ///    being charged pipeline-drain cycles,
+    /// 4. *fast-forward*: the remaining `plan.ff − cooldown` micro-ops of
+    ///    functional warming (caches, TLBs, branch predictor learn; zero
+    ///    cycles, zero statistics).
+    ///
+    /// The period is exactly `plan.period()` micro-ops. Warmup and the
+    /// measured segment stop on cycle boundaries, so each may overshoot
+    /// its target by up to the commit width minus one micro-ops.
+    ///
+    /// A `plan` with `ff == 0` short-circuits to the plain full run —
+    /// bit-identical to [`Session::run`] over the same window.
+    ///
+    /// Sampled windows are not audited; pair a full
+    /// [`Session::run_audited`] with a sampled run when both conservation
+    /// checking and speed are needed. [`Session::with_max_uops`] is
+    /// ignored here — `total_uops` is the cap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline (deadlock watchdog).
+    pub fn run_sampled<S: SampleSource>(
+        &self,
+        total_uops: u64,
+        plan: SamplePlan,
+        source: &S,
+    ) -> Result<SampledReport, PipelineError> {
+        if plan.is_full() {
+            let report = self.run(source.window(0, total_uops))?;
+            let components = sampling::component_cis(&[&report.multi]);
+            let cpi = report.cpi();
+            return Ok(SampledReport {
+                windows: 1,
+                sampled_uops: report.result.committed_uops,
+                total_uops,
+                window_cpis: vec![cpi],
+                cpi_mean: cpi,
+                cpi_ci95: 0.0,
+                components,
+                plan,
+                report,
+            });
+        }
+
+        let cooldown = plan.ff.min(sampling::COOLDOWN_UOPS);
+        let span_of = |pos: u64| (pos + plan.warmup + plan.detailed + cooldown).min(total_uops);
+        let mut pos = 0u64;
+        let mut end = span_of(pos);
+        let mut engine = Engine::new(self.cfg.clone(), self.ideal, vec![source.window(pos, end)]);
+        let mut win_reports: Vec<ThreadReport> = Vec::new();
+        let mut window_cpis: Vec<f64> = Vec::new();
+        loop {
+            // Warmup: detailed execution, unit observer, nothing measured.
+            let start_committed = engine.committed(0);
+            let warm = plan.warmup.min(end - pos);
+            if warm > 0 {
+                engine.run_uops(start_committed + warm, &mut [(); 1])?;
+            }
+            // Detailed: fresh accountants attach mid-flight (they are pure
+            // tally machines, so unobserved warmup history is harmless)
+            // and exactly the measured segment is observed.
+            let before = engine.results().swap_remove(0);
+            let in_window = end - pos - (before.committed_uops - start_committed);
+            let meas = plan.detailed.min(in_window);
+            let mut obs = ThreadObserver::new(&self.cfg, self.badspec);
+            engine.run_uops(before.committed_uops + meas, std::slice::from_mut(&mut obs))?;
+            let mut wres = engine.results().swap_remove(0);
+            wres.cycles -= before.cycles;
+            wres.committed_uops -= before.committed_uops;
+            wres.committed_flops -= before.committed_flops;
+            // Cooldown + drain: the rest of the window commits unobserved,
+            // keeping window-edge drain cycles out of the books.
+            engine.run(&mut [(); 1])?;
+            if wres.committed_uops > 0 {
+                window_cpis.push(wres.cpi());
+                win_reports.push(obs.finish(wres));
+            }
+            pos = end;
+            if pos >= total_uops {
+                break;
+            }
+            // Fast-forward: functional warming only (the cooldown already
+            // consumed the head of this segment in detail).
+            let ff_end = (pos + (plan.ff - cooldown)).min(total_uops);
+            source.warm_range(pos, ff_end, &mut engine.warmer(0));
+            pos = ff_end;
+            if pos >= total_uops {
+                break;
+            }
+            end = span_of(pos);
+            engine.resume(0, source.window(pos, end));
+        }
+
+        let stacks_at = |get: fn(&ThreadReport) -> &CpiStack, stage: Stage| {
+            let refs: Vec<&CpiStack> = win_reports.iter().map(get).collect();
+            sampling::aggregate_cpi_stacks(stage, &refs)
+        };
+        let dispatch = stacks_at(|w| &w.multi.dispatch, Stage::Dispatch);
+        let issue = stacks_at(|w| &w.multi.issue, Stage::Issue);
+        let commit = stacks_at(|w| &w.multi.commit, Stage::Commit);
+        let fetch_refs: Vec<&CpiStack> = win_reports
+            .iter()
+            .filter_map(|w| w.multi.fetch.as_ref())
+            .collect();
+        let fetch = sampling::aggregate_cpi_stacks(Stage::Fetch, &fetch_refs);
+        let flops_refs: Vec<&FlopsStack> = win_reports.iter().map(|w| &w.flops).collect();
+        let flops = sampling::aggregate_flops_stacks(&flops_refs);
+        let multis: Vec<&MultiStackReport> = win_reports.iter().map(|w| &w.multi).collect();
+        let components = sampling::component_cis(&multis);
+        let sampled_uops: u64 = win_reports.iter().map(|w| w.result.committed_uops).sum();
+
+        let cpi_mean = sampling::mean(&window_cpis);
+        let cpi_ci95 = sampling::ci95(&window_cpis);
+        Ok(SampledReport {
+            report: SimReport {
+                config_name: self.cfg.name.clone(),
+                ideal: self.ideal,
+                result: engine.results().swap_remove(0),
+                multi: MultiStackReport {
+                    dispatch,
+                    issue,
+                    commit,
+                    fetch: Some(fetch),
+                },
+                flops,
+            },
+            plan,
+            windows: win_reports.len(),
+            sampled_uops,
+            total_uops,
+            window_cpis,
+            cpi_mean,
+            cpi_ci95,
+            components,
+        })
     }
 
     /// The configuration this session runs on.

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 use crate::predictor::BranchPredictor;
 use crate::wrongpath::WrongPathGen;
 use mstacks_mem::Hierarchy;
-use mstacks_model::{CoreConfig, FrontendStall, MicroOp, UopKind};
+use mstacks_model::{BranchInfo, CoreConfig, FrontendStall, MicroOp, UopKind};
 
 /// A micro-op sitting in the frontend queue, decorated with speculation
 /// state and timing.
@@ -134,8 +134,10 @@ impl FrontendUnit {
     }
 
     /// Next micro-op to fetch: the stashed one, else wrong-path synthesis,
-    /// else the trace.
-    fn take_next(&mut self, trace: &mut dyn Iterator<Item = MicroOp>) -> Option<(MicroOp, bool)> {
+    /// else the trace. Generic so that a concrete trace source (e.g. a
+    /// pre-decoded `TraceCursor`) monomorphizes all the way into the fetch
+    /// loop — no virtual dispatch per µop.
+    fn take_next<I: Iterator<Item = MicroOp>>(&mut self, trace: &mut I) -> Option<(MicroOp, bool)> {
         if let Some(p) = self.pending.take() {
             return Some(p);
         }
@@ -153,11 +155,11 @@ impl FrontendUnit {
 
     /// Fetches up to `fetch_width` micro-ops at cycle `now`; returns what
     /// happened for fetch-stage accounting.
-    pub fn tick(
+    pub fn tick<I: Iterator<Item = MicroOp>>(
         &mut self,
         now: u64,
         mem: &mut Hierarchy,
-        trace: &mut dyn Iterator<Item = MicroOp>,
+        trace: &mut I,
     ) -> FetchCycle {
         let mut out = FetchCycle::default();
         if now < self.blocked_until {
@@ -293,6 +295,51 @@ impl FrontendUnit {
         self.current_line = u64::MAX;
     }
 
+    /// Functionally warms the frontend for one fast-forwarded micro-op:
+    /// its instruction line goes through the warm I-side path (TLB + cache
+    /// contents, no timing or statistics) and branches train the predictor.
+    /// This is the per-µop body of a sampled run's fast-forward segment.
+    pub fn warm_uop(&mut self, uop: &MicroOp, mem: &mut Hierarchy) {
+        self.warm_inst(uop.pc, mem);
+        if let UopKind::Branch(bi) = &uop.kind {
+            self.warm_branch(uop.pc, bi);
+        }
+    }
+
+    /// I-side warming for one fast-forwarded µop: consecutive µops on the
+    /// same instruction line are deduplicated, a new line goes through the
+    /// warm I-cache/I-TLB path.
+    #[inline]
+    pub fn warm_inst(&mut self, pc: u64, mem: &mut Hierarchy) {
+        let line = pc >> 6;
+        if line != self.current_line {
+            mem.warm_fetch(pc);
+            self.current_line = line;
+        }
+    }
+
+    /// Trains the branch predictor on one fast-forwarded branch.
+    #[inline]
+    pub fn warm_branch(&mut self, pc: u64, info: &BranchInfo) {
+        self.predictor.warm(pc, info);
+    }
+
+    /// Re-arms a drained frontend so a fresh trace can feed it — the
+    /// detailed-window hand-off of interval sampling. Learned state
+    /// (branch predictor, and the I-cache contents held by the hierarchy)
+    /// persists; transient fetch state is reset so the new window starts
+    /// with a clean fetch group on its first line.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the frontend is not drained.
+    pub fn rearm(&mut self) {
+        debug_assert!(self.is_drained(), "rearming an undrained frontend");
+        self.trace_done = false;
+        self.blocked_on = None;
+        self.current_line = u64::MAX;
+    }
+
     /// `true` when the trace is exhausted and nothing is left to deliver.
     pub fn is_drained(&self) -> bool {
         self.trace_done
@@ -330,10 +377,10 @@ mod tests {
         MicroOp::new(pc, UopKind::IntAlu(AluClass::Add)).with_dst(ArchReg::new(1))
     }
 
-    fn run_ticks(
+    fn run_ticks<I: Iterator<Item = MicroOp>>(
         fe: &mut FrontendUnit,
         mem: &mut Hierarchy,
-        trace: &mut dyn Iterator<Item = MicroOp>,
+        trace: &mut I,
         cycles: u64,
     ) -> Vec<FetchedUop> {
         let mut out = Vec::new();

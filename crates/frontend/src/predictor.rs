@@ -131,6 +131,30 @@ impl BranchPredictor {
         }
     }
 
+    /// Trains the direction/target/return structures on an observed branch
+    /// without predicting and without touching the lookup/mispredict
+    /// statistics — functional warming for sampled simulation. The RAS
+    /// push/pop discipline matches [`BranchPredictor::predict_and_update`]
+    /// exactly (pop on returns, push on calls), so a warmed predictor's
+    /// call stack lines up with the detailed window that follows.
+    pub fn warm(&mut self, pc: u64, actual: &BranchInfo) {
+        if actual.kind == BranchKind::Ret {
+            let _ = self.ras.pop();
+        }
+        if actual.kind == BranchKind::Call {
+            self.ras.push(actual.fallthrough);
+        }
+        if self.perfect {
+            return;
+        }
+        if actual.kind == BranchKind::Cond {
+            self.gshare.update(pc, actual.taken);
+        }
+        if actual.taken && actual.kind != BranchKind::Ret {
+            self.btb.update(pc, actual.target);
+        }
+    }
+
     /// Branches predicted so far.
     pub fn lookups(&self) -> u64 {
         self.lookups

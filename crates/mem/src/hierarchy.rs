@@ -315,6 +315,96 @@ impl Hierarchy {
         self.l2_mshr.insert(line, start, ready, level_to_tag(level));
     }
 
+    // ----- functional warming (interval sampling) -----------------------
+    //
+    // The warm_* methods update cache, TLB, LRU and prefetcher *contents*
+    // exactly as a demand access would, but produce no statistics, no MSHR
+    // traffic and no DRAM contention: they model the state left behind by
+    // the instructions a sampled run fast-forwards over, so a detailed
+    // window that follows starts from warm structures instead of cold ones
+    // (the dominant cold-start bias in sampled simulation). Prefetchers
+    // are trained and their fills land in the L2 — in steady state a large
+    // part of the L2's useful footprint is prefetched-ahead lines, and
+    // omitting them leaves every window head re-fetching its streams from
+    // DRAM (measured as a persistent multi-percent CPI overestimate).
+
+    /// Warms the instruction side for a fetch of `pc`: I-TLB entry plus the
+    /// line in L1I (and L2/L3 on the way, as a demand fill would leave it).
+    pub fn warm_fetch(&mut self, pc: u64) {
+        if self.perfect_icache {
+            return;
+        }
+        self.itlb.warm(pc);
+        let line = self.line(pc);
+        if !self.l1i.probe_and_touch(line) {
+            self.warm_shared(line);
+            self.l1i.insert(line);
+        }
+    }
+
+    /// Warms the data side for a load of `addr` by the instruction at
+    /// `pc` (D-TLB + L1D/L2/L3 + stride-prefetcher training and fills).
+    pub fn warm_load(&mut self, addr: u64, pc: u64) {
+        self.warm_data(addr, pc);
+    }
+
+    /// Warms the data side for a store to `addr` (write-allocate: same
+    /// fill path as a load).
+    pub fn warm_store(&mut self, addr: u64, pc: u64) {
+        self.warm_data(addr, pc);
+    }
+
+    fn warm_data(&mut self, addr: u64, pc: u64) {
+        if self.perfect_dcache {
+            return;
+        }
+        self.dtlb.warm(addr);
+        let line = self.line(addr);
+        if self.l1d.probe_and_touch(line) {
+            return;
+        }
+        // The L2 stride streamer observes L1D demand misses — train it and
+        // land its fills, mirroring `data_access`.
+        let pf_lines = self.stride.observe(pc, addr);
+        self.warm_shared(line);
+        self.l1d.insert(line);
+        for pf in pf_lines {
+            self.warm_prefetch(pf);
+        }
+    }
+
+    /// Warms the shared levels for a line that missed a first-level cache,
+    /// mirroring `access_l2` (including next-line prefetcher training, in
+    /// the same order so LRU state evolves identically).
+    fn warm_shared(&mut self, line: u64) {
+        if let Some(pf) = self.next_line.observe(line) {
+            self.warm_prefetch(pf);
+        }
+        if self.l2.probe_and_touch(line) {
+            return;
+        }
+        if let Some(l3) = self.l3.as_mut() {
+            if !l3.probe_and_touch(line) {
+                l3.insert(line);
+            }
+        }
+        self.l2.insert(line);
+    }
+
+    /// Lands a prefetch in the L2 (and L3 on the way), contents-only —
+    /// the warming twin of `prefetch_into_l2`.
+    fn warm_prefetch(&mut self, line: u64) {
+        if self.l2.contains(line) {
+            return;
+        }
+        if let Some(l3) = self.l3.as_mut() {
+            if !l3.probe_and_touch(line) {
+                l3.insert(line);
+            }
+        }
+        self.l2.insert(line);
+    }
+
     /// Occupancy of the four MSHR files (L1I, L1D, L2, L3) at cycle `now` —
     /// the probe the audit subsystem checks against each file's capacity.
     pub fn mshr_occupancy(&mut self, now: u64) -> [MshrOccupancy; 4] {

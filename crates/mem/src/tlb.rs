@@ -71,6 +71,17 @@ impl Tlb {
         }
     }
 
+    /// Fills the entry for `addr` (touching LRU on a hit) without counting
+    /// an access or a miss — functional warming for sampled simulation,
+    /// where fast-forwarded translations must shape the TLB contents but
+    /// not the measured statistics.
+    pub fn warm(&mut self, addr: u64) {
+        let page = addr >> PAGE_SHIFT;
+        if !self.pages.probe_and_touch(page) {
+            self.pages.insert(page);
+        }
+    }
+
     /// Total translations.
     pub fn accesses(&self) -> u64 {
         self.accesses

@@ -40,6 +40,7 @@ pub mod ideal;
 pub mod ports;
 pub mod reg;
 pub mod rng;
+pub mod sample;
 pub mod uop;
 
 pub use classes::{ClassSpec, ClassTable, UopClass, UOP_CLASSES};
@@ -52,6 +53,7 @@ pub use ideal::{IdealFlags, IdealKind, IDEAL_KINDS};
 pub use ports::{caps, PortSpec};
 pub use reg::ArchReg;
 pub use rng::SmallRng;
+pub use sample::WarmSink;
 pub use uop::{AluClass, BranchInfo, BranchKind, ElemType, FpOpKind, MicroOp, UopKind, VecFpOp};
 
 /// Why the frontend is currently unable to deliver micro-ops.

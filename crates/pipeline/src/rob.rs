@@ -14,6 +14,10 @@
 
 use crate::observer::Blame;
 use mstacks_frontend::FetchedUop;
+
+/// Sentinel for an unused [`RobEntry::deps`] slot (no producer). Sequence
+/// numbers never reach it: the window is bounded by the ROB capacity.
+pub const NO_DEP: u64 = u64::MAX;
 use mstacks_mem::HitLevel;
 use mstacks_model::{MicroOp, UopKind};
 
@@ -25,8 +29,11 @@ pub struct RobEntry {
     /// Global sequence number (program order; wrong-path micro-ops are
     /// interleaved at the point they were fetched).
     pub seq: u64,
-    /// Producer sequence numbers this micro-op still waits on.
-    pub deps: [Option<u64>; 3],
+    /// Producer sequence numbers this micro-op still waits on
+    /// ([`NO_DEP`] marks an unused dependence slot — packing the slots as
+    /// plain `u64` keeps the entry 24 bytes slimmer than `Option<u64>`
+    /// would, and the entry is copied on every dispatch).
+    pub deps: [u64; 3],
     /// Whether execution has started.
     pub issued: bool,
     /// Cycle execution started (valid once `issued`).
@@ -84,7 +91,7 @@ impl RobEntry {
                 icache_miss: false,
             },
             seq: 0,
-            deps: [None; 3],
+            deps: [NO_DEP; 3],
             issued: false,
             issued_at: 0,
             ready_at: 0,
@@ -248,8 +255,23 @@ impl Rob {
     /// Removes every entry younger than `seq` (branch-misprediction
     /// squash), counting the removed micro-ops by category in one walk of
     /// the squashed suffix.
+    ///
+    /// # Contract
+    ///
+    /// `seq` must not be behind the commit head: a redirect can only come
+    /// from an instruction that is still in flight (resolve runs before
+    /// commit in the engine's cycle order), so `seq + 1 >= head_seq`
+    /// always holds. A caller that violates this has lost track of the
+    /// commit order — the old implementation silently kept zero entries
+    /// via `saturating_sub`, masking the bug; now it panics.
     pub fn squash_younger_than(&mut self, seq: u64) -> SquashSummary {
-        let keep = (seq + 1).saturating_sub(self.head_seq) as usize;
+        assert!(
+            seq + 1 >= self.head_seq,
+            "squash target seq {seq} is behind the commit head {} — \
+             redirects must come from in-flight instructions",
+            self.head_seq
+        );
+        let keep = ((seq + 1) - self.head_seq) as usize;
         let keep = keep.min(self.len);
         let mut summary = SquashSummary::default();
         for s in (self.head_seq + keep as u64)..(self.head_seq + self.len as u64) {
@@ -307,7 +329,7 @@ mod tests {
                 icache_miss: false,
             },
             seq,
-            deps: [None; 3],
+            deps: [NO_DEP; 3],
             issued: false,
             issued_at: 0,
             ready_at: 0,
@@ -445,6 +467,39 @@ mod tests {
                 loads: 1
             }
         );
+    }
+
+    #[test]
+    fn squash_at_head_keeps_exactly_the_head() {
+        // After the head has advanced, a redirect from the instruction at
+        // the commit head must keep exactly that one entry.
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
+        }
+        rob.pop_head();
+        rob.pop_head();
+        assert_eq!(rob.head_seq(), 2);
+        let sq = rob.squash_younger_than(2);
+        assert_eq!(sq.uops, 3);
+        assert_eq!(rob.len(), 1);
+        assert_eq!(rob.head().unwrap().seq, 2);
+        assert_eq!(rob.next_seq(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the commit head")]
+    fn squash_behind_head_panics() {
+        // A redirect from a seq that already committed is a caller bug:
+        // it used to silently empty the window, now it traps.
+        let mut rob = Rob::new(8);
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        rob.pop_head();
+        rob.pop_head();
+        rob.pop_head(); // head_seq = 3
+        let _ = rob.squash_younger_than(1);
     }
 
     #[test]

@@ -28,8 +28,21 @@
 //! sequence number *and* the stamp match. The stamp order is exactly the
 //! old unified-vector order, which keeps the issue scan bit-identical
 //! (oldest-first within a thread, dispatch-interleaved across threads).
+//!
+//! Issue removal is a **tombstone** (`pending = DEAD`), not a
+//! `Vec::remove`: removing from the middle of the seq-sorted partition
+//! memmoves the tail on every issued micro-op, which profiles as the
+//! single largest block of the issue stage. Dead entries keep their slot
+//! (so `find`'s binary search stays valid — seq order is preserved, and a
+//! sequence number can only be reused after a squash truncates every
+//! younger entry, dead or alive) and are compacted away in bulk once they
+//! outnumber the live ones.
 
 use mstacks_model::UopKind;
+
+/// `pending` sentinel marking an entry that already issued (tombstone).
+/// Real pending counts are bounded by the dependence-slot count (3).
+const DEAD: u8 = u8::MAX;
 
 /// One waiting (dispatched, not yet issued) micro-op.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +53,8 @@ pub(crate) struct RsEntry {
     /// across threads).
     pub stamp: u64,
     /// Producers that have not issued yet (counted per dependence slot, so
-    /// a duplicated source counts twice and is woken twice).
+    /// a duplicated source counts twice and is woken twice), or [`DEAD`]
+    /// once the entry itself issued.
     pub pending: u8,
     /// Cycle every already-issued producer's result is available. The
     /// entry is dependence-ready at `now` iff `pending == 0 &&
@@ -69,8 +83,11 @@ pub(crate) struct ReadyRef {
 /// Per-thread scheduler state.
 #[derive(Debug)]
 pub(crate) struct ThreadSched {
-    /// Waiting micro-ops in sequence (= per-thread stamp) order.
+    /// Waiting micro-ops in sequence (= per-thread stamp) order, with
+    /// issued entries left in place as tombstones until compaction.
     pub entries: Vec<RsEntry>,
+    /// Live (non-tombstone) entry count — the RS occupancy.
+    live: usize,
     /// Sequence numbers of waiting vector-FP micro-ops, ascending.
     pub vfp: Vec<u64>,
     /// `consumers[rob_slot]` = `(consumer seq, consumer stamp)` pairs
@@ -85,45 +102,85 @@ impl ThreadSched {
     pub fn new(rob_capacity: usize) -> Self {
         ThreadSched {
             entries: Vec::with_capacity(rob_capacity),
+            live: 0,
             vfp: Vec::new(),
             consumers: vec![Vec::new(); rob_capacity],
         }
     }
 
-    /// Number of waiting micro-ops of this thread.
+    /// Number of waiting micro-ops of this thread (tombstones excluded).
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Index of the waiting entry with `seq`, if any (binary search — the
-    /// partition is seq-sorted).
+    /// Registers a freshly dispatched entry (entries arrive in seq order).
+    #[inline]
+    pub fn push(&mut self, e: RsEntry) {
+        debug_assert!(e.pending != DEAD);
+        debug_assert!(self.entries.last().is_none_or(|l| l.seq < e.seq));
+        self.entries.push(e);
+        self.live += 1;
+    }
+
+    /// Index of the entry with `seq`, if any (binary search — the
+    /// partition is seq-sorted; tombstones keep their slot and order).
     #[inline]
     pub fn find(&self, seq: u64) -> Option<usize> {
         self.entries.binary_search_by(|e| e.seq.cmp(&seq)).ok()
     }
 
-    /// Removes the waiting entry with `seq` (it issued).
-    pub fn remove_seq(&mut self, seq: u64) {
+    /// Delivers a producer wakeup to consumer `(cseq, cstamp)`: one fewer
+    /// pending producer, readiness no earlier than `ready_at`. Returns
+    /// `Some((stamp, due, kind))` when the consumer just became
+    /// dependence-free (it joins the ready queue), `None` on a stale
+    /// registration (seq reused after a squash, or consumer already dead).
+    #[inline]
+    pub fn wake(&mut self, cseq: u64, cstamp: u64, ready_at: u64) -> Option<(u64, u64, UopKind)> {
+        let i = self.find(cseq)?;
+        let c = &mut self.entries[i];
+        if c.stamp != cstamp || c.pending == DEAD {
+            return None;
+        }
+        c.pending -= 1;
+        c.ready_time = c.ready_time.max(ready_at);
+        (c.pending == 0).then_some((c.stamp, c.ready_time, c.kind))
+    }
+
+    /// Tombstones the entry with `seq` (it issued), compacting the
+    /// partition once tombstones dominate.
+    pub fn mark_issued(&mut self, seq: u64) {
         if let Some(i) = self.find(seq) {
-            self.entries.remove(i);
+            if self.entries[i].pending != DEAD {
+                self.entries[i].pending = DEAD;
+                self.live -= 1;
+            }
+        }
+        let dead = self.entries.len() - self.live;
+        if dead >= 32 && dead >= self.live {
+            self.entries.retain(|e| e.pending != DEAD);
         }
     }
 
     /// Drops every waiting entry younger than `seq` (squash), returning
-    /// how many were removed.
+    /// how many **live** entries were removed (tombstones already left
+    /// the occupancy count when they issued).
     pub fn squash_younger_than(&mut self, seq: u64) -> usize {
         let keep = self.entries.partition_point(|e| e.seq <= seq);
-        let removed = self.entries.len() - keep;
+        let removed_live = self.entries[keep..]
+            .iter()
+            .filter(|e| e.pending != DEAD)
+            .count();
         self.entries.truncate(keep);
+        self.live -= removed_live;
         let vfp_keep = self.vfp.partition_point(|&s| s <= seq);
         self.vfp.truncate(vfp_keep);
-        removed
+        removed_live
     }
 
     /// Removes `seq` from the waiting-VFP list (it issued).
@@ -140,7 +197,7 @@ impl ThreadSched {
     pub fn first_not_done(&self, now: u64) -> Option<&RsEntry> {
         self.entries
             .iter()
-            .find(|e| e.pending > 0 || e.ready_time > now)
+            .find(|e| e.pending != DEAD && (e.pending > 0 || e.ready_time > now))
     }
 }
 
@@ -160,27 +217,30 @@ mod tests {
     }
 
     #[test]
-    fn find_and_remove_by_seq() {
+    fn find_and_mark_issued_by_seq() {
         let mut s = ThreadSched::new(8);
         for seq in [3, 5, 9] {
-            s.entries.push(entry(seq, seq * 10));
+            s.push(entry(seq, seq * 10));
         }
         assert_eq!(s.find(5), Some(1));
         assert_eq!(s.find(4), None);
-        s.remove_seq(5);
+        s.mark_issued(5);
         assert_eq!(s.len(), 2);
-        assert_eq!(s.find(9), Some(1));
+        // Tombstone keeps its slot; the live entries are still findable.
+        assert_eq!(s.find(9), Some(2));
+        assert!(s.first_not_done(0).is_none()); // none pending
     }
 
     #[test]
     fn squash_truncates_entries_and_vfp() {
         let mut s = ThreadSched::new(8);
         for seq in 0..6 {
-            s.entries.push(entry(seq, seq));
+            s.push(entry(seq, seq));
         }
         s.vfp = vec![1, 3, 5];
+        s.mark_issued(4); // tombstones must not count as removed occupancy
         let removed = s.squash_younger_than(2);
-        assert_eq!(removed, 3);
+        assert_eq!(removed, 2);
         assert_eq!(s.len(), 3);
         assert_eq!(s.vfp, vec![1]);
     }
@@ -194,10 +254,43 @@ mod tests {
         b.pending = 1;
         let mut c = entry(2, 2); // waiting on an in-flight result
         c.ready_time = 20;
-        s.entries.extend([a, b, c]);
+        s.push(a);
+        s.push(b);
+        s.push(c);
         assert_eq!(s.first_not_done(10).unwrap().seq, 1);
-        s.entries.remove(1);
+        s.mark_issued(1);
         assert_eq!(s.first_not_done(10).unwrap().seq, 2);
         assert!(s.first_not_done(30).is_none());
+    }
+
+    #[test]
+    fn wake_decrements_and_guards_stale_and_dead() {
+        let mut s = ThreadSched::new(8);
+        let mut e = entry(7, 70);
+        e.pending = 2;
+        s.push(e);
+        assert_eq!(s.wake(7, 99, 10), None); // stamp mismatch (stale)
+        assert_eq!(s.wake(7, 70, 10), None); // 2 -> 1, not ready yet
+        assert_eq!(s.wake(7, 70, 15), Some((70, 15, e.kind)));
+        s.mark_issued(7);
+        assert_eq!(s.wake(7, 70, 20), None); // dead entries ignore wakeups
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_live_set_and_order() {
+        let mut s = ThreadSched::new(256);
+        for seq in 0..100 {
+            s.push(entry(seq, seq));
+        }
+        // Issue the evens; tombstones eventually dominate and compact.
+        for seq in (0..100).step_by(2) {
+            s.mark_issued(seq);
+        }
+        assert_eq!(s.len(), 50);
+        assert!(s.entries.len() < 100); // compaction fired
+        for seq in (1..100).step_by(2) {
+            assert!(s.find(seq).is_some());
+        }
     }
 }

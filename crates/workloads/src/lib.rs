@@ -33,20 +33,24 @@
 //! ```
 
 pub mod addr;
+pub mod buffer;
 pub mod conv;
 pub mod deepbench;
 pub mod gemm;
 pub mod program;
 pub mod rnn;
+pub mod sample;
 pub mod spec;
 pub mod synth;
 
 use mstacks_model::MicroOp;
 
+pub use buffer::{SharedTraceBuffer, TraceBuffer, TraceCursor};
 pub use conv::{ConvPhase, ConvTrace};
 pub use deepbench::{ConvConfig, GemmConfig, RnnConfig};
 pub use gemm::{GemmStyle, GemmTrace};
 pub use rnn::{RnnCell, RnnTrace};
+pub use sample::{SampleSource, WindowFn};
 pub use synth::SynthParams;
 
 /// A named, deterministic micro-op stream generator.
@@ -127,21 +131,75 @@ impl Workload {
                 assert!(!phases.is_empty(), "sequence needs at least one phase");
                 let per_round: u64 = phases.iter().map(|(_, n)| n).sum();
                 assert!(per_round > 0, "sequence phases need non-zero budgets");
-                let mut out: Box<dyn Iterator<Item = MicroOp>> = Box::new(std::iter::empty());
-                let mut emitted = 0u64;
-                'outer: loop {
-                    for (w, n) in phases {
-                        let take = (*n).min(len - emitted);
-                        out = Box::new(out.chain(w.trace(take)));
-                        emitted += take;
-                        if emitted >= len {
-                            break 'outer;
-                        }
-                    }
-                }
-                out
+                Box::new(SeqTrace::new(phases.clone(), len))
             }
         }
+    }
+}
+
+/// Lazy segmented generator behind [`Workload::trace`] for
+/// [`Workload::Sequence`]: one phase segment is live at a time and the
+/// next one is opened only when the current drains.
+///
+/// The previous implementation eagerly built a left-nested
+/// `Box<dyn Iterator>` chain with one level per phase segment, so
+/// construction was O(len / round) allocations and each `next()` walked
+/// the remaining chain depth — O(segments²) total for long repeating
+/// sequences. This generator is O(1) construction and O(1) amortized per
+/// micro-op, and emits the byte-identical stream (each segment is still
+/// exactly `w.trace(min(budget, remaining))`).
+struct SeqTrace {
+    phases: Vec<(Workload, u64)>,
+    /// Index of the phase the *next* segment will come from.
+    next_phase: usize,
+    /// Micro-ops still owed after the current segment.
+    remaining: u64,
+    /// Micro-ops left in the live segment.
+    left_in_segment: u64,
+    cur: Box<dyn Iterator<Item = MicroOp>>,
+}
+
+impl SeqTrace {
+    fn new(phases: Vec<(Workload, u64)>, len: u64) -> Self {
+        SeqTrace {
+            phases,
+            next_phase: 0,
+            remaining: len,
+            left_in_segment: 0,
+            cur: Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Opens the next non-empty phase segment. The caller guarantees
+    /// `remaining > 0`; the constructor asserted a non-zero round budget,
+    /// so this terminates.
+    fn open_next_segment(&mut self) {
+        loop {
+            let (w, budget) = &self.phases[self.next_phase];
+            self.next_phase = (self.next_phase + 1) % self.phases.len();
+            let seg = (*budget).min(self.remaining);
+            if seg > 0 {
+                self.cur = w.trace(seg);
+                self.left_in_segment = seg;
+                self.remaining -= seg;
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for SeqTrace {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.left_in_segment == 0 {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.open_next_segment();
+        }
+        self.left_in_segment -= 1;
+        self.cur.next()
     }
 }
 
@@ -179,6 +237,40 @@ mod tests {
             &us[2_000..],
             &mcf_alone[..],
             "the second phase must be exactly the mcf stream"
+        );
+    }
+
+    #[test]
+    fn sequence_trace_is_lazy() {
+        // The old box-chain built one allocation per phase segment *at
+        // construction time*: a huge request with tiny budgets would
+        // allocate ~10⁹ boxes before yielding a single µop. The segmented
+        // generator must open segments on demand.
+        let seq = Workload::Sequence(vec![(spec::exchange2(), 1), (spec::mcf(), 1)]);
+        let head: Vec<_> = seq.trace(1_000_000_000_000).take(8).collect();
+        assert_eq!(head.len(), 8);
+    }
+
+    #[test]
+    fn sequence_per_uop_cost_is_constant() {
+        // Regression microbench for the O(segments²) box chain: with fixed
+        // phase budgets, the per-µop cost must not grow with the number of
+        // rounds. The old chain walked one level per already-opened segment
+        // on every `next()`, so 10× the rounds made each µop ~10× slower;
+        // the segmented generator keeps it flat (generous 5× tolerance for
+        // timer noise).
+        let seq = Workload::Sequence(vec![(spec::exchange2(), 200), (spec::mcf(), 200)]);
+        let per_uop = |len: u64| {
+            let t = std::time::Instant::now();
+            assert_eq!(seq.trace(len).count() as u64, len);
+            t.elapsed().as_secs_f64() / len as f64
+        };
+        let _ = (per_uop(20_000), per_uop(200_000)); // warmup
+        let short = per_uop(20_000);
+        let long = per_uop(200_000);
+        assert!(
+            long < 5.0 * short.max(1e-9),
+            "per-µop cost grows with round count: {long}s/µop at 200k vs {short}s/µop at 20k"
         );
     }
 

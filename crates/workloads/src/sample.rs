@@ -1,0 +1,120 @@
+//! Micro-op sources for interval sampling.
+//!
+//! A sampled run slices its trace two ways: detailed windows replay as a
+//! plain micro-op iterator, and fast-forward segments stream into a
+//! [`WarmSink`] (the functional-warming half of the engine). A
+//! [`SampleSource`] provides both. The pre-decoded
+//! [`TraceBuffer`](crate::TraceBuffer) overrides
+//! [`SampleSource::warm_range`] to feed the sink straight from its packed
+//! structure-of-arrays columns — no [`MicroOp`] is materialized, roughly
+//! doubling fast-forward throughput — while any windowed closure wrapped
+//! in [`WindowFn`] samples correctly through the per-µop fallback.
+
+use mstacks_model::{MicroOp, WarmSink};
+
+/// A random-access micro-op stream that interval sampling can slice into
+/// detailed windows and fast-forward (warming) ranges.
+pub trait SampleSource {
+    /// The detailed-window iterator type.
+    type Window: Iterator<Item = MicroOp>;
+
+    /// Micro-ops `[start, end)` for detailed execution.
+    fn window(&self, start: u64, end: u64) -> Self::Window;
+
+    /// Streams micro-ops `[start, end)` into the warm sink. The default
+    /// iterates [`SampleSource::window`] and dispatches per µop; batched
+    /// sources override it to read their packed representation directly,
+    /// and must produce the identical call sequence (asserted by the
+    /// equivalence tests in the buffer module and the sampling suite).
+    fn warm_range(&self, start: u64, end: u64, sink: &mut impl WarmSink) {
+        for uop in self.window(start, end) {
+            sink.feed(&uop);
+        }
+    }
+}
+
+/// Adapts a `Fn(start, end) -> impl Iterator<Item = MicroOp>` closure into
+/// a [`SampleSource`] (warming via the fallback per-µop path), so sampled
+/// runs also work over sources with no batched representation — e.g. a
+/// re-seeded streaming generator too long to hold in memory.
+pub struct WindowFn<F>(pub F);
+
+impl<I, F> SampleSource for WindowFn<F>
+where
+    I: Iterator<Item = MicroOp>,
+    F: Fn(u64, u64) -> I,
+{
+    type Window = I;
+
+    fn window(&self, start: u64, end: u64) -> I {
+        (self.0)(start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mstacks_model::{AluClass, ArchReg, BranchInfo, BranchKind, UopKind};
+
+    #[derive(Default)]
+    struct Recorder(Vec<(u8, u64)>);
+
+    impl WarmSink for Recorder {
+        fn inst(&mut self, pc: u64) {
+            self.0.push((0, pc));
+        }
+        fn branch(&mut self, pc: u64, _info: &BranchInfo) {
+            self.0.push((1, pc));
+        }
+        fn load(&mut self, addr: u64, _pc: u64) {
+            self.0.push((2, addr));
+        }
+        fn store(&mut self, addr: u64, _pc: u64) {
+            self.0.push((3, addr));
+        }
+    }
+
+    fn uops() -> Vec<MicroOp> {
+        vec![
+            MicroOp::new(0x10, UopKind::IntAlu(AluClass::Add)).with_dst(ArchReg::new(1)),
+            MicroOp::new(0x14, UopKind::Load { addr: 0x8000 }),
+            MicroOp::new(0x18, UopKind::Store { addr: 0x9000 }),
+            MicroOp::new(
+                0x1c,
+                UopKind::Branch(BranchInfo {
+                    taken: true,
+                    target: 0x10,
+                    fallthrough: 0x20,
+                    kind: BranchKind::Cond,
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn window_fn_warms_through_the_fallback_path() {
+        let all = uops();
+        let src = WindowFn(|a: u64, b: u64| all[a as usize..b as usize].iter().copied());
+        let mut rec = Recorder::default();
+        src.warm_range(1, 4, &mut rec);
+        assert_eq!(
+            rec.0,
+            vec![
+                (0, 0x14),
+                (2, 0x8000),
+                (0, 0x18),
+                (3, 0x9000),
+                (0, 0x1c),
+                (1, 0x1c)
+            ]
+        );
+    }
+
+    #[test]
+    fn window_fn_windows_slice_exactly() {
+        let all = uops();
+        let src = WindowFn(|a: u64, b: u64| all[a as usize..b as usize].iter().copied());
+        assert_eq!(src.window(0, 2).count(), 2);
+        assert_eq!(src.window(2, 4).collect::<Vec<_>>(), all[2..4]);
+    }
+}

@@ -4,7 +4,7 @@
 //! accountant is caught with the right stage attribution.
 
 use mstacks::core::{AuditOptions, Component, FaultSpec, Session, Stage};
-use mstacks::model::CoreConfig;
+use mstacks::model::{coretab, CoreConfig};
 use mstacks::pipeline::PipelineError;
 use mstacks::workloads::{deepbench, spec, ConvPhase, GemmStyle, RnnCell, Workload};
 
@@ -90,6 +90,66 @@ fn deepbench_kernels_audit_clean_on_every_core() {
     for cfg in cores() {
         for w in deepbench_workloads(&cfg) {
             assert_clean(&w, &cfg, 2_000);
+        }
+    }
+}
+
+#[test]
+fn residual_folding_is_exact_across_the_full_corpus() {
+    // The WidthNormalizer keeps its carry as an integer count of 1/W
+    // slots, and finalize folds the residual into the base component, so
+    // every stage stack must sum to the measured cycle count — *bit
+    // exactly* when the accounting width is a power of two (all fractions
+    // are dyadic rationals), and within f64 rounding of the summation for
+    // other widths (zen's W = 6). Full corpus: the 21 SPEC-like profiles
+    // plus the three deepbench kernels, on the three constructed presets
+    // plus the two table-only cores, auditor on throughout.
+    let mut cores: Vec<CoreConfig> = cores().into();
+    for name in ["zen", "atom"] {
+        cores.push(coretab::builtin(name).expect("shipped table"));
+    }
+    for cfg in &cores {
+        let mut corpus = spec::all();
+        corpus.extend(deepbench_workloads(cfg));
+        assert_eq!(corpus.len(), 24, "corpus drifted — update the doc above");
+        let exact = cfg.accounting_width().is_power_of_two();
+        for w in corpus {
+            let (report, audit) = Session::new(cfg.clone())
+                .run_threads_audited(vec![w.trace(4_000)], AuditOptions::default())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), cfg.name));
+            assert!(
+                audit.is_clean(),
+                "{} on {}: audit dirty",
+                w.name(),
+                cfg.name
+            );
+            for t in &report.threads {
+                let cycles = t.result.cycles as f64;
+                for s in t.multi.all_stacks() {
+                    let total = s.total_cycles();
+                    if exact {
+                        assert!(
+                            total.to_bits() == cycles.to_bits(),
+                            "{} on {} (W={}): {} stack sums to {total:?}, \
+                             cycles {cycles:?} — residual folding not exact",
+                            w.name(),
+                            cfg.name,
+                            cfg.accounting_width(),
+                            s.stage,
+                        );
+                    } else {
+                        assert!(
+                            (total - cycles).abs() <= 1e-9 * cycles.max(1.0),
+                            "{} on {} (W={}): {} stack sums to {total} over \
+                             {cycles} cycles",
+                            w.name(),
+                            cfg.name,
+                            cfg.accounting_width(),
+                            s.stage,
+                        );
+                    }
+                }
+            }
         }
     }
 }

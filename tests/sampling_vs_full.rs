@@ -1,0 +1,227 @@
+//! Metamorphic tests for interval sampling: a sampled run must bracket
+//! the full run's CPI stack within its own confidence intervals (plus
+//! the documented 2% systematic-error budget), and the degenerate plan
+//! (`ff = 0`) must be bit-identical to the full run.
+
+use mstacks::core::{Component, SamplePlan, Session, COMPONENTS};
+use mstacks::model::CoreConfig;
+use mstacks::workloads::WindowFn;
+use mstacks::workloads::{spec, SharedTraceBuffer, TraceBuffer, Workload};
+
+const TOTAL: u64 = 120_000;
+
+/// The sampling plan the tests exercise: 500 warmup + 2 500 measured per
+/// window, 12 000 fast-forwarded → period 15 000, 8 windows over `TOTAL`,
+/// 20% of the trace executed in detail.
+fn plan() -> SamplePlan {
+    SamplePlan::new(500, 2_500, 12_000)
+}
+
+fn buffer(w: &Workload) -> std::sync::Arc<TraceBuffer> {
+    TraceBuffer::capture(w, TOTAL).shared()
+}
+
+/// Runs `w` on `cfg` both ways and checks total CPI and every
+/// per-stage/per-component CPI against the sampling estimate ± its CI
+/// plus a 2%-of-total-CPI systematic budget (warmup bias, window-edge
+/// drain).
+fn check_brackets(w: &Workload, cfg: &CoreConfig) {
+    let buf = buffer(w);
+    let session = Session::new(cfg.clone());
+    let full = session
+        .run(buf.cursor())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), cfg.name));
+    let sampled = session
+        .run_sampled(TOTAL, plan(), &buf)
+        .unwrap_or_else(|e| panic!("{} on {} sampled: {e}", w.name(), cfg.name));
+
+    let full_cpi = full.cpi();
+    let budget = 0.02 * full_cpi;
+    let d = (sampled.cpi_mean - full_cpi).abs();
+    assert!(
+        d <= sampled.cpi_ci95 + budget,
+        "{} on {}: sampled CPI {} ± {} vs full {} (|Δ| = {d})",
+        w.name(),
+        cfg.name,
+        sampled.cpi_mean,
+        sampled.cpi_ci95,
+        full_cpi,
+    );
+
+    // Per-component bracketing at every stage, via the aggregate stacks.
+    let pairs = [
+        (&sampled.report.multi.dispatch, &full.multi.dispatch),
+        (&sampled.report.multi.issue, &full.multi.issue),
+        (&sampled.report.multi.commit, &full.multi.commit),
+    ];
+    for (s, f) in pairs {
+        for &c in &COMPONENTS {
+            let ci = sampled.ci_of(s.stage, c).map_or(0.0, |entry| entry.ci95);
+            let d = (s.cpi_of(c) - f.cpi_of(c)).abs();
+            assert!(
+                d <= ci + budget,
+                "{} on {} {} {}: sampled {} vs full {} (ci {ci}, budget {budget})",
+                w.name(),
+                cfg.name,
+                s.stage,
+                c,
+                s.cpi_of(c),
+                f.cpi_of(c),
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_bound_profile_brackets_on_all_cores() {
+    for cfg in [
+        CoreConfig::broadwell(),
+        CoreConfig::knights_landing(),
+        CoreConfig::skylake_server(),
+    ] {
+        check_brackets(&spec::mcf(), &cfg);
+    }
+}
+
+#[test]
+fn branchy_profile_brackets() {
+    check_brackets(&spec::deepsjeng(), &CoreConfig::broadwell());
+}
+
+#[test]
+fn streaming_profile_brackets() {
+    check_brackets(&spec::lbm(), &CoreConfig::skylake_server());
+}
+
+#[test]
+fn compute_profile_brackets() {
+    check_brackets(&spec::x264(), &CoreConfig::broadwell());
+}
+
+#[test]
+fn ff_zero_is_bit_identical_to_full_run() {
+    let buf = buffer(&spec::mcf());
+    let session = Session::new(CoreConfig::broadwell());
+    let full = session.run(buf.cursor()).expect("full run");
+    let degenerate = session
+        .run_sampled(TOTAL, SamplePlan::new(0, TOTAL, 0), &buf)
+        .expect("degenerate sampled run");
+    // Same engine, same trace, same path → every field identical,
+    // including the dyadic-rational stack counts.
+    assert_eq!(degenerate.report, full);
+    assert_eq!(degenerate.windows, 1);
+    assert_eq!(degenerate.cpi_ci95, 0.0);
+    assert_eq!(degenerate.sampled_uops, TOTAL);
+}
+
+#[test]
+fn batched_warming_is_bit_identical_to_the_iterator_fallback() {
+    // The pre-decoded buffer warms fast-forward segments straight out of
+    // its packed columns; WindowFn warms by materializing each µop. The
+    // two must drive the identical warm-call sequence, so entire sampled
+    // reports must match bit for bit.
+    let buf = buffer(&spec::mcf());
+    let session = Session::new(CoreConfig::broadwell());
+    let batched = session.run_sampled(TOTAL, plan(), &buf).expect("batched");
+    let fallback = session
+        .run_sampled(TOTAL, plan(), &WindowFn(|s, e| buf.window(s, e)))
+        .expect("fallback");
+    assert_eq!(batched, fallback);
+}
+
+#[test]
+fn sampled_run_is_deterministic() {
+    let buf = buffer(&spec::gcc());
+    let session = Session::new(CoreConfig::broadwell());
+    let a = session.run_sampled(TOTAL, plan(), &buf).expect("first run");
+    let b = session
+        .run_sampled(TOTAL, plan(), &buf)
+        .expect("second run");
+    assert_eq!(a, b, "sampling must be bit-deterministic");
+}
+
+#[test]
+fn sampled_run_measures_only_the_detailed_fraction() {
+    let buf = buffer(&spec::mcf());
+    let p = plan();
+    let sampled = Session::new(CoreConfig::broadwell())
+        .run_sampled(TOTAL, p, &buf)
+        .expect("sampled run");
+    // 8 full periods of 15 000 over 120 000 micro-ops.
+    assert_eq!(sampled.windows, 8);
+    // Measured segments stop on cycle boundaries, so each may overshoot
+    // `detailed` by up to the commit width minus one micro-ops.
+    assert!(
+        sampled.sampled_uops >= 8 * p.detailed && sampled.sampled_uops < 8 * (p.detailed + 16),
+        "sampled {} vs planned {}",
+        sampled.sampled_uops,
+        8 * p.detailed
+    );
+    assert_eq!(sampled.total_uops, TOTAL);
+    let measured_frac = sampled.sampled_uops as f64 / TOTAL as f64;
+    assert!(
+        measured_frac < 0.25,
+        "detail fraction {measured_frac} defeats the point of sampling"
+    );
+    // The engine's cumulative counters must exclude fast-forwarded work:
+    // warmup + detailed + cooldown micro-ops only.
+    let cooldown = p.ff.min(mstacks::core::sampling::COOLDOWN_UOPS);
+    assert_eq!(
+        sampled.report.result.committed_uops,
+        8 * (p.warmup + p.detailed + cooldown)
+    );
+    // Aggregate stacks are conservative over the measured windows.
+    for s in sampled.report.multi.stacks() {
+        let total: f64 = s.total_cycles();
+        assert!(
+            (total - s.cycles as f64).abs() < 1e-6,
+            "{}: stack sums to {total} ≠ {} measured cycles",
+            s.stage,
+            s.cycles
+        );
+    }
+}
+
+#[test]
+fn warmup_tightens_the_estimate_on_a_memory_bound_profile() {
+    // Without warmup, every window starts on a drained pipeline whose
+    // first instructions see cold MSHRs/queues; with warmup those edge
+    // effects fall outside the measured segment. The warmed estimate must
+    // not be farther from the full run than the cold one by more than its
+    // own confidence interval (it is usually strictly closer).
+    let buf = buffer(&spec::mcf());
+    let cfg = CoreConfig::broadwell();
+    let session = Session::new(cfg);
+    let full_cpi = session.run(buf.cursor()).expect("full run").cpi();
+    let cold = session
+        .run_sampled(TOTAL, SamplePlan::new(0, 3_000, 12_000), &buf)
+        .expect("cold windows");
+    let warm = session
+        .run_sampled(TOTAL, SamplePlan::new(500, 2_500, 12_000), &buf)
+        .expect("warm windows");
+    let cold_err = (cold.cpi_mean - full_cpi).abs();
+    let warm_err = (warm.cpi_mean - full_cpi).abs();
+    assert!(
+        warm_err <= cold_err + warm.cpi_ci95,
+        "warmup made the estimate worse: warm |Δ| = {warm_err}, cold |Δ| = {cold_err}, ci = {}",
+        warm.cpi_ci95
+    );
+}
+
+#[test]
+fn component_ci_table_covers_all_stages() {
+    let buf = buffer(&spec::mcf());
+    let sampled = Session::new(CoreConfig::broadwell())
+        .run_sampled(TOTAL, plan(), &buf)
+        .expect("sampled run");
+    // 4 stages × 10 components, all present for a single-thread run.
+    assert_eq!(sampled.components.len(), 4 * COMPONENTS.len());
+    // The Base component is always busy — its mean must be positive and
+    // its interval finite.
+    for entry in &sampled.components {
+        if entry.component == Component::Base {
+            assert!(entry.mean_cpi > 0.0, "{:?}", entry.stage);
+            assert!(entry.ci95.is_finite());
+        }
+    }
+}
