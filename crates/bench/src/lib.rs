@@ -8,9 +8,11 @@
 pub mod microbench;
 pub mod sweep;
 
-pub use sweep::{par_map, sweep_threads, Sweep, SweepPoint, SweepResult};
+pub use sweep::{
+    corun_sweep, par_map, sweep_threads, CorunPoint, CorunResult, Sweep, SweepPoint, SweepResult,
+};
 
-use mstacks_core::{Session, SimReport};
+use mstacks_core::{CoRun, CoRunReport, Session, SimReport};
 use mstacks_model::{CoreConfig, IdealFlags};
 use mstacks_workloads::{SharedTraceBuffer, TraceBuffer, Workload};
 use std::sync::Arc;
@@ -69,6 +71,31 @@ pub fn run_buffered(
         .with_ideal(ideal)
         .audit(audit_enabled())
         .run(buf.cursor())
+}
+
+/// Runs `workloads` co-located on one shared uncore (one core each, `uops`
+/// micro-ops per core) — the co-location counterpart of [`run`]. With
+/// `MSTACKS_AUDIT` set the run carries the conservation auditor on every
+/// core.
+///
+/// # Panics
+///
+/// Panics if any core deadlocks or an audited run trips an invariant.
+pub fn run_corun(
+    workloads: &[Workload],
+    cfg: &CoreConfig,
+    ideal: IdealFlags,
+    uops: u64,
+) -> CoRunReport {
+    let traces = workloads.iter().map(|w| w.trace(uops)).collect();
+    CoRun::new(cfg.clone())
+        .with_ideal(ideal)
+        .audit(audit_enabled())
+        .run(traces)
+        .unwrap_or_else(|e| {
+            let names: Vec<String> = workloads.iter().map(Workload::name).collect();
+            panic!("corun [{}] on {}: {e}", names.join("+"), cfg.name)
+        })
 }
 
 /// Baseline CPI minus idealized CPI: the measured benefit of removing a

@@ -80,6 +80,46 @@ where
         .collect()
 }
 
+/// One co-location point: several workloads co-run on cores sharing one
+/// uncore (one core per workload).
+#[derive(Debug, Clone)]
+pub struct CorunPoint {
+    pub workloads: Vec<Workload>,
+    pub cfg: CoreConfig,
+    pub ideal: IdealFlags,
+    /// Micro-ops per core.
+    pub uops: u64,
+}
+
+impl CorunPoint {
+    /// Human-readable identity, e.g. `mcf+gemm on bdw [baseline]`.
+    pub fn label(&self) -> String {
+        let names: Vec<String> = self.workloads.iter().map(Workload::name).collect();
+        format!("{} on {} [{}]", names.join("+"), self.cfg.name, self.ideal)
+    }
+}
+
+/// A [`CorunPoint`] with its finished report.
+#[derive(Debug, Clone)]
+pub struct CorunResult {
+    pub point: CorunPoint,
+    pub report: mstacks_core::CoRunReport,
+}
+
+/// Runs every co-location point on the [`sweep_threads`] pool (results in
+/// input order, same as [`par_map`]). Each point honours `MSTACKS_AUDIT`
+/// exactly as [`crate::run_corun`] does.
+///
+/// # Panics
+///
+/// Panics if any point deadlocks or trips an audited invariant.
+pub fn corun_sweep(points: &[CorunPoint]) -> Vec<CorunResult> {
+    par_map(points, |p| CorunResult {
+        report: crate::run_corun(&p.workloads, &p.cfg, p.ideal, p.uops),
+        point: p.clone(),
+    })
+}
+
 /// One simulation of a sweep: a workload on a core under idealization
 /// flags, for a number of micro-ops.
 #[derive(Debug, Clone)]

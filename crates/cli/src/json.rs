@@ -4,7 +4,8 @@
 //! escapes, and finite numbers.
 
 use mstacks_core::{
-    AuditReport, SampledReport, SimReport, SmtReport, StackComparison, COMPONENTS, FLOPS_COMPONENTS,
+    AuditReport, CoRunReport, SampledReport, SimReport, SmtReport, StackComparison, COMPONENTS,
+    FLOPS_COMPONENTS,
 };
 
 /// Escapes a string for JSON (the names here are all ASCII identifiers,
@@ -155,6 +156,71 @@ pub fn smt_report(r: &SmtReport, audit: Option<&AuditReport>) -> String {
         "{{\"threads\":[{}],\"audit\":{}}}",
         threads.join(","),
         audit_json(audit)
+    )
+}
+
+/// Serializes a [`CoRunReport`]: one entry per core (with its workload
+/// name, stacks and attributed interference) plus the shared-resource
+/// occupancy summary. The interference component is always present in
+/// every stack's `components` object — exactly `0.000000` for a core
+/// that was never delayed — so consumers can diff solo vs co-run output
+/// without schema branches.
+pub fn corun_report(names: &[String], r: &CoRunReport, audit: Option<&AuditReport>) -> String {
+    let cores: Vec<String> = r
+        .cores
+        .iter()
+        .zip(&r.shared.cores)
+        .enumerate()
+        .map(|(i, (t, s))| {
+            let mut stacks: Vec<String> =
+                t.multi.stacks().iter().map(|st| cpi_stack_json(st)).collect();
+            if let Some(f) = &t.multi.fetch {
+                stacks.insert(0, cpi_stack_json(f));
+            }
+            format!(
+                "{{\"core\":{},\"workload\":\"{}\",\"cycles\":{},\"uops\":{},\"cpi\":{},\"interference_cycles\":{},\"stacks\":[{}]}}",
+                i,
+                esc(names.get(i).map(String::as_str).unwrap_or("?")),
+                t.result.cycles,
+                t.result.committed_uops,
+                num(t.cpi()),
+                s.interference_cycles,
+                stacks.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"cores\":[{}],\"shared\":{},\"audit\":{}}}",
+        cores.join(","),
+        shared_summary_json(&r.shared),
+        audit_json(audit)
+    )
+}
+
+fn shared_summary_json(s: &mstacks_mem::SharedSummary) -> String {
+    let cores: Vec<String> = s
+        .cores
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"l3_accesses\":{},\"l3_misses\":{},\"dram_accesses\":{},\"dram_queue_cycles\":{},\"interference_cycles\":{},\"delays_caused\":{}}}",
+                c.l3_accesses,
+                c.l3_misses,
+                c.dram_accesses,
+                c.dram_queue_cycles,
+                c.interference_cycles,
+                c.delays_caused
+            )
+        })
+        .collect();
+    format!(
+        "{{\"l3_accesses\":{},\"l3_misses\":{},\"dram_accesses\":{},\"dram_queue_cycles\":{},\"mshr_capacity\":{},\"cores\":[{}]}}",
+        s.l3_accesses,
+        s.l3_misses,
+        s.dram_accesses,
+        s.dram_queue_cycles,
+        s.mshr_capacity,
+        cores.join(",")
     )
 }
 

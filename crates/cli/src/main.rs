@@ -7,6 +7,7 @@
 //! mstacks bounds   <workload> [options]        bound table + verification
 //! mstacks flops    <workload> [options]        FLOPS stack (HPC view)
 //! mstacks smt      <w0> <w1> [options]         2-way SMT per-thread stacks
+//! mstacks corun    <w0> <w1> [w2 w3] [options] multi-core co-run with interference stacks
 //! mstacks compare  <workload> [options]        one workload across all cores
 //! mstacks trace    <workload> [options]        dump the micro-op stream head
 //! mstacks crosscheck <workload> [options]      differential oracle vs simulator
@@ -30,7 +31,7 @@ mod json;
 mod output;
 
 use args::{CliError, Options};
-use mstacks_core::{AuditOptions, AuditReport, Session};
+use mstacks_core::{AuditOptions, AuditReport, CoRun, Session};
 use mstacks_model::{coretab, CoreConfig};
 use mstacks_workloads::{spec, TraceBuffer};
 use std::process::ExitCode;
@@ -239,6 +240,52 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let w = opts.workload(0)?;
             output::print_compare(&w, &opts)
         }
+        "corun" => {
+            let opts = Options::parse(&argv[1..], 2)?;
+            if opts.positional.len() > 4 {
+                return Err(CliError::new(format!(
+                    "corun takes 2-4 workloads (one per core), got {}",
+                    opts.positional.len()
+                )));
+            }
+            if opts.sample.is_some() {
+                return Err(CliError::new(
+                    "--sample is not supported for co-run sessions: interval sampling \
+                     fast-forwards each core independently, which would desynchronize \
+                     the shared-uncore arbitration the interference component measures \
+                     (run the cores in full detail, or sample each workload solo)",
+                ));
+            }
+            let workloads: Vec<_> = (0..opts.positional.len())
+                .map(|i| opts.workload(i))
+                .collect::<Result<_, _>>()?;
+            let names: Vec<String> = workloads.iter().map(|w| w.name()).collect();
+            let corun = CoRun::new(opts.core.clone())
+                .with_ideal(opts.ideal)
+                .with_badspec(opts.badspec);
+            let traces = workloads.iter().map(|w| w.trace(opts.uops)).collect();
+            let (report, audit) = match audit_options(&opts)? {
+                Some(a) => {
+                    let (r, audit) = corun
+                        .run_audited(traces, a)
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+                    check_audit(&audit)?;
+                    (r, Some(audit))
+                }
+                None => (
+                    corun
+                        .run(traces)
+                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+                    None,
+                ),
+            };
+            if opts.json {
+                println!("{}", json::corun_report(&names, &report, audit.as_ref()));
+            } else {
+                output::print_corun(&names, &opts, &report);
+            }
+            Ok(())
+        }
         "smt" => {
             let opts = Options::parse(&argv[1..], 2)?;
             let w0 = opts.workload(0)?;
@@ -335,6 +382,9 @@ fn print_help() {
          \x20 mstacks bounds   <workload> [--core C] [--uops N] [--json]\n\
          \x20 mstacks flops    <workload> [--core C] [--uops N] [--json]\n\
          \x20 mstacks smt      <w0> <w1>  [--core C] [--uops N] [--json]\n\
+         \x20 mstacks corun    <w0> <w1> [w2 w3]  [--core C] [--uops N] [--json] [--audit]\n\
+         \x20                             (2-4 cores sharing L3/MSHRs/DRAM; per-core\n\
+         \x20                              stacks gain an `interference` component)\n\
          \x20 mstacks compare  <workload> [--uops N]\n\
          \x20 mstacks trace    <workload> [--uops N]\n\
          \x20 mstacks crosscheck <workload> [--core C] [--uops N] [--ideal F] [--json]\n\

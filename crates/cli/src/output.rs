@@ -230,6 +230,40 @@ pub fn print_crosscheck(
     println!("{t}");
 }
 
+/// `mstacks corun` text output: per-core stacks with the interference
+/// component, then the shared-resource occupancy summary.
+pub fn print_corun(names: &[String], opts: &Options, r: &mstacks_core::CoRunReport) {
+    for (c, (core, share)) in r.cores.iter().zip(&r.shared.cores).enumerate() {
+        // Request-cycles, not wall-clock: concurrent delayed requests
+        // each count, so this can exceed the core's cycle count.
+        println!(
+            "core {c} ({}) on {}: CPI {:.3} over {} cycles; {} interference request-cycles",
+            names.get(c).map(String::as_str).unwrap_or("?"),
+            opts.core.name,
+            core.cpi(),
+            core.result.cycles,
+            share.interference_cycles,
+        );
+        print!("{}", cpi_stack_lines(&core.multi.commit, 40));
+        println!();
+    }
+    let s = &r.shared;
+    println!(
+        "shared uncore: L3 {} accesses / {} misses; {} DRAM lines, {} queue cycles; {} MSHRs",
+        s.l3_accesses, s.l3_misses, s.dram_accesses, s.dram_queue_cycles, s.mshr_capacity,
+    );
+    for (c, share) in s.cores.iter().enumerate() {
+        println!(
+            "  core {c}: L3 {}/{} acc/miss, {} DRAM lines, {} queue cycles; delayed others {}×",
+            share.l3_accesses,
+            share.l3_misses,
+            share.dram_accesses,
+            share.dram_queue_cycles,
+            share.delays_caused,
+        );
+    }
+}
+
 /// `mstacks smt` text output.
 pub fn print_smt(names: &[String], r: &SmtReport) {
     for (tid, t) in r.threads.iter().enumerate() {

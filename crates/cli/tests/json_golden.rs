@@ -48,7 +48,8 @@ fn normalize(s: &str) -> String {
 }
 
 const COMPONENTS: &str = "{\"base\":N,\"icache\":N,\"bpred\":N,\"dcache\":N,\
-\"alu_lat\":N,\"depend\":N,\"microcode\":N,\"memconflict\":N,\"smt\":N,\"other\":N}";
+\"alu_lat\":N,\"depend\":N,\"microcode\":N,\"memconflict\":N,\"smt\":N,\
+\"interference\":N,\"other\":N}";
 
 const FLOPS: &str = "{\"flops_per_cycle\":N,\"peak_per_cycle\":N,\"normalized\":\
 {\"base\":N,\"non_fma\":N,\"mask\":N,\"frontend\":N,\"non_vfp\":N,\"memory\":N,\"depend\":N}}";
@@ -113,6 +114,67 @@ fn smt_json_schema_is_stable() {
         got,
         format!("{{\"threads\":[{thread},{thread}],\"audit\":null}}")
     );
+}
+
+#[test]
+fn corun_json_schema_is_stable() {
+    let got = normalize(&mstacks(&[
+        "corun", "mcf", "lbm", "--uops", "2000", "--json",
+    ]));
+    // Co-run cores are full single-thread pipelines: all four stage
+    // stacks, fetch included, each carrying the always-present
+    // interference component.
+    let core = |w: &str| {
+        format!(
+            "{{\"core\":N,\"workload\":\"{w}\",\"cycles\":N,\"uops\":N,\"cpi\":N,\
+\"interference_cycles\":N,\"stacks\":[{},{},{},{}]}}",
+            stage("fetch"),
+            stage("dispatch"),
+            stage("issue"),
+            stage("commit"),
+        )
+    };
+    let share = "{\"lN_accesses\":N,\"lN_misses\":N,\"dram_accesses\":N,\
+\"dram_queue_cycles\":N,\"interference_cycles\":N,\"delays_caused\":N}";
+    assert_eq!(
+        got,
+        format!(
+            "{{\"cores\":[{},{}],\"shared\":{{\"lN_accesses\":N,\"lN_misses\":N,\
+\"dram_accesses\":N,\"dram_queue_cycles\":N,\"mshr_capacity\":N,\
+\"cores\":[{share},{share}]}},\"audit\":null}}",
+            core("mcf"),
+            core("lbm"),
+        )
+    );
+}
+
+#[test]
+fn corun_json_audit_field_is_populated_under_audit() {
+    let got = normalize(&mstacks(&[
+        "corun", "mcf", "lbm", "--uops", "2000", "--json", "--audit",
+    ]));
+    assert!(
+        got.ends_with(",\"audit\":{\"clean\":true,\"violations\":N,\"cycles_checked\":N}}"),
+        "audited corun JSON tail: …{}",
+        &got[got.len().saturating_sub(80)..]
+    );
+}
+
+#[test]
+fn corun_rejects_interval_sampling_with_a_structured_error() {
+    // `--sample` assumes a single engine it can fast-forward; a co-run
+    // must refuse it up front rather than silently sampling core 0.
+    let out = Command::new(env!("CARGO_BIN_EXE_mstacks"))
+        .args(["corun", "mcf", "lbm", "--sample", "500:2500:12000"])
+        .output()
+        .expect("spawn mstacks");
+    assert!(!out.status.success(), "corun --sample must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--sample is not supported for co-run sessions"),
+        "stderr: {err}"
+    );
+    assert!(out.stdout.is_empty(), "no partial output on rejection");
 }
 
 #[test]

@@ -47,6 +47,7 @@ pub(crate) fn fe_component(s: FrontendStall) -> Component {
 pub(crate) fn blame_component(b: Blame) -> Component {
     match b {
         Blame::Dcache(_) => Component::Dcache,
+        Blame::Interference => Component::Interference,
         Blame::LongLat => Component::AluLat,
         Blame::Depend => Component::Depend,
     }

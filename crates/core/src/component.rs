@@ -51,12 +51,17 @@ pub enum Component {
     /// an SMT core, the paper's §II extension after Eyerman & Eeckhout's
     /// ASPLOS'09 per-thread cycle accounting). Zero on single-thread cores.
     Smt,
+    /// Cycles lost to another *core's* occupancy of the shared uncore
+    /// (shared-L3 MSHR pool, DRAM channel) in a co-run. Attributed by a
+    /// per-access counterfactual: the tail of a shared-resource access that
+    /// would not exist were this core running alone. Zero outside co-runs.
+    Interference,
     /// Everything else: port-structural stalls, warmup, drain.
     Other,
 }
 
 /// All CPI components, in canonical (stacking) order.
-pub const COMPONENTS: [Component; 10] = [
+pub const COMPONENTS: [Component; 11] = [
     Component::Base,
     Component::Icache,
     Component::Bpred,
@@ -66,6 +71,7 @@ pub const COMPONENTS: [Component; 10] = [
     Component::Microcode,
     Component::MemConflict,
     Component::Smt,
+    Component::Interference,
     Component::Other,
 ];
 
@@ -83,7 +89,8 @@ impl Component {
             Component::Microcode => 6,
             Component::MemConflict => 7,
             Component::Smt => 8,
-            Component::Other => 9,
+            Component::Interference => 9,
+            Component::Other => 10,
         }
     }
 
@@ -99,6 +106,7 @@ impl Component {
             Component::Microcode => "microcode",
             Component::MemConflict => "memconflict",
             Component::Smt => "smt",
+            Component::Interference => "interference",
             Component::Other => "other",
         }
     }

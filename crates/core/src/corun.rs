@@ -1,0 +1,458 @@
+//! Multi-core co-run simulation: N single-thread engines in lockstep
+//! against a shared uncore.
+//!
+//! Each core is a full [`mstacks_pipeline::Engine`] with private L1/L2
+//! (the same thread-parameterized pipeline a [`crate::Session`] runs),
+//! linked to one [`SharedUncore`] — a shared L3 slice, a shared MSHR pool
+//! and a shared DRAM channel — via
+//! [`mstacks_mem::Hierarchy::new_shared`]. The driver steps every
+//! non-stopped core once per cycle in core order, so cross-core resource
+//! arbitration is deterministic.
+//!
+//! Every core's multi-stage CPI stacks gain an explicit **interference**
+//! component: on each shared-uncore access the uncore times the request
+//! twice — against the real shared state and against a per-core
+//! counterfactual that sees only this core's own traffic — and the
+//! difference is the latency that exists *only* because of co-runners. The
+//! pipeline tags the load's ROB entry with those cycles, and the
+//! accountants blame stall cycles falling in the access's interference
+//! tail window on [`Component::Interference`](crate::Component) (same
+//! blame machinery the SMT accountants use per thread). A core running
+//! alone — or next to an idle co-runner — sees structurally identical
+//! request streams in both timings, so its interference component is
+//! *exactly* zero and its books are bit-identical to a solo
+//! [`crate::Session`] run.
+//!
+//! # Example
+//!
+//! ```
+//! use mstacks_core::CoRun;
+//! use mstacks_model::{ArchReg, CoreConfig, MicroOp, UopKind};
+//!
+//! let mk = |base: u64| {
+//!     (0..800u64)
+//!         .map(move |i| {
+//!             MicroOp::new(base + (i % 16) * 4, UopKind::Load { addr: base + i * 64 })
+//!                 .with_dst(ArchReg::new((i % 8) as u16))
+//!         })
+//!         .collect::<Vec<_>>()
+//!         .into_iter()
+//! };
+//! let report = CoRun::new(CoreConfig::broadwell())
+//!     .run(vec![mk(0x10000), mk(0x40000000)])
+//!     .expect("completes");
+//! assert_eq!(report.cores.len(), 2);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::accounting::BadSpecMode;
+use crate::audit::{AuditObserver, AuditOptions, AuditReport, FaultSpec};
+use crate::session::{ThreadObserver, ThreadReport};
+use mstacks_mem::{Hierarchy, SharedSummary, SharedUncore};
+use mstacks_model::{CoreConfig, IdealFlags, MicroOp};
+use mstacks_pipeline::{Engine, PipelineError, PipelineResult, StageObserver, WATCHDOG_CYCLES};
+
+/// Core-count ceiling (mirrors the engine's hardware-thread ceiling; the
+/// CLI exposes 2–4).
+const MAX_CORES: usize = 4;
+
+/// Results of a co-run: one report per core, plus the shared-resource
+/// occupancy summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoRunReport {
+    /// Per-core reports, in core order. Each carries the core's
+    /// multi-stage CPI stacks with the interference component.
+    pub cores: Vec<ThreadReport>,
+    /// Shared L3 / MSHR pool / DRAM channel traffic and per-core
+    /// interference attribution.
+    pub shared: SharedSummary,
+}
+
+/// Builder-style co-run driver: N homogeneous cores, one trace each,
+/// stepped in lockstep against one shared uncore.
+#[derive(Debug, Clone)]
+pub struct CoRun {
+    cfg: CoreConfig,
+    ideal: IdealFlags,
+    badspec: BadSpecMode,
+    max_uops: Option<u64>,
+    audit: bool,
+    fault: Option<FaultSpec>,
+    corrupt_shared_book: bool,
+}
+
+impl CoRun {
+    /// A co-run on homogeneous cores of configuration `cfg`, with no
+    /// idealization, ground-truth bad-speculation handling and no
+    /// micro-op cap.
+    pub fn new(cfg: CoreConfig) -> Self {
+        CoRun {
+            cfg,
+            ideal: IdealFlags::none(),
+            badspec: BadSpecMode::GroundTruth,
+            max_uops: None,
+            audit: false,
+            fault: None,
+            corrupt_shared_book: false,
+        }
+    }
+
+    /// A co-run on a core loaded from a `.core` table file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the table's parse or validation error.
+    pub fn from_core_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, mstacks_model::TableError> {
+        Ok(CoRun::new(CoreConfig::from_core_file(path)?))
+    }
+
+    /// Sets the idealization flags (builder style).
+    pub fn with_ideal(mut self, ideal: IdealFlags) -> Self {
+        self.ideal = ideal;
+        self
+    }
+
+    /// Sets the wrong-path discrimination mode (builder style).
+    pub fn with_badspec(mut self, mode: BadSpecMode) -> Self {
+        self.badspec = mode;
+        self
+    }
+
+    /// Caps the simulation at `n` committed micro-ops per core (builder
+    /// style).
+    pub fn with_max_uops(mut self, n: u64) -> Self {
+        self.max_uops = Some(n);
+        self
+    }
+
+    /// Enables the conservation-audit subsystem on every core (builder
+    /// style); any violation becomes [`PipelineError::Audit`] from
+    /// [`CoRun::run`].
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Injects a deliberate accounting corruption into core 0 (builder
+    /// style). Implies auditing, as [`crate::Session`] does.
+    pub fn with_fault_injection(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Test hook: corrupts the shared-L3 MSHR book (its reported occupancy
+    /// exceeds capacity) so the audit tests can prove a broken *shared*
+    /// structure is caught at the memory-occupancy check of every core.
+    /// Implies auditing.
+    pub fn with_corrupt_shared_book(mut self) -> Self {
+        self.corrupt_shared_book = true;
+        self
+    }
+
+    /// Runs one trace per core (1–4) in lockstep and produces per-core
+    /// stacks plus the shared-resource summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from any core (deadlock watchdog, with
+    /// the `thread` field reporting the *core* index); with auditing
+    /// enabled, the first violation folds into [`PipelineError::Audit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or holds more than 4 entries.
+    pub fn run<I: Iterator<Item = MicroOp>>(
+        &self,
+        traces: Vec<I>,
+    ) -> Result<CoRunReport, PipelineError> {
+        if self.audit || self.fault.is_some() || self.corrupt_shared_book {
+            let (report, audit) = self.run_audited(traces, AuditOptions::default())?;
+            if let Some(v) = audit.violations.first() {
+                return Err(PipelineError::Audit {
+                    cycle: v.cycle,
+                    thread: v.thread,
+                    stage: v.stage.clone(),
+                    violations: audit.violations.len() + audit.dropped,
+                    detail: v.message.clone(),
+                });
+            }
+            return Ok(report);
+        }
+        let n = traces.len();
+        let mut obs: Vec<ThreadObserver> = (0..n)
+            .map(|_| ThreadObserver::new(&self.cfg, self.badspec))
+            .collect();
+        let (results, shared) = self.drive(traces, &mut obs)?;
+        let cores = obs
+            .into_iter()
+            .zip(results)
+            .map(|(o, result)| o.finish(result))
+            .collect();
+        Ok(CoRunReport { cores, shared })
+    }
+
+    /// Runs with the audit subsystem attached to every core and returns
+    /// the structured findings next to the (identical) report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError`] from the pipeline (deadlock watchdog).
+    /// Audit violations do NOT error here — inspect the [`AuditReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or holds more than 4 entries.
+    pub fn run_audited<I: Iterator<Item = MicroOp>>(
+        &self,
+        traces: Vec<I>,
+        opts: AuditOptions,
+    ) -> Result<(CoRunReport, AuditReport), PipelineError> {
+        let n = traces.len();
+        let mut obs: Vec<AuditObserver> = (0..n)
+            .map(|c| {
+                AuditObserver::new(
+                    ThreadObserver::new(&self.cfg, self.badspec),
+                    c,
+                    &opts,
+                    if c == 0 { self.fault } else { None },
+                )
+            })
+            .collect();
+        let (results, shared) = self.drive(traces, &mut obs)?;
+        let mut audit = AuditReport::default();
+        let cores = obs
+            .into_iter()
+            .zip(results)
+            .map(|(o, result)| {
+                let (inner, findings) = o.into_parts();
+                audit.merge(findings);
+                inner.finish(result)
+            })
+            .collect();
+        Ok((CoRunReport { cores, shared }, audit))
+    }
+
+    /// The lockstep driver: builds the shared uncore and one single-thread
+    /// engine per core, then steps every non-stopped core once per cycle
+    /// in core order. `obs[c]` observes core `c`.
+    fn drive<I: Iterator<Item = MicroOp>, O: StageObserver>(
+        &self,
+        traces: Vec<I>,
+        obs: &mut [O],
+    ) -> Result<(Vec<PipelineResult>, SharedSummary), PipelineError> {
+        let n = traces.len();
+        assert!((1..=MAX_CORES).contains(&n), "1..=4 cores supported");
+        assert_eq!(obs.len(), n, "one observer per core");
+        let uncore = Rc::new(RefCell::new(SharedUncore::new(&self.cfg.mem, n)));
+        if self.corrupt_shared_book {
+            uncore.borrow_mut().corrupt_book();
+        }
+        let mut engines: Vec<Engine<I>> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(c, trace)| {
+                let mem = Hierarchy::new_shared(&self.cfg.mem, Rc::clone(&uncore), c as u8);
+                Engine::with_memory(self.cfg.clone(), self.ideal, vec![trace], mem)
+            })
+            .collect();
+        let stopped =
+            |e: &Engine<I>| e.thread_done(0) || self.max_uops.is_some_and(|m| e.committed(0) >= m);
+        let total = |engines: &[Engine<I>]| -> u64 { engines.iter().map(|e| e.committed(0)).sum() };
+        let mut idle_cycles = 0u64;
+        let mut last_total = total(&engines);
+        while !engines.iter().all(stopped) {
+            for (c, engine) in engines.iter_mut().enumerate() {
+                if !stopped(engine) {
+                    engine.step(std::slice::from_mut(&mut obs[c]));
+                }
+            }
+            let t = total(&engines);
+            if t != last_total {
+                last_total = t;
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                if idle_cycles > WATCHDOG_CYCLES {
+                    let c = engines
+                        .iter()
+                        .position(|e| !stopped(e))
+                        .expect("a non-stopped core exists");
+                    let mut err = engines[c].deadlock_error();
+                    if let PipelineError::Deadlock { thread, .. } = &mut err {
+                        // Single-thread engines always report thread 0;
+                        // re-key to the core index for the caller.
+                        *thread = c;
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        let results = engines.iter().map(|e| e.result_of(0)).collect();
+        let shared = uncore.borrow().summary();
+        Ok((results, shared))
+    }
+
+    /// The configuration every core runs on.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::session::Session;
+    use mstacks_model::{AluClass, ArchReg, UopKind};
+
+    /// Memory-bound stream whose line sequence is scrambled, so the
+    /// prefetchers cannot hide the misses (only *demand* misses carry
+    /// attributed interference).
+    fn load_stream(n: u64, base: u64) -> std::vec::IntoIter<MicroOp> {
+        (0..n)
+            .map(|i| {
+                let line = (i.wrapping_mul(2_654_435_761)) % 16_384;
+                MicroOp::new(
+                    base + (i % 16) * 4,
+                    UopKind::Load {
+                        addr: base + line * 64,
+                    },
+                )
+                .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn alu_stream(n: u64, base: u64) -> std::vec::IntoIter<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::new(base + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))
+                    .with_dst(ArchReg::new((i % 8) as u16))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn solo_corun_matches_solo_session_bit_for_bit() {
+        // A 1-core co-run goes through the shared uncore, but with no
+        // co-runner the counterfactual timing equals the real timing, so
+        // the whole report must be bit-identical to a private-hierarchy
+        // Session run.
+        let solo = Session::new(CoreConfig::broadwell())
+            .run(load_stream(3_000, 0x10000))
+            .expect("completes");
+        let corun = CoRun::new(CoreConfig::broadwell())
+            .run(vec![load_stream(3_000, 0x10000)])
+            .expect("completes");
+        let c = &corun.cores[0];
+        assert_eq!(solo.result, c.result);
+        assert_eq!(solo.multi, c.multi);
+        assert_eq!(solo.flops, c.flops);
+        for s in c.multi.stacks() {
+            assert_eq!(s.cycles_of(Component::Interference), 0.0, "{}", s.stage);
+        }
+        assert_eq!(corun.shared.cores[0].interference_cycles, 0);
+    }
+
+    #[test]
+    fn contended_corun_shows_interference() {
+        // Two memory-bound cores with disjoint line sets must each lose
+        // visible cycles to the other in the shared channel.
+        let report = CoRun::new(CoreConfig::broadwell())
+            .run(vec![
+                load_stream(4_000, 0x10000),
+                load_stream(4_000, 0x4000_0000),
+            ])
+            .expect("completes");
+        for (c, core) in report.cores.iter().enumerate() {
+            // Independent loads drain the RS, so the interference shows at
+            // the stages that inspect the ROB head (dispatch backpressure,
+            // commit) — the issue stack only sees it through consumers.
+            let dispatch = core.multi.dispatch.cycles_of(Component::Interference);
+            let commit = core.multi.commit.cycles_of(Component::Interference);
+            assert!(dispatch > 0.0, "core {c} dispatch interference: {dispatch}");
+            assert!(commit > 0.0, "core {c} commit interference: {commit}");
+        }
+        assert!(report
+            .shared
+            .cores
+            .iter()
+            .all(|c| c.interference_cycles > 0));
+    }
+
+    #[test]
+    fn compute_bound_corunner_is_mostly_harmless() {
+        // An ALU-only co-runner produces no shared-uncore traffic after
+        // its I-side warms; the memory-bound core's interference stays 0.
+        let report = CoRun::new(CoreConfig::broadwell())
+            .run(vec![
+                load_stream(3_000, 0x10000),
+                alu_stream(3_000, 0x4000_0000),
+            ])
+            .expect("completes");
+        let c0 = &report.cores[0];
+        let total: f64 = c0
+            .multi
+            .stacks()
+            .into_iter()
+            .map(|s| s.cycles_of(Component::Interference))
+            .sum();
+        let cycles = c0.result.cycles as f64;
+        assert!(
+            total < cycles * 0.05,
+            "ALU co-runner caused {total} interference cycles of {cycles}"
+        );
+    }
+
+    #[test]
+    fn audited_corun_is_clean_and_matches_plain() {
+        let traces = || vec![load_stream(2_000, 0x10000), load_stream(2_000, 0x4000_0000)];
+        let plain = CoRun::new(CoreConfig::broadwell())
+            .run(traces())
+            .expect("completes");
+        let (audited, findings) = CoRun::new(CoreConfig::broadwell())
+            .run_audited(traces(), AuditOptions::default())
+            .expect("completes");
+        assert!(findings.is_clean(), "violations: {:?}", findings.violations);
+        assert_eq!(plain, audited);
+    }
+
+    #[test]
+    fn corrupt_shared_book_trips_every_core() {
+        let err = CoRun::new(CoreConfig::broadwell())
+            .with_corrupt_shared_book()
+            .run(vec![
+                load_stream(2_000, 0x10000),
+                load_stream(2_000, 0x4000_0000),
+            ])
+            .expect_err("corrupted shared book must fail the audit");
+        match err {
+            PipelineError::Audit { stage, detail, .. } => {
+                assert_eq!(stage, "occupancy");
+                assert!(detail.contains("L3 MSHR"), "detail: {detail}");
+            }
+            other => panic!("expected an audit error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn max_uops_caps_each_core() {
+        let report = CoRun::new(CoreConfig::broadwell())
+            .with_max_uops(500)
+            .run(vec![
+                load_stream(50_000, 0x10000),
+                load_stream(50_000, 0x4000_0000),
+            ])
+            .expect("completes");
+        for core in &report.cores {
+            assert!(core.result.committed_uops >= 500);
+            assert!(core.result.committed_uops < 600);
+        }
+    }
+}

@@ -45,6 +45,7 @@ pub mod accounting;
 pub mod audit;
 pub mod compare;
 pub mod component;
+pub mod corun;
 pub mod interval;
 pub mod multi;
 pub mod sampling;
@@ -58,6 +59,7 @@ pub use accounting::{
 pub use audit::{AuditOptions, AuditReport, AuditViolation, ConservationCheck, FaultSpec};
 pub use compare::{Band, ComponentCheck, Interval, StackComparison};
 pub use component::{Component, FlopsComponent, Stage, COMPONENTS, FLOPS_COMPONENTS};
+pub use corun::{CoRun, CoRunReport};
 pub use interval::IntervalAccountant;
 pub use multi::MultiStackReport;
 pub use sampling::{ComponentCi, SamplePlan, SampledReport};

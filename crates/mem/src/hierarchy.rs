@@ -29,10 +29,13 @@ use crate::cache::SetAssocCache;
 use crate::dram::Dram;
 use crate::mshr::{MshrFile, MshrOccupancy};
 use crate::prefetch::{NextLinePrefetcher, StridePrefetcher};
+use crate::shared::SharedUncore;
 use crate::stats::MemStats;
 use crate::tlb::Tlb;
 use crate::HitLevel;
 use mstacks_model::MemConfig;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Outcome of one memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +44,10 @@ pub struct AccessResult {
     pub ready: u64,
     /// Deepest level the access had to touch.
     pub level: HitLevel,
+    /// Cycles of the access latency attributable to *other* cores'
+    /// occupancy of the shared uncore (see [`crate::SharedUncore`]).
+    /// Always zero for a private (non-co-run) hierarchy.
+    pub interference: u64,
 }
 
 impl AccessResult {
@@ -52,7 +59,7 @@ impl AccessResult {
     }
 }
 
-fn level_to_tag(level: HitLevel) -> u8 {
+pub(crate) fn level_to_tag(level: HitLevel) -> u8 {
     match level {
         HitLevel::L1 => 0,
         HitLevel::L2 => 1,
@@ -61,13 +68,22 @@ fn level_to_tag(level: HitLevel) -> u8 {
     }
 }
 
-fn tag_to_level(tag: u8) -> HitLevel {
+pub(crate) fn tag_to_level(tag: u8) -> HitLevel {
     match tag {
         0 => HitLevel::L1,
         1 => HitLevel::L2,
         2 => HitLevel::L3,
         _ => HitLevel::Mem,
     }
+}
+
+/// Link from one core's hierarchy to the co-run [`SharedUncore`]. The
+/// `Rc` is shared between all participating hierarchies; cloning a
+/// hierarchy in shared mode keeps pointing at the same uncore.
+#[derive(Debug, Clone)]
+struct SharedLink {
+    uncore: Rc<RefCell<SharedUncore>>,
+    core: u8,
 }
 
 /// The simulated memory hierarchy of one core (plus its slice of shared
@@ -95,6 +111,9 @@ pub struct Hierarchy {
     perfect_icache: bool,
     perfect_dcache: bool,
     stats: MemStats,
+    /// Co-run mode: L2 misses go to the shared uncore instead of the
+    /// private L3/DRAM (`None` for a classic single-core hierarchy).
+    shared: Option<SharedLink>,
 }
 
 impl Hierarchy {
@@ -140,7 +159,19 @@ impl Hierarchy {
             perfect_icache: false,
             perfect_dcache: false,
             stats: MemStats::default(),
+            shared: None,
         }
+    }
+
+    /// Builds one core's hierarchy for a co-run: private L1/L2 from `cfg`,
+    /// with L2 misses forwarded to the shared `uncore` as core `core`. The
+    /// private L3 and its MSHR file stay unused (the uncore owns the
+    /// shared slice), so they are dropped.
+    pub fn new_shared(cfg: &MemConfig, uncore: Rc<RefCell<SharedUncore>>, core: u8) -> Self {
+        let mut h = Hierarchy::new(cfg);
+        h.l3 = None;
+        h.shared = Some(SharedLink { uncore, core });
+        h
     }
 
     /// Makes every instruction fetch an L1I hit (paper's "perfect Icache").
@@ -170,6 +201,7 @@ impl Hierarchy {
             return AccessResult {
                 ready: now + self.lat_l1i,
                 level: HitLevel::L1,
+                interference: 0,
             };
         }
         // Instruction TLB first: a walk delays the fetch and counts as part
@@ -181,6 +213,7 @@ impl Hierarchy {
             return AccessResult {
                 ready,
                 level: tag_to_level(tag),
+                interference: 0,
             };
         }
         if self.l1i.probe_and_touch(line) {
@@ -189,15 +222,23 @@ impl Hierarchy {
                 // An I-TLB walk on an otherwise-hitting fetch still stalls
                 // the frontend like a miss.
                 level: if walk > 0 { HitLevel::L2 } else { HitLevel::L1 },
+                interference: 0,
             };
         }
         self.stats.l1i.misses += 1;
         let start = self.l1i_mshr.alloc_time(now);
-        let (ready, level) = self.access_l2(line, start + self.lat_l1i, true);
+        let (ready, level, interference) = self.access_l2(line, start + self.lat_l1i, true);
         self.l1i.insert(line);
         self.l1i_mshr
             .insert(line, start, ready, level_to_tag(level));
-        AccessResult { ready, level }
+        // I-side interference is reported but not blamed as a separate
+        // component: frontend stalls fold into `icache` (documented lower
+        // bound of the interference component).
+        AccessResult {
+            ready,
+            level,
+            interference,
+        }
     }
 
     /// Data load of `addr` by the instruction at `pc`, at cycle `now`.
@@ -218,6 +259,7 @@ impl Hierarchy {
             return AccessResult {
                 ready: now + self.lat_l1d,
                 level: HitLevel::L1,
+                interference: 0,
             };
         }
         // Data TLB first ("Dcache miss component (and TLB)", paper §III).
@@ -228,6 +270,7 @@ impl Hierarchy {
             return AccessResult {
                 ready,
                 level: tag_to_level(tag),
+                interference: 0,
             };
         }
         if self.l1d.probe_and_touch(line) {
@@ -235,13 +278,14 @@ impl Hierarchy {
                 ready: now + self.lat_l1d,
                 // A walk on an L1 hit still blames the memory system.
                 level: if walk > 0 { HitLevel::L2 } else { HitLevel::L1 },
+                interference: 0,
             };
         }
         self.stats.l1d.misses += 1;
         // The L2 stride streamer observes L1D demand misses.
         let pf_lines = self.stride.observe(pc, addr);
         let start = self.l1d_mshr.alloc_time(now);
-        let (ready, level) = self.access_l2(line, start + self.lat_l1d, false);
+        let (ready, level, interference) = self.access_l2(line, start + self.lat_l1d, false);
         self.l1d.insert(line);
         self.l1d_mshr
             .insert(line, start, ready, level_to_tag(level));
@@ -250,44 +294,59 @@ impl Hierarchy {
         for pf in pf_lines {
             self.prefetch_into_l2(pf, start + self.lat_l1d);
         }
-        AccessResult { ready, level }
+        AccessResult {
+            ready,
+            level,
+            interference,
+        }
     }
 
     /// Looks `line` up in the unified L2 at cycle `at`; on a miss, continues
-    /// to L3/DRAM. Returns (ready cycle, deepest level).
-    fn access_l2(&mut self, line: u64, at: u64, _is_instr: bool) -> (u64, HitLevel) {
+    /// to L3/DRAM. Returns (ready cycle, deepest level, interference).
+    fn access_l2(&mut self, line: u64, at: u64, _is_instr: bool) -> (u64, HitLevel, u64) {
         self.stats.l2.accesses += 1;
         if let Some(pf) = self.next_line.observe(line) {
             self.stats.prefetches_issued += 1;
             self.prefetch_into_l2(pf, at);
         }
         if let Some((ready, tag)) = self.l2_mshr.pending(line, at) {
-            return (ready.max(at + self.lat_l2), tag_to_level(tag));
+            return (ready.max(at + self.lat_l2), tag_to_level(tag), 0);
         }
         if self.l2.probe_and_touch(line) {
-            return (at + self.lat_l2, HitLevel::L2);
+            return (at + self.lat_l2, HitLevel::L2, 0);
         }
         self.stats.l2.misses += 1;
         let start = self.l2_mshr.alloc_time(at);
         self.stats.l2_mshr_wait_cycles += start - at;
-        let (ready, level) = self.access_l3(line, start + self.lat_l2);
+        let (ready, level, interference) = self.access_l3(line, start + self.lat_l2);
         self.l2.insert(line);
         self.l2_mshr.insert(line, start, ready, level_to_tag(level));
-        (ready, level)
+        (ready, level, interference)
     }
 
-    /// Looks `line` up in the L3 (if present) at cycle `at`, else DRAM.
-    fn access_l3(&mut self, line: u64, at: u64) -> (u64, HitLevel) {
+    /// Looks `line` up in the L3 (if present) at cycle `at`, else DRAM. In
+    /// co-run mode the shared uncore serves this level instead of the
+    /// private L3/DRAM, and reports the cycles lost to other cores.
+    fn access_l3(&mut self, line: u64, at: u64) -> (u64, HitLevel, u64) {
+        if self.shared.is_some() {
+            // Clone the link out so the uncore call can borrow our stats
+            // book mutably (Rc clone, not an uncore copy).
+            let link = self.shared.clone().expect("checked above");
+            return link
+                .uncore
+                .borrow_mut()
+                .access(link.core, line, at, &mut self.stats);
+        }
         let Some(l3) = self.l3.as_mut() else {
             self.stats.dram_accesses += 1;
-            return (self.dram.access(at), HitLevel::Mem);
+            return (self.dram.access(at), HitLevel::Mem, 0);
         };
         self.stats.l3.accesses += 1;
         if let Some((ready, tag)) = self.l3_mshr.pending(line, at) {
-            return (ready.max(at + self.lat_l3), tag_to_level(tag));
+            return (ready.max(at + self.lat_l3), tag_to_level(tag), 0);
         }
         if l3.probe_and_touch(line) {
-            return (at + self.lat_l3, HitLevel::L3);
+            return (at + self.lat_l3, HitLevel::L3, 0);
         }
         self.stats.l3.misses += 1;
         let start = self.l3_mshr.alloc_time(at);
@@ -299,7 +358,7 @@ impl Hierarchy {
             .insert(line);
         self.l3_mshr
             .insert(line, start, ready, level_to_tag(HitLevel::Mem));
-        (ready, HitLevel::Mem)
+        (ready, HitLevel::Mem, 0)
     }
 
     /// Brings `line` into the L2 as a prefetch: allocates an L2 MSHR (the
@@ -310,7 +369,10 @@ impl Hierarchy {
         }
         self.stats.prefetches_issued += 1;
         let start = self.l2_mshr.alloc_time(at);
-        let (ready, level) = self.access_l3(line, start + self.lat_l2);
+        // Prefetch interference is dropped on the floor (nothing stalls on
+        // a prefetch), but the shared call still advances the shadow
+        // channel so later demand counterfactuals stay exact.
+        let (ready, level, _interference) = self.access_l3(line, start + self.lat_l2);
         self.l2.insert(line);
         self.l2_mshr.insert(line, start, ready, level_to_tag(level));
     }
@@ -407,20 +469,30 @@ impl Hierarchy {
 
     /// Occupancy of the four MSHR files (L1I, L1D, L2, L3) at cycle `now` —
     /// the probe the audit subsystem checks against each file's capacity.
+    /// In co-run mode the L3 slot reports the shared pool, so every core's
+    /// auditor checks the shared book.
     pub fn mshr_occupancy(&mut self, now: u64) -> [MshrOccupancy; 4] {
+        let l3 = match &self.shared {
+            Some(link) => link.uncore.borrow_mut().occupancy(now),
+            None => self.l3_mshr.occupancy(now),
+        };
         [
             self.l1i_mshr.occupancy(now),
             self.l1d_mshr.occupancy(now),
             self.l2_mshr.occupancy(now),
-            self.l3_mshr.occupancy(now),
+            l3,
         ]
     }
 
     /// Copies the DRAM queueing statistic into [`MemStats`] and returns the
-    /// full statistics snapshot.
+    /// full statistics snapshot. In co-run mode the queueing cycles are
+    /// this core's share of the shared channel's queue.
     pub fn stats_snapshot(&self) -> MemStats {
         let mut s = self.stats;
-        s.dram_queue_cycles = self.dram.queue_cycles();
+        s.dram_queue_cycles = match &self.shared {
+            Some(link) => link.uncore.borrow().core_queue_cycles(link.core),
+            None => self.dram.queue_cycles(),
+        };
         s.itlb_misses = self.itlb.misses();
         s.dtlb_misses = self.dtlb.misses();
         s

@@ -32,6 +32,7 @@ pub mod dram;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;
+pub mod shared;
 pub mod stats;
 pub mod tlb;
 
@@ -40,6 +41,7 @@ pub use dram::Dram;
 pub use hierarchy::{AccessResult, Hierarchy};
 pub use mshr::{MshrFile, MshrOccupancy};
 pub use prefetch::{NextLinePrefetcher, StridePrefetcher};
+pub use shared::{SharedCoreSummary, SharedSummary, SharedUncore};
 pub use stats::{CacheStats, MemStats};
 pub use tlb::Tlb;
 

@@ -161,6 +161,24 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
     /// Panics if `traces` is empty or larger than 4, or if partitioning
     /// leaves a thread without resources.
     pub fn new(cfg: CoreConfig, ideal: IdealFlags, traces: Vec<I>) -> Self {
+        let mem = Hierarchy::new(&cfg.mem);
+        Engine::with_memory(cfg, ideal, traces, mem)
+    }
+
+    /// Builds an engine over a caller-supplied memory hierarchy — the
+    /// co-run entry point, where each core's hierarchy is linked to a
+    /// shared uncore via [`Hierarchy::new_shared`]. The idealization flags
+    /// are applied to `mem` here, same as [`Engine::new`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Engine::new`] does.
+    pub fn with_memory(
+        cfg: CoreConfig,
+        ideal: IdealFlags,
+        traces: Vec<I>,
+        mut mem: Hierarchy,
+    ) -> Self {
         debug_assert!(cfg.validate().is_ok(), "invalid core configuration");
         let n = traces.len();
         assert!(
@@ -175,7 +193,6 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         // port specs: eligibility, pipelining and latencies all come from
         // the same rows a `.core` file carries.
         let classes = cfg.class_table();
-        let mut mem = Hierarchy::new(&cfg.mem);
         mem.set_perfect_icache(ideal.perfect_icache);
         mem.set_perfect_dcache(ideal.perfect_dcache);
         let threads: Vec<ThreadCtx<I>> = traces
@@ -349,7 +366,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
     }
 
     /// Builds the deadlock error, diagnosing the stalled thread and stage.
-    fn deadlock_error(&self) -> PipelineError {
+    /// Public so external lockstep drivers (the co-run driver steps several
+    /// engines against a shared uncore) can report the same diagnosis when
+    /// *their* watchdog fires.
+    pub fn deadlock_error(&self) -> PipelineError {
         let (thread, stage) = self.diagnose_stall();
         PipelineError::Deadlock {
             cycle: self.cycle,
@@ -576,6 +596,12 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             let Some(pe) = rob.get(*p) else { continue };
             if pe.issued {
                 if pe.mem_level.is_some_and(|l| l.beyond_l1()) {
+                    // Same tail-window rule as `RobEntry::blame`: the last
+                    // `interf` cycles of the access exist only because of
+                    // another core's shared-uncore occupancy.
+                    if pe.interf > 0 && now >= pe.ready_at.saturating_sub(pe.interf) {
+                        return Blame::Interference;
+                    }
                     return Blame::Dcache(pe.mem_level.unwrap_or(HitLevel::Mem));
                 }
                 if pe.exec_lat > 1 {
@@ -685,17 +711,18 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 .expect("RS entry is in the ROB")
                 .fu;
             // Execution timing.
-            let (ready_at, mem_level) = match kind {
+            let (ready_at, mem_level, interf) = match kind {
                 UopKind::Load { addr } => {
                     if forward {
                         self.threads[tid].stats.store_forwards += 1;
                         (
                             now + u64::from(self.cfg.mem.l1d.latency),
                             Some(HitLevel::L1),
+                            0,
                         )
                     } else {
                         let res = self.mem.load(addr, fu.uop.pc, now);
-                        (res.ready, Some(res.level))
+                        (res.ready, Some(res.level), res.interference)
                     }
                 }
                 UopKind::Store { addr } => {
@@ -703,9 +730,9 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                     // the background through the hierarchy (write-allocate).
                     self.threads[tid].stq.mark_executed(seq);
                     let _ = self.mem.store(addr, fu.uop.pc, now);
-                    (now + base_lat, None)
+                    (now + base_lat, None, 0)
                 }
-                _ => (now + base_lat, None),
+                _ => (now + base_lat, None, 0),
             };
             let t = &mut self.threads[tid];
             {
@@ -715,6 +742,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 em.ready_at = ready_at;
                 em.exec_lat = ready_at - now;
                 em.mem_level = mem_level;
+                em.interf = interf;
             }
             // A mispredicted correct-path branch schedules the redirect for
             // its completion cycle.
@@ -900,6 +928,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                     ready_at: 0,
                     exec_lat: 0,
                     mem_level: None,
+                    interf: 0,
                 });
                 // Scheduler registration: count the producers that still
                 // have to issue (per dependence slot — a duplicated source
@@ -1088,6 +1117,16 @@ impl<I> Engine<I> {
     /// Panics if `tid` is out of range.
     pub fn committed(&self, tid: usize) -> u64 {
         self.threads[tid].committed
+    }
+
+    /// Whether thread `tid` has drained (frontend exhausted and window
+    /// empty). External lockstep drivers use this as their stop predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn thread_done(&self, tid: usize) -> bool {
+        self.threads[tid].done()
     }
 
     /// Committed correct-path micro-ops summed over all threads.

@@ -19,6 +19,11 @@ pub enum Blame {
     /// payload is the level that serviced it (the paper's suggested
     /// refinement: "differentiating between the different cache levels").
     Dcache(HitLevel),
+    /// The inspected instruction is a load whose completion was pushed
+    /// back by *another core's* occupancy of the shared uncore (MSHR pool
+    /// or DRAM channel). Only produced in co-run mode; the remaining
+    /// (own-traffic) portion of such a miss is still `Dcache`.
+    Interference,
     /// The inspected instruction is executing with latency > 1 cycle.
     LongLat,
     /// The inspected instruction is single-cycle but delayed by

@@ -45,6 +45,11 @@ pub struct RobEntry {
     pub exec_lat: u64,
     /// For loads: the deepest memory level the access touched.
     pub mem_level: Option<HitLevel>,
+    /// For loads in co-run mode: cycles of the access latency caused by
+    /// another core's occupancy of the shared uncore (zero otherwise).
+    /// The interference window is the *tail* of the access — the shared
+    /// resource delayed completion from `ready_at - interf` to `ready_at`.
+    pub interf: u64,
 }
 
 impl RobEntry {
@@ -64,7 +69,15 @@ impl RobEntry {
         }
         if self.issued {
             if self.mem_level_beyond_l1() {
-                Some(Blame::Dcache(self.mem_level.unwrap_or(HitLevel::Mem)))
+                // The shared-uncore interference cycles sit at the tail of
+                // the access: once `now` enters [ready_at - interf,
+                // ready_at), the remaining wait exists only because of
+                // another core's traffic.
+                if self.interf > 0 && now >= self.ready_at.saturating_sub(self.interf) {
+                    Some(Blame::Interference)
+                } else {
+                    Some(Blame::Dcache(self.mem_level.unwrap_or(HitLevel::Mem)))
+                }
             } else if self.exec_lat > 1 {
                 Some(Blame::LongLat)
             } else {
@@ -97,6 +110,7 @@ impl RobEntry {
             ready_at: 0,
             exec_lat: 0,
             mem_level: None,
+            interf: 0,
         }
     }
 }
@@ -335,6 +349,7 @@ mod tests {
             ready_at: 0,
             exec_lat: 0,
             mem_level: None,
+            interf: 0,
         }
     }
 
@@ -528,5 +543,25 @@ mod tests {
         e.issued = true;
         e.ready_at = 5;
         assert_eq!(e.blame(now), None);
+    }
+
+    #[test]
+    fn blame_interference_window_is_the_tail() {
+        // Load serviced by DRAM, 4 of whose wait cycles were caused by a
+        // co-running core: cycles [16, 20) blame interference, everything
+        // earlier stays a plain Dcache miss.
+        let mut e = entry(0);
+        e.issued = true;
+        e.ready_at = 20;
+        e.exec_lat = 20;
+        e.mem_level = Some(HitLevel::Mem);
+        e.interf = 4;
+        assert_eq!(e.blame(15), Some(Blame::Dcache(HitLevel::Mem)));
+        assert_eq!(e.blame(16), Some(Blame::Interference));
+        assert_eq!(e.blame(19), Some(Blame::Interference));
+        assert_eq!(e.blame(20), None);
+        // Zero interference never classifies as Interference.
+        e.interf = 0;
+        assert_eq!(e.blame(19), Some(Blame::Dcache(HitLevel::Mem)));
     }
 }

@@ -56,8 +56,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use mstacks_core::Simulation;
     pub use mstacks_core::{
-        BadSpecMode, Component, CpiStack, FlopsComponent, FlopsStack, MultiStackReport, Session,
-        SessionReport, SimReport, Stage, ThreadReport,
+        BadSpecMode, CoRun, CoRunReport, Component, CpiStack, FlopsComponent, FlopsStack,
+        MultiStackReport, Session, SessionReport, SimReport, Stage, ThreadReport,
     };
     pub use mstacks_model::{CoreConfig, IdealFlags, MicroOp, UopKind};
     pub use mstacks_workloads::{spec, Workload};

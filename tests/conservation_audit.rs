@@ -3,7 +3,7 @@
 //! reproduce the plain runs bit-for-bit, and a deliberately corrupted
 //! accountant is caught with the right stage attribution.
 
-use mstacks::core::{AuditOptions, Component, FaultSpec, Session, Stage};
+use mstacks::core::{AuditOptions, CoRun, Component, FaultSpec, Session, Stage};
 use mstacks::model::{coretab, CoreConfig};
 use mstacks::pipeline::PipelineError;
 use mstacks::workloads::{deepbench, spec, ConvPhase, GemmStyle, RnnCell, Workload};
@@ -151,6 +151,125 @@ fn residual_folding_is_exact_across_the_full_corpus() {
                 }
             }
         }
+    }
+}
+
+/// The co-run battery's core set: one constructed preset and one
+/// table-only core (exercising the declarative path under contention).
+fn corun_cores() -> [CoreConfig; 2] {
+    [
+        CoreConfig::broadwell(),
+        coretab::builtin("zen").expect("shipped table"),
+    ]
+}
+
+/// Runs `ws` co-located (one core each) audited on `cfg`; asserts a clean
+/// report and per-core conservation — every stage stack, interference
+/// component included, sums to that core's measured cycle count. Returns
+/// the total attributed interference so callers can prove the battery
+/// actually exercised contention.
+fn assert_corun_clean(ws: &[Workload], cfg: &CoreConfig, uops: u64) -> u64 {
+    let label = || {
+        let names: Vec<String> = ws.iter().map(Workload::name).collect();
+        format!("[{}] on {}", names.join("+"), cfg.name)
+    };
+    let traces = ws.iter().map(|w| w.trace(uops)).collect();
+    let (report, audit) = CoRun::new(cfg.clone())
+        .run_audited(traces, AuditOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", label()));
+    for (c, core) in report.cores.iter().enumerate() {
+        let cycles = core.result.cycles as f64;
+        for s in core.multi.all_stacks() {
+            assert!(
+                (s.total_cycles() - cycles).abs() <= 1e-6 * cycles.max(1.0),
+                "{} core {c}: {} stack sums to {} over {} cycles \
+                 (interference {})",
+                label(),
+                s.stage,
+                s.total_cycles(),
+                cycles,
+                s.cycles_of(Component::Interference),
+            );
+        }
+    }
+    assert!(
+        audit.is_clean(),
+        "{}: {} violation(s), first: {}",
+        label(),
+        audit.violations.len() + audit.dropped,
+        audit
+            .violations
+            .first()
+            .map_or_else(|| "<dropped>".to_string(), std::string::ToString::to_string),
+    );
+    assert!(audit.cycles_checked > 0, "auditor saw no cycles");
+    report
+        .shared
+        .cores
+        .iter()
+        .map(|c| c.interference_cycles)
+        .sum()
+}
+
+#[test]
+fn every_profile_conserves_in_2_core_coruns() {
+    // Every SPEC profile and DeepBench kernel co-runs against a fixed
+    // memory-bound partner on bdw and zen; each core's books must
+    // conserve cycle-for-cycle with the interference component included.
+    let partner = spec::mcf();
+    let mut interference = 0u64;
+    for cfg in corun_cores() {
+        let mut corpus = spec::all();
+        corpus.extend(deepbench_workloads(&cfg));
+        for w in corpus {
+            interference += assert_corun_clean(&[w, partner.clone()], &cfg, 2_000);
+        }
+    }
+    assert!(
+        interference > 0,
+        "no 2-core pair ever contended — the battery is vacuous"
+    );
+}
+
+#[test]
+fn every_profile_conserves_in_4_core_coruns() {
+    let mut interference = 0u64;
+    for cfg in corun_cores() {
+        let mut corpus = spec::all();
+        corpus.extend(deepbench_workloads(&cfg));
+        for chunk in corpus.chunks(4) {
+            // The tail chunk is padded back to 4 cores with its own head.
+            let mut ws: Vec<Workload> = chunk.to_vec();
+            while ws.len() < 4 {
+                ws.push(chunk[0].clone());
+            }
+            interference += assert_corun_clean(&ws, &cfg, 1_200);
+        }
+    }
+    assert!(
+        interference > 0,
+        "no 4-core group ever contended — the battery is vacuous"
+    );
+}
+
+#[test]
+fn corrupted_shared_l3_book_is_caught_at_the_memory_stage() {
+    // A lying shared structure must fail the *memory occupancy* check of
+    // the per-core auditors, naming the shared-L3 MSHR pool.
+    for cfg in corun_cores() {
+        let err = CoRun::new(cfg.clone())
+            .with_corrupt_shared_book()
+            .run(vec![spec::mcf().trace(2_000), spec::lbm().trace(2_000)])
+            .expect_err("corrupted shared book must not pass the audit");
+        let PipelineError::Audit { stage, detail, .. } = err else {
+            panic!("{}: expected an audit error, got {err}", cfg.name);
+        };
+        assert_eq!(stage, "occupancy", "{}", cfg.name);
+        assert!(
+            detail.contains("L3 MSHR"),
+            "{}: detail `{detail}`",
+            cfg.name
+        );
     }
 }
 
