@@ -352,4 +352,29 @@ fn main() {
         std::fs::write(&path, json).expect("write benchmark JSON");
         println!("wrote {path}");
     }
+
+    // Engine self-profile (MSTACKS_STAGE_PROF=1): where the simulated
+    // cycles' wall time went, over every engine this process ran.
+    if let Some((cycles, ns)) = mstacks_pipeline::stage_prof_snapshot() {
+        let total: u64 = ns.iter().sum();
+        let mut s = String::from("{\n  \"bench\": \"stage-profile\",\n");
+        let _ = writeln!(s, "  \"cycles\": {cycles},");
+        let _ = writeln!(s, "  \"total_ns\": {total},");
+        s.push_str("  \"stages\": {\n");
+        for (i, (name, t)) in mstacks_pipeline::STAGE_PROF_NAMES
+            .iter()
+            .zip(ns)
+            .enumerate()
+        {
+            let pct = if total > 0 {
+                t as f64 * 100.0 / total as f64
+            } else {
+                0.0
+            };
+            let _ = write!(s, "    \"{name}\": {{\"ns\": {t}, \"pct\": {pct:.1}}}");
+            s.push_str(if i + 1 < ns.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  }\n}");
+        println!("stage profile:\n{s}");
+    }
 }

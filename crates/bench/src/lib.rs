@@ -87,15 +87,43 @@ pub fn run_corun(
     ideal: IdealFlags,
     uops: u64,
 ) -> CoRunReport {
-    let traces = workloads.iter().map(|w| w.trace(uops)).collect();
+    // Batched path, with capture shared between cores: equal workloads
+    // (homogeneous co-runs are common) decode once and replay from the
+    // same Arc'd buffer.
+    let bufs = capture_shared(workloads, uops);
+    run_corun_buffered(&bufs, cfg, ideal).unwrap_or_else(|e| {
+        let names: Vec<String> = workloads.iter().map(Workload::name).collect();
+        panic!("corun [{}] on {}: {e}", names.join("+"), cfg.name)
+    })
+}
+
+/// [`run_corun`] over already-captured per-core trace buffers — sweep
+/// loops that revisit the same workloads hoist the pre-decode and share
+/// buffers across points and cores.
+pub fn run_corun_buffered(
+    bufs: &[Arc<TraceBuffer>],
+    cfg: &CoreConfig,
+    ideal: IdealFlags,
+) -> Result<CoRunReport, mstacks_pipeline::PipelineError> {
     CoRun::new(cfg.clone())
         .with_ideal(ideal)
         .audit(audit_enabled())
-        .run(traces)
-        .unwrap_or_else(|e| {
-            let names: Vec<String> = workloads.iter().map(Workload::name).collect();
-            panic!("corun [{}] on {}: {e}", names.join("+"), cfg.name)
-        })
+        .run(bufs.iter().map(|b| b.cursor()).collect())
+}
+
+/// Captures one `uops`-long trace buffer per workload, sharing a single
+/// buffer between equal workloads (equality means byte-identical traces,
+/// see [`Workload`]'s `PartialEq`).
+pub fn capture_shared(workloads: &[Workload], uops: u64) -> Vec<Arc<TraceBuffer>> {
+    let mut bufs: Vec<Arc<TraceBuffer>> = Vec::with_capacity(workloads.len());
+    for (i, w) in workloads.iter().enumerate() {
+        let dup = workloads[..i]
+            .iter()
+            .position(|prev| prev == w)
+            .map(|j| bufs[j].clone());
+        bufs.push(dup.unwrap_or_else(|| TraceBuffer::capture(w, uops).shared()));
+    }
+    bufs
 }
 
 /// Baseline CPI minus idealized CPI: the measured benefit of removing a

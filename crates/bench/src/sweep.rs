@@ -14,9 +14,9 @@
 
 use mstacks_core::SimReport;
 use mstacks_model::{CoreConfig, IdealFlags};
-use mstacks_workloads::Workload;
+use mstacks_workloads::{TraceBuffer, Workload};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Worker count for [`par_map`] / [`Sweep::run`]: the `MSTACKS_THREADS`
 /// environment variable if set to a positive integer, otherwise
@@ -110,13 +110,42 @@ pub struct CorunResult {
 /// input order, same as [`par_map`]). Each point honours `MSTACKS_AUDIT`
 /// exactly as [`crate::run_corun`] does.
 ///
+/// Trace capture is hoisted out of the simulation loop: every equal
+/// `(workload, uops)` pair across all points — and across cores within a
+/// point — decodes once, and the cores replay the shared
+/// [`Arc<TraceBuffer>`]. A typical interference sweep revisits the same
+/// few workloads in every pairing, so the sweep pays decode time per
+/// distinct workload instead of per core per point.
+///
 /// # Panics
 ///
 /// Panics if any point deadlocks or trips an audited invariant.
 pub fn corun_sweep(points: &[CorunPoint]) -> Vec<CorunResult> {
-    par_map(points, |p| CorunResult {
-        report: crate::run_corun(&p.workloads, &p.cfg, p.ideal, p.uops),
-        point: p.clone(),
+    let mut cache: Vec<(&Workload, u64, Arc<TraceBuffer>)> = Vec::new();
+    let jobs: Vec<(&CorunPoint, Vec<Arc<TraceBuffer>>)> = points
+        .iter()
+        .map(|p| {
+            let bufs = p
+                .workloads
+                .iter()
+                .map(
+                    |w| match cache.iter().find(|(cw, cu, _)| *cu == p.uops && *cw == w) {
+                        Some((_, _, b)) => b.clone(),
+                        None => {
+                            let b = TraceBuffer::capture(w, p.uops).shared();
+                            cache.push((w, p.uops, b.clone()));
+                            b
+                        }
+                    },
+                )
+                .collect();
+            (p, bufs)
+        })
+        .collect();
+    par_map(&jobs, |(p, bufs)| CorunResult {
+        report: crate::run_corun_buffered(bufs, &p.cfg, p.ideal)
+            .unwrap_or_else(|e| panic!("corun {}: {e}", p.label())),
+        point: (*p).clone(),
     })
 }
 

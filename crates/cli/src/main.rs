@@ -33,8 +33,23 @@ mod output;
 use args::{CliError, Options};
 use mstacks_core::{AuditOptions, AuditReport, CoRun, Session};
 use mstacks_model::{coretab, CoreConfig};
-use mstacks_workloads::{spec, TraceBuffer};
+use mstacks_workloads::{spec, SharedTraceBuffer, TraceBuffer, Workload};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// One pre-decoded buffer per workload, with equal workloads (equality
+/// means byte-identical traces) sharing a single capture — multi-core
+/// commands decode a homogeneous co-run once instead of once per core.
+fn capture_shared(workloads: &[Workload], uops: u64) -> Vec<Arc<TraceBuffer>> {
+    let mut bufs: Vec<Arc<TraceBuffer>> = Vec::with_capacity(workloads.len());
+    for (i, w) in workloads.iter().enumerate() {
+        match workloads[..i].iter().position(|prev| prev == w) {
+            Some(j) => bufs.push(bufs[j].clone()),
+            None => bufs.push(TraceBuffer::capture(w, uops).shared()),
+        }
+    }
+    bufs
+}
 
 /// Builds audit options for `--audit` / `--trace-out`, opening the JSONL
 /// pipetrace file when one was requested. `None` when neither flag is set.
@@ -182,17 +197,17 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "crosscheck" => {
             let opts = Options::parse(&argv[1..], 1)?;
             let w = opts.workload(0)?;
-            let summary = mstacks_oracle::WorkloadSummary::profile(
-                &opts.core,
-                opts.ideal,
-                w.trace(opts.uops),
-            );
+            // One capture feeds both the oracle profile and the detailed
+            // run (the buffer round-trip is lossless).
+            let buf = TraceBuffer::capture(&w, opts.uops).shared();
+            let summary =
+                mstacks_oracle::WorkloadSummary::profile(&opts.core, opts.ideal, buf.cursor());
             let prediction = mstacks_oracle::predict(&opts.core, &summary);
             let bound = mstacks_oracle::static_port_bound(&opts.core, opts.ideal, &summary);
             let report = Session::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .audit(opts.audit)
-                .run(w.trace(opts.uops))
+                .run(buf.cursor())
                 .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
             let cmp = mstacks_oracle::crosscheck_static(
                 &prediction,
@@ -263,7 +278,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let corun = CoRun::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .with_badspec(opts.badspec);
-            let traces = workloads.iter().map(|w| w.trace(opts.uops)).collect();
+            let bufs = capture_shared(&workloads, opts.uops);
+            let traces = bufs.iter().map(|b| b.cursor()).collect();
             let (report, audit) = match audit_options(&opts)? {
                 Some(a) => {
                     let (r, audit) = corun
@@ -291,7 +307,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let w0 = opts.workload(0)?;
             let w1 = opts.workload(1)?;
             let session = Session::new(opts.core.clone()).with_ideal(opts.ideal);
-            let traces = vec![w0.trace(opts.uops), w1.trace(opts.uops)];
+            let bufs = capture_shared(&[w0.clone(), w1.clone()], opts.uops);
+            let traces = bufs.iter().map(|b| b.cursor()).collect();
             let (report, audit) = match audit_options(&opts)? {
                 Some(a) => {
                     let (r, audit) = session

@@ -134,6 +134,25 @@ impl StageObserver for IssueAccountant {
         }
     }
 
+    // Batched spans: the per-micro-op hooks above only bump branch
+    // counters (no interleaved float accumulation), so walking the span
+    // is the identical operation sequence — bit-identical by construction.
+    fn on_dispatch_uops(&mut self, _cycle: u64, uops: &[MicroOp]) {
+        for uop in uops {
+            if uop.kind.is_branch() {
+                self.counter.on_branch_dispatch();
+            }
+        }
+    }
+
+    fn on_commit_uops(&mut self, _cycle: u64, uops: &[MicroOp]) {
+        for uop in uops {
+            if uop.kind.is_branch() {
+                self.counter.on_branch_commit();
+            }
+        }
+    }
+
     fn on_squash(&mut self, _cycle: u64, _n: u64, branches: u64) {
         self.counter.on_squash(branches);
     }

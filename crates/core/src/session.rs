@@ -143,6 +143,16 @@ impl StageObserver for ThreadObserver {
         self.issue.on_commit_uop(cycle, uop);
         self.fetch.on_commit_uop(cycle, uop);
     }
+    fn on_dispatch_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+        self.dispatch.on_dispatch_uops(cycle, uops);
+        self.issue.on_dispatch_uops(cycle, uops);
+        self.fetch.on_dispatch_uops(cycle, uops);
+    }
+    fn on_commit_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+        self.dispatch.on_commit_uops(cycle, uops);
+        self.issue.on_commit_uops(cycle, uops);
+        self.fetch.on_commit_uops(cycle, uops);
+    }
     fn on_squash(&mut self, cycle: u64, n: u64, branches: u64) {
         self.dispatch.on_squash(cycle, n, branches);
         self.issue.on_squash(cycle, n, branches);

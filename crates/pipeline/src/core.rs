@@ -367,4 +367,47 @@ mod tests {
         assert!(r.committed_uops >= 5_000);
         assert!(r.committed_uops < 5_010, "stops shortly after the target");
     }
+
+    /// The engine must hand µop streams to observers through the batched
+    /// span hooks, never the per-µop ones: the per-µop hooks exist only
+    /// as the default-impl fallback *inside* `on_dispatch_uops`/
+    /// `on_commit_uops`. An observer that overrides both forms would see
+    /// the per-µop hook only if the engine bypassed the batched entry
+    /// point — which this probe turns into a test failure. CI's
+    /// perf-smoke job runs this to pin the hot accounting path.
+    #[test]
+    fn batched_observer_path_is_exercised() {
+        #[derive(Default)]
+        struct BatchProbe {
+            dispatch_spans: u64,
+            commit_spans: u64,
+            dispatched: u64,
+            committed: u64,
+        }
+        impl StageObserver for BatchProbe {
+            fn on_dispatch_uop(&mut self, _c: u64, _u: &MicroOp) {
+                panic!("engine used the per-µop dispatch hook instead of the batched span");
+            }
+            fn on_commit_uop(&mut self, _c: u64, _u: &MicroOp) {
+                panic!("engine used the per-µop commit hook instead of the batched span");
+            }
+            fn on_dispatch_uops(&mut self, _c: u64, uops: &[MicroOp]) {
+                assert!(!uops.is_empty(), "batched spans are only sent non-empty");
+                self.dispatch_spans += 1;
+                self.dispatched += uops.len() as u64;
+            }
+            fn on_commit_uops(&mut self, _c: u64, uops: &[MicroOp]) {
+                assert!(!uops.is_empty(), "batched spans are only sent non-empty");
+                self.commit_spans += 1;
+                self.committed += uops.len() as u64;
+            }
+        }
+        let mut probe = BatchProbe::default();
+        let mut core = Core::new(bdw(), IdealFlags::none(), alu_trace(10_000));
+        let r = core.run(&mut probe).expect("runs");
+        assert!(probe.dispatch_spans > 0, "no batched dispatch span seen");
+        assert!(probe.commit_spans > 0, "no batched commit span seen");
+        assert_eq!(probe.committed, r.committed_uops);
+        assert!(probe.dispatched >= probe.committed);
+    }
 }

@@ -44,7 +44,7 @@ use crate::observer::{
     StageObserver, StructuralStall,
 };
 use crate::result::{PipelineError, PipelineResult, PipelineStats, StallStage};
-use crate::rob::{Rob, RobEntry, NO_DEP};
+use crate::rob::{Rob, NO_DEP};
 use crate::sched::{ReadyRef, RsEntry, ThreadSched};
 use mstacks_frontend::FrontendUnit;
 use mstacks_mem::{Hierarchy, HitLevel};
@@ -137,6 +137,12 @@ pub struct Engine<I> {
     cycle: u64,
     /// Per-thread scratch buffers for the issue views, reused each cycle.
     issued_bufs: Vec<Vec<IssuedInfo>>,
+    /// Scratch span of micro-ops for the batched per-stage observer calls
+    /// (`on_dispatch_uops` / `on_commit_uops`), reused each cycle.
+    uop_span: Vec<MicroOp>,
+    /// Stage wall-time counters (`MSTACKS_STAGE_PROF=1`); `None` keeps the
+    /// untimed step path.
+    prof: Option<Box<crate::prof::LocalStageProf>>,
 }
 
 impl<I> std::fmt::Debug for Engine<I> {
@@ -219,6 +225,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             issued_bufs: (0..n)
                 .map(|_| Vec::with_capacity(cfg.issue_width as usize))
                 .collect(),
+            uop_span: Vec::with_capacity(cfg.dispatch_width.max(cfg.commit_width) as usize),
             threads,
             ready: Vec::with_capacity(cfg.rs_size),
             woken: Vec::with_capacity(cfg.issue_width as usize),
@@ -233,6 +240,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 lat
             },
             cycle: 0,
+            prof: crate::prof::stage_prof_enabled().then(Box::default),
             cfg,
         }
     }
@@ -397,10 +405,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 };
                 return (tid, stage);
             }
-            let head = self.threads[tid].rob.head().expect("non-empty ROB");
-            let stage = if !head.issued {
+            let rob = &self.threads[tid].rob;
+            let stage = if !rob.head_issued() {
                 StallStage::Issue
-            } else if !head.is_done(now) {
+            } else if !rob.head_is_done(now) {
                 StallStage::Execute
             } else {
                 StallStage::Commit
@@ -417,6 +425,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
     /// Panics if `obs.len()` differs from the thread count.
     pub fn step<O: StageObserver>(&mut self, obs: &mut [O]) {
         assert_eq!(obs.len(), self.threads.len(), "one observer per thread");
+        if self.prof.is_some() {
+            self.step_profiled(obs);
+            return;
+        }
         let now = self.cycle;
         // Resolve before commit: the cycle a mispredicted branch completes,
         // its wrong path must be squashed before the commit stage could ever
@@ -432,6 +444,44 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         if obs.iter().any(|o| o.wants_cycle_end()) {
             self.publish_cycle_end(now, obs);
         }
+        for t in self.threads.iter_mut() {
+            if t.finished_at.is_none() && t.done() {
+                t.finished_at = Some(now + 1);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// [`Engine::step`] with per-stage wall-time accounting
+    /// (`MSTACKS_STAGE_PROF=1`); identical stage sequence.
+    fn step_profiled<O: StageObserver>(&mut self, obs: &mut [O]) {
+        let now = self.cycle;
+        let mut ns = [0u64; 6];
+        let mut mark = std::time::Instant::now();
+        let mut lap = |slot: &mut u64| {
+            let t = std::time::Instant::now();
+            *slot += t.duration_since(mark).as_nanos() as u64;
+            mark = t;
+        };
+        self.do_resolve(now, obs);
+        lap(&mut ns[0]);
+        self.do_commit(now, obs);
+        lap(&mut ns[1]);
+        self.do_issue(now, obs);
+        lap(&mut ns[2]);
+        self.do_dispatch(now, obs);
+        lap(&mut ns[3]);
+        self.do_fetch(now, obs);
+        lap(&mut ns[4]);
+        if obs.iter().any(|o| o.wants_cycle_end()) {
+            self.publish_cycle_end(now, obs);
+        }
+        lap(&mut ns[5]);
+        let prof = self.prof.as_mut().expect("profiled step requires prof");
+        for (total, d) in prof.ns.iter_mut().zip(ns) {
+            *total += d;
+        }
+        prof.cycles += 1;
         for t in self.threads.iter_mut() {
             if t.finished_at.is_none() && t.done() {
                 t.finished_at = Some(now + 1);
@@ -507,9 +557,9 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             // to walk when the squash emptied it).
             t.rename.fill(None);
             if !t.rob.is_empty() {
-                for e in t.rob.iter() {
-                    if let Some(d) = e.fu.uop.dst {
-                        t.rename[d.index()] = Some(e.seq);
+                for (seq, fu) in t.rob.iter_fu() {
+                    if let Some(d) = fu.uop.dst {
+                        t.rename[d.index()] = Some(seq);
                     }
                 }
             }
@@ -531,6 +581,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         let mut budget = self.cfg.commit_width;
         let mut per_thread_n = [0u32; MAX_THREADS];
         let mut head_ready_unserved = [false; MAX_THREADS];
+        let mut span = std::mem::take(&mut self.uop_span);
         for k in 0..n_threads {
             let tid = (now as usize + k) % n_threads;
             if !self.active(tid) {
@@ -538,34 +589,48 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             }
             loop {
                 let t = &mut self.threads[tid];
-                let Some(head) = t.rob.head() else { break };
-                if !head.is_done(now) {
+                if !t.rob.head_is_done(now) {
                     break;
                 }
                 if budget == 0 {
                     head_ready_unserved[tid] = true;
                     break;
                 }
-                let e = t.rob.pop_head().expect("head exists");
-                debug_assert!(!e.fu.wrong_path, "wrong-path micro-op reached commit");
-                match e.fu.uop.kind {
-                    UopKind::Store { .. } => t.stq.retire(e.seq),
+                let seq = t.rob.head_seq();
+                // One 56-byte copy of the micro-op (it doubles as the
+                // batched-observer span element), replacing the old
+                // 144-byte whole-entry pop.
+                let fu = t.rob.head_fu().expect("done head exists");
+                debug_assert!(!fu.wrong_path, "wrong-path micro-op reached commit");
+                let uop = fu.uop;
+                t.rob.drop_head();
+                match uop.kind {
+                    UopKind::Store { .. } => t.stq.retire(seq),
                     UopKind::Load { .. } => t.ldq_count -= 1,
                     _ => {}
                 }
-                if let Some(d) = e.fu.uop.dst {
+                if let Some(d) = uop.dst {
                     // Drop the rename mapping if this was still the last writer.
-                    if t.rename[d.index()] == Some(e.seq) {
+                    if t.rename[d.index()] == Some(seq) {
                         t.rename[d.index()] = None;
                     }
                 }
                 t.committed += 1;
-                t.committed_flops += e.fu.uop.flops();
-                obs[tid].on_commit_uop(now, &e.fu.uop);
+                t.committed_flops += uop.flops();
+                span.push(uop);
                 per_thread_n[tid] += 1;
                 budget -= 1;
             }
+            // One batched observer call per thread per cycle, at the same
+            // sequence point the per-µop calls occupied (after the walk,
+            // before any stage view) — see the `StageObserver` docs for
+            // why this is report-identical to the per-µop path.
+            if !span.is_empty() {
+                obs[tid].on_commit_uops(now, &span);
+                span.clear();
+            }
         }
+        self.uop_span = span;
         let multi = self.multi();
         for (tid, ob) in obs.iter_mut().enumerate() {
             if !self.active(tid) {
@@ -577,7 +642,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 rob_empty: t.rob.is_empty(),
                 smt_blocked: multi && head_ready_unserved[tid],
                 fe_stall: t.frontend.stall_reason(now),
-                head_blame: t.rob.head().and_then(|h| h.blame(now)),
+                head_blame: t.rob.head_blame(now),
             };
             ob.on_commit(now, &view);
         }
@@ -585,30 +650,19 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
 
     // ----- issue ----------------------------------------------------------
 
-    /// Blame for the first still-outstanding producer of `e`
-    /// ("`i = prod(first non-ready instr)`", paper Table II issue column).
-    fn producer_blame(&self, tid: usize, e: &RobEntry, now: u64) -> Blame {
+    /// Blame for the first still-outstanding producer of the waiting entry
+    /// `seq` ("`i = prod(first non-ready instr)`", paper Table II issue
+    /// column). A not-done producer's [`Rob::blame_of`] is exactly the old
+    /// inline classification (Dcache/Interference for issued L1-missing
+    /// loads, LongLat for issued multi-cycle ops, Depend otherwise).
+    fn producer_blame(&self, tid: usize, seq: u64, now: u64) -> Blame {
         let rob = &self.threads[tid].rob;
-        for p in e.deps.iter().filter(|&&p| p != NO_DEP) {
+        let deps = rob.deps_of(seq).expect("waiting entry is in the ROB");
+        for p in deps.iter().filter(|&&p| p != NO_DEP) {
             if rob.producer_done(*p, now) {
                 continue;
             }
-            let Some(pe) = rob.get(*p) else { continue };
-            if pe.issued {
-                if pe.mem_level.is_some_and(|l| l.beyond_l1()) {
-                    // Same tail-window rule as `RobEntry::blame`: the last
-                    // `interf` cycles of the access exist only because of
-                    // another core's shared-uncore occupancy.
-                    if pe.interf > 0 && now >= pe.ready_at.saturating_sub(pe.interf) {
-                        return Blame::Interference;
-                    }
-                    return Blame::Dcache(pe.mem_level.unwrap_or(HitLevel::Mem));
-                }
-                if pe.exec_lat > 1 {
-                    return Blame::LongLat;
-                }
-            }
-            return Blame::Depend;
+            return rob.blame_of(*p, now).unwrap_or(Blame::Depend);
         }
         Blame::Depend
     }
@@ -619,13 +673,13 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         let t = &self.threads[tid];
         let seq = *t.sched.vfp.first()?;
         let rob = &t.rob;
-        let e = rob.get(seq)?;
-        for p in e.deps.iter().filter(|&&p| p != NO_DEP) {
+        let deps = rob.deps_of(seq)?;
+        for p in deps.iter().filter(|&&p| p != NO_DEP) {
             if rob.producer_done(*p, now) {
                 continue;
             }
-            let Some(pe) = rob.get(*p) else { continue };
-            return Some(if pe.fu.uop.kind.is_load() {
+            let Some(pfu) = rob.fu(*p) else { continue };
+            return Some(if pfu.uop.kind.is_load() {
                 FlopsBlame::Memory
             } else {
                 FlopsBlame::Depend
@@ -705,11 +759,10 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 w += 1;
                 continue;
             };
-            let fu = self.threads[tid]
+            let fu = *self.threads[tid]
                 .rob
-                .get(seq)
-                .expect("RS entry is in the ROB")
-                .fu;
+                .fu(seq)
+                .expect("RS entry is in the ROB");
             // Execution timing.
             let (ready_at, mem_level, interf) = match kind {
                 UopKind::Load { addr } => {
@@ -735,15 +788,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 _ => (now + base_lat, None, 0),
             };
             let t = &mut self.threads[tid];
-            {
-                let em = t.rob.get_mut(seq).expect("RS entry is in the ROB");
-                em.issued = true;
-                em.issued_at = now;
-                em.ready_at = ready_at;
-                em.exec_lat = ready_at - now;
-                em.mem_level = mem_level;
-                em.interf = interf;
-            }
+            t.rob.mark_issued(seq, now, ready_at, mem_level, interf);
             // A mispredicted correct-path branch schedules the redirect for
             // its completion cycle.
             if fu.mispredicted_branch && !fu.wrong_path {
@@ -827,12 +872,8 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
             // their state no longer changes after the scan and evaluating
             // the blame here is equivalent to evaluating it mid-scan.
             let blocking = match self.threads[tid].sched.first_not_done(now) {
-                Some(e) if e.stamp < stop_stamp => {
-                    let re = self.threads[tid]
-                        .rob
-                        .get(e.seq)
-                        .expect("waiting entry is in the ROB");
-                    Some(self.producer_blame(tid, re, now))
+                Some((seq, stamp)) if stamp < stop_stamp => {
+                    Some(self.producer_blame(tid, seq, now))
                 }
                 _ => None,
             };
@@ -873,6 +914,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
         let mut starved_by_smt = [false; MAX_THREADS];
         let mut supply_limited = [false; MAX_THREADS];
         let rs_cap = self.cfg.rs_size;
+        let mut span = std::mem::take(&mut self.uop_span);
 
         for k in 0..n_threads {
             let tid = (now as usize + k) % n_threads;
@@ -919,17 +961,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 if let Some(d) = f.uop.dst {
                     t.rename[d.index()] = Some(seq);
                 }
-                t.rob.push(RobEntry {
-                    fu: f,
-                    seq,
-                    deps,
-                    issued: false,
-                    issued_at: 0,
-                    ready_at: 0,
-                    exec_lat: 0,
-                    mem_level: None,
-                    interf: 0,
-                });
+                t.rob.push(f, seq, deps);
                 // Scheduler registration: count the producers that still
                 // have to issue (per dependence slot — a duplicated source
                 // is woken per slot) and subscribe to their wakeups; fold
@@ -939,13 +971,16 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 let mut pending = 0u8;
                 let mut ready_time = 0u64;
                 for p in deps.iter().filter(|&&p| p != NO_DEP) {
-                    match t.rob.get(*p) {
-                        Some(pe) if !pe.issued => {
+                    match t.rob.issued(*p) {
+                        Some(false) => {
                             pending += 1;
                             let slot = t.rob.slot_of(*p);
                             t.sched.consumers[slot].push((seq, stamp));
                         }
-                        Some(pe) => ready_time = ready_time.max(pe.ready_at),
+                        Some(true) => {
+                            let pr = t.rob.ready_at(*p).expect("issued producer in flight");
+                            ready_time = ready_time.max(pr);
+                        }
                         None => {} // committed → result long available
                     }
                 }
@@ -971,14 +1006,22 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                         kind,
                     });
                 }
-                obs[tid].on_dispatch_uop(now, &f.uop);
+                span.push(f.uop);
                 n_tot[tid] += 1;
                 if !f.wrong_path {
                     n_cor[tid] += 1;
                 }
                 budget -= 1;
             }
+            // One batched observer call per thread per cycle, at the same
+            // sequence point the per-µop calls occupied (after the walk,
+            // before any stage view).
+            if !span.is_empty() {
+                obs[tid].on_dispatch_uops(now, &span);
+                span.clear();
+            }
         }
+        self.uop_span = span;
 
         let multi = self.multi();
         for (tid, ob) in obs.iter_mut().enumerate() {
@@ -1021,7 +1064,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                 backend_blocked: backend[tid],
                 smt_blocked: multi && starved_by_smt[tid],
                 head_blame: if multi || backend[tid] {
-                    t.rob.head().and_then(|h| h.blame(now))
+                    t.rob.head_blame(now)
                 } else {
                     None
                 },
@@ -1052,7 +1095,7 @@ impl<I: Iterator<Item = MicroOp>> Engine<I> {
                     fe_stall: t.frontend.stall_reason(now),
                     backpressure: fc.backpressure,
                     head_blame: if fc.backpressure {
-                        t.rob.head().and_then(|h| h.blame(now))
+                        t.rob.head_blame(now)
                     } else {
                         None
                     },

@@ -43,6 +43,7 @@ pub mod engine;
 pub mod exec;
 pub mod lsq;
 pub mod observer;
+pub mod prof;
 pub mod result;
 pub mod rob;
 mod sched;
@@ -56,6 +57,7 @@ pub use observer::{
     Blame, CommitView, CycleEndView, DispatchView, FetchView, FlopsBlame, IssueView, IssuedInfo,
     StageObserver, StructuralStall,
 };
+pub use prof::{stage_prof_reset, stage_prof_snapshot, STAGE_PROF_NAMES};
 pub use result::{PipelineError, PipelineResult, PipelineStats, StallStage};
-pub use rob::{Rob, RobEntry};
+pub use rob::{Rob, SquashSummary};
 pub use smt::SmtCore;

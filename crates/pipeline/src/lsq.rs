@@ -7,25 +7,25 @@
 //! cache. Loads that are dependence-ready but disambiguation-blocked show
 //! up in the issue CPI stack as the `MemConflict` structural component
 //! ("predicted memory address conflicts", paper §III-A / §V-A).
+//!
+//! Storage is columnar (parallel `seq` / `addr` / `executed` deques): the
+//! per-issue [`StoreQueue::check_load`] scan walks the `executed` flags
+//! and 8-byte-word addresses as dense same-type runs instead of striding
+//! over 24-byte entry structs.
 
 use std::collections::VecDeque;
 
-/// One in-flight store.
-#[derive(Debug, Clone, Copy)]
-pub struct StqEntry {
-    /// Sequence number of the store micro-op.
-    pub seq: u64,
-    /// Byte address stored to.
-    pub addr: u64,
-    /// Whether the store has executed (address known, data forwardable).
-    pub executed: bool,
-}
-
 /// The store queue (the load side needs no state beyond ROB entries, so
-/// only stores are tracked).
+/// only stores are tracked). Entries are kept in dispatch (= sequence)
+/// order across three parallel columns.
 #[derive(Debug, Clone, Default)]
 pub struct StoreQueue {
-    entries: VecDeque<StqEntry>,
+    /// Sequence number per in-flight store (ascending).
+    seqs: VecDeque<u64>,
+    /// Byte address stored to, per entry.
+    addrs: VecDeque<u64>,
+    /// Whether the store has executed (address known, data forwardable).
+    executed: VecDeque<bool>,
     capacity: usize,
 }
 
@@ -49,24 +49,26 @@ impl StoreQueue {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "store queue capacity must be non-zero");
         StoreQueue {
-            entries: VecDeque::with_capacity(capacity),
+            seqs: VecDeque::with_capacity(capacity),
+            addrs: VecDeque::with_capacity(capacity),
+            executed: VecDeque::with_capacity(capacity),
             capacity,
         }
     }
 
     /// Whether another store can dispatch.
     pub fn is_full(&self) -> bool {
-        self.entries.len() == self.capacity
+        self.seqs.len() == self.capacity
     }
 
     /// Number of in-flight stores.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.seqs.len()
     }
 
     /// `true` when no stores are in flight.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.seqs.is_empty()
     }
 
     /// Total entries the queue can hold.
@@ -81,11 +83,9 @@ impl StoreQueue {
     /// Panics if the queue is full (check [`StoreQueue::is_full`] first).
     pub fn push(&mut self, seq: u64, addr: u64) {
         assert!(!self.is_full(), "pushing into a full store queue");
-        self.entries.push_back(StqEntry {
-            seq,
-            addr,
-            executed: false,
-        });
+        self.seqs.push_back(seq);
+        self.addrs.push_back(addr);
+        self.executed.push_back(false);
     }
 
     /// Marks a store as executed (address/data known). Entries are
@@ -93,8 +93,8 @@ impl StoreQueue {
     /// (retire) or back (squash), so the queue stays seq-sorted and the
     /// lookup can bisect.
     pub fn mark_executed(&mut self, seq: u64) {
-        if let Ok(pos) = self.entries.binary_search_by(|e| e.seq.cmp(&seq)) {
-            self.entries[pos].executed = true;
+        if let Ok(pos) = self.seqs.binary_search(&seq) {
+            self.executed[pos] = true;
         }
     }
 
@@ -102,30 +102,37 @@ impl StoreQueue {
     /// the match is the front entry; the bisect fallback keeps the method
     /// correct for out-of-order callers.
     pub fn retire(&mut self, seq: u64) {
-        if self.entries.front().is_some_and(|e| e.seq == seq) {
-            self.entries.pop_front();
-        } else if let Ok(pos) = self.entries.binary_search_by(|e| e.seq.cmp(&seq)) {
-            self.entries.remove(pos);
+        if self.seqs.front() == Some(&seq) {
+            self.seqs.pop_front();
+            self.addrs.pop_front();
+            self.executed.pop_front();
+        } else if let Ok(pos) = self.seqs.binary_search(&seq) {
+            self.seqs.remove(pos);
+            self.addrs.remove(pos);
+            self.executed.remove(pos);
         }
     }
 
     /// Removes squashed stores (younger than `seq`).
     pub fn squash_younger_than(&mut self, seq: u64) {
-        self.entries.retain(|e| e.seq <= seq);
+        let keep = self.seqs.partition_point(|&s| s <= seq);
+        self.seqs.truncate(keep);
+        self.addrs.truncate(keep);
+        self.executed.truncate(keep);
     }
 
     /// Conservative disambiguation check for a load at `load_seq` reading
     /// `addr` (8-byte granularity for forwarding).
     pub fn check_load(&self, load_seq: u64, addr: u64) -> LoadCheck {
         let mut forward = false;
-        for e in &self.entries {
-            if e.seq >= load_seq {
+        for ((&seq, &executed), &st_addr) in self.seqs.iter().zip(&self.executed).zip(&self.addrs) {
+            if seq >= load_seq {
                 break; // seq-sorted: everything from here on is younger
             }
-            if !e.executed {
+            if !executed {
                 return LoadCheck::Blocked;
             }
-            if e.addr >> 3 == addr >> 3 {
+            if st_addr >> 3 == addr >> 3 {
                 forward = true; // youngest older match wins; keep scanning for blocks
             }
         }
@@ -184,6 +191,22 @@ mod tests {
         q.squash_younger_than(2);
         assert_eq!(q.len(), 1);
         assert_eq!(q.check_load(10, 0x200), LoadCheck::Blocked); // store 2 unexecuted
+    }
+
+    #[test]
+    fn out_of_order_retire_keeps_columns_aligned() {
+        // The bisect fallback must remove the same index from all three
+        // columns, keeping seq→addr/executed associations intact.
+        let mut q = StoreQueue::new(4);
+        q.push(1, 0x100);
+        q.push(2, 0x200);
+        q.push(3, 0x300);
+        q.mark_executed(1);
+        q.mark_executed(3);
+        q.retire(2); // middle removal
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.check_load(10, 0x300), LoadCheck::Forward);
+        assert_eq!(q.check_load(10, 0x200), LoadCheck::Proceed);
     }
 
     #[test]

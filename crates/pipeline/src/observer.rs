@@ -227,6 +227,30 @@ pub trait StageObserver {
     fn on_commit_uop(&mut self, cycle: u64, uop: &MicroOp) {
         let _ = (cycle, uop);
     }
+    /// All micro-ops this observer's thread dispatched at `cycle`, in
+    /// dispatch order — the batched form of
+    /// [`StageObserver::on_dispatch_uop`]. The engine makes exactly one
+    /// call per thread per cycle (and only when `uops` is non-empty), at
+    /// the point in the stage sequence the last per-µop call occupied:
+    /// after the thread's dispatch walk, before any stage view. The
+    /// default loops over the per-µop hook, so an observer implementing
+    /// only that sees an identical event sequence; accountants override
+    /// this with a per-span form.
+    fn on_dispatch_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+        for uop in uops {
+            self.on_dispatch_uop(cycle, uop);
+        }
+    }
+    /// All micro-ops this observer's thread committed at `cycle`, in
+    /// commit order — the batched form of
+    /// [`StageObserver::on_commit_uop`], with the same one-call-per-
+    /// thread-per-cycle contract and per-µop-loop default as
+    /// [`StageObserver::on_dispatch_uops`].
+    fn on_commit_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+        for uop in uops {
+            self.on_commit_uop(cycle, uop);
+        }
+    }
     /// `n_squashed` wrong-path micro-ops — `branches_squashed` of them
     /// branches — were flushed at `cycle`.
     fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
@@ -265,6 +289,12 @@ impl<T: StageObserver + ?Sized> StageObserver for &mut T {
     }
     fn on_commit_uop(&mut self, cycle: u64, uop: &MicroOp) {
         (**self).on_commit_uop(cycle, uop);
+    }
+    fn on_dispatch_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+        (**self).on_dispatch_uops(cycle, uops);
+    }
+    fn on_commit_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+        (**self).on_commit_uops(cycle, uops);
     }
     fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
         (**self).on_squash(cycle, n_squashed, branches_squashed);
@@ -309,6 +339,16 @@ macro_rules! impl_observer_tuple {
                 #[allow(non_snake_case)]
                 let ($($name,)+) = self;
                 $($name.on_commit_uop(cycle, uop);)+
+            }
+            fn on_dispatch_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_dispatch_uops(cycle, uops);)+
+            }
+            fn on_commit_uops(&mut self, cycle: u64, uops: &[MicroOp]) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.on_commit_uops(cycle, uops);)+
             }
             fn on_squash(&mut self, cycle: u64, n_squashed: u64, branches_squashed: u64) {
                 #[allow(non_snake_case)]
@@ -372,6 +412,33 @@ mod tests {
         pair.on_dispatch(1, &dview());
         assert_eq!(pair.0.dispatches, 2);
         assert_eq!(pair.1.dispatches, 2);
+    }
+
+    #[test]
+    fn batched_span_default_loops_over_per_uop_hook() {
+        struct PerUop {
+            dispatched: Vec<u64>,
+            committed: Vec<u64>,
+        }
+        impl StageObserver for PerUop {
+            fn on_dispatch_uop(&mut self, _c: u64, uop: &MicroOp) {
+                self.dispatched.push(uop.pc);
+            }
+            fn on_commit_uop(&mut self, _c: u64, uop: &MicroOp) {
+                self.committed.push(uop.pc);
+            }
+        }
+        let mut o = PerUop {
+            dispatched: Vec::new(),
+            committed: Vec::new(),
+        };
+        let uops: Vec<MicroOp> = (0..3)
+            .map(|i| MicroOp::new(0x100 + i * 4, mstacks_model::UopKind::Nop))
+            .collect();
+        o.on_dispatch_uops(7, &uops);
+        o.on_commit_uops(9, &uops[..2]);
+        assert_eq!(o.dispatched, vec![0x100, 0x104, 0x108]);
+        assert_eq!(o.committed, vec![0x100, 0x104]);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Engine self-profiler (`MSTACKS_STAGE_PROF=1`).
+//!
+//! Per-stage wall-time totals for [`Engine::step`](crate::Engine::step),
+//! the in-repo equivalent of call-stack-profiling the simulator itself:
+//! before optimizing a stage, measure which stage the cycles actually go
+//! to. Costs nothing when disabled — the engine checks the environment
+//! variable once at construction and takes an untimed step path.
+//!
+//! Totals accumulate engine-locally (plain `u64` adds per cycle) and are
+//! flushed into process-wide atomics when the engine drops, so
+//! whole-session runs (which build and drop engines internally) still
+//! report. `bench overhead` prints the [`stage_prof_snapshot`] as a JSON
+//! block at exit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The timed sections of one engine cycle, in execution order.
+pub const STAGE_PROF_NAMES: [&str; 6] = [
+    "resolve",
+    "commit",
+    "issue",
+    "dispatch",
+    "fetch",
+    "cycle_end",
+];
+
+const N: usize = STAGE_PROF_NAMES.len();
+
+static TOTAL_NS: [AtomicU64; N] = [const { AtomicU64::new(0) }; N];
+static TOTAL_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether `MSTACKS_STAGE_PROF=1` is set (checked once per process).
+pub(crate) fn stage_prof_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("MSTACKS_STAGE_PROF").is_some_and(|v| v == "1"))
+}
+
+/// Engine-local stage timers; flushed to the process totals on drop.
+#[derive(Debug, Default)]
+pub(crate) struct LocalStageProf {
+    pub ns: [u64; N],
+    pub cycles: u64,
+}
+
+impl Drop for LocalStageProf {
+    fn drop(&mut self) {
+        for (total, &ns) in TOTAL_NS.iter().zip(&self.ns) {
+            total.fetch_add(ns, Ordering::Relaxed);
+        }
+        TOTAL_CYCLES.fetch_add(self.cycles, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide per-stage totals: `(cycles, ns per stage)` in
+/// [`STAGE_PROF_NAMES`] order, or `None` when the profiler is off.
+pub fn stage_prof_snapshot() -> Option<(u64, [u64; 6])> {
+    if !stage_prof_enabled() {
+        return None;
+    }
+    let mut ns = [0u64; N];
+    for (out, total) in ns.iter_mut().zip(&TOTAL_NS) {
+        *out = total.load(Ordering::Relaxed);
+    }
+    Some((TOTAL_CYCLES.load(Ordering::Relaxed), ns))
+}
+
+/// Zeroes the process-wide totals (between benchmark sections).
+pub fn stage_prof_reset() {
+    for total in &TOTAL_NS {
+        total.store(0, Ordering::Relaxed);
+    }
+    TOTAL_CYCLES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_flushes_on_drop() {
+        // The env gate only affects `stage_prof_snapshot`; totals always
+        // accept flushes, so this test stays independent of the env.
+        let before: u64 = TOTAL_NS[0].load(Ordering::Relaxed);
+        {
+            let mut l = LocalStageProf::default();
+            l.ns[0] = 17;
+            l.cycles = 3;
+        }
+        assert!(TOTAL_NS[0].load(Ordering::Relaxed) >= before + 17);
+    }
+}

@@ -3,7 +3,7 @@
 //! The ROB holds every in-flight micro-op in program order, addressed by a
 //! monotonically increasing sequence number. The accounting stages inspect
 //! the head entry ("`i = ROB head`" in paper Table II), so [`Rob`] exposes
-//! the head's blame classification directly.
+//! the head's blame classification directly ([`Rob::head_blame`]).
 //!
 //! Storage is a fixed ring over `capacity` slots with the physical slot of
 //! sequence number `s` pinned at `s % capacity`. Live sequence numbers
@@ -11,109 +11,27 @@
 //! `seq -> entry` lookup is O(1), and — crucially for the scheduler's
 //! producer→consumer wakeup lists — an entry keeps one stable
 //! [`Rob::slot_of`] index for its whole lifetime.
+//!
+//! # Layout
+//!
+//! Each in-flight micro-op used to be one 144-byte `RobEntry` struct,
+//! copied whole at dispatch and again at commit. The ring now stores
+//! parallel columns: the fetched micro-op ([`Rob::fu`]) on one side, and
+//! the small per-entry blame/timing fields (`issued` / `ready_at` /
+//! `exec_lat` / `mem_level` / `interf` / `deps`) on the other. The
+//! per-cycle consumers — head-done checks, producer-done probes, blame
+//! classification — touch only the small columns; commit reads the head
+//! micro-op in place and advances ([`Rob::drop_head`]) instead of popping
+//! a 144-byte copy.
 
 use crate::observer::Blame;
 use mstacks_frontend::FetchedUop;
 
-/// Sentinel for an unused [`RobEntry::deps`] slot (no producer). Sequence
+/// Sentinel for an unused dependence slot (no producer). Sequence
 /// numbers never reach it: the window is bounded by the ROB capacity.
 pub const NO_DEP: u64 = u64::MAX;
 use mstacks_mem::HitLevel;
 use mstacks_model::{MicroOp, UopKind};
-
-/// One in-flight micro-op.
-#[derive(Debug, Clone, Copy)]
-pub struct RobEntry {
-    /// The fetched micro-op with its speculation flags.
-    pub fu: FetchedUop,
-    /// Global sequence number (program order; wrong-path micro-ops are
-    /// interleaved at the point they were fetched).
-    pub seq: u64,
-    /// Producer sequence numbers this micro-op still waits on
-    /// ([`NO_DEP`] marks an unused dependence slot — packing the slots as
-    /// plain `u64` keeps the entry 24 bytes slimmer than `Option<u64>`
-    /// would, and the entry is copied on every dispatch).
-    pub deps: [u64; 3],
-    /// Whether execution has started.
-    pub issued: bool,
-    /// Cycle execution started (valid once `issued`).
-    pub issued_at: u64,
-    /// Cycle the result is available (valid once `issued`).
-    pub ready_at: u64,
-    /// Effective execution latency (valid once `issued`): memory latency
-    /// for loads, port latency otherwise.
-    pub exec_lat: u64,
-    /// For loads: the deepest memory level the access touched.
-    pub mem_level: Option<HitLevel>,
-    /// For loads in co-run mode: cycles of the access latency caused by
-    /// another core's occupancy of the shared uncore (zero otherwise).
-    /// The interference window is the *tail* of the access — the shared
-    /// resource delayed completion from `ready_at - interf` to `ready_at`.
-    pub interf: u64,
-}
-
-impl RobEntry {
-    /// Whether the result is available at `now`.
-    #[inline]
-    pub fn is_done(&self, now: u64) -> bool {
-        self.issued && self.ready_at <= now
-    }
-
-    /// The Table II backend blame for this entry when it is not done:
-    /// Dcache if it is a load that missed L1, long-latency if its execution
-    /// takes more than one cycle, dependence otherwise (including
-    /// not-yet-issued entries).
-    pub fn blame(&self, now: u64) -> Option<Blame> {
-        if self.is_done(now) {
-            return None;
-        }
-        if self.issued {
-            if self.mem_level_beyond_l1() {
-                // The shared-uncore interference cycles sit at the tail of
-                // the access: once `now` enters [ready_at - interf,
-                // ready_at), the remaining wait exists only because of
-                // another core's traffic.
-                if self.interf > 0 && now >= self.ready_at.saturating_sub(self.interf) {
-                    Some(Blame::Interference)
-                } else {
-                    Some(Blame::Dcache(self.mem_level.unwrap_or(HitLevel::Mem)))
-                }
-            } else if self.exec_lat > 1 {
-                Some(Blame::LongLat)
-            } else {
-                Some(Blame::Depend)
-            }
-        } else {
-            Some(Blame::Depend)
-        }
-    }
-
-    #[inline]
-    fn mem_level_beyond_l1(&self) -> bool {
-        self.mem_level.is_some_and(|l| l.beyond_l1())
-    }
-
-    /// Placeholder for unoccupied ring slots.
-    fn vacant() -> Self {
-        RobEntry {
-            fu: FetchedUop {
-                uop: MicroOp::new(0, UopKind::Nop),
-                wrong_path: false,
-                mispredicted_branch: false,
-                avail: 0,
-                icache_miss: false,
-            },
-            seq: 0,
-            deps: [NO_DEP; 3],
-            issued: false,
-            issued_at: 0,
-            ready_at: 0,
-            exec_lat: 0,
-            mem_level: None,
-            interf: 0,
-        }
-    }
-}
 
 /// What a branch-misprediction squash removed from the window, counted
 /// while walking the squashed suffix once (so the engine can maintain its
@@ -129,7 +47,8 @@ pub struct SquashSummary {
     pub loads: u64,
 }
 
-/// The reorder buffer: a bounded, in-order window of in-flight micro-ops.
+/// The reorder buffer: a bounded, in-order window of in-flight micro-ops,
+/// stored as parallel ring columns.
 ///
 /// # Example
 ///
@@ -141,9 +60,25 @@ pub struct SquashSummary {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rob {
-    /// Ring storage; the entry with sequence number `s` lives in slot
-    /// `s % capacity` while in flight.
-    slots: Vec<RobEntry>,
+    /// The fetched micro-op with its speculation flags, per ring slot.
+    fu: Vec<FetchedUop>,
+    /// Producer sequence numbers the micro-op waits on ([`NO_DEP`] marks
+    /// an unused dependence slot), per ring slot.
+    deps: Vec<[u64; 3]>,
+    /// Whether execution has started, per ring slot.
+    issued: Vec<bool>,
+    /// Cycle the result is available (valid once issued), per ring slot.
+    ready_at: Vec<u64>,
+    /// Effective execution latency (valid once issued): memory latency for
+    /// loads, port latency otherwise. Per ring slot.
+    exec_lat: Vec<u64>,
+    /// For loads: the deepest memory level the access touched.
+    mem_level: Vec<Option<HitLevel>>,
+    /// For loads in co-run mode: cycles of the access latency caused by
+    /// another core's occupancy of the shared uncore (zero otherwise).
+    /// The interference window is the *tail* of the access — the shared
+    /// resource delayed completion from `ready_at - interf` to `ready_at`.
+    interf: Vec<u64>,
     capacity: usize,
     /// Sequence number of the entry at the front (head) of the ROB.
     head_seq: u64,
@@ -159,8 +94,21 @@ impl Rob {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ROB capacity must be non-zero");
+        let vacant_fu = FetchedUop {
+            uop: MicroOp::new(0, UopKind::Nop),
+            wrong_path: false,
+            mispredicted_branch: false,
+            avail: 0,
+            icache_miss: false,
+        };
         Rob {
-            slots: vec![RobEntry::vacant(); capacity],
+            fu: vec![vacant_fu; capacity],
+            deps: vec![[NO_DEP; 3]; capacity],
+            issued: vec![false; capacity],
+            ready_at: vec![0; capacity],
+            exec_lat: vec![0; capacity],
+            mem_level: vec![None; capacity],
+            interf: vec![0; capacity],
             capacity,
             head_seq: 0,
             len: 0,
@@ -192,78 +140,181 @@ impl Rob {
         (seq % self.capacity as u64) as usize
     }
 
-    /// The oldest in-flight micro-op.
-    #[inline]
-    pub fn head(&self) -> Option<&RobEntry> {
-        if self.len == 0 {
-            None
-        } else {
-            Some(&self.slots[self.slot_of(self.head_seq)])
-        }
-    }
-
-    /// Appends a dispatched micro-op; its `seq` must be the next sequence
-    /// number.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ROB is full or the sequence number is not contiguous.
-    pub fn push(&mut self, entry: RobEntry) {
-        assert!(!self.is_full(), "pushing into a full ROB");
-        let expected = self.head_seq + self.len as u64;
-        assert_eq!(entry.seq, expected, "non-contiguous ROB sequence number");
-        let slot = self.slot_of(entry.seq);
-        self.slots[slot] = entry;
-        self.len += 1;
-    }
-
-    /// Pops the head (commit). The caller must have checked it is done.
-    pub fn pop_head(&mut self) -> Option<RobEntry> {
-        if self.len == 0 {
-            return None;
-        }
-        let e = self.slots[self.slot_of(self.head_seq)];
-        self.head_seq = e.seq + 1;
-        self.len -= 1;
-        Some(e)
-    }
-
     /// Whether `seq` is currently in flight.
     #[inline]
     fn in_flight(&self, seq: u64) -> bool {
         seq >= self.head_seq && seq < self.head_seq + self.len as u64
     }
 
-    /// Looks an in-flight micro-op up by sequence number — O(1) via the
-    /// ring index.
+    /// The ring slot of `seq` if it is in flight.
     #[inline]
-    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+    fn slot_if_live(&self, seq: u64) -> Option<usize> {
         if self.in_flight(seq) {
-            Some(&self.slots[self.slot_of(seq)])
+            Some(self.slot_of(seq))
         } else {
             None
         }
     }
 
-    /// Mutable lookup by sequence number — O(1) via the ring index.
+    /// Appends a dispatched micro-op; `seq` must be the next sequence
+    /// number. The blame/timing columns reset to "not issued".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or the sequence number is not contiguous.
+    pub fn push(&mut self, fu: FetchedUop, seq: u64, deps: [u64; 3]) {
+        assert!(!self.is_full(), "pushing into a full ROB");
+        let expected = self.head_seq + self.len as u64;
+        assert_eq!(seq, expected, "non-contiguous ROB sequence number");
+        let slot = self.slot_of(seq);
+        self.fu[slot] = fu;
+        self.deps[slot] = deps;
+        self.issued[slot] = false;
+        self.ready_at[slot] = 0;
+        self.exec_lat[slot] = 0;
+        self.mem_level[slot] = None;
+        self.interf[slot] = 0;
+        self.len += 1;
+    }
+
+    /// The fetched micro-op at the head, if any.
     #[inline]
-    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        if self.in_flight(seq) {
-            let slot = self.slot_of(seq);
-            Some(&mut self.slots[slot])
-        } else {
+    pub fn head_fu(&self) -> Option<&FetchedUop> {
+        if self.len == 0 {
             None
+        } else {
+            Some(&self.fu[self.slot_of(self.head_seq)])
         }
+    }
+
+    /// Whether the head entry exists and its result is available at `now`.
+    #[inline]
+    pub fn head_is_done(&self, now: u64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let s = self.slot_of(self.head_seq);
+        self.issued[s] && self.ready_at[s] <= now
+    }
+
+    /// Whether the head entry exists and has started execution.
+    #[inline]
+    pub fn head_issued(&self) -> bool {
+        self.len > 0 && self.issued[self.slot_of(self.head_seq)]
+    }
+
+    /// The Table II backend blame for the head entry (`None` when the ROB
+    /// is empty or the head is done).
+    #[inline]
+    pub fn head_blame(&self, now: u64) -> Option<Blame> {
+        if self.len == 0 {
+            None
+        } else {
+            self.blame_of(self.head_seq, now)
+        }
+    }
+
+    /// Advances past the head (commit). The caller must have checked the
+    /// head is done; use [`Rob::head_fu`] to read it in place first.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the ROB is empty.
+    #[inline]
+    pub fn drop_head(&mut self) {
+        debug_assert!(self.len > 0, "dropping the head of an empty ROB");
+        self.head_seq += 1;
+        self.len -= 1;
+    }
+
+    /// The fetched micro-op of an in-flight entry — O(1) via the ring
+    /// index.
+    #[inline]
+    pub fn fu(&self, seq: u64) -> Option<&FetchedUop> {
+        self.slot_if_live(seq).map(|s| &self.fu[s])
+    }
+
+    /// The dependence slots of an in-flight entry.
+    #[inline]
+    pub fn deps_of(&self, seq: u64) -> Option<&[u64; 3]> {
+        self.slot_if_live(seq).map(|s| &self.deps[s])
+    }
+
+    /// Whether an in-flight entry has started execution (`None` when
+    /// `seq` is not in flight).
+    #[inline]
+    pub fn issued(&self, seq: u64) -> Option<bool> {
+        self.slot_if_live(seq).map(|s| self.issued[s])
+    }
+
+    /// The completion cycle of an in-flight, issued entry.
+    #[inline]
+    pub fn ready_at(&self, seq: u64) -> Option<u64> {
+        self.slot_if_live(seq).map(|s| self.ready_at[s])
+    }
+
+    /// Records the execution start of `seq` at `now`, completing at
+    /// `ready_at` (memory classification and co-run interference for
+    /// loads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in flight.
+    pub fn mark_issued(
+        &mut self,
+        seq: u64,
+        now: u64,
+        ready_at: u64,
+        mem_level: Option<HitLevel>,
+        interf: u64,
+    ) {
+        let s = self.slot_if_live(seq).expect("issued entry is in the ROB");
+        self.issued[s] = true;
+        self.ready_at[s] = ready_at;
+        self.exec_lat[s] = ready_at - now;
+        self.mem_level[s] = mem_level;
+        self.interf[s] = interf;
     }
 
     /// Whether the producer with `seq` has its result available at `now`.
     /// Producers that already committed count as done.
     #[inline]
     pub fn producer_done(&self, seq: u64, now: u64) -> bool {
-        match self.get(seq) {
-            Some(e) => e.is_done(now),
+        match self.slot_if_live(seq) {
+            Some(s) => self.issued[s] && self.ready_at[s] <= now,
             None => true, // committed (or never existed) → value available
         }
+    }
+
+    /// The Table II backend blame for an in-flight entry when it is not
+    /// done: Dcache if it is a load that missed L1 (or `Interference` in
+    /// the co-run tail window), long-latency if its execution takes more
+    /// than one cycle, dependence otherwise (including not-yet-issued
+    /// entries). `None` when done or not in flight.
+    pub fn blame_of(&self, seq: u64, now: u64) -> Option<Blame> {
+        let s = self.slot_if_live(seq)?;
+        if self.issued[s] && self.ready_at[s] <= now {
+            return None;
+        }
+        Some(if self.issued[s] {
+            if self.mem_level[s].is_some_and(|l| l.beyond_l1()) {
+                // The shared-uncore interference cycles sit at the tail of
+                // the access: once `now` enters [ready_at - interf,
+                // ready_at), the remaining wait exists only because of
+                // another core's traffic.
+                if self.interf[s] > 0 && now >= self.ready_at[s].saturating_sub(self.interf[s]) {
+                    Blame::Interference
+                } else {
+                    Blame::Dcache(self.mem_level[s].unwrap_or(HitLevel::Mem))
+                }
+            } else if self.exec_lat[s] > 1 {
+                Blame::LongLat
+            } else {
+                Blame::Depend
+            }
+        } else {
+            Blame::Depend
+        })
     }
 
     /// Removes every entry younger than `seq` (branch-misprediction
@@ -289,7 +340,7 @@ impl Rob {
         let keep = keep.min(self.len);
         let mut summary = SquashSummary::default();
         for s in (self.head_seq + keep as u64)..(self.head_seq + self.len as u64) {
-            let kind = &self.slots[self.slot_of(s)].fu.uop.kind;
+            let kind = &self.fu[self.slot_of(s)].uop.kind;
             summary.uops += 1;
             if kind.is_branch() {
                 summary.branches += 1;
@@ -302,9 +353,11 @@ impl Rob {
         summary
     }
 
-    /// Iterates entries oldest → youngest.
-    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
-        (self.head_seq..self.head_seq + self.len as u64).map(move |s| &self.slots[self.slot_of(s)])
+    /// Iterates the in-flight micro-ops oldest → youngest as
+    /// `(seq, fetched micro-op)` pairs.
+    pub fn iter_fu(&self) -> impl Iterator<Item = (u64, &FetchedUop)> {
+        (self.head_seq..self.head_seq + self.len as u64)
+            .map(move |s| (s, &self.fu[self.slot_of(s)]))
     }
 
     /// Next sequence number to dispatch.
@@ -320,7 +373,7 @@ impl Rob {
     }
 
     /// Sequence number the next commit must carry. Advances only in
-    /// [`Rob::pop_head`] (squashes truncate the tail), so the audit
+    /// [`Rob::drop_head`] (squashes truncate the tail), so the audit
     /// subsystem checks commit-order monotonicity against it.
     #[inline]
     pub fn head_seq(&self) -> u64 {
@@ -333,35 +386,31 @@ mod tests {
     use super::*;
     use mstacks_model::{AluClass, MicroOp, UopKind};
 
-    fn entry(seq: u64) -> RobEntry {
-        RobEntry {
-            fu: FetchedUop {
-                uop: MicroOp::new(seq * 4, UopKind::IntAlu(AluClass::Add)),
-                wrong_path: false,
-                mispredicted_branch: false,
-                avail: 0,
-                icache_miss: false,
-            },
-            seq,
-            deps: [NO_DEP; 3],
-            issued: false,
-            issued_at: 0,
-            ready_at: 0,
-            exec_lat: 0,
-            mem_level: None,
-            interf: 0,
+    fn fu(seq: u64) -> FetchedUop {
+        FetchedUop {
+            uop: MicroOp::new(seq * 4, UopKind::IntAlu(AluClass::Add)),
+            wrong_path: false,
+            mispredicted_branch: false,
+            avail: 0,
+            icache_miss: false,
         }
+    }
+
+    fn push(rob: &mut Rob, seq: u64) {
+        rob.push(fu(seq), seq, [NO_DEP; 3]);
     }
 
     #[test]
     fn push_pop_in_order() {
         let mut rob = Rob::new(4);
         for s in 0..4 {
-            rob.push(entry(s));
+            push(&mut rob, s);
         }
         assert!(rob.is_full());
-        assert_eq!(rob.pop_head().unwrap().seq, 0);
-        assert_eq!(rob.head().unwrap().seq, 1);
+        assert_eq!(rob.head_seq(), 0);
+        rob.drop_head();
+        assert_eq!(rob.head_seq(), 1);
+        assert_eq!(rob.head_fu().unwrap().uop.pc, 4);
         assert_eq!(rob.next_seq(), 4);
     }
 
@@ -371,9 +420,10 @@ mod tests {
         // keep O(1) lookups valid after dozens of wraps.
         let mut rob = Rob::new(3);
         for s in 0..100u64 {
-            rob.push(entry(s));
-            assert_eq!(rob.get(s).unwrap().seq, s);
-            assert_eq!(rob.pop_head().unwrap().seq, s);
+            push(&mut rob, s);
+            assert_eq!(rob.fu(s).unwrap().uop.pc, s * 4);
+            assert_eq!(rob.head_seq(), s);
+            rob.drop_head();
         }
         assert!(rob.is_empty());
         assert_eq!(rob.next_seq(), 100);
@@ -383,7 +433,7 @@ mod tests {
     fn slot_of_is_stable_and_unique_among_live_entries() {
         let mut rob = Rob::new(4);
         for s in 0..4 {
-            rob.push(entry(s));
+            push(&mut rob, s);
         }
         let slots: Vec<usize> = (0..4).map(|s| rob.slot_of(s)).collect();
         let mut sorted = slots.clone();
@@ -391,8 +441,8 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 4, "live slots must be unique: {slots:?}");
         // Slots do not move as the head advances.
-        rob.pop_head();
-        rob.pop_head();
+        rob.drop_head();
+        rob.drop_head();
         assert_eq!(rob.slot_of(2), slots[2]);
         assert_eq!(rob.slot_of(3), slots[3]);
     }
@@ -401,40 +451,38 @@ mod tests {
     #[should_panic(expected = "full ROB")]
     fn push_full_panics() {
         let mut rob = Rob::new(1);
-        rob.push(entry(0));
-        rob.push(entry(1));
+        push(&mut rob, 0);
+        push(&mut rob, 1);
     }
 
     #[test]
     #[should_panic(expected = "non-contiguous")]
     fn push_wrong_seq_panics() {
         let mut rob = Rob::new(4);
-        rob.push(entry(1));
+        push(&mut rob, 1);
     }
 
     #[test]
     fn get_by_seq_after_commits() {
         let mut rob = Rob::new(4);
         for s in 0..4 {
-            rob.push(entry(s));
+            push(&mut rob, s);
         }
-        rob.pop_head();
-        rob.pop_head();
-        assert!(rob.get(0).is_none());
-        assert!(rob.get(1).is_none());
-        assert_eq!(rob.get(2).unwrap().seq, 2);
-        assert_eq!(rob.get(3).unwrap().seq, 3);
-        assert!(rob.get(4).is_none());
+        rob.drop_head();
+        rob.drop_head();
+        assert!(rob.fu(0).is_none());
+        assert!(rob.fu(1).is_none());
+        assert_eq!(rob.fu(2).unwrap().uop.pc, 8);
+        assert_eq!(rob.fu(3).unwrap().uop.pc, 12);
+        assert!(rob.fu(4).is_none());
     }
 
     #[test]
     fn producer_done_semantics() {
         let mut rob = Rob::new(4);
-        let mut e = entry(0);
-        e.issued = true;
-        e.ready_at = 10;
-        e.exec_lat = 3;
-        rob.push(e);
+        push(&mut rob, 0);
+        rob.mark_issued(0, 7, 10, None, 0);
+        assert_eq!(rob.ready_at(0), Some(10));
         assert!(!rob.producer_done(0, 9));
         assert!(rob.producer_done(0, 10));
         // Committed producers are done.
@@ -442,10 +490,24 @@ mod tests {
     }
 
     #[test]
+    fn push_resets_blame_columns_of_a_reused_slot() {
+        // A slot vacated by commit must not leak issued/timing state into
+        // its next occupant (the ring reuses slots every `capacity` seqs).
+        let mut rob = Rob::new(2);
+        push(&mut rob, 0);
+        rob.mark_issued(0, 0, 50, Some(HitLevel::Mem), 3);
+        rob.drop_head();
+        push(&mut rob, 1);
+        push(&mut rob, 2); // same ring slot as seq 0
+        assert_eq!(rob.issued(2), Some(false));
+        assert_eq!(rob.blame_of(2, 0), Some(Blame::Depend));
+    }
+
+    #[test]
     fn squash_removes_younger() {
         let mut rob = Rob::new(8);
         for s in 0..6 {
-            rob.push(entry(s));
+            push(&mut rob, s);
         }
         let sq = rob.squash_younger_than(2);
         assert_eq!(sq.uops, 3);
@@ -454,25 +516,25 @@ mod tests {
         assert_eq!(rob.len(), 3);
         assert_eq!(rob.next_seq(), 3);
         // New pushes continue from seq 3.
-        rob.push(entry(3));
+        push(&mut rob, 3);
         assert_eq!(rob.len(), 4);
     }
 
     #[test]
     fn squash_counts_loads_and_branches() {
         let mut rob = Rob::new(8);
-        rob.push(entry(0));
-        let mut ld = entry(1);
-        ld.fu.uop.kind = UopKind::Load { addr: 0x100 };
-        rob.push(ld);
-        let mut br = entry(2);
-        br.fu.uop.kind = UopKind::Branch(mstacks_model::BranchInfo {
+        push(&mut rob, 0);
+        let mut ld = fu(1);
+        ld.uop.kind = UopKind::Load { addr: 0x100 };
+        rob.push(ld, 1, [NO_DEP; 3]);
+        let mut br = fu(2);
+        br.uop.kind = UopKind::Branch(mstacks_model::BranchInfo {
             taken: true,
             target: 0x40,
             fallthrough: 0xc,
             kind: mstacks_model::BranchKind::Cond,
         });
-        rob.push(br);
+        rob.push(br, 2, [NO_DEP; 3]);
         let sq = rob.squash_younger_than(0);
         assert_eq!(
             sq,
@@ -490,15 +552,15 @@ mod tests {
         // the commit head must keep exactly that one entry.
         let mut rob = Rob::new(8);
         for s in 0..6 {
-            rob.push(entry(s));
+            push(&mut rob, s);
         }
-        rob.pop_head();
-        rob.pop_head();
+        rob.drop_head();
+        rob.drop_head();
         assert_eq!(rob.head_seq(), 2);
         let sq = rob.squash_younger_than(2);
         assert_eq!(sq.uops, 3);
         assert_eq!(rob.len(), 1);
-        assert_eq!(rob.head().unwrap().seq, 2);
+        assert_eq!(rob.head_fu().unwrap().uop.pc, 8);
         assert_eq!(rob.next_seq(), 3);
     }
 
@@ -509,11 +571,11 @@ mod tests {
         // it used to silently empty the window, now it traps.
         let mut rob = Rob::new(8);
         for s in 0..4 {
-            rob.push(entry(s));
+            push(&mut rob, s);
         }
-        rob.pop_head();
-        rob.pop_head();
-        rob.pop_head(); // head_seq = 3
+        rob.drop_head();
+        rob.drop_head();
+        rob.drop_head(); // head_seq = 3
         let _ = rob.squash_younger_than(1);
     }
 
@@ -521,28 +583,23 @@ mod tests {
     fn blame_classification() {
         let now = 5;
         // Not issued → Depend.
-        let e = entry(0);
-        assert_eq!(e.blame(now), Some(Blame::Depend));
+        let mut rob = Rob::new(8);
+        push(&mut rob, 0);
+        assert_eq!(rob.blame_of(0, now), Some(Blame::Depend));
+        assert_eq!(rob.head_blame(now), Some(Blame::Depend));
         // Issued long-latency → LongLat.
-        let mut e = entry(0);
-        e.issued = true;
-        e.ready_at = 20;
-        e.exec_lat = 8;
-        assert_eq!(e.blame(now), Some(Blame::LongLat));
+        rob.mark_issued(0, 12, 20, None, 0);
+        assert_eq!(rob.blame_of(0, now), Some(Blame::LongLat));
         // Load that missed L1 → Dcache, tagged with the serving level.
-        e.mem_level = Some(HitLevel::Mem);
-        assert_eq!(e.blame(now), Some(Blame::Dcache(HitLevel::Mem)));
+        rob.mark_issued(0, 12, 20, Some(HitLevel::Mem), 0);
+        assert_eq!(rob.blame_of(0, now), Some(Blame::Dcache(HitLevel::Mem)));
         // Issued 1-cycle op still in flight → Depend.
-        let mut e = entry(0);
-        e.issued = true;
-        e.ready_at = 6;
-        e.exec_lat = 1;
-        assert_eq!(e.blame(now), Some(Blame::Depend));
+        rob.mark_issued(0, 5, 6, None, 0);
+        assert_eq!(rob.blame_of(0, now), Some(Blame::Depend));
         // Done → no blame.
-        let mut e = entry(0);
-        e.issued = true;
-        e.ready_at = 5;
-        assert_eq!(e.blame(now), None);
+        rob.mark_issued(0, 4, 5, None, 0);
+        assert_eq!(rob.blame_of(0, now), None);
+        assert_eq!(rob.head_blame(now), None);
     }
 
     #[test]
@@ -550,18 +607,15 @@ mod tests {
         // Load serviced by DRAM, 4 of whose wait cycles were caused by a
         // co-running core: cycles [16, 20) blame interference, everything
         // earlier stays a plain Dcache miss.
-        let mut e = entry(0);
-        e.issued = true;
-        e.ready_at = 20;
-        e.exec_lat = 20;
-        e.mem_level = Some(HitLevel::Mem);
-        e.interf = 4;
-        assert_eq!(e.blame(15), Some(Blame::Dcache(HitLevel::Mem)));
-        assert_eq!(e.blame(16), Some(Blame::Interference));
-        assert_eq!(e.blame(19), Some(Blame::Interference));
-        assert_eq!(e.blame(20), None);
+        let mut rob = Rob::new(8);
+        push(&mut rob, 0);
+        rob.mark_issued(0, 0, 20, Some(HitLevel::Mem), 4);
+        assert_eq!(rob.blame_of(0, 15), Some(Blame::Dcache(HitLevel::Mem)));
+        assert_eq!(rob.blame_of(0, 16), Some(Blame::Interference));
+        assert_eq!(rob.blame_of(0, 19), Some(Blame::Interference));
+        assert_eq!(rob.blame_of(0, 20), None);
         // Zero interference never classifies as Interference.
-        e.interf = 0;
-        assert_eq!(e.blame(19), Some(Blame::Dcache(HitLevel::Mem)));
+        rob.mark_issued(0, 0, 20, Some(HitLevel::Mem), 0);
+        assert_eq!(rob.blame_of(0, 19), Some(Blame::Dcache(HitLevel::Mem)));
     }
 }

@@ -7,10 +7,10 @@
 //! vector, and squash recovery by recounting. This module replaces that
 //! with the classic scheduler split:
 //!
-//! * a per-thread **partition** ([`ThreadSched::entries`]) of waiting
-//!   [`RsEntry`]s in dispatch (= sequence) order, each tracking how many
-//!   of its producers have not issued yet (`pending`) and the cycle its
-//!   already-issued producers' results are available (`ready_time`);
+//! * a per-thread **partition** ([`ThreadSched`]) of waiting micro-ops in
+//!   dispatch (= sequence) order, each tracking how many of its producers
+//!   have not issued yet (`pending`) and the cycle its already-issued
+//!   producers' results are available (`ready_time`);
 //! * a per-ROB-slot **consumer list** ([`ThreadSched::consumers`]): when a
 //!   producer issues and its completion time becomes known, it wakes its
 //!   consumers by decrementing their `pending` instead of every consumer
@@ -37,6 +37,17 @@
 //! sequence number can only be reused after a squash truncates every
 //! younger entry, dead or alive) and are compacted away in bulk once they
 //! outnumber the live ones.
+//!
+//! # Layout
+//!
+//! The partition is stored as parallel columns (`seqs` / `stamps` /
+//! `pending` / `ready_time` / `kinds`), not a `Vec` of 56-byte entry
+//! structs. The per-cycle consumers are column-local: `find`'s binary
+//! search bisects a dense `u64` column, and `first_not_done` — which runs
+//! once per thread per cycle and used to wade through dozens of leading
+//! tombstones (issue is oldest-first, so tombstones concentrate at the
+//! front) — scans two small columns starting at [`ThreadSched::first_live`],
+//! a cursor past the contiguous dead prefix.
 
 use mstacks_model::UopKind;
 
@@ -44,7 +55,8 @@ use mstacks_model::UopKind;
 /// Real pending counts are bounded by the dependence-slot count (3).
 const DEAD: u8 = u8::MAX;
 
-/// One waiting (dispatched, not yet issued) micro-op.
+/// One waiting (dispatched, not yet issued) micro-op — the *registration*
+/// view handed to [`ThreadSched::push`]; storage is columnar.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RsEntry {
     /// ROB sequence number (per-thread, reused after squashes).
@@ -80,12 +92,25 @@ pub(crate) struct ReadyRef {
     pub kind: UopKind,
 }
 
-/// Per-thread scheduler state.
+/// Per-thread scheduler state, stored as parallel columns in sequence
+/// (= per-thread stamp) order, with issued entries left in place as
+/// tombstones until compaction.
 #[derive(Debug)]
 pub(crate) struct ThreadSched {
-    /// Waiting micro-ops in sequence (= per-thread stamp) order, with
-    /// issued entries left in place as tombstones until compaction.
-    pub entries: Vec<RsEntry>,
+    /// ROB sequence number per waiting micro-op (ascending).
+    seqs: Vec<u64>,
+    /// Dispatch stamp per entry (ascending; parallel to `seqs`).
+    stamps: Vec<u64>,
+    /// Unissued-producer count per entry, or [`DEAD`] (tombstone).
+    pending: Vec<u8>,
+    /// Cycle the issued producers' results are available, per entry.
+    ready_time: Vec<u64>,
+    /// Op kind per entry.
+    kinds: Vec<UopKind>,
+    /// Index of the first non-tombstone slot: every slot before it is
+    /// DEAD. Issue is oldest-first, so the dead prefix is the common case
+    /// and the cursor lets `first_not_done` skip it in O(1).
+    first_live: usize,
     /// Live (non-tombstone) entry count — the RS occupancy.
     live: usize,
     /// Sequence numbers of waiting vector-FP micro-ops, ascending.
@@ -101,7 +126,12 @@ pub(crate) struct ThreadSched {
 impl ThreadSched {
     pub fn new(rob_capacity: usize) -> Self {
         ThreadSched {
-            entries: Vec::with_capacity(rob_capacity),
+            seqs: Vec::with_capacity(rob_capacity),
+            stamps: Vec::with_capacity(rob_capacity),
+            pending: Vec::with_capacity(rob_capacity),
+            ready_time: Vec::with_capacity(rob_capacity),
+            kinds: Vec::with_capacity(rob_capacity),
+            first_live: 0,
             live: 0,
             vfp: Vec::new(),
             consumers: vec![Vec::new(); rob_capacity],
@@ -123,8 +153,12 @@ impl ThreadSched {
     #[inline]
     pub fn push(&mut self, e: RsEntry) {
         debug_assert!(e.pending != DEAD);
-        debug_assert!(self.entries.last().is_none_or(|l| l.seq < e.seq));
-        self.entries.push(e);
+        debug_assert!(self.seqs.last().is_none_or(|&l| l < e.seq));
+        self.seqs.push(e.seq);
+        self.stamps.push(e.stamp);
+        self.pending.push(e.pending);
+        self.ready_time.push(e.ready_time);
+        self.kinds.push(e.kind);
         self.live += 1;
     }
 
@@ -132,7 +166,7 @@ impl ThreadSched {
     /// partition is seq-sorted; tombstones keep their slot and order).
     #[inline]
     pub fn find(&self, seq: u64) -> Option<usize> {
-        self.entries.binary_search_by(|e| e.seq.cmp(&seq)).ok()
+        self.seqs.binary_search(&seq).ok()
     }
 
     /// Delivers a producer wakeup to consumer `(cseq, cstamp)`: one fewer
@@ -143,40 +177,76 @@ impl ThreadSched {
     #[inline]
     pub fn wake(&mut self, cseq: u64, cstamp: u64, ready_at: u64) -> Option<(u64, u64, UopKind)> {
         let i = self.find(cseq)?;
-        let c = &mut self.entries[i];
-        if c.stamp != cstamp || c.pending == DEAD {
+        if self.stamps[i] != cstamp || self.pending[i] == DEAD {
             return None;
         }
-        c.pending -= 1;
-        c.ready_time = c.ready_time.max(ready_at);
-        (c.pending == 0).then_some((c.stamp, c.ready_time, c.kind))
+        self.pending[i] -= 1;
+        self.ready_time[i] = self.ready_time[i].max(ready_at);
+        (self.pending[i] == 0).then(|| (self.stamps[i], self.ready_time[i], self.kinds[i]))
     }
 
     /// Tombstones the entry with `seq` (it issued), compacting the
     /// partition once tombstones dominate.
     pub fn mark_issued(&mut self, seq: u64) {
         if let Some(i) = self.find(seq) {
-            if self.entries[i].pending != DEAD {
-                self.entries[i].pending = DEAD;
+            if self.pending[i] != DEAD {
+                self.pending[i] = DEAD;
                 self.live -= 1;
+                if i == self.first_live {
+                    self.advance_first_live();
+                }
             }
         }
-        let dead = self.entries.len() - self.live;
+        let dead = self.seqs.len() - self.live;
         if dead >= 32 && dead >= self.live {
-            self.entries.retain(|e| e.pending != DEAD);
+            self.compact();
         }
+    }
+
+    /// Moves [`ThreadSched::first_live`] past the contiguous dead prefix.
+    #[inline]
+    fn advance_first_live(&mut self) {
+        while self.first_live < self.pending.len() && self.pending[self.first_live] == DEAD {
+            self.first_live += 1;
+        }
+    }
+
+    /// Drops every tombstone, shifting the live entries down in place
+    /// across all columns (order preserved).
+    fn compact(&mut self) {
+        let mut w = 0;
+        for r in 0..self.seqs.len() {
+            if self.pending[r] != DEAD {
+                self.seqs[w] = self.seqs[r];
+                self.stamps[w] = self.stamps[r];
+                self.pending[w] = self.pending[r];
+                self.ready_time[w] = self.ready_time[r];
+                self.kinds[w] = self.kinds[r];
+                w += 1;
+            }
+        }
+        self.truncate(w);
+        self.first_live = 0;
+    }
+
+    /// Truncates every column to `len` entries.
+    #[inline]
+    fn truncate(&mut self, len: usize) {
+        self.seqs.truncate(len);
+        self.stamps.truncate(len);
+        self.pending.truncate(len);
+        self.ready_time.truncate(len);
+        self.kinds.truncate(len);
     }
 
     /// Drops every waiting entry younger than `seq` (squash), returning
     /// how many **live** entries were removed (tombstones already left
     /// the occupancy count when they issued).
     pub fn squash_younger_than(&mut self, seq: u64) -> usize {
-        let keep = self.entries.partition_point(|e| e.seq <= seq);
-        let removed_live = self.entries[keep..]
-            .iter()
-            .filter(|e| e.pending != DEAD)
-            .count();
-        self.entries.truncate(keep);
+        let keep = self.seqs.partition_point(|&s| s <= seq);
+        let removed_live = self.pending[keep..].iter().filter(|&&p| p != DEAD).count();
+        self.truncate(keep);
+        self.first_live = self.first_live.min(keep);
         self.live -= removed_live;
         let vfp_keep = self.vfp.partition_point(|&s| s <= seq);
         self.vfp.truncate(vfp_keep);
@@ -193,11 +263,22 @@ impl ThreadSched {
     /// The oldest waiting entry whose dependences are not all done at
     /// `now` — the issue-stage blocking candidate (paper Table II: the
     /// producer of the first non-ready instruction gets the blame).
+    /// Returns its `(seq, stamp)`.
     #[inline]
-    pub fn first_not_done(&self, now: u64) -> Option<&RsEntry> {
-        self.entries
-            .iter()
-            .find(|e| e.pending != DEAD && (e.pending > 0 || e.ready_time > now))
+    pub fn first_not_done(&self, now: u64) -> Option<(u64, u64)> {
+        for i in self.first_live..self.pending.len() {
+            let p = self.pending[i];
+            if p != DEAD && (p > 0 || self.ready_time[i] > now) {
+                return Some((self.seqs[i], self.stamps[i]));
+            }
+        }
+        None
+    }
+
+    /// Raw slot count including tombstones (tests only).
+    #[cfg(test)]
+    fn raw_len(&self) -> usize {
+        self.seqs.len()
     }
 }
 
@@ -257,10 +338,38 @@ mod tests {
         s.push(a);
         s.push(b);
         s.push(c);
-        assert_eq!(s.first_not_done(10).unwrap().seq, 1);
+        assert_eq!(s.first_not_done(10).unwrap().0, 1);
         s.mark_issued(1);
-        assert_eq!(s.first_not_done(10).unwrap().seq, 2);
+        assert_eq!(s.first_not_done(10).unwrap().0, 2);
         assert!(s.first_not_done(30).is_none());
+    }
+
+    #[test]
+    fn first_live_cursor_skips_dead_prefix() {
+        let mut s = ThreadSched::new(64);
+        for seq in 0..8 {
+            let mut e = entry(seq, seq);
+            e.pending = 1;
+            s.push(e);
+        }
+        // Issue the oldest three in order: the cursor tracks the prefix.
+        for seq in 0..3 {
+            // wake then issue, as the engine does
+            assert!(s.wake(seq, seq, 0).is_some());
+            s.mark_issued(seq);
+        }
+        assert_eq!(s.first_live, 3);
+        assert_eq!(s.first_not_done(100).unwrap().0, 3);
+        // An out-of-order issue leaves a hole; the cursor stays behind it
+        // until the prefix catches up.
+        s.wake(5, 5, 0);
+        s.mark_issued(5);
+        assert_eq!(s.first_live, 3);
+        s.wake(3, 3, 0);
+        s.mark_issued(3);
+        s.wake(4, 4, 0);
+        s.mark_issued(4);
+        assert_eq!(s.first_live, 6, "cursor jumps the filled-in hole");
     }
 
     #[test]
@@ -288,7 +397,7 @@ mod tests {
             s.mark_issued(seq);
         }
         assert_eq!(s.len(), 50);
-        assert!(s.entries.len() < 100); // compaction fired
+        assert!(s.raw_len() < 100); // compaction fired
         for seq in (1..100).step_by(2) {
             assert!(s.find(seq).is_some());
         }

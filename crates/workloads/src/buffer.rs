@@ -380,36 +380,159 @@ impl Iterator for TraceCursor {
 
 impl ExactSizeIterator for TraceCursor {}
 
+/// Micro-ops decoded per [`BatchCursor`] refill. Small enough that the
+/// working batch stays L1-resident, large enough to amortize the chunk
+/// lookup and loop setup across hundreds of µops.
+pub const BATCH_UOPS: usize = 256;
+
+/// A batched replay of a shared [`TraceBuffer`] — the hot-path feed.
+///
+/// Where [`TraceCursor`] locates a chunk and decodes one µop per `next()`
+/// call, `BatchCursor` refills a reusable [`BATCH_UOPS`]-deep buffer
+/// straight from the chunk columns: one tight pass over the tag/payload
+/// columns reconstructs the kinds, a second zipped pass fills the
+/// register slots (the same column-walk shape as
+/// [`SampleSource::warm_range`]). `next()` is then an indexed copy out of
+/// the batch. The decode functions are shared with `TraceCursor`, so the
+/// stream is byte-identical to the per-µop fallback — `TraceCursor`
+/// remains available as the equivalence witness.
+#[derive(Debug, Clone)]
+pub struct BatchCursor {
+    buf: Arc<TraceBuffer>,
+    /// Absolute index of the first µop not yet decoded into `batch`.
+    next: u64,
+    end: u64,
+    batch: Vec<MicroOp>,
+    pos: usize,
+}
+
+impl BatchCursor {
+    /// A batched cursor over the whole buffer.
+    pub fn new(buf: Arc<TraceBuffer>) -> Self {
+        let end = buf.len();
+        Self::slice(buf, 0, end)
+    }
+
+    /// A batched cursor over µop indices `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end` exceeds the buffer length.
+    pub fn slice(buf: Arc<TraceBuffer>, start: u64, end: u64) -> Self {
+        assert!(
+            start <= end && end <= buf.len(),
+            "cursor [{start}, {end}) out of bounds for buffer of {}",
+            buf.len()
+        );
+        BatchCursor {
+            buf,
+            next: start,
+            end,
+            batch: Vec::with_capacity(BATCH_UOPS),
+            pos: 0,
+        }
+    }
+
+    /// Decodes the next run of µops into the batch buffer and returns the
+    /// first. A refill never crosses a chunk boundary, so both column
+    /// passes index a single chunk's arrays.
+    #[cold]
+    fn refill(&mut self) -> Option<MicroOp> {
+        self.batch.clear();
+        self.pos = 0;
+        if self.next >= self.end {
+            return None;
+        }
+        let i = self.next as usize;
+        let c = &self.buf.chunks[i / CHUNK_UOPS];
+        let off = i % CHUNK_UOPS;
+        let take = BATCH_UOPS
+            .min(CHUNK_UOPS - off)
+            .min((self.end - self.next) as usize);
+        // Column pass 1: tag + payload columns → pc, kind, microcode flag.
+        for j in off..off + take {
+            let flags = c.flags[j];
+            self.batch.push(MicroOp {
+                pc: c.pc[j],
+                kind: decode_kind(c.op[j], flags, c.a[j], c.b[j], c.lanes[j]),
+                src_regs: [None; 3],
+                dst: None,
+                microcoded: flags & flag::MICROCODED != 0,
+            });
+        }
+        // Column pass 2: register columns.
+        let reg = |v: u16| (v != NO_REG).then(|| ArchReg::new(v));
+        let srcs = &c.srcs[off..off + take];
+        let dst = &c.dst[off..off + take];
+        for (u, (s, &d)) in self.batch.iter_mut().zip(srcs.iter().zip(dst)) {
+            u.src_regs = [reg(s[0]), reg(s[1]), reg(s[2])];
+            u.dst = reg(d);
+        }
+        self.next += take as u64;
+        self.pos = 1;
+        Some(self.batch[0])
+    }
+}
+
+impl Iterator for BatchCursor {
+    type Item = MicroOp;
+
+    #[inline]
+    fn next(&mut self) -> Option<MicroOp> {
+        if let Some(&u) = self.batch.get(self.pos) {
+            self.pos += 1;
+            return Some(u);
+        }
+        self.refill()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize + (self.batch.len() - self.pos);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BatchCursor {}
+
 /// Cursor constructors on the shared handle, so call sites read
 /// `buf.cursor()` / `buf.window(a, b)` instead of spelling the Arc clone.
+/// Both return the batched cursor — the default hot path; reach for
+/// [`TraceCursor`] explicitly when the per-µop fallback is wanted.
 pub trait SharedTraceBuffer {
-    /// A cursor over the whole buffer.
-    fn cursor(&self) -> TraceCursor;
-    /// A cursor over µop indices `[start, end)`.
-    fn window(&self, start: u64, end: u64) -> TraceCursor;
+    /// A batched cursor over the whole buffer.
+    fn cursor(&self) -> BatchCursor;
+    /// A batched cursor over µop indices `[start, end)`.
+    fn window(&self, start: u64, end: u64) -> BatchCursor;
+    /// The per-µop fallback cursor over the whole buffer (equivalence
+    /// witness for the batched path).
+    fn cursor_per_uop(&self) -> TraceCursor;
 }
 
 impl SharedTraceBuffer for Arc<TraceBuffer> {
-    fn cursor(&self) -> TraceCursor {
-        TraceCursor::new(self.clone())
+    fn cursor(&self) -> BatchCursor {
+        BatchCursor::new(self.clone())
     }
 
-    fn window(&self, start: u64, end: u64) -> TraceCursor {
-        TraceCursor::slice(self.clone(), start, end)
+    fn window(&self, start: u64, end: u64) -> BatchCursor {
+        BatchCursor::slice(self.clone(), start, end)
+    }
+
+    fn cursor_per_uop(&self) -> TraceCursor {
+        TraceCursor::new(self.clone())
     }
 }
 
 /// The batched sampling source: detailed windows replay through
-/// [`TraceCursor`], and fast-forward segments stream straight out of the
+/// [`BatchCursor`], and fast-forward segments stream straight out of the
 /// packed chunk columns — no [`MicroOp`] is materialized, because the
 /// warm paths only consume the program counter, the branch outcome and
 /// the data address. Cuts fast-forward time roughly in half versus the
 /// cursor fallback (the decode is ~55% of it).
 impl SampleSource for Arc<TraceBuffer> {
-    type Window = TraceCursor;
+    type Window = BatchCursor;
 
-    fn window(&self, start: u64, end: u64) -> TraceCursor {
-        TraceCursor::slice(self.clone(), start, end)
+    fn window(&self, start: u64, end: u64) -> BatchCursor {
+        BatchCursor::slice(self.clone(), start, end)
     }
 
     fn warm_range(&self, start: u64, end: u64, sink: &mut impl WarmSink) {
@@ -577,5 +700,49 @@ mod tests {
         assert_eq!(c1.len(), 500);
         let c2 = buf.cursor();
         assert_eq!(c1.collect::<Vec<_>>(), c2.collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_cursor_matches_per_uop_cursor_for_every_profile() {
+        for w in spec::all() {
+            // Crosses batch boundaries (256) and a chunk boundary (8192).
+            let n = (CHUNK_UOPS as u64) + BATCH_UOPS as u64 + 57;
+            let buf = TraceBuffer::capture(&w, n).shared();
+            let batched: Vec<_> = buf.cursor().collect();
+            let fallback: Vec<_> = buf.cursor_per_uop().collect();
+            assert_eq!(batched, fallback, "batch divergence for {}", w.name());
+        }
+    }
+
+    #[test]
+    fn batch_cursor_slices_compose_to_the_whole() {
+        let w = spec::xz();
+        let n = 10_000u64;
+        let buf = TraceBuffer::capture(&w, n).shared();
+        let mut joined = Vec::new();
+        // Seams at a batch boundary, mid-batch, and the end.
+        for (s, e) in [(0, 256), (256, 301), (301, 9_000), (9_000, n)] {
+            joined.extend(BatchCursor::slice(buf.clone(), s, e));
+        }
+        assert_eq!(joined, w.trace(n).collect::<Vec<_>>());
+        assert_eq!(BatchCursor::slice(buf.clone(), n, n).count(), 0);
+    }
+
+    #[test]
+    fn batch_cursor_size_hint_tracks_consumption() {
+        let buf = TraceBuffer::capture(&spec::mcf(), 600).shared();
+        let mut c = buf.cursor();
+        assert_eq!(c.len(), 600);
+        for consumed in 1..=300 {
+            c.next().expect("in range");
+            assert_eq!(c.len(), 600 - consumed);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_batch_slice_panics() {
+        let buf = TraceBuffer::capture(&spec::mcf(), 10).shared();
+        let _ = BatchCursor::slice(buf, 5, 11);
     }
 }

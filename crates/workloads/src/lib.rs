@@ -45,7 +45,7 @@ pub mod synth;
 
 use mstacks_model::MicroOp;
 
-pub use buffer::{SharedTraceBuffer, TraceBuffer, TraceCursor};
+pub use buffer::{BatchCursor, SharedTraceBuffer, TraceBuffer, TraceCursor};
 pub use conv::{ConvPhase, ConvTrace};
 pub use deepbench::{ConvConfig, GemmConfig, RnnConfig};
 pub use gemm::{GemmStyle, GemmTrace};
@@ -54,7 +54,11 @@ pub use sample::{SampleSource, WindowFn};
 pub use synth::SynthParams;
 
 /// A named, deterministic micro-op stream generator.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full generator parameters — two equal
+/// workloads produce byte-identical traces, which is what lets sweep
+/// drivers share one captured [`TraceBuffer`] between equal points.
+#[derive(Debug, Clone, PartialEq)]
 #[allow(clippy::large_enum_variant)] // Workload values are few and long-lived
 pub enum Workload {
     /// Synthetic program-shaped workload (SPEC-like profile).

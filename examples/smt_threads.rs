@@ -13,6 +13,7 @@
 use mstacks::core::Session;
 use mstacks::prelude::*;
 use mstacks::stats::render::cpi_stack_lines;
+use mstacks::workloads::{SharedTraceBuffer, TraceBuffer};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -23,16 +24,18 @@ fn main() {
     let wl0 = spec::by_name(w0).unwrap_or_else(|| panic!("unknown workload {w0}"));
     let wl1 = spec::by_name(w1).unwrap_or_else(|| panic!("unknown workload {w1}"));
 
-    // Solo baselines for the slowdown comparison.
+    // One capture per workload feeds the solo baselines and the SMT run.
+    let buf0 = TraceBuffer::capture(&wl0, uops).shared();
+    let buf1 = TraceBuffer::capture(&wl1, uops).shared();
     let solo0 = Session::new(CoreConfig::broadwell())
-        .run(wl0.trace(uops))
+        .run(buf0.cursor())
         .expect("simulation completes");
     let solo1 = Session::new(CoreConfig::broadwell())
-        .run(wl1.trace(uops))
+        .run(buf1.cursor())
         .expect("simulation completes");
 
     let report = Session::new(CoreConfig::broadwell())
-        .run_threads(vec![wl0.trace(uops), wl1.trace(uops)])
+        .run_threads(vec![buf0.cursor(), buf1.cursor()])
         .expect("simulation completes");
 
     println!("2-way SMT on bdw: {w0} + {w1} ({uops} uops per thread)\n");

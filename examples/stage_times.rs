@@ -1,0 +1,40 @@
+//! Per-stage wall-time breakdown of the fig1 configuration (mcf on
+//! Broadwell, full accountant set) over a pre-decoded trace buffer.
+//! Run with `MSTACKS_STAGE_PROF=1` to populate the profile:
+//!
+//! ```sh
+//! MSTACKS_STAGE_PROF=1 cargo run --release --example stage_times
+//! ```
+
+use mstacks_core::Session;
+use mstacks_model::CoreConfig;
+use mstacks_workloads::{spec, SharedTraceBuffer, TraceBuffer};
+
+fn main() {
+    let uops: u64 = std::env::var("MSTACKS_UOPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let buf = TraceBuffer::capture(&spec::mcf(), uops).shared();
+    let t = std::time::Instant::now();
+    let r = Session::new(CoreConfig::broadwell())
+        .run(buf.cursor())
+        .expect("runs");
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "fig1: {uops} uops, {} cycles, {:.2} Mu/s, {:.0} ns/cycle",
+        r.result.cycles,
+        uops as f64 / dt / 1e6,
+        dt * 1e9 / r.result.cycles as f64
+    );
+    if let Some((cycles, ns)) = mstacks_pipeline::stage_prof_snapshot() {
+        let total: u64 = ns.iter().sum();
+        for (name, t) in mstacks_pipeline::STAGE_PROF_NAMES.iter().zip(ns) {
+            println!(
+                "  {name:10} {:6.1} ns/cycle  ({:4.1}%)",
+                t as f64 / cycles as f64,
+                t as f64 * 100.0 / total as f64
+            );
+        }
+    }
+}

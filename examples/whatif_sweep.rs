@@ -8,6 +8,7 @@
 
 use mstacks::prelude::*;
 use mstacks::stats::TextTable;
+use mstacks::workloads::{SharedTraceBuffer, TraceBuffer};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -40,8 +41,11 @@ fn main() {
     let mut within = 0;
     let mut total = 0;
     for w in spec::all() {
+        // One capture per benchmark serves the baseline and every
+        // idealized variant.
+        let buf = TraceBuffer::capture(&w, uops).shared();
         let base = Session::new(cfg.clone())
-            .run(w.trace(uops))
+            .run(buf.cursor())
             .expect("simulation completes");
         for (c, ideal) in checks {
             let (lo, hi) = base.multi.bounds(c);
@@ -51,7 +55,7 @@ fn main() {
             }
             let r = Session::new(cfg.clone())
                 .with_ideal(ideal)
-                .run(w.trace(uops))
+                .run(buf.cursor())
                 .expect("simulation completes");
             let actual = base.cpi() - r.cpi();
             let ok = base.multi.contains(c, actual);

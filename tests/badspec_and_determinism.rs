@@ -1,6 +1,7 @@
 //! Wrong-path discrimination schemes (paper §III-B) and reproducibility.
 
 use mstacks::prelude::*;
+use mstacks::workloads::{SharedTraceBuffer, TraceBuffer};
 
 #[test]
 fn simple_mode_recovers_commit_base() {
@@ -26,13 +27,13 @@ fn simple_mode_close_to_ground_truth() {
     // On the branch component the simple scheme approximates ground truth:
     // "this will account for the largest part of the branch miss component"
     // (paper §III-B).
-    let w = spec::deepsjeng();
+    let buf = TraceBuffer::capture(&spec::deepsjeng(), 30_000).shared();
     let gt = Session::new(CoreConfig::broadwell())
-        .run(w.trace(30_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let simple = Session::new(CoreConfig::broadwell())
         .with_badspec(BadSpecMode::SimpleRetireSlots)
-        .run(w.trace(30_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let g = gt.multi.dispatch.cpi_of(Component::Bpred);
     let s = simple.multi.dispatch.cpi_of(Component::Bpred);
@@ -45,13 +46,13 @@ fn simple_mode_close_to_ground_truth() {
 
 #[test]
 fn speculative_counters_close_to_ground_truth() {
-    let w = spec::leela();
+    let buf = TraceBuffer::capture(&spec::leela(), 30_000).shared();
     let gt = Session::new(CoreConfig::broadwell())
-        .run(w.trace(30_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let sc = Session::new(CoreConfig::broadwell())
         .with_badspec(BadSpecMode::SpeculativeCounters)
-        .run(w.trace(30_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     // Totals are identical (same execution)…
     assert!((gt.cpi() - sc.cpi()).abs() < 1e-9);
@@ -71,12 +72,12 @@ fn speculative_counters_close_to_ground_truth() {
 fn all_modes_identical_without_speculation() {
     // With a perfect predictor there is no wrong path: the three schemes
     // must agree exactly.
-    let w = spec::lbm();
+    let buf = TraceBuffer::capture(&spec::lbm(), 15_000).shared();
     let run = |mode| {
         Session::new(CoreConfig::broadwell())
             .with_ideal(IdealFlags::none().with_perfect_bpred())
             .with_badspec(mode)
-            .run(w.trace(15_000))
+            .run(buf.cursor())
             .expect("simulation completes")
     };
     let gt = run(BadSpecMode::GroundTruth);
@@ -99,11 +100,12 @@ fn all_modes_identical_without_speculation() {
 #[test]
 fn simulation_is_deterministic() {
     for w in [spec::mcf(), spec::povray()] {
+        let buf = TraceBuffer::capture(&w, 15_000).shared();
         let a = Session::new(CoreConfig::knights_landing())
-            .run(w.trace(15_000))
+            .run(buf.cursor())
             .expect("simulation completes");
         let b = Session::new(CoreConfig::knights_landing())
-            .run(w.trace(15_000))
+            .run(buf.cursor())
             .expect("simulation completes");
         assert_eq!(a, b, "{} must be bit-identical across runs", w.name());
     }
@@ -115,12 +117,12 @@ fn different_cores_differ() {
     // KNL is limited by width/latency where the 4-wide BDW is not.
     // (Memory-bound profiles can invert this: the KNL preset has more
     // per-core DRAM bandwidth, as the real parts did.)
-    let w = spec::imagick();
+    let buf = TraceBuffer::capture(&spec::imagick(), 40_000).shared();
     let bdw = Session::new(CoreConfig::broadwell())
-        .run(w.trace(40_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let knl = Session::new(CoreConfig::knights_landing())
-        .run(w.trace(40_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     assert!(knl.cpi() > bdw.cpi(), "2-wide KNL must have higher CPI");
 }

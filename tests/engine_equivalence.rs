@@ -10,7 +10,7 @@
 use mstacks::core::Session;
 use mstacks::prelude::*;
 use mstacks_bench::Sweep;
-use mstacks_workloads::{deepbench, GemmStyle};
+use mstacks_workloads::{deepbench, GemmStyle, SharedTraceBuffer, TraceBuffer};
 
 /// The three profile classes the ISSUE calls out: a memory-bound SPEC
 /// profile, a microcode/FP-heavy one, and a DeepBench sgemm kernel.
@@ -31,12 +31,13 @@ fn workloads() -> Vec<Workload> {
 fn one_thread_session_is_bit_identical_to_single_core_run() {
     let uops = 15_000u64;
     for w in workloads() {
+        let buf = TraceBuffer::capture(&w, uops).shared();
         for cfg in [CoreConfig::broadwell(), CoreConfig::knights_landing()] {
             let single = Session::new(cfg.clone())
-                .run(w.trace(uops))
+                .run(buf.cursor())
                 .expect("single-core run completes");
             let smt = Session::new(cfg.clone())
-                .run_threads(vec![w.trace(uops)])
+                .run_threads(vec![buf.cursor()])
                 .expect("1-thread session completes");
             assert_eq!(smt.threads.len(), 1);
             let t = &smt.threads[0];
@@ -59,14 +60,14 @@ fn one_thread_session_under_idealization_stays_identical() {
     let ideal = IdealFlags::none()
         .with_perfect_dcache()
         .with_perfect_bpred();
-    let w = spec::mcf();
+    let buf = TraceBuffer::capture(&spec::mcf(), uops).shared();
     let single = Session::new(CoreConfig::broadwell())
         .with_ideal(ideal)
-        .run(w.trace(uops))
+        .run(buf.cursor())
         .expect("single-core run completes");
     let smt = Session::new(CoreConfig::broadwell())
         .with_ideal(ideal)
-        .run_threads(vec![w.trace(uops)])
+        .run_threads(vec![buf.cursor()])
         .expect("1-thread session completes");
     assert_eq!(smt.threads[0].result, single.result);
     assert_eq!(smt.threads[0].multi, single.multi);

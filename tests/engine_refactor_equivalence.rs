@@ -13,7 +13,9 @@
 
 use mstacks::core::{Session, ThreadReport, COMPONENTS, FLOPS_COMPONENTS};
 use mstacks::model::CoreConfig;
-use mstacks::workloads::{deepbench, spec, ConvPhase, GemmStyle, RnnCell, Workload};
+use mstacks::workloads::{
+    deepbench, spec, ConvPhase, GemmStyle, RnnCell, SharedTraceBuffer, TraceBuffer, Workload,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -167,4 +169,46 @@ fn stacks_are_bit_identical_to_pre_refactor_goldens() {
         actual.lines().count(),
         "golden file and generated output differ in length"
     );
+}
+
+/// Batched-span observer accounting vs the per-µop fallback.
+///
+/// The engine hands each thread's dispatch/commit spans to the observers
+/// through `on_dispatch_uops`/`on_commit_uops`; the session's accountant
+/// bundle overrides those with batched walks. The audit wrapper
+/// deliberately does *not* override them, so an audited run takes the
+/// trait's default-impl loop and forwards one µop at a time through
+/// `on_dispatch_uop`/`on_commit_uop` of every accountant — the per-µop
+/// fallback. Both paths must produce bit-identical reports; the per-µop
+/// side also replays through the per-µop `TraceCursor` so the fallback
+/// is witnessed on both the feed and the accounting layer.
+#[test]
+fn batched_observer_path_matches_per_uop_fallback() {
+    for name in ["bdw", "zen"] {
+        let cfg = mstacks::model::coretab::builtin(name).expect("shipped preset table");
+        let mut workloads: Vec<(Workload, u64)> =
+            spec::all().into_iter().map(|w| (w, SPEC_UOPS)).collect();
+        workloads.extend(
+            deepbench_workloads(&cfg)
+                .into_iter()
+                .map(|w| (w, DEEPBENCH_UOPS)),
+        );
+        assert_eq!(workloads.len(), 24, "full profile matrix");
+        for (w, uops) in workloads {
+            let buf = TraceBuffer::capture(&w, uops).shared();
+            let batched = Session::new(cfg.clone())
+                .run(buf.cursor())
+                .unwrap_or_else(|e| panic!("{} on {name}: {e}", w.name()));
+            let per_uop = Session::new(cfg.clone())
+                .audit(true)
+                .run(buf.cursor_per_uop())
+                .unwrap_or_else(|e| panic!("{} on {name} (audited): {e}", w.name()));
+            assert_eq!(
+                batched,
+                per_uop,
+                "batched/per-µop observer divergence for {} on {name}",
+                w.name()
+            );
+        }
+    }
 }

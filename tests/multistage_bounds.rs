@@ -1,6 +1,7 @@
 //! The paper's ordering and bounding properties of the three stacks.
 
 use mstacks::prelude::*;
+use mstacks::workloads::{SharedTraceBuffer, TraceBuffer};
 
 #[test]
 fn frontend_components_shrink_towards_commit() {
@@ -68,14 +69,14 @@ fn issue_stack_lies_between_dispatch_and_commit() {
 #[test]
 fn bounds_contain_actual_bpred_improvement() {
     // The headline bounding property on a branch-dominated profile.
-    let w = spec::deepsjeng();
+    let buf = TraceBuffer::capture(&spec::deepsjeng(), 30_000).shared();
     let cfg = CoreConfig::broadwell();
     let base = Session::new(cfg.clone())
-        .run(w.trace(30_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let ideal = Session::new(cfg)
         .with_ideal(IdealFlags::none().with_perfect_bpred())
-        .run(w.trace(30_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let actual = base.cpi() - ideal.cpi();
     let (lo, hi) = base.multi.bounds(Component::Bpred);
@@ -112,12 +113,13 @@ fn perfect_everything_removes_all_miss_components() {
         .with_perfect_dcache()
         .with_perfect_bpred()
         .with_single_cycle_alu();
+    let buf = TraceBuffer::capture(&spec::x264(), 20_000).shared();
     let base = Session::new(cfg.clone())
-        .run(spec::x264().trace(20_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let r = Session::new(cfg.clone())
         .with_ideal(ideal)
-        .run(spec::x264().trace(20_000))
+        .run(buf.cursor())
         .expect("simulation completes");
     let w = f64::from(cfg.accounting_width());
     assert!(

@@ -7,15 +7,17 @@
 use mstacks::core::Session;
 use mstacks::model::{CoreConfig, IdealFlags};
 use mstacks::oracle::{crosscheck, predict, ToleranceBands, WorkloadSummary};
-use mstacks::workloads::spec;
+use mstacks::workloads::{spec, SharedTraceBuffer, TraceBuffer};
 
 const UOPS: u64 = 40_000;
 
 fn check(w: &mstacks::workloads::Workload, cfg: &CoreConfig) {
-    let summary = WorkloadSummary::profile(cfg, IdealFlags::none(), w.trace(UOPS));
+    // One capture feeds both the oracle profile and the detailed run.
+    let buf = TraceBuffer::capture(w, UOPS).shared();
+    let summary = WorkloadSummary::profile(cfg, IdealFlags::none(), buf.cursor());
     let prediction = predict(cfg, &summary);
     let report = Session::new(cfg.clone())
-        .run(w.trace(UOPS))
+        .run(buf.cursor())
         .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name(), cfg.name));
     let cmp = crosscheck(&prediction, &report.multi, &ToleranceBands::default());
     assert!(cmp.pass(), "{} on {} diverged:\n{cmp}", w.name(), cfg.name);
@@ -62,11 +64,11 @@ fn a_deliberately_broken_prediction_is_caught() {
     // The harness must actually be able to fail: corrupt the memory
     // interval far outside any band and expect a divergence verdict.
     let cfg = CoreConfig::broadwell();
-    let w = spec::mcf();
-    let summary = WorkloadSummary::profile(&cfg, IdealFlags::none(), w.trace(UOPS));
+    let buf = TraceBuffer::capture(&spec::mcf(), UOPS).shared();
+    let summary = WorkloadSummary::profile(&cfg, IdealFlags::none(), buf.cursor());
     let mut prediction = predict(&cfg, &summary);
     prediction.total = mstacks::core::Interval::new(90.0, 95.0);
-    let report = Session::new(cfg.clone()).run(w.trace(UOPS)).expect("runs");
+    let report = Session::new(cfg.clone()).run(buf.cursor()).expect("runs");
     let cmp = crosscheck(&prediction, &report.multi, &ToleranceBands::default());
     assert!(!cmp.pass());
     assert!(cmp.failures().any(|c| c.label == "total"));
