@@ -1,0 +1,310 @@
+//! **Closed-loop load generator for `mstacks serve` (PR 10).**
+//!
+//! Boots the analysis service in-process on an ephemeral port, then
+//! drives it with persistent keep-alive clients through four scenarios:
+//!
+//! * `cold-miss` — every request is a distinct cache key (fresh µop
+//!   count), so each one pays a full detailed simulation;
+//! * `warm-hit` — one key, primed once, then hammered: every request
+//!   replays cached bytes;
+//! * `mixed` — 80% requests from a small primed hot set, 20% fresh
+//!   cold keys, the shape an interactive sweep front end produces;
+//! * `lattice` — the 16-subset [`IdealFlags`] lattice via `/v1/sweep`,
+//!   posted twice; the second pass must ride the cache, so the overall
+//!   hit rate is ≥ 50% (the PR 10 acceptance floor).
+//!
+//! Each scenario reports requests/s and p50/p99 latency; the committed
+//! `BENCH_PR10.json` is one run of this binary with
+//! `MSTACKS_BENCH_OUT=BENCH_PR10.json`. The acceptance ratio —
+//! warm-hit throughput over all-cold throughput — must be ≥ 10x.
+//!
+//! `--smoke` runs a seconds-scale variant for CI: it additionally
+//! exercises `/v1/corun`, asserts a forced cache hit, and forces a
+//! `429 Retry-After` out of a deliberately tiny admission budget on a
+//! second server. Any violated expectation aborts with a nonzero exit.
+//!
+//! [`IdealFlags`]: mstacks_model::IdealFlags
+
+use mstacks_serve::client::Client;
+use mstacks_serve::{Server, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One scenario's closed-loop measurements.
+struct Summary {
+    scenario: &'static str,
+    requests: usize,
+    clients: usize,
+    elapsed_secs: f64,
+    cache_hits: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Summary {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed_secs
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"requests\":{},\"clients\":{},\"elapsed_secs\":{:.3},\"requests_per_sec\":{:.1},\"cache_hits\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}",
+            self.scenario, self.requests, self.clients, self.elapsed_secs,
+            self.rps(), self.cache_hits, self.p50_ms, self.p99_ms
+        )
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 * p).floor() as usize).min(sorted_ms.len() - 1);
+    sorted_ms[idx]
+}
+
+/// Runs `bodies` through `clients` closed-loop workers (each with its
+/// own keep-alive connection), pulling from a shared work index, and
+/// returns the merged latency/throughput summary. Panics on any
+/// non-200 response: the load here is sized under the admission budget,
+/// so a 429 (or worse) is a bug, not a data point.
+fn drive(scenario: &'static str, addr: SocketAddr, bodies: &[String], clients: usize) -> Summary {
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let per_thread: Vec<(Vec<f64>, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut lat_ms = Vec::new();
+                    let mut hits = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(body) = bodies.get(i) else { break };
+                        let t = Instant::now();
+                        let r = c.post("/v1/simulate", body).expect("post");
+                        lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(r.status, 200, "{scenario}: {}", r.body);
+                        hits += usize::from(r.header("X-Cache") == Some("hit"));
+                    }
+                    (lat_ms, hits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(bodies.len());
+    let mut cache_hits = 0;
+    for (l, h) in per_thread {
+        lat_ms.extend(l);
+        cache_hits += h;
+    }
+    lat_ms.sort_by(f64::total_cmp);
+    Summary {
+        scenario,
+        requests: bodies.len(),
+        clients,
+        elapsed_secs,
+        cache_hits,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+    }
+}
+
+fn simulate_body(workload: &str, uops: u64) -> String {
+    format!(r#"{{"workload":"{workload}","uops":{uops}}}"#)
+}
+
+/// The 16-subset ideal-flags lattice as a `/v1/sweep` body.
+fn lattice_body(uops: u64) -> String {
+    let flags = ["icache", "dcache", "bpred", "alu"];
+    let points: Vec<String> = (0..16u32)
+        .map(|mask| {
+            let list: Vec<&str> = flags
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, f)| *f)
+                .collect();
+            format!(
+                r#"{{"workload":"mcf","uops":{uops},"ideal":"{}"}}"#,
+                list.join(",")
+            )
+        })
+        .collect();
+    format!(r#"{{"points":[{}]}}"#, points.join(","))
+}
+
+/// Posts the lattice twice and returns (hits, misses) across both
+/// passes, taken from the service's `X-Cache-Hits/Misses` headers.
+fn run_lattice(addr: SocketAddr, uops: u64) -> (u64, u64) {
+    let mut c = Client::connect(addr).expect("connect");
+    let body = lattice_body(uops);
+    let (mut hits, mut misses) = (0, 0);
+    for pass in 0..2 {
+        let r = c.post("/v1/sweep", &body).expect("sweep");
+        assert_eq!(r.status, 200, "lattice pass {pass}: {}", r.body);
+        hits += r
+            .header("X-Cache-Hits")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        misses += r
+            .header("X-Cache-Misses")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+    }
+    (hits, misses)
+}
+
+/// CI smoke: every endpoint answers, a repeated key is a hit, and an
+/// over-budget request is turned away with `Retry-After`.
+fn smoke(handle: &ServerHandle) {
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).expect("connect");
+    assert_eq!(c.get("/healthz").expect("healthz").status, 200);
+
+    let body = simulate_body("mcf", 20_000);
+    let miss = c.post("/v1/simulate", &body).expect("simulate");
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert_eq!(miss.header("X-Cache"), Some("miss"), "first key use");
+    let hit = c.post("/v1/simulate", &body).expect("simulate");
+    assert_eq!(hit.header("X-Cache"), Some("hit"), "forced cache hit");
+    assert_eq!(hit.body, miss.body, "hit replays the miss bytes");
+
+    let corun = c
+        .post("/v1/corun", r#"{"workloads":["mcf","lbm"],"uops":20000}"#)
+        .expect("corun");
+    assert_eq!(corun.status, 200, "{}", corun.body);
+    assert!(corun.body.contains("\"interference_cycles\""));
+
+    let (hits, misses) = run_lattice(addr, 10_000);
+    assert_eq!((hits, misses), (16, 16), "lattice second pass is warm");
+
+    // Backpressure on a dedicated tiny-budget server: one big job holds
+    // the debt while fresh-keyed probes poke admission until one is
+    // turned away.
+    let tiny = Server::spawn(ServerConfig {
+        shards: 1,
+        debt_budget_uops: 600_000,
+        fast_lane_uops: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind tiny server");
+    let tiny_addr = tiny.addr();
+    let big = std::thread::spawn(move || {
+        let mut c = Client::connect(tiny_addr).expect("connect");
+        c.post("/v1/simulate", &simulate_body("mcf", 500_000))
+            .expect("big job")
+    });
+    let mut stats = Client::connect(tiny_addr).expect("connect");
+    for _ in 0..500 {
+        if !stats
+            .get("/v1/stats")
+            .expect("stats")
+            .body
+            .contains("\"debt_uops\":0}")
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let mut saw_429 = false;
+    for i in 0..100u64 {
+        let mut probe = Client::connect(tiny_addr).expect("connect");
+        let r = probe
+            .post("/v1/simulate", &simulate_body("lbm", 400_000 + i))
+            .expect("probe");
+        if r.status == 429 {
+            let retry: u64 = r
+                .header("Retry-After")
+                .expect("429 carries Retry-After")
+                .parse()
+                .expect("integer seconds");
+            assert!(retry >= 1, "Retry-After must be at least a second");
+            saw_429 = true;
+            break;
+        }
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    assert!(saw_429, "forced backpressure produced a 429");
+    assert_eq!(big.join().unwrap().status, 200, "big job still completes");
+    tiny.shutdown();
+    println!("serve smoke: ok (simulate, sweep, corun, cache hit, 429)");
+}
+
+fn main() {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let handle = Server::spawn(ServerConfig::default()).expect("bind server");
+    let addr = handle.addr();
+
+    if smoke_mode {
+        smoke(&handle);
+        handle.shutdown();
+        return;
+    }
+
+    let clients = 6;
+    let cold_n = 48;
+    let warm_n = 2000;
+    let mixed_n = 400;
+    let uops = 30_000u64;
+
+    // cold-miss: every request a fresh key (distinct µop count).
+    let cold_bodies: Vec<String> = (0..cold_n)
+        .map(|i| simulate_body("mcf", uops + i as u64))
+        .collect();
+    let cold = drive("cold-miss", addr, &cold_bodies, clients);
+    assert_eq!(cold.cache_hits, 0, "cold keys must all miss");
+
+    // warm-hit: one key primed by the cold pass is replayed warm_n times.
+    let warm_bodies: Vec<String> = (0..warm_n).map(|_| cold_bodies[0].clone()).collect();
+    let warm = drive("warm-hit", addr, &warm_bodies, clients);
+    assert_eq!(warm.cache_hits, warm_n, "warm keys must all hit");
+
+    // mixed: 80% from an already-primed hot set, 20% fresh cold keys.
+    let hot: Vec<&String> = cold_bodies.iter().take(8).collect();
+    let mixed_bodies: Vec<String> = (0..mixed_n)
+        .map(|i| {
+            if i % 5 == 4 {
+                simulate_body("lbm", uops + i as u64)
+            } else {
+                hot[i % hot.len()].clone()
+            }
+        })
+        .collect();
+    let mixed = drive("mixed-80-20", addr, &mixed_bodies, clients);
+
+    let (lat_hits, lat_misses) = run_lattice(addr, 15_000);
+    let lattice_hit_rate = lat_hits as f64 / (lat_hits + lat_misses) as f64;
+    let speedup = warm.rps() / cold.rps();
+
+    for s in [&cold, &warm, &mixed] {
+        println!(
+            "{:<12} {:>6} req, {} clients: {:>9.1} req/s   p50 {:>8.3} ms   p99 {:>8.3} ms   hits {}",
+            s.scenario, s.requests, s.clients, s.rps(), s.p50_ms, s.p99_ms, s.cache_hits
+        );
+    }
+    println!(
+        "lattice      {lat_hits} hits / {lat_misses} misses over two passes ({:.0}% hit rate)",
+        lattice_hit_rate * 100.0
+    );
+    println!("warm-hit over cold-miss: {speedup:.1}x (acceptance floor 10x)");
+    assert!(speedup >= 10.0, "warm/cold speedup {speedup:.1}x below 10x");
+    assert!(lattice_hit_rate >= 0.5, "lattice hit rate below 50%");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve-loadgen\",\n  \"description\": \"Closed-loop load against an in-process mstacks serve instance (cargo run --release -p mstacks-bench --bin loadgen). cold-miss = every request a fresh cache key; warm-hit = one primed key replayed; mixed = 80% primed hot set / 20% fresh keys; lattice = the 16-subset IdealFlags sweep posted twice through /v1/sweep.\",\n  \"uops_per_request\": {uops},\n  \"warm_over_cold_speedup\": {speedup:.1},\n  \"lattice_hit_rate\": {lattice_hit_rate:.3},\n  \"scenarios\": [\n    {},\n    {},\n    {}\n  ]\n}}",
+        cold.json(),
+        warm.json(),
+        mixed.json(),
+    );
+    if let Ok(path) = std::env::var("MSTACKS_BENCH_OUT") {
+        std::fs::write(&path, format!("{json}\n")).expect("write bench JSON");
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    handle.shutdown();
+}

@@ -87,11 +87,25 @@ pub fn run_corun(
     ideal: IdealFlags,
     uops: u64,
 ) -> CoRunReport {
-    // Batched path, with capture shared between cores: equal workloads
-    // (homogeneous co-runs are common) decode once and replay from the
-    // same Arc'd buffer.
-    let bufs = capture_shared(workloads, uops);
-    run_corun_buffered(&bufs, cfg, ideal).unwrap_or_else(|e| {
+    // Equal workloads (homogeneous co-runs are common) decode once and
+    // replay from the same Arc'd buffer; all-distinct one-shot co-runs
+    // stream each generator directly — a capture would decode exactly once
+    // anyway and only add the buffer write/read round trip. The buffer
+    // round-trips bit-identically, so both paths produce the same report.
+    let any_dup = workloads
+        .iter()
+        .enumerate()
+        .any(|(i, w)| workloads[..i].contains(w));
+    let result = if any_dup {
+        let bufs = capture_shared(workloads, uops);
+        run_corun_buffered(&bufs, cfg, ideal)
+    } else {
+        CoRun::new(cfg.clone())
+            .with_ideal(ideal)
+            .audit(audit_enabled())
+            .run(workloads.iter().map(|w| w.trace(uops)).collect())
+    };
+    result.unwrap_or_else(|e| {
         let names: Vec<String> = workloads.iter().map(Workload::name).collect();
         panic!("corun [{}] on {}: {e}", names.join("+"), cfg.name)
     })

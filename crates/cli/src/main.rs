@@ -12,6 +12,7 @@
 //! mstacks trace    <workload> [options]        dump the micro-op stream head
 //! mstacks crosscheck <workload> [options]      differential oracle vs simulator
 //! mstacks cores [list|dump <name>|check <f>…]  declarative core tables
+//! mstacks serve [--addr H:P] [options]         HTTP analysis service (cached, backpressured)
 //!
 //! options:
 //!   --core NAME             built-in core table (default bdw)
@@ -27,7 +28,7 @@
 //! ```
 
 mod args;
-mod json;
+use mstacks_core::jsonfmt as json;
 mod output;
 
 use args::{CliError, Options};
@@ -49,6 +50,31 @@ fn capture_shared(workloads: &[Workload], uops: u64) -> Vec<Arc<TraceBuffer>> {
         }
     }
     bufs
+}
+
+/// Runs a co-run over `traces` (audited when the options ask for it),
+/// generic over the feed so callers can pass either streaming generators
+/// or shared-capture cursors without boxing the hot path.
+fn drive_corun<I: Iterator<Item = mstacks_model::MicroOp>>(
+    corun: &CoRun,
+    traces: Vec<I>,
+    opts: &Options,
+) -> Result<(mstacks_core::CoRunReport, Option<AuditReport>), CliError> {
+    match audit_options(opts)? {
+        Some(a) => {
+            let (r, audit) = corun
+                .run_audited(traces, a)
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
+            check_audit(&audit)?;
+            Ok((r, Some(audit)))
+        }
+        None => Ok((
+            corun
+                .run(traces)
+                .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
+            None,
+        )),
+    }
 }
 
 /// Builds audit options for `--audit` / `--trace-out`, opening the JSONL
@@ -278,22 +304,22 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             let corun = CoRun::new(opts.core.clone())
                 .with_ideal(opts.ideal)
                 .with_badspec(opts.badspec);
-            let bufs = capture_shared(&workloads, opts.uops);
-            let traces = bufs.iter().map(|b| b.cursor()).collect();
-            let (report, audit) = match audit_options(&opts)? {
-                Some(a) => {
-                    let (r, audit) = corun
-                        .run_audited(traces, a)
-                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?;
-                    check_audit(&audit)?;
-                    (r, Some(audit))
-                }
-                None => (
-                    corun
-                        .run(traces)
-                        .map_err(|e| CliError::new(format!("simulation failed: {e}")))?,
-                    None,
-                ),
+            // A one-shot co-run with all-distinct workloads gains nothing
+            // from the capture-then-replay round trip (each trace would be
+            // decoded once either way, plus a full buffer write/read); only
+            // duplicated workloads amortize a shared capture. The buffer
+            // round-trips bit-identically, so both paths produce the same
+            // report.
+            let any_dup = workloads
+                .iter()
+                .enumerate()
+                .any(|(i, w)| workloads[..i].contains(w));
+            let (report, audit) = if any_dup {
+                let bufs = capture_shared(&workloads, opts.uops);
+                drive_corun(&corun, bufs.iter().map(|b| b.cursor()).collect(), &opts)?
+            } else {
+                let traces = workloads.iter().map(|w| w.trace(opts.uops)).collect();
+                drive_corun(&corun, traces, &opts)?
             };
             if opts.json {
                 println!("{}", json::corun_report(&names, &report, audit.as_ref()));
@@ -331,7 +357,62 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "serve" => serve_command(&argv[1..]),
         other => Err(CliError::new(format!("unknown command `{other}`"))),
+    }
+}
+
+/// `mstacks serve [--addr HOST:PORT] [--shards N] [--cache-mb N]
+/// [--debt-budget UOPS] [--fast-lane UOPS]` — boots the analysis service
+/// and blocks until killed.
+fn serve_command(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = mstacks_serve::ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..mstacks_serve::ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| CliError::new(format!("{flag} needs {what}")))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("HOST:PORT")?.clone(),
+            "--shards" => {
+                cfg.shards = value("a worker count")?
+                    .parse()
+                    .map_err(|_| CliError::new("--shards needs an integer".to_string()))?;
+                if cfg.shards == 0 {
+                    return Err(CliError::new("--shards must be at least 1".to_string()));
+                }
+            }
+            "--cache-mb" => {
+                let mb: usize = value("a size in MiB")?
+                    .parse()
+                    .map_err(|_| CliError::new("--cache-mb needs an integer".to_string()))?;
+                cfg.cache_bytes = mb << 20;
+            }
+            "--debt-budget" => {
+                cfg.debt_budget_uops = value("a µop budget")?
+                    .parse()
+                    .map_err(|_| CliError::new("--debt-budget needs an integer".to_string()))?;
+            }
+            "--fast-lane" => {
+                cfg.fast_lane_uops = value("a µop threshold")?
+                    .parse()
+                    .map_err(|_| CliError::new("--fast-lane needs an integer".to_string()))?;
+            }
+            other => return Err(CliError::new(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    let handle = mstacks_serve::Server::spawn(cfg)
+        .map_err(|e| CliError::new(format!("cannot start server: {e}")))?;
+    println!("mstacks serve listening on http://{}", handle.addr());
+    println!("  POST /v1/simulate  /v1/sweep  /v1/corun   GET /healthz /v1/stats");
+    // Serve until the process is killed; the handle's workers own all
+    // the state, so parking the main thread is all that's left to do.
+    loop {
+        std::thread::park();
     }
 }
 
@@ -405,7 +486,11 @@ fn print_help() {
          \x20 mstacks compare  <workload> [--uops N]\n\
          \x20 mstacks trace    <workload> [--uops N]\n\
          \x20 mstacks crosscheck <workload> [--core C] [--uops N] [--ideal F] [--json]\n\
-         \x20 mstacks cores [list | dump <name> | check <file.core>...]\n\n\
+         \x20 mstacks cores [list | dump <name> | check <file.core>...]\n\
+         \x20 mstacks serve [--addr H:P] [--shards N] [--cache-mb N]\n\
+         \x20               [--debt-budget UOPS] [--fast-lane UOPS]\n\
+         \x20                             (HTTP analysis service: POST /v1/simulate,\n\
+         \x20                              /v1/sweep, /v1/corun; cached, backpressured)\n\n\
          cores: bdw (Broadwell), knl (Knights Landing), skx (Skylake-SP),\n\
          \x20      zen (Zen-class, table-only), atom (narrow in-order-class, table-only)\n\
          \x20      — every core is a declarative table; --core-file PATH loads your own\n\

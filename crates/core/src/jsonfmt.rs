@@ -1,16 +1,19 @@
-//! Minimal hand-rolled JSON emission (keeps the CLI dependency-free).
+//! Minimal hand-rolled JSON emission (keeps the workspace dependency-free).
 //!
-//! Only what the tool needs: objects, arrays, strings without exotic
-//! escapes, and finite numbers.
+//! Only what the tools need: objects, arrays, strings without exotic
+//! escapes, and finite numbers. Lives in `mstacks-core` (rather than the
+//! CLI) so every front end — the CLI, the serve daemon, the bench
+//! binaries — emits the *byte-identical* golden-pinned schemas: the
+//! service's result cache stores these bytes and replays them verbatim.
 
-use mstacks_core::{
+use crate::{
     AuditReport, CoRunReport, SampledReport, SimReport, SmtReport, StackComparison, COMPONENTS,
     FLOPS_COMPONENTS,
 };
 
 /// Escapes a string for JSON (the names here are all ASCII identifiers,
 /// but be safe).
-fn esc(s: &str) -> String {
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -32,7 +35,7 @@ fn num(v: f64) -> String {
     }
 }
 
-fn cpi_stack_json(s: &mstacks_core::CpiStack) -> String {
+fn cpi_stack_json(s: &crate::CpiStack) -> String {
     let comps: Vec<String> = COMPONENTS
         .iter()
         .map(|&c| format!("\"{}\":{}", c.label(), num(s.cpi_of(c))))
@@ -45,7 +48,7 @@ fn cpi_stack_json(s: &mstacks_core::CpiStack) -> String {
     )
 }
 
-fn flops_stack_json(s: &mstacks_core::FlopsStack) -> String {
+fn flops_stack_json(s: &crate::FlopsStack) -> String {
     let n = s.normalized();
     let comps: Vec<String> = FLOPS_COMPONENTS
         .iter()
@@ -271,7 +274,7 @@ mod tests {
 
     #[test]
     fn sim_report_shape() {
-        use mstacks_core::Session;
+        use crate::Session;
         use mstacks_model::{AluClass, ArchReg, CoreConfig, MicroOp, UopKind};
         let trace = (0..500u64).map(|i| {
             MicroOp::new(0x1000 + (i % 16) * 4, UopKind::IntAlu(AluClass::Add))

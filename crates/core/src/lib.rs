@@ -43,10 +43,12 @@
 
 pub mod accounting;
 pub mod audit;
+pub mod cachekey;
 pub mod compare;
 pub mod component;
 pub mod corun;
 pub mod interval;
+pub mod jsonfmt;
 pub mod multi;
 pub mod sampling;
 pub mod session;

@@ -189,16 +189,21 @@ pub fn predict(cfg: &CoreConfig, summary: &WorkloadSummary) -> OraclePrediction 
         Interval::new(m_rate * depth * 0.5, m_rate * (depth + resolve));
 
     // Memory: serialized cost as the pessimistic bound; MLP-overlapped
-    // and bandwidth-floored as the optimistic bound.
+    // and bandwidth-floored as the optimistic bound. Store misses are
+    // excluded from the optimistic bound: the engine fires stores at the
+    // hierarchy and retires them from the store queue without waiting for
+    // the fill, so on store-heavy profiles (e.g. nab) the only cost a
+    // store miss can expose is the bandwidth floor, not serialization.
     let d_serial = (lat.serialized(&summary.dcache)
         + summary.dtlb_misses as f64 * f64::from(cfg.mem.dtlb.walk_cycles))
         / n;
+    let load_serial = d_serial - lat.serialized(&summary.dcache_stores) / n;
     let mlp = f64::from(cfg.mem.l1d.mshrs.clamp(1, 16));
     let bw_floor = summary.dcache.dram as f64 * f64::from(cfg.mem.l2.line_bytes)
         / cfg.mem.dram_bytes_per_cycle
         / n;
     iv[OracleComponent::Memory.index()] = Interval::new(
-        (d_serial / mlp).max(bw_floor.min(d_serial)),
+        (load_serial / mlp).max(bw_floor.min(d_serial)),
         d_serial * 1.05,
     );
 

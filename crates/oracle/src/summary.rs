@@ -124,6 +124,24 @@ impl MissProfile {
     pub fn total(&self) -> u64 {
         self.l2 + self.l3 + self.dram
     }
+
+    /// Counts one access served at `level`.
+    fn record(&mut self, level: Served) {
+        self.accesses += 1;
+        match level {
+            Served::L2 => self.l2 += 1,
+            Served::L3 => self.l3 += 1,
+            Served::Dram => self.dram += 1,
+        }
+    }
+}
+
+/// Where a demand miss was eventually served.
+#[derive(Debug, Clone, Copy)]
+enum Served {
+    L2,
+    L3,
+    Dram,
 }
 
 /// Workload summary statistics: everything the interval equations need,
@@ -157,6 +175,12 @@ pub struct WorkloadSummary {
     /// Data-side misses (loads + stores beyond the L1D, split by serving
     /// level; 0 when the perfect-dcache idealization is on).
     pub dcache: MissProfile,
+    /// The store-side subset of [`WorkloadSummary::dcache`]. The engine
+    /// fires stores at the hierarchy and completes them without waiting
+    /// for the fill (the store queue drains in the background), so store
+    /// misses cost bandwidth but never serialize the pipeline — the
+    /// memory *lower* bound must exclude them (see [`crate::predict`]).
+    pub dcache_stores: MissProfile,
     /// DTLB misses.
     pub dtlb_misses: u64,
     /// Dataflow critical-path length in cycles under the core's latency
@@ -214,6 +238,7 @@ impl WorkloadSummary {
             icache: MissProfile::default(),
             itlb_misses: 0,
             dcache: MissProfile::default(),
+            dcache_stores: MissProfile::default(),
             dtlb_misses: 0,
             critpath_cfg: 0.0,
             critpath_unit: 0.0,
@@ -225,29 +250,26 @@ impl WorkloadSummary {
         let mut ready_unit = [0.0f64; ArchReg::COUNT];
         let l1d_lat = f64::from(cfg.mem.l1d.latency);
 
-        // Walks the L2(/L3) levels for a demand L1 miss and records where
-        // it was served. `install_next_line` mirrors the L2 next-line
-        // prefetcher.
-        let miss_walk = |p: &mut MissProfile,
-                         l2c: &mut TagCache,
+        // Walks the L2(/L3) levels for a demand L1 miss and returns where
+        // it was served. `next_line` mirrors the L2 next-line prefetcher.
+        let miss_walk = |l2c: &mut TagCache,
                          l3c: &mut Option<TagCache>,
                          addr: u64,
                          next_line: bool,
-                         line_bytes: u64| {
+                         line_bytes: u64|
+         -> Served {
             if l2c.access(addr) {
-                p.l2 += 1;
-                return;
+                return Served::L2;
             }
             if next_line {
                 l2c.install(addr + line_bytes);
             }
             if let Some(l3c) = l3c {
                 if l3c.access(addr) {
-                    p.l3 += 1;
-                    return;
+                    return Served::L3;
                 }
             }
-            p.dram += 1;
+            Served::Dram
         };
         let line_bytes = u64::from(cfg.mem.l2.line_bytes);
         let next_line = cfg.mem.prefetch.next_line_enabled;
@@ -268,8 +290,8 @@ impl WorkloadSummary {
                     s.itlb_misses += 1;
                 }
                 if !l1i.access(u.pc) {
-                    s.icache.accesses += 1;
-                    miss_walk(&mut s.icache, &mut l2, &mut l3, u.pc, next_line, line_bytes);
+                    let lv = miss_walk(&mut l2, &mut l3, u.pc, next_line, line_bytes);
+                    s.icache.record(lv);
                 }
             }
 
@@ -285,8 +307,11 @@ impl WorkloadSummary {
                         s.dtlb_misses += 1;
                     }
                     if !l1d.access(addr) {
-                        s.dcache.accesses += 1;
-                        miss_walk(&mut s.dcache, &mut l2, &mut l3, addr, next_line, line_bytes);
+                        let lv = miss_walk(&mut l2, &mut l3, addr, next_line, line_bytes);
+                        s.dcache.record(lv);
+                        if !u.kind.is_load() {
+                            s.dcache_stores.record(lv);
+                        }
                     }
                     if cfg.mem.prefetch.stride_enabled {
                         for pf in strides.observe(

@@ -306,6 +306,16 @@ impl TraceBuffer {
         self.chunks.len()
     }
 
+    /// Approximate resident heap size of the captured arrays, for cache
+    /// byte-budget accounting. Counts the SoA column capacity per chunk
+    /// (every chunk allocates full `CHUNK_UOPS` columns up front).
+    pub fn approx_bytes(&self) -> usize {
+        // Per µop: pc(8) + op(1) + flags(1) + a(8) + b(8) + srcs(6) +
+        // dst(2) + lanes(1) = 35 bytes of column data.
+        const BYTES_PER_UOP: usize = 35;
+        self.chunks.len() * CHUNK_UOPS * BYTES_PER_UOP + std::mem::size_of::<Self>()
+    }
+
     /// Wraps the buffer for shared, zero-copy replay: any number of
     /// [`TraceCursor`]s (engine threads, repeated benchmark runs) can read
     /// the same captured arrays.

@@ -38,6 +38,7 @@ pub mod conv;
 pub mod deepbench;
 pub mod gemm;
 pub mod program;
+pub mod registry;
 pub mod rnn;
 pub mod sample;
 pub mod spec;
@@ -49,6 +50,7 @@ pub use buffer::{BatchCursor, SharedTraceBuffer, TraceBuffer, TraceCursor};
 pub use conv::{ConvPhase, ConvTrace};
 pub use deepbench::{ConvConfig, GemmConfig, RnnConfig};
 pub use gemm::{GemmStyle, GemmTrace};
+pub use registry::{CaptureRegistry, RegistryStats};
 pub use rnn::{RnnCell, RnnTrace};
 pub use sample::{SampleSource, WindowFn};
 pub use synth::SynthParams;

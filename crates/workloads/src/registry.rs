@@ -1,0 +1,250 @@
+//! Process-wide shared capture registry: one decoded [`TraceBuffer`] per
+//! distinct `(workload, length)`, shared across concurrent requesters.
+//!
+//! A long-running service sees the same workloads over and over; decoding
+//! a 4M-µop trace into the SoA buffer costs real time and ~35 B/µop of
+//! memory, so concurrent requests for the same profile must decode it
+//! *once* (single-flight) and later requests must reuse the resident
+//! buffer. The registry keys on the workload's `Debug` form (a faithful,
+//! total serialization of the generator parameters — the same property
+//! [`Workload`]'s `PartialEq` relies on) plus the requested length, and
+//! evicts least-recently-used buffers once a byte budget is exceeded.
+//! Eviction only drops the registry's reference: in-flight simulations
+//! keep their `Arc` alive until they finish.
+
+use crate::{TraceBuffer, Workload};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Registry statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Requests served from a resident buffer.
+    pub hits: u64,
+    /// Requests that captured a fresh buffer.
+    pub misses: u64,
+    /// Requests that waited for another thread's in-flight capture.
+    pub joined: u64,
+    /// Buffers dropped to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+}
+
+#[derive(Clone)]
+enum Slot {
+    /// Another thread is capturing; wait on the condvar.
+    Building,
+    /// Resident buffer with its LRU timestamp.
+    Ready { buf: Arc<TraceBuffer>, used: u64 },
+}
+
+struct Inner {
+    slots: HashMap<(String, u64), Slot>,
+    stats: RegistryStats,
+    /// Logical clock for LRU ordering.
+    tick: u64,
+}
+
+/// Shared, single-flight capture cache (see module docs).
+pub struct CaptureRegistry {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    budget_bytes: usize,
+}
+
+impl CaptureRegistry {
+    /// A registry that keeps at most ~`budget_bytes` of decoded trace
+    /// resident (the budget is advisory per-entry: a single buffer larger
+    /// than the budget is still cached until the next insertion).
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        CaptureRegistry {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                stats: RegistryStats::default(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+            budget_bytes,
+        }
+    }
+
+    /// The decoded buffer for `(w, uops)` — captured now if absent,
+    /// joined if another thread is mid-capture, returned immediately if
+    /// resident.
+    pub fn get_or_capture(&self, w: &Workload, uops: u64) -> Arc<TraceBuffer> {
+        let key = (format!("{w:?}"), uops);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        loop {
+            match inner.slots.get(&key) {
+                Some(Slot::Ready { .. }) => {
+                    inner.tick += 1;
+                    inner.stats.hits += 1;
+                    let now = inner.tick;
+                    if let Some(Slot::Ready { buf, used }) = inner.slots.get_mut(&key) {
+                        *used = now;
+                        return buf.clone();
+                    }
+                    unreachable!("entry vanished under the lock");
+                }
+                Some(Slot::Building) => {
+                    inner.stats.joined += 1;
+                    inner = self.ready.wait(inner).expect("registry poisoned");
+                }
+                None => {
+                    inner.slots.insert(key.clone(), Slot::Building);
+                    inner.stats.misses += 1;
+                    drop(inner);
+                    // Capture outside the lock; on unwind, clear the
+                    // Building slot so waiters retry instead of hanging.
+                    let mut guard = ClearOnDrop {
+                        reg: self,
+                        key: key.clone(),
+                        armed: true,
+                    };
+                    let buf = TraceBuffer::capture(w, uops).shared();
+                    guard.armed = false;
+                    drop(guard);
+                    let mut inner = self.inner.lock().expect("registry poisoned");
+                    inner.tick += 1;
+                    let used = inner.tick;
+                    inner.stats.resident_bytes += buf.approx_bytes();
+                    inner.slots.insert(
+                        key,
+                        Slot::Ready {
+                            buf: buf.clone(),
+                            used,
+                        },
+                    );
+                    self.evict_over_budget(&mut inner);
+                    drop(inner);
+                    self.ready.notify_all();
+                    return buf;
+                }
+            }
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> RegistryStats {
+        self.inner.lock().expect("registry poisoned").stats
+    }
+
+    /// Drops least-recently-used Ready entries until the budget holds.
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        while inner.stats.resident_bytes > self.budget_bytes {
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { used, .. } => Some((*used, k.clone())),
+                    Slot::Building => None,
+                })
+                .min()
+                .map(|(_, k)| k);
+            let Some(k) = victim else { return };
+            // Never evict the entry we just inserted if it is the only one
+            // (a single oversized buffer stays resident until displaced).
+            if inner
+                .slots
+                .iter()
+                .filter(|(_, s)| matches!(s, Slot::Ready { .. }))
+                .count()
+                <= 1
+            {
+                return;
+            }
+            if let Some(Slot::Ready { buf, .. }) = inner.slots.remove(&k) {
+                inner.stats.resident_bytes = inner
+                    .stats
+                    .resident_bytes
+                    .saturating_sub(buf.approx_bytes());
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Removes a `Building` slot if the capture unwound, waking waiters.
+struct ClearOnDrop<'a> {
+    reg: &'a CaptureRegistry,
+    key: (String, u64),
+    armed: bool,
+}
+
+impl Drop for ClearOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut inner) = self.reg.inner.lock() {
+                inner.slots.remove(&self.key);
+            }
+            self.reg.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_buffer() {
+        let reg = CaptureRegistry::new(64 << 20);
+        let a = reg.get_or_capture(&spec::mcf(), 10_000);
+        let b = reg.get_or_capture(&spec::mcf(), 10_000);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = reg.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_lengths_are_distinct_entries() {
+        let reg = CaptureRegistry::new(64 << 20);
+        let a = reg.get_or_capture(&spec::mcf(), 10_000);
+        let b = reg.get_or_capture(&spec::mcf(), 20_000);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        // Each 10k-µop capture is ~2 chunks ≈ 570 KB; a 1 MB budget holds
+        // one buffer but not two.
+        let one = TraceBuffer::capture(&spec::mcf(), 10_000).approx_bytes();
+        let reg = CaptureRegistry::new(one + one / 2);
+        reg.get_or_capture(&spec::mcf(), 10_000);
+        reg.get_or_capture(&spec::lbm(), 10_000);
+        let s = reg.stats();
+        assert_eq!(s.evictions, 1, "{s:?}");
+        assert!(s.resident_bytes <= one + one / 2, "{s:?}");
+        // The evicted (older) entry re-captures; the survivor hits.
+        reg.get_or_capture(&spec::lbm(), 10_000);
+        assert_eq!(reg.stats().hits, 1);
+        reg.get_or_capture(&spec::mcf(), 10_000);
+        assert_eq!(reg.stats().misses, 3);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_capture_once() {
+        let reg = Arc::new(CaptureRegistry::new(64 << 20));
+        let bufs: Vec<Arc<TraceBuffer>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let reg = reg.clone();
+                    s.spawn(move || reg.get_or_capture(&spec::bwaves(), 50_000))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for b in &bufs[1..] {
+            assert!(Arc::ptr_eq(&bufs[0], b), "all callers share one capture");
+        }
+        let s = reg.stats();
+        // Exactly one capture; every other thread resolved to a hit
+        // (after joining the in-flight capture or arriving late).
+        assert_eq!(s.misses, 1, "{s:?}");
+        assert_eq!(s.hits, 7, "{s:?}");
+    }
+}
